@@ -1,0 +1,57 @@
+//! Wall-clock collective costs (threads included): how long a barrier or
+//! allreduce takes end-to-end on the host, per rank count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use photon_core::{PhotonCluster, PhotonConfig, ReduceOp};
+use photon_fabric::NetworkModel;
+
+fn compact() -> PhotonConfig {
+    PhotonConfig {
+        ledger_entries: 64,
+        eager_ring_bytes: 16 * 1024,
+        coll_slot_bytes: 1024,
+        ..PhotonConfig::default()
+    }
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_wall");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let cluster = PhotonCluster::new(n, NetworkModel::ideal(), compact());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for p in cluster.ranks() {
+                        s.spawn(move || p.barrier().unwrap());
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce8_wall");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let cluster = PhotonCluster::new(n, NetworkModel::ideal(), compact());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for p in cluster.ranks() {
+                        s.spawn(move || {
+                            let mut v = [p.rank() as u64; 8];
+                            p.allreduce_u64(&mut v, ReduceOp::Sum).unwrap();
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barrier, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Pure state-machine costs: ledger and eager-ring produce/consume without
+//! any fabric involvement. These bound the protocol's minimum CPU cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photon_core::eager::{EagerRx, EagerTx, FrameHeader, FrameKind, FRAME_HDR};
+use photon_core::ledger::{Entry, EntryKind, LedgerRx, LedgerTx, ENTRY_BYTES};
+
+fn bench_ledger_produce_consume(c: &mut Criterion) {
+    c.bench_function("ledger_produce_encode_accept", |b| {
+        let slots = 256;
+        let mut tx = LedgerTx::new(slots);
+        let mut rx = LedgerRx::new(slots, 128);
+        let mut mem = vec![0u8; slots * ENTRY_BYTES];
+        b.iter(|| {
+            let (slot, seq) = match tx.try_produce() {
+                Some(v) => v,
+                None => {
+                    tx.update_credits(rx.consumed());
+                    tx.try_produce().unwrap()
+                }
+            };
+            let e = Entry {
+                seq,
+                rid: seq,
+                size: 8,
+                addr: 0,
+                rkey: 0,
+                kind: EntryKind::Completion,
+                ts: seq,
+            };
+            let off = tx.slot_offset(slot);
+            mem[off..off + ENTRY_BYTES].copy_from_slice(&e.encode());
+            let off = rx.head_offset();
+            let got = rx.accept(&mem[off..off + ENTRY_BYTES]).unwrap();
+            let _ = rx.credit_due();
+            criterion::black_box(got.rid)
+        })
+    });
+}
+
+fn bench_eager_ring(c: &mut Criterion) {
+    c.bench_function("eager_ring_reserve_write_accept_64B", |b| {
+        let ring_bytes = 64 * 1024;
+        let mut tx = EagerTx::new(ring_bytes);
+        let mut rx = EagerRx::new(ring_bytes, 16 * 1024);
+        let mut ring = vec![0u8; ring_bytes];
+        let payload = [0xA5u8; 64];
+        b.iter(|| {
+            let r = match tx.try_reserve(64) {
+                Some(r) => r,
+                None => {
+                    tx.update_credits(rx.cursor());
+                    tx.try_reserve(64).unwrap()
+                }
+            };
+            if let Some((off, dead, seq)) = r.skip {
+                let h = FrameHeader {
+                    seq,
+                    rid: 0,
+                    dst_addr: 0,
+                    dst_rkey: 0,
+                    size: dead,
+                    kind: FrameKind::Skip,
+                    ts: 0,
+                };
+                ring[off..off + FRAME_HDR].copy_from_slice(&h.encode());
+            }
+            let h = FrameHeader {
+                seq: r.seq,
+                rid: r.seq,
+                dst_addr: 0,
+                dst_rkey: 0,
+                size: 64,
+                kind: FrameKind::Msg,
+                ts: 0,
+            };
+            ring[r.offset..r.offset + FRAME_HDR].copy_from_slice(&h.encode());
+            ring[r.offset + FRAME_HDR..r.offset + FRAME_HDR + 64].copy_from_slice(&payload);
+            loop {
+                let f = rx.accept(&ring).unwrap();
+                let _ = rx.credit_due();
+                if f.header.kind != FrameKind::Skip {
+                    break criterion::black_box(f.header.rid);
+                }
+            }
+        })
+    });
+}
+
+fn bench_entry_codec(c: &mut Criterion) {
+    let e = Entry {
+        seq: 12345,
+        rid: 0xfeed_beef,
+        size: 4096,
+        addr: 0x1000_0000,
+        rkey: 42,
+        kind: EntryKind::Completion,
+        ts: 987_654,
+    };
+    c.bench_function("entry_encode_decode", |b| {
+        b.iter(|| Entry::decode(&criterion::black_box(e).encode()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_ledger_produce_consume, bench_eager_ring, bench_entry_codec);
+criterion_main!(benches);

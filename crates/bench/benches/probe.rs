@@ -1,0 +1,47 @@
+//! Wall-clock cost of `probe_completion` — the hot path of every runtime
+//! progress loop (experiment E5's software-side companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use photon_core::{PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_fabric::NetworkModel;
+
+fn compact() -> PhotonConfig {
+    PhotonConfig {
+        ledger_entries: 64,
+        eager_ring_bytes: 16 * 1024,
+        coll_slot_bytes: 1024,
+        ..PhotonConfig::default()
+    }
+}
+
+fn bench_empty_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_empty");
+    for n in [2usize, 8, 32] {
+        let cluster = PhotonCluster::new(n, NetworkModel::ideal(), compact());
+        let p0 = cluster.rank(0).clone();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| p0.probe_completion(ProbeFlags::Any).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_probe_one_event(c: &mut Criterion) {
+    // Cost of send + probe round trip through the eager machinery.
+    let cluster = PhotonCluster::new(2, NetworkModel::ideal(), compact());
+    let p0 = cluster.rank(0).clone();
+    let p1 = cluster.rank(1).clone();
+    c.bench_function("send_then_probe_8B", |b| {
+        b.iter(|| {
+            p1.send(0, &[7u8; 8], 1).unwrap();
+            loop {
+                if p0.probe_completion(ProbeFlags::Remote).unwrap().is_some() {
+                    break;
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_empty_probe, bench_probe_one_event);
+criterion_main!(benches);

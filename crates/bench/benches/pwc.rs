@@ -1,0 +1,73 @@
+//! Wall-clock software-path cost of put-with-completion: what a host CPU
+//! pays per operation, separate from the modeled wire.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use photon_core::{PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_fabric::NetworkModel;
+
+fn bench_pwc_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pwc_post_plus_consume");
+    for (label, size) in [("eager_64B", 64usize), ("eager_4KiB", 4096), ("direct_64KiB", 65536)] {
+        let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+        let p0 = cluster.rank(0).clone();
+        let p1 = cluster.rank(1).clone();
+        let src = p0.register_buffer(size).unwrap();
+        let dst = p1.register_buffer(size).unwrap();
+        let d = dst.descriptor();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &size, |b, &size| {
+            b.iter(|| {
+                p0.put_with_completion(1, &src, 0, size, &d, 0, 1, 1).unwrap();
+                p0.wait_local(1).unwrap();
+                p1.wait_remote().unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_plain_put(c: &mut Criterion) {
+    let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    let p0 = cluster.rank(0).clone();
+    let src = p0.register_buffer(8).unwrap();
+    let dst = cluster.rank(1).register_buffer(8).unwrap();
+    let d = dst.descriptor();
+    c.bench_function("plain_put_8B_post_and_drain", |b| {
+        b.iter(|| {
+            p0.put(1, &src, 0, 8, &d, 0, 1).unwrap();
+            p0.wait_local(1).unwrap();
+        })
+    });
+}
+
+fn bench_get(c: &mut Criterion) {
+    let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    let p0 = cluster.rank(0).clone();
+    let dst = p0.register_buffer(4096).unwrap();
+    let src = cluster.rank(1).register_buffer(4096).unwrap();
+    let d = src.descriptor();
+    c.bench_function("get_4KiB_post_and_drain", |b| {
+        b.iter(|| {
+            p0.get_with_completion(1, &dst, 0, 4096, &d, 0, 1).unwrap();
+            p0.wait_local(1).unwrap();
+        })
+    });
+}
+
+fn bench_probe_empty_baseline(c: &mut Criterion) {
+    // For comparison against pwc costs in the same report.
+    let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    let p0 = cluster.rank(0).clone();
+    c.bench_function("probe_empty_2ranks", |b| {
+        b.iter(|| p0.probe_completion(ProbeFlags::Any).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pwc_roundtrip,
+    bench_plain_put,
+    bench_get,
+    bench_probe_empty_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Wall-clock cost of buffer registration/deregistration (experiment E9):
+//! the table-management overhead a registration cache amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use photon_core::{PhotonCluster, PhotonConfig};
+use photon_fabric::NetworkModel;
+
+fn bench_register(c: &mut Criterion) {
+    let cluster = PhotonCluster::new(1, NetworkModel::ideal(), PhotonConfig::default());
+    let p = cluster.rank(0).clone();
+    let mut g = c.benchmark_group("register_deregister");
+    for size in [4096usize, 64 * 1024, 1 << 20, 4 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let buf = p.register_buffer(size).unwrap();
+                p.release_buffer(&buf).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_descriptor_exchange(c: &mut Criterion) {
+    let cluster = PhotonCluster::new(1, NetworkModel::ideal(), PhotonConfig::default());
+    let p = cluster.rank(0).clone();
+    let buf = p.register_buffer(4096).unwrap();
+    c.bench_function("descriptor_encode_decode", |b| {
+        b.iter(|| {
+            let d = buf.descriptor();
+            let bytes = d.to_bytes();
+            photon_fabric::mr::RemoteKey::from_bytes(&bytes)
+        })
+    });
+}
+
+criterion_group!(benches, bench_register, bench_descriptor_exchange);
+criterion_main!(benches);

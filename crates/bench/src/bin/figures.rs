@@ -1,0 +1,46 @@
+//! Regenerate the evaluation figures/tables.
+//!
+//! ```text
+//! figures            # run everything
+//! figures e1 e6      # run a subset
+//! figures --list     # show available experiment ids
+//! ```
+//!
+//! Each experiment prints an aligned table and writes `results/<id>.csv`.
+
+use photon_bench::experiments;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let out_dir = PathBuf::from("results");
+    for id in ids {
+        let Some(table) = ({
+            let start = Instant::now();
+            let t = experiments::run(id);
+            if let Some(t) = &t {
+                eprintln!("[{} finished in {:.1}s]", t.id, start.elapsed().as_secs_f64());
+            }
+            t
+        }) else {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            std::process::exit(2);
+        };
+        println!("{}", table.render());
+        if let Err(e) = table.write_csv(&out_dir) {
+            eprintln!("warning: could not write CSV for {}: {e}", table.id);
+        }
+    }
+}

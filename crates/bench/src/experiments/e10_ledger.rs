@@ -1,0 +1,71 @@
+//! E10 — ledger-depth ablation: direct-PWC throughput under a slow
+//! consumer, as a function of ledger slots.
+//!
+//! Design-choice check for the credit-based ledger: with a consumer that
+//! probes slowly (models a busy runtime), a shallow ledger starves the
+//! producer on credits; depth buys back throughput until the
+//! latency×rate product is covered.
+
+use crate::report::{mops, Table};
+use photon_core::{PhotonCluster, PhotonConfig};
+use photon_fabric::NetworkModel;
+
+fn throughput(depth: usize, msgs: usize, consumer_work_ns: u64) -> f64 {
+    let cfg = PhotonConfig {
+        eager_threshold: 0, // force the ledger (direct) path
+        ledger_entries: depth,
+        credit_interval: depth / 2,
+        ..PhotonConfig::default()
+    };
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), cfg);
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(8).unwrap();
+    let b1 = p1.register_buffer(8).unwrap();
+    let d1 = b1.descriptor();
+    c.reset_time();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..msgs as u64 {
+                p0.put_with_completion(1, &b0, 0, 8, &d1, 0, i, i).unwrap();
+            }
+            // Drain to the final injection so the producer-side time is
+            // well-defined even when the ledger never backpressured.
+            p0.wait_local(msgs as u64 - 1).unwrap();
+        });
+        s.spawn(|| {
+            for _ in 0..msgs {
+                p1.wait_remote().unwrap();
+                p1.elapse(consumer_work_ns); // busy runtime between probes
+            }
+        });
+    });
+    // Producer-side time: a shallow ledger chains the producer to the slow
+    // consumer through credit stalls; a deep one lets it run ahead.
+    msgs as f64 / (p0.now().as_nanos() as f64 / 1e9)
+}
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e10",
+        "direct-PWC throughput vs ledger depth, slow consumer (Mops/s)",
+        &["ledger_slots", "throughput_mops"],
+    );
+    for depth in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
+        t.row(vec![depth.to_string(), mops(throughput(depth, 1500, 200))]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn deeper_ledger_recovers_throughput() {
+        let shallow = super::throughput(8, 1000, 200);
+        let deep = super::throughput(512, 1000, 200);
+        assert!(
+            deep > 1.3 * shallow,
+            "depth should buy throughput under a slow consumer: {shallow} -> {deep}"
+        );
+    }
+}

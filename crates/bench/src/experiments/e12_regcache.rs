@@ -1,0 +1,68 @@
+//! E12 — registration-cache ablation for the two-sided baseline.
+//!
+//! The E1 gap above the baseline's rendezvous threshold has two components:
+//! the RTS/CTS handshake and the per-transfer registration. A registration
+//! cache (as production MPIs deploy) removes the second. This ablation
+//! isolates them: with the cache on, the remaining baseline deficit is pure
+//! protocol (handshake RTT + matching), which is Photon's structural
+//! advantage; with it off, registration dominates at mid sizes.
+
+use super::drivers;
+use crate::report::{size_label, us, Table};
+use photon_core::PhotonConfig;
+use photon_fabric::NetworkModel;
+use photon_msg::MsgConfig;
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let model = NetworkModel::ib_fdr();
+    let mut t = Table::new(
+        "e12",
+        "one-way latency: baseline registration-cache ablation (us)",
+        &["size", "photon_pwc", "baseline_nocache", "baseline_cache"],
+    );
+    let iters = 40;
+    for exp in [13usize, 14, 16, 18, 20] {
+        let size = 1usize << exp;
+        let p = drivers::photon_pingpong_ns(model, PhotonConfig::default(), size, iters);
+        let nocache = drivers::msg_pingpong_ns(
+            model,
+            MsgConfig { registration_cache: false, ..MsgConfig::default() },
+            size,
+            iters,
+        );
+        let cache = drivers::msg_pingpong_ns(
+            model,
+            MsgConfig { registration_cache: true, ..MsgConfig::default() },
+            size,
+            iters,
+        );
+        t.row(vec![size_label(size), us(p), us(nocache), us(cache)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cache_recovers_most_of_the_rendezvous_gap() {
+        let t = super::run();
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        for (i, row) in t.rows.iter().enumerate() {
+            let photon = parse(&row[1]);
+            let nocache = parse(&row[2]);
+            let cache = parse(&row[3]);
+            if i == 0 {
+                // 8 KiB is still eager for the baseline: nothing to cache.
+                assert_eq!(row[2], row[3], "{row:?}");
+            } else {
+                assert!(cache < nocache, "cache must help rendezvous rows: {row:?}");
+            }
+            assert!(photon <= cache * 1.02, "photon still at least matches: {row:?}");
+        }
+        // At 16KiB the cache removes the (amortizable) registration but not
+        // the handshake: photon remains strictly faster.
+        let first = &t.rows[1];
+        assert!(parse(&first[1]) < parse(&first[3]), "{first:?}");
+    }
+}

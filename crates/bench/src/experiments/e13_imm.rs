@@ -1,0 +1,80 @@
+//! E13 — completion-delivery ablation: ledger entries vs
+//! write-with-immediate CQ events for direct puts.
+//!
+//! The CQ-notification design merges the data and the completion into one
+//! wire operation, so its direct-put latency beats the two-op ledger path.
+//! The price is flow control: ledgers bound the producer with explicit
+//! credits, while the imm mode is only as safe as the consumer's CQ depth
+//! (`photon-core` unit tests demonstrate the overflow). This experiment
+//! quantifies the latency side of that trade.
+
+use crate::report::{size_label, us, Table};
+use photon_core::{PhotonCluster, PhotonConfig};
+use photon_fabric::NetworkModel;
+
+fn direct_pingpong_ns(imm: bool, size: usize, iters: usize) -> u64 {
+    let cfg = PhotonConfig {
+        eager_threshold: 0, // force the direct path at every size
+        imm_completions: imm,
+        ..PhotonConfig::default()
+    };
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), cfg);
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(size).unwrap();
+    let b1 = p1.register_buffer(size).unwrap();
+    let d0 = b0.descriptor();
+    let d1 = b1.descriptor();
+    c.reset_time();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..iters as u64 {
+                p0.put_with_completion(1, &b0, 0, size, &d1, 0, i, i).unwrap();
+                p0.wait_remote().unwrap();
+            }
+        });
+        s.spawn(|| {
+            for i in 0..iters as u64 {
+                p1.wait_remote().unwrap();
+                p1.put_with_completion(0, &b1, 0, size, &d0, 0, i, i).unwrap();
+            }
+        });
+    });
+    c.rank(0).now().as_nanos() / (2 * iters as u64)
+}
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e13",
+        "direct-put one-way latency: ledger vs imm completion (us)",
+        &["size", "ledger_us", "imm_us", "imm_saves"],
+    );
+    for exp in [3usize, 8, 12, 14, 16] {
+        let size = 1usize << exp;
+        let ledger = direct_pingpong_ns(false, size, 40);
+        let imm = direct_pingpong_ns(true, size, 40);
+        t.row(vec![
+            size_label(size),
+            us(ledger),
+            us(imm),
+            format!("{}ns", ledger.saturating_sub(imm)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn imm_mode_saves_the_second_wire_op() {
+        let ledger = super::direct_pingpong_ns(false, 8, 20);
+        let imm = super::direct_pingpong_ns(true, 8, 20);
+        // The ledger path pays one extra gap-limited injection per one-way.
+        assert!(imm < ledger, "imm {imm} must beat ledger {ledger}");
+        let saved = ledger - imm;
+        assert!(
+            (10..200).contains(&saved),
+            "saving should be about one message gap, got {saved}ns"
+        );
+    }
+}

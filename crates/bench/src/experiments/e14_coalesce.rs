@@ -1,0 +1,65 @@
+//! E14 — parcel-coalescing ablation: delivery rate vs batch size.
+//!
+//! Fine-grained runtimes live or die on small-message rate; coalescing
+//! trades first-parcel latency for amortized injection. Expected shape:
+//! rate climbs steeply with batch size until the eager ring's byte
+//! bandwidth (not its message rate) becomes the binding constraint.
+
+use crate::report::{mops, Table};
+use photon_fabric::NetworkModel;
+use photon_runtime::{ActionRegistry, RtConfig, RuntimeCluster};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn rate(coalesce_max: usize, count: usize, payload: usize) -> f64 {
+    let mut reg = ActionRegistry::new();
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen2 = Arc::clone(&seen);
+    let sink = reg.register("sink", move |_ctx, _| {
+        seen2.fetch_add(1, Ordering::Relaxed);
+        None
+    });
+    let cfg = RtConfig { workers: 1, coalesce_max, ..RtConfig::default() };
+    let c = RuntimeCluster::new(2, NetworkModel::ib_fdr(), cfg, reg);
+    let body = vec![0u8; payload];
+    let n0 = c.node(0);
+    for _ in 0..count {
+        n0.send_parcel(1, sink, &body).unwrap();
+    }
+    n0.flush_parcels().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while seen.load(Ordering::Relaxed) < count as u64 {
+        assert!(Instant::now() < deadline, "parcels never drained");
+        std::thread::yield_now();
+    }
+    let t_ns = c.node(1).photon().now().as_nanos();
+    c.shutdown();
+    count as f64 / (t_ns as f64 / 1e9)
+}
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e14",
+        "16-byte parcel rate vs coalescing batch size (Mparcels/s)",
+        &["batch", "rate_mparcels"],
+    );
+    for batch in [1usize, 4, 16, 64, 128] {
+        t.row(vec![batch.to_string(), mops(rate(batch, 4000, 16))]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn coalescing_lifts_parcel_rate() {
+        let off = super::rate(1, 1500, 16);
+        let on = super::rate(64, 1500, 16);
+        assert!(
+            on > 1.5 * off,
+            "batching should lift the rate substantially: {off} -> {on}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! E1 — one-way latency vs message size (Photon PWC vs two-sided baseline).
+//!
+//! Reconstructed expectation: Photon's packed eager path (no tag matching,
+//! single wire op) wins for small messages; above the baseline's eager
+//! threshold the gap *jumps* (the baseline pays the RTS/CTS handshake and a
+//! per-transfer registration) and then narrows again as wire serialization
+//! dominates both.
+
+use super::drivers;
+use crate::report::{size_label, us, Table};
+use photon_core::PhotonConfig;
+use photon_fabric::NetworkModel;
+use photon_msg::MsgConfig;
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let model = NetworkModel::ib_fdr();
+    let mut t = Table::new(
+        "e1",
+        "one-way latency vs size, modeled FDR IB (us)",
+        &["size", "photon_pwc_us", "baseline_us", "speedup"],
+    );
+    let iters = 50;
+    for exp in [3usize, 6, 9, 10, 12, 13, 14, 16] {
+        let size = 1usize << exp;
+        let p = drivers::photon_pingpong_ns(model, PhotonConfig::default(), size, iters);
+        let b = drivers::msg_pingpong_ns(model, MsgConfig::default(), size, iters);
+        t.row(vec![
+            size_label(size),
+            us(p),
+            us(b),
+            format!("{:.2}x", b as f64 / p as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_photon_wins_small_rendezvous_jump_then_narrow() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 8);
+        let speedup = |row: &Vec<String>| row[3].trim_end_matches('x').parse::<f64>().unwrap();
+        let first = speedup(&t.rows[0]);
+        assert!(first > 1.05, "photon should win small messages ({first}x)");
+        // Every row: photon at least on par.
+        for row in &t.rows {
+            assert!(speedup(row) > 0.95, "photon should never lose: {row:?}");
+        }
+        // The baseline's rendezvous threshold (8 KiB) makes the gap jump...
+        let below = speedup(&t.rows[5]); // 8 KiB (still eager)
+        let above = speedup(&t.rows[6]); // 16 KiB (rendezvous)
+        assert!(above > 1.5 * below, "rendezvous jump: {below}x -> {above}x");
+        // ...and it narrows again as serialization dominates.
+        let last = speedup(t.rows.last().unwrap());
+        assert!(last < above, "gap narrows at 64KiB: {above}x -> {last}x");
+    }
+}

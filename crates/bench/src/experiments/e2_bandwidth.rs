@@ -1,0 +1,45 @@
+//! E2 — bandwidth vs message size (put / get / two-sided).
+//!
+//! Reconstructed expectation: one-sided puts saturate the modeled 7 GB/s
+//! link earliest; gets pay a request round trip but pipeline under a window;
+//! the two-sided baseline trails until its rendezvous amortizes.
+
+use super::drivers;
+use crate::report::{gbps, size_label, Table};
+use photon_core::PhotonConfig;
+use photon_fabric::NetworkModel;
+use photon_msg::MsgConfig;
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let model = NetworkModel::ib_fdr();
+    let mut t = Table::new(
+        "e2",
+        "bandwidth vs size, modeled FDR IB (GB/s)",
+        &["size", "photon_put", "photon_get", "baseline_sendrecv"],
+    );
+    for exp in [10usize, 12, 14, 16, 18, 20, 22] {
+        let size = 1usize << exp;
+        let count = ((64 << 20) / size).clamp(16, 4096);
+        let put = drivers::photon_put_bw(model, PhotonConfig::default(), size, count);
+        let get = drivers::photon_get_bw(model, PhotonConfig::default(), size, count);
+        let two = drivers::msg_stream_bw(model, MsgConfig::default(), size, count);
+        t.row(vec![size_label(size), gbps(put), gbps(get), gbps(two)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_bandwidth_saturates() {
+        let t = super::run();
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        let first_put = parse(&t.rows[0][1]);
+        let last_put = parse(&t.rows.last().unwrap()[1]);
+        assert!(last_put > first_put, "bandwidth grows with size");
+        assert!(last_put > 5.5, "large puts near the 7 GB/s line: {last_put}");
+        let last_two = parse(&t.rows.last().unwrap()[3]);
+        assert!(last_two > 3.0, "baseline also reaches high bandwidth eventually");
+    }
+}

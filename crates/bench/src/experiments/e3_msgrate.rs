@@ -1,0 +1,44 @@
+//! E3 — small-message rate vs window (acked 8-byte messages).
+//!
+//! Reconstructed expectation: rate scales with the window until the NIC
+//! message-gap ceiling; Photon's single-op eager path reaches a higher
+//! ceiling than matched two-sided messaging.
+
+use super::drivers;
+use crate::report::{mops, Table};
+use photon_core::PhotonConfig;
+use photon_fabric::NetworkModel;
+use photon_msg::MsgConfig;
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let model = NetworkModel::ib_fdr();
+    let mut t = Table::new(
+        "e3",
+        "8-byte acked message rate vs window (Mmsg/s)",
+        &["window", "photon_pwc", "baseline"],
+    );
+    for window in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let msgs = (window * 100).clamp(500, 8000);
+        let p = drivers::photon_msg_rate(model, PhotonConfig::default(), window, msgs);
+        let b = drivers::msg_msg_rate(model, MsgConfig::default(), window, msgs);
+        t.row(vec![window.to_string(), mops(p), mops(b)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_rate_scales_then_saturates() {
+        let t = super::run();
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        let r1 = parse(&t.rows[0][1]);
+        let r_mid = parse(&t.rows[4][1]);
+        let r_max = parse(&t.rows.last().unwrap()[1]);
+        assert!(r_mid > 2.0 * r1, "rate should scale with window");
+        // Saturation: the last doubling gains little.
+        let r_prev = parse(&t.rows[t.rows.len() - 2][1]);
+        assert!(r_max < 1.5 * r_prev, "rate should saturate");
+    }
+}

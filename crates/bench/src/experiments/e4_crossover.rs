@@ -1,0 +1,56 @@
+//! E4 — eager/rendezvous crossover: PWC latency vs size for different eager
+//! thresholds.
+//!
+//! Reconstructed expectation: below the threshold the packed eager path
+//! (one wire op + probe-time copy) wins; above it the direct path (two wire
+//! ops, zero copy) wins. The copy cost makes eager *lose* for large
+//! payloads, so each threshold column crosses the direct column near the
+//! point where copy time ≈ one ledger write.
+
+use super::drivers;
+use crate::report::{size_label, us, Table};
+use photon_core::PhotonConfig;
+use photon_fabric::NetworkModel;
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let model = NetworkModel::ib_fdr();
+    let mut t = Table::new(
+        "e4",
+        "PWC one-way latency vs size per eager threshold (us)",
+        &["size", "direct_only", "eager_1KiB", "eager_8KiB", "eager_64KiB"],
+    );
+    let thresholds = [0usize, 1 << 10, 8 << 10, 64 << 10];
+    let iters = 40;
+    for exp in [6usize, 8, 10, 12, 13, 14, 16] {
+        let size = 1usize << exp;
+        let mut row = vec![size_label(size)];
+        for th in thresholds {
+            let cfg = PhotonConfig {
+                eager_threshold: th,
+                eager_ring_bytes: 512 * 1024,
+                ..PhotonConfig::default()
+            };
+            row.push(us(drivers::photon_pingpong_ns(model, cfg, size, iters)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_eager_wins_small_direct_wins_large() {
+        let t = super::run();
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        // 64B row: the 1KiB-threshold (eager) path beats direct-only.
+        let small = &t.rows[0];
+        assert!(parse(&small[2]) < parse(&small[1]),
+            "eager should win at 64B: {} vs {}", small[2], small[1]);
+        // 64KiB row: direct beats the 64KiB-threshold (still-eager) path.
+        let large = t.rows.last().unwrap();
+        assert!(parse(&large[1]) < parse(&large[4]),
+            "direct should win at 64KiB: {} vs {}", large[1], large[4]);
+    }
+}

@@ -1,0 +1,116 @@
+//! E7 — communication/computation overlap vs message size.
+//!
+//! For each size: inject a transfer, model `C` nanoseconds of computation
+//! equal to the transfer's wire time, and wait for the remote ack. In the
+//! *blocking* schedule the compute follows the ack; in the *overlapped*
+//! schedule it runs between injection and the wait. The recovered fraction
+//! `(t_blocking - t_overlap) / C` is the overlap the API makes available.
+//!
+//! Reconstructed expectation: Photon's one-sided puts overlap nearly fully
+//! at all sizes; the baseline overlaps its eager sends but serializes on the
+//! rendezvous handshake for large messages.
+
+use crate::report::{size_label, Table};
+use photon_core::{PhotonCluster, PhotonConfig};
+use photon_fabric::NetworkModel;
+use photon_msg::{MsgCluster, MsgConfig};
+
+fn photon_total_ns(model: NetworkModel, size: usize, compute_ns: u64, overlap: bool) -> u64 {
+    let cfg = PhotonConfig { eager_threshold: 0, ..PhotonConfig::default() };
+    let c = PhotonCluster::new(2, model, cfg);
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(size).unwrap();
+    let b1 = p1.register_buffer(size).unwrap();
+    let d1 = b1.descriptor();
+    let d0 = b0.descriptor();
+    c.reset_time();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            p0.put_with_completion(1, &b0, 0, size, &d1, 0, 1, 1).unwrap();
+            if overlap {
+                p0.elapse(compute_ns);
+                p0.wait_remote().unwrap(); // ack
+            } else {
+                p0.wait_remote().unwrap();
+                p0.elapse(compute_ns);
+            }
+        });
+        s.spawn(|| {
+            p1.wait_remote().unwrap();
+            p1.put_with_completion(0, &b1, 0, 0, &d0, 0, 1, 1).unwrap();
+        });
+    });
+    c.rank(0).now().as_nanos()
+}
+
+fn msg_total_ns(model: NetworkModel, size: usize, compute_ns: u64, overlap: bool) -> u64 {
+    let c = MsgCluster::new(2, model, MsgConfig::default());
+    let (e0, e1) = (c.rank(0), c.rank(1));
+    let sbuf = e0.register_buffer(size).unwrap();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // A blocking two-sided send cannot defer its own completion;
+            // overlap can only happen after it returns.
+            e0.send_from(1, &sbuf, 0, size, 1).unwrap();
+            if overlap {
+                e0.elapse(compute_ns);
+                e0.recv(Some(1), Some(2)).unwrap();
+            } else {
+                e0.recv(Some(1), Some(2)).unwrap();
+                e0.elapse(compute_ns);
+            }
+        });
+        s.spawn(|| {
+            e1.recv(Some(0), Some(1)).unwrap();
+            e1.send(0, &[], 2).unwrap();
+        });
+    });
+    c.rank(0).now().as_nanos()
+}
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let model = NetworkModel::ib_fdr();
+    let mut t = Table::new(
+        "e7",
+        "available comm/compute overlap vs size (%)",
+        &["size", "photon_pct", "baseline_pct"],
+    );
+    for exp in [12usize, 14, 16, 18, 20, 22] {
+        let size = 1usize << exp;
+        let compute = model.serialize_ns(size) + model.latency_ns;
+        let p = overlap_pct(
+            photon_total_ns(model, size, compute, false),
+            photon_total_ns(model, size, compute, true),
+            compute,
+        );
+        let b = overlap_pct(
+            msg_total_ns(model, size, compute, false),
+            msg_total_ns(model, size, compute, true),
+            compute,
+        );
+        t.row(vec![size_label(size), format!("{p:.0}"), format!("{b:.0}")]);
+    }
+    t
+}
+
+fn overlap_pct(blocking: u64, overlapped: u64, compute: u64) -> f64 {
+    ((blocking.saturating_sub(overlapped)) as f64 / compute as f64 * 100.0).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_photon_overlaps_baseline_rendezvous_does_not() {
+        let t = super::run();
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        let large = t.rows.last().unwrap();
+        assert!(parse(&large[1]) > 80.0, "photon should overlap large puts: {}", large[1]);
+        assert!(
+            parse(&large[2]) < parse(&large[1]),
+            "blocking rendezvous baseline overlaps less: {} vs {}",
+            large[2],
+            large[1]
+        );
+    }
+}

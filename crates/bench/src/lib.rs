@@ -1,0 +1,16 @@
+//! # photon-bench — the experiment harness
+//!
+//! Regenerates every figure/table of the reconstructed Photon evaluation
+//! (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured notes). The `figures` binary runs experiments by id and
+//! writes both an aligned console table and a CSV under `results/`.
+//!
+//! Latencies and bandwidths are **virtual-time** measurements from the
+//! LogGP-modeled fabric (deterministic for the sequential patterns used);
+//! software-path costs (probe, registration, ledger ops) are measured in
+//! wall time by the criterion benches under `benches/`.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,138 @@
+//! Console tables + CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-oriented result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. "e1".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of formatted cells (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render for the console with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let hdr: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", hdr.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(hdr.join("  ").len()));
+        for r in &self.rows {
+            let line: Vec<String> = r
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Write `results/<id>.csv` under `dir`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join(","));
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), out)
+    }
+}
+
+/// Format nanoseconds as microseconds with 2 decimals.
+pub fn us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1000.0)
+}
+
+/// Format a bytes/second rate as GB/s with 2 decimals.
+pub fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.2}", bytes_per_sec / 1e9)
+}
+
+/// Format an ops/second rate as Mops/s with 3 decimals.
+pub fn mops(ops_per_sec: f64) -> String {
+    format!("{:.3}", ops_per_sec / 1e6)
+}
+
+/// Human size label ("8B", "4KiB", "2MiB").
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MiB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KiB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("e0", "demo", &["size", "value"]);
+        t.row(vec!["8B".into(), "1.25".into()]);
+        t.row(vec!["4KiB".into(), "100.00".into()]);
+        let s = t.render();
+        assert!(s.contains("e0"));
+        assert!(s.contains("4KiB"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("photon-bench-test");
+        let mut t = Table::new("e0csv", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.write_csv(&dir).unwrap();
+        let got = std::fs::read_to_string(dir.join("e0csv.csv")).unwrap();
+        assert_eq!(got, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(1500), "1.50");
+        assert_eq!(gbps(7e9), "7.00");
+        assert_eq!(mops(2_500_000.0), "2.500");
+        assert_eq!(size_label(8), "8B");
+        assert_eq!(size_label(4096), "4KiB");
+        assert_eq!(size_label(2 << 20), "2MiB");
+    }
+}

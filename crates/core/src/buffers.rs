@@ -1,0 +1,129 @@
+//! Registered application buffers.
+//!
+//! Photon requires that all memory touched by one-sided operations be
+//! registered.  [`PhotonBuffer`] wraps a fabric memory region registered with
+//! full access, and [`PhotonBuffer::descriptor`] produces the `(addr, rkey,
+//! len)` descriptor a peer needs to target it — the metadata the original
+//! implementation exchanges through its buffer table.  Descriptor exchange
+//! itself is the application's business (in-band via
+//! [`crate::Photon::send`], or out-of-band at init, standing in for the PMI
+//! exchange a launcher performs).
+
+use crate::{PhotonError, Result};
+use photon_fabric::mr::{Access, RemoteKey};
+use photon_fabric::{MemoryRegion, Nic};
+use std::sync::Arc;
+
+/// A peer-targetable buffer descriptor (re-exported fabric type).
+pub type BufferDescriptor = RemoteKey;
+
+/// A registered, remotely accessible buffer.
+#[derive(Debug, Clone)]
+pub struct PhotonBuffer {
+    mr: MemoryRegion,
+}
+
+impl PhotonBuffer {
+    /// Register a fresh zeroed buffer of `len` bytes on `nic`.
+    pub(crate) fn register(nic: &Arc<Nic>, len: usize) -> Result<PhotonBuffer> {
+        let mr = nic.register(len, Access::ALL)?;
+        Ok(PhotonBuffer { mr })
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.mr.len()
+    }
+
+    /// True for a zero-length buffer.
+    pub fn is_empty(&self) -> bool {
+        self.mr.is_empty()
+    }
+
+    /// Descriptor covering the whole buffer; hand this to peers.
+    pub fn descriptor(&self) -> BufferDescriptor {
+        self.mr.remote_key()
+    }
+
+    /// Descriptor covering `[offset, offset+len)`.
+    pub fn descriptor_at(&self, offset: usize, len: usize) -> Result<BufferDescriptor> {
+        self.check(offset, len)?;
+        Ok(self.mr.remote_key().slice(offset, len))
+    }
+
+    /// Write `src` at `offset` (local CPU store).
+    pub fn write_at(&self, offset: usize, src: &[u8]) {
+        self.mr.write_at(offset, src);
+    }
+
+    /// Read into `dst` from `offset` (local CPU load).
+    pub fn read_at(&self, offset: usize, dst: &mut [u8]) {
+        self.mr.read_at(offset, dst);
+    }
+
+    /// Read a little-endian u64 at `offset`.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        self.mr.read_u64(offset)
+    }
+
+    /// Write a little-endian u64 at `offset`.
+    pub fn write_u64(&self, offset: usize, v: u64) {
+        self.mr.write_u64(offset, v);
+    }
+
+    /// Fill with `byte`.
+    pub fn fill(&self, byte: u8) {
+        self.mr.fill(byte);
+    }
+
+    /// Snapshot `len` bytes from `offset`.
+    pub fn to_vec(&self, offset: usize, len: usize) -> Vec<u8> {
+        self.mr.to_vec(offset, len)
+    }
+
+    /// The underlying fabric region (for direct verbs-level use).
+    pub fn region(&self) -> &MemoryRegion {
+        &self.mr
+    }
+
+    /// Bounds check against this buffer.
+    pub fn check(&self, offset: usize, len: usize) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.len()) {
+            return Err(PhotonError::OutOfRange { offset, len, cap: self.len() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_fabric::{Cluster, NetworkModel};
+
+    #[test]
+    fn buffer_rw_and_descriptor() {
+        let c = Cluster::new(1, NetworkModel::ideal());
+        let b = PhotonBuffer::register(c.nic(0), 128).unwrap();
+        assert_eq!(b.len(), 128);
+        b.write_at(8, b"abc");
+        assert_eq!(b.to_vec(8, 3), b"abc");
+        let d = b.descriptor();
+        assert_eq!(d.len, 128);
+        let d2 = b.descriptor_at(64, 32).unwrap();
+        assert_eq!(d2.addr, d.addr + 64);
+        assert_eq!(d2.len, 32);
+        assert!(b.descriptor_at(120, 16).is_err());
+    }
+
+    #[test]
+    fn bounds_check() {
+        let c = Cluster::new(1, NetworkModel::ideal());
+        let b = PhotonBuffer::register(c.nic(0), 16).unwrap();
+        assert!(b.check(0, 16).is_ok());
+        assert!(matches!(
+            b.check(8, 16),
+            Err(PhotonError::OutOfRange { cap: 16, .. })
+        ));
+        assert!(b.check(usize::MAX, 2).is_err(), "overflow-safe");
+    }
+}

@@ -1,0 +1,103 @@
+//! Middleware configuration.
+
+/// Tunables of a Photon context.
+///
+/// Defaults follow the original implementation's order of magnitude: a few
+/// hundred ledger slots and a few hundred KiB of eager space per peer, with
+/// an 8 KiB eager/rendezvous threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhotonConfig {
+    /// Payloads at or below this size take the eager (packed) path when a
+    /// remote buffer is supplied; larger payloads go direct RDMA + ledger.
+    pub eager_threshold: usize,
+    /// Bytes of eager ring per peer (per direction).
+    pub eager_ring_bytes: usize,
+    /// Completion-ledger slots per peer (per direction).
+    pub ledger_entries: usize,
+    /// Modeled CPU copy throughput for probe-time copy-out, in picoseconds
+    /// per byte (25 ps/B = 40 GB/s memcpy).
+    pub copy_ps_per_byte: u64,
+    /// Return ledger credits after consuming this many entries
+    /// (0 = every entry; default = half the ledger).
+    pub credit_interval: usize,
+    /// Bytes of per-peer collective scratch space.
+    pub coll_slot_bytes: usize,
+    /// Wall-clock seconds a blocking wait may spin before reporting
+    /// [`crate::PhotonError::Timeout`] (deadlock guard for tests).
+    pub wait_timeout_secs: u64,
+    /// Deliver direct-put remote completions through RDMA-write-with-
+    /// immediate CQ events instead of ledger entries (the CQ-notification
+    /// design alternative). One wire op instead of two, but **no
+    /// credit-based flow control**: a flood can overflow the consumer's
+    /// completion queue, surfacing `CqOverflow` at the producer — exactly
+    /// the trade the ledger design avoids. Ablated by experiment E13.
+    pub imm_completions: bool,
+}
+
+impl PhotonConfig {
+    /// Configuration with a tiny ledger/ring, for exercising backpressure in
+    /// tests.
+    pub fn tiny() -> Self {
+        PhotonConfig {
+            eager_threshold: 64,
+            eager_ring_bytes: 512,
+            ledger_entries: 8,
+            ..PhotonConfig::default()
+        }
+    }
+
+    /// Effective credit-return interval in entries.
+    pub fn credit_interval_entries(&self) -> u64 {
+        if self.credit_interval == 0 {
+            1
+        } else {
+            (self.credit_interval as u64).min(self.ledger_entries as u64 / 2).max(1)
+        }
+    }
+
+    /// Largest payload a single eager frame can carry.
+    pub fn max_eager_payload(&self) -> usize {
+        self.eager_ring_bytes / 2 - crate::eager::FRAME_HDR
+    }
+}
+
+impl Default for PhotonConfig {
+    fn default() -> Self {
+        PhotonConfig {
+            eager_threshold: 8192,
+            eager_ring_bytes: 256 * 1024,
+            ledger_entries: 256,
+            copy_ps_per_byte: 25,
+            credit_interval: 128,
+            coll_slot_bytes: 64 * 1024,
+            wait_timeout_secs: 30,
+            imm_completions: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = PhotonConfig::default();
+        assert!(c.eager_threshold <= c.max_eager_payload());
+        assert!(c.credit_interval_entries() >= 1);
+        assert!(c.credit_interval_entries() <= c.ledger_entries as u64 / 2);
+    }
+
+    #[test]
+    fn tiny_config_still_valid() {
+        let c = PhotonConfig::tiny();
+        assert!(c.eager_threshold <= c.max_eager_payload());
+        assert!(c.credit_interval_entries() >= 1);
+    }
+
+    #[test]
+    fn zero_credit_interval_means_every_entry() {
+        let c = PhotonConfig { credit_interval: 0, ..PhotonConfig::default() };
+        assert_eq!(c.credit_interval_entries(), 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! RDMA-written completion ledgers.
+//!
+//! A ledger is a circular buffer of fixed-size entries living in the
+//! *consumer's* registered memory.  The producer appends entries with plain
+//! RDMA writes (no target-side CPU involvement); the consumer discovers them
+//! by polling local memory — the key mechanism that lets Photon deliver
+//! *remote* completion identifiers one-sidedly.
+//!
+//! Validity is sequence-number based: slot `k` of wraparound epoch `e` is
+//! valid when it contains sequence `e * slots + k + 1`.  Because sequence
+//! numbers never repeat in a slot, no cleanup write is needed after
+//! consumption.
+//!
+//! Flow control is credit-based: the producer may be at most `slots` entries
+//! ahead of the consumer's last *returned* count.  The consumer returns its
+//! consumed count every [`crate::PhotonConfig::credit_interval_entries`]
+//! entries by RDMA-writing it to a credit word in the producer's memory.
+//!
+//! This module contains only the pure state machines and the wire encoding;
+//! the [`crate::photon`] engine performs the actual RDMA operations.
+
+/// Size of one ledger entry on the wire.
+pub const ENTRY_BYTES: usize = 48;
+
+/// Byte offset of the delivery-timestamp field within an entry (stamped by
+/// the fabric; see `photon_fabric::SendWr::with_stamp`).
+pub const TS_OFFSET: usize = 40;
+
+/// What an entry announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Remote completion of a large (direct RDMA) put-with-completion.
+    Completion,
+    /// Remote notification of a get-with-completion.
+    GetNotify,
+    /// Rendezvous: the sender should fetch this receive-buffer descriptor.
+    RdvPost,
+    /// Rendezvous: the put into the announced buffer has finished.
+    Fin,
+}
+
+impl EntryKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            EntryKind::Completion => 1,
+            EntryKind::GetNotify => 2,
+            EntryKind::RdvPost => 3,
+            EntryKind::Fin => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<EntryKind> {
+        match v {
+            1 => Some(EntryKind::Completion),
+            2 => Some(EntryKind::GetNotify),
+            3 => Some(EntryKind::RdvPost),
+            4 => Some(EntryKind::Fin),
+            _ => None,
+        }
+    }
+}
+
+/// One ledger entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Validity sequence number (1-based production count).
+    pub seq: u64,
+    /// The completion identifier (or rendezvous tag).
+    pub rid: u64,
+    /// Payload size the entry describes (put size, announced buffer size).
+    pub size: u64,
+    /// Auxiliary address (announced buffer base for `RdvPost`).
+    pub addr: u64,
+    /// Auxiliary rkey (announced buffer key for `RdvPost`).
+    pub rkey: u32,
+    /// Entry classification.
+    pub kind: EntryKind,
+    /// Virtual delivery time in nanoseconds (stamped by the fabric).
+    pub ts: u64,
+}
+
+impl Entry {
+    /// Encode to the fixed wire format.
+    pub fn encode(&self) -> [u8; ENTRY_BYTES] {
+        let mut b = [0u8; ENTRY_BYTES];
+        b[0..8].copy_from_slice(&self.seq.to_le_bytes());
+        b[8..16].copy_from_slice(&self.rid.to_le_bytes());
+        b[16..24].copy_from_slice(&self.size.to_le_bytes());
+        b[24..32].copy_from_slice(&self.addr.to_le_bytes());
+        b[32..36].copy_from_slice(&self.rkey.to_le_bytes());
+        b[36] = self.kind.to_u8();
+        b[TS_OFFSET..TS_OFFSET + 8].copy_from_slice(&self.ts.to_le_bytes());
+        b
+    }
+
+    /// Decode from the wire format; `None` if the kind byte is invalid
+    /// (e.g. an unwritten slot).
+    pub fn decode(b: &[u8]) -> Option<Entry> {
+        debug_assert!(b.len() >= ENTRY_BYTES);
+        let kind = EntryKind::from_u8(b[36])?;
+        Some(Entry {
+            seq: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            rid: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            size: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            addr: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+            rkey: u32::from_le_bytes(b[32..36].try_into().unwrap()),
+            kind,
+            ts: u64::from_le_bytes(b[TS_OFFSET..TS_OFFSET + 8].try_into().unwrap()),
+        })
+    }
+}
+
+/// Producer-side ledger state for one peer direction.
+#[derive(Debug)]
+pub struct LedgerTx {
+    slots: u64,
+    produced: u64,
+    /// Consumer's consumed count, as last read from the local credit word.
+    credits_seen: u64,
+}
+
+impl LedgerTx {
+    /// Producer over a ledger of `slots` entries.
+    pub fn new(slots: usize) -> LedgerTx {
+        assert!(slots >= 2, "ledger needs at least 2 slots");
+        LedgerTx { slots: slots as u64, produced: 0, credits_seen: 0 }
+    }
+
+    /// Refresh flow-control state from the credit word value `consumed`.
+    /// Stale (smaller) values are ignored.
+    pub fn update_credits(&mut self, consumed: u64) {
+        debug_assert!(consumed <= self.produced);
+        self.credits_seen = self.credits_seen.max(consumed);
+    }
+
+    /// Entries that may be produced before blocking.
+    pub fn available(&self) -> u64 {
+        self.slots - (self.produced - self.credits_seen)
+    }
+
+    /// Reserve the next slot. Returns `(slot_index, seq)` or `None` when out
+    /// of credits.
+    pub fn try_produce(&mut self) -> Option<(usize, u64)> {
+        if self.available() == 0 {
+            return None;
+        }
+        let seq = self.produced + 1;
+        let slot = (self.produced % self.slots) as usize;
+        self.produced = seq;
+        Some((slot, seq))
+    }
+
+    /// Byte offset of `slot` within the remote ledger area.
+    pub fn slot_offset(&self, slot: usize) -> usize {
+        slot * ENTRY_BYTES
+    }
+
+    /// Total entries produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+/// Consumer-side ledger state for one peer direction.
+#[derive(Debug)]
+pub struct LedgerRx {
+    slots: u64,
+    consumed: u64,
+    last_credit_return: u64,
+    credit_interval: u64,
+}
+
+impl LedgerRx {
+    /// Consumer over a ledger of `slots` entries, returning credits every
+    /// `credit_interval` consumed entries.
+    pub fn new(slots: usize, credit_interval: u64) -> LedgerRx {
+        assert!(slots >= 2);
+        LedgerRx {
+            slots: slots as u64,
+            consumed: 0,
+            last_credit_return: 0,
+            credit_interval: credit_interval.max(1),
+        }
+    }
+
+    /// Byte offset (within the local ledger area) of the slot the next valid
+    /// entry must appear in.
+    pub fn head_offset(&self) -> usize {
+        ((self.consumed % self.slots) as usize) * ENTRY_BYTES
+    }
+
+    /// The sequence number the next valid entry must carry.
+    pub fn expected_seq(&self) -> u64 {
+        self.consumed + 1
+    }
+
+    /// Inspect decoded `entry` bytes from the head slot: if it carries the
+    /// expected sequence, consume it and return it.
+    pub fn accept(&mut self, bytes: &[u8]) -> Option<Entry> {
+        let e = Entry::decode(bytes)?;
+        if e.seq != self.expected_seq() {
+            return None;
+        }
+        self.consumed += 1;
+        Some(e)
+    }
+
+    /// If enough entries have been consumed since the last credit return,
+    /// emit the consumed count that should be written to the producer's
+    /// credit word.
+    pub fn credit_due(&mut self) -> Option<u64> {
+        if self.consumed - self.last_credit_return >= self.credit_interval {
+            self.last_credit_return = self.consumed;
+            Some(self.consumed)
+        } else {
+            None
+        }
+    }
+
+    /// Total entries consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(seq: u64, rid: u64) -> Entry {
+        Entry { seq, rid, size: 0, addr: 0, rkey: 0, kind: EntryKind::Completion, ts: 0 }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let e = Entry {
+            seq: 42,
+            rid: 0xdead_beef_cafe,
+            size: 4096,
+            addr: 0x1000_0040,
+            rkey: 17,
+            kind: EntryKind::RdvPost,
+            ts: 123_456,
+        };
+        assert_eq!(Entry::decode(&e.encode()), Some(e));
+    }
+
+    #[test]
+    fn zeroed_slot_decodes_to_none() {
+        assert_eq!(Entry::decode(&[0u8; ENTRY_BYTES]), None);
+    }
+
+    #[test]
+    fn producer_blocks_without_credits() {
+        let mut tx = LedgerTx::new(4);
+        for i in 0..4 {
+            let (slot, seq) = tx.try_produce().unwrap();
+            assert_eq!(slot, i as usize);
+            assert_eq!(seq, i + 1);
+        }
+        assert_eq!(tx.available(), 0);
+        assert!(tx.try_produce().is_none());
+        tx.update_credits(2);
+        assert_eq!(tx.available(), 2);
+        let (slot, seq) = tx.try_produce().unwrap();
+        assert_eq!((slot, seq), (0, 5), "wraps to slot 0 with fresh seq");
+    }
+
+    #[test]
+    fn stale_credit_updates_ignored() {
+        let mut tx = LedgerTx::new(4);
+        tx.try_produce().unwrap();
+        tx.try_produce().unwrap();
+        tx.update_credits(2);
+        tx.update_credits(1); // stale
+        assert_eq!(tx.available(), 4);
+    }
+
+    #[test]
+    fn consumer_accepts_only_expected_seq() {
+        let mut rx = LedgerRx::new(4, 2);
+        assert_eq!(rx.head_offset(), 0);
+        // A stale entry (wrong seq) is not consumed.
+        assert!(rx.accept(&entry(5, 1).encode()).is_none());
+        assert_eq!(rx.consumed(), 0);
+        // The expected sequence is.
+        let got = rx.accept(&entry(1, 7).encode()).unwrap();
+        assert_eq!(got.rid, 7);
+        // Re-reading the same slot does not double-consume.
+        assert!(rx.accept(&entry(1, 7).encode()).is_none());
+        assert_eq!(rx.consumed(), 1);
+        assert_eq!(rx.head_offset(), ENTRY_BYTES);
+        assert_eq!(rx.expected_seq(), 2);
+    }
+
+    #[test]
+    fn credits_emitted_at_interval() {
+        let mut rx = LedgerRx::new(8, 3);
+        for i in 1..=9u64 {
+            rx.accept(&entry(i, 0).encode()).unwrap();
+            // Head advances one slot per entry... feed matching slots.
+            let due = rx.credit_due();
+            if i % 3 == 0 {
+                assert_eq!(due, Some(i));
+            } else {
+                assert_eq!(due, None);
+            }
+        }
+    }
+
+    proptest! {
+        /// Ledger ring invariant: under any interleaving of produce /
+        /// credit-return operations, the producer never holds more than
+        /// `slots` unconsumed entries, sequence numbers are dense, and every
+        /// produced entry is eventually consumable in order.
+        #[test]
+        fn ring_invariants(slots in 2usize..32, script in proptest::collection::vec(0u8..4, 1..200)) {
+            let mut tx = LedgerTx::new(slots);
+            let mut rx = LedgerRx::new(slots, 1);
+            // The simulated ledger memory.
+            let mut mem = vec![0u8; slots * ENTRY_BYTES];
+            let mut next_rid = 0u64;
+            let mut expected_next_consumed_rid = 0u64;
+            for step in script {
+                match step {
+                    // produce
+                    0 | 1 => {
+                        if let Some((slot, seq)) = tx.try_produce() {
+                            let e = entry(seq, next_rid);
+                            next_rid += 1;
+                            let off = tx.slot_offset(slot);
+                            mem[off..off + ENTRY_BYTES].copy_from_slice(&e.encode());
+                        }
+                    }
+                    // consume
+                    2 => {
+                        let off = rx.head_offset();
+                        if let Some(e) = rx.accept(&mem[off..off + ENTRY_BYTES]) {
+                            prop_assert_eq!(e.rid, expected_next_consumed_rid);
+                            expected_next_consumed_rid += 1;
+                        }
+                    }
+                    // return credits
+                    _ => {
+                        if let Some(c) = rx.credit_due() {
+                            tx.update_credits(c);
+                        }
+                    }
+                }
+                prop_assert!(tx.produced() - rx.consumed() <= slots as u64,
+                    "producer can never lap the consumer");
+                prop_assert!(tx.available() <= slots as u64);
+            }
+            // Drain: everything produced must be consumable, in order.
+            while rx.consumed() < tx.produced() {
+                let off = rx.head_offset();
+                let e = rx.accept(&mem[off..off + ENTRY_BYTES]).expect("entry must be valid");
+                prop_assert_eq!(e.rid, expected_next_consumed_rid);
+                expected_next_consumed_rid += 1;
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn entry_roundtrip_prop(seq in any::<u64>(), rid in any::<u64>(), size in any::<u64>(),
+                                addr in any::<u64>(), rkey in any::<u32>(), k in 1u8..=4) {
+            let e = Entry { seq, rid, size, addr, rkey, kind: EntryKind::from_u8(k).unwrap(), ts: seq ^ rid };
+            prop_assert_eq!(Entry::decode(&e.encode()), Some(e));
+        }
+    }
+}

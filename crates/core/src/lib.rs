@@ -1,0 +1,180 @@
+//! # photon-core — the Photon RMA middleware
+//!
+//! A Rust reproduction of *Photon: Remote Memory Access Middleware for
+//! High-Performance Runtime Systems* (Kissel & Swany, IPDRM 2016): the
+//! network layer of the HPX-5 runtime stack.
+//!
+//! Photon's central abstraction is **put/get-with-completion (PWC)**: a
+//! one-sided RDMA operation that carries *two* completion identifiers —
+//! a `local` id returned to the initiator when its buffer is reusable, and a
+//! `remote` id delivered to the *target*, which discovers it by probing.
+//! This gives runtime systems (parcel/active-message layers) one-sided data
+//! movement *with* remote progress notification, without tag matching,
+//! unexpected-message queues, or receiver-side posting.
+//!
+//! Delivery machinery, as in the original implementation:
+//!
+//! * **Completion ledgers** ([`ledger`]) — per-peer circular buffers in the
+//!   target's registered memory; producers append entries with plain RDMA
+//!   writes, consumers poll local memory. Flow control is credit-based, with
+//!   consumed-counts returned by RDMA writes to the producer's credit words.
+//! * **Eager rings** ([`eager`]) — for small payloads, the data and its
+//!   completion ride in a *single* RDMA write of a self-describing frame
+//!   into a per-peer ring; the consumer copies the payload to its final
+//!   destination at probe time.
+//! * **Rendezvous** ([`Photon::post_recv_buffer`] & friends) — the legacy
+//!   Photon buffer-exchange protocol: the receiver announces a registered
+//!   buffer, the sender RDMA-writes into it and posts a FIN.
+//! * **Collectives** ([`collectives`]) — barrier, broadcast, reduce,
+//!   allreduce and all-to-all built purely from PWC operations.
+//!
+//! The fabric backend is the simulated RDMA fabric from [`photon_fabric`]
+//! (see `DESIGN.md` for the substitution rationale); all protocol state
+//! machines are independent of it and are unit/property-tested in isolation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use photon_core::{PhotonCluster, PhotonConfig, Event};
+//! use photon_fabric::NetworkModel;
+//!
+//! // Two "nodes" over a modeled FDR InfiniBand fabric.
+//! let cluster = PhotonCluster::new(2, NetworkModel::ib_fdr(), PhotonConfig::default());
+//! let p0 = cluster.rank(0);
+//! let p1 = cluster.rank(1);
+//!
+//! // Rank 1 exposes a buffer; descriptors are exchanged out-of-band here.
+//! let dst = p1.register_buffer(64).unwrap();
+//! let src = p0.register_buffer(64).unwrap();
+//! src.write_at(0, b"hello photon");
+//!
+//! // Rank 0: put-with-completion, local id 7, remote id 99.
+//! p0.put_with_completion(1, &src, 0, 12, &dst.descriptor(), 0, 7, 99).unwrap();
+//!
+//! // Rank 0 sees its local completion...
+//! let ev = p0.wait_event().unwrap();
+//! assert!(matches!(ev, Event::Local { rid: 7, .. }));
+//! // ...and rank 1 discovers the remote completion by probing.
+//! let ev = p1.wait_event().unwrap();
+//! match ev {
+//!     Event::Remote(r) => assert_eq!(r.rid, 99),
+//!     _ => panic!("expected remote completion"),
+//! }
+//! assert_eq!(dst.to_vec(0, 12), b"hello photon");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomics;
+pub mod buffers;
+pub mod collectives;
+pub mod config;
+pub mod eager;
+pub mod ledger;
+pub mod photon;
+pub mod pool;
+pub mod probe;
+pub mod rendezvous;
+pub mod stats;
+pub mod trace;
+
+pub use buffers::PhotonBuffer;
+pub use collectives::ReduceOp;
+pub use config::PhotonConfig;
+pub use photon::{Photon, PhotonCluster};
+pub use pool::BufferPool;
+pub use probe::{Event, ProbeFlags, RemoteEvent};
+pub use stats::StatsSnapshot;
+pub use trace::{TraceOp, TraceRecord, Tracer};
+
+use photon_fabric::FabricError;
+use std::fmt;
+
+/// A rank in the Photon job (dense, 0-based).
+pub type Rank = usize;
+
+/// Errors surfaced by the middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhotonError {
+    /// An underlying fabric error (protection, resource, connectivity).
+    Fabric(FabricError),
+    /// The per-peer ledger or eager ring is out of credits; retry after the
+    /// peer probes (the blocking wrappers do this automatically).
+    WouldBlock,
+    /// Rank out of range for this job.
+    InvalidRank(Rank),
+    /// The payload cannot ever fit the eager ring and no remote buffer was
+    /// supplied (use the rendezvous API instead).
+    MessageTooLarge {
+        /// Requested payload length.
+        len: usize,
+        /// Maximum a single eager frame can carry under this config.
+        max: usize,
+    },
+    /// Access outside a buffer's bounds.
+    OutOfRange {
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Buffer capacity.
+        cap: usize,
+    },
+    /// A blocking wait exceeded the wall-clock deadline (deadlock guard).
+    Timeout(&'static str),
+    /// Collective participants disagree about parameters.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for PhotonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhotonError::Fabric(e) => write!(f, "fabric: {e}"),
+            PhotonError::WouldBlock => write!(f, "out of credits (would block)"),
+            PhotonError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            PhotonError::MessageTooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds eager capacity {max}")
+            }
+            PhotonError::OutOfRange { offset, len, cap } => {
+                write!(f, "range [{offset}, +{len}) outside buffer of {cap} bytes")
+            }
+            PhotonError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            PhotonError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PhotonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PhotonError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for PhotonError {
+    fn from(e: FabricError) -> Self {
+        PhotonError::Fabric(e)
+    }
+}
+
+/// Convenience alias used throughout the middleware.
+pub type Result<T> = std::result::Result<T, PhotonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = PhotonError::from(FabricError::CqOverflow);
+        assert!(e.to_string().contains("completion queue"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&PhotonError::WouldBlock).is_none());
+        assert_eq!(
+            PhotonError::MessageTooLarge { len: 10, max: 5 }.to_string(),
+            "message of 10 bytes exceeds eager capacity 5"
+        );
+    }
+}

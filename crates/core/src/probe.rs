@@ -1,0 +1,119 @@
+//! Completion events and probing types.
+//!
+//! Photon surfaces progress through *probing*: the application (or the
+//! runtime's progress thread) repeatedly asks the context for the next
+//! completion event.  Local events answer "may I reuse / free this buffer?";
+//! remote events answer "what just landed in my memory, and what does it
+//! mean?" — the identifier is the meaning, assigned by the initiator.
+
+use crate::Rank;
+use photon_fabric::VTime;
+
+/// Which event classes a probe should consider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeFlags {
+    /// Only initiator-side (local) completions.
+    Local,
+    /// Only target-side (remote) completions.
+    Remote,
+    /// Either (local drained first).
+    Any,
+}
+
+/// A remote completion: a peer's PWC/send has fully arrived here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteEvent {
+    /// The initiating rank.
+    pub src: Rank,
+    /// The remote completion identifier the initiator attached.
+    pub rid: u64,
+    /// Payload size (0 for pure completions).
+    pub size: usize,
+    /// For destination-less sends: the payload itself.
+    pub payload: Option<Vec<u8>>,
+    /// Virtual arrival time.
+    pub ts: VTime,
+}
+
+/// A completion event returned by probing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An operation initiated locally has completed locally: the local
+    /// buffer is reusable.
+    Local {
+        /// The local completion identifier passed at initiation.
+        rid: u64,
+        /// Virtual time of local completion (injection finished).
+        ts: VTime,
+    },
+    /// A peer's operation has completed at this rank.
+    Remote(RemoteEvent),
+}
+
+impl Event {
+    /// The completion identifier regardless of direction.
+    pub fn rid(&self) -> u64 {
+        match self {
+            Event::Local { rid, .. } => *rid,
+            Event::Remote(r) => r.rid,
+        }
+    }
+
+    /// The event's virtual timestamp.
+    pub fn ts(&self) -> VTime {
+        match self {
+            Event::Local { ts, .. } => *ts,
+            Event::Remote(r) => r.ts,
+        }
+    }
+}
+
+/// Identifier namespaces.
+///
+/// User-visible rids live below [`rid_space::RESERVED_BASE`]; the middleware reserves
+/// the top byte for collectives and internal control so they can share the
+/// delivery channels without colliding with application identifiers.
+pub mod rid_space {
+    /// All rids at or above this value are reserved for the middleware.
+    pub const RESERVED_BASE: u64 = 0xFF00_0000_0000_0000;
+    /// Collective-operation namespace tag.
+    pub const COLLECTIVE: u64 = 0xFFC0_0000_0000_0000;
+
+    /// Does `rid` belong to the middleware-internal namespace?
+    pub fn is_reserved(rid: u64) -> bool {
+        rid >= RESERVED_BASE
+    }
+
+    /// Encode a collective rid from `(kind, generation, round, src)`.
+    pub fn collective(kind: u8, generation: u32, round: u8) -> u64 {
+        COLLECTIVE | ((kind as u64) << 40) | ((generation as u64) << 8) | round as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::Local { rid: 5, ts: VTime(10) };
+        assert_eq!(e.rid(), 5);
+        assert_eq!(e.ts(), VTime(10));
+        let r = Event::Remote(RemoteEvent { src: 2, rid: 9, size: 4, payload: None, ts: VTime(3) });
+        assert_eq!(r.rid(), 9);
+        assert_eq!(r.ts(), VTime(3));
+    }
+
+    #[test]
+    fn rid_namespaces_disjoint() {
+        assert!(!rid_space::is_reserved(0));
+        assert!(!rid_space::is_reserved(0xFEFF_FFFF_FFFF_FFFF));
+        assert!(rid_space::is_reserved(rid_space::collective(1, 0, 0)));
+        // Distinct parameters yield distinct rids.
+        let a = rid_space::collective(1, 7, 0);
+        let b = rid_space::collective(1, 7, 1);
+        let c = rid_space::collective(2, 7, 0);
+        let d = rid_space::collective(1, 8, 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+}

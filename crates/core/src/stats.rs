@@ -1,0 +1,96 @@
+//! Operation statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counters for one Photon context.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub(crate) puts_eager: AtomicU64,
+    pub(crate) puts_direct: AtomicU64,
+    pub(crate) gets: AtomicU64,
+    pub(crate) sends: AtomicU64,
+    pub(crate) local_completions: AtomicU64,
+    pub(crate) remote_completions: AtomicU64,
+    pub(crate) credit_stalls: AtomicU64,
+    pub(crate) credit_returns: AtomicU64,
+    pub(crate) bytes_put: AtomicU64,
+    pub(crate) bytes_got: AtomicU64,
+    pub(crate) rendezvous_ops: AtomicU64,
+    pub(crate) probes: AtomicU64,
+}
+
+impl Stats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            puts_eager: self.puts_eager.load(Ordering::Relaxed),
+            puts_direct: self.puts_direct.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            sends: self.sends.load(Ordering::Relaxed),
+            local_completions: self.local_completions.load(Ordering::Relaxed),
+            remote_completions: self.remote_completions.load(Ordering::Relaxed),
+            credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
+            credit_returns: self.credit_returns.load(Ordering::Relaxed),
+            bytes_put: self.bytes_put.load(Ordering::Relaxed),
+            bytes_got: self.bytes_got.load(Ordering::Relaxed),
+            rendezvous_ops: self.rendezvous_ops.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a context's statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Put-with-completion operations that took the eager (packed) path.
+    pub puts_eager: u64,
+    /// Put-with-completion operations that took the direct RDMA path.
+    pub puts_direct: u64,
+    /// Get(-with-completion) operations.
+    pub gets: u64,
+    /// Destination-less sends (parcel path).
+    pub sends: u64,
+    /// Local completions surfaced.
+    pub local_completions: u64,
+    /// Remote completions surfaced.
+    pub remote_completions: u64,
+    /// Times a producer found a ledger/ring out of credits.
+    pub credit_stalls: u64,
+    /// Credit-return writes issued.
+    pub credit_returns: u64,
+    /// Payload bytes put.
+    pub bytes_put: u64,
+    /// Payload bytes fetched by gets.
+    pub bytes_got: u64,
+    /// Rendezvous protocol steps executed.
+    pub rendezvous_ops: u64,
+    /// Probe calls.
+    pub probes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = Stats::default();
+        Stats::bump(&s.puts_eager);
+        Stats::bump(&s.puts_eager);
+        Stats::add(&s.bytes_put, 100);
+        let snap = s.snapshot();
+        assert_eq!(snap.puts_eager, 2);
+        assert_eq!(snap.bytes_put, 100);
+        assert_eq!(snap.gets, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Operation tracing.
+//!
+//! A lightweight, opt-in event log: when enabled on a context, every
+//! initiated operation and every surfaced completion appends a record with
+//! its virtual timestamp. Useful for debugging protocol schedules and for
+//! producing per-operation timelines from the experiment harness.
+//!
+//! Disabled contexts pay a single relaxed atomic load per would-be record.
+
+use crate::Rank;
+use parking_lot::Mutex;
+use photon_fabric::VTime;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What kind of operation a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Eager put-with-completion posted.
+    PutEager,
+    /// Direct (RDMA + ledger) put-with-completion posted.
+    PutDirect,
+    /// Plain one-sided put posted.
+    Put,
+    /// Get posted.
+    Get,
+    /// Destination-less send posted.
+    Send,
+    /// Local completion surfaced.
+    LocalDone,
+    /// Remote completion surfaced.
+    RemoteDone,
+    /// Credit-return write posted.
+    CreditReturn,
+    /// Rendezvous control step.
+    Rendezvous,
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceOp::PutEager => "put-eager",
+            TraceOp::PutDirect => "put-direct",
+            TraceOp::Put => "put",
+            TraceOp::Get => "get",
+            TraceOp::Send => "send",
+            TraceOp::LocalDone => "local-done",
+            TraceOp::RemoteDone => "remote-done",
+            TraceOp::CreditReturn => "credit-return",
+            TraceOp::Rendezvous => "rendezvous",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time the record was taken at.
+    pub ts: VTime,
+    /// Operation class.
+    pub op: TraceOp,
+    /// Peer rank involved (self for local-only records).
+    pub peer: Rank,
+    /// Completion identifier, when the op carries one.
+    pub rid: u64,
+    /// Payload size in bytes, when applicable.
+    pub size: usize,
+}
+
+/// The per-context trace buffer.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl Tracer {
+    /// Start recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (records are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Is recording active?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Append a record if enabled.
+    #[inline]
+    pub(crate) fn record(&self, ts: VTime, op: TraceOp, peer: Rank, rid: u64, size: usize) {
+        if self.is_enabled() {
+            self.records.lock().push(TraceRecord { ts, op, peer, rid, size });
+        }
+    }
+
+    /// Drain the recorded events (oldest first).
+    pub fn take(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Render the buffered records as CSV (`ts_ns,op,peer,rid,size`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("ts_ns,op,peer,rid,size\n");
+        for r in self.records.lock().iter() {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.ts.as_nanos(),
+                r.op,
+                r.peer,
+                r.rid,
+                r.size
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::default();
+        t.record(VTime(1), TraceOp::Put, 0, 1, 8);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_accumulates_and_drains() {
+        let t = Tracer::default();
+        t.enable();
+        t.record(VTime(10), TraceOp::Send, 1, 7, 64);
+        t.record(VTime(20), TraceOp::RemoteDone, 1, 7, 64);
+        assert_eq!(t.len(), 2);
+        let recs = t.take();
+        assert_eq!(recs[0].op, TraceOp::Send);
+        assert_eq!(recs[1].ts, VTime(20));
+        assert!(t.is_empty());
+        t.disable();
+        t.record(VTime(30), TraceOp::Put, 0, 0, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let t = Tracer::default();
+        t.enable();
+        t.record(VTime(5), TraceOp::PutEager, 2, 99, 128);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("ts_ns,op,peer,rid,size\n"));
+        assert!(csv.contains("5,put-eager,2,99,128"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Error types for fabric operations.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors surfaced by the simulated fabric.
+///
+/// These mirror the failure classes a verbs/uGNI consumer must handle:
+/// protection faults (bad rkey, out-of-bounds, wrong access flags),
+/// resource exhaustion (registration limits, CQ overflow, receive-not-ready)
+/// and connection errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The remote key does not name a registered region on the target node.
+    InvalidRkey {
+        /// Target node.
+        node: NodeId,
+        /// The unresolvable key.
+        rkey: u32,
+    },
+    /// The local key does not name a registered region.
+    InvalidLkey {
+        /// The unresolvable key.
+        lkey: u32,
+    },
+    /// The access touches bytes outside the registered region.
+    OutOfBounds {
+        /// Requested address.
+        addr: u64,
+        /// Requested length.
+        len: usize,
+        /// Base of the resolved region.
+        region_base: u64,
+        /// Length of the resolved region.
+        region_len: usize,
+    },
+    /// The region was not registered with the access flag the op requires.
+    AccessDenied {
+        /// The region's key.
+        rkey: u32,
+        /// Human label of the missing permission.
+        needed: &'static str,
+    },
+    /// The target node id does not exist in the cluster.
+    NoSuchNode {
+        /// The missing node id.
+        node: NodeId,
+    },
+    /// The queue pair number is unknown on this NIC.
+    NoSuchQp {
+        /// The unknown queue-pair number.
+        qp: u32,
+    },
+    /// Registration failed: the per-node registration limit is exhausted.
+    RegistrationLimit {
+        /// The node's pinning budget.
+        limit_bytes: usize,
+    },
+    /// A completion queue reached capacity and dropped an event.
+    CqOverflow,
+    /// The target had no posted receive and its pending-send backlog is full.
+    ReceiverNotReady {
+        /// The overwhelmed node.
+        node: NodeId,
+    },
+    /// Atomic operations require an 8-byte, 8-byte-aligned target.
+    BadAtomicTarget {
+        /// Requested address.
+        addr: u64,
+        /// Requested length.
+        len: usize,
+    },
+    /// Local and remote lengths disagree for an op that requires equality.
+    LengthMismatch {
+        /// Local slice length.
+        local: usize,
+        /// Remote slice length.
+        remote: usize,
+    },
+    /// The fabric (switch) has been shut down.
+    Down,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::InvalidRkey { node, rkey } => {
+                write!(f, "invalid rkey {rkey:#x} on node {node}")
+            }
+            FabricError::InvalidLkey { lkey } => write!(f, "invalid lkey {lkey:#x}"),
+            FabricError::OutOfBounds {
+                addr,
+                len,
+                region_base,
+                region_len,
+            } => write!(
+                f,
+                "access [{addr:#x}, +{len}) outside region [{region_base:#x}, +{region_len})"
+            ),
+            FabricError::AccessDenied { rkey, needed } => {
+                write!(f, "region {rkey:#x} lacks {needed} access")
+            }
+            FabricError::NoSuchNode { node } => write!(f, "no such node {node}"),
+            FabricError::NoSuchQp { qp } => write!(f, "no such qp {qp}"),
+            FabricError::RegistrationLimit { limit_bytes } => {
+                write!(f, "registration limit of {limit_bytes} bytes exhausted")
+            }
+            FabricError::CqOverflow => write!(f, "completion queue overflow"),
+            FabricError::ReceiverNotReady { node } => {
+                write!(f, "receiver on node {node} not ready (RNR)")
+            }
+            FabricError::BadAtomicTarget { addr, len } => {
+                write!(f, "bad atomic target [{addr:#x}, +{len})")
+            }
+            FabricError::LengthMismatch { local, remote } => {
+                write!(f, "length mismatch: local {local} vs remote {remote}")
+            }
+            FabricError::Down => write!(f, "fabric is down"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Convenience alias used throughout the fabric crate.
+pub type Result<T> = std::result::Result<T, FabricError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FabricError::InvalidRkey { node: 3, rkey: 0xab };
+        assert!(e.to_string().contains("0xab"));
+        assert!(e.to_string().contains("node 3"));
+        let e = FabricError::OutOfBounds {
+            addr: 0x1000,
+            len: 64,
+            region_base: 0x1000,
+            region_len: 32,
+        };
+        assert!(e.to_string().contains("outside region"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FabricError::CqOverflow, FabricError::CqOverflow);
+        assert_ne!(
+            FabricError::CqOverflow,
+            FabricError::ReceiverNotReady { node: 0 }
+        );
+    }
+}

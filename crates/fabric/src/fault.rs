@@ -1,0 +1,154 @@
+//! Fault and perturbation injection.
+//!
+//! RDMA fabrics are reliable transports, so we do not model loss; the faults
+//! that matter to middleware are *performance* faults (congested or degraded
+//! links, straggler NICs, OS noise) and *resource* faults (registration
+//! limits, CQ overflow — configured on [`crate::mr::MrTable`] and
+//! [`crate::verbs::Cq`] directly).  A [`FaultPlan`] perturbs the virtual-time
+//! model; it never corrupts data, so protocol invariants must hold under any
+//! plan.
+
+use crate::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A performance-fault plan applied by the switch when computing delivery
+/// times.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Extra one-way latency per directed link `(src, dst)`, nanoseconds.
+    link_extra_ns: RwLock<HashMap<(NodeId, NodeId), u64>>,
+    /// Extra latency for every packet touching this node (straggler NIC).
+    node_extra_ns: RwLock<HashMap<NodeId, u64>>,
+    /// Uniform deterministic jitter bound (0 = disabled), nanoseconds.
+    jitter_ns: AtomicU64,
+    /// Sequence counter feeding the jitter hash.
+    seq: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no perturbation).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add `extra_ns` of latency to every packet on the directed link
+    /// `src -> dst`.
+    pub fn degrade_link(&self, src: NodeId, dst: NodeId, extra_ns: u64) {
+        self.link_extra_ns.write().insert((src, dst), extra_ns);
+    }
+
+    /// Remove a link degradation.
+    pub fn heal_link(&self, src: NodeId, dst: NodeId) {
+        self.link_extra_ns.write().remove(&(src, dst));
+    }
+
+    /// Make `node` a straggler: every packet it sends or receives pays
+    /// `extra_ns` more.
+    pub fn straggle_node(&self, node: NodeId, extra_ns: u64) {
+        self.node_extra_ns.write().insert(node, extra_ns);
+    }
+
+    /// Remove a node straggler entry.
+    pub fn heal_node(&self, node: NodeId) {
+        self.node_extra_ns.write().remove(&node);
+    }
+
+    /// Enable deterministic per-packet jitter uniform in `[0, bound_ns)`.
+    pub fn set_jitter(&self, bound_ns: u64) {
+        self.jitter_ns.store(bound_ns, Ordering::Relaxed);
+    }
+
+    /// Total extra latency to charge a packet `src -> dst`.
+    pub fn extra_latency(&self, src: NodeId, dst: NodeId) -> u64 {
+        let mut extra = 0;
+        if let Some(e) = self.link_extra_ns.read().get(&(src, dst)) {
+            extra += e;
+        }
+        {
+            let nodes = self.node_extra_ns.read();
+            if let Some(e) = nodes.get(&src) {
+                extra += e;
+            }
+            if let Some(e) = nodes.get(&dst) {
+                extra += e;
+            }
+        }
+        let bound = self.jitter_ns.load(Ordering::Relaxed);
+        if bound > 0 {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            extra += splitmix64(seq ^ ((src as u64) << 32) ^ dst as u64) % bound;
+        }
+        extra
+    }
+
+    /// True when the plan perturbs nothing (fast-path check).
+    pub fn is_empty(&self) -> bool {
+        self.jitter_ns.load(Ordering::Relaxed) == 0
+            && self.link_extra_ns.read().is_empty()
+            && self.node_extra_ns.read().is_empty()
+    }
+}
+
+/// SplitMix64: deterministic 64-bit mixer for jitter generation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_free() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.extra_latency(0, 1), 0);
+    }
+
+    #[test]
+    fn link_degradation_is_directional() {
+        let p = FaultPlan::none();
+        p.degrade_link(0, 1, 500);
+        assert_eq!(p.extra_latency(0, 1), 500);
+        assert_eq!(p.extra_latency(1, 0), 0);
+        p.heal_link(0, 1);
+        assert_eq!(p.extra_latency(0, 1), 0);
+    }
+
+    #[test]
+    fn straggler_charges_both_directions() {
+        let p = FaultPlan::none();
+        p.straggle_node(2, 100);
+        assert_eq!(p.extra_latency(2, 5), 100);
+        assert_eq!(p.extra_latency(5, 2), 100);
+        assert_eq!(p.extra_latency(3, 4), 0);
+        // Degradations compose.
+        p.degrade_link(2, 5, 50);
+        assert_eq!(p.extra_latency(2, 5), 150);
+        p.heal_node(2);
+        assert_eq!(p.extra_latency(2, 5), 50);
+    }
+
+    #[test]
+    fn jitter_bounded_and_nonconstant() {
+        let p = FaultPlan::none();
+        p.set_jitter(64);
+        assert!(!p.is_empty());
+        let samples: Vec<u64> = (0..256).map(|_| p.extra_latency(0, 1)).collect();
+        assert!(samples.iter().all(|&s| s < 64));
+        assert!(samples.iter().any(|&s| s != samples[0]), "jitter should vary");
+    }
+
+    #[test]
+    fn splitmix_spreads() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+}

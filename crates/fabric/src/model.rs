@@ -1,0 +1,201 @@
+//! LogGP-style network model.
+//!
+//! Each interconnect is parameterized by the classic LogGP tuple
+//! (Alexandrov et al.): wire latency *L*, CPU injection overhead *o*,
+//! inter-message gap *g* (reciprocal of the NIC message rate), and per-byte
+//! gap *G* (reciprocal of bandwidth).  The presets below are calibrated to
+//! the interconnect classes the Photon paper's era evaluated on: FDR
+//! InfiniBand, Cray Gemini (uGNI), and 10 GbE sockets.
+//!
+//! The numbers do not have to match the authors' testbed exactly — the goal
+//! is that protocol comparisons over the model reproduce the published
+//! *shapes*: sub-microsecond small-message floors on IB, bandwidth saturation
+//! around the rendezvous threshold, message-rate ceilings set by `g`.
+
+/// A LogGP network model plus memory-registration cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// `L`: one-way wire latency in nanoseconds.
+    pub latency_ns: u64,
+    /// `o`: CPU/NIC injection overhead per operation, nanoseconds.
+    pub send_overhead_ns: u64,
+    /// `g`: minimum gap between message injections, nanoseconds
+    /// (`1e9 / g` is the peak message rate).
+    pub msg_gap_ns: u64,
+    /// `G`: per-byte gap in **picoseconds** (`1e12 / G` is the bandwidth in
+    /// bytes/second). Picoseconds keep sub-ns/byte rates in integer math.
+    pub byte_time_ps: u64,
+    /// Fixed cost of a memory registration (pinning setup), nanoseconds.
+    pub reg_base_ns: u64,
+    /// Incremental registration cost per 4 KiB page, nanoseconds.
+    pub reg_page_ns: u64,
+}
+
+/// Size of the page used for registration cost accounting.
+pub const PAGE_SIZE: usize = 4096;
+
+impl NetworkModel {
+    /// FDR InfiniBand (56 Gb/s): ~0.7 µs latency, ~150 Mmsg/s ceiling.
+    pub fn ib_fdr() -> Self {
+        NetworkModel {
+            latency_ns: 700,
+            send_overhead_ns: 80,
+            msg_gap_ns: 25,
+            byte_time_ps: 143, // 56 Gb/s = 7.0 GB/s = 142.9 ps/B
+            reg_base_ns: 1_500,
+            reg_page_ns: 120,
+        }
+    }
+
+    /// Cray Gemini (uGNI): higher latency, ~38 Gb/s effective.
+    pub fn cray_gemini() -> Self {
+        NetworkModel {
+            latency_ns: 1_300,
+            send_overhead_ns: 150,
+            msg_gap_ns: 60,
+            byte_time_ps: 211, // ~4.75 GB/s
+            reg_base_ns: 2_500,
+            reg_page_ns: 180,
+        }
+    }
+
+    /// 10 GbE with a sockets-like stack: tens of µs latency.
+    pub fn ethernet_10g() -> Self {
+        NetworkModel {
+            latency_ns: 15_000,
+            send_overhead_ns: 2_000,
+            msg_gap_ns: 600,
+            byte_time_ps: 800, // 1.25 GB/s
+            reg_base_ns: 0,    // no pinning on the sockets path
+            reg_page_ns: 0,
+        }
+    }
+
+    /// An idealized zero-cost network; useful for isolating software
+    /// overheads in wall-clock microbenchmarks.
+    pub fn ideal() -> Self {
+        NetworkModel {
+            latency_ns: 0,
+            send_overhead_ns: 0,
+            msg_gap_ns: 0,
+            byte_time_ps: 0,
+            reg_base_ns: 0,
+            reg_page_ns: 0,
+        }
+    }
+
+    /// Serialization time for `bytes` on the wire, nanoseconds (rounded up).
+    #[inline]
+    pub fn serialize_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.byte_time_ps).div_ceil(1000)
+    }
+
+    /// Time the egress port is held by one message of `bytes`:
+    /// `max(g, bytes * G)` — small messages are limited by message rate,
+    /// large ones by bandwidth.
+    #[inline]
+    pub fn egress_hold_ns(&self, bytes: usize) -> u64 {
+        self.msg_gap_ns.max(self.serialize_ns(bytes))
+    }
+
+    /// Analytic one-way time for a single isolated message of `bytes`
+    /// (`o + s + L`): used by model-validation tests and experiment E11.
+    #[inline]
+    pub fn oneway_ns(&self, bytes: usize) -> u64 {
+        self.send_overhead_ns + self.serialize_ns(bytes) + self.latency_ns
+    }
+
+    /// Modeled cost of registering a buffer of `len` bytes.
+    #[inline]
+    pub fn registration_ns(&self, len: usize) -> u64 {
+        let pages = len.div_ceil(PAGE_SIZE) as u64;
+        self.reg_base_ns + pages * self.reg_page_ns
+    }
+
+    /// Peak bandwidth in bytes per second (`u64::MAX` for the ideal model).
+    pub fn bandwidth_bytes_per_sec(&self) -> u64 {
+        1_000_000_000_000u64
+            .checked_div(self.byte_time_ps)
+            .unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for NetworkModel {
+    /// The default model is FDR InfiniBand, the Photon paper era's standard
+    /// cluster interconnect.
+    fn default() -> Self {
+        NetworkModel::ib_fdr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_rounds_up() {
+        let m = NetworkModel::ib_fdr();
+        assert_eq!(m.serialize_ns(0), 0);
+        // 1 byte at 143 ps/B rounds up to 1 ns.
+        assert_eq!(m.serialize_ns(1), 1);
+        // 1 MiB at 7 GB/s is ~150 us.
+        let t = m.serialize_ns(1 << 20);
+        assert!((149_000..151_000).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn egress_hold_small_is_gap_limited() {
+        let m = NetworkModel::ib_fdr();
+        assert_eq!(m.egress_hold_ns(8), m.msg_gap_ns);
+        assert!(m.egress_hold_ns(1 << 20) > m.msg_gap_ns);
+    }
+
+    #[test]
+    fn oneway_monotone_in_size() {
+        for m in [
+            NetworkModel::ib_fdr(),
+            NetworkModel::cray_gemini(),
+            NetworkModel::ethernet_10g(),
+        ] {
+            let mut prev = 0;
+            for sz in [0usize, 8, 64, 1024, 65536, 1 << 20] {
+                let t = m.oneway_ns(sz);
+                assert!(t >= prev, "one-way time must be monotone in size");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_is_free() {
+        let m = NetworkModel::ideal();
+        assert_eq!(m.oneway_ns(1 << 30), 0);
+        assert_eq!(m.registration_ns(1 << 30), 0);
+        assert_eq!(m.bandwidth_bytes_per_sec(), u64::MAX);
+    }
+
+    #[test]
+    fn registration_cost_scales_with_pages() {
+        let m = NetworkModel::ib_fdr();
+        let one_page = m.registration_ns(1);
+        assert_eq!(one_page, m.reg_base_ns + m.reg_page_ns);
+        assert_eq!(m.registration_ns(PAGE_SIZE), one_page);
+        assert_eq!(
+            m.registration_ns(PAGE_SIZE + 1),
+            m.reg_base_ns + 2 * m.reg_page_ns
+        );
+    }
+
+    #[test]
+    fn preset_ordering_sane() {
+        // IB beats Gemini beats Ethernet on latency and bandwidth.
+        let ib = NetworkModel::ib_fdr();
+        let gm = NetworkModel::cray_gemini();
+        let et = NetworkModel::ethernet_10g();
+        assert!(ib.latency_ns < gm.latency_ns && gm.latency_ns < et.latency_ns);
+        assert!(
+            ib.bandwidth_bytes_per_sec() > gm.bandwidth_bytes_per_sec()
+                && gm.bandwidth_bytes_per_sec() > et.bandwidth_bytes_per_sec()
+        );
+    }
+}

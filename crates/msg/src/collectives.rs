@@ -1,0 +1,179 @@
+//! Collectives for the baseline, built from tag-matched send/recv.
+
+use crate::{MsgEndpoint, MsgError, Rank, Result, RESERVED_TAG_BASE};
+
+const KIND_BARRIER: u64 = 1;
+const KIND_BCAST: u64 = 2;
+const KIND_REDUCE: u64 = 3;
+const KIND_ALLREDUCE_BCAST: u64 = 4;
+
+fn ctag(kind: u64, gen: u64, round: u64) -> u64 {
+    RESERVED_TAG_BASE | (kind << 48) | ((gen & 0xFFFF_FFFF) << 8) | (round & 0xFF)
+}
+
+impl MsgEndpoint {
+    /// Dissemination barrier over send/recv.
+    pub fn barrier(&self) -> Result<()> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let gen = self.internal_gen();
+        let mut dist = 1usize;
+        let mut round = 0u64;
+        while dist < n {
+            let dst = (self.rank() + dist) % n;
+            let src = (self.rank() + n - dist) % n;
+            self.send(dst, &[], ctag(KIND_BARRIER, gen, round))?;
+            self.recv(Some(src), Some(ctag(KIND_BARRIER, gen, round)))?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial broadcast from `root`.
+    pub fn bcast(&self, root: Rank, data: &mut Vec<u8>) -> Result<()> {
+        if root >= self.size() {
+            return Err(MsgError::InvalidRank(root));
+        }
+        let gen = self.internal_gen();
+        self.bcast_internal(root, data, KIND_BCAST, gen)
+    }
+
+    fn bcast_internal(&self, root: Rank, data: &mut Vec<u8>, kind: u64, gen: u64) -> Result<()> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let tag = ctag(kind, gen, 0);
+        let vr = (self.rank() + n - root) % n;
+        let mut recv_mask = 1usize;
+        if vr != 0 {
+            while vr & recv_mask == 0 {
+                recv_mask <<= 1;
+            }
+            let parent = (vr - recv_mask + root) % n;
+            let m = self.recv(Some(parent), Some(tag))?;
+            *data = m.data;
+        } else {
+            recv_mask = n.next_power_of_two();
+        }
+        let mut m = recv_mask >> 1;
+        while m >= 1 {
+            if vr + m < n {
+                let child = (vr + m + root) % n;
+                self.send(child, data, tag)?;
+            }
+            if m == 1 {
+                break;
+            }
+            m >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Allreduce (element-wise wrapping sum) over `u64`: binomial reduce to
+    /// rank 0, then broadcast.
+    pub fn allreduce_u64_sum(&self, data: &mut [u64]) -> Result<()> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let gen = self.internal_gen();
+        let vr = self.rank();
+        let mut mask = 1usize;
+        let mut round = 0u64;
+        while mask < n {
+            if vr & mask != 0 {
+                let parent = vr - mask;
+                let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+                self.send(parent, &bytes, ctag(KIND_REDUCE, gen, round))?;
+                break;
+            } else if vr + mask < n {
+                let m = self.recv(Some(vr + mask), Some(ctag(KIND_REDUCE, gen, round)))?;
+                if m.data.len() != data.len() * 8 {
+                    return Err(MsgError::Protocol("allreduce length mismatch"));
+                }
+                for (d, c) in data.iter_mut().zip(m.data.chunks_exact(8)) {
+                    *d = d.wrapping_add(u64::from_le_bytes(c.try_into().unwrap()));
+                }
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        let mut bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.bcast_internal(0, &mut bytes, KIND_ALLREDUCE_BCAST, gen)?;
+        for (d, c) in data.iter_mut().zip(bytes.chunks_exact(8)) {
+            *d = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MsgCluster, MsgConfig};
+    use photon_fabric::NetworkModel;
+
+    fn run_all(c: &MsgCluster, f: impl Fn(&MsgEndpoint) + Sync) {
+        std::thread::scope(|s| {
+            for e in c.ranks() {
+                let f = &f;
+                s.spawn(move || f(e));
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_various_sizes() {
+        for n in [1, 2, 3, 5, 8] {
+            let c = MsgCluster::new(n, NetworkModel::ib_fdr(), MsgConfig::default());
+            run_all(&c, |e| {
+                for _ in 0..3 {
+                    e.barrier().unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_all_roots() {
+        let n = 4;
+        for root in 0..n {
+            let c = MsgCluster::new(n, NetworkModel::ib_fdr(), MsgConfig::default());
+            run_all(&c, |e| {
+                let mut data = if e.rank() == root { vec![9u8; 33] } else { Vec::new() };
+                e.bcast(root, &mut data).unwrap();
+                assert_eq!(data, vec![9u8; 33]);
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let n = 6;
+        let c = MsgCluster::new(n, NetworkModel::ib_fdr(), MsgConfig::default());
+        run_all(&c, |e| {
+            let mut v = vec![e.rank() as u64, 2 * e.rank() as u64];
+            e.allreduce_u64_sum(&mut v).unwrap();
+            assert_eq!(v, vec![15, 30]);
+        });
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p() {
+        let n = 3;
+        let c = MsgCluster::new(n, NetworkModel::ib_fdr(), MsgConfig::default());
+        run_all(&c, |e| {
+            let next = (e.rank() + 1) % 3;
+            let prev = (e.rank() + 2) % 3;
+            e.send(next, &[e.rank() as u8], 1000).unwrap();
+            e.barrier().unwrap();
+            let m = e.recv(Some(prev), Some(1000)).unwrap();
+            assert_eq!(m.data, vec![prev as u8]);
+            e.barrier().unwrap();
+        });
+    }
+}

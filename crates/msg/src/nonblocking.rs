@@ -1,0 +1,177 @@
+//! Nonblocking point-to-point (MPI `isend`/`irecv`/`wait`/`test` analogue).
+//!
+//! Requests are handles over the same engine state as the blocking calls:
+//! `irecv` posts a matching request immediately; `isend` is eager-immediate
+//! for small messages (the send buffer is copied out before return) and
+//! deferred-rendezvous for large ones, completing when the CTS round trip
+//! finishes.
+
+use crate::endpoint::{MsgEndpoint, RecvMsg};
+use crate::{Rank, Result};
+
+/// A nonblocking receive in flight.
+#[derive(Debug)]
+pub struct RecvRequest {
+    req: u64,
+    done: Option<RecvMsg>,
+}
+
+/// A nonblocking send in flight.
+#[derive(Debug)]
+pub struct SendRequest {
+    /// Rendezvous transfer id still outstanding, if any (eager sends
+    /// complete immediately).
+    xid: Option<u64>,
+}
+
+impl MsgEndpoint {
+    /// Post a nonblocking receive; complete it with
+    /// [`MsgEndpoint::wait_recv`] or poll with [`MsgEndpoint::test_recv`].
+    pub fn irecv(&self, src: Option<Rank>, tag: Option<u64>) -> Result<RecvRequest> {
+        let req = self.post_owned_recv(src, tag)?;
+        Ok(RecvRequest { req, done: None })
+    }
+
+    /// Block until the receive completes.
+    pub fn wait_recv(&self, mut r: RecvRequest) -> Result<RecvMsg> {
+        if let Some(m) = r.done.take() {
+            return Ok(m);
+        }
+        self.wait_req_pub(r.req)
+    }
+
+    /// Poll the receive: `Ok(true)` once complete (then use
+    /// [`MsgEndpoint::wait_recv`] to take the message without blocking).
+    pub fn test_recv(&self, r: &mut RecvRequest) -> Result<bool> {
+        if r.done.is_some() {
+            return Ok(true);
+        }
+        self.progress()?;
+        if let Some(m) = self.take_completed(r.req) {
+            r.done = Some(m);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Post a nonblocking send of `data`. Small messages are injected
+    /// eagerly before return (buffer immediately reusable); large ones
+    /// start a rendezvous that [`MsgEndpoint::wait_send`] completes.
+    pub fn isend(&self, peer: Rank, data: &[u8], tag: u64) -> Result<SendRequest> {
+        let xid = self.start_send(peer, data, tag)?;
+        Ok(SendRequest { xid })
+    }
+
+    /// Block until the send's source buffer is reusable.
+    pub fn wait_send(&self, r: SendRequest) -> Result<()> {
+        match r.xid {
+            None => Ok(()),
+            Some(xid) => self.wait_send_xid(xid),
+        }
+    }
+
+    /// Poll the send: `Ok(true)` once the source buffer is reusable.
+    /// A `true` result consumes the completion; pair with
+    /// [`MsgEndpoint::wait_send`] afterwards (which then returns at once).
+    pub fn test_send(&self, r: &mut SendRequest) -> Result<bool> {
+        match r.xid {
+            None => Ok(true),
+            Some(xid) => {
+                self.progress()?;
+                if self.send_xid_done(xid) {
+                    r.xid = None;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Wait for all of a batch of receives (order preserved).
+    pub fn wait_all_recv(&self, rs: Vec<RecvRequest>) -> Result<Vec<RecvMsg>> {
+        rs.into_iter().map(|r| self.wait_recv(r)).collect()
+    }
+
+    /// Wait for all of a batch of sends.
+    pub fn wait_all_send(&self, rs: Vec<SendRequest>) -> Result<()> {
+        for r in rs {
+            self.wait_send(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MsgCluster, MsgConfig};
+    use photon_fabric::NetworkModel;
+
+    fn pair() -> MsgCluster {
+        MsgCluster::new(2, NetworkModel::ib_fdr(), MsgConfig::default())
+    }
+
+    #[test]
+    fn irecv_before_send_completes() {
+        let c = pair();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        let mut r = e1.irecv(Some(0), Some(4)).unwrap();
+        assert!(!e1.test_recv(&mut r).unwrap());
+        e0.send(1, b"later", 4).unwrap();
+        let m = e1.wait_recv(r).unwrap();
+        assert_eq!(m.data, b"later");
+    }
+
+    #[test]
+    fn eager_isend_completes_immediately() {
+        let c = pair();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        let mut s = e0.isend(1, b"small", 1).unwrap();
+        assert!(e0.test_send(&mut s).unwrap(), "eager send is done at post");
+        e0.wait_send(s).unwrap();
+        assert_eq!(e1.recv(Some(0), Some(1)).unwrap().data, b"small");
+    }
+
+    #[test]
+    fn rendezvous_isend_overlaps_with_work() {
+        let c = pair();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        let len = 128 * 1024;
+        let data = vec![9u8; len];
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let s = e0.isend(1, &data, 2).unwrap();
+                // "Work" happens here while the rendezvous progresses.
+                e0.elapse(10_000);
+                e0.wait_send(s).unwrap();
+            });
+            scope.spawn(|| {
+                let m = e1.recv(Some(0), Some(2)).unwrap();
+                assert_eq!(m.len, len);
+            });
+        });
+    }
+
+    #[test]
+    fn many_outstanding_requests_wait_all() {
+        let c = pair();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let sends: Vec<_> = (0..20u64)
+                    .map(|i| e0.isend(1, &[i as u8; 16], i).unwrap())
+                    .collect();
+                e0.wait_all_send(sends).unwrap();
+            });
+            scope.spawn(|| {
+                let recvs: Vec<_> = (0..20u64)
+                    .map(|i| e1.irecv(Some(0), Some(i)).unwrap())
+                    .collect();
+                let msgs = e1.wait_all_recv(recvs).unwrap();
+                for (i, m) in msgs.iter().enumerate() {
+                    assert_eq!(m.data, vec![i as u8; 16]);
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,111 @@
+//! Wire header for two-sided messages.
+
+/// Header size prepended to every two-sided send.
+pub const HDR: usize = 48;
+
+/// Message classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Eager payload follows the header.
+    Eager,
+    /// Rendezvous request-to-send (no payload).
+    Rts,
+    /// Rendezvous clear-to-send: carries the landing descriptor.
+    Cts,
+    /// Rendezvous finished: the RDMA write has landed.
+    Fin,
+}
+
+impl MsgKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            MsgKind::Eager => 1,
+            MsgKind::Rts => 2,
+            MsgKind::Cts => 3,
+            MsgKind::Fin => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<MsgKind> {
+        match v {
+            1 => Some(MsgKind::Eager),
+            2 => Some(MsgKind::Rts),
+            3 => Some(MsgKind::Cts),
+            4 => Some(MsgKind::Fin),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Classification.
+    pub kind: MsgKind,
+    /// User tag (or internal collective tag).
+    pub tag: u64,
+    /// Payload size (eager) or transfer size (rendezvous).
+    pub size: u64,
+    /// Rendezvous transfer id.
+    pub xid: u64,
+    /// CTS: landing buffer address.
+    pub addr: u64,
+    /// CTS: landing buffer rkey.
+    pub rkey: u32,
+}
+
+impl Header {
+    /// Encode to the fixed wire format.
+    pub fn encode(&self) -> [u8; HDR] {
+        let mut b = [0u8; HDR];
+        b[0] = self.kind.to_u8();
+        b[8..16].copy_from_slice(&self.tag.to_le_bytes());
+        b[16..24].copy_from_slice(&self.size.to_le_bytes());
+        b[24..32].copy_from_slice(&self.xid.to_le_bytes());
+        b[32..40].copy_from_slice(&self.addr.to_le_bytes());
+        b[40..44].copy_from_slice(&self.rkey.to_le_bytes());
+        b
+    }
+
+    /// Decode; `None` for an invalid kind byte.
+    pub fn decode(b: &[u8]) -> Option<Header> {
+        debug_assert!(b.len() >= HDR);
+        Some(Header {
+            kind: MsgKind::from_u8(b[0])?,
+            tag: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            size: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            xid: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+            addr: u64::from_le_bytes(b[32..40].try_into().unwrap()),
+            rkey: u32::from_le_bytes(b[40..44].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = Header {
+            kind: MsgKind::Cts,
+            tag: 0xfeed,
+            size: 1 << 20,
+            xid: 42,
+            addr: 0x1000_0100,
+            rkey: 7,
+        };
+        assert_eq!(Header::decode(&h.encode()), Some(h));
+        assert_eq!(Header::decode(&[0u8; HDR]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_prop(k in 1u8..=4, tag in any::<u64>(), size in any::<u64>(),
+                          xid in any::<u64>(), addr in any::<u64>(), rkey in any::<u32>()) {
+            let h = Header { kind: MsgKind::from_u8(k).unwrap(), tag, size, xid, addr, rkey };
+            prop_assert_eq!(Header::decode(&h.encode()), Some(h));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Local control objects: the synchronization vocabulary of a parcel
+//! runtime (HPX-5's LCOs, abridged).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A global reference to an LCO: `(rank, id)`. Parcels carry these as
+//  continuations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LcoRef {
+    /// Owning rank.
+    pub rank: usize,
+    /// Id within the owner's LCO table.
+    pub id: u64,
+}
+
+/// A write-once future holding bytes.
+#[derive(Debug, Default)]
+pub struct FutureBytes {
+    state: Mutex<Option<Vec<u8>>>,
+    cv: Condvar,
+}
+
+impl FutureBytes {
+    /// An unset future.
+    pub fn new() -> Arc<FutureBytes> {
+        Arc::new(FutureBytes::default())
+    }
+
+    /// Set the value; later sets are ignored (write-once).
+    pub fn set(&self, v: Vec<u8>) {
+        let mut st = self.state.lock();
+        if st.is_none() {
+            *st = Some(v);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Non-blocking read.
+    pub fn try_get(&self) -> Option<Vec<u8>> {
+        self.state.lock().clone()
+    }
+
+    /// True once set.
+    pub fn is_set(&self) -> bool {
+        self.state.lock().is_some()
+    }
+
+    /// Block until set; returns a copy of the value.
+    pub fn wait(&self) -> Vec<u8> {
+        let mut st = self.state.lock();
+        while st.is_none() {
+            self.cv.wait(&mut st);
+        }
+        st.clone().expect("value present")
+    }
+}
+
+/// A latch that opens after `n` countdowns.
+#[derive(Debug)]
+pub struct CountdownLatch {
+    remaining: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl CountdownLatch {
+    /// A latch expecting `n` events.
+    pub fn new(n: u64) -> Arc<CountdownLatch> {
+        Arc::new(CountdownLatch { remaining: Mutex::new(n), cv: Condvar::new() })
+    }
+
+    /// Record one event.
+    pub fn count_down(&self) {
+        let mut r = self.remaining.lock();
+        if *r > 0 {
+            *r -= 1;
+            if *r == 0 {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Events still outstanding.
+    pub fn remaining(&self) -> u64 {
+        *self.remaining.lock()
+    }
+
+    /// Block until the latch opens.
+    pub fn wait(&self) {
+        let mut r = self.remaining.lock();
+        while *r > 0 {
+            self.cv.wait(&mut r);
+        }
+    }
+}
+
+/// A reduction LCO: accumulates `n` u64 contributions with `op`, then
+/// releases the reduced value.
+#[derive(Debug)]
+pub struct ReduceLco {
+    state: Mutex<(u64, u64)>, // (joined, acc)
+    expected: u64,
+    op: fn(u64, u64) -> u64,
+    cv: Condvar,
+}
+
+impl ReduceLco {
+    /// A reduction expecting `expected` joins, starting from `init`.
+    pub fn new(expected: u64, init: u64, op: fn(u64, u64) -> u64) -> Arc<ReduceLco> {
+        Arc::new(ReduceLco { state: Mutex::new((0, init)), expected, op, cv: Condvar::new() })
+    }
+
+    /// Contribute a value.
+    pub fn join(&self, v: u64) {
+        let mut st = self.state.lock();
+        st.0 += 1;
+        st.1 = (self.op)(st.1, v);
+        if st.0 >= self.expected {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until all contributions arrived; returns the reduced value.
+    pub fn wait(&self) -> u64 {
+        let mut st = self.state.lock();
+        while st.0 < self.expected {
+            self.cv.wait(&mut st);
+        }
+        st.1
+    }
+}
+
+/// Wait for every future in `futures`, returning their values in order.
+pub fn when_all(futures: &[Arc<FutureBytes>]) -> Vec<Vec<u8>> {
+    futures.iter().map(|f| f.wait()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn future_set_once() {
+        let f = FutureBytes::new();
+        assert!(!f.is_set());
+        assert!(f.try_get().is_none());
+        f.set(vec![1, 2]);
+        f.set(vec![9]); // ignored
+        assert_eq!(f.wait(), vec![1, 2]);
+        assert_eq!(f.try_get(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn future_wakes_waiters() {
+        let f = FutureBytes::new();
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || f2.wait());
+        thread::sleep(std::time::Duration::from_millis(20));
+        f.set(b"done".to_vec());
+        assert_eq!(h.join().unwrap(), b"done");
+    }
+
+    #[test]
+    fn latch_counts_down() {
+        let l = CountdownLatch::new(3);
+        let l2 = Arc::clone(&l);
+        let h = thread::spawn(move || l2.wait());
+        assert_eq!(l.remaining(), 3);
+        l.count_down();
+        l.count_down();
+        assert_eq!(l.remaining(), 1);
+        l.count_down();
+        h.join().unwrap();
+        // Extra countdowns are harmless.
+        l.count_down();
+        assert_eq!(l.remaining(), 0);
+    }
+
+    #[test]
+    fn when_all_collects_in_order() {
+        let futures: Vec<_> = (0..4).map(|_| FutureBytes::new()).collect();
+        let f2: Vec<_> = futures.iter().map(Arc::clone).collect();
+        let h = thread::spawn(move || when_all(&f2));
+        // Set out of order.
+        for i in [2usize, 0, 3, 1] {
+            thread::sleep(std::time::Duration::from_millis(2));
+            futures[i].set(vec![i as u8]);
+        }
+        assert_eq!(h.join().unwrap(), vec![vec![2u8- 2], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn reduce_lco_combines() {
+        let r = ReduceLco::new(4, 0, |a, b| a + b);
+        let handles: Vec<_> = (1..=4u64)
+            .map(|v| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || r.join(v * 10))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.wait(), 100);
+    }
+
+    #[test]
+    fn reduce_lco_max() {
+        let r = ReduceLco::new(3, u64::MIN, |a, b| a.max(b));
+        r.join(5);
+        r.join(17);
+        r.join(2);
+        assert_eq!(r.wait(), 17);
+    }
+}

@@ -1,0 +1,112 @@
+//! Parcels: the active-message unit.
+//!
+//! Wire format (little-endian):
+//!
+//! ```text
+//! [ action u32 | flags u8 | pad ×3 | cont_rank u32 | cont_id u64 | payload… ]
+//! ```
+
+use crate::lco::LcoRef;
+use crate::{ActionId, Rank, RtError};
+use bytes::Bytes;
+
+/// Parcel header size on the wire.
+pub const PARCEL_HDR: usize = 20;
+
+const FLAG_CONT: u8 = 1;
+
+/// An active message: run `action(payload)` at the target; if the handler
+/// returns bytes and a continuation is present, set that LCO with them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parcel {
+    /// Handler to run at the target.
+    pub action: ActionId,
+    /// Handler argument bytes.
+    pub payload: Bytes,
+    /// Optional continuation LCO (usually on the spawning rank).
+    pub cont: Option<LcoRef>,
+}
+
+impl Parcel {
+    /// A parcel with no continuation.
+    pub fn new(action: ActionId, payload: impl Into<Bytes>) -> Parcel {
+        Parcel { action, payload: payload.into(), cont: None }
+    }
+
+    /// A parcel whose result sets `cont`.
+    pub fn with_cont(action: ActionId, payload: impl Into<Bytes>, cont: LcoRef) -> Parcel {
+        Parcel { action, payload: payload.into(), cont: Some(cont) }
+    }
+
+    /// Encode for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(PARCEL_HDR + self.payload.len());
+        b.extend_from_slice(&self.action.to_le_bytes());
+        let (flags, crank, cid) = match &self.cont {
+            Some(c) => (FLAG_CONT, c.rank as u32, c.id),
+            None => (0, 0, 0),
+        };
+        b.push(flags);
+        b.extend_from_slice(&[0u8; 3]);
+        b.extend_from_slice(&crank.to_le_bytes());
+        b.extend_from_slice(&cid.to_le_bytes());
+        b.extend_from_slice(&self.payload);
+        b
+    }
+
+    /// Decode from the wire.
+    pub fn decode(b: &[u8]) -> Result<Parcel, RtError> {
+        if b.len() < PARCEL_HDR {
+            return Err(RtError::BadParcel("short header"));
+        }
+        let action = u32::from_le_bytes(b[0..4].try_into().unwrap());
+        let flags = b[4];
+        let cont = if flags & FLAG_CONT != 0 {
+            let rank = u32::from_le_bytes(b[8..12].try_into().unwrap()) as Rank;
+            let id = u64::from_le_bytes(b[12..20].try_into().unwrap());
+            Some(LcoRef { rank, id })
+        } else {
+            None
+        };
+        Ok(Parcel {
+            action,
+            payload: Bytes::copy_from_slice(&b[PARCEL_HDR..]),
+            cont,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_with_and_without_cont() {
+        let p = Parcel::new(17, &b"work"[..]);
+        assert_eq!(Parcel::decode(&p.encode()).unwrap(), p);
+        let c = Parcel::with_cont(99, &b""[..], LcoRef { rank: 3, id: 0xdead });
+        assert_eq!(Parcel::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(matches!(
+            Parcel::decode(&[0u8; 5]),
+            Err(RtError::BadParcel(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_prop(action in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..256),
+                          cont in proptest::option::of((0usize..64, any::<u64>()))) {
+            let p = Parcel {
+                action,
+                payload: Bytes::from(payload),
+                cont: cont.map(|(rank, id)| LcoRef { rank, id }),
+            };
+            prop_assert_eq!(Parcel::decode(&p.encode()).unwrap(), p);
+        }
+    }
+}

@@ -1,0 +1,782 @@
+//! The node runtime: parcel transport + scheduler + LCO table, glued to one
+//! Photon context per rank.
+
+use crate::action::{ActionId, ActionRegistry, RtContext};
+use crate::coalesce::{unpack, Coalescer};
+use crate::lco::{FutureBytes, LcoRef};
+use crate::parcel::Parcel;
+use crate::scheduler::Scheduler;
+use crate::{Rank, Result, RtError};
+use parking_lot::Mutex;
+use photon_core::{Event, Photon, PhotonCluster, PhotonConfig, ProbeFlags, RemoteEvent};
+use photon_fabric::NetworkModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Completion id of eager parcel messages on the runtime's Photon context.
+const RID_PARCEL: u64 = 1;
+/// Completion id of large-parcel rendezvous control messages.
+const RID_RDV_CTRL: u64 = 2;
+/// Completion id of coalesced parcel batches.
+const RID_PARCEL_BATCH: u64 = 3;
+
+/// Internal action: set an LCO with the payload.
+const ACTION_SET_LCO: ActionId = 0;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RtConfig {
+    /// Worker threads per node.
+    pub workers: usize,
+    /// Parcels with encodings at or below this size travel as one eager PWC
+    /// message; larger ones rendezvous.
+    pub parcel_eager_max: usize,
+    /// Coalesce up to this many small parcels per destination into one
+    /// eager message (0 disables coalescing). Batches also flush when full
+    /// for the wire, when the progress thread idles, or on
+    /// [`RtNode::flush_parcels`].
+    pub coalesce_max: usize,
+    /// The middleware configuration underneath.
+    pub photon: PhotonConfig,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            workers: 2,
+            parcel_eager_max: 8192,
+            coalesce_max: 0,
+            photon: PhotonConfig::default(),
+        }
+    }
+}
+
+/// Runtime statistics for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtStats {
+    /// Parcels sent (local short-circuits included).
+    pub parcels_sent: u64,
+    /// Parcels executed on this node.
+    pub parcels_run: u64,
+    /// Parcels that took the rendezvous path.
+    pub parcels_rdv: u64,
+    /// Coalesced batches flushed to the wire.
+    pub batches_sent: u64,
+}
+
+/// One rank of the runtime job.
+#[derive(Debug)]
+pub struct RtNode {
+    rank: Rank,
+    n: usize,
+    cfg: RtConfig,
+    photon: Arc<Photon>,
+    sched: Arc<Scheduler>,
+    registry: Arc<ActionRegistry>,
+    lcos: Mutex<HashMap<u64, Arc<FutureBytes>>>,
+    next_lco: AtomicU64,
+    next_tag: AtomicU64,
+    shutdown: AtomicBool,
+    parcels_sent: AtomicU64,
+    parcels_run: AtomicU64,
+    parcels_rdv: AtomicU64,
+    batches_sent: AtomicU64,
+    coalescer: Mutex<Coalescer>,
+    self_ref: Mutex<Option<Arc<RtNode>>>,
+}
+
+/// A whole runtime job: `n` nodes over one Photon cluster, with worker and
+/// progress threads running until [`RuntimeCluster::shutdown`].
+#[derive(Debug)]
+pub struct RuntimeCluster {
+    photon: PhotonCluster,
+    nodes: Vec<Arc<RtNode>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RuntimeCluster {
+    /// Boot an `n`-node runtime over `model` with the given action registry
+    /// (must contain every action any rank will invoke).
+    pub fn new(n: usize, model: NetworkModel, cfg: RtConfig, registry: ActionRegistry) -> RuntimeCluster {
+        let photon = PhotonCluster::new(n, model, cfg.photon);
+        let registry = Arc::new(registry);
+        let mut nodes = Vec::with_capacity(n);
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let (sched, mut worker_handles) = Scheduler::start(cfg.workers, &format!("rt{i}"));
+            let node = Arc::new(RtNode {
+                rank: i,
+                n,
+                cfg,
+                photon: Arc::clone(photon.rank(i)),
+                sched,
+                registry: Arc::clone(&registry),
+                lcos: Mutex::new(HashMap::new()),
+                next_lco: AtomicU64::new(1),
+                next_tag: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+                parcels_sent: AtomicU64::new(0),
+                parcels_run: AtomicU64::new(0),
+                parcels_rdv: AtomicU64::new(0),
+                batches_sent: AtomicU64::new(0),
+                coalescer: Mutex::new(Coalescer::new(n)),
+                self_ref: Mutex::new(None),
+            });
+            *node.self_ref.lock() = Some(Arc::clone(&node));
+            let progress_node = Arc::clone(&node);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rt{i}-progress"))
+                    .spawn(move || progress_node.progress_loop())
+                    .expect("spawn progress thread"),
+            );
+            handles.append(&mut worker_handles);
+            nodes.push(node);
+        }
+        RuntimeCluster { photon, nodes, handles: Mutex::new(handles) }
+    }
+
+    /// The node runtime for `rank`.
+    pub fn node(&self, rank: Rank) -> &Arc<RtNode> {
+        &self.nodes[rank]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<RtNode>] {
+        &self.nodes
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty job.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The Photon cluster underneath (experiments reach through for stats).
+    pub fn photon(&self) -> &PhotonCluster {
+        &self.photon
+    }
+
+    /// Stop progress threads and schedulers; joins all threads. Idempotent.
+    pub fn shutdown(&self) {
+        for node in &self.nodes {
+            node.shutdown.store(true, Ordering::Release);
+            node.sched.stop();
+        }
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        for node in &self.nodes {
+            node.self_ref.lock().take();
+        }
+    }
+}
+
+impl Drop for RuntimeCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl RtNode {
+    /// This node's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Ranks in the job.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The Photon context (collectives, buffers, virtual time).
+    pub fn photon(&self) -> &Arc<Photon> {
+        &self.photon
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> RtStats {
+        RtStats {
+            parcels_sent: self.parcels_sent.load(Ordering::Relaxed),
+            parcels_run: self.parcels_run.load(Ordering::Relaxed),
+            parcels_rdv: self.parcels_rdv.load(Ordering::Relaxed),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    fn me(&self) -> Arc<RtNode> {
+        self.self_ref.lock().clone().expect("runtime is live")
+    }
+
+    /// Allocate a future on this node; the [`LcoRef`] can ride in parcels
+    /// as a continuation.
+    pub fn new_future(&self) -> (LcoRef, Arc<FutureBytes>) {
+        let id = self.next_lco.fetch_add(1, Ordering::Relaxed);
+        let f = FutureBytes::new();
+        self.lcos.lock().insert(id, Arc::clone(&f));
+        (LcoRef { rank: self.rank, id }, f)
+    }
+
+    /// Spawn a local task on this node's workers.
+    pub fn spawn(&self, f: impl FnOnce(&RtContext<'_>) + Send + 'static) {
+        let node = self.me();
+        self.sched.submit(Box::new(move || {
+            let ctx = RtContext { node: &node, cont: None };
+            f(&ctx);
+        }));
+    }
+
+    /// Fire-and-forget active message.
+    pub fn send_parcel(&self, target: Rank, action: ActionId, payload: &[u8]) -> Result<()> {
+        self.send_parcel_inner(target, Parcel::new(action, payload.to_vec()))
+    }
+
+    /// Active message whose handler result sets `cont`.
+    pub fn send_parcel_with_cont(
+        &self,
+        target: Rank,
+        action: ActionId,
+        payload: &[u8],
+        cont: LcoRef,
+    ) -> Result<()> {
+        self.send_parcel_inner(target, Parcel::with_cont(action, payload.to_vec(), cont))
+    }
+
+    fn send_parcel_inner(&self, target: Rank, p: Parcel) -> Result<()> {
+        if target >= self.n {
+            return Err(RtError::InvalidRank(target));
+        }
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(RtError::ShuttingDown);
+        }
+        self.parcels_sent.fetch_add(1, Ordering::Relaxed);
+        if target == self.rank {
+            let node = self.me();
+            self.sched.submit(Box::new(move || node.run_parcel(p)));
+            return Ok(());
+        }
+        let enc = p.encode();
+        let eager_cap = self
+            .cfg
+            .parcel_eager_max
+            .min(self.photon.config().max_eager_payload());
+        if enc.len() > eager_cap {
+            return self.send_parcel_rendezvous(target, p);
+        }
+        if self.cfg.coalesce_max > 1 {
+            let flush = {
+                let mut co = self.coalescer.lock();
+                let batch = co.batch_mut(target);
+                // Flush first if appending would overflow the wire message.
+                if batch.wire_len() + enc.len() + 4 > eager_cap && batch.len() > 0 {
+                    Some(batch.take())
+                } else {
+                    None
+                }
+            };
+            if let Some(bytes) = flush {
+                self.send_batch(target, &bytes)?;
+            }
+            let full = {
+                let mut co = self.coalescer.lock();
+                let batch = co.batch_mut(target);
+                batch.push(&enc);
+                (batch.len() >= self.cfg.coalesce_max).then(|| batch.take())
+            };
+            if let Some(bytes) = full {
+                self.send_batch(target, &bytes)?;
+            }
+            return Ok(());
+        }
+        self.photon.send(target, &enc, RID_PARCEL)?;
+        Ok(())
+    }
+
+    fn send_batch(&self, target: Rank, bytes: &[u8]) -> Result<()> {
+        self.photon.send(target, bytes, RID_PARCEL_BATCH)?;
+        self.batches_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Send the same parcel to every rank (self included): the fan-out
+    /// primitive runtime broadcasts are built from.
+    pub fn broadcast_parcel(&self, action: ActionId, payload: &[u8]) -> Result<()> {
+        for r in 0..self.n {
+            self.send_parcel(r, action, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Force-flush all coalesced batches (call before waiting on replies).
+    pub fn flush_parcels(&self) -> Result<()> {
+        let pending = self.coalescer.lock().take_all();
+        for (peer, bytes) in pending {
+            self.send_batch(peer, &bytes)?;
+        }
+        Ok(())
+    }
+
+    fn send_parcel_rendezvous(&self, target: Rank, p: Parcel) -> Result<()> {
+        self.parcels_rdv.fetch_add(1, Ordering::Relaxed);
+        let tag = ((self.rank as u64) << 32) | self.next_tag.fetch_add(1, Ordering::Relaxed);
+        // Control message: tag, size, then the parcel header (no payload).
+        let hdr_only = Parcel { action: p.action, payload: bytes::Bytes::new(), cont: p.cont };
+        let mut ctrl = Vec::with_capacity(16 + crate::parcel::PARCEL_HDR);
+        ctrl.extend_from_slice(&tag.to_le_bytes());
+        ctrl.extend_from_slice(&(p.payload.len() as u64).to_le_bytes());
+        ctrl.extend_from_slice(&hdr_only.encode());
+        self.photon.send(target, &ctrl, RID_RDV_CTRL)?;
+        // Stage the payload in a registered buffer and run the Photon
+        // rendezvous against the receiver's announced landing zone.
+        let buf = self.photon.register_buffer(p.payload.len())?;
+        buf.write_at(0, &p.payload);
+        self.photon.send_rendezvous(target, &buf, 0, p.payload.len(), tag)?;
+        self.photon.release_buffer(&buf)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------ progress side
+
+    fn progress_loop(self: Arc<RtNode>) {
+        let mut idle: u32 = 0;
+        while !self.shutdown.load(Ordering::Acquire) {
+            match self.photon.probe_completion(ProbeFlags::Remote) {
+                Ok(Some(Event::Remote(ev))) => {
+                    idle = 0;
+                    self.handle_remote(ev);
+                }
+                Ok(_) => {
+                    idle = idle.saturating_add(1);
+                    if idle == 16 {
+                        // Idle: push out any half-full coalescing batches so
+                        // batching never strands the tail of a burst.
+                        let _ = self.flush_parcels();
+                    }
+                    if idle > 256 {
+                        std::thread::sleep(Duration::from_micros(50));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(_) if self.shutdown.load(Ordering::Acquire) => return,
+                Err(e) => panic!("runtime progress failed on rank {}: {e}", self.rank),
+            }
+        }
+    }
+
+    fn handle_remote(self: &Arc<RtNode>, ev: RemoteEvent) {
+        match ev.rid {
+            RID_PARCEL => {
+                let Some(bytes) = ev.payload else { return };
+                match Parcel::decode(&bytes) {
+                    Ok(p) => {
+                        let node = Arc::clone(self);
+                        self.sched.submit(Box::new(move || node.run_parcel(p)));
+                    }
+                    Err(_) => { /* malformed parcel: drop, counted nowhere */ }
+                }
+            }
+            RID_PARCEL_BATCH => {
+                let Some(bytes) = ev.payload else { return };
+                match unpack(&bytes) {
+                    Ok(parcels) => {
+                        for p in parcels {
+                            let node = Arc::clone(self);
+                            self.sched.submit(Box::new(move || node.run_parcel(p)));
+                        }
+                    }
+                    Err(_) => { /* malformed batch: drop */ }
+                }
+            }
+            RID_RDV_CTRL => {
+                let Some(bytes) = ev.payload else { return };
+                if bytes.len() < 16 {
+                    return;
+                }
+                let tag = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+                let size = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+                let Ok(hdr) = Parcel::decode(&bytes[16..]) else { return };
+                let node = Arc::clone(self);
+                let src = ev.src;
+                // The pull runs on a worker so the progress thread keeps
+                // probing (the rendezvous needs it to deliver the announce).
+                self.sched.submit(Box::new(move || {
+                    let run = || -> Result<()> {
+                        let buf = node.photon.register_buffer(size)?;
+                        node.photon.recv_rendezvous(src, &buf, 0, size, tag)?;
+                        let payload = buf.to_vec(0, size);
+                        node.photon.release_buffer(&buf)?;
+                        node.run_parcel(Parcel {
+                            action: hdr.action,
+                            payload: payload.into(),
+                            cont: hdr.cont,
+                        });
+                        Ok(())
+                    };
+                    if let Err(e) = run() {
+                        panic!("large-parcel receive failed on rank {}: {e}", node.rank);
+                    }
+                }));
+            }
+            _ => { /* not runtime traffic */ }
+        }
+    }
+
+    fn run_parcel(self: &Arc<RtNode>, p: Parcel) {
+        self.run_parcel_inner(p);
+        // Counted at COMPLETION, after every send the handler performed:
+        // quiescence detection relies on `sent` being visibly ahead of
+        // `run` whenever follow-on work can still appear.
+        self.parcels_run.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn run_parcel_inner(self: &Arc<RtNode>, p: Parcel) {
+        if p.action == ACTION_SET_LCO {
+            if p.payload.len() >= 8 {
+                let id = u64::from_le_bytes(p.payload[0..8].try_into().unwrap());
+                if let Some(f) = self.lcos.lock().remove(&id) {
+                    f.set(p.payload[8..].to_vec());
+                }
+            }
+            return;
+        }
+        let Some(handler) = self.registry.get(p.action) else {
+            // Unknown action: in a real runtime this is fatal; here we drop
+            // and count it as run so quiescence still converges.
+            return;
+        };
+        let ctx = RtContext { node: self, cont: p.cont };
+        let result = handler(&ctx, &p.payload);
+        if let (Some(bytes), Some(cont)) = (result, p.cont) {
+            let mut payload = Vec::with_capacity(8 + bytes.len());
+            payload.extend_from_slice(&cont.id.to_le_bytes());
+            payload.extend_from_slice(&bytes);
+            let _ = self.send_parcel_inner(cont.rank, Parcel::new(ACTION_SET_LCO, payload));
+        }
+    }
+
+    /// Global quiescence: block until every parcel sent anywhere has been
+    /// executed and no handler can produce more work. **Collective** — one
+    /// application thread per rank must call it concurrently.
+    ///
+    /// Termination detection over monotone counters: each round flushes
+    /// coalescing batches and allreduces `(total sent, total run)`; two
+    /// consecutive rounds with *identical, equal* totals prove no activity
+    /// occurred between them and nothing is outstanding. Soundness needs
+    /// `sent` incremented before injection and `run` only at handler
+    /// completion, which the transport guarantees.
+    pub fn quiescence(&self) -> Result<()> {
+        let mut prev = (u64::MAX, u64::MAX);
+        loop {
+            self.flush_parcels()?;
+            let mut v = [
+                self.parcels_sent.load(Ordering::Acquire),
+                self.parcels_run.load(Ordering::Acquire),
+            ];
+            self.photon.allreduce_u64(&mut v, photon_core::ReduceOp::Sum)?;
+            if v[0] == v[1] && (v[0], v[1]) == prev {
+                return Ok(());
+            }
+            prev = (v[0], v[1]);
+            std::thread::yield_now();
+        }
+    }
+
+    /// Barrier across all nodes' *application* threads (delegates to the
+    /// Photon collective; the progress thread keeps running).
+    pub fn barrier(&self) -> Result<()> {
+        self.photon.barrier()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn boot(n: usize, reg: ActionRegistry) -> RuntimeCluster {
+        RuntimeCluster::new(n, NetworkModel::ib_fdr(), RtConfig::default(), reg)
+    }
+
+    #[test]
+    fn parcel_roundtrip_with_continuation() {
+        let mut reg = ActionRegistry::new();
+        let double = reg.register("double", |_ctx, payload| {
+            let v = u64::from_le_bytes(payload.try_into().unwrap());
+            Some((2 * v).to_le_bytes().to_vec())
+        });
+        let c = boot(2, reg);
+        let n0 = c.node(0);
+        let (lco, fut) = n0.new_future();
+        n0.send_parcel_with_cont(1, double, &21u64.to_le_bytes(), lco).unwrap();
+        assert_eq!(fut.wait(), 42u64.to_le_bytes());
+        assert!(c.node(1).stats().parcels_run >= 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn local_parcels_short_circuit() {
+        let mut reg = ActionRegistry::new();
+        let touch = {
+            reg.register("touch", move |ctx, _| {
+                assert_eq!(ctx.rank(), 0);
+                Some(vec![7])
+            })
+        };
+        let c = boot(1, reg);
+        let n0 = c.node(0);
+        let (lco, fut) = n0.new_future();
+        n0.send_parcel_with_cont(0, touch, &[], lco).unwrap();
+        assert_eq!(fut.wait(), vec![7]);
+        c.shutdown();
+    }
+
+    #[test]
+    fn large_parcels_take_rendezvous() {
+        let mut reg = ActionRegistry::new();
+        let sum = reg.register("sum", |_ctx, payload| {
+            let s: u64 = payload.iter().map(|&b| b as u64).sum();
+            Some(s.to_le_bytes().to_vec())
+        });
+        let c = boot(2, reg);
+        let n0 = c.node(0);
+        let payload = vec![1u8; 64 * 1024];
+        let (lco, fut) = n0.new_future();
+        n0.send_parcel_with_cont(1, sum, &payload, lco).unwrap();
+        assert_eq!(fut.wait(), (64 * 1024u64).to_le_bytes());
+        assert_eq!(n0.stats().parcels_rdv, 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn parcels_fan_out_and_come_back() {
+        // Rank 0 scatters increments to every rank; each replies via cont.
+        let mut reg = ActionRegistry::new();
+        let bump = reg.register("bump", |ctx, payload| {
+            let v = u64::from_le_bytes(payload.try_into().unwrap());
+            Some((v + ctx.rank() as u64).to_le_bytes().to_vec())
+        });
+        let n = 4;
+        let c = boot(n, reg);
+        let n0 = c.node(0);
+        let mut futs = Vec::new();
+        for r in 0..n {
+            let (lco, fut) = n0.new_future();
+            n0.send_parcel_with_cont(r, bump, &100u64.to_le_bytes(), lco).unwrap();
+            futs.push((r, fut));
+        }
+        for (r, fut) in futs {
+            let v = u64::from_le_bytes(fut.wait().try_into().unwrap());
+            assert_eq!(v, 100 + r as u64);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn handlers_can_send_parcels() {
+        // A ring: each handler forwards to the next rank until TTL runs out,
+        // then sets the continuation on rank 0.
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        let mut reg = ActionRegistry::new();
+        let hop_id = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let hop_id2 = std::sync::Arc::clone(&hop_id);
+        let hop = reg.register("hop", move |ctx, payload| {
+            let ttl = payload[0];
+            if ttl == 0 {
+                DONE.fetch_add(1, Ordering::Relaxed);
+                None
+            } else {
+                let next = (ctx.rank() + 1) % ctx.size();
+                ctx.send_parcel(next, hop_id2.load(Ordering::Relaxed), &[ttl - 1])
+                    .unwrap();
+                None
+            }
+        });
+        hop_id.store(hop, Ordering::Relaxed);
+        let c = boot(3, reg);
+        c.node(0).send_parcel(1, hop, &[7]).unwrap();
+        // Spin until the chain finished.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while DONE.load(Ordering::Relaxed) == 0 {
+            assert!(std::time::Instant::now() < deadline, "ring never finished");
+            std::thread::yield_now();
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn quiescence_waits_for_parcel_trees() {
+        // An irregular fan-out: each parcel spawns children until TTL=0.
+        // quiescence() must not return while any descendant is in flight.
+        let mut reg = ActionRegistry::new();
+        let leaves = std::sync::Arc::new(AtomicUsize::new(0));
+        let leaves2 = std::sync::Arc::clone(&leaves);
+        let fan_id = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let fan_id2 = std::sync::Arc::clone(&fan_id);
+        let fan = reg.register("fan", move |ctx, payload| {
+            let ttl = payload[0];
+            if ttl == 0 {
+                leaves2.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            let id = fan_id2.load(Ordering::Relaxed);
+            let n = ctx.size();
+            ctx.send_parcel((ctx.rank() + 1) % n, id, &[ttl - 1]).unwrap();
+            ctx.send_parcel((ctx.rank() + 2) % n, id, &[ttl - 1]).unwrap();
+            None
+        });
+        fan_id.store(fan, Ordering::Relaxed);
+        let n = 3;
+        let cfg = RtConfig { coalesce_max: 8, ..RtConfig::default() };
+        let c = RuntimeCluster::new(n, NetworkModel::ib_fdr(), cfg, reg);
+        let depth = 9u8;
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let c = &c;
+                s.spawn(move || {
+                    if i == 0 {
+                        c.node(0).send_parcel(1, fan, &[depth]).unwrap();
+                    }
+                    c.node(i).quiescence().unwrap();
+                });
+            }
+        });
+        // At quiescence, every leaf must have run: 2^depth of them.
+        assert_eq!(leaves.load(Ordering::Relaxed), 1usize << depth);
+        c.shutdown();
+    }
+
+    #[test]
+    fn quiescence_is_reusable_across_phases() {
+        let mut reg = ActionRegistry::new();
+        let count = std::sync::Arc::new(AtomicUsize::new(0));
+        let count2 = std::sync::Arc::clone(&count);
+        let bump = reg.register("bump", move |_ctx, _| {
+            count2.fetch_add(1, Ordering::Relaxed);
+            None
+        });
+        let n = 2;
+        let c = RuntimeCluster::new(n, NetworkModel::ib_fdr(), RtConfig::default(), reg);
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let c = &c;
+                let count = &count;
+                s.spawn(move || {
+                    for phase in 1..=3usize {
+                        for _ in 0..10 {
+                            c.node(i).send_parcel(1 - i, bump, &[]).unwrap();
+                        }
+                        c.node(i).quiescence().unwrap();
+                        // Quiescence guarantees everything sent so far ran;
+                        // a peer may already be racing ahead into the next
+                        // phase, so this is a lower bound, not an equality.
+                        assert!(count.load(Ordering::Relaxed) >= phase * n * 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3 * n * 10);
+        c.shutdown();
+    }
+
+    #[test]
+    fn coalesced_parcels_all_arrive() {
+        let mut reg = ActionRegistry::new();
+        let seen = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen2 = std::sync::Arc::clone(&seen);
+        let sink = reg.register("sink", move |_ctx, payload| {
+            assert_eq!(payload.len(), 24);
+            seen2.fetch_add(1, Ordering::Relaxed);
+            None
+        });
+        let cfg = RtConfig { coalesce_max: 16, ..RtConfig::default() };
+        let c = RuntimeCluster::new(2, NetworkModel::ib_fdr(), cfg, reg);
+        let n0 = c.node(0);
+        // 100 parcels: 6 full batches of 16, plus a partial tail that only
+        // the idle-flush (or explicit flush) pushes out.
+        for _ in 0..100 {
+            n0.send_parcel(1, sink, &[7u8; 24]).unwrap();
+        }
+        n0.flush_parcels().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while seen.load(Ordering::Relaxed) < 100 {
+            assert!(std::time::Instant::now() < deadline, "parcels lost in batching");
+            std::thread::yield_now();
+        }
+        assert!(n0.stats().batches_sent >= 6);
+        assert!(
+            n0.stats().batches_sent < 100,
+            "batching must actually aggregate: {} wire messages",
+            n0.stats().batches_sent
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn idle_progress_thread_flushes_partial_batches() {
+        let mut reg = ActionRegistry::new();
+        let seen = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen2 = std::sync::Arc::clone(&seen);
+        let sink = reg.register("sink", move |_ctx, _| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+            None
+        });
+        let cfg = RtConfig { coalesce_max: 64, ..RtConfig::default() };
+        let c = RuntimeCluster::new(2, NetworkModel::ib_fdr(), cfg, reg);
+        // 3 parcels never fill a 64-batch; the idle flush must deliver them
+        // without an explicit flush_parcels call.
+        for _ in 0..3 {
+            c.node(0).send_parcel(1, sink, &[1]).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while seen.load(Ordering::Relaxed) < 3 {
+            assert!(std::time::Instant::now() < deadline, "idle flush never fired");
+            std::thread::yield_now();
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn invalid_rank_and_shutdown_errors() {
+        let reg = ActionRegistry::new();
+        let c = boot(1, reg);
+        assert!(matches!(
+            c.node(0).send_parcel(5, 16, &[]),
+            Err(RtError::InvalidRank(5))
+        ));
+        c.shutdown();
+        assert!(matches!(
+            c.node(0).send_parcel(0, 16, &[]),
+            Err(RtError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn app_threads_can_use_barrier_alongside_parcels() {
+        let mut reg = ActionRegistry::new();
+        let noop = reg.register("noop", |_, _| None);
+        let n = 3;
+        let c = boot(n, reg);
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let c = &c;
+                s.spawn(move || {
+                    let node = c.node(i);
+                    node.send_parcel((i + 1) % n, noop, b"x").unwrap();
+                    node.barrier().unwrap();
+                    node.barrier().unwrap();
+                });
+            }
+        });
+        c.shutdown();
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-node work-stealing scheduler.
+//!
+//! A compact version of the HPX-5 worker model: each node owns `w` worker
+//! threads with local LIFO deques, a shared FIFO injector for externally
+//! submitted work (parcels arriving off the network), and random stealing
+//! between workers. Idle workers park on a condvar with a timeout so parcel
+//! arrival latency stays bounded without spinning.
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Parking {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// The shared half of a node scheduler.
+pub struct Scheduler {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    parking: Parking,
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.stealers.len())
+            .field("executed", &self.executed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Start a scheduler with `workers` threads. Returns the shared handle
+    /// and the join handles (joined by the owner at shutdown).
+    pub fn start(workers: usize, name: &str) -> (Arc<Scheduler>, Vec<JoinHandle<()>>) {
+        let deques: Vec<Deque<Task>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let sched = Arc::new(Scheduler {
+            injector: Injector::new(),
+            stealers,
+            parking: Parking::default(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, dq)| {
+                let s = Arc::clone(&sched);
+                std::thread::Builder::new()
+                    .name(format!("{name}-w{i}"))
+                    .spawn(move || s.worker_loop(i, dq))
+                    .expect("spawn worker")
+            })
+            .collect();
+        (sched, handles)
+    }
+
+    /// Submit a task from outside the pool (network progress, application).
+    pub fn submit(&self, t: Task) {
+        self.injector.push(t);
+        self.parking.cv.notify_one();
+    }
+
+    /// Request shutdown; workers exit once their queues drain.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.parking.cv.notify_all();
+    }
+
+    /// True once [`Scheduler::stop`] was called.
+    pub fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Tasks executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    fn find_task(&self, local: &Deque<Task>, me: usize) -> Option<Task> {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            let s = self.injector.steal_batch_and_pop(local);
+            if s.is_retry() {
+                continue;
+            }
+            if let Some(t) = s.success() {
+                return Some(t);
+            }
+            break;
+        }
+        // Steal from siblings, starting after ourselves.
+        let n = self.stealers.len();
+        for k in 1..n {
+            let victim = (me + k) % n;
+            loop {
+                let s = self.stealers[victim].steal();
+                if s.is_retry() {
+                    continue;
+                }
+                if let Some(t) = s.success() {
+                    return Some(t);
+                }
+                break;
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize, local: Deque<Task>) {
+        loop {
+            match self.find_task(&local, me) {
+                Some(t) => {
+                    t();
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    if self.stopping() {
+                        return;
+                    }
+                    let mut g = self.parking.lock.lock();
+                    // Re-check under the lock to avoid a lost wakeup.
+                    if self.injector.is_empty() && !self.stopping() {
+                        self.parking
+                            .cv
+                            .wait_for(&mut g, Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_submitted_tasks() {
+        let (s, handles) = Scheduler::start(4, "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            s.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        while counter.load(Ordering::Relaxed) < 1000 {
+            std::thread::yield_now();
+        }
+        assert_eq!(s.executed(), 1000);
+        s.stop();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        // Recursive fan-out: 1 task spawns 2, depth 8 => 2^9 - 1 tasks.
+        let (s, handles) = Scheduler::start(3, "fanout");
+        let counter = Arc::new(AtomicUsize::new(0));
+        fn fan(s: &Arc<Scheduler>, c: &Arc<AtomicUsize>, depth: u32) {
+            c.fetch_add(1, Ordering::Relaxed);
+            if depth == 0 {
+                return;
+            }
+            for _ in 0..2 {
+                let s2 = Arc::clone(s);
+                let c2 = Arc::clone(c);
+                let s3 = Arc::clone(s);
+                s3.submit(Box::new(move || fan(&s2, &c2, depth - 1)));
+            }
+        }
+        fan(&s, &counter, 8);
+        let expect = (1usize << 9) - 1;
+        while counter.load(Ordering::Relaxed) < expect {
+            std::thread::yield_now();
+        }
+        s.stop();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn stop_terminates_idle_workers() {
+        let (s, handles) = Scheduler::start(2, "idle");
+        std::thread::sleep(Duration::from_millis(5));
+        s.stop();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.executed(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Bandwidth sweep: one-sided puts vs two-sided send/recv across message
+//! sizes, printed as a small table (a command-line version of figure E2).
+//!
+//! Run with: `cargo run --release --example bandwidth`
+
+use photon::core::{PhotonCluster, PhotonConfig};
+use photon::fabric::NetworkModel;
+use photon::msg::{MsgCluster, MsgConfig};
+
+fn photon_put_bw(size: usize, count: usize) -> f64 {
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), PhotonConfig::default());
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let src = p0.register_buffer(size).unwrap();
+    let dst = p1.register_buffer(size).unwrap();
+    let d = dst.descriptor();
+    c.reset_time();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..count as u64 {
+                p0.put_with_completion(1, &src, 0, size, &d, 0, i, i).unwrap();
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..count {
+                p1.wait_remote().unwrap();
+            }
+        });
+    });
+    (size * count) as f64 / (p1.now().as_nanos() as f64 / 1e9)
+}
+
+fn baseline_bw(size: usize, count: usize) -> f64 {
+    let c = MsgCluster::new(2, NetworkModel::ib_fdr(), MsgConfig::default());
+    let (e0, e1) = (c.rank(0), c.rank(1));
+    let sbuf = e0.register_buffer(size).unwrap();
+    let rbuf = e1.register_buffer(size).unwrap();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..count as u64 {
+                e0.send_from(1, &sbuf, 0, size, i).unwrap();
+            }
+        });
+        s.spawn(|| {
+            for i in 0..count as u64 {
+                e1.recv_into(&rbuf, 0, size, Some(0), Some(i)).unwrap();
+            }
+        });
+    });
+    (size * count) as f64 / (c.rank(1).now().as_nanos() as f64 / 1e9)
+}
+
+fn main() {
+    println!("bandwidth over modeled FDR InfiniBand (7.0 GB/s line rate)\n");
+    println!("{:>8}  {:>12}  {:>12}", "size", "put GB/s", "send GB/s");
+    for exp in [10usize, 12, 14, 16, 18, 20, 22] {
+        let size = 1usize << exp;
+        let count = ((32 << 20) / size).clamp(16, 2048);
+        let put = photon_put_bw(size, count) / 1e9;
+        let two = baseline_bw(size, count) / 1e9;
+        let label = if size >= 1 << 20 {
+            format!("{}MiB", size >> 20)
+        } else {
+            format!("{}KiB", size >> 10)
+        };
+        println!("{label:>8}  {put:>12.2}  {two:>12.2}");
+    }
+    println!("\nbandwidth OK");
+}

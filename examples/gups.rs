@@ -1,0 +1,119 @@
+//! GUPS — random access updates through parcels over a PGAS table.
+//!
+//! The HPC-Challenge RandomAccess pattern, the canonical irregular workload
+//! that motivates message-driven runtimes: every rank fires xor-updates at
+//! random locations of a distributed table; owners apply them when the
+//! update parcels arrive. Verifies the xor checksum at the end (updates are
+//! applied exactly once because each element is touched only by owner-side
+//! handlers).
+//!
+//! Run with: `cargo run --release --example gups`
+
+use photon::fabric::NetworkModel;
+use photon::runtime::{ActionRegistry, GlobalArray, RtConfig, RuntimeCluster};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const RANKS: usize = 4;
+const ELEMS_PER_RANK: usize = 1 << 14;
+const UPDATES_PER_RANK: usize = 10_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut reg = ActionRegistry::new();
+    let table: Arc<OnceLock<Arc<GlobalArray>>> = Arc::new(OnceLock::new());
+    let applied = Arc::new(AtomicU64::new(0));
+    let (table2, applied2) = (Arc::clone(&table), Arc::clone(&applied));
+    let update = reg.register("xor-update", move |ctx, payload| {
+        let idx = u64::from_le_bytes(payload[0..8].try_into().unwrap()) as usize;
+        let val = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+        let arr = table2.get().expect("table installed");
+        let (owner, off) = arr.locate(idx);
+        assert_eq!(owner, ctx.rank(), "updates are routed to the owner");
+        let block = arr.local_block(owner);
+        block.write_u64(off, block.read_u64(off) ^ val);
+        applied2.fetch_add(1, Ordering::Relaxed);
+        None
+    });
+
+    let cluster = RuntimeCluster::new(
+        RANKS,
+        NetworkModel::ib_fdr(),
+        RtConfig { workers: 1, ..RtConfig::default() },
+        reg,
+    );
+    let arr = cluster.alloc_global_array(ELEMS_PER_RANK)?;
+    table.set(Arc::clone(&arr)).expect("set once");
+
+    // Fire updates from every rank; remember the expected checksum.
+    let mut expected_xor = 0u64;
+    let mut rngs: Vec<StdRng> =
+        (0..RANKS).map(|i| StdRng::seed_from_u64(42 + i as u64)).collect();
+    let mut shots: Vec<Vec<(usize, u64)>> = vec![Vec::new(); RANKS];
+    for (i, rng) in rngs.iter_mut().enumerate() {
+        for _ in 0..UPDATES_PER_RANK {
+            let idx = rng.gen_range(0..arr.len());
+            let val: u64 = rng.gen();
+            expected_xor ^= val;
+            shots[i].push((idx, val));
+        }
+    }
+    std::thread::scope(|s| {
+        for (i, list) in shots.iter().enumerate() {
+            let cluster = &cluster;
+            s.spawn(move || {
+                let node = cluster.node(i);
+                for &(idx, val) in list {
+                    let (owner, _) = node_table_locate(idx);
+                    let mut payload = [0u8; 16];
+                    payload[0..8].copy_from_slice(&(idx as u64).to_le_bytes());
+                    payload[8..16].copy_from_slice(&val.to_le_bytes());
+                    node.send_parcel(owner, update, &payload).unwrap();
+                }
+            });
+        }
+    });
+
+    // Wait for all updates to land.
+    let total = (RANKS * UPDATES_PER_RANK) as u64;
+    while applied.load(Ordering::Relaxed) < total {
+        std::thread::yield_now();
+    }
+
+    // Verify: xor over the whole table equals xor over all update values
+    // (table starts zeroed; xor is commutative and associative).
+    let mut got_xor = 0u64;
+    for r in 0..RANKS {
+        let block = arr.local_block(r);
+        for e in 0..ELEMS_PER_RANK {
+            got_xor ^= block.read_u64(e * 8);
+        }
+    }
+    assert_eq!(got_xor, expected_xor, "all updates applied exactly once");
+
+    let t_ns = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.photon().now().as_nanos())
+        .max()
+        .unwrap();
+    println!(
+        "{} updates over {} ranks in {:.1} virtual ms",
+        total,
+        RANKS,
+        t_ns as f64 / 1e6
+    );
+    println!(
+        "rate: {:.4} GUPS ({:.1} Mupdates/s)",
+        total as f64 / (t_ns as f64 / 1e9) / 1e9,
+        total as f64 / (t_ns as f64 / 1e9) / 1e6
+    );
+    cluster.shutdown();
+    println!("gups OK (checksum verified)");
+    Ok(())
+}
+
+/// Owner of element `idx` under the same block distribution the array uses.
+fn node_table_locate(idx: usize) -> (usize, usize) {
+    (idx / ELEMS_PER_RANK, idx % ELEMS_PER_RANK)
+}

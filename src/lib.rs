@@ -1,0 +1,18 @@
+//! # photon — umbrella crate
+//!
+//! Re-exports the whole photon-rs stack under one roof so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`fabric`] — the simulated RDMA substrate (queue pairs, registration,
+//!   completion queues, LogGP network model);
+//! * [`core`] — the Photon middleware itself (put/get-with-completion,
+//!   ledgers, eager buffers, rendezvous, collectives);
+//! * [`msg`] — a two-sided tag-matched messaging baseline (MPI-like);
+//! * [`runtime`] — an HPX-5-lite parcel runtime driving Photon.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use photon_core as core;
+pub use photon_fabric as fabric;
+pub use photon_msg as msg;
+pub use photon_runtime as runtime;

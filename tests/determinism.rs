@@ -1,0 +1,108 @@
+//! Determinism of the virtual-time model: causal-chain experiments must
+//! produce byte-identical timings run-to-run (this is what makes the
+//! figure harness reproducible).
+
+use photon::core::{PhotonCluster, PhotonConfig};
+use photon::fabric::NetworkModel;
+use photon::msg::{MsgCluster, MsgConfig};
+
+fn photon_pingpong(size: usize) -> u64 {
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), PhotonConfig::default());
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(size).unwrap();
+    let b1 = p1.register_buffer(size).unwrap();
+    let d0 = b0.descriptor();
+    let d1 = b1.descriptor();
+    c.reset_time();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..20u64 {
+                p0.put_with_completion(1, &b0, 0, size, &d1, 0, i, i).unwrap();
+                p0.wait_remote().unwrap();
+            }
+        });
+        s.spawn(|| {
+            for i in 0..20u64 {
+                p1.wait_remote().unwrap();
+                p1.put_with_completion(0, &b1, 0, size, &d0, 0, i, i).unwrap();
+            }
+        });
+    });
+    c.rank(0).now().as_nanos()
+}
+
+#[test]
+fn photon_pingpong_is_deterministic() {
+    for size in [8usize, 4096, 65536] {
+        let a = photon_pingpong(size);
+        let b = photon_pingpong(size);
+        let c = photon_pingpong(size);
+        assert_eq!(a, b, "size {size}");
+        assert_eq!(b, c, "size {size}");
+    }
+}
+
+#[test]
+fn baseline_pingpong_is_deterministic() {
+    let run = || {
+        let c = MsgCluster::new(2, NetworkModel::ib_fdr(), MsgConfig::default());
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..20u64 {
+                    e0.send(1, &[0u8; 64], i).unwrap();
+                    e0.recv(Some(1), Some(i)).unwrap();
+                }
+            });
+            s.spawn(|| {
+                for i in 0..20u64 {
+                    e1.recv(Some(0), Some(i)).unwrap();
+                    e1.send(0, &[0u8; 64], i).unwrap();
+                }
+            });
+        });
+        c.rank(0).now().as_nanos()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn collectives_are_deterministic() {
+    let run = |n: usize| {
+        let c = PhotonCluster::new(n, NetworkModel::ib_fdr(), PhotonConfig::default());
+        std::thread::scope(|s| {
+            for p in c.ranks() {
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        p.barrier().unwrap();
+                    }
+                });
+            }
+        });
+        c.ranks().iter().map(|p| p.now().as_nanos()).max().unwrap()
+    };
+    for n in [2usize, 4, 8] {
+        assert_eq!(run(n), run(n), "barrier timing for n={n}");
+    }
+}
+
+#[test]
+fn reset_time_restores_origin() {
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), PhotonConfig::default());
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(8).unwrap();
+    let b1 = p1.register_buffer(8).unwrap();
+    p0.put_with_completion(1, &b0, 0, 8, &b1.descriptor(), 0, 1, 1).unwrap();
+    p1.wait_remote().unwrap();
+    assert!(p1.now().as_nanos() > 0);
+    c.reset_time();
+    assert_eq!(p0.now().as_nanos(), 0);
+    assert_eq!(p1.now().as_nanos(), 0);
+    // And the fabric's port calendars were cleared: a fresh op departs at 0.
+    p0.put_with_completion(1, &b0, 0, 8, &b1.descriptor(), 0, 2, 2).unwrap();
+    let ev = p1.wait_remote().unwrap();
+    let m = NetworkModel::ib_fdr();
+    // o + L + gap, plus 1 ns of producer staging memcpy (shifts departure)
+    // and 1 ns of consumer copy-out, both for the 8-byte eager payload.
+    assert_eq!(ev.ts.as_nanos(), m.send_overhead_ns + m.latency_ns + m.msg_gap_ns + 2);
+}

@@ -1,0 +1,299 @@
+//! Cross-crate integration: middleware, baseline, and runtime driven
+//! together in realistic multi-rank scenarios.
+
+use photon::core::{PhotonCluster, PhotonConfig, ReduceOp};
+use photon::fabric::NetworkModel;
+use photon::msg::{MsgCluster, MsgConfig};
+use photon::runtime::{ActionRegistry, RtConfig, RuntimeCluster};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn photon_ring_pass_the_token() {
+    // A token circles a 6-rank ring twice via PWC; each rank increments it.
+    let n = 6;
+    let laps = 2;
+    let c = PhotonCluster::new(n, NetworkModel::ib_fdr(), PhotonConfig::default());
+    let bufs: Vec<_> = (0..n).map(|i| c.rank(i).register_buffer(8).unwrap()).collect();
+    let descs: Vec<_> = bufs.iter().map(|b| b.descriptor()).collect();
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let c = &c;
+            let bufs = &bufs;
+            let descs = &descs;
+            s.spawn(move || {
+                let p = c.rank(i);
+                let next = (i + 1) % n;
+                for lap in 0..laps {
+                    if !(i == 0 && lap == 0) {
+                        let ev = p.wait_remote().unwrap();
+                        assert_eq!(ev.src, (i + n - 1) % n);
+                    }
+                    if i == n - 1 && lap == laps - 1 {
+                        break; // token retired
+                    }
+                    let token = bufs[i].read_u64(0) + 1;
+                    bufs[i].write_u64(0, token);
+                    p.put_with_completion(next, &bufs[i], 0, 8, &descs[next], 0, 1, 1)
+                        .unwrap();
+                    p.wait_local(1).unwrap();
+                }
+            });
+        }
+    });
+    // Every rank bumps once per lap except rank n-1 on the final lap, which
+    // retires the token: 2n - 1 increments in total.
+    assert_eq!(bufs[n - 1].read_u64(0), (2 * n - 1) as u64);
+}
+
+#[test]
+fn photon_and_baseline_agree_on_payloads() {
+    // The same scatter/gather computed through both stacks must match.
+    let n = 4;
+    let pc = PhotonCluster::new(n, NetworkModel::ib_fdr(), PhotonConfig::default());
+    let mc = MsgCluster::new(n, NetworkModel::ib_fdr(), MsgConfig::default());
+    let compute = |rank: usize| -> Vec<u8> { (0..64).map(|k| (rank * 31 + k) as u8).collect() };
+
+    // Photon: alltoall of 64-byte blocks.
+    let mut photon_out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    std::thread::scope(|s| {
+        let out: Vec<_> = (0..n)
+            .map(|i| {
+                let pc = &pc;
+                s.spawn(move || {
+                    let p = pc.rank(i);
+                    let send: Vec<u8> = (0..n).flat_map(|_| compute(i)).collect();
+                    let mut recv = vec![0u8; 64 * n];
+                    p.alltoall(&send, &mut recv).unwrap();
+                    recv
+                })
+            })
+            .collect();
+        for (i, h) in out.into_iter().enumerate() {
+            photon_out[i] = h.join().unwrap();
+        }
+    });
+    // Baseline: explicit sends.
+    let mut msg_out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    std::thread::scope(|s| {
+        let out: Vec<_> = (0..n)
+            .map(|i| {
+                let mc = &mc;
+                s.spawn(move || {
+                    let e = mc.rank(i);
+                    for j in 0..n {
+                        if j != i {
+                            e.send(j, &compute(i), 500 + i as u64).unwrap();
+                        }
+                    }
+                    let mut recv = vec![0u8; 64 * n];
+                    recv[i * 64..(i + 1) * 64].copy_from_slice(&compute(i));
+                    for j in 0..n {
+                        if j != i {
+                            let m = e.recv(Some(j), Some(500 + j as u64)).unwrap();
+                            recv[j * 64..(j + 1) * 64].copy_from_slice(&m.data);
+                        }
+                    }
+                    recv
+                })
+            })
+            .collect();
+        for (i, h) in out.into_iter().enumerate() {
+            msg_out[i] = h.join().unwrap();
+        }
+    });
+    assert_eq!(photon_out, msg_out);
+}
+
+#[test]
+fn runtime_tree_spawn_with_reduction() {
+    // Divide-and-conquer: a parcel tree fans out; leaves contribute to a
+    // shared counter; the total must be exact.
+    let mut reg = ActionRegistry::new();
+    let count = Arc::new(AtomicU64::new(0));
+    let count2 = Arc::clone(&count);
+    let fan_id = Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let fan_id2 = Arc::clone(&fan_id);
+    let fan = reg.register("fan", move |ctx, payload| {
+        let depth = payload[0];
+        if depth == 0 {
+            count2.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let n = ctx.size();
+        let a = (ctx.rank() + 1) % n;
+        let b = (ctx.rank() + n - 1) % n;
+        let id = fan_id2.load(Ordering::Relaxed);
+        ctx.send_parcel(a, id, &[depth - 1]).unwrap();
+        ctx.send_parcel(b, id, &[depth - 1]).unwrap();
+        None
+    });
+    fan_id.store(fan, Ordering::Relaxed);
+    let c = RuntimeCluster::new(3, NetworkModel::ib_fdr(), RtConfig::default(), reg);
+    let depth = 10u8;
+    c.node(0).send_parcel(1, fan, &[depth]).unwrap();
+    let expect = 1u64 << depth; // 2^depth leaves
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while count.load(Ordering::Relaxed) < expect {
+        assert!(std::time::Instant::now() < deadline, "tree never completed");
+        std::thread::yield_now();
+    }
+    assert_eq!(count.load(Ordering::Relaxed), expect);
+    c.shutdown();
+}
+
+#[test]
+fn runtime_gas_and_collectives_compose() {
+    let c = RuntimeCluster::new(
+        4,
+        NetworkModel::ib_fdr(),
+        RtConfig::default(),
+        ActionRegistry::new(),
+    );
+    let arr = c.alloc_global_array(4).unwrap();
+    std::thread::scope(|s| {
+        for i in 0..4 {
+            let c = &c;
+            let arr = &arr;
+            s.spawn(move || {
+                let node = c.node(i);
+                // Everyone writes its rank into its mirror slot on every peer.
+                for j in 0..4 {
+                    arr.put(node, j * 4 + i, (10 + i) as u64).unwrap();
+                }
+                node.barrier().unwrap();
+                // Everyone reads everyone's slots one-sidedly.
+                for j in 0..4 {
+                    assert_eq!(arr.get(node, i * 4 + j).unwrap(), (10 + j) as u64);
+                }
+                // And an allreduce on top of the same Photon context.
+                let mut v = vec![i as u64 + 1];
+                node.photon().allreduce_u64(&mut v, ReduceOp::Sum).unwrap();
+                assert_eq!(v[0], 10);
+            });
+        }
+    });
+    c.shutdown();
+}
+
+#[test]
+fn chaotic_sssp_with_quiescence_and_coalescing() {
+    // Miniature of examples/sssp.rs: asynchronous relaxation, coalesced
+    // parcels, termination by global quiescence, verified against Dijkstra.
+    use parking_lot::Mutex;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    const N: usize = 3;
+    const V: usize = 300;
+    const INF: u64 = u64::MAX;
+    fn edges(v: usize, total: usize) -> Vec<(usize, u64)> {
+        let mut rng = StdRng::seed_from_u64(0xE0 ^ v as u64);
+        (0..4).map(|_| (rng.gen_range(0..total), rng.gen_range(1..8u64))).collect()
+    }
+    let dists: Arc<Vec<Mutex<Vec<u64>>>> =
+        Arc::new((0..N).map(|_| Mutex::new(vec![INF; V])).collect());
+    let mut reg = ActionRegistry::new();
+    let rid = Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let (d2, rid2) = (Arc::clone(&dists), Arc::clone(&rid));
+    let relax = reg.register("relax", move |ctx, payload| {
+        let v = u64::from_le_bytes(payload[0..8].try_into().unwrap()) as usize;
+        let cand = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+        let improved = {
+            let mut d = d2[ctx.rank()].lock();
+            if cand < d[v] {
+                d[v] = cand;
+                true
+            } else {
+                false
+            }
+        };
+        if improved {
+            let gv = ctx.rank() * V + v;
+            for (t, w) in edges(gv, N * V) {
+                let mut p = [0u8; 16];
+                p[0..8].copy_from_slice(&((t % V) as u64).to_le_bytes());
+                p[8..16].copy_from_slice(&(cand + w).to_le_bytes());
+                ctx.send_parcel(t / V, rid2.load(Ordering::Relaxed), &p).unwrap();
+            }
+        }
+        None
+    });
+    rid.store(relax, Ordering::Relaxed);
+    let c = RuntimeCluster::new(
+        N,
+        NetworkModel::ib_fdr(),
+        photon::runtime::RtConfig { workers: 1, coalesce_max: 16, ..Default::default() },
+        reg,
+    );
+    std::thread::scope(|s| {
+        for i in 0..N {
+            let c = &c;
+            s.spawn(move || {
+                if i == 0 {
+                    let mut p = [0u8; 16];
+                    p[8..16].copy_from_slice(&0u64.to_le_bytes());
+                    c.node(0).send_parcel(0, relax, &p).unwrap();
+                }
+                c.node(i).quiescence().unwrap();
+            });
+        }
+    });
+    // Dijkstra reference.
+    let mut rd = vec![INF; N * V];
+    rd[0] = 0;
+    let mut heap = std::collections::BinaryHeap::from([std::cmp::Reverse((0u64, 0usize))]);
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        if d > rd[v] {
+            continue;
+        }
+        for (t, w) in edges(v, N * V) {
+            if d + w < rd[t] {
+                rd[t] = d + w;
+                heap.push(std::cmp::Reverse((d + w, t)));
+            }
+        }
+    }
+    for (i, block) in dists.iter().enumerate() {
+        let d = block.lock();
+        for (lv, &got) in d.iter().enumerate() {
+            assert_eq!(got, rd[i * V + lv], "vertex {}", i * V + lv);
+        }
+    }
+    c.shutdown();
+}
+
+#[test]
+fn mixed_traffic_pwc_rendezvous_collectives() {
+    // Hammer one Photon cluster with all three traffic classes at once.
+    let n = 3;
+    let c = PhotonCluster::new(n, NetworkModel::ib_fdr(), PhotonConfig::default());
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let c = &c;
+            s.spawn(move || {
+                let p = c.rank(i);
+                let next = (i + 1) % n;
+                let prev = (i + n - 1) % n;
+                let big = p.register_buffer(256 * 1024).unwrap();
+                big.fill(i as u8);
+                let landing = p.register_buffer(256 * 1024).unwrap();
+                for round in 0..3u64 {
+                    // Small PWC messages.
+                    for k in 0..50 {
+                        p.send(next, &[i as u8; 32], round * 100 + k).unwrap();
+                    }
+                    // A rendezvous transfer in parallel with consumption.
+                    p.post_recv_buffer(prev, &landing, 0, 256 * 1024, round).unwrap();
+                    p.send_rendezvous(next, &big, 0, 256 * 1024, round).unwrap();
+                    for _ in 0..50 {
+                        let ev = p.wait_remote().unwrap();
+                        assert_eq!(ev.src, prev);
+                        assert_eq!(ev.payload.unwrap(), vec![prev as u8; 32]);
+                    }
+                    p.wait_fin(prev, round).unwrap();
+                    assert_eq!(landing.to_vec(0, 8), vec![prev as u8; 8]);
+                    p.barrier().unwrap();
+                }
+            });
+        }
+    });
+}

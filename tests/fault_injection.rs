@@ -1,0 +1,141 @@
+//! Fault-injection integration tests: performance faults must show up in
+//! virtual time; resource faults must surface as errors, never corruption.
+
+use photon::core::{PhotonCluster, PhotonConfig, PhotonError};
+use photon::fabric::{Cluster, FabricError, NetworkModel};
+use photon::msg::{MsgCluster, MsgConfig};
+
+fn pingpong_ns(c: &PhotonCluster, iters: u64) -> u64 {
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(8).unwrap();
+    let b1 = p1.register_buffer(8).unwrap();
+    let d0 = b0.descriptor();
+    let d1 = b1.descriptor();
+    c.reset_time();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..iters {
+                p0.put_with_completion(1, &b0, 0, 8, &d1, 0, i, i).unwrap();
+                p0.wait_remote().unwrap();
+            }
+        });
+        s.spawn(|| {
+            for i in 0..iters {
+                p1.wait_remote().unwrap();
+                p1.put_with_completion(0, &b1, 0, 8, &d0, 0, i, i).unwrap();
+            }
+        });
+    });
+    c.rank(0).now().as_nanos() / (2 * iters)
+}
+
+#[test]
+fn degraded_link_shows_up_in_latency() {
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), PhotonConfig::default());
+    let base = pingpong_ns(&c, 20);
+    c.fabric().switch().faults().degrade_link(0, 1, 5_000);
+    c.fabric().switch().faults().degrade_link(1, 0, 5_000);
+    let slow = pingpong_ns(&c, 20);
+    assert!(
+        slow >= base + 4_900,
+        "5us of injected latency must appear: {base} -> {slow}"
+    );
+    c.fabric().switch().faults().heal_link(0, 1);
+    c.fabric().switch().faults().heal_link(1, 0);
+    let healed = pingpong_ns(&c, 20);
+    assert!(healed < base + 100, "healing restores latency: {base} -> {healed}");
+}
+
+#[test]
+fn straggler_node_slows_collectives() {
+    let coll = |straggle: bool| -> u64 {
+        let c = PhotonCluster::new(4, NetworkModel::ib_fdr(), PhotonConfig::default());
+        if straggle {
+            c.fabric().switch().faults().straggle_node(2, 20_000);
+        }
+        std::thread::scope(|s| {
+            for p in c.ranks() {
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        p.barrier().unwrap();
+                    }
+                });
+            }
+        });
+        c.ranks().iter().map(|p| p.now().as_nanos()).max().unwrap()
+    };
+    let healthy = coll(false);
+    let degraded = coll(true);
+    assert!(
+        degraded > healthy + 3 * 20_000,
+        "every barrier waits for the straggler: {healthy} -> {degraded}"
+    );
+}
+
+#[test]
+fn jitter_perturbs_but_preserves_correctness() {
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), PhotonConfig::default());
+    c.fabric().switch().faults().set_jitter(500);
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let src = p0.register_buffer(1024).unwrap();
+    let dst = p1.register_buffer(1024).unwrap();
+    for round in 0..100u64 {
+        src.write_u64(0, round);
+        p0.put_with_completion(1, &src, 0, 1024, &dst.descriptor(), 0, round, round)
+            .unwrap();
+        let ev = p1.wait_remote().unwrap();
+        assert_eq!(ev.rid, round);
+        assert_eq!(dst.read_u64(0), round, "jitter must never corrupt data");
+    }
+}
+
+#[test]
+fn registration_limit_surfaces_cleanly() {
+    let fabric = Cluster::with_reg_limit(2, NetworkModel::ideal(), 4 << 20);
+    let c = PhotonCluster::with_fabric(fabric, PhotonConfig::tiny());
+    let p0 = c.rank(0);
+    // Middleware regions already consumed part of the budget; a huge user
+    // buffer must fail with the typed error and leave the context usable.
+    let err = p0.register_buffer(64 << 20);
+    assert!(matches!(
+        err,
+        Err(PhotonError::Fabric(FabricError::RegistrationLimit { .. }))
+    ));
+    // Still functional afterwards.
+    let small = p0.register_buffer(1024).unwrap();
+    let dst = c.rank(1).register_buffer(1024).unwrap();
+    p0.put_with_completion(1, &small, 0, 64, &dst.descriptor(), 0, 1, 1).unwrap();
+    assert_eq!(c.rank(1).wait_remote().unwrap().rid, 1);
+    // Releasing buffers returns budget.
+    p0.release_buffer(&small).unwrap();
+    let again = p0.register_buffer(1024).unwrap();
+    drop(again);
+}
+
+#[test]
+fn baseline_also_respects_fault_plan() {
+    let c = MsgCluster::new(2, NetworkModel::ib_fdr(), MsgConfig::default());
+    let run = |c: &MsgCluster| -> u64 {
+        c.reset_time();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..10u64 {
+                    e0.send(1, &[0u8; 8], i).unwrap();
+                    e0.recv(Some(1), Some(i)).unwrap();
+                }
+            });
+            s.spawn(|| {
+                for i in 0..10u64 {
+                    e1.recv(Some(0), Some(i)).unwrap();
+                    e1.send(0, &[0u8; 8], i).unwrap();
+                }
+            });
+        });
+        c.rank(0).now().as_nanos()
+    };
+    let base = run(&c);
+    c.fabric().switch().faults().degrade_link(0, 1, 10_000);
+    let slow = run(&c);
+    assert!(slow >= base + 9 * 10_000, "{base} -> {slow}");
+}

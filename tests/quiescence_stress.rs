@@ -1,0 +1,92 @@
+//! Stress the termination-detection machinery: repeated quiescence with
+//! racing parcel trees, coalescing, and collectives in the mix. This is the
+//! regression net for ordering races between concurrent probers.
+
+use photon::core::ReduceOp;
+use photon::fabric::NetworkModel;
+use photon::runtime::{ActionRegistry, RtConfig, RuntimeCluster};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn repeated_quiescence_with_racing_trees() {
+    let mut reg = ActionRegistry::new();
+    let leaves = Arc::new(AtomicU64::new(0));
+    let leaves2 = Arc::clone(&leaves);
+    let fan_id = Arc::new(AtomicU32::new(0));
+    let fan_id2 = Arc::clone(&fan_id);
+    let fan = reg.register("fan", move |ctx, payload| {
+        let ttl = payload[0];
+        if ttl == 0 {
+            leaves2.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let id = fan_id2.load(Ordering::Relaxed);
+        let n = ctx.size();
+        ctx.send_parcel((ctx.rank() + 1) % n, id, &[ttl - 1]).unwrap();
+        ctx.send_parcel((ctx.rank() + 2) % n, id, &[ttl - 1]).unwrap();
+        None
+    });
+    fan_id.store(fan, Ordering::Relaxed);
+    let n = 4;
+    let cfg = RtConfig { workers: 2, coalesce_max: 8, ..RtConfig::default() };
+    let c = RuntimeCluster::new(n, NetworkModel::ib_fdr(), cfg, reg);
+    let rounds = 8u64;
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let c = &c;
+            let leaves = &leaves;
+            s.spawn(move || {
+                let node = c.node(i);
+                for round in 1..=rounds {
+                    // Every rank seeds a tree every round (racing trees).
+                    node.send_parcel((i + round as usize) % n, fan, &[6]).unwrap();
+                    node.quiescence().unwrap();
+                    // Exactly round * n * 2^6 leaves must have run globally.
+                    let mut v = [leaves.load(Ordering::Relaxed)];
+                    node.photon().allreduce_u64(&mut v, ReduceOp::Max).unwrap();
+                    assert_eq!(v[0], round * n as u64 * 64, "round {round} rank {i}");
+                }
+            });
+        }
+    });
+    c.shutdown();
+}
+
+#[test]
+fn quiescence_with_continuations_and_rendezvous_parcels() {
+    // Large parcels (rendezvous path) and continuation replies both count
+    // toward quiescence; nothing may be left dangling.
+    let mut reg = ActionRegistry::new();
+    let sum = reg.register("sum", |_ctx, payload| {
+        let s: u64 = payload.iter().map(|&b| b as u64).sum();
+        Some(s.to_le_bytes().to_vec())
+    });
+    let n = 3;
+    let c = RuntimeCluster::new(n, NetworkModel::ib_fdr(), RtConfig::default(), reg);
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let c = &c;
+            s.spawn(move || {
+                let node = c.node(i);
+                let payload = vec![1u8; 32 * 1024]; // rendezvous-sized
+                let mut futs = Vec::new();
+                for j in 0..n {
+                    let (lco, fut) = node.new_future();
+                    node.send_parcel_with_cont(j, sum, &payload, lco).unwrap();
+                    futs.push(fut);
+                }
+                node.quiescence().unwrap();
+                // After quiescence every continuation must already be set.
+                for fut in futs {
+                    assert!(fut.is_set(), "dangling continuation after quiescence");
+                    assert_eq!(
+                        u64::from_le_bytes(fut.wait().try_into().unwrap()),
+                        32 * 1024
+                    );
+                }
+            });
+        }
+    });
+    c.shutdown();
+}
