@@ -10,7 +10,12 @@ use photon_msg::{MsgCluster, MsgConfig};
 
 /// Half-round-trip (one-way) latency of a Photon PWC ping-pong at `size`
 /// bytes, averaged over `iters` round trips.
-pub fn photon_pingpong_ns(model: NetworkModel, cfg: PhotonConfig, size: usize, iters: usize) -> u64 {
+pub fn photon_pingpong_ns(
+    model: NetworkModel,
+    cfg: PhotonConfig,
+    size: usize,
+    iters: usize,
+) -> u64 {
     let c = PhotonCluster::new(2, model, cfg);
     let (p0, p1) = (c.rank(0), c.rank(1));
     let b0 = p0.register_buffer(size.max(8)).unwrap();

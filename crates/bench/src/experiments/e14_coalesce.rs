@@ -57,9 +57,6 @@ mod tests {
     fn coalescing_lifts_parcel_rate() {
         let off = super::rate(1, 1500, 16);
         let on = super::rate(64, 1500, 16);
-        assert!(
-            on > 1.5 * off,
-            "batching should lift the rate substantially: {off} -> {on}"
-        );
+        assert!(on > 1.5 * off, "batching should lift the rate substantially: {off} -> {on}");
     }
 }

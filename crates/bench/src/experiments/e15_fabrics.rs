@@ -19,11 +19,8 @@ pub fn run() -> Table {
         "PWC one-way latency across fabric models (us)",
         &["size", "ib_fdr", "gemini", "eth10g", "eth_vs_ib", "baseline_ib"],
     );
-    let fabrics = [
-        NetworkModel::ib_fdr(),
-        NetworkModel::cray_gemini(),
-        NetworkModel::ethernet_10g(),
-    ];
+    let fabrics =
+        [NetworkModel::ib_fdr(), NetworkModel::cray_gemini(), NetworkModel::ethernet_10g()];
     for exp in [3usize, 10, 13, 16] {
         let size = 1usize << exp;
         let lat: Vec<u64> = fabrics
@@ -57,10 +54,7 @@ mod tests {
         let small_ratio = t.rows[0][4].trim_end_matches('x').parse::<f64>().unwrap();
         assert!(small_ratio > 10.0, "{small_ratio}");
         // Large messages: bandwidth-dominated, the gap narrows.
-        let large_ratio = t.rows.last().unwrap()[4]
-            .trim_end_matches('x')
-            .parse::<f64>()
-            .unwrap();
+        let large_ratio = t.rows.last().unwrap()[4].trim_end_matches('x').parse::<f64>().unwrap();
         assert!(large_ratio < small_ratio);
     }
 }

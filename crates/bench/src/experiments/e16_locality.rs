@@ -41,11 +41,7 @@ pub fn run() -> Table {
     for over in [1u64, 2, 4, 8] {
         let topo = PodTopology { pod_size: 4, oversubscription: over, core_latency_ns: 300 };
         let v = alltoall_ns(n, block, Some(topo));
-        t.row(vec![
-            format!("pods4_over{over}"),
-            us(v),
-            format!("{:.2}x", v as f64 / flat as f64),
-        ]);
+        t.row(vec![format!("pods4_over{over}"), us(v), format!("{:.2}x", v as f64 / flat as f64)]);
     }
     t
 }
@@ -62,10 +58,7 @@ mod tests {
             2048,
             Some(PodTopology { pod_size: 4, oversubscription: 4, core_latency_ns: 300 }),
         );
-        assert!(
-            over4 > flat * 2,
-            "4x oversubscription must hurt an all-to-all: {flat} -> {over4}"
-        );
+        assert!(over4 > flat * 2, "4x oversubscription must hurt an all-to-all: {flat} -> {over4}");
         // Non-blocking pods (over=1) stay close to flat (core hop only).
         let over1 = super::alltoall_ns(
             8,

@@ -25,12 +25,7 @@ pub fn run() -> Table {
         let size = 1usize << exp;
         let p = drivers::photon_pingpong_ns(model, PhotonConfig::default(), size, iters);
         let b = drivers::msg_pingpong_ns(model, MsgConfig::default(), size, iters);
-        t.row(vec![
-            size_label(size),
-            us(p),
-            us(b),
-            format!("{:.2}x", b as f64 / p as f64),
-        ]);
+        t.row(vec![size_label(size), us(p), us(b), format!("{:.2}x", b as f64 / p as f64)]);
     }
     t
 }

@@ -46,11 +46,19 @@ mod tests {
         let parse = |s: &str| s.parse::<f64>().unwrap();
         // 64B row: the 1KiB-threshold (eager) path beats direct-only.
         let small = &t.rows[0];
-        assert!(parse(&small[2]) < parse(&small[1]),
-            "eager should win at 64B: {} vs {}", small[2], small[1]);
+        assert!(
+            parse(&small[2]) < parse(&small[1]),
+            "eager should win at 64B: {} vs {}",
+            small[2],
+            small[1]
+        );
         // 64KiB row: direct beats the 64KiB-threshold (still-eager) path.
         let large = t.rows.last().unwrap();
-        assert!(parse(&large[1]) < parse(&large[4]),
-            "direct should win at 64KiB: {} vs {}", large[1], large[4]);
+        assert!(
+            parse(&large[1]) < parse(&large[4]),
+            "direct should win at 64KiB: {} vs {}",
+            large[1],
+            large[4]
+        );
     }
 }

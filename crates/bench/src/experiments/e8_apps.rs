@@ -33,7 +33,8 @@ fn gups(n: usize, updates_per_rank: usize, elems_per_rank: usize) -> f64 {
         applied2.fetch_add(1, Ordering::Relaxed);
         None
     });
-    let cfg = RtConfig { workers: 1, photon: super::compact_photon_config(), ..RtConfig::default() };
+    let cfg =
+        RtConfig { workers: 1, photon: super::compact_photon_config(), ..RtConfig::default() };
     let c = RuntimeCluster::new(n, NetworkModel::ib_fdr(), cfg, reg);
     let arr = c.alloc_global_array(elems_per_rank).unwrap();
     arr_slot.set(Arc::clone(&arr)).expect("set once");
@@ -62,12 +63,7 @@ fn gups(n: usize, updates_per_rank: usize, elems_per_rank: usize) -> f64 {
         assert!(Instant::now() < deadline, "gups never drained");
         std::thread::sleep(Duration::from_micros(100));
     }
-    let t_ns = c
-        .nodes()
-        .iter()
-        .map(|nd| nd.photon().now().as_nanos())
-        .max()
-        .unwrap();
+    let t_ns = c.nodes().iter().map(|nd| nd.photon().now().as_nanos()).max().unwrap();
     c.shutdown();
     total as f64 / (t_ns as f64 / 1e9)
 }
@@ -76,9 +72,8 @@ fn gups(n: usize, updates_per_rank: usize, elems_per_rank: usize) -> f64 {
 /// operations pipelined per rank, additive updates.
 fn gups_atomics(n: usize, updates_per_rank: usize, elems_per_rank: usize) -> f64 {
     let c = PhotonCluster::new(n, NetworkModel::ib_fdr(), super::compact_photon_config());
-    let tables: Vec<_> = (0..n)
-        .map(|i| c.rank(i).register_buffer(elems_per_rank * 8).unwrap())
-        .collect();
+    let tables: Vec<_> =
+        (0..n).map(|i| c.rank(i).register_buffer(elems_per_rank * 8).unwrap()).collect();
     let descs: Vec<_> = tables.iter().map(|t| t.descriptor()).collect();
     c.reset_time();
     std::thread::scope(|s| {
@@ -146,9 +141,8 @@ fn photon_stencil_ns_per_iter(n: usize, iters: usize) -> u64 {
     let c = PhotonCluster::new(n, NetworkModel::ib_fdr(), cfg);
     // Grid layout: row 0 = top halo, rows 1..=ROWS interior, row ROWS+1 =
     // bottom halo.
-    let grids: Vec<_> = (0..n)
-        .map(|i| c.rank(i).register_buffer((ROWS + 2) * row_bytes).unwrap())
-        .collect();
+    let grids: Vec<_> =
+        (0..n).map(|i| c.rank(i).register_buffer((ROWS + 2) * row_bytes).unwrap()).collect();
     let descs: Vec<_> = grids.iter().map(|g| g.descriptor()).collect();
     c.reset_time();
     std::thread::scope(|s| {
@@ -164,10 +158,28 @@ fn photon_stencil_ns_per_iter(n: usize, iters: usize) -> u64 {
                 for k in 0..iters as u64 {
                     // Top interior row -> `up`'s bottom halo; bottom
                     // interior row -> `down`'s top halo.
-                    p.put_with_completion(up, g, row_bytes, row_bytes,
-                        &descs[up], (ROWS + 1) * row_bytes, 2 * k, k).unwrap();
-                    p.put_with_completion(down, g, ROWS * row_bytes, row_bytes,
-                        &descs[down], 0, 2 * k + 1, k).unwrap();
+                    p.put_with_completion(
+                        up,
+                        g,
+                        row_bytes,
+                        row_bytes,
+                        &descs[up],
+                        (ROWS + 1) * row_bytes,
+                        2 * k,
+                        k,
+                    )
+                    .unwrap();
+                    p.put_with_completion(
+                        down,
+                        g,
+                        ROWS * row_bytes,
+                        row_bytes,
+                        &descs[down],
+                        0,
+                        2 * k + 1,
+                        k,
+                    )
+                    .unwrap();
                     p.wait_remote().unwrap();
                     p.wait_remote().unwrap();
                     // Five-point relaxation over the interior, modeled at
@@ -185,9 +197,7 @@ fn photon_stencil_ns_per_iter(n: usize, iters: usize) -> u64 {
 fn msg_stencil_ns_per_iter(n: usize, iters: usize) -> u64 {
     let row_bytes = COLS * 8;
     let c = MsgCluster::new(n, NetworkModel::ib_fdr(), super::compact_msg_config());
-    let bufs: Vec<_> = (0..n)
-        .map(|i| c.rank(i).register_buffer(2 * row_bytes).unwrap())
-        .collect();
+    let bufs: Vec<_> = (0..n).map(|i| c.rank(i).register_buffer(2 * row_bytes).unwrap()).collect();
     std::thread::scope(|s| {
         for i in 0..n {
             let c = &c;

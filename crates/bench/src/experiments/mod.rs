@@ -2,6 +2,13 @@
 //! `run() -> Table`; the `figures` binary dispatches by id.
 
 pub mod drivers;
+pub mod e10_ledger;
+pub mod e11_model;
+pub mod e12_regcache;
+pub mod e13_imm;
+pub mod e14_coalesce;
+pub mod e15_fabrics;
+pub mod e16_locality;
 pub mod e1_latency;
 pub mod e2_bandwidth;
 pub mod e3_msgrate;
@@ -10,19 +17,13 @@ pub mod e5_probe;
 pub mod e6_collectives;
 pub mod e7_overlap;
 pub mod e8_apps;
-pub mod e10_ledger;
-pub mod e11_model;
-pub mod e12_regcache;
-pub mod e13_imm;
-pub mod e14_coalesce;
-pub mod e15_fabrics;
-pub mod e16_locality;
 
 use crate::report::Table;
 
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8a", "e8b", "e8c", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8a", "e8b", "e8c", "e10", "e11", "e12", "e13",
+    "e14", "e15", "e16",
 ];
 
 /// Run one experiment by id.
@@ -63,5 +64,9 @@ pub fn compact_photon_config() -> photon_core::PhotonConfig {
 
 /// The matching compact baseline config.
 pub fn compact_msg_config() -> photon_msg::MsgConfig {
-    photon_msg::MsgConfig { pool_slots: 64, eager_threshold: 4096, ..photon_msg::MsgConfig::default() }
+    photon_msg::MsgConfig {
+        pool_slots: 64,
+        eager_threshold: 4096,
+        ..photon_msg::MsgConfig::default()
+    }
 }

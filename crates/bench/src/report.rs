@@ -53,11 +53,8 @@ impl Table {
         let _ = writeln!(out, "{}", hdr.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(hdr.join("  ").len()));
         for r in &self.rows {
-            let line: Vec<String> = r
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-                .collect();
+            let line: Vec<String> =
+                r.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         out

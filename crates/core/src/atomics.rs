@@ -134,7 +134,7 @@ impl Photon {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{PhotonCluster, PhotonConfig};
     use photon_fabric::{FabricError, NetworkModel};
 

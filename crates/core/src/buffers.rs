@@ -120,10 +120,7 @@ mod tests {
         let c = Cluster::new(1, NetworkModel::ideal());
         let b = PhotonBuffer::register(c.nic(0), 16).unwrap();
         assert!(b.check(0, 16).is_ok());
-        assert!(matches!(
-            b.check(8, 16),
-            Err(PhotonError::OutOfRange { cap: 16, .. })
-        ));
+        assert!(matches!(b.check(8, 16), Err(PhotonError::OutOfRange { cap: 16, .. })));
         assert!(b.check(usize::MAX, 2).is_err(), "overflow-safe");
     }
 }

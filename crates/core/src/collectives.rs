@@ -373,10 +373,7 @@ fn encode_u64s(data: &[u64]) -> Vec<u8> {
 }
 
 fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
-    bytes
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 fn encode_f64s(data: &[f64]) -> Vec<u8> {
@@ -384,10 +381,7 @@ fn encode_f64s(data: &[f64]) -> Vec<u8> {
 }
 
 fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
-    bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 #[cfg(test)]
@@ -436,11 +430,8 @@ mod tests {
         for root in 0..n {
             let c = PhotonCluster::new(n, NetworkModel::ib_fdr(), PhotonConfig::default());
             run_all(&c, |p| {
-                let mut data = if p.rank() == root {
-                    b"broadcast payload".to_vec()
-                } else {
-                    vec![0u8; 17]
-                };
+                let mut data =
+                    if p.rank() == root { b"broadcast payload".to_vec() } else { vec![0u8; 17] };
                 p.bcast(root, &mut data).unwrap();
                 assert_eq!(data, b"broadcast payload");
             });
@@ -573,10 +564,7 @@ mod tests {
         run_all(&c, |p| {
             let send = vec![0u8; 10];
             let mut recv = vec![0u8; 12];
-            assert!(matches!(
-                p.alltoall(&send, &mut recv),
-                Err(PhotonError::Protocol(_))
-            ));
+            assert!(matches!(p.alltoall(&send, &mut recv), Err(PhotonError::Protocol(_))));
         });
     }
 

@@ -32,6 +32,13 @@ pub struct PhotonConfig {
     /// completion queue, surfacing `CqOverflow` at the producer — exactly
     /// the trade the ledger design avoids. Ablated by experiment E13.
     pub imm_completions: bool,
+    /// **Test-only seeded bug**: drop every `n`-th credit-return write on
+    /// the floor (0 = disabled, the only sane production value). The
+    /// consumer believes it returned credits but the producer's credit
+    /// words are never updated. Exists so the simulation-test invariant
+    /// checkers can prove they detect credit-accounting bugs (the mutation
+    /// smoke check in `crates/simtest`).
+    pub skip_credit_return_interval: u64,
 }
 
 impl PhotonConfig {
@@ -72,6 +79,7 @@ impl Default for PhotonConfig {
             coll_slot_bytes: 64 * 1024,
             wait_timeout_secs: 30,
             imm_completions: false,
+            skip_credit_return_interval: 0,
         }
     }
 }

@@ -256,12 +256,20 @@ impl EagerRx {
     /// it and describe where its payload lives.  A tail too short for a
     /// header is skipped implicitly (mirroring the producer); explicit
     /// `Skip` frames are returned so the caller can poll again.
+    ///
+    /// The implicit-skip advance is committed only together with the frame
+    /// that follows it. The producer accounts the dead tail lazily, when it
+    /// reserves the frame after the wrap — if the consumer committed it on
+    /// a speculative (empty) poll, its cursor would run ahead of the
+    /// producer's, breaking cursor conservation and the credit-word
+    /// invariant `consumer_cursor <= producer_cursor`.
     pub fn accept(&mut self, ring: &[u8]) -> Option<EagerFrame> {
         debug_assert_eq!(ring.len() as u64, self.ring);
         let mut pos = (self.cursor % self.ring) as usize;
         let tail = self.ring as usize - pos;
+        let mut skipped = 0u64;
         if tail < FRAME_HDR {
-            self.cursor += tail as u64;
+            skipped = tail as u64;
             pos = 0;
         }
         let h = FrameHeader::decode(&ring[pos..pos + FRAME_HDR])?;
@@ -270,7 +278,7 @@ impl EagerRx {
         }
         let payload_offset = pos + FRAME_HDR;
         self.frames += 1;
-        self.cursor += h.span() as u64;
+        self.cursor += skipped + h.span() as u64;
         Some(EagerFrame { header: h, payload_offset })
     }
 
@@ -430,7 +438,15 @@ mod tests {
     fn stale_frame_not_accepted() {
         let mut rx = EagerRx::new(256, 64);
         let mut ring = vec![0u8; 256];
-        let h = FrameHeader { seq: 99, rid: 0, dst_addr: 0, dst_rkey: 0, size: 0, kind: FrameKind::Msg, ts: 0 };
+        let h = FrameHeader {
+            seq: 99,
+            rid: 0,
+            dst_addr: 0,
+            dst_rkey: 0,
+            size: 0,
+            kind: FrameKind::Msg,
+            ts: 0,
+        };
         ring[..FRAME_HDR].copy_from_slice(&h.encode());
         assert!(rx.accept(&ring).is_none());
         assert_eq!(rx.cursor(), 0);

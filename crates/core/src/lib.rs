@@ -81,7 +81,7 @@ pub mod trace;
 pub use buffers::PhotonBuffer;
 pub use collectives::ReduceOp;
 pub use config::PhotonConfig;
-pub use photon::{Photon, PhotonCluster};
+pub use photon::{CreditState, Photon, PhotonCluster};
 pub use pool::BufferPool;
 pub use probe::{Event, ProbeFlags, RemoteEvent};
 pub use stats::StatsSnapshot;

@@ -67,6 +67,33 @@ struct PeerRx {
     ring: EagerRx,
 }
 
+/// Snapshot of the credit/flow-control state between one rank and one peer,
+/// taken by [`Photon::credit_state`] for invariant checking.
+///
+/// `tx_*` fields describe this rank's *production* toward the peer;
+/// `rx_*` fields describe this rank's *consumption* of the peer's traffic;
+/// `credit_word_*` are the raw credit words in this rank's service region
+/// (written by the peer when it returns credits for this rank's production).
+///
+/// At quiescence, for ranks `a` and `b`:
+/// `a.credit_state(b).tx_ledger_produced == b.credit_state(a).rx_ledger_consumed`
+/// and the credit words lag consumption by less than one credit interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditState {
+    /// Ledger entries this rank has produced toward the peer.
+    pub tx_ledger_produced: u64,
+    /// Eager-ring bytes this rank has reserved toward the peer (cursor).
+    pub tx_ring_cursor: u64,
+    /// Ledger entries this rank has consumed from the peer.
+    pub rx_ledger_consumed: u64,
+    /// Eager-ring bytes this rank has consumed from the peer (cursor).
+    pub rx_ring_cursor: u64,
+    /// Peer-written credit word: entries of ours the peer says it consumed.
+    pub credit_word_ledger: u64,
+    /// Peer-written credit word: ring bytes of ours the peer says it freed.
+    pub credit_word_ring: u64,
+}
+
 /// A Photon middleware context: one per rank.
 ///
 /// All methods take `&self` and the context is `Send + Sync`: a runtime may
@@ -97,6 +124,7 @@ pub struct Photon {
     pub(crate) coll_seq: AtomicU32,
     next_wr: AtomicU64,
     next_internal: AtomicU64,
+    credit_return_seq: AtomicU64,
     stats: Stats,
     tracer: Tracer,
     ledger_bytes: usize,
@@ -121,9 +149,8 @@ impl PhotonCluster {
     /// fault plans).
     pub fn with_fabric(fabric: Cluster, cfg: PhotonConfig) -> PhotonCluster {
         let n = fabric.len();
-        let ranks: Vec<Arc<Photon>> = (0..n)
-            .map(|i| Arc::new(Photon::init(i, &fabric, cfg).expect("photon init")))
-            .collect();
+        let ranks: Vec<Arc<Photon>> =
+            (0..n).map(|i| Arc::new(Photon::init(i, &fabric, cfg).expect("photon init"))).collect();
         // Out-of-band descriptor exchange (PMI stand-in).
         let svc_keys: Vec<RemoteKey> = ranks.iter().map(|p| p.svc.remote_key()).collect();
         let coll_keys: Vec<RemoteKey> = ranks.iter().map(|p| p.coll_recv.descriptor()).collect();
@@ -229,6 +256,7 @@ impl Photon {
             coll_seq: AtomicU32::new(0),
             next_wr: AtomicU64::new(1),
             next_internal: AtomicU64::new(0),
+            credit_return_seq: AtomicU64::new(0),
             stats: Stats::default(),
             tracer: Tracer::default(),
             ledger_bytes,
@@ -297,6 +325,52 @@ impl Photon {
     /// namespace, never collides with user rids).
     pub fn internal_rid(&self) -> u64 {
         INTERNAL_RID_BASE | self.next_internal.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------ observer hooks
+    //
+    // Read-only snapshots for test harnesses and invariant checkers. None
+    // of these drive progress or mutate protocol state.
+
+    /// Work requests posted but not yet surfaced as local completions.
+    /// A quiesced context has zero in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending_local.lock().len()
+    }
+
+    /// Depths of the `(local, remote)` completion-event queues: events
+    /// delivered by progress but not yet consumed by probes/waits.
+    pub fn queued_events(&self) -> (usize, usize) {
+        (self.local_events.lock().len(), self.remote_events.lock().len())
+    }
+
+    /// Undelivered rendezvous state: `(buffer announces, FINs)` parked for
+    /// tags nobody has waited on yet.
+    pub fn queued_rendezvous(&self) -> (usize, usize) {
+        (self.rdv_announces.lock().len(), self.rdv_fins.lock().len())
+    }
+
+    /// Snapshot of the credit/flow-control state for the link between this
+    /// rank and `peer` (both directions as seen from this side).
+    pub fn credit_state(&self, peer: Rank) -> Result<CreditState> {
+        self.check_rank(peer)?;
+        let (tx_ledger_produced, tx_ring_cursor) = {
+            let tx = self.tx[peer].lock();
+            (tx.ledger.produced(), tx.ring.cursor())
+        };
+        let (rx_ledger_consumed, rx_ring_cursor) = {
+            let rx = self.rx[peer].lock();
+            (rx.ledger.consumed(), rx.ring.cursor())
+        };
+        let off = self.my_block_off(peer) + self.sub_credit();
+        Ok(CreditState {
+            tx_ledger_produced,
+            tx_ring_cursor,
+            rx_ledger_consumed,
+            rx_ring_cursor,
+            credit_word_ledger: self.svc.read_u64(off),
+            credit_word_ring: self.svc.read_u64(off + 8),
+        })
     }
 
     fn check_rank(&self, peer: Rank) -> Result<()> {
@@ -385,11 +459,7 @@ impl Photon {
 
     fn remote_slice(&self, peer: Rank, sub: usize, len: usize) -> RemoteSlice {
         let key = &self.svc_keys.get().expect("cluster initialized")[peer];
-        RemoteSlice {
-            addr: key.addr + (self.rank * self.block + sub) as u64,
-            rkey: key.rkey,
-            len,
-        }
+        RemoteSlice { addr: key.addr + (self.rank * self.block + sub) as u64, rkey: key.rkey, len }
     }
 
     pub(crate) fn coll_slot_bytes(&self) -> usize {
@@ -484,7 +554,13 @@ impl Photon {
             };
             let so = self.stage_off(peer, self.sub_ring(off));
             self.stage.write_at(so, &h.encode());
-            self.post_stage_write(peer, self.sub_ring(off), eager::FRAME_HDR, None, Some(eager::TS_OFFSET))?;
+            self.post_stage_write(
+                peer,
+                self.sub_ring(off),
+                eager::FRAME_HDR,
+                None,
+                Some(eager::TS_OFFSET),
+            )?;
         }
         let (dst_addr, dst_rkey) = dst.unwrap_or((0, 0));
         let h = FrameHeader {
@@ -557,7 +633,13 @@ impl Photon {
         let e = Entry { seq, rid, size, addr, rkey, kind, ts: 0 };
         let so = self.stage_off(peer, self.sub_ledger(slot));
         self.stage.write_at(so, &e.encode());
-        self.post_stage_write(peer, self.sub_ledger(slot), ENTRY_BYTES, None, Some(ledger::TS_OFFSET))?;
+        self.post_stage_write(
+            peer,
+            self.sub_ledger(slot),
+            ENTRY_BYTES,
+            None,
+            Some(ledger::TS_OFFSET),
+        )?;
         Ok(true)
     }
 
@@ -571,6 +653,12 @@ impl Photon {
     }
 
     fn return_credits(&self, peer: Rank, ledger_consumed: u64, ring_cursor: u64) -> Result<()> {
+        let skip = self.cfg.skip_credit_return_interval;
+        if skip > 0 && self.credit_return_seq.fetch_add(1, Ordering::Relaxed) % skip == skip - 1 {
+            // Seeded credit-accounting bug (see PhotonConfig): the consumer
+            // has advanced its counters but the producer is never told.
+            return Ok(());
+        }
         let sub = self.sub_credit();
         let so = self.stage_off(peer, sub);
         self.stage.write_u64(so, ledger_consumed);
@@ -841,7 +929,8 @@ impl Photon {
             });
         }
         self.blocking("send credits", |s| {
-            let posted = s.try_send_frame(peer, FrameKind::Msg, remote_rid, payload, None, local_rid)?;
+            let posted =
+                s.try_send_frame(peer, FrameKind::Msg, remote_rid, payload, None, local_rid)?;
             if posted {
                 Stats::bump(&s.stats.sends);
                 s.tracer.record(s.clock.now(), TraceOp::Send, peer, remote_rid, payload.len());
@@ -871,11 +960,11 @@ impl Photon {
                 if let photon_fabric::verbs::CompletionKind::ImmDone { src, len, imm } = c.kind {
                     Stats::bump(&self.stats.remote_completions);
                     if rid_space::is_reserved(imm) {
-                        self.coll_inbox
-                            .lock()
-                            .entry(imm)
-                            .or_default()
-                            .push_back((src, Vec::new(), c.ts));
+                        self.coll_inbox.lock().entry(imm).or_default().push_back((
+                            src,
+                            Vec::new(),
+                            c.ts,
+                        ));
                     } else {
                         self.remote_events.lock().push_back(RemoteEvent {
                             src,
@@ -904,14 +993,10 @@ impl Photon {
             let credit = {
                 let mut rx = self.rx[j].lock();
                 let off = lbase + rx.ledger.head_offset();
-                let e = self
-                    .svc
-                    .with_bytes(|b| rx.ledger.accept(&b[off..off + ENTRY_BYTES]));
+                let e = self.svc.with_bytes(|b| rx.ledger.accept(&b[off..off + ENTRY_BYTES]));
                 let Some(e) = e else { break };
                 self.route_entry(j, e);
-                rx.ledger
-                    .credit_due()
-                    .map(|_| (rx.ledger.consumed(), rx.ring.cursor()))
+                rx.ledger.credit_due().map(|_| (rx.ledger.consumed(), rx.ring.cursor()))
             };
             if let Some((lc, rc)) = credit {
                 self.return_credits(j, lc, rc)?;
@@ -936,9 +1021,7 @@ impl Photon {
                 });
                 let Some((f, pay)) = got else { break };
                 self.route_frame(j, f, pay)?;
-                rx.ring
-                    .credit_due()
-                    .map(|_| (rx.ledger.consumed(), rx.ring.cursor()))
+                rx.ring.credit_due().map(|_| (rx.ledger.consumed(), rx.ring.cursor()))
             };
             if let Some((lc, rc)) = credit {
                 self.return_credits(j, lc, rc)?;
@@ -953,11 +1036,11 @@ impl Photon {
             EntryKind::Completion | EntryKind::GetNotify => {
                 Stats::bump(&self.stats.remote_completions);
                 if rid_space::is_reserved(e.rid) {
-                    self.coll_inbox
-                        .lock()
-                        .entry(e.rid)
-                        .or_default()
-                        .push_back((src, Vec::new(), ts));
+                    self.coll_inbox.lock().entry(e.rid).or_default().push_back((
+                        src,
+                        Vec::new(),
+                        ts,
+                    ));
                 } else {
                     self.remote_events.lock().push_back(RemoteEvent {
                         src,
@@ -990,11 +1073,7 @@ impl Photon {
             FrameKind::Msg => {
                 Stats::bump(&self.stats.remote_completions);
                 if rid_space::is_reserved(h.rid) {
-                    self.coll_inbox
-                        .lock()
-                        .entry(h.rid)
-                        .or_default()
-                        .push_back((src, payload, ts));
+                    self.coll_inbox.lock().entry(h.rid).or_default().push_back((src, payload, ts));
                 } else {
                     self.remote_events.lock().push_back(RemoteEvent {
                         src,
@@ -1018,11 +1097,11 @@ impl Photon {
                 let done = self.clock.advance(self.copy_ns(payload.len()));
                 Stats::bump(&self.stats.remote_completions);
                 if rid_space::is_reserved(h.rid) {
-                    self.coll_inbox
-                        .lock()
-                        .entry(h.rid)
-                        .or_default()
-                        .push_back((src, Vec::new(), done));
+                    self.coll_inbox.lock().entry(h.rid).or_default().push_back((
+                        src,
+                        Vec::new(),
+                        done,
+                    ));
                 } else {
                     self.remote_events.lock().push_back(RemoteEvent {
                         src,
@@ -1044,11 +1123,7 @@ impl Photon {
         self.progress()?;
         let ev = match flags {
             ProbeFlags::Local => self.local_events.lock().pop_front(),
-            ProbeFlags::Remote => self
-                .remote_events
-                .lock()
-                .pop_front()
-                .map(Event::Remote),
+            ProbeFlags::Remote => self.remote_events.lock().pop_front().map(Event::Remote),
             ProbeFlags::Any => {
                 let local = self.local_events.lock().pop_front();
                 local.or_else(|| self.remote_events.lock().pop_front().map(Event::Remote))
@@ -1080,9 +1155,7 @@ impl Photon {
     pub fn wait_local(&self, rid: u64) -> Result<VTime> {
         let ts = self.blocking("local completion", |s| {
             let mut q = s.local_events.lock();
-            let pos = q
-                .iter()
-                .position(|e| matches!(e, Event::Local { rid: r, .. } if *r == rid));
+            let pos = q.iter().position(|e| matches!(e, Event::Local { rid: r, .. } if *r == rid));
             Ok(pos.map(|p| match q.remove(p) {
                 Some(Event::Local { ts, .. }) => ts,
                 _ => unreachable!("position matched a local event"),
@@ -1095,9 +1168,7 @@ impl Photon {
 
     /// Block until the next remote completion arrives.
     pub fn wait_remote(&self) -> Result<RemoteEvent> {
-        let ev = self.blocking("remote completion", |s| {
-            Ok(s.remote_events.lock().pop_front())
-        })?;
+        let ev = self.blocking("remote completion", |s| Ok(s.remote_events.lock().pop_front()))?;
         self.clock.advance_to(ev.ts);
         self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
         Ok(ev)
@@ -1122,9 +1193,7 @@ impl Photon {
     pub fn test_local(&self, rid: u64) -> Result<Option<VTime>> {
         self.progress()?;
         let mut q = self.local_events.lock();
-        let pos = q
-            .iter()
-            .position(|e| matches!(e, Event::Local { rid: r, .. } if *r == rid));
+        let pos = q.iter().position(|e| matches!(e, Event::Local { rid: r, .. } if *r == rid));
         let ts = pos.map(|p| match q.remove(p) {
             Some(Event::Local { ts, .. }) => ts,
             _ => unreachable!("position matched a local event"),
@@ -1153,10 +1222,7 @@ impl Photon {
     /// Block until a collective-namespace message with `rid` arrives.
     pub(crate) fn wait_coll(&self, rid: u64) -> Result<(Rank, Vec<u8>, VTime)> {
         let got = self.blocking("collective message", |s| {
-            Ok(s.coll_inbox
-                .lock()
-                .get_mut(&rid)
-                .and_then(|q| q.pop_front()))
+            Ok(s.coll_inbox.lock().get_mut(&rid).and_then(|q| q.pop_front()))
         })?;
         self.clock.advance_to(got.2);
         Ok(got)
@@ -1217,8 +1283,7 @@ mod tests {
         let src = p0.register_buffer(256).unwrap();
         let dst = p1.register_buffer(256).unwrap();
         src.write_at(0, b"eager path");
-        p0.put_with_completion(1, &src, 0, 10, &dst.descriptor(), 16, 7, 99)
-            .unwrap();
+        p0.put_with_completion(1, &src, 0, 10, &dst.descriptor(), 16, 7, 99).unwrap();
         assert!(p0.wait_local(7).unwrap() > VTime::ZERO);
         let ev = p1.wait_remote().unwrap();
         assert_eq!(ev.rid, 99);
@@ -1239,8 +1304,7 @@ mod tests {
         let src = p0.register_buffer(len).unwrap();
         let dst = p1.register_buffer(len).unwrap();
         src.fill(0xAB);
-        p0.put_with_completion(1, &src, 0, len, &dst.descriptor(), 0, 1, 2)
-            .unwrap();
+        p0.put_with_completion(1, &src, 0, len, &dst.descriptor(), 0, 1, 2).unwrap();
         p0.wait_local(1).unwrap();
         let ev = p1.wait_remote().unwrap();
         assert_eq!(ev.rid, 2);
@@ -1257,8 +1321,7 @@ mod tests {
         let dst = p0.register_buffer(128).unwrap();
         let src = p1.register_buffer(128).unwrap();
         src.write_at(32, b"pull me");
-        p0.get_with_completion(1, &dst, 0, 7, &src.descriptor(), 32, 55)
-            .unwrap();
+        p0.get_with_completion(1, &dst, 0, 7, &src.descriptor(), 32, 55).unwrap();
         p0.wait_local(55).unwrap();
         assert_eq!(dst.to_vec(0, 7), b"pull me");
         assert_eq!(p0.stats().gets, 1);
@@ -1270,8 +1333,7 @@ mod tests {
         let (p0, p1) = (c.rank(0), c.rank(1));
         let dst = p0.register_buffer(8).unwrap();
         let src = p1.register_buffer(8).unwrap();
-        p0.get_with_remote_notify(1, &dst, 0, 8, &src.descriptor(), 0, 1, 77)
-            .unwrap();
+        p0.get_with_remote_notify(1, &dst, 0, 8, &src.descriptor(), 0, 1, 77).unwrap();
         p0.wait_local(1).unwrap();
         let ev = p1.wait_remote().unwrap();
         assert_eq!(ev.rid, 77);
@@ -1322,21 +1384,15 @@ mod tests {
         let dst = p1.register_buffer(64).unwrap();
         // 8-slot ledger: the 9th un-probed direct put must report no space.
         for i in 0..8 {
-            assert!(p0
-                .try_put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, i, i)
-                .unwrap());
+            assert!(p0.try_put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, i, i).unwrap());
         }
-        assert!(!p0
-            .try_put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, 9, 9)
-            .unwrap());
+        assert!(!p0.try_put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, 9, 9).unwrap());
         assert!(p0.stats().credit_stalls > 0);
         // Once the peer probes, credits come back.
         for _ in 0..8 {
             p1.wait_remote().unwrap();
         }
-        assert!(p0
-            .try_put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, 9, 9)
-            .unwrap());
+        assert!(p0.try_put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, 9, 9).unwrap());
     }
 
     #[test]
@@ -1371,10 +1427,7 @@ mod tests {
             Err(PhotonError::OutOfRange { .. })
         ));
         let huge = vec![0u8; 1 << 20];
-        assert!(matches!(
-            p0.send(1, &huge, 1),
-            Err(PhotonError::MessageTooLarge { .. })
-        ));
+        assert!(matches!(p0.send(1, &huge, 1), Err(PhotonError::MessageTooLarge { .. })));
     }
 
     #[test]
@@ -1415,10 +1468,8 @@ mod tests {
         p1.send(0, b"from-1", 11).unwrap();
         // Ensure rank 1's message is already queued before rank 2 sends, so
         // the filter (not arrival order) is what's being tested.
-        p0.blocking("first arrival", |s| {
-            Ok((!s.remote_events.lock().is_empty()).then_some(()))
-        })
-        .unwrap();
+        p0.blocking("first arrival", |s| Ok((!s.remote_events.lock().is_empty()).then_some(())))
+            .unwrap();
         p2.send(0, b"from-2", 22).unwrap();
         let ev = p0.wait_remote_from(2).unwrap();
         assert_eq!((ev.src, ev.rid), (2, 22));
@@ -1511,11 +1562,8 @@ mod tests {
             NetworkModel::ideal(),
             photon_fabric::NicConfig { cq_depth: 32, ..photon_fabric::NicConfig::default() },
         );
-        let cfg = PhotonConfig {
-            eager_threshold: 0,
-            imm_completions: true,
-            ..PhotonConfig::default()
-        };
+        let cfg =
+            PhotonConfig { eager_threshold: 0, imm_completions: true, ..PhotonConfig::default() };
         let c = PhotonCluster::with_fabric(fabric, cfg);
         let p0 = c.rank(0);
         let src = p0.register_buffer(8).unwrap();
@@ -1574,9 +1622,6 @@ mod tests {
         let before = p0.now();
         let _b = p0.register_buffer(1 << 20).unwrap();
         let m = NetworkModel::ib_fdr();
-        assert_eq!(
-            p0.now().as_nanos() - before.as_nanos(),
-            m.registration_ns(1 << 20)
-        );
+        assert_eq!(p0.now().as_nanos() - before.as_nanos(), m.registration_ns(1 << 20));
     }
 }

@@ -53,8 +53,7 @@ impl BufferPool {
 
     /// Deregister everything currently pooled (releases pinning budget).
     pub fn drain(&self) -> Result<()> {
-        let all: Vec<PhotonBuffer> =
-            self.free.lock().drain().flat_map(|(_, v)| v).collect();
+        let all: Vec<PhotonBuffer> = self.free.lock().drain().flat_map(|(_, v)| v).collect();
         for b in all {
             self.photon.release_buffer(&b)?;
         }

@@ -57,6 +57,28 @@ impl Photon {
         })
     }
 
+    /// Non-blocking [`Photon::post_recv_buffer`]: `Ok(false)` when the
+    /// control ledger toward `peer` is out of credits (retry after the peer
+    /// probes). Single-threaded steppers use this to announce buffers
+    /// without spinning.
+    pub fn try_post_recv_buffer(
+        &self,
+        peer: Rank,
+        buf: &PhotonBuffer,
+        off: usize,
+        len: usize,
+        tag: u64,
+    ) -> Result<bool> {
+        buf.check(off, len)?;
+        let d = buf.descriptor_at(off, len)?;
+        let posted =
+            self.try_post_entry_pub(peer, EntryKind::RdvPost, tag, len as u64, d.addr, d.rkey)?;
+        if posted {
+            Stats::bump(&self.stats_ref().rendezvous_ops);
+        }
+        Ok(posted)
+    }
+
     /// Wait for `peer` to announce a receive buffer for `tag`; returns its
     /// descriptor.
     pub fn wait_send_buffer(&self, peer: Rank, tag: u64) -> Result<BufferDescriptor> {
@@ -68,13 +90,36 @@ impl Photon {
         Ok(desc)
     }
 
+    /// Non-blocking [`Photon::wait_send_buffer`]: drives progress once and
+    /// returns `Ok(None)` when `peer` has not yet announced a buffer for
+    /// `tag`. Single-threaded steppers (the simulation-test executor) use
+    /// this instead of the spinning wait.
+    pub fn try_wait_send_buffer(&self, peer: Rank, tag: u64) -> Result<Option<BufferDescriptor>> {
+        self.check_rank_pub(peer)?;
+        self.progress()?;
+        let got = self.rdv_announces.lock().remove(&(peer, tag));
+        Ok(got.map(|(desc, ts)| {
+            self.clock_ref().advance_to(ts);
+            desc
+        }))
+    }
+
     /// Tell `peer` the put into its announced buffer for `tag` is complete.
     pub fn send_fin(&self, peer: Rank, tag: u64) -> Result<()> {
         Stats::bump(&self.stats_ref().rendezvous_ops);
         self.blocking("fin credits", |s| {
-            s.try_post_entry_pub(peer, EntryKind::Fin, tag, 0, 0, 0)
-                .map(|p| p.then_some(()))
+            s.try_post_entry_pub(peer, EntryKind::Fin, tag, 0, 0, 0).map(|p| p.then_some(()))
         })
+    }
+
+    /// Non-blocking [`Photon::send_fin`]: `Ok(false)` when the control
+    /// ledger toward `peer` is out of credits.
+    pub fn try_send_fin(&self, peer: Rank, tag: u64) -> Result<bool> {
+        let posted = self.try_post_entry_pub(peer, EntryKind::Fin, tag, 0, 0, 0)?;
+        if posted {
+            Stats::bump(&self.stats_ref().rendezvous_ops);
+        }
+        Ok(posted)
     }
 
     /// Wait for `peer`'s FIN for `tag`; returns its virtual arrival time.
@@ -83,6 +128,17 @@ impl Photon {
         let ts = self.blocking("fin", |s| Ok(s.rdv_fins.lock().remove(&(peer, tag))))?;
         self.clock_ref().advance_to(ts);
         Ok(ts)
+    }
+
+    /// Non-blocking [`Photon::wait_fin`]: drives progress once and returns
+    /// `Ok(None)` when `peer`'s FIN for `tag` has not yet arrived.
+    pub fn try_wait_fin(&self, peer: Rank, tag: u64) -> Result<Option<VTime>> {
+        self.check_rank_pub(peer)?;
+        self.progress()?;
+        let got = self.rdv_fins.lock().remove(&(peer, tag));
+        Ok(got.inspect(|&ts| {
+            self.clock_ref().advance_to(ts);
+        }))
     }
 
     /// Full sender side of a rendezvous transfer: wait for the buffer

@@ -313,10 +313,8 @@ mod tests {
                 spans
             }));
         }
-        let mut all: Vec<(VTime, VTime)> = handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect();
+        let mut all: Vec<(VTime, VTime)> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort();
         // Intervals must tile [0, 8000*3) without overlap.
         for w in all.windows(2) {
@@ -331,29 +329,26 @@ mod tests {
         use proptest::test_runner::{Config, TestRunner};
         let mut runner = TestRunner::new(Config { cases: 64, ..Config::default() });
         runner
-            .run(
-                &proptest::collection::vec((0u64..10_000, 1u64..500), 1..120),
-                |reqs| {
-                    let b = BusyUntil::new();
-                    let mut granted: Vec<(u64, u64)> = Vec::new();
-                    for (earliest, dur) in reqs {
-                        let (s, e) = b.reserve(VTime(earliest), dur);
-                        // Respect the earliest bound and the duration.
-                        prop_assert!(s.0 >= earliest);
-                        prop_assert_eq!(e.0 - s.0, dur);
-                        granted.push((s.0, e.0));
-                    }
-                    // No two granted intervals overlap.
-                    granted.sort();
-                    for w in granted.windows(2) {
-                        prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
-                    }
-                    // Horizon is the max end.
-                    let max_end = granted.iter().map(|g| g.1).max().unwrap();
-                    prop_assert_eq!(b.horizon().0, max_end);
-                    Ok(())
-                },
-            )
+            .run(&proptest::collection::vec((0u64..10_000, 1u64..500), 1..120), |reqs| {
+                let b = BusyUntil::new();
+                let mut granted: Vec<(u64, u64)> = Vec::new();
+                for (earliest, dur) in reqs {
+                    let (s, e) = b.reserve(VTime(earliest), dur);
+                    // Respect the earliest bound and the duration.
+                    prop_assert!(s.0 >= earliest);
+                    prop_assert_eq!(e.0 - s.0, dur);
+                    granted.push((s.0, e.0));
+                }
+                // No two granted intervals overlap.
+                granted.sort();
+                for w in granted.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+                }
+                // Horizon is the max end.
+                let max_end = granted.iter().map(|g| g.1).max().unwrap();
+                prop_assert_eq!(b.horizon().0, max_end);
+                Ok(())
+            })
             .unwrap();
     }
 

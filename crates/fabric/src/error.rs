@@ -88,12 +88,7 @@ impl fmt::Display for FabricError {
                 write!(f, "invalid rkey {rkey:#x} on node {node}")
             }
             FabricError::InvalidLkey { lkey } => write!(f, "invalid lkey {lkey:#x}"),
-            FabricError::OutOfBounds {
-                addr,
-                len,
-                region_base,
-                region_len,
-            } => write!(
+            FabricError::OutOfBounds { addr, len, region_base, region_len } => write!(
                 f,
                 "access [{addr:#x}, +{len}) outside region [{region_base:#x}, +{region_len})"
             ),
@@ -134,21 +129,14 @@ mod tests {
         let e = FabricError::InvalidRkey { node: 3, rkey: 0xab };
         assert!(e.to_string().contains("0xab"));
         assert!(e.to_string().contains("node 3"));
-        let e = FabricError::OutOfBounds {
-            addr: 0x1000,
-            len: 64,
-            region_base: 0x1000,
-            region_len: 32,
-        };
+        let e =
+            FabricError::OutOfBounds { addr: 0x1000, len: 64, region_base: 0x1000, region_len: 32 };
         assert!(e.to_string().contains("outside region"));
     }
 
     #[test]
     fn errors_are_comparable() {
         assert_eq!(FabricError::CqOverflow, FabricError::CqOverflow);
-        assert_ne!(
-            FabricError::CqOverflow,
-            FabricError::ReceiverNotReady { node: 0 }
-        );
+        assert_ne!(FabricError::CqOverflow, FabricError::ReceiverNotReady { node: 0 });
     }
 }

@@ -7,22 +7,70 @@
 //! [`crate::verbs::Cq`] directly).  A [`FaultPlan`] perturbs the virtual-time
 //! model; it never corrupts data, so protocol invariants must hold under any
 //! plan.
+//!
+//! Faults can be *windowed* in virtual time: a degradation installed with
+//! [`FaultPlan::degrade_link_during`] only charges packets whose departure
+//! falls inside its [`Window`].  This is what makes chaos schedules
+//! replayable — a test can install its entire fault timeline up front and
+//! the packets themselves trigger activation deterministically, with no
+//! wall-clock mutation races.
 
+use crate::clock::VTime;
 use crate::NodeId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A half-open interval `[from, until)` of virtual time during which a fault
+/// is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First instant at which the fault applies.
+    pub from: VTime,
+    /// First instant at which the fault no longer applies.
+    pub until: VTime,
+}
+
+impl Window {
+    /// The whole of virtual time (classic always-on fault).
+    pub const ALWAYS: Window = Window { from: VTime(0), until: VTime(u64::MAX) };
+
+    /// A window covering `[from, until)`.
+    pub fn new(from: VTime, until: VTime) -> Window {
+        Window { from, until }
+    }
+
+    /// True when `t` falls inside the window.
+    #[inline]
+    pub fn contains(&self, t: VTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        Window::ALWAYS
+    }
+}
+
+/// Windowed extra-latency entries: `(extra_ns, active window)`.
+type WindowedExtras = Vec<(u64, Window)>;
+
 /// A performance-fault plan applied by the switch when computing delivery
 /// times.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
-    /// Extra one-way latency per directed link `(src, dst)`, nanoseconds.
-    link_extra_ns: RwLock<HashMap<(NodeId, NodeId), u64>>,
+    /// Extra one-way latency per directed link `(src, dst)`, each entry
+    /// active during its window, nanoseconds.
+    link_extra_ns: RwLock<HashMap<(NodeId, NodeId), WindowedExtras>>,
     /// Extra latency for every packet touching this node (straggler NIC).
-    node_extra_ns: RwLock<HashMap<NodeId, u64>>,
+    node_extra_ns: RwLock<HashMap<NodeId, Vec<(u64, Window)>>>,
     /// Uniform deterministic jitter bound (0 = disabled), nanoseconds.
     jitter_ns: AtomicU64,
+    /// Virtual-time window during which jitter applies.
+    jitter_window: RwLock<Window>,
+    /// Seed mixed into the jitter hash (reproducible chaos campaigns).
+    jitter_seed: AtomicU64,
     /// Sequence counter feeding the jitter hash.
     seq: AtomicU64,
 }
@@ -34,51 +82,88 @@ impl FaultPlan {
     }
 
     /// Add `extra_ns` of latency to every packet on the directed link
-    /// `src -> dst`.
+    /// `src -> dst`, at all times.
     pub fn degrade_link(&self, src: NodeId, dst: NodeId, extra_ns: u64) {
-        self.link_extra_ns.write().insert((src, dst), extra_ns);
+        self.degrade_link_during(src, dst, extra_ns, Window::ALWAYS);
     }
 
-    /// Remove a link degradation.
+    /// Add `extra_ns` of latency to packets departing on `src -> dst`
+    /// during `window`. Entries accumulate: overlapping windows sum.
+    pub fn degrade_link_during(&self, src: NodeId, dst: NodeId, extra_ns: u64, window: Window) {
+        self.link_extra_ns.write().entry((src, dst)).or_default().push((extra_ns, window));
+    }
+
+    /// Remove every degradation (windowed or not) on `src -> dst`.
     pub fn heal_link(&self, src: NodeId, dst: NodeId) {
         self.link_extra_ns.write().remove(&(src, dst));
     }
 
     /// Make `node` a straggler: every packet it sends or receives pays
-    /// `extra_ns` more.
+    /// `extra_ns` more, at all times.
     pub fn straggle_node(&self, node: NodeId, extra_ns: u64) {
-        self.node_extra_ns.write().insert(node, extra_ns);
+        self.straggle_node_during(node, extra_ns, Window::ALWAYS);
     }
 
-    /// Remove a node straggler entry.
+    /// Straggle `node` during `window` only. Entries accumulate.
+    pub fn straggle_node_during(&self, node: NodeId, extra_ns: u64, window: Window) {
+        self.node_extra_ns.write().entry(node).or_default().push((extra_ns, window));
+    }
+
+    /// Remove every straggler entry for `node`.
     pub fn heal_node(&self, node: NodeId) {
         self.node_extra_ns.write().remove(&node);
     }
 
-    /// Enable deterministic per-packet jitter uniform in `[0, bound_ns)`.
+    /// Enable deterministic per-packet jitter uniform in `[0, bound_ns)`,
+    /// at all times.
     pub fn set_jitter(&self, bound_ns: u64) {
+        self.set_jitter_during(bound_ns, Window::ALWAYS);
+    }
+
+    /// Enable jitter during `window` only (replaces any previous jitter
+    /// setting; pass `bound_ns = 0` to disable).
+    pub fn set_jitter_during(&self, bound_ns: u64, window: Window) {
+        *self.jitter_window.write() = window;
         self.jitter_ns.store(bound_ns, Ordering::Relaxed);
     }
 
-    /// Total extra latency to charge a packet `src -> dst`.
+    /// Seed the jitter stream. Same seed + same packet sequence ⇒ identical
+    /// per-packet jitter, which is what makes chaos campaigns replayable.
+    /// Also resets the packet sequence counter.
+    pub fn set_jitter_seed(&self, seed: u64) {
+        self.jitter_seed.store(seed, Ordering::Relaxed);
+        self.seq.store(0, Ordering::Relaxed);
+    }
+
+    /// Total extra latency to charge a packet `src -> dst`, evaluated at the
+    /// origin of virtual time. Compatibility wrapper over
+    /// [`FaultPlan::extra_latency_at`]; windowed entries whose window does
+    /// not contain time zero are not charged.
     pub fn extra_latency(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.extra_latency_at(src, dst, VTime::ZERO)
+    }
+
+    /// Total extra latency to charge a packet departing `src -> dst` at
+    /// virtual time `t`. Only entries whose window contains `t` apply.
+    pub fn extra_latency_at(&self, src: NodeId, dst: NodeId, t: VTime) -> u64 {
         let mut extra = 0;
-        if let Some(e) = self.link_extra_ns.read().get(&(src, dst)) {
-            extra += e;
+        if let Some(entries) = self.link_extra_ns.read().get(&(src, dst)) {
+            extra += active_sum(entries, t);
         }
         {
             let nodes = self.node_extra_ns.read();
-            if let Some(e) = nodes.get(&src) {
-                extra += e;
+            if let Some(entries) = nodes.get(&src) {
+                extra += active_sum(entries, t);
             }
-            if let Some(e) = nodes.get(&dst) {
-                extra += e;
+            if let Some(entries) = nodes.get(&dst) {
+                extra += active_sum(entries, t);
             }
         }
         let bound = self.jitter_ns.load(Ordering::Relaxed);
-        if bound > 0 {
+        if bound > 0 && self.jitter_window.read().contains(t) {
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-            extra += splitmix64(seq ^ ((src as u64) << 32) ^ dst as u64) % bound;
+            let seed = self.jitter_seed.load(Ordering::Relaxed);
+            extra += splitmix64(seed ^ seq ^ ((src as u64) << 32) ^ dst as u64) % bound;
         }
         extra
     }
@@ -89,6 +174,11 @@ impl FaultPlan {
             && self.link_extra_ns.read().is_empty()
             && self.node_extra_ns.read().is_empty()
     }
+}
+
+/// Sum of entries active at `t`.
+fn active_sum(entries: &[(u64, Window)], t: VTime) -> u64 {
+    entries.iter().filter(|(_, w)| w.contains(t)).map(|(e, _)| e).sum()
 }
 
 /// SplitMix64: deterministic 64-bit mixer for jitter generation.
@@ -135,6 +225,24 @@ mod tests {
     }
 
     #[test]
+    fn windowed_faults_activate_by_departure_time() {
+        let p = FaultPlan::none();
+        p.degrade_link_during(0, 1, 700, Window::new(VTime(1_000), VTime(2_000)));
+        assert_eq!(p.extra_latency_at(0, 1, VTime(999)), 0);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(1_000)), 700, "from is inclusive");
+        assert_eq!(p.extra_latency_at(0, 1, VTime(1_999)), 700);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(2_000)), 0, "until is exclusive");
+        // Overlapping windows sum; disjoint ones apply alone.
+        p.degrade_link_during(0, 1, 40, Window::new(VTime(1_500), VTime(3_000)));
+        assert_eq!(p.extra_latency_at(0, 1, VTime(1_700)), 740);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(2_500)), 40);
+        // Node windows behave the same way.
+        p.straggle_node_during(1, 5, Window::new(VTime(0), VTime(100)));
+        assert_eq!(p.extra_latency_at(0, 1, VTime(50)), 5);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(100)), 0);
+    }
+
+    #[test]
     fn jitter_bounded_and_nonconstant() {
         let p = FaultPlan::none();
         p.set_jitter(64);
@@ -142,6 +250,37 @@ mod tests {
         let samples: Vec<u64> = (0..256).map(|_| p.extra_latency(0, 1)).collect();
         assert!(samples.iter().all(|&s| s < 64));
         assert!(samples.iter().any(|&s| s != samples[0]), "jitter should vary");
+    }
+
+    #[test]
+    fn jitter_stream_is_seed_reproducible() {
+        let draw = |seed: u64| -> Vec<u64> {
+            let p = FaultPlan::none();
+            p.set_jitter(1_000);
+            p.set_jitter_seed(seed);
+            (0..64).map(|i| p.extra_latency_at(i % 3, 1 + i % 2, VTime(0))).collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed, same stream");
+        assert_ne!(draw(42), draw(43), "different seed, different stream");
+        // Re-seeding mid-run restarts the sequence.
+        let p = FaultPlan::none();
+        p.set_jitter(1_000);
+        p.set_jitter_seed(7);
+        let first: Vec<u64> = (0..8).map(|_| p.extra_latency(0, 1)).collect();
+        p.set_jitter_seed(7);
+        let again: Vec<u64> = (0..8).map(|_| p.extra_latency(0, 1)).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn windowed_jitter_only_fires_inside_window() {
+        let p = FaultPlan::none();
+        p.set_jitter_during(1_000_000, Window::new(VTime(500), VTime(600)));
+        p.set_jitter_seed(1);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(499)), 0);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(600)), 0);
+        let inside: Vec<u64> = (0..32).map(|_| p.extra_latency_at(0, 1, VTime(550))).collect();
+        assert!(inside.iter().any(|&s| s > 0), "jitter active inside window");
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod wire;
 
 pub use clock::{VClock, VTime};
 pub use error::{FabricError, Result};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, Window};
 pub use model::NetworkModel;
 pub use mr::{Access, MemoryRegion, MrTable, RemoteKey};
 pub use nic::{Nic, NicConfig};

@@ -114,9 +114,7 @@ impl NetworkModel {
 
     /// Peak bandwidth in bytes per second (`u64::MAX` for the ideal model).
     pub fn bandwidth_bytes_per_sec(&self) -> u64 {
-        1_000_000_000_000u64
-            .checked_div(self.byte_time_ps)
-            .unwrap_or(u64::MAX)
+        1_000_000_000_000u64.checked_div(self.byte_time_ps).unwrap_or(u64::MAX)
     }
 }
 
@@ -152,11 +150,8 @@ mod tests {
 
     #[test]
     fn oneway_monotone_in_size() {
-        for m in [
-            NetworkModel::ib_fdr(),
-            NetworkModel::cray_gemini(),
-            NetworkModel::ethernet_10g(),
-        ] {
+        for m in [NetworkModel::ib_fdr(), NetworkModel::cray_gemini(), NetworkModel::ethernet_10g()]
+        {
             let mut prev = 0;
             for sz in [0usize, 8, 64, 1024, 65536, 1 << 20] {
                 let t = m.oneway_ns(sz);
@@ -180,10 +175,7 @@ mod tests {
         let one_page = m.registration_ns(1);
         assert_eq!(one_page, m.reg_base_ns + m.reg_page_ns);
         assert_eq!(m.registration_ns(PAGE_SIZE), one_page);
-        assert_eq!(
-            m.registration_ns(PAGE_SIZE + 1),
-            m.reg_base_ns + 2 * m.reg_page_ns
-        );
+        assert_eq!(m.registration_ns(PAGE_SIZE + 1), m.reg_base_ns + 2 * m.reg_page_ns);
     }
 
     #[test]

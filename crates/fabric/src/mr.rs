@@ -66,11 +66,7 @@ impl RemoteKey {
     /// Descriptor for the sub-range `[offset, offset + len)` of this region.
     pub fn slice(&self, offset: usize, len: usize) -> RemoteKey {
         debug_assert!(offset + len <= self.len);
-        RemoteKey {
-            addr: self.addr + offset as u64,
-            rkey: self.rkey,
-            len,
-        }
+        RemoteKey { addr: self.addr + offset as u64, rkey: self.rkey, len }
     }
 
     /// Serialize to fixed-size bytes for in-band exchange (20 bytes).
@@ -148,11 +144,7 @@ impl MemoryRegion {
 
     /// Full remote descriptor for this region.
     pub fn remote_key(&self) -> RemoteKey {
-        RemoteKey {
-            addr: self.inner.base,
-            rkey: self.inner.rkey,
-            len: self.len(),
-        }
+        RemoteKey { addr: self.inner.base, rkey: self.inner.rkey, len: self.len() }
     }
 
     /// Copy `src` into the region at `offset` (local CPU store).
@@ -280,9 +272,7 @@ impl MrTable {
         loop {
             let next = cur + len;
             if next > self.limit_bytes {
-                return Err(FabricError::RegistrationLimit {
-                    limit_bytes: self.limit_bytes,
-                });
+                return Err(FabricError::RegistrationLimit { limit_bytes: self.limit_bytes });
             }
             match self.registered_bytes.compare_exchange_weak(
                 cur,
@@ -321,10 +311,7 @@ impl MrTable {
                 self.registered_bytes.fetch_sub(r.len(), Ordering::Relaxed);
                 Ok(())
             }
-            None => Err(FabricError::InvalidRkey {
-                node: self.node,
-                rkey: mr.rkey(),
-            }),
+            None => Err(FabricError::InvalidRkey { node: self.node, rkey: mr.rkey() }),
         }
     }
 
@@ -344,10 +331,7 @@ impl MrTable {
             .cloned()
             .ok_or(FabricError::InvalidRkey { node: self.node, rkey })?;
         if !mr.flags().allows(needed) {
-            return Err(FabricError::AccessDenied {
-                rkey,
-                needed: access_name(needed),
-            });
+            return Err(FabricError::AccessDenied { rkey, needed: access_name(needed) });
         }
         let base = mr.base_addr();
         if addr < base {
@@ -365,11 +349,7 @@ impl MrTable {
 
     /// Look up a region by lkey (local gather/scatter validation).
     pub fn lookup_lkey(&self, lkey: u32) -> Result<MemoryRegion> {
-        self.by_rkey
-            .read()
-            .get(&lkey)
-            .cloned()
-            .ok_or(FabricError::InvalidLkey { lkey })
+        self.by_rkey.read().get(&lkey).cloned().ok_or(FabricError::InvalidLkey { lkey })
     }
 
     /// Bytes currently pinned.
@@ -441,10 +421,7 @@ mod tests {
         let mr = t.register(200, Access::ALL).unwrap();
         assert_eq!(t.registered_bytes(), 200);
         // Second registration exceeds the limit.
-        assert!(matches!(
-            t.register(100, Access::ALL),
-            Err(FabricError::RegistrationLimit { .. })
-        ));
+        assert!(matches!(t.register(100, Access::ALL), Err(FabricError::RegistrationLimit { .. })));
         let rk = mr.remote_key();
         t.deregister(&mr).unwrap();
         assert_eq!(t.registered_bytes(), 0);

@@ -178,10 +178,7 @@ impl Nic {
 
     /// Modeled virtual-time cost of registering `len` bytes.
     pub fn registration_cost_ns(&self, len: usize) -> u64 {
-        self.switch
-            .upgrade()
-            .map(|sw| sw.model().registration_ns(len))
-            .unwrap_or(0)
+        self.switch.upgrade().map(|sw| sw.model().registration_ns(len)).unwrap_or(0)
     }
 
     /// Create a reliable-connected QP to `peer`.
@@ -205,11 +202,7 @@ impl Nic {
 
     /// Destroy a QP; subsequent posts on it fail.
     pub fn destroy_qp(&self, qp: Qp) -> Result<()> {
-        self.qps
-            .write()
-            .remove(&qp.num)
-            .map(|_| ())
-            .ok_or(FabricError::NoSuchQp { qp: qp.num })
+        self.qps.write().remove(&qp.num).map(|_| ()).ok_or(FabricError::NoSuchQp { qp: qp.num })
     }
 
     /// Poll the initiator-side completion queue.
@@ -275,12 +268,9 @@ impl Nic {
                 let deliver = state.order_deliver(t.deliver);
                 state.advance_floors(t.injected, deliver);
                 stamp(&mut data, wr.stamp_deliver_at, deliver)?;
-                sw.nic(qp.peer)?
-                    .deliver_send(self.node, data, imm, deliver)?;
+                sw.nic(qp.peer)?.deliver_send(self.node, data, imm, deliver)?;
                 self.counters.sends.fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .bytes_tx
-                    .fetch_add(local.len as u64, Ordering::Relaxed);
+                self.counters.bytes_tx.fetch_add(local.len as u64, Ordering::Relaxed);
                 if wr.signaled {
                     self.send_cq.push(Completion {
                         wr_id: wr.wr_id,
@@ -303,12 +293,9 @@ impl Nic {
                 let deliver = state.order_deliver(t.deliver);
                 state.advance_floors(t.injected, deliver);
                 stamp(&mut data, wr.stamp_deliver_at, deliver)?;
-                sw.nic(qp.peer)?
-                    .apply_write(self.node, &data, remote, imm, deliver)?;
+                sw.nic(qp.peer)?.apply_write(self.node, &data, remote, imm, deliver)?;
                 self.counters.writes.fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .bytes_tx
-                    .fetch_add(local.len as u64, Ordering::Relaxed);
+                self.counters.bytes_tx.fetch_add(local.len as u64, Ordering::Relaxed);
                 if wr.signaled {
                     self.send_cq.push(Completion {
                         wr_id: wr.wr_id,
@@ -334,9 +321,7 @@ impl Nic {
                 let resp = sw.transfer(qp.peer, self.node, remote.len, req_deliver)?;
                 local.mr.write_at(local.offset, &data);
                 self.counters.reads.fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .bytes_rx
-                    .fetch_add(remote.len as u64, Ordering::Relaxed);
+                self.counters.bytes_rx.fetch_add(remote.len as u64, Ordering::Relaxed);
                 if wr.signaled {
                     self.send_cq.push(Completion {
                         wr_id: wr.wr_id,
@@ -346,14 +331,30 @@ impl Nic {
                 }
             }
             WrOp::FetchAdd { ref local, remote, add } => {
-                self.atomic_common(&sw, &state, local, remote, ready, wr.wr_id, wr.signaled, |nic| {
-                    nic.serve_atomic(remote, |mr, off| mr.fetch_add_u64(off, add))
-                })?;
+                self.atomic_common(
+                    &sw,
+                    &state,
+                    local,
+                    remote,
+                    ready,
+                    wr.wr_id,
+                    wr.signaled,
+                    |nic| nic.serve_atomic(remote, |mr, off| mr.fetch_add_u64(off, add)),
+                )?;
             }
             WrOp::CompareSwap { ref local, remote, compare, swap } => {
-                self.atomic_common(&sw, &state, local, remote, ready, wr.wr_id, wr.signaled, |nic| {
-                    nic.serve_atomic(remote, |mr, off| mr.compare_swap_u64(off, compare, swap))
-                })?;
+                self.atomic_common(
+                    &sw,
+                    &state,
+                    local,
+                    remote,
+                    ready,
+                    wr.wr_id,
+                    wr.signaled,
+                    |nic| {
+                        nic.serve_atomic(remote, |mr, off| mr.compare_swap_u64(off, compare, swap))
+                    },
+                )?;
             }
         }
         Ok(())
@@ -430,9 +431,7 @@ impl Nic {
         }
         recv.local.mr.write_at(recv.local.offset, &p.data);
         self.counters.recvs_matched.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .bytes_rx
-            .fetch_add(p.data.len() as u64, Ordering::Relaxed);
+        self.counters.bytes_rx.fetch_add(p.data.len() as u64, Ordering::Relaxed);
         self.recv_cq.push(Completion {
             wr_id: recv.wr_id,
             kind: CompletionKind::RecvDone { src: p.src, len: p.data.len(), imm: p.imm },
@@ -448,13 +447,10 @@ impl Nic {
         imm: Option<u64>,
         ts: VTime,
     ) -> Result<()> {
-        let (mr, off) = self
-            .mrs
-            .resolve(remote.addr, remote.rkey, remote.len, Access::REMOTE_WRITE)?;
+        let (mr, off) =
+            self.mrs.resolve(remote.addr, remote.rkey, remote.len, Access::REMOTE_WRITE)?;
         mr.write_at(off, data);
-        self.counters
-            .bytes_rx
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.bytes_rx.fetch_add(data.len() as u64, Ordering::Relaxed);
         if let Some(imm) = imm {
             self.recv_cq.push(Completion {
                 wr_id: 0,
@@ -466,9 +462,8 @@ impl Nic {
     }
 
     fn serve_read(&self, remote: RemoteSlice) -> Result<Vec<u8>> {
-        let (mr, off) = self
-            .mrs
-            .resolve(remote.addr, remote.rkey, remote.len, Access::REMOTE_READ)?;
+        let (mr, off) =
+            self.mrs.resolve(remote.addr, remote.rkey, remote.len, Access::REMOTE_READ)?;
         Ok(mr.to_vec(off, remote.len))
     }
 
@@ -480,9 +475,7 @@ impl Nic {
         if remote.len != 8 || !remote.addr.is_multiple_of(8) {
             return Err(FabricError::BadAtomicTarget { addr: remote.addr, len: remote.len });
         }
-        let (mr, off) = self
-            .mrs
-            .resolve(remote.addr, remote.rkey, 8, Access::REMOTE_ATOMIC)?;
+        let (mr, off) = self.mrs.resolve(remote.addr, remote.rkey, 8, Access::REMOTE_ATOMIC)?;
         Ok(op(&mr, off))
     }
 
@@ -668,10 +661,7 @@ mod tests {
         .unwrap();
         assert_eq!(res.read_u64(0), 100, "fetched old value");
         assert_eq!(tgt.read_u64(8), 105);
-        assert_eq!(
-            a.poll_send_cq().unwrap().kind,
-            CompletionKind::AtomicDone { old: 100 }
-        );
+        assert_eq!(a.poll_send_cq().unwrap().kind, CompletionKind::AtomicDone { old: 100 });
         a.post_send(
             qp,
             SendWr::new(
@@ -797,10 +787,8 @@ mod tests {
     fn pending_send_cap_surfaces_rnr() {
         let sw = Arc::new(Switch::new(NetworkModel::ideal()));
         let a = Nic::attach_with_config(&sw, NicConfig::default());
-        let b = Nic::attach_with_config(
-            &sw,
-            NicConfig { pending_send_cap: 4, ..NicConfig::default() },
-        );
+        let b =
+            Nic::attach_with_config(&sw, NicConfig { pending_send_cap: 4, ..NicConfig::default() });
         let _ = &b;
         let src = a.register(8, Access::ALL).unwrap();
         let qp = a.create_qp(1).unwrap();
@@ -902,9 +890,7 @@ mod tests {
         .unwrap();
         let c1 = b.poll_recv_cq().unwrap();
         let c2 = b.poll_recv_cq().unwrap();
-        assert!(
-            c1.kind == CompletionKind::ImmDone { src: 0, len: big, imm: 1 }
-        );
+        assert!(c1.kind == CompletionKind::ImmDone { src: 0, len: big, imm: 1 });
         assert!(
             c2.ts >= c1.ts,
             "same-QP delivery reordered in virtual time: {} then {}",

@@ -142,9 +142,7 @@ mod tests {
         // One thread per node, everyone puts to the next node in a ring.
         let c = Cluster::new(8, NetworkModel::ib_fdr());
         let qps = c.connect_all().unwrap();
-        let regions: Vec<_> = (0..8)
-            .map(|i| c.nic(i).register(64, Access::ALL).unwrap())
-            .collect();
+        let regions: Vec<_> = (0..8).map(|i| c.nic(i).register(64, Access::ALL).unwrap()).collect();
         let keys: Vec<_> = regions.iter().map(|r| r.remote_key()).collect();
         std::thread::scope(|s| {
             for i in 0..8 {

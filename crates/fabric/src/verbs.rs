@@ -303,8 +303,7 @@ mod tests {
     fn cq_poll_n_drains_in_order() {
         let cq = Cq::new(16);
         for i in 0..5 {
-            cq.push(Completion { wr_id: i, kind: CompletionKind::SendDone, ts: VTime(i) })
-                .unwrap();
+            cq.push(Completion { wr_id: i, kind: CompletionKind::SendDone, ts: VTime(i) }).unwrap();
         }
         let got = cq.poll_n(3);
         assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![0, 1, 2]);
@@ -329,10 +328,7 @@ mod tests {
         let local = MrSlice::new(&mr, 0, 48);
         let remote = RemoteSlice { addr: 0, rkey: 0, len: 48 };
         assert_eq!(WrOp::Send { local: local.clone(), imm: None }.wire_bytes(), 48);
-        assert_eq!(
-            WrOp::Write { local: local.clone(), remote, imm: None }.wire_bytes(),
-            48
-        );
+        assert_eq!(WrOp::Write { local: local.clone(), remote, imm: None }.wire_bytes(), 48);
         let r8 = RemoteSlice { addr: 0, rkey: 0, len: 8 };
         assert_eq!(
             WrOp::FetchAdd { local: MrSlice::new(&mr, 0, 8), remote: r8, add: 1 }.wire_bytes(),

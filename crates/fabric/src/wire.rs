@@ -92,10 +92,8 @@ impl Switch {
         assert!(topo.pod_size >= 1 && topo.oversubscription >= 1);
         let n = self.nics.read().len();
         let pods = n.div_ceil(topo.pod_size.max(1));
-        *self.pods.write() = Some((
-            topo,
-            (0..pods).map(|_| Arc::new(PodLinks::default())).collect(),
-        ));
+        *self.pods.write() =
+            Some((topo, (0..pods).map(|_| Arc::new(PodLinks::default())).collect()));
     }
 
     /// The network model in force.
@@ -131,11 +129,7 @@ impl Switch {
 
     /// Look up a NIC by node id.
     pub fn nic(&self, node: NodeId) -> Result<Arc<Nic>> {
-        self.nics
-            .read()
-            .get(node)
-            .cloned()
-            .ok_or(FabricError::NoSuchNode { node })
+        self.nics.read().get(node).cloned().ok_or(FabricError::NoSuchNode { node })
     }
 
     /// Reserve wire time for `bytes` from `src` to `dst`, with the sender
@@ -143,7 +137,13 @@ impl Switch {
     ///
     /// Loopback (`src == dst`) pays serialization but no wire latency, like
     /// NIC-level loopback on real hardware.
-    pub fn transfer(&self, src: NodeId, dst: NodeId, bytes: usize, ready: VTime) -> Result<Transfer> {
+    pub fn transfer(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        ready: VTime,
+    ) -> Result<Transfer> {
         let (sp, dp) = {
             let ports = self.ports.read();
             let sp = ports.get(src).cloned().ok_or(FabricError::NoSuchNode { node: src })?;
@@ -154,7 +154,9 @@ impl Switch {
         let (depart, injected) = sp.egress.reserve(ready, hold);
         let mut latency = self.model.latency_ns;
         if !self.faults.is_empty() {
-            latency += self.faults.extra_latency(src, dst);
+            // Windowed faults key off the departure time, so a chaos
+            // schedule installed up front activates deterministically.
+            latency += self.faults.extra_latency_at(src, dst, depart);
         }
         // Cross-pod traffic additionally serializes on the shared,
         // oversubscribed pod uplinks and pays the core hop.
@@ -202,6 +204,30 @@ impl Switch {
         let ports = self.ports.read();
         let p = ports.get(node).ok_or(FabricError::NoSuchNode { node })?;
         Ok((p.egress.utilization(), p.ingress.utilization()))
+    }
+
+    /// Egress/ingress booking horizons of `node`'s port: the virtual times
+    /// at which each register is free of all current reservations.
+    pub fn port_horizons(&self, node: NodeId) -> Result<(VTime, VTime)> {
+        let ports = self.ports.read();
+        let p = ports.get(node).ok_or(FabricError::NoSuchNode { node })?;
+        Ok((p.egress.horizon(), p.ingress.horizon()))
+    }
+
+    /// Latest virtual time booked anywhere on the switch (all node ports and
+    /// pod uplinks). A quiesced cluster's clocks never exceed this, so
+    /// invariant checkers use it as the snapshot horizon.
+    pub fn time_horizon(&self) -> VTime {
+        let mut h = VTime::ZERO;
+        for p in self.ports.read().iter() {
+            h = h.max(p.egress.horizon()).max(p.ingress.horizon());
+        }
+        if let Some((_, links)) = self.pods.read().as_ref() {
+            for l in links {
+                h = h.max(l.up.horizon()).max(l.down.horizon());
+            }
+        }
+        h
     }
 
     /// Reset all port serialization registers to idle. Used between
@@ -289,12 +315,27 @@ mod tests {
     }
 
     #[test]
+    fn windowed_fault_activates_by_departure_time() {
+        use crate::fault::Window;
+        let m = NetworkModel::ib_fdr();
+        let sw = switch_with_nodes(2, m);
+        sw.faults().degrade_link_during(0, 1, 5_000, Window::new(VTime(100_000), VTime(200_000)));
+        let before = sw.transfer(0, 1, 8, VTime(0)).unwrap();
+        let inside = sw.transfer(0, 1, 8, VTime(150_000)).unwrap();
+        let after = sw.transfer(0, 1, 8, VTime(300_000)).unwrap();
+        let wire = |t: Transfer| t.deliver.as_nanos() - t.depart.as_nanos();
+        assert_eq!(wire(inside), wire(before) + 5_000, "fault active inside window");
+        assert_eq!(wire(after), wire(before), "fault expired after window");
+        assert_eq!(sw.time_horizon(), VTime(after.deliver.as_nanos()));
+        let (eg, ing) = sw.port_horizons(0).unwrap();
+        assert_eq!(eg, after.injected);
+        assert_eq!(ing, VTime::ZERO, "node 0 received nothing");
+    }
+
+    #[test]
     fn unknown_node_is_an_error() {
         let sw = switch_with_nodes(2, NetworkModel::ideal());
-        assert!(matches!(
-            sw.transfer(0, 7, 8, VTime(0)),
-            Err(FabricError::NoSuchNode { node: 7 })
-        ));
+        assert!(matches!(sw.transfer(0, 7, 8, VTime(0)), Err(FabricError::NoSuchNode { node: 7 })));
         assert!(sw.nic(9).is_err());
     }
 
@@ -320,11 +361,7 @@ mod tests {
     fn pod_topology_charges_cross_pod_traffic() {
         let m = NetworkModel::ib_fdr();
         let sw = switch_with_nodes(4, m);
-        sw.set_topology(PodTopology {
-            pod_size: 2,
-            oversubscription: 4,
-            core_latency_ns: 300,
-        });
+        sw.set_topology(PodTopology { pod_size: 2, oversubscription: 4, core_latency_ns: 300 });
         let bytes = 1 << 20;
         // Intra-pod: unchanged from the flat model.
         let intra = sw.transfer(0, 1, bytes, VTime(0)).unwrap();
@@ -347,11 +384,7 @@ mod tests {
     fn pod_uplink_is_shared_between_flows() {
         let m = NetworkModel::ib_fdr();
         let sw = switch_with_nodes(4, m);
-        sw.set_topology(PodTopology {
-            pod_size: 2,
-            oversubscription: 2,
-            core_latency_ns: 0,
-        });
+        sw.set_topology(PodTopology { pod_size: 2, oversubscription: 2, core_latency_ns: 0 });
         let bytes = 1 << 20;
         // Two cross-pod flows from DIFFERENT sources in pod 0 contend for
         // the one uplink even though their node ports are disjoint.

@@ -330,7 +330,14 @@ impl MsgEndpoint {
     }
 
     /// Blocking zero-copy send from a pre-registered buffer.
-    pub fn send_from(&self, peer: Rank, buf: &MsgBuffer, off: usize, len: usize, tag: u64) -> Result<()> {
+    pub fn send_from(
+        &self,
+        peer: Rank,
+        buf: &MsgBuffer,
+        off: usize,
+        len: usize,
+        tag: u64,
+    ) -> Result<()> {
         self.check_rank(peer)?;
         buf.check(off, len)?;
         if len <= self.cfg.eager_threshold {
@@ -342,7 +349,8 @@ impl MsgEndpoint {
     }
 
     fn send_eager(&self, peer: Rank, tag: u64, data: &[u8]) -> Result<()> {
-        let h = Header { kind: MsgKind::Eager, tag, size: data.len() as u64, xid: 0, addr: 0, rkey: 0 };
+        let h =
+            Header { kind: MsgKind::Eager, tag, size: data.len() as u64, xid: 0, addr: 0, rkey: 0 };
         {
             let stage = self.stage.lock();
             stage.write_at(0, &h.encode());
@@ -364,10 +372,7 @@ impl MsgEndpoint {
     fn post_ctrl(&self, peer: Rank, h: Header) -> Result<()> {
         let stage = self.stage.lock();
         stage.write_at(0, &h.encode());
-        let wr = SendWr::unsignaled(WrOp::Send {
-            local: MrSlice::new(&stage, 0, HDR),
-            imm: None,
-        });
+        let wr = SendWr::unsignaled(WrOp::Send { local: MrSlice::new(&stage, 0, HDR), imm: None });
         self.nic.post_send(self.qps[peer], wr, self.clock.now())?;
         Ok(())
     }
@@ -396,11 +401,11 @@ impl MsgEndpoint {
         owned: bool,
     ) -> Result<u64> {
         let xid = ((self.rank as u64) << 48) | self.next_xid.fetch_add(1, Ordering::Relaxed);
-        self.state
-            .lock()
-            .sender_rdv
-            .insert(xid, SenderRdv { peer, region, off, len, owned });
-        self.post_ctrl(peer, Header { kind: MsgKind::Rts, tag, size: len as u64, xid, addr: 0, rkey: 0 })?;
+        self.state.lock().sender_rdv.insert(xid, SenderRdv { peer, region, off, len, owned });
+        self.post_ctrl(
+            peer,
+            Header { kind: MsgKind::Rts, tag, size: len as u64, xid, addr: 0, rkey: 0 },
+        )?;
         self.stats.sends_rdv.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_sent.fetch_add(len as u64, Ordering::Relaxed);
         Ok(xid)
@@ -472,11 +477,8 @@ impl MsgEndpoint {
         tag: Option<u64>,
     ) -> Result<RecvMsg> {
         buf.check(off, cap)?;
-        let req = self.post_recv_req(
-            src,
-            tag,
-            Landing::User { region: buf.region().clone(), off, cap },
-        )?;
+        let req =
+            self.post_recv_req(src, tag, Landing::User { region: buf.region().clone(), off, cap })?;
         self.wait_req(req)
     }
 
@@ -549,9 +551,8 @@ impl MsgEndpoint {
     }
 
     fn wait_req(&self, req: u64) -> Result<RecvMsg> {
-        let msg = self.blocking("receive completion", |s| {
-            Ok(s.state.lock().completed.remove(&req))
-        })?;
+        let msg =
+            self.blocking("receive completion", |s| Ok(s.state.lock().completed.remove(&req)))?;
         self.clock.advance_to(msg.ts);
         self.stats.recvs.fetch_add(1, Ordering::Relaxed);
         Ok(msg)
@@ -896,9 +897,7 @@ mod tests {
         let (e0, e1) = (c.rank(0), c.rank(1));
         assert!(e1.try_recv(None, None).unwrap().is_none());
         e0.send(1, b"now", 3).unwrap();
-        let m = e1
-            .blocking("try_recv poll", |s| s.try_recv(None, None))
-            .unwrap();
+        let m = e1.blocking("try_recv poll", |s| s.try_recv(None, None)).unwrap();
         assert_eq!(m.data, b"now");
     }
 
@@ -917,10 +916,7 @@ mod tests {
     fn invalid_rank_rejected() {
         let c = pair();
         assert!(matches!(c.rank(0).send(7, b"x", 0), Err(MsgError::InvalidRank(7))));
-        assert!(matches!(
-            c.rank(0).recv(Some(9), None),
-            Err(MsgError::InvalidRank(9))
-        ));
+        assert!(matches!(c.rank(0).recv(Some(9), None), Err(MsgError::InvalidRank(9))));
     }
 
     #[test]
@@ -930,9 +926,7 @@ mod tests {
         assert_eq!(e1.probe(None, None).unwrap(), None);
         e0.send(1, &[1u8; 24], 9).unwrap();
         // Wait for arrival, probe repeatedly: not consumed.
-        let env = e1
-            .blocking("probe arrival", |s| s.probe(Some(0), Some(9)))
-            .unwrap();
+        let env = e1.blocking("probe arrival", |s| s.probe(Some(0), Some(9))).unwrap();
         assert_eq!(env, (0, 9, 24));
         assert_eq!(e1.probe(None, None).unwrap(), Some((0, 9, 24)));
         let m = e1.recv(Some(0), Some(9)).unwrap();
@@ -948,9 +942,7 @@ mod tests {
         std::thread::scope(|s| {
             s.spawn(|| e0.send(1, &vec![3u8; len], 10).unwrap());
             s.spawn(|| {
-                let env = e1
-                    .blocking("rts arrival", |st| st.probe(Some(0), Some(10)))
-                    .unwrap();
+                let env = e1.blocking("rts arrival", |st| st.probe(Some(0), Some(10))).unwrap();
                 assert_eq!(env, (0, 10, len));
                 let m = e1.recv(Some(0), Some(10)).unwrap();
                 assert_eq!(m.len, len);
@@ -966,7 +958,7 @@ mod tests {
         runner
             .run(
                 &(
-                    proptest::collection::vec(0u64..4, 1..30),              // send tags
+                    proptest::collection::vec(0u64..4, 1..30), // send tags
                     proptest::collection::vec(proptest::option::of(0u64..4), 1..30), // recv tags (None = wildcard)
                 ),
                 |(send_tags, recv_tags)| {

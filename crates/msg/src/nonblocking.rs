@@ -158,15 +158,13 @@ mod tests {
         let (e0, e1) = (c.rank(0), c.rank(1));
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                let sends: Vec<_> = (0..20u64)
-                    .map(|i| e0.isend(1, &[i as u8; 16], i).unwrap())
-                    .collect();
+                let sends: Vec<_> =
+                    (0..20u64).map(|i| e0.isend(1, &[i as u8; 16], i).unwrap()).collect();
                 e0.wait_all_send(sends).unwrap();
             });
             scope.spawn(|| {
-                let recvs: Vec<_> = (0..20u64)
-                    .map(|i| e1.irecv(Some(0), Some(i)).unwrap())
-                    .collect();
+                let recvs: Vec<_> =
+                    (0..20u64).map(|i| e1.irecv(Some(0), Some(i)).unwrap()).collect();
                 let msgs = e1.wait_all_recv(recvs).unwrap();
                 for (i, m) in msgs.iter().enumerate() {
                     assert_eq!(m.data, vec![i as u8; 16]);

@@ -50,9 +50,7 @@ impl ActionRegistry {
 
     /// Fetch the handler for `id`.
     pub(crate) fn get(&self, id: ActionId) -> Option<ActionFn> {
-        self.actions
-            .get(id.checked_sub(USER_ACTION_BASE)? as usize)
-            .cloned()
+        self.actions.get(id.checked_sub(USER_ACTION_BASE)? as usize).cloned()
     }
 
     /// Number of registered actions.
@@ -68,9 +66,7 @@ impl ActionRegistry {
 
 impl std::fmt::Debug for ActionRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ActionRegistry")
-            .field("actions", &self.actions.len())
-            .finish()
+        f.debug_struct("ActionRegistry").field("actions", &self.actions.len()).finish()
     }
 }
 

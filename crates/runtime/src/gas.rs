@@ -114,8 +114,8 @@ impl GlobalArray {
         let mut done = 0usize;
         while done < values.len() {
             let (owner, off) = self.locate(idx + done);
-            let in_block = (self.elems_per_rank - (idx + done) % self.elems_per_rank)
-                .min(values.len() - done);
+            let in_block =
+                (self.elems_per_rank - (idx + done) % self.elems_per_rank).min(values.len() - done);
             let bytes = in_block * 8;
             if owner == node.rank() {
                 let data = tmp.to_vec(done * 8, bytes);
@@ -144,8 +144,8 @@ impl GlobalArray {
         let mut done = 0usize;
         while done < out.len() {
             let (owner, off) = self.locate(idx + done);
-            let in_block = (self.elems_per_rank - (idx + done) % self.elems_per_rank)
-                .min(out.len() - done);
+            let in_block =
+                (self.elems_per_rank - (idx + done) % self.elems_per_rank).min(out.len() - done);
             let bytes = in_block * 8;
             if owner == node.rank() {
                 let data = self.locals[owner].to_vec(off, bytes);
@@ -172,7 +172,7 @@ impl GlobalArray {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{ActionRegistry, RtConfig, RuntimeCluster};
     use photon_fabric::NetworkModel;
 

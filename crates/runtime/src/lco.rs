@@ -187,7 +187,7 @@ mod tests {
             thread::sleep(std::time::Duration::from_millis(2));
             futures[i].set(vec![i as u8]);
         }
-        assert_eq!(h.join().unwrap(), vec![vec![2u8- 2], vec![1], vec![2], vec![3]]);
+        assert_eq!(h.join().unwrap(), vec![vec![2u8 - 2], vec![1], vec![2], vec![3]]);
     }
 
     #[test]

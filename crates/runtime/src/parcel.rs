@@ -68,11 +68,7 @@ impl Parcel {
         } else {
             None
         };
-        Ok(Parcel {
-            action,
-            payload: Bytes::copy_from_slice(&b[PARCEL_HDR..]),
-            cont,
-        })
+        Ok(Parcel { action, payload: Bytes::copy_from_slice(&b[PARCEL_HDR..]), cont })
     }
 }
 
@@ -91,10 +87,7 @@ mod tests {
 
     #[test]
     fn short_buffer_rejected() {
-        assert!(matches!(
-            Parcel::decode(&[0u8; 5]),
-            Err(RtError::BadParcel(_))
-        ));
+        assert!(matches!(Parcel::decode(&[0u8; 5]), Err(RtError::BadParcel(_))));
     }
 
     proptest! {

@@ -100,7 +100,12 @@ pub struct RuntimeCluster {
 impl RuntimeCluster {
     /// Boot an `n`-node runtime over `model` with the given action registry
     /// (must contain every action any rank will invoke).
-    pub fn new(n: usize, model: NetworkModel, cfg: RtConfig, registry: ActionRegistry) -> RuntimeCluster {
+    pub fn new(
+        n: usize,
+        model: NetworkModel,
+        cfg: RtConfig,
+        registry: ActionRegistry,
+    ) -> RuntimeCluster {
         let photon = PhotonCluster::new(n, model, cfg.photon);
         let registry = Arc::new(registry);
         let mut nodes = Vec::with_capacity(n);
@@ -264,10 +269,7 @@ impl RtNode {
             return Ok(());
         }
         let enc = p.encode();
-        let eager_cap = self
-            .cfg
-            .parcel_eager_max
-            .min(self.photon.config().max_eager_payload());
+        let eager_cap = self.cfg.parcel_eager_max.min(self.photon.config().max_eager_payload());
         if enc.len() > eager_cap {
             return self.send_parcel_rendezvous(target, p);
         }
@@ -596,8 +598,7 @@ mod tests {
                 None
             } else {
                 let next = (ctx.rank() + 1) % ctx.size();
-                ctx.send_parcel(next, hop_id2.load(Ordering::Relaxed), &[ttl - 1])
-                    .unwrap();
+                ctx.send_parcel(next, hop_id2.load(Ordering::Relaxed), &[ttl - 1]).unwrap();
                 None
             }
         });
@@ -749,15 +750,9 @@ mod tests {
     fn invalid_rank_and_shutdown_errors() {
         let reg = ActionRegistry::new();
         let c = boot(1, reg);
-        assert!(matches!(
-            c.node(0).send_parcel(5, 16, &[]),
-            Err(RtError::InvalidRank(5))
-        ));
+        assert!(matches!(c.node(0).send_parcel(5, 16, &[]), Err(RtError::InvalidRank(5))));
         c.shutdown();
-        assert!(matches!(
-            c.node(0).send_parcel(0, 16, &[]),
-            Err(RtError::ShuttingDown)
-        ));
+        assert!(matches!(c.node(0).send_parcel(0, 16, &[]), Err(RtError::ShuttingDown)));
     }
 
     #[test]

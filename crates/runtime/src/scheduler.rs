@@ -135,9 +135,7 @@ impl Scheduler {
                     let mut g = self.parking.lock.lock();
                     // Re-check under the lock to avoid a lost wakeup.
                     if self.injector.is_empty() && !self.stopping() {
-                        self.parking
-                            .cv
-                            .wait_for(&mut g, Duration::from_millis(1));
+                        self.parking.cv.wait_for(&mut g, Duration::from_millis(1));
                     }
                 }
             }

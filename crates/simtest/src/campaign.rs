@@ -1,0 +1,376 @@
+//! Campaign runner: many seeded cases, parallel *across* cases.
+//!
+//! A campaign is a named parameter preset plus a case count. Case `i` of a
+//! campaign with seed `S` is always `(S, i)` — workers pull case ids from a
+//! shared counter but results are collected in id order, so the campaign
+//! digest is independent of `--jobs`. Failures carry a one-line reproducer
+//! (`SIMTEST_SEED=… SIMTEST_CASE=… cargo run -q -p photon-simtest --bin
+//! simtest -- replay <campaign>`) and, for schedule-based cases, a shrunk
+//! schedule.
+//!
+//! Before generated cases run, known-bad seeds from the committed corpus
+//! (`proptest-regressions/simtest.txt`) for this campaign are replayed, so
+//! past failures act as permanent regression tests.
+
+use crate::exec::{run_case, CaseReport};
+use crate::fnv1a;
+use crate::msg_driver::run_msg_case;
+use crate::rt_driver::run_runtime_case;
+use crate::schedule::{Schedule, SimParams};
+use crate::shrink::shrink_schedule;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Named campaign presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Campaign {
+    /// Mixed ops, moderate faults — the default tier-1 gate.
+    Smoke,
+    /// Tiny ledgers/rings everywhere: maximum backpressure on the credit
+    /// protocol.
+    Credits,
+    /// Every case carries a fault plan plus registration churn.
+    Faults,
+    /// Quiescence-focused mix that also exercises the msg and runtime
+    /// layers' own drivers.
+    Quiescence,
+}
+
+impl Campaign {
+    /// All campaigns, in CLI listing order.
+    pub fn all() -> [Campaign; 4] {
+        [Campaign::Smoke, Campaign::Credits, Campaign::Faults, Campaign::Quiescence]
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Campaign::Smoke => "smoke",
+            Campaign::Credits => "credits",
+            Campaign::Faults => "faults",
+            Campaign::Quiescence => "quiescence",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(s: &str) -> Option<Campaign> {
+        Campaign::all().into_iter().find(|c| c.name() == s)
+    }
+
+    /// Generator bounds for this campaign's schedule-based cases.
+    pub fn params(self) -> SimParams {
+        match self {
+            Campaign::Smoke => SimParams::smoke(),
+            Campaign::Credits => SimParams::credits(),
+            Campaign::Faults => SimParams::faults(),
+            Campaign::Quiescence => SimParams::quiescence(),
+        }
+    }
+}
+
+/// Options for [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Campaign seed; case `i` runs as `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (parallelism is across cases; 0 is treated as 1).
+    pub jobs: usize,
+    /// Shrink failing schedule-based cases.
+    pub shrink: bool,
+    /// Regression corpus path; `None` uses the committed default and
+    /// silently skips a missing file.
+    pub corpus: Option<PathBuf>,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        CampaignOpts { cases: 50, seed: 0x5EED, jobs: 4, shrink: true, corpus: None }
+    }
+}
+
+/// One failing case, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Campaign seed the case ran under.
+    pub seed: u64,
+    /// Case id.
+    pub case_id: u64,
+    /// Which campaign's parameters it used.
+    pub campaign: Campaign,
+    /// Invariant violations, in discovery order.
+    pub violations: Vec<String>,
+    /// `Display` of the shrunk schedule, when shrinking ran and helped.
+    pub shrunk: Option<String>,
+}
+
+impl CaseFailure {
+    /// The copy-pasteable one-line reproducer.
+    pub fn reproducer(&self) -> String {
+        format!(
+            "SIMTEST_SEED={:#x} SIMTEST_CASE={} cargo run -q -p photon-simtest --bin simtest -- replay {}",
+            self.seed,
+            self.case_id,
+            self.campaign.name()
+        )
+    }
+
+    /// The corpus line that pins this failure as a regression test.
+    pub fn corpus_line(&self) -> String {
+        format!("{} {:#x} {}", self.campaign.name(), self.seed, self.case_id)
+    }
+}
+
+/// Outcome of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The campaign that ran.
+    pub campaign: Campaign,
+    /// Generated cases executed (corpus replays come on top).
+    pub cases_run: u64,
+    /// Corpus entries replayed before the generated cases.
+    pub corpus_run: u64,
+    /// FNV-1a over the per-case digests of the generated cases, in case-id
+    /// order. Identical across machines and `--jobs` levels.
+    pub digest: u64,
+    /// Every failing case (corpus and generated).
+    pub failures: Vec<CaseFailure>,
+}
+
+impl CampaignResult {
+    /// True when no case failed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable report; failure entries include the reproducer line
+    /// and any shrunk schedule.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "campaign {}: {} cases ({} corpus), {} failure(s), digest {:#018x}\n",
+            self.campaign.name(),
+            self.cases_run,
+            self.corpus_run,
+            self.failures.len(),
+            self.digest
+        );
+        for f in &self.failures {
+            let _ = writeln!(s, "case {} FAILED:", f.case_id);
+            for v in &f.violations {
+                let _ = writeln!(s, "  - {v}");
+            }
+            let _ = writeln!(s, "  reproduce: {}", f.reproducer());
+            let _ = writeln!(
+                s,
+                "  pin it:    echo '{}' >> proptest-regressions/simtest.txt",
+                f.corpus_line()
+            );
+            if let Some(sh) = &f.shrunk {
+                let _ = writeln!(s, "  shrunk schedule:");
+                for line in sh.lines() {
+                    let _ = writeln!(s, "    {line}");
+                }
+            }
+        }
+        s
+    }
+}
+
+/// True when `(campaign, case_id)` dispatches to the schedule-based
+/// Photon-core executor (and is therefore shrinkable).
+pub fn is_schedule_case(campaign: Campaign, case_id: u64) -> bool {
+    !(campaign == Campaign::Quiescence && (case_id % 8 == 3 || case_id % 8 == 6))
+}
+
+/// Run one case exactly as a campaign would: the quiescence campaign
+/// interleaves msg-layer and runtime-layer driver cases into the stream;
+/// every other id (and every other campaign) runs the schedule executor.
+pub fn run_one(campaign: Campaign, seed: u64, case_id: u64) -> CaseReport {
+    if is_schedule_case(campaign, case_id) {
+        run_case(seed, case_id, &campaign.params())
+    } else if case_id % 8 == 3 {
+        run_msg_case(seed, case_id)
+    } else {
+        run_runtime_case(seed, case_id)
+    }
+}
+
+/// Parse a corpus/CLI integer: decimal or `0x`-prefixed hex.
+pub fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The committed corpus location (`proptest-regressions/simtest.txt` at the
+/// workspace root).
+pub fn default_corpus_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../proptest-regressions/simtest.txt")
+}
+
+/// Load corpus entries: one `<campaign> <seed> <case_id>` triple per line,
+/// `#` comments and blank lines ignored, malformed lines skipped.
+pub fn load_corpus(path: &Path) -> Vec<(String, u64, u64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let mut it = line.split_whitespace();
+            let name = it.next()?.to_string();
+            let seed = parse_u64(it.next()?)?;
+            let case = parse_u64(it.next()?)?;
+            Some((name, seed, case))
+        })
+        .collect()
+}
+
+fn failure_from(campaign: Campaign, rep: &CaseReport, shrink: bool) -> CaseFailure {
+    let shrunk = if shrink && is_schedule_case(campaign, rep.case_id) {
+        let sched = Schedule::generate(rep.seed, rep.case_id, &campaign.params());
+        shrink_schedule(&sched, 128).map(|s| {
+            format!("{} (shrunk from {} ops in {} runs)", s.schedule, sched.ops.len(), s.runs_used)
+        })
+    } else {
+        None
+    };
+    CaseFailure {
+        seed: rep.seed,
+        case_id: rep.case_id,
+        campaign,
+        violations: rep.violations.clone(),
+        shrunk,
+    }
+}
+
+/// Run a campaign: corpus replays first, then `opts.cases` generated cases
+/// across `opts.jobs` workers.
+pub fn run_campaign(campaign: Campaign, opts: &CampaignOpts) -> CampaignResult {
+    let mut failures = Vec::new();
+
+    // Corpus replays (sequential — these are few and must not perturb the
+    // generated-case digest).
+    let corpus_path = opts.corpus.clone().unwrap_or_else(default_corpus_path);
+    let corpus: Vec<(u64, u64)> = load_corpus(&corpus_path)
+        .into_iter()
+        .filter(|(name, _, _)| name == campaign.name())
+        .map(|(_, s, c)| (s, c))
+        .collect();
+    for &(seed, case_id) in &corpus {
+        let rep = run_one(campaign, seed, case_id);
+        if !rep.passed() {
+            failures.push(failure_from(campaign, &rep, opts.shrink));
+        }
+    }
+
+    // Generated cases: workers pull ids from a counter, results land in
+    // id-indexed slots so collection order never depends on scheduling.
+    let total = opts.cases;
+    let jobs = opts.jobs.clamp(1, 64).min(total.max(1) as usize);
+    let next = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<CaseReport>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let id = next.fetch_add(1, Ordering::Relaxed);
+                if id >= total {
+                    break;
+                }
+                let rep = run_one(campaign, opts.seed, id);
+                *slots[id as usize].lock().expect("slot lock") = Some(rep);
+            });
+        }
+    });
+
+    let mut digest_src = String::new();
+    for slot in &slots {
+        let rep = slot.lock().expect("slot lock").take().expect("case ran");
+        let _ = write!(digest_src, "{}:{:x};", rep.case_id, rep.digest);
+        if !rep.passed() {
+            failures.push(failure_from(campaign, &rep, opts.shrink));
+        }
+    }
+
+    CampaignResult {
+        campaign,
+        cases_run: total,
+        corpus_run: corpus.len() as u64,
+        digest: fnv1a(digest_src.as_bytes()),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_names_round_trip() {
+        for c in Campaign::all() {
+            assert_eq!(Campaign::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Campaign::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn digest_is_jobs_independent() {
+        let mk = |jobs| CampaignOpts {
+            cases: 6,
+            seed: 0xD16E57,
+            jobs,
+            shrink: false,
+            corpus: Some(PathBuf::from("/nonexistent")),
+        };
+        let a = run_campaign(Campaign::Smoke, &mk(1));
+        let b = run_campaign(Campaign::Smoke, &mk(3));
+        assert!(a.passed(), "{}", a.summary());
+        assert!(b.passed(), "{}", b.summary());
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn corpus_parses_and_filters() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("simtest-corpus-{}.txt", std::process::id()));
+        std::fs::write(
+            &path,
+            "# pinned failures\nsmoke 0x10 3\n\ncredits 17 0\nbad-line\nsmoke 0x20 4\n",
+        )
+        .expect("write corpus");
+        let entries = load_corpus(&path);
+        assert_eq!(
+            entries,
+            vec![
+                ("smoke".to_string(), 0x10, 3),
+                ("credits".to_string(), 17, 0),
+                ("smoke".to_string(), 0x20, 4),
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quiescence_campaign_mixes_all_drivers() {
+        let opts = CampaignOpts {
+            cases: 8, // ids 3 and 6 hit the msg and runtime drivers
+            seed: 0x0AB5_CE55,
+            jobs: 2,
+            shrink: false,
+            corpus: Some(PathBuf::from("/nonexistent")),
+        };
+        let r = run_campaign(Campaign::Quiescence, &opts);
+        assert!(r.passed(), "{}", r.summary());
+        assert!(!is_schedule_case(Campaign::Quiescence, 3));
+        assert!(!is_schedule_case(Campaign::Quiescence, 6));
+        assert!(is_schedule_case(Campaign::Smoke, 3));
+    }
+}

@@ -1,0 +1,1141 @@
+//! The deterministic schedule executor.
+//!
+//! Drives every rank of a [`Schedule`] from **one** thread, using only the
+//! middleware's non-blocking entry points (`try_put_with_completion`,
+//! `try_send`, `try_post_recv_buffer`, `probe_completion`, …) in a fixed
+//! round-robin sweep. The simulated fabric applies RDMA effects
+//! synchronously at post time, so with the interleaving pinned the whole
+//! run — traces, stats, verdicts — is a pure function of the schedule.
+//!
+//! Collectives are built *in the harness* (a dissemination barrier over
+//! plain sends) rather than through the middleware's blocking collective
+//! API, which would need one thread per rank and forfeit determinism.
+//!
+//! A sweep that makes no state transition can never make one later (there
+//! is no background progress in a synchronous fabric), so livelock is
+//! detected after a handful of idle sweeps and reported with per-rank
+//! diagnostics — including the credit checkers, since lost credit returns
+//! are the classic cause of protocol livelock.
+
+use crate::checkers::{self, RankTally, Violations};
+use crate::schedule::{FaultSpec, Op, Schedule, SimParams};
+use crate::{fnv1a, splitmix64};
+use photon_core::{Event, PhotonBuffer, PhotonCluster, PhotonConfig, ProbeFlags, StatsSnapshot};
+use photon_fabric::{Cluster, NetworkModel, NicConfig, VTime, Window};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Base of the data-op rid range (well below the reserved namespace).
+const RID_OP_BASE: u64 = 0x0100_0000;
+/// Barrier rids: `RID_BARRIER | (barrier << 16) | (round << 8) | src`.
+const RID_BARRIER: u64 = 0x2000_0000;
+/// Parcel rids: `RID_PARCEL + sequence`.
+const RID_PARCEL: u64 = 0x4000_0000;
+
+/// Idle full sweeps before declaring the case stuck.
+const IDLE_SWEEP_LIMIT: u32 = 8;
+/// Hard cap on sweeps (backstop against pathological schedules).
+const SWEEP_HARD_CAP: u64 = 2_000_000;
+
+/// Outcome of one executed case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Case index.
+    pub case_id: u64,
+    /// Invariant violations (empty ⇒ pass).
+    pub violations: Vec<String>,
+    /// FNV-1a digest of traces + stats + verdicts: the determinism witness.
+    pub digest: u64,
+    /// Round-robin sweeps executed.
+    pub sweeps: u64,
+    /// Per-rank middleware stats at quiescence.
+    pub stats: Vec<StatsSnapshot>,
+    /// Per-rank trace CSVs (virtual-time ordered); empty when tracing off.
+    pub trace_csv: Vec<String>,
+}
+
+impl CaseReport {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Generate and execute the case `(seed, case_id)` under `params`.
+pub fn run_case(seed: u64, case_id: u64, params: &SimParams) -> CaseReport {
+    run_schedule(&Schedule::generate(seed, case_id, params))
+}
+
+/// Execute an explicit schedule (shrinker entry point). Tracing on.
+pub fn run_schedule(sched: &Schedule) -> CaseReport {
+    run_schedule_cfg(sched, |_| {})
+}
+
+/// Execute a schedule with a configuration override applied on top of the
+/// schedule's own config — the mutation-testing hook (e.g. enable
+/// `skip_credit_return_interval` and assert the checkers object).
+pub fn run_schedule_cfg(sched: &Schedule, mutate: impl FnOnce(&mut PhotonConfig)) -> CaseReport {
+    let mut cfg = sched.cfg;
+    mutate(&mut cfg);
+    Executor::new(sched, cfg).run()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// The op's initiating side (sender for rendezvous).
+    Init,
+    /// The announcing/receiving side of a rendezvous pair.
+    RdvRecv,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QItem {
+    op: usize,
+    role: Role,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SndState {
+    WaitDesc,
+    WaitPut,
+    SendFin,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RcvState {
+    Announce,
+    WaitFin,
+    Done,
+}
+
+#[derive(Debug)]
+struct OpRun {
+    op: Op,
+    local_rid: u64,
+    remote_rid: u64,
+    /// (rank, offset) of the pre-filled source slice, for ops that have one.
+    tx: (usize, usize),
+    /// (rank, offset) of the landing slice.
+    rx: (usize, usize),
+    posted: bool,
+    local_done: bool,
+    remote_done: bool,
+    snd: SndState,
+    rcv: RcvState,
+    /// Per-op registered landing buffer in registration-churn mode.
+    churn_buf: Option<PhotonBuffer>,
+    expected_sum: u64,
+}
+
+impl OpRun {
+    fn done(&self) -> bool {
+        match self.op {
+            Op::Send { .. } => self.posted && self.remote_done,
+            Op::PutEager { .. } | Op::PutDirect { .. } => {
+                self.posted && self.local_done && self.remote_done
+            }
+            Op::Get { .. } => self.posted && self.local_done,
+            Op::Rendezvous { .. } => self.snd == SndState::Done && self.rcv == RcvState::Done,
+            Op::Barrier | Op::ParcelTree { .. } => unreachable!("not a data op"),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct BarRank {
+    round: u8,
+    send_posted: bool,
+    recv_mask: u32,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct BarrierRun {
+    rounds: u8,
+    per_rank: Vec<BarRank>,
+}
+
+#[derive(Debug)]
+struct TreeRun {
+    expected: u64,
+    delivered: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Parcel {
+    tree: u16,
+    ttl: u8,
+    fanout: u8,
+    seed: u64,
+    dst: usize,
+}
+
+const PARCEL_FILLER: usize = 16;
+const PARCEL_LEN: usize = 12 + PARCEL_FILLER;
+
+fn parcel_payload(p: &Parcel) -> Vec<u8> {
+    let mut v = Vec::with_capacity(PARCEL_LEN);
+    v.extend_from_slice(&p.tree.to_le_bytes());
+    v.push(p.ttl);
+    v.push(p.fanout);
+    v.extend_from_slice(&p.seed.to_le_bytes());
+    for k in 0..PARCEL_FILLER {
+        v.push((splitmix64(p.seed ^ (0x1000 + k as u64)) >> 16) as u8);
+    }
+    v
+}
+
+struct Executor<'a> {
+    sched: &'a Schedule,
+    cluster: PhotonCluster,
+    tx_arena: Vec<PhotonBuffer>,
+    rx_arena: Vec<PhotonBuffer>,
+    ops: Vec<OpRun>,
+    queues: Vec<Vec<QItem>>,
+    next: Vec<usize>,
+    active: Vec<Vec<QItem>>,
+    in_barrier: Vec<Option<usize>>,
+    barriers: Vec<BarrierRun>,
+    bar_of_op: HashMap<usize, usize>,
+    trees: Vec<TreeRun>,
+    tree_of_op: HashMap<usize, usize>,
+    outbox: Vec<VecDeque<Parcel>>,
+    parcel_seq: u64,
+    local_map: HashMap<u64, usize>,
+    remote_map: HashMap<u64, usize>,
+    tally: Vec<RankTally>,
+    last_now: Vec<VTime>,
+    violations: Violations,
+    progressed: bool,
+    sweeps: u64,
+}
+
+impl<'a> Executor<'a> {
+    fn new(sched: &'a Schedule, cfg: PhotonConfig) -> Executor<'a> {
+        let n = sched.nodes;
+        let model = match sched.model {
+            0 => NetworkModel::ideal(),
+            1 => NetworkModel::ib_fdr(),
+            _ => NetworkModel::ethernet_10g(),
+        };
+        let fabric = Cluster::with_config(
+            n,
+            model,
+            NicConfig { cq_depth: sched.cq_depth, ..NicConfig::default() },
+        );
+        let cluster = PhotonCluster::with_fabric(fabric, cfg);
+        install_faults(&cluster, sched);
+        for p in cluster.ranks() {
+            p.tracer().enable();
+        }
+
+        // ---- materialize ops, queues, rid maps, arena layout -------------
+        let mut ops = Vec::with_capacity(sched.ops.len());
+        let mut queues = vec![Vec::new(); n];
+        let mut barriers = Vec::new();
+        let mut bar_of_op = HashMap::new();
+        let mut trees = Vec::new();
+        let mut tree_of_op = HashMap::new();
+        let mut local_map = HashMap::new();
+        let mut remote_map = HashMap::new();
+        let mut tx_off = vec![0usize; n];
+        let mut rx_off = vec![0usize; n];
+        let align = |x: usize| (x + 7) & !7;
+
+        for (i, &op) in sched.ops.iter().enumerate() {
+            let local_rid = RID_OP_BASE + 2 * i as u64;
+            let remote_rid = RID_OP_BASE + 2 * i as u64 + 1;
+            let mut run = OpRun {
+                op,
+                local_rid,
+                remote_rid,
+                tx: (usize::MAX, 0),
+                rx: (usize::MAX, 0),
+                posted: false,
+                local_done: false,
+                remote_done: false,
+                snd: SndState::WaitDesc,
+                rcv: RcvState::Announce,
+                churn_buf: None,
+                expected_sum: 0,
+            };
+            match op {
+                Op::Send { src, dst, len } => {
+                    let payload: Vec<u8> = (0..len).map(|k| sched.fill_byte(i, k)).collect();
+                    run.expected_sum = fnv1a(&payload);
+                    remote_map.insert(remote_rid, i);
+                    queues[src].push(QItem { op: i, role: Role::Init });
+                    let _ = dst;
+                }
+                Op::PutEager { src, dst, len } | Op::PutDirect { src, dst, len } => {
+                    run.tx = (src, tx_off[src]);
+                    tx_off[src] += align(len);
+                    run.rx = (dst, rx_off[dst]);
+                    rx_off[dst] += align(len);
+                    local_map.insert(local_rid, i);
+                    remote_map.insert(remote_rid, i);
+                    queues[src].push(QItem { op: i, role: Role::Init });
+                }
+                Op::Get { src, dst, len } => {
+                    run.tx = (dst, tx_off[dst]);
+                    tx_off[dst] += align(len);
+                    run.rx = (src, rx_off[src]);
+                    rx_off[src] += align(len);
+                    local_map.insert(local_rid, i);
+                    queues[src].push(QItem { op: i, role: Role::Init });
+                }
+                Op::Rendezvous { src, dst, len, .. } => {
+                    run.tx = (src, tx_off[src]);
+                    tx_off[src] += align(len);
+                    if !sched.reg_churn {
+                        run.rx = (dst, rx_off[dst]);
+                        rx_off[dst] += align(len);
+                    }
+                    local_map.insert(local_rid, i);
+                    queues[src].push(QItem { op: i, role: Role::Init });
+                    queues[dst].push(QItem { op: i, role: Role::RdvRecv });
+                }
+                Op::Barrier => {
+                    let rounds = n.next_power_of_two().trailing_zeros() as u8;
+                    let rounds = if (1usize << rounds) < n { rounds + 1 } else { rounds };
+                    bar_of_op.insert(i, barriers.len());
+                    barriers.push(BarrierRun { rounds, per_rank: vec![BarRank::default(); n] });
+                    for q in queues.iter_mut() {
+                        q.push(QItem { op: i, role: Role::Init });
+                    }
+                }
+                Op::ParcelTree { root, fanout, ttl } => {
+                    // deliveries(t) = 1 + fanout * deliveries(t-1); the root
+                    // itself issues `fanout` initial parcels.
+                    let mut per = 1u64;
+                    for _ in 0..ttl {
+                        per = 1 + fanout as u64 * per;
+                    }
+                    tree_of_op.insert(i, trees.len());
+                    trees.push(TreeRun { expected: fanout as u64 * per, delivered: 0 });
+                    queues[root].push(QItem { op: i, role: Role::Init });
+                }
+            }
+            ops.push(run);
+        }
+
+        let tx_arena: Vec<PhotonBuffer> = (0..n)
+            .map(|r| cluster.rank(r).register_buffer(tx_off[r].max(8)).expect("register tx arena"))
+            .collect();
+        let rx_arena: Vec<PhotonBuffer> = (0..n)
+            .map(|r| cluster.rank(r).register_buffer(rx_off[r].max(8)).expect("register rx arena"))
+            .collect();
+
+        // Pre-fill every source slice with its op's pattern.
+        for (i, run) in ops.iter().enumerate() {
+            let len = match run.op {
+                Op::PutEager { len, .. }
+                | Op::PutDirect { len, .. }
+                | Op::Get { len, .. }
+                | Op::Rendezvous { len, .. } => len,
+                _ => continue,
+            };
+            let (r, off) = run.tx;
+            let bytes: Vec<u8> = (0..len).map(|k| sched.fill_byte(i, k)).collect();
+            tx_arena[r].write_at(off, &bytes);
+        }
+
+        Executor {
+            sched,
+            cluster,
+            tx_arena,
+            rx_arena,
+            ops,
+            queues,
+            next: vec![0; n],
+            active: vec![Vec::new(); n],
+            in_barrier: vec![None; n],
+            barriers,
+            bar_of_op,
+            trees,
+            tree_of_op,
+            outbox: vec![VecDeque::new(); n],
+            parcel_seq: 0,
+            local_map,
+            remote_map,
+            tally: vec![RankTally::default(); n],
+            last_now: vec![VTime(0); n],
+            violations: Violations::default(),
+            progressed: false,
+            sweeps: 0,
+        }
+    }
+
+    fn run(mut self) -> CaseReport {
+        let n = self.sched.nodes;
+        let mut idle: u32 = 0;
+        while !self.all_done() {
+            self.progressed = false;
+            for r in 0..n {
+                self.drive(r);
+            }
+            self.sweeps += 1;
+            idle = if self.progressed { 0 } else { idle + 1 };
+            if idle > IDLE_SWEEP_LIMIT || self.sweeps > SWEEP_HARD_CAP {
+                self.report_stuck();
+                break;
+            }
+        }
+        // Drain stragglers (late CQEs, duplicate/unexpected events show up
+        // here as routing violations).
+        for _ in 0..4 {
+            for r in 0..n {
+                self.pump(r, 16);
+            }
+        }
+        self.finish()
+    }
+
+    fn all_done(&self) -> bool {
+        self.next.iter().enumerate().all(|(r, &nx)| nx == self.queues[r].len())
+            && self.active.iter().all(|a| a.is_empty())
+            && self.outbox.iter().all(|o| o.is_empty())
+    }
+
+    // ------------------------------------------------------------- driving
+
+    fn drive(&mut self, r: usize) {
+        self.activate(r);
+        self.advance_active(r);
+        self.drain_outbox(r);
+        self.pump(r, 4);
+        let now = self.cluster.rank(r).now();
+        if now < self.last_now[r] {
+            self.violations.push(format!(
+                "rank {r}: virtual clock moved backwards ({} -> {})",
+                self.last_now[r].as_nanos(),
+                now.as_nanos()
+            ));
+        }
+        self.last_now[r] = now;
+    }
+
+    fn activate(&mut self, r: usize) {
+        while self.in_barrier[r].is_none() && self.next[r] < self.queues[r].len() {
+            let item = self.queues[r][self.next[r]];
+            let is_barrier = matches!(self.sched.ops[item.op], Op::Barrier);
+            if is_barrier {
+                if !self.active[r].is_empty() {
+                    return;
+                }
+                self.in_barrier[r] = Some(self.bar_of_op[&item.op]);
+            } else {
+                if self.active[r].len() >= self.sched.window {
+                    return;
+                }
+                if let Op::ParcelTree { fanout, ttl, .. } = self.sched.ops[item.op] {
+                    let tree = self.tree_of_op[&item.op] as u16;
+                    for c in 0..fanout {
+                        let seed = splitmix64(
+                            self.sched.seed
+                                ^ self.sched.case_id.rotate_left(17)
+                                ^ ((item.op as u64) << 20)
+                                ^ (c as u64 + 1),
+                        );
+                        let dst = self.pick_parcel_dst(r, seed);
+                        self.outbox[r].push_back(Parcel { tree, ttl, fanout, seed, dst });
+                    }
+                }
+                if item.role == Role::RdvRecv && self.sched.reg_churn {
+                    if let Op::Rendezvous { len, .. } = self.sched.ops[item.op] {
+                        match self.cluster.rank(r).register_buffer(len.max(8)) {
+                            Ok(b) => self.ops[item.op].churn_buf = Some(b),
+                            Err(e) => self
+                                .violations
+                                .push(format!("rank {r}: churn registration failed: {e}")),
+                        }
+                    }
+                }
+            }
+            self.active[r].push(item);
+            self.next[r] += 1;
+            self.progressed = true;
+            if is_barrier {
+                return;
+            }
+        }
+    }
+
+    fn advance_active(&mut self, r: usize) {
+        let items: Vec<QItem> = self.active[r].clone();
+        let mut finished: Vec<QItem> = Vec::new();
+        for item in items {
+            if self.advance_item(r, item) {
+                finished.push(item);
+            }
+        }
+        if !finished.is_empty() {
+            self.progressed = true;
+            self.active[r].retain(|it| !finished.contains(it));
+        }
+    }
+
+    /// Drive one item one step; true when its role at rank `r` is complete.
+    fn advance_item(&mut self, r: usize, item: QItem) -> bool {
+        let i = item.op;
+        match self.sched.ops[i] {
+            Op::Send { dst, len, .. } => {
+                if !self.ops[i].posted {
+                    let payload: Vec<u8> = (0..len).map(|k| self.sched.fill_byte(i, k)).collect();
+                    match self.cluster.rank(r).try_send(dst, &payload, self.ops[i].remote_rid) {
+                        Ok(true) => {
+                            self.ops[i].posted = true;
+                            self.tally[r].sends += 1;
+                            self.progressed = true;
+                        }
+                        Ok(false) => {}
+                        Err(e) => self.fail_op(i, r, format!("send post failed: {e}")),
+                    }
+                }
+                self.ops[i].done()
+            }
+            Op::PutEager { dst, len, .. } | Op::PutDirect { dst, len, .. } => {
+                if !self.ops[i].posted {
+                    let (txr, txo) = self.ops[i].tx;
+                    let (rxr, rxo) = self.ops[i].rx;
+                    let dd = self.rx_arena[rxr].descriptor_at(rxo, len).expect("rx slice");
+                    debug_assert_eq!(txr, r);
+                    debug_assert_eq!(rxr, dst);
+                    match self.cluster.rank(r).try_put_with_completion(
+                        dst,
+                        &self.tx_arena[txr],
+                        txo,
+                        len,
+                        &dd,
+                        0,
+                        self.ops[i].local_rid,
+                        self.ops[i].remote_rid,
+                    ) {
+                        Ok(true) => {
+                            self.ops[i].posted = true;
+                            if matches!(self.sched.ops[i], Op::PutEager { .. }) {
+                                self.tally[r].puts_eager += 1;
+                            } else {
+                                self.tally[r].puts_direct += 1;
+                            }
+                            self.progressed = true;
+                        }
+                        Ok(false) => {}
+                        Err(e) => self.fail_op(i, r, format!("pwc post failed: {e}")),
+                    }
+                }
+                self.ops[i].done()
+            }
+            Op::Get { dst, len, .. } => {
+                if !self.ops[i].posted {
+                    let (txr, txo) = self.ops[i].tx;
+                    let (rxr, rxo) = self.ops[i].rx;
+                    let sd = self.tx_arena[txr].descriptor_at(txo, len).expect("src slice");
+                    debug_assert_eq!(rxr, r);
+                    match self.cluster.rank(r).get_with_completion(
+                        dst,
+                        &self.rx_arena[rxr],
+                        rxo,
+                        len,
+                        &sd,
+                        0,
+                        self.ops[i].local_rid,
+                    ) {
+                        Ok(()) => {
+                            self.ops[i].posted = true;
+                            self.tally[r].gets += 1;
+                            self.progressed = true;
+                        }
+                        Err(e) => self.fail_op(i, r, format!("get post failed: {e}")),
+                    }
+                }
+                self.ops[i].done()
+            }
+            Op::Rendezvous { src, dst, len, tag } => match item.role {
+                Role::Init => self.advance_rdv_sender(r, i, dst, len, tag),
+                Role::RdvRecv => self.advance_rdv_receiver(r, i, src, len, tag),
+            },
+            Op::Barrier => self.advance_barrier(r, i),
+            Op::ParcelTree { .. } => {
+                let t = self.tree_of_op[&i];
+                let (delivered, expected) = (self.trees[t].delivered, self.trees[t].expected);
+                if delivered > expected {
+                    self.fail_op(
+                        i,
+                        r,
+                        format!("parcel tree over-delivered: {delivered} > expected {expected}"),
+                    );
+                }
+                delivered >= expected
+            }
+        }
+    }
+
+    fn advance_rdv_sender(&mut self, r: usize, i: usize, dst: usize, len: usize, tag: u64) -> bool {
+        let p = self.cluster.rank(r).clone();
+        match self.ops[i].snd {
+            SndState::WaitDesc => match p.try_wait_send_buffer(dst, tag) {
+                Ok(Some(desc)) => {
+                    if len > desc.len {
+                        self.fail_op(
+                            i,
+                            r,
+                            format!("rdv descriptor too small: {} < {len}", desc.len),
+                        );
+                        self.ops[i].snd = SndState::Done;
+                        return true;
+                    }
+                    let (txr, txo) = self.ops[i].tx;
+                    if let Err(e) =
+                        p.put(dst, &self.tx_arena[txr], txo, len, &desc, 0, self.ops[i].local_rid)
+                    {
+                        self.fail_op(i, r, format!("rdv put failed: {e}"));
+                        self.ops[i].snd = SndState::Done;
+                        return true;
+                    }
+                    self.ops[i].snd = SndState::WaitPut;
+                    // Plain puts share the middleware's puts_direct counter.
+                    self.tally[r].puts_direct += 1;
+                    self.progressed = true;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.fail_op(i, r, format!("rdv wait_send_buffer failed: {e}"));
+                    self.ops[i].snd = SndState::Done;
+                    return true;
+                }
+            },
+            SndState::WaitPut => {
+                // Completion arrives through the event router (local_done).
+                if self.ops[i].local_done {
+                    self.ops[i].snd = SndState::SendFin;
+                    self.progressed = true;
+                }
+            }
+            SndState::SendFin => match p.try_send_fin(dst, tag) {
+                Ok(true) => {
+                    self.ops[i].snd = SndState::Done;
+                    self.progressed = true;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    self.fail_op(i, r, format!("rdv fin failed: {e}"));
+                    self.ops[i].snd = SndState::Done;
+                }
+            },
+            SndState::Done => {}
+        }
+        self.ops[i].snd == SndState::Done
+    }
+
+    fn advance_rdv_receiver(
+        &mut self,
+        r: usize,
+        i: usize,
+        src: usize,
+        len: usize,
+        tag: u64,
+    ) -> bool {
+        let p = self.cluster.rank(r).clone();
+        match self.ops[i].rcv {
+            RcvState::Announce => {
+                let res = if let Some(b) = &self.ops[i].churn_buf {
+                    p.try_post_recv_buffer(src, b, 0, len, tag)
+                } else {
+                    let (rxr, rxo) = self.ops[i].rx;
+                    debug_assert_eq!(rxr, r);
+                    p.try_post_recv_buffer(src, &self.rx_arena[rxr], rxo, len, tag)
+                };
+                match res {
+                    Ok(true) => {
+                        self.ops[i].rcv = RcvState::WaitFin;
+                        self.progressed = true;
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        self.fail_op(i, r, format!("rdv announce failed: {e}"));
+                        self.ops[i].rcv = RcvState::Done;
+                    }
+                }
+            }
+            RcvState::WaitFin => match p.try_wait_fin(src, tag) {
+                Ok(Some(_ts)) => {
+                    let got = if let Some(b) = &self.ops[i].churn_buf {
+                        b.to_vec(0, len)
+                    } else {
+                        let (rxr, rxo) = self.ops[i].rx;
+                        self.rx_arena[rxr].to_vec(rxo, len)
+                    };
+                    self.verify_payload(i, r, &got, "rendezvous payload");
+                    if let Some(b) = self.ops[i].churn_buf.take() {
+                        if let Err(e) = p.release_buffer(&b) {
+                            self.violations.push(format!("rank {r}: churn release failed: {e}"));
+                        }
+                    }
+                    self.ops[i].rcv = RcvState::Done;
+                    self.progressed = true;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.fail_op(i, r, format!("rdv wait_fin failed: {e}"));
+                    self.ops[i].rcv = RcvState::Done;
+                }
+            },
+            RcvState::Done => {}
+        }
+        self.ops[i].rcv == RcvState::Done
+    }
+
+    fn advance_barrier(&mut self, r: usize, op_idx: usize) -> bool {
+        let b = self.bar_of_op[&op_idx];
+        let n = self.sched.nodes;
+        let rounds = self.barriers[b].rounds;
+        let mut st = self.barriers[b].per_rank[r].clone();
+        if st.done {
+            return true;
+        }
+        if st.round >= rounds {
+            st.done = true;
+        } else {
+            if !st.send_posted {
+                let partner = (r + (1 << st.round)) % n;
+                let rid = RID_BARRIER | ((b as u64) << 16) | ((st.round as u64) << 8) | r as u64;
+                match self.cluster.rank(r).try_send(partner, b"bar", rid) {
+                    Ok(true) => {
+                        st.send_posted = true;
+                        self.tally[r].sends += 1;
+                        self.progressed = true;
+                    }
+                    Ok(false) => {}
+                    Err(e) => self
+                        .violations
+                        .push(format!("rank {r}: barrier {b} round {} send failed: {e}", st.round)),
+                }
+            }
+            if st.send_posted && st.recv_mask & (1 << st.round) != 0 {
+                st.round += 1;
+                st.send_posted = false;
+                self.progressed = true;
+                if st.round >= rounds {
+                    st.done = true;
+                }
+            }
+        }
+        let done = st.done;
+        self.barriers[b].per_rank[r] = st;
+        if done {
+            self.in_barrier[r] = None;
+        }
+        done
+    }
+
+    fn drain_outbox(&mut self, r: usize) {
+        for _ in 0..4 {
+            let Some(parcel) = self.outbox[r].front().copied() else { break };
+            let payload = parcel_payload(&parcel);
+            let rid = RID_PARCEL + self.parcel_seq;
+            match self.cluster.rank(r).try_send(parcel.dst, &payload, rid) {
+                Ok(true) => {
+                    self.outbox[r].pop_front();
+                    self.parcel_seq += 1;
+                    self.tally[r].sends += 1;
+                    self.progressed = true;
+                }
+                Ok(false) => break,
+                Err(e) => {
+                    self.violations.push(format!("rank {r}: parcel send failed: {e}"));
+                    self.outbox[r].pop_front();
+                }
+            }
+        }
+    }
+
+    fn pick_parcel_dst(&self, me: usize, seed: u64) -> usize {
+        let n = self.sched.nodes;
+        let mut d = (splitmix64(seed ^ 0xD5) % (n as u64 - 1)) as usize;
+        if d >= me {
+            d += 1;
+        }
+        d
+    }
+
+    // ------------------------------------------------------------- routing
+
+    fn pump(&mut self, r: usize, max: usize) {
+        let p = self.cluster.rank(r).clone();
+        for _ in 0..max {
+            match p.probe_completion(ProbeFlags::Any) {
+                Ok(Some(ev)) => {
+                    self.progressed = true;
+                    self.route(r, ev);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.violations.push(format!("rank {r}: probe failed: {e}"));
+                    break;
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, r: usize, ev: Event) {
+        match ev {
+            Event::Local { rid, .. } => {
+                self.tally[r].local_events += 1;
+                let Some(&i) = self.local_map.get(&rid) else {
+                    self.violations.push(format!("rank {r}: unknown local rid {rid:#x}"));
+                    return;
+                };
+                if self.ops[i].local_done {
+                    self.violations.push(format!(
+                        "rank {r}: duplicate local completion for op {i} rid {rid:#x}"
+                    ));
+                    return;
+                }
+                self.ops[i].local_done = true;
+                if let Op::Get { len, .. } = self.sched.ops[i] {
+                    let (rxr, rxo) = self.ops[i].rx;
+                    let got = self.rx_arena[rxr].to_vec(rxo, len);
+                    self.verify_payload(i, r, &got, "get payload");
+                }
+            }
+            Event::Remote(rev) => {
+                self.tally[r].remote_events += 1;
+                let rid = rev.rid;
+                if rid & RID_PARCEL != 0 && rid & RID_BARRIER == 0 {
+                    self.route_parcel(r, &rev);
+                } else if rid & RID_BARRIER != 0 {
+                    self.route_barrier(r, rid, rev.src);
+                } else if let Some(&i) = self.remote_map.get(&rid) {
+                    if self.ops[i].remote_done {
+                        self.violations.push(format!(
+                            "rank {r}: duplicate remote completion for op {i} rid {rid:#x}"
+                        ));
+                        return;
+                    }
+                    self.ops[i].remote_done = true;
+                    match self.sched.ops[i] {
+                        Op::Send { len, .. } => {
+                            let Some(payload) = rev.payload.as_deref() else {
+                                self.fail_op(i, r, "send delivered without payload".into());
+                                return;
+                            };
+                            if payload.len() != len || fnv1a(payload) != self.ops[i].expected_sum {
+                                self.fail_op(
+                                    i,
+                                    r,
+                                    format!(
+                                        "send payload corrupt: len {} sum {:#x} != expected len {len} sum {:#x}",
+                                        payload.len(),
+                                        fnv1a(payload),
+                                        self.ops[i].expected_sum
+                                    ),
+                                );
+                            }
+                        }
+                        Op::PutEager { len, .. } | Op::PutDirect { len, .. } => {
+                            let (rxr, rxo) = self.ops[i].rx;
+                            debug_assert_eq!(rxr, r);
+                            let got = self.rx_arena[rxr].to_vec(rxo, len);
+                            self.verify_payload(i, r, &got, "put payload");
+                        }
+                        _ => {}
+                    }
+                } else {
+                    self.violations.push(format!("rank {r}: unknown remote rid {rid:#x}"));
+                }
+            }
+        }
+    }
+
+    fn route_barrier(&mut self, r: usize, rid: u64, src: usize) {
+        let b = ((rid >> 16) & 0xFFF) as usize;
+        let round = ((rid >> 8) & 0xFF) as u8;
+        let claimed_src = (rid & 0xFF) as usize;
+        if b >= self.barriers.len() {
+            self.violations.push(format!("rank {r}: barrier rid {rid:#x} out of range"));
+            return;
+        }
+        let n = self.sched.nodes;
+        let expected_src = (r + n - ((1usize << round) % n)) % n;
+        if src != expected_src || claimed_src != src {
+            self.violations.push(format!(
+                "rank {r}: barrier {b} round {round} arrival from {src} (claimed {claimed_src}), expected {expected_src}"
+            ));
+            return;
+        }
+        let st = &mut self.barriers[b].per_rank[r];
+        if st.recv_mask & (1 << round) != 0 {
+            self.violations
+                .push(format!("rank {r}: duplicate barrier arrival b={b} round={round}"));
+            return;
+        }
+        st.recv_mask |= 1 << round;
+    }
+
+    fn route_parcel(&mut self, r: usize, rev: &photon_core::RemoteEvent) {
+        let Some(payload) = rev.payload.as_deref() else {
+            self.violations.push(format!("rank {r}: parcel without payload"));
+            return;
+        };
+        if payload.len() != PARCEL_LEN {
+            self.violations.push(format!("rank {r}: parcel truncated to {} bytes", payload.len()));
+            return;
+        }
+        let tree = u16::from_le_bytes([payload[0], payload[1]]);
+        let ttl = payload[2];
+        let fanout = payload[3];
+        let seed = u64::from_le_bytes(payload[4..12].try_into().expect("seed bytes"));
+        let check = parcel_payload(&Parcel { tree, ttl, fanout, seed, dst: r });
+        if payload != check {
+            self.violations.push(format!("rank {r}: parcel filler corrupt (tree {tree})"));
+            return;
+        }
+        let Some(t) = self.trees.get_mut(tree as usize) else {
+            self.violations.push(format!("rank {r}: parcel for unknown tree {tree}"));
+            return;
+        };
+        t.delivered += 1;
+        if ttl > 0 {
+            for c in 0..fanout {
+                let child_seed = splitmix64(seed ^ (c as u64 + 1));
+                let dst = self.pick_parcel_dst(r, child_seed);
+                self.outbox[r].push_back(Parcel {
+                    tree,
+                    ttl: ttl - 1,
+                    fanout,
+                    seed: child_seed,
+                    dst,
+                });
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- verdicts
+
+    fn verify_payload(&mut self, i: usize, r: usize, got: &[u8], what: &str) {
+        let want: Vec<u8> = (0..got.len()).map(|k| self.sched.fill_byte(i, k)).collect();
+        if fnv1a(got) != fnv1a(&want) {
+            self.fail_op(i, r, format!("{what} corrupt (op {i})"));
+        }
+    }
+
+    fn fail_op(&mut self, i: usize, r: usize, msg: String) {
+        self.violations.push(format!("rank {r} op {i} ({:?}): {msg}", self.sched.ops[i]));
+        // Mark every leg complete so the run can terminate and report.
+        self.ops[i].posted = true;
+        self.ops[i].local_done = true;
+        self.ops[i].remote_done = true;
+        self.ops[i].snd = SndState::Done;
+        self.ops[i].rcv = RcvState::Done;
+    }
+
+    fn report_stuck(&mut self) {
+        let mut diag = format!("stuck after {} sweeps:", self.sweeps);
+        for (r, p) in self.cluster.ranks().iter().enumerate() {
+            let (ql, qr) = p.queued_events();
+            diag.push_str(&format!(
+                " [rank {r}: next {}/{}, active {}, outbox {}, in_flight {}, queued {ql}/{qr}]",
+                self.next[r],
+                self.queues[r].len(),
+                self.active[r].len(),
+                self.outbox[r].len(),
+                p.in_flight(),
+            ));
+        }
+        self.violations.push(diag);
+        // A lost credit return is the classic protocol livelock; run the
+        // credit checkers in diagnostic mode so the verdict names the bug.
+        let mut v = Violations::default();
+        checkers::check_credit_conservation(&self.cluster, &mut v);
+        for item in v.into_items() {
+            self.violations.push(format!("diagnostic: {item}"));
+        }
+    }
+
+    fn finish(mut self) -> CaseReport {
+        let stuck = !self.violations.is_empty()
+            && self.violations.items().iter().any(|v| v.starts_with("stuck"));
+        if !stuck {
+            checkers::check_quiescent(&self.cluster, &mut self.violations);
+            checkers::check_credit_conservation(&self.cluster, &mut self.violations);
+            for (r, p) in self.cluster.ranks().iter().enumerate() {
+                checkers::check_stats(r, p, &self.tally[r], &mut self.violations);
+            }
+        }
+        let stats: Vec<StatsSnapshot> = self.cluster.ranks().iter().map(|p| p.stats()).collect();
+        let trace_csv: Vec<String> =
+            self.cluster.ranks().iter().map(|p| p.tracer().to_csv()).collect();
+        let mut digest_src = String::new();
+        for csv in &trace_csv {
+            digest_src.push_str(csv);
+        }
+        for s in &stats {
+            digest_src.push_str(&format!("{s:?}"));
+        }
+        for v in self.violations.items() {
+            digest_src.push_str(v);
+        }
+        CaseReport {
+            seed: self.sched.seed,
+            case_id: self.sched.case_id,
+            violations: self.violations.into_items(),
+            digest: fnv1a(digest_src.as_bytes()),
+            sweeps: self.sweeps,
+            stats,
+            trace_csv,
+        }
+    }
+}
+
+fn install_faults(cluster: &PhotonCluster, sched: &Schedule) {
+    let faults = cluster.fabric().switch().faults();
+    faults.set_jitter_seed(sched.seed ^ sched.case_id);
+    for f in &sched.faults {
+        match *f {
+            FaultSpec::DegradeLink { src, dst, extra_ns, from_ns, until_ns } => {
+                faults.degrade_link_during(
+                    src,
+                    dst,
+                    extra_ns,
+                    Window::new(VTime(from_ns), VTime(until_ns)),
+                );
+            }
+            FaultSpec::StraggleNode { node, extra_ns, from_ns, until_ns } => {
+                faults.straggle_node_during(
+                    node,
+                    extra_ns,
+                    Window::new(VTime(from_ns), VTime(until_ns)),
+                );
+            }
+            FaultSpec::Jitter { bound_ns, seed, from_ns, until_ns } => {
+                faults.set_jitter_seed(seed);
+                faults.set_jitter_during(bound_ns, Window::new(VTime(from_ns), VTime(until_ns)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::SimParams;
+
+    fn fixed_schedule() -> Schedule {
+        Schedule {
+            seed: 0x51,
+            case_id: 0,
+            nodes: 4,
+            cfg: PhotonConfig {
+                eager_threshold: 1024,
+                eager_ring_bytes: 8 * 1024,
+                ledger_entries: 32,
+                credit_interval: 8,
+                ..PhotonConfig::default()
+            },
+            cq_depth: 256,
+            model: 0,
+            window: 2,
+            reg_churn: false,
+            ops: vec![
+                Op::Send { src: 0, dst: 1, len: 64 },
+                Op::PutEager { src: 1, dst: 2, len: 128 },
+                Op::PutDirect { src: 2, dst: 3, len: 4096 },
+                Op::Get { src: 3, dst: 0, len: 512 },
+                Op::Barrier,
+                Op::Rendezvous { src: 0, dst: 2, len: 2048, tag: 1 },
+                Op::ParcelTree { root: 1, fanout: 2, ttl: 2 },
+            ],
+            faults: vec![],
+        }
+    }
+
+    #[test]
+    fn mixed_schedule_runs_clean() {
+        let rep = run_schedule(&fixed_schedule());
+        assert!(rep.passed(), "violations: {:?}", rep.violations);
+        assert!(rep.sweeps > 0);
+        // All four ranks traced something.
+        assert!(rep.trace_csv.iter().all(|c| c.lines().count() > 1));
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let a = run_schedule(&fixed_schedule());
+        let b = run_schedule(&fixed_schedule());
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.trace_csv, b.trace_csv);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn generated_cases_run_clean_and_deterministic() {
+        let p = SimParams::smoke();
+        for case in 0..6 {
+            let s = Schedule::generate(0xABCD, case, &p);
+            let a = run_schedule(&s);
+            assert!(a.passed(), "case {case}: {:?}\n{s}", a.violations);
+            let b = run_schedule(&s);
+            assert_eq!(a.digest, b.digest, "case {case} nondeterministic");
+        }
+    }
+
+    #[test]
+    fn faulty_network_does_not_break_invariants() {
+        let mut s = fixed_schedule();
+        s.faults = vec![
+            FaultSpec::DegradeLink {
+                src: 0,
+                dst: 1,
+                extra_ns: 20_000,
+                from_ns: 0,
+                until_ns: 1 << 40,
+            },
+            FaultSpec::StraggleNode { node: 2, extra_ns: 5_000, from_ns: 1_000, until_ns: 1 << 40 },
+            FaultSpec::Jitter { bound_ns: 800, seed: 7, from_ns: 0, until_ns: 1 << 40 },
+        ];
+        let rep = run_schedule(&s);
+        assert!(rep.passed(), "violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn mutation_skipped_credit_returns_are_caught() {
+        // Seeded bug: every credit-return write is dropped. The consumer's
+        // ledger truth then outruns the producer's credit word by at least
+        // one full interval, which the conservation checker must flag.
+        let s = Schedule {
+            seed: 0x99,
+            case_id: 0,
+            nodes: 2,
+            cfg: PhotonConfig::tiny(),
+            cq_depth: 256,
+            model: 0,
+            window: 1,
+            reg_churn: false,
+            ops: (0..6)
+                .map(|_| Op::PutDirect { src: 0, dst: 1, len: 128 })
+                .chain((0..2).map(|_| Op::Send { src: 0, dst: 1, len: 16 }))
+                .collect(),
+            faults: vec![],
+        };
+        let clean = run_schedule(&s);
+        assert!(clean.passed(), "baseline must pass: {:?}", clean.violations);
+        let mutated = run_schedule_cfg(&s, |cfg| cfg.skip_credit_return_interval = 1);
+        assert!(
+            mutated.violations.iter().any(|v| v.contains("credit-return lost")),
+            "checkers must catch the seeded credit bug; got {:?}",
+            mutated.violations
+        );
+    }
+
+    #[test]
+    fn barrier_only_schedule_completes() {
+        let mut s = fixed_schedule();
+        s.ops = vec![Op::Barrier, Op::Barrier, Op::Barrier];
+        let rep = run_schedule(&s);
+        assert!(rep.passed(), "violations: {:?}", rep.violations);
+    }
+}

@@ -1,0 +1,158 @@
+//! Best-effort schedule shrinker.
+//!
+//! When a schedule-based case fails, the shrinker tries to produce a much
+//! smaller schedule that still fails, for human debugging. It is a greedy
+//! delta-debugging loop under a hard re-run budget:
+//!
+//! 1. drop the whole fault plan, then individual faults — a failure that
+//!    survives with no faults is a protocol bug, not a chaos artifact;
+//! 2. remove chunks of ops (halving chunk sizes down to single ops),
+//!    keeping any removal after which the case still fails.
+//!
+//! Every candidate is validated by actually re-running it, so the result is
+//! always a genuinely failing schedule. "Best effort" means the loop stops
+//! at the budget, not that it may return a passing schedule.
+
+use crate::exec::run_schedule_cfg;
+use crate::schedule::Schedule;
+use photon_core::PhotonConfig;
+
+/// A minimized failing schedule plus what it cost to find.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The smallest still-failing schedule found.
+    pub schedule: Schedule,
+    /// Violations the minimized schedule produces.
+    pub violations: Vec<String>,
+    /// Number of case re-runs the shrinker spent.
+    pub runs_used: u32,
+}
+
+/// Shrink a failing schedule under plain (unmutated) configuration.
+///
+/// Returns `None` if the schedule does not actually fail (nothing to
+/// shrink).
+pub fn shrink_schedule(orig: &Schedule, budget: u32) -> Option<Shrunk> {
+    shrink_schedule_cfg(orig, budget, |_| {})
+}
+
+/// Shrink a failing schedule, applying `mutate` to the [`PhotonConfig`] of
+/// every re-run (used by mutation tests that inject bugs through config
+/// hooks such as `skip_credit_return_interval`).
+pub fn shrink_schedule_cfg(
+    orig: &Schedule,
+    budget: u32,
+    mutate: impl Fn(&mut PhotonConfig) + Copy,
+) -> Option<Shrunk> {
+    let mut runs = 0u32;
+    let try_fail = |s: &Schedule, runs: &mut u32| -> Option<Vec<String>> {
+        *runs += 1;
+        let rep = run_schedule_cfg(s, mutate);
+        if rep.passed() {
+            None
+        } else {
+            Some(rep.violations)
+        }
+    };
+
+    let mut best = orig.clone();
+    let mut best_viol = try_fail(&best, &mut runs)?;
+
+    // Pass 1: faults. Wholesale removal first — the common case where the
+    // bug reproduces without any chaos at all.
+    if !best.faults.is_empty() && runs < budget {
+        let mut cand = best.clone();
+        cand.faults.clear();
+        if let Some(v) = try_fail(&cand, &mut runs) {
+            best = cand;
+            best_viol = v;
+        }
+    }
+    let mut i = 0;
+    while i < best.faults.len() && runs < budget {
+        let mut cand = best.clone();
+        cand.faults.remove(i);
+        if let Some(v) = try_fail(&cand, &mut runs) {
+            best = cand;
+            best_viol = v;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Pass 2: ops, classic ddmin chunking. Never shrink below one op — an
+    // empty schedule is vacuous.
+    let mut chunk = (best.ops.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.ops.len() && best.ops.len() > 1 && runs < budget {
+            let hi = (i + chunk).min(best.ops.len());
+            let mut cand = best.clone();
+            cand.ops.drain(i..hi);
+            if !cand.ops.is_empty() {
+                if let Some(v) = try_fail(&cand, &mut runs) {
+                    best = cand;
+                    best_viol = v;
+                    continue; // retry same index against the shorter list
+                }
+            }
+            i = hi;
+        }
+        if chunk == 1 || runs >= budget {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    Some(Shrunk { schedule: best, violations: best_viol, runs_used: runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Op, Schedule, SimParams};
+
+    /// A schedule whose credit-return mutation failure needs only a few of
+    /// its ops; the rest is removable noise.
+    fn noisy_mutation_schedule() -> Schedule {
+        let mut s = Schedule::generate(0x51C2, 0, &SimParams::credits());
+        s.nodes = 2;
+        s.faults.clear();
+        s.ops = vec![
+            Op::Send { src: 0, dst: 1, len: 16 },
+            Op::PutDirect { src: 0, dst: 1, len: 200 },
+            Op::PutDirect { src: 0, dst: 1, len: 200 },
+            Op::Send { src: 1, dst: 0, len: 16 },
+            Op::PutDirect { src: 0, dst: 1, len: 200 },
+            Op::PutDirect { src: 0, dst: 1, len: 200 },
+            Op::PutDirect { src: 0, dst: 1, len: 200 },
+            Op::PutDirect { src: 0, dst: 1, len: 200 },
+            Op::Send { src: 1, dst: 0, len: 16 },
+        ];
+        s
+    }
+
+    #[test]
+    fn passing_schedule_does_not_shrink() {
+        let s = Schedule::generate(7, 0, &SimParams::smoke());
+        assert!(shrink_schedule(&s, 16).is_none());
+    }
+
+    #[test]
+    fn mutated_failure_shrinks_to_fewer_ops() {
+        let s = noisy_mutation_schedule();
+        let shrunk = shrink_schedule_cfg(&s, 200, |c| c.skip_credit_return_interval = 1)
+            .expect("mutated schedule must fail");
+        assert!(
+            shrunk.schedule.ops.len() < s.ops.len(),
+            "expected fewer than {} ops, got {}",
+            s.ops.len(),
+            shrunk.schedule.ops.len()
+        );
+        assert!(
+            shrunk.violations.iter().any(|v| v.contains("credit-return lost")),
+            "shrunk case must fail the same invariant: {:?}",
+            shrunk.violations
+        );
+    }
+}

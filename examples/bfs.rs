@@ -14,10 +14,10 @@
 //!
 //! Run with: `cargo run --release --example bfs`
 
+use parking_lot::Mutex;
 use photon::core::ReduceOp;
 use photon::fabric::NetworkModel;
 use photon::runtime::{ActionRegistry, RtConfig, RuntimeCluster};
-use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::Arc;
 
@@ -95,8 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                                 let local = (tgt % VERTS_PER_RANK) as u64;
                                 let mut payload = [0u8; 16];
                                 payload[0..8].copy_from_slice(&local.to_le_bytes());
-                                payload[8..16]
-                                    .copy_from_slice(&((level + 1) as u64).to_le_bytes());
+                                payload[8..16].copy_from_slice(&((level + 1) as u64).to_le_bytes());
                                 node.send_parcel(owner, relax, &payload).unwrap();
                             }
                         }
@@ -146,12 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let t_ns = cluster
-        .nodes()
-        .iter()
-        .map(|n| n.photon().now().as_nanos())
-        .max()
-        .unwrap();
+    let t_ns = cluster.nodes().iter().map(|n| n.photon().now().as_nanos()).max().unwrap();
     println!("BFS over {total} vertices x degree {DEGREE} on {RANKS} ranks");
     println!("reached {reached} vertices in {levels} levels");
     println!("virtual time: {:.2} ms", t_ns as f64 / 1e6);

@@ -47,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fire updates from every rank; remember the expected checksum.
     let mut expected_xor = 0u64;
-    let mut rngs: Vec<StdRng> =
-        (0..RANKS).map(|i| StdRng::seed_from_u64(42 + i as u64)).collect();
+    let mut rngs: Vec<StdRng> = (0..RANKS).map(|i| StdRng::seed_from_u64(42 + i as u64)).collect();
     let mut shots: Vec<Vec<(usize, u64)>> = vec![Vec::new(); RANKS];
     for (i, rng) in rngs.iter_mut().enumerate() {
         for _ in 0..UPDATES_PER_RANK {
@@ -91,18 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(got_xor, expected_xor, "all updates applied exactly once");
 
-    let t_ns = cluster
-        .nodes()
-        .iter()
-        .map(|n| n.photon().now().as_nanos())
-        .max()
-        .unwrap();
-    println!(
-        "{} updates over {} ranks in {:.1} virtual ms",
-        total,
-        RANKS,
-        t_ns as f64 / 1e6
-    );
+    let t_ns = cluster.nodes().iter().map(|n| n.photon().now().as_nanos()).max().unwrap();
+    println!("{} updates over {} ranks in {:.1} virtual ms", total, RANKS, t_ns as f64 / 1e6);
     println!(
         "rate: {:.4} GUPS ({:.1} Mupdates/s)",
         total as f64 / (t_ns as f64 / 1e9) / 1e9,

@@ -48,12 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hops = u64::from_le_bytes(fut.wait().try_into().unwrap());
     assert_eq!(hops, ROUNDS);
 
-    let t_ns = cluster
-        .nodes()
-        .iter()
-        .map(|n| n.photon().now().as_nanos())
-        .max()
-        .unwrap();
+    let t_ns = cluster.nodes().iter().map(|n| n.photon().now().as_nanos()).max().unwrap();
     println!("{ROUNDS} parcel hops in {:.1} virtual us", t_ns as f64 / 1e3);
     println!("per-hop latency: {:.2} us", t_ns as f64 / 1e3 / ROUNDS as f64);
     println!(

@@ -30,9 +30,7 @@ const INF: u64 = u64::MAX;
 /// Deterministic weighted out-edges of global vertex `v`.
 fn edges_of(v: usize, total: usize) -> Vec<(usize, u64)> {
     let mut rng = StdRng::seed_from_u64(0x55B ^ v as u64);
-    (0..DEGREE)
-        .map(|_| (rng.gen_range(0..total), rng.gen_range(1..10u64)))
-        .collect()
+    (0..DEGREE).map(|_| (rng.gen_range(0..total), rng.gen_range(1..10u64))).collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -120,19 +118,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, block) in dists.iter().enumerate() {
         let dist = block.lock();
         for (lv, &d) in dist.iter().enumerate() {
-            assert_eq!(d, ref_dist[i * VERTS_PER_RANK + lv], "vertex {} wrong", i * VERTS_PER_RANK + lv);
+            assert_eq!(
+                d,
+                ref_dist[i * VERTS_PER_RANK + lv],
+                "vertex {} wrong",
+                i * VERTS_PER_RANK + lv
+            );
             if d != INF {
                 reached += 1;
             }
         }
     }
 
-    let t_ns = cluster
-        .nodes()
-        .iter()
-        .map(|n| n.photon().now().as_nanos())
-        .max()
-        .unwrap();
+    let t_ns = cluster.nodes().iter().map(|n| n.photon().now().as_nanos()).max().unwrap();
     let work = relaxations.load(Ordering::Relaxed);
     println!("SSSP over {total} vertices x degree {DEGREE} on {RANKS} ranks (chaotic relaxation)");
     println!("reached {reached} vertices; virtual time {:.2} ms", t_ns as f64 / 1e6);

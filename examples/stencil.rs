@@ -21,9 +21,7 @@ fn idx(r: usize, c: usize) -> usize {
 }
 
 fn read_grid(buf: &PhotonBuffer, rows: usize) -> Vec<f64> {
-    (0..rows * COLS)
-        .map(|k| f64::from_bits(buf.read_u64(k * 8)))
-        .collect()
+    (0..rows * COLS).map(|k| f64::from_bits(buf.read_u64(k * 8))).collect()
 }
 
 /// One Jacobi sweep over rows 1..=interior of a (interior+2)-row grid with
@@ -69,13 +67,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     // halo slots (non-periodic: edges skip).
                     let mut expect = 0;
                     if i > 0 {
-                        p.put_with_completion(i - 1, g, row_bytes, row_bytes,
-                            &descs[i - 1], (ROWS_PER_RANK + 1) * row_bytes, 2 * k, k).unwrap();
+                        p.put_with_completion(
+                            i - 1,
+                            g,
+                            row_bytes,
+                            row_bytes,
+                            &descs[i - 1],
+                            (ROWS_PER_RANK + 1) * row_bytes,
+                            2 * k,
+                            k,
+                        )
+                        .unwrap();
                         expect += 1;
                     }
                     if i + 1 < RANKS {
-                        p.put_with_completion(i + 1, g, ROWS_PER_RANK * row_bytes, row_bytes,
-                            &descs[i + 1], 0, 2 * k + 1, k).unwrap();
+                        p.put_with_completion(
+                            i + 1,
+                            g,
+                            ROWS_PER_RANK * row_bytes,
+                            row_bytes,
+                            &descs[i + 1],
+                            0,
+                            2 * k + 1,
+                            k,
+                        )
+                        .unwrap();
                         expect += 1;
                     }
                     for _ in 0..expect {
@@ -119,7 +135,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{ITERS} Jacobi iterations over {RANKS} ranks ({} x {COLS} cells/rank)",
         ROWS_PER_RANK
     );
-    println!("virtual time: {:.1} us ({:.2} us/iter)", t_ns as f64 / 1e3, t_ns as f64 / 1e3 / ITERS as f64);
+    println!(
+        "virtual time: {:.1} us ({:.2} us/iter)",
+        t_ns as f64 / 1e3,
+        t_ns as f64 / 1e3 / ITERS as f64
+    );
     println!("max |distributed - reference| = {max_err:.2e}");
     println!("stencil OK");
     Ok(())

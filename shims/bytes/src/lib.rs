@@ -1,0 +1,167 @@
+//! Offline shim for the subset of the `bytes` crate this workspace uses:
+//! the immutable, cheaply cloneable [`Bytes`] buffer.
+//!
+//! Backed by `Arc<[u8]>`: clones are reference-counted (no copy), matching
+//! the cost model the parcel layer relies on. Sub-slicing (`slice`) copies
+//! instead of sharing — the workspace never sub-slices parcels on a hot
+//! path.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation shared with others).
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-length buffer.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy a sub-range out into a new buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.data[range])
+    }
+
+    /// Copy the contents into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.data == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.data == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        let c = Bytes::from(&b"hi"[..]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(&a[..], &[1, 2, 3]);
+        assert_eq!(c.len(), 2);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![9; 1024]);
+        let b = a.clone();
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr(), "clone is refcounted");
+    }
+
+    #[test]
+    fn slice_and_to_vec() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4]);
+        assert_eq!(a.slice(1..3), Bytes::from(vec![1, 2]));
+        assert_eq!(a.to_vec(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let a = Bytes::from(&b"a\n"[..]);
+        assert_eq!(format!("{a:?}"), "b\"a\\n\"");
+    }
+}

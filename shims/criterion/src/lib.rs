@@ -1,0 +1,235 @@
+//! Offline shim for the subset of `criterion` this workspace's benches use.
+//!
+//! A minimal wall-clock harness: adaptive iteration-count calibration, a
+//! fixed measurement budget per benchmark, and mean/min ns-per-iteration
+//! reporting to stdout. No statistical analysis, plots, or baselines — the
+//! repo's real measurement story is the virtual-time experiment harness in
+//! `photon-bench`; these wall-clock numbers are indicative only.
+//!
+//! When invoked by `cargo test` (bench binaries receive `--test`), each
+//! benchmark body runs exactly once as a smoke check.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (reported, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter only (group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and report its per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            println!("    (test mode: 1 iteration)");
+            return;
+        }
+        // Calibrate: find an iteration count that takes ≳10ms.
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(10) || n >= 1 << 24 {
+                break;
+            }
+            n = (n * 4).min(1 << 24);
+        }
+        // Measure: a handful of samples within a fixed budget.
+        let mut best = f64::INFINITY;
+        let mut total_ns = 0.0;
+        let mut samples = 0u32;
+        let budget = Instant::now() + Duration::from_millis(200);
+        while samples < 3 || (Instant::now() < budget && samples < 20) {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let per = t0.elapsed().as_nanos() as f64 / n as f64;
+            best = best.min(per);
+            total_ns += per;
+            samples += 1;
+        }
+        println!(
+            "    {:>12.1} ns/iter (min {:>12.1} ns, {} x {} iters)",
+            total_ns / samples as f64,
+            best,
+            samples,
+            n
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim runs a fixed iteration
+    /// count, so the requested sample size is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput (report-only).
+    pub fn throughput(&mut self, t: Throughput) {
+        let label = match t {
+            Throughput::Bytes(b) => format!("{b} B/iter"),
+            Throughput::Elements(e) => format!("{e} elems/iter"),
+        };
+        println!("  [{}] throughput: {label}", self.name);
+    }
+
+    /// Benchmark `routine` against a borrowed input.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        println!("  {}/{}", self.name, id.id);
+        let mut b = Bencher { test_mode: self.test_mode };
+        routine(&mut b, input);
+        self
+    }
+
+    /// Benchmark a plain routine within the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        println!("  {}/{}", self.name, id.id);
+        let mut b = Bencher { test_mode: self.test_mode };
+        routine(&mut b);
+        self
+    }
+
+    /// Finish the group (no-op beyond symmetry with the real API).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single named routine.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        println!("  {name}");
+        let mut b = Bencher { test_mode: self.test_mode };
+        routine(&mut b);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, test_mode: self.test_mode, _criterion: self }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1, "test mode runs the body once");
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(64));
+        let mut count = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| b.iter(|| count += n));
+        g.finish();
+        assert_eq!(count, 8);
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses: the
+//! work-stealing deque (`crossbeam::deque::{Injector, Worker, Stealer,
+//! Steal}`).
+//!
+//! Backed by `Mutex<VecDeque>` — correct and contention-safe, not
+//! lock-free. Adequate for the simulated-fabric workloads here; swap back
+//! to the real crate when a registry is available if scheduler throughput
+//! ever becomes the bottleneck.
+
+pub mod deque {
+    //! Mutex-backed work-stealing deque API.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// A race was lost; retry. (Never produced by this shim.)
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// True when the caller should retry the steal.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO queue for injecting work from outside the worker pool.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Self {
+            Injector { q: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Push a task.
+        pub fn push(&self, t: T) {
+            self.q.lock().unwrap_or_else(PoisonError::into_inner).push_back(t);
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
+        }
+
+        /// Steal one task, moving a small batch into `dest`'s local deque.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.q.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half the queue (capped) into the destination,
+            // mirroring the real crate's batching behaviour.
+            let batch = (q.len() / 2).min(16);
+            if batch > 0 {
+                let mut dq = dest.q.lock().unwrap_or_else(PoisonError::into_inner);
+                for _ in 0..batch {
+                    if let Some(t) = q.pop_front() {
+                        dq.push_back(t);
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A worker-local deque (LIFO for the owner, FIFO for stealers).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Create a LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Worker { q: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Push a task onto the owner end.
+        pub fn push(&self, t: T) {
+            self.q.lock().unwrap_or_else(PoisonError::into_inner).push_back(t);
+        }
+
+        /// Pop from the owner end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().unwrap_or_else(PoisonError::into_inner).pop_back()
+        }
+
+        /// True when the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
+        }
+
+        /// A handle other workers use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { q: Arc::clone(&self.q) }
+        }
+    }
+
+    /// A steal handle for another worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the victim's FIFO end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap_or_else(PoisonError::into_inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal().success(), Some(1), "stealers take the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batches_into_worker() {
+        let inj = Injector::new();
+        for i in 0..40 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w).success();
+        assert_eq!(got, Some(0));
+        assert!(!w.is_empty(), "a batch moved into the local deque");
+        assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn empty_steals_report_empty() {
+        let inj: Injector<u32> = Injector::new();
+        let w: Worker<u32> = Worker::new_lifo();
+        assert!(inj.steal_batch_and_pop(&w).success().is_none());
+        assert!(w.stealer().steal().success().is_none());
+        assert!(!w.stealer().steal().is_retry());
+    }
+}

@@ -1,0 +1,547 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides seeded random-input testing with the same call shapes as the
+//! real crate (`proptest!`, `TestRunner::run`, `prop_assert*`, `any`,
+//! `collection::vec`, `option::of`, range and tuple strategies), minus
+//! shrinking. Failures print a `PROPTEST_SEED` reproducer and are appended
+//! to the committed corpus under `proptest-regressions/` at the workspace
+//! root; every run replays the corpus first, so counterexamples are
+//! preserved across contributors (same convention the simtest harness uses
+//! for its own reproducer seeds).
+//!
+//! Case seeds are derived deterministically from the test's source file and
+//! case index, so `cargo test` is reproducible run-to-run. Set
+//! `PROPTEST_SEED=0x...` to replay one specific case,
+//! `PROPTEST_CASES=n` to override the case count.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Produce one value from seeded entropy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Produce one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// Strategy for any value of `T` (see [`crate::prelude::any`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with seeded lengths and elements.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `elem`-generated values with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Some`/`None` with equal probability.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Options of `inner`-generated values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-driving runner and its persistence machinery.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+    use std::io::Write;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    /// A test-case failure (produced by the `prop_assert*` macros).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Fail the current case with `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration (`Config { cases: 64, ..Config::default() }`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of fresh seeded cases to run (after corpus replay).
+        pub cases: u32,
+        /// Source file of the tests, set by the `proptest!` macro; enables
+        /// the regression corpus.
+        pub source_file: Option<&'static str>,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+            Config { cases, source_file: None }
+        }
+    }
+
+    /// A failed run: the seed, the generated value, and the reason.
+    pub struct TestError(String);
+
+    impl fmt::Debug for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Drives strategies against a test closure with seeded entropy.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration.
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Run `test` against `cases` generated inputs (corpus seeds
+        /// first). Returns the first failure, with a reproducer seed.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), TestError> {
+            let corpus = self.corpus_path();
+            // 1. Pinned reproduction via env var.
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                let seed = parse_seed(&seed).expect("PROPTEST_SEED must be a (0x-prefixed) u64");
+                return self.run_one(strategy, &mut test, seed, &corpus);
+            }
+            // 2. Replay the committed corpus.
+            for seed in read_corpus(corpus.as_deref()) {
+                self.run_one(strategy, &mut test, seed, &corpus)?;
+            }
+            // 3. Fresh deterministic cases.
+            let base = fnv1a(self.config.source_file.unwrap_or("").as_bytes());
+            for case in 0..self.config.cases {
+                self.run_one(
+                    strategy,
+                    &mut test,
+                    base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    &corpus,
+                )?;
+            }
+            Ok(())
+        }
+
+        fn run_one<S: Strategy>(
+            &self,
+            strategy: &S,
+            test: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
+            seed: u64,
+            corpus: &Option<PathBuf>,
+        ) -> Result<(), TestError> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            let desc = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            let reason = match outcome {
+                Ok(Ok(())) => return Ok(()),
+                Ok(Err(e)) => e.0,
+                Err(p) => panic_message(p),
+            };
+            if let Some(path) = corpus {
+                persist_seed(path, seed);
+            }
+            Err(TestError(format!(
+                "property failed: {reason}\n  input: {desc}\n  replay: PROPTEST_SEED={seed:#x} \
+                 (persisted to {})",
+                corpus
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "<no corpus; set source_file>".into()),
+            )))
+        }
+
+        /// `proptest-regressions/<flattened source path>.txt` under the
+        /// workspace root (found by walking up to `Cargo.lock`), or the
+        /// `PROPTEST_REGRESSIONS` override.
+        fn corpus_path(&self) -> Option<PathBuf> {
+            let file = self.config.source_file?;
+            let dir = match std::env::var_os("PROPTEST_REGRESSIONS") {
+                Some(d) => PathBuf::from(d),
+                None => workspace_root()?.join("proptest-regressions"),
+            };
+            let flat = file.trim_end_matches(".rs").replace(['/', '\\'], "__");
+            Some(dir.join(format!("{flat}.txt")))
+        }
+    }
+
+    fn workspace_root() -> Option<PathBuf> {
+        let mut dir = std::env::current_dir().ok()?;
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return Some(dir);
+            }
+            if !dir.pop() {
+                return None;
+            }
+        }
+    }
+
+    fn parse_seed(s: &str) -> Option<u64> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse().ok()
+        }
+    }
+
+    fn read_corpus(path: Option<&std::path::Path>) -> Vec<u64> {
+        let Some(path) = path else { return Vec::new() };
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        text.lines()
+            .filter_map(|l| l.trim().strip_prefix("cc "))
+            .filter_map(|l| parse_seed(l.split_whitespace().next()?))
+            .collect()
+    }
+
+    fn persist_seed(path: &std::path::Path, seed: u64) {
+        if read_corpus(Some(path)).contains(&seed) {
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let new = !path.exists();
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            if new {
+                let _ = writeln!(
+                    f,
+                    "# Seeds for failure cases found by the proptest shim. It is\n\
+                     # recommended to check this file in to source control so that\n\
+                     # everyone who runs the test benefits from these saved cases."
+                );
+            }
+            let _ = writeln!(f, "cc {seed:#x}");
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "test panicked".to_string()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*`.
+
+    pub use crate::strategy::{Any, Arbitrary, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The canonical strategy for "any value of `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Assert inside a property body; failing returns a
+/// [`test_runner::TestCaseError`] from the enclosing closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            a, b, stringify!($a), stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            a,
+            b,
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+}
+
+/// Declare seeded property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn roundtrip(x in any::<u64>(), v in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert_eq!(decode(&encode(x, &v)), (x, v));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $crate::test_runner::Config {
+                source_file: Some(file!()),
+                ..$crate::test_runner::Config::default()
+            };
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner
+                .run(&($($strat,)+), |($($arg,)+)| {
+                    $body
+                    Ok(())
+                })
+                .unwrap();
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{Config, TestRunner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let strat =
+            (0u64..100, crate::collection::vec(any::<u8>(), 1..8), crate::option::of(1u8..=3));
+        for _ in 0..200 {
+            let (a, v, o) = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(a < 100);
+            assert!((1..8).contains(&v.len()));
+            if let Some(x) = o {
+                assert!((1..=3).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn runner_passes_good_property() {
+        let mut runner = TestRunner::new(Config { cases: 64, source_file: None });
+        runner
+            .run(&(0u64..1000, 0u64..1000), |(a, b)| {
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn runner_reports_failure_with_seed() {
+        let mut runner = TestRunner::new(Config { cases: 256, source_file: None });
+        let err = runner
+            .run(&(0u64..1000,), |(a,)| {
+                prop_assert!(a < 990, "found large value {}", a);
+                Ok(())
+            })
+            .expect_err("property must fail within 256 cases");
+        let msg = format!("{err:?}");
+        assert!(msg.contains("PROPTEST_SEED="), "reproducer in message: {msg}");
+        assert!(msg.contains("found large value"), "reason in message: {msg}");
+    }
+
+    #[test]
+    fn runner_catches_panics() {
+        let mut runner = TestRunner::new(Config { cases: 16, source_file: None });
+        let err = runner
+            .run(&(0u64..10,), |(a,)| {
+                assert!(a > 100, "plain assert panics");
+                Ok(())
+            })
+            .expect_err("panicking property must fail");
+        assert!(format!("{err:?}").contains("plain assert"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(Config { cases: 16, source_file: None });
+            runner
+                .run(&(0u64..1_000_000,), |(a,)| {
+                    out.push(a);
+                    Ok(())
+                })
+                .unwrap();
+            out
+        };
+        assert_eq!(collect(), collect(), "same seeds, same inputs");
+    }
+
+    proptest! {
+        #[test]
+        fn macro_form_works(x in any::<u32>(), v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x as u64 + 1, u64::from(x) + 1);
+            prop_assert_ne!(v.len(), 99);
+        }
+    }
+}

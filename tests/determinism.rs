@@ -87,6 +87,44 @@ fn collectives_are_deterministic() {
 }
 
 #[test]
+fn simtest_schedule_is_byte_deterministic() {
+    // A generated simtest case is a pure function of (seed, case_id): two
+    // runs must agree byte-for-byte on the trace CSVs, the per-rank stats
+    // snapshots, and the case digest.
+    use photon_simtest::{run_case, SimParams};
+    for case in 0..3u64 {
+        let a = run_case(0x0DE7_E121, case, &SimParams::smoke());
+        let b = run_case(0x0DE7_E121, case, &SimParams::smoke());
+        assert!(a.passed(), "case {case}: {:?}", a.violations);
+        assert_eq!(a.trace_csv, b.trace_csv, "case {case}: trace CSV differs");
+        assert_eq!(
+            format!("{:?}", a.stats),
+            format!("{:?}", b.stats),
+            "case {case}: stats snapshots differ"
+        );
+        assert_eq!(a.digest, b.digest, "case {case}: digest differs");
+    }
+}
+
+#[test]
+fn simtest_campaign_digest_is_thread_count_independent() {
+    // Campaign parallelism is across cases, never within one; the campaign
+    // digest covers per-case digests in case-id order, so any --jobs level
+    // must produce the identical value.
+    use photon_simtest::{run_campaign, Campaign, CampaignOpts};
+    let run = |jobs| {
+        run_campaign(
+            Campaign::Smoke,
+            &CampaignOpts { cases: 10, seed: 0x0DE7_E122, jobs, shrink: false, corpus: None },
+        )
+    };
+    let a = run(1);
+    let b = run(4);
+    assert!(a.passed(), "{}", a.summary());
+    assert_eq!(a.digest, b.digest, "digest must not depend on worker count");
+}
+
+#[test]
 fn reset_time_restores_origin() {
     let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), PhotonConfig::default());
     let (p0, p1) = (c.rank(0), c.rank(1));

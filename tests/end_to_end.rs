@@ -34,8 +34,7 @@ fn photon_ring_pass_the_token() {
                     }
                     let token = bufs[i].read_u64(0) + 1;
                     bufs[i].write_u64(0, token);
-                    p.put_with_completion(next, &bufs[i], 0, 8, &descs[next], 0, 1, 1)
-                        .unwrap();
+                    p.put_with_completion(next, &bufs[i], 0, 8, &descs[next], 0, 1, 1).unwrap();
                     p.wait_local(1).unwrap();
                 }
             });
@@ -144,12 +143,8 @@ fn runtime_tree_spawn_with_reduction() {
 
 #[test]
 fn runtime_gas_and_collectives_compose() {
-    let c = RuntimeCluster::new(
-        4,
-        NetworkModel::ib_fdr(),
-        RtConfig::default(),
-        ActionRegistry::new(),
-    );
+    let c =
+        RuntimeCluster::new(4, NetworkModel::ib_fdr(), RtConfig::default(), ActionRegistry::new());
     let arr = c.alloc_global_array(4).unwrap();
     std::thread::scope(|s| {
         for i in 0..4 {

@@ -36,10 +36,7 @@ fn degraded_link_shows_up_in_latency() {
     c.fabric().switch().faults().degrade_link(0, 1, 5_000);
     c.fabric().switch().faults().degrade_link(1, 0, 5_000);
     let slow = pingpong_ns(&c, 20);
-    assert!(
-        slow >= base + 4_900,
-        "5us of injected latency must appear: {base} -> {slow}"
-    );
+    assert!(slow >= base + 4_900, "5us of injected latency must appear: {base} -> {slow}");
     c.fabric().switch().faults().heal_link(0, 1);
     c.fabric().switch().faults().heal_link(1, 0);
     let healed = pingpong_ns(&c, 20);
@@ -81,8 +78,7 @@ fn jitter_perturbs_but_preserves_correctness() {
     let dst = p1.register_buffer(1024).unwrap();
     for round in 0..100u64 {
         src.write_u64(0, round);
-        p0.put_with_completion(1, &src, 0, 1024, &dst.descriptor(), 0, round, round)
-            .unwrap();
+        p0.put_with_completion(1, &src, 0, 1024, &dst.descriptor(), 0, round, round).unwrap();
         let ev = p1.wait_remote().unwrap();
         assert_eq!(ev.rid, round);
         assert_eq!(dst.read_u64(0), round, "jitter must never corrupt data");
@@ -97,10 +93,7 @@ fn registration_limit_surfaces_cleanly() {
     // Middleware regions already consumed part of the budget; a huge user
     // buffer must fail with the typed error and leave the context usable.
     let err = p0.register_buffer(64 << 20);
-    assert!(matches!(
-        err,
-        Err(PhotonError::Fabric(FabricError::RegistrationLimit { .. }))
-    ));
+    assert!(matches!(err, Err(PhotonError::Fabric(FabricError::RegistrationLimit { .. }))));
     // Still functional afterwards.
     let small = p0.register_buffer(1024).unwrap();
     let dst = c.rank(1).register_buffer(1024).unwrap();

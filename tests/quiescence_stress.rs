@@ -80,10 +80,7 @@ fn quiescence_with_continuations_and_rendezvous_parcels() {
                 // After quiescence every continuation must already be set.
                 for fut in futs {
                     assert!(fut.is_set(), "dangling continuation after quiescence");
-                    assert_eq!(
-                        u64::from_le_bytes(fut.wait().try_into().unwrap()),
-                        32 * 1024
-                    );
+                    assert_eq!(u64::from_le_bytes(fut.wait().try_into().unwrap()), 32 * 1024);
                 }
             });
         }

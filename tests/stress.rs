@@ -22,8 +22,7 @@ fn tiny_resources_sustained_flood() {
                 while expected < total || got < total {
                     if expected < total && rng.gen_bool(0.6) {
                         let len = rng.gen_range(0..60);
-                        me.send(other.rank(), &vec![expected as u8; len], expected)
-                            .unwrap();
+                        me.send(other.rank(), &vec![expected as u8; len], expected).unwrap();
                         expected += 1;
                     } else if got < total {
                         if let Some(ev) =
