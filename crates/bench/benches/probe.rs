@@ -2,7 +2,7 @@
 //! progress loop (experiment E5's software-side companion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use photon_core::{PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_core::{Event, PhotonCluster, PhotonConfig, ProbeFlags};
 use photon_fabric::NetworkModel;
 
 fn compact() -> PhotonConfig {
@@ -43,5 +43,119 @@ fn bench_probe_one_event(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_empty_probe, bench_probe_one_event);
+fn bench_wait_local_deep(c: &mut Criterion) {
+    // wait_local with a deep backlog of other rids queued: O(1) on the
+    // indexed engine regardless of depth, O(depth) per spin on a scanning
+    // queue.
+    let mut g = c.benchmark_group("wait_local_deep");
+    for depth in [256u64, 4096] {
+        let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+        let p0 = cluster.rank(0).clone();
+        let p1 = cluster.rank(1).clone();
+        let src = p0.register_buffer(8).unwrap();
+        let dst = p1.register_buffer(8).unwrap();
+        let d = dst.descriptor();
+        // Backlog that stays queued for the whole measurement.
+        let mut posted = 0u64;
+        while posted < depth {
+            let chunk = 128.min(depth - posted);
+            for i in 0..chunk {
+                p0.put(1, &src, 0, 8, &d, 0, 1_000_000 + posted + i).unwrap();
+            }
+            posted += chunk;
+            p0.progress().unwrap();
+        }
+        let mut rid = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                rid += 1;
+                p0.put(1, &src, 0, 8, &d, 0, rid).unwrap();
+                p0.wait_local(rid).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mt_post_probe(c: &mut Criterion) {
+    // Four producer threads hammering put + wait_local on one shared
+    // context: the contention pattern the sharded engine exists for.
+    let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    let p0 = cluster.rank(0).clone();
+    let p1 = cluster.rank(1).clone();
+    let dst = p1.register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    c.bench_function("mt_post_probe_4x64", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let p0 = p0.clone();
+                    let src = p0.register_buffer(8).unwrap();
+                    s.spawn(move || {
+                        for i in 0..64 {
+                            let rid = (t << 32) | i;
+                            p0.put(1, &src, 0, 8, &d, 0, rid).unwrap();
+                            p0.wait_local(rid).unwrap();
+                        }
+                    });
+                }
+            })
+        })
+    });
+}
+
+fn bench_batch_probe(c: &mut Criterion) {
+    // probe_completions vs per-event probe_completion over the same
+    // 256-event backlog.
+    let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    let p0 = cluster.rank(0).clone();
+    let p1 = cluster.rank(1).clone();
+    let src = p0.register_buffer(8).unwrap();
+    let dst = p1.register_buffer(8).unwrap();
+    let d = dst.descriptor();
+    let fill = |base: u64| {
+        for i in 0..256u64 {
+            p0.put(1, &src, 0, 8, &d, 0, base + i).unwrap();
+            if i % 128 == 127 {
+                p0.progress().unwrap();
+            }
+        }
+    };
+    let mut g = c.benchmark_group("drain_256");
+    let mut base = 0u64;
+    g.bench_function("single", |b| {
+        b.iter(|| {
+            fill(base);
+            base += 1000;
+            let mut got = 0;
+            while got < 256 {
+                if p0.probe_completion(ProbeFlags::Local).unwrap().is_some() {
+                    got += 1;
+                }
+            }
+        })
+    });
+    let mut buf: Vec<Event> = Vec::with_capacity(256);
+    g.bench_function("batch", |b| {
+        b.iter(|| {
+            fill(base);
+            base += 1000;
+            let mut got = 0;
+            while got < 256 {
+                got += p0.probe_completions(ProbeFlags::Local, &mut buf, 256).unwrap();
+                buf.clear();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_empty_probe,
+    bench_probe_one_event,
+    bench_wait_local_deep,
+    bench_mt_post_probe,
+    bench_batch_probe
+);
 criterion_main!(benches);

@@ -68,6 +68,7 @@
 pub mod atomics;
 pub mod buffers;
 pub mod collectives;
+pub(crate) mod completion;
 pub mod config;
 pub mod eager;
 pub mod ledger;

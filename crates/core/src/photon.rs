@@ -27,6 +27,7 @@
 //! virtual time (they are measured in wall time by the criterion benches).
 
 use crate::buffers::{BufferDescriptor, PhotonBuffer};
+use crate::completion::{LocalQueue, RemoteQueue, TakeOutcome, WrTable};
 use crate::config::PhotonConfig;
 use crate::eager::{self, EagerFrame, EagerRx, EagerTx, FrameHeader, FrameKind};
 use crate::ledger::{self, Entry, EntryKind, LedgerRx, LedgerTx, ENTRY_BYTES};
@@ -39,7 +40,7 @@ use photon_fabric::mr::{Access, RemoteKey};
 use photon_fabric::verbs::{MrSlice, Qp, RemoteSlice, SendWr, WrOp};
 use photon_fabric::{Cluster, MemoryRegion, NetworkModel, Nic, VClock, VTime};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -115,14 +116,23 @@ pub struct Photon {
     coll_keys: OnceLock<Vec<RemoteKey>>,
     tx: Vec<Mutex<PeerTx>>,
     rx: Vec<Mutex<PeerRx>>,
-    pending_local: Mutex<HashMap<u64, u64>>,
-    local_events: Mutex<VecDeque<Event>>,
-    remote_events: Mutex<VecDeque<RemoteEvent>>,
+    wr_table: WrTable,
+    local_events: LocalQueue,
+    remote_events: RemoteQueue,
+    /// Which class an `Any` probe tries first; flipped per take for fair
+    /// local/remote interleaving.
+    any_toggle: AtomicU64,
+    /// Held (true) while one thread runs a [`Photon::progress`] pass;
+    /// concurrent passes no-op instead of convoying on the CQ locks and
+    /// per-peer region reads.
+    progress_gate: AtomicBool,
+    /// Probe counter driving the amortized progress schedule (see
+    /// [`Photon::progress_for_probe`]).
+    probe_ticks: AtomicU64,
     pub(crate) coll_inbox: Mutex<HashMap<u64, CollQueue>>,
     pub(crate) rdv_announces: Mutex<HashMap<(Rank, u64), (RemoteKey, VTime)>>,
     pub(crate) rdv_fins: Mutex<HashMap<(Rank, u64), VTime>>,
     pub(crate) coll_seq: AtomicU32,
-    next_wr: AtomicU64,
     next_internal: AtomicU64,
     credit_return_seq: AtomicU64,
     stats: Stats,
@@ -247,14 +257,16 @@ impl Photon {
             coll_keys: OnceLock::new(),
             tx,
             rx,
-            pending_local: Mutex::new(HashMap::new()),
-            local_events: Mutex::new(VecDeque::new()),
-            remote_events: Mutex::new(VecDeque::new()),
+            wr_table: WrTable::new(),
+            local_events: LocalQueue::new(),
+            remote_events: RemoteQueue::new(n),
+            any_toggle: AtomicU64::new(0),
+            progress_gate: AtomicBool::new(false),
+            probe_ticks: AtomicU64::new(0),
             coll_inbox: Mutex::new(HashMap::new()),
             rdv_announces: Mutex::new(HashMap::new()),
             rdv_fins: Mutex::new(HashMap::new()),
             coll_seq: AtomicU32::new(0),
-            next_wr: AtomicU64::new(1),
             next_internal: AtomicU64::new(0),
             credit_return_seq: AtomicU64::new(0),
             stats: Stats::default(),
@@ -333,15 +345,16 @@ impl Photon {
     // of these drive progress or mutate protocol state.
 
     /// Work requests posted but not yet surfaced as local completions.
-    /// A quiesced context has zero in flight.
+    /// A quiesced context has zero in flight. O(1) (atomic counter).
     pub fn in_flight(&self) -> usize {
-        self.pending_local.lock().len()
+        self.wr_table.len()
     }
 
     /// Depths of the `(local, remote)` completion-event queues: events
     /// delivered by progress but not yet consumed by probes/waits.
+    /// O(1) (atomic counters).
     pub fn queued_events(&self) -> (usize, usize) {
-        (self.local_events.lock().len(), self.remote_events.lock().len())
+        (self.local_events.len(), self.remote_events.len())
     }
 
     /// Undelivered rendezvous state: `(buffer announces, FINs)` parked for
@@ -407,11 +420,10 @@ impl Photon {
         op: photon_fabric::verbs::WrOp,
         local_rid: u64,
     ) -> Result<()> {
-        let wr_id = self.next_wr.fetch_add(1, Ordering::Relaxed);
-        self.pending_local.lock().insert(wr_id, local_rid);
+        let wr_id = self.wr_table.insert(local_rid);
         let wr = SendWr::new(wr_id, op);
         if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
-            self.pending_local.lock().remove(&wr_id);
+            self.wr_table.remove(wr_id);
             return Err(e.into());
         }
         Ok(())
@@ -489,22 +501,18 @@ impl Photon {
         local_rid: Option<u64>,
         stamp: Option<usize>,
     ) -> Result<()> {
-        let wr_id = self.next_wr.fetch_add(1, Ordering::Relaxed);
-        if let Some(rid) = local_rid {
-            self.pending_local.lock().insert(wr_id, rid);
-        }
         let local = MrSlice::new(&self.stage, self.stage_off(peer, sub), len);
         let remote = self.remote_slice(peer, sub, len);
-        let mut wr = if local_rid.is_some() {
-            SendWr::new(wr_id, WrOp::Write { local, remote, imm: None })
-        } else {
-            SendWr::unsignaled(WrOp::Write { local, remote, imm: None })
+        let tracked = local_rid.map(|rid| self.wr_table.insert(rid));
+        let mut wr = match tracked {
+            Some(wr_id) => SendWr::new(wr_id, WrOp::Write { local, remote, imm: None }),
+            None => SendWr::unsignaled(WrOp::Write { local, remote, imm: None }),
         };
         wr.stamp_deliver_at = stamp;
         let res = self.nic.post_send(self.qps[peer], wr, self.clock.now());
         if res.is_err() {
-            if let Some(_rid) = local_rid {
-                self.pending_local.lock().remove(&wr_id);
+            if let Some(wr_id) = tracked {
+                self.wr_table.remove(wr_id);
             }
         }
         res.map_err(Into::into)
@@ -622,11 +630,10 @@ impl Photon {
             }
         };
         if let Some((local, remote, local_rid)) = paired_data {
-            let wr_id = self.next_wr.fetch_add(1, Ordering::Relaxed);
-            self.pending_local.lock().insert(wr_id, local_rid);
+            let wr_id = self.wr_table.insert(local_rid);
             let wr = SendWr::new(wr_id, WrOp::Write { local, remote, imm: None });
             if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
-                self.pending_local.lock().remove(&wr_id);
+                self.wr_table.remove(wr_id);
                 return Err(e.into());
             }
         }
@@ -738,8 +745,7 @@ impl Photon {
         } else if self.cfg.imm_completions {
             // CQ-notification mode: one write-with-immediate carries both
             // the data and the remote completion id. No ledger, no credits.
-            let wr_id = self.next_wr.fetch_add(1, Ordering::Relaxed);
-            self.pending_local.lock().insert(wr_id, local_rid);
+            let wr_id = self.wr_table.insert(local_rid);
             let wr = SendWr::new(
                 wr_id,
                 WrOp::Write {
@@ -749,7 +755,7 @@ impl Photon {
                 },
             );
             if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
-                self.pending_local.lock().remove(&wr_id);
+                self.wr_table.remove(wr_id);
                 return Err(e.into());
             }
             Stats::bump(&self.stats.puts_direct);
@@ -795,8 +801,7 @@ impl Photon {
         if doff + len > dst.len {
             return Err(PhotonError::OutOfRange { offset: doff, len, cap: dst.len });
         }
-        let wr_id = self.next_wr.fetch_add(1, Ordering::Relaxed);
-        self.pending_local.lock().insert(wr_id, local_rid);
+        let wr_id = self.wr_table.insert(local_rid);
         let wr = SendWr::new(
             wr_id,
             WrOp::Write {
@@ -806,7 +811,7 @@ impl Photon {
             },
         );
         if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
-            self.pending_local.lock().remove(&wr_id);
+            self.wr_table.remove(wr_id);
             return Err(e.into());
         }
         Stats::bump(&self.stats.puts_direct);
@@ -834,8 +839,7 @@ impl Photon {
         if soff + len > src.len {
             return Err(PhotonError::OutOfRange { offset: soff, len, cap: src.len });
         }
-        let wr_id = self.next_wr.fetch_add(1, Ordering::Relaxed);
-        self.pending_local.lock().insert(wr_id, local_rid);
+        let wr_id = self.wr_table.insert(local_rid);
         let wr = SendWr::new(
             wr_id,
             WrOp::Read {
@@ -844,7 +848,7 @@ impl Photon {
             },
         );
         if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
-            self.pending_local.lock().remove(&wr_id);
+            self.wr_table.remove(wr_id);
             return Err(e.into());
         }
         Stats::bump(&self.stats.gets);
@@ -943,36 +947,58 @@ impl Photon {
 
     /// Advance the engine: harvest fabric completions and scan all peers'
     /// ledgers and eager rings, routing what is found.
+    ///
+    /// The entire pass is gated on one atomic flag: when another thread is
+    /// mid-pass this call is a no-op, because the active pass harvests
+    /// everything pending (including this caller's completions) and every
+    /// progress caller either spins (blocking loops) or retries by contract
+    /// (the polling probe APIs). Convoying all spinning waiters through the
+    /// CQ locks and per-peer region reads costs far more than the skipped
+    /// pass is worth — a pass over idle queues is pure coherence traffic.
     pub fn progress(&self) -> Result<()> {
-        let comps = self.nic.poll_send_cq_n(256);
-        if !comps.is_empty() {
-            let mut pend = self.pending_local.lock();
-            let mut evq = self.local_events.lock();
-            for c in comps {
-                if let Some(rid) = pend.remove(&c.wr_id) {
-                    evq.push_back(Event::Local { rid, ts: c.ts });
+        if self
+            .progress_gate
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return Ok(());
+        }
+        let res = self.progress_pass();
+        self.progress_gate.store(false, Ordering::Release);
+        res
+    }
+
+    fn progress_pass(&self) -> Result<()> {
+        // Retiring a CQE is one sharded-slab lookup; a stale or unsignaled
+        // wr_id simply misses. Exactly-once is guaranteed by the table's
+        // generation check, not by a global lock pairing.
+        {
+            for c in self.nic.poll_send_cq_n(256) {
+                if let Some(rid) = self.wr_table.remove(c.wr_id) {
+                    self.local_events.push(rid, c.ts);
                     Stats::bump(&self.stats.local_completions);
                 }
             }
-        }
-        if self.cfg.imm_completions {
-            for c in self.nic.poll_recv_cq_n(256) {
-                if let photon_fabric::verbs::CompletionKind::ImmDone { src, len, imm } = c.kind {
-                    Stats::bump(&self.stats.remote_completions);
-                    if rid_space::is_reserved(imm) {
-                        self.coll_inbox.lock().entry(imm).or_default().push_back((
-                            src,
-                            Vec::new(),
-                            c.ts,
-                        ));
-                    } else {
-                        self.remote_events.lock().push_back(RemoteEvent {
-                            src,
-                            rid: imm,
-                            size: len,
-                            payload: None,
-                            ts: c.ts,
-                        });
+            if self.cfg.imm_completions {
+                for c in self.nic.poll_recv_cq_n(256) {
+                    if let photon_fabric::verbs::CompletionKind::ImmDone { src, len, imm } = c.kind
+                    {
+                        Stats::bump(&self.stats.remote_completions);
+                        if rid_space::is_reserved(imm) {
+                            self.coll_inbox.lock().entry(imm).or_default().push_back((
+                                src,
+                                Vec::new(),
+                                c.ts,
+                            ));
+                        } else {
+                            self.remote_events.push(RemoteEvent {
+                                src,
+                                rid: imm,
+                                size: len,
+                                payload: None,
+                                ts: c.ts,
+                            });
+                        }
                     }
                 }
             }
@@ -984,48 +1010,61 @@ impl Photon {
     }
 
     fn poll_peer(&self, j: Rank) -> Result<()> {
+        // If another thread is already polling this peer, skip: the holder
+        // harvests everything pending, and every caller of progress() either
+        // re-polls on its next spin (blocking loops) or is a polling API the
+        // caller retries by contract. Waiting here would just convoy all
+        // progress threads behind one receive lock.
+        let Some(mut rx) = self.rx[j].try_lock() else {
+            return Ok(());
+        };
         let lbase = self.my_block_off(j);
+        // Credit returns are *coalesced* across the whole pass: every time
+        // an interval fires we capture the latest `(consumed, cursor)` pair,
+        // but only the final capture is written. The end state the producer
+        // sees is identical to writing at every firing (each capture
+        // dominates its predecessors), with one RDMA write per peer per
+        // pass instead of one per interval.
+        let mut credit: Option<(u64, u64)> = None;
         // Completion-ledger entries. Routing happens *under* the per-peer
-        // receive lock: cursor advance and event delivery must be atomic,
-        // or two concurrently probing threads could publish a peer's events
-        // out of order (and mis-order eager-put copy-outs).
+        // receive lock (held across the whole pass): cursor advance and
+        // event delivery must be atomic, or two concurrently probing threads
+        // could publish a peer's events out of order (and mis-order
+        // eager-put copy-outs).
         loop {
-            let credit = {
-                let mut rx = self.rx[j].lock();
-                let off = lbase + rx.ledger.head_offset();
-                let e = self.svc.with_bytes(|b| rx.ledger.accept(&b[off..off + ENTRY_BYTES]));
-                let Some(e) = e else { break };
-                self.route_entry(j, e);
-                rx.ledger.credit_due().map(|_| (rx.ledger.consumed(), rx.ring.cursor()))
-            };
-            if let Some((lc, rc)) = credit {
-                self.return_credits(j, lc, rc)?;
+            let off = lbase + rx.ledger.head_offset();
+            let e = self.svc.with_bytes(|b| rx.ledger.accept(&b[off..off + ENTRY_BYTES]));
+            let Some(e) = e else { break };
+            self.route_entry(j, e);
+            if rx.ledger.credit_due().is_some() {
+                credit = Some((rx.ledger.consumed(), rx.ring.cursor()));
             }
         }
         // Eager frames, same discipline.
         let rbase = lbase + self.ledger_bytes;
         loop {
-            let credit = {
-                let mut rx = self.rx[j].lock();
-                let got = self.svc.with_bytes(|b| {
-                    let ring = &b[rbase..rbase + self.ring_bytes];
-                    rx.ring.accept(ring).map(|f| {
-                        let take = f.header.size as usize;
-                        let pay = if f.header.kind != FrameKind::Skip && take > 0 {
-                            ring[f.payload_offset..f.payload_offset + take].to_vec()
-                        } else {
-                            Vec::new()
-                        };
-                        (f, pay)
-                    })
-                });
-                let Some((f, pay)) = got else { break };
-                self.route_frame(j, f, pay)?;
-                rx.ring.credit_due().map(|_| (rx.ledger.consumed(), rx.ring.cursor()))
-            };
-            if let Some((lc, rc)) = credit {
-                self.return_credits(j, lc, rc)?;
+            let got = self.svc.with_bytes(|b| {
+                let ring = &b[rbase..rbase + self.ring_bytes];
+                rx.ring.accept(ring).map(|f| {
+                    let take = f.header.size as usize;
+                    let pay = if f.header.kind != FrameKind::Skip && take > 0 {
+                        ring[f.payload_offset..f.payload_offset + take].to_vec()
+                    } else {
+                        Vec::new()
+                    };
+                    (f, pay)
+                })
+            });
+            let Some((f, pay)) = got else { break };
+            self.route_frame(j, f, pay)?;
+            if rx.ring.credit_due().is_some() {
+                credit = Some((rx.ledger.consumed(), rx.ring.cursor()));
             }
+        }
+        drop(rx);
+        // The write happens outside the receive lock, as before.
+        if let Some((lc, rc)) = credit {
+            self.return_credits(j, lc, rc)?;
         }
         Ok(())
     }
@@ -1042,7 +1081,7 @@ impl Photon {
                         ts,
                     ));
                 } else {
-                    self.remote_events.lock().push_back(RemoteEvent {
+                    self.remote_events.push(RemoteEvent {
                         src,
                         rid: e.rid,
                         size: e.size as usize,
@@ -1075,7 +1114,7 @@ impl Photon {
                 if rid_space::is_reserved(h.rid) {
                     self.coll_inbox.lock().entry(h.rid).or_default().push_back((src, payload, ts));
                 } else {
-                    self.remote_events.lock().push_back(RemoteEvent {
+                    self.remote_events.push(RemoteEvent {
                         src,
                         rid: h.rid,
                         size: h.size as usize,
@@ -1103,7 +1142,7 @@ impl Photon {
                         done,
                     ));
                 } else {
-                    self.remote_events.lock().push_back(RemoteEvent {
+                    self.remote_events.push(RemoteEvent {
                         src,
                         rid: h.rid,
                         size: h.size as usize,
@@ -1116,19 +1155,50 @@ impl Photon {
         Ok(())
     }
 
+    /// Dequeue one event honoring `flags`. For `Any`, the starting class
+    /// alternates on every take, so sustained traffic of one class can delay
+    /// the other by at most one event — the old local-first drain starved
+    /// remote delivery indefinitely.
+    fn take_one(&self, flags: ProbeFlags) -> Option<Event> {
+        let local = |s: &Self| s.local_events.pop_front().map(|(rid, ts)| Event::Local { rid, ts });
+        let remote = |s: &Self| s.remote_events.pop_any().map(Event::Remote);
+        match flags {
+            ProbeFlags::Local => local(self),
+            ProbeFlags::Remote => remote(self),
+            ProbeFlags::Any => {
+                if self.any_toggle.fetch_add(1, Ordering::Relaxed) & 1 == 0 {
+                    local(self).or_else(|| remote(self))
+                } else {
+                    remote(self).or_else(|| local(self))
+                }
+            }
+        }
+    }
+
+    /// Run progress ahead of a probe, amortized: when events matching
+    /// `flags` are already queued, only every 8th probe pays for a full
+    /// pass — the probe can be satisfied from the queue, and consecutive
+    /// single-event probes draining a backlog would otherwise spend most of
+    /// their time re-polling idle fabric queues. An empty queue always
+    /// progresses (that is the only way events appear).
+    fn progress_for_probe(&self, flags: ProbeFlags) -> Result<()> {
+        let queued = match flags {
+            ProbeFlags::Local => self.local_events.len() > 0,
+            ProbeFlags::Remote => self.remote_events.len() > 0,
+            ProbeFlags::Any => self.local_events.len() > 0 || self.remote_events.len() > 0,
+        };
+        if !queued || self.probe_ticks.fetch_add(1, Ordering::Relaxed) & 7 == 0 {
+            self.progress()?;
+        }
+        Ok(())
+    }
+
     /// Probe for the next completion event (`photon_probe_completion`).
     /// Non-blocking: returns `Ok(None)` when nothing is pending.
     pub fn probe_completion(&self, flags: ProbeFlags) -> Result<Option<Event>> {
         Stats::bump(&self.stats.probes);
-        self.progress()?;
-        let ev = match flags {
-            ProbeFlags::Local => self.local_events.lock().pop_front(),
-            ProbeFlags::Remote => self.remote_events.lock().pop_front().map(Event::Remote),
-            ProbeFlags::Any => {
-                let local = self.local_events.lock().pop_front();
-                local.or_else(|| self.remote_events.lock().pop_front().map(Event::Remote))
-            }
-        };
+        self.progress_for_probe(flags)?;
+        let ev = self.take_one(flags);
         if let Some(e) = &ev {
             self.clock.advance_to(e.ts());
             self.trace_event(e);
@@ -1136,13 +1206,39 @@ impl Photon {
         Ok(ev)
     }
 
-    /// Block until any completion event arrives.
+    /// Batch probe: run progress once, then drain up to `max` events
+    /// matching `flags` into `out` (appended; the caller's buffer is not
+    /// cleared). Returns how many were delivered.
+    ///
+    /// One progress pass and a handful of shard-lock acquisitions amortize
+    /// across the whole batch, which is what a runtime progress thread
+    /// wants under load; `Any` interleaves local and remote events fairly
+    /// within the batch.
+    pub fn probe_completions(
+        &self,
+        flags: ProbeFlags,
+        out: &mut Vec<Event>,
+        max: usize,
+    ) -> Result<usize> {
+        Stats::bump(&self.stats.probes);
+        Stats::bump(&self.stats.probe_batches);
+        self.progress_for_probe(flags)?;
+        let mut got = 0;
+        while got < max {
+            let Some(ev) = self.take_one(flags) else { break };
+            self.clock.advance_to(ev.ts());
+            self.trace_event(&ev);
+            out.push(ev);
+            got += 1;
+        }
+        Ok(got)
+    }
+
+    /// Block until any completion event arrives (fair across classes, like
+    /// [`Photon::probe_completion`] with [`ProbeFlags::Any`]).
     pub fn wait_event(&self) -> Result<Event> {
         self.blocking("completion event", |s| {
-            let ev = {
-                let local = s.local_events.lock().pop_front();
-                local.or_else(|| s.remote_events.lock().pop_front().map(Event::Remote))
-            };
+            let ev = s.take_one(ProbeFlags::Any);
             if let Some(e) = &ev {
                 s.clock.advance_to(e.ts());
             }
@@ -1151,16 +1247,23 @@ impl Photon {
     }
 
     /// Block until the local completion `rid` arrives; other events stay
-    /// queued. Returns the completion's virtual time.
+    /// queued. Returns the completion's virtual time. The lookup is O(1)
+    /// per spin (indexed by rid), independent of queue depth.
     pub fn wait_local(&self, rid: u64) -> Result<VTime> {
-        let ts = self.blocking("local completion", |s| {
-            let mut q = s.local_events.lock();
-            let pos = q.iter().position(|e| matches!(e, Event::Local { rid: r, .. } if *r == rid));
-            Ok(pos.map(|p| match q.remove(p) {
-                Some(Event::Local { ts, .. }) => ts,
-                _ => unreachable!("position matched a local event"),
-            }))
-        })?;
+        // Optimistic fast path: with synchronous fabric effects one pass
+        // usually harvests the completion, and a hit skips the claim locks.
+        self.progress()?;
+        if let Some(ts) = self.local_events.take_rid(rid) {
+            self.clock.advance_to(ts);
+            self.tracer.record(ts, TraceOp::LocalDone, self.rank, rid, 0);
+            return Ok(ts);
+        }
+        // Slow path: claim the rid while blocked so a concurrent
+        // `flush_local` leaves its event to us (see `flush_local`).
+        self.local_events.claim(rid);
+        let res = self.blocking("local completion", |s| Ok(s.local_events.take_rid(rid)));
+        self.local_events.unclaim(rid);
+        let ts = res?;
         self.clock.advance_to(ts);
         self.tracer.record(ts, TraceOp::LocalDone, self.rank, rid, 0);
         Ok(ts)
@@ -1168,7 +1271,7 @@ impl Photon {
 
     /// Block until the next remote completion arrives.
     pub fn wait_remote(&self) -> Result<RemoteEvent> {
-        let ev = self.blocking("remote completion", |s| Ok(s.remote_events.lock().pop_front()))?;
+        let ev = self.blocking("remote completion", |s| Ok(s.remote_events.pop_any()))?;
         self.clock.advance_to(ev.ts);
         self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
         Ok(ev)
@@ -1176,29 +1279,21 @@ impl Photon {
 
     /// Block until a remote completion *from `src`* arrives; events from
     /// other peers stay queued (the per-proc probe of the original API).
+    /// O(1) per spin: the per-peer queue is popped directly, never scanned.
     pub fn wait_remote_from(&self, src: Rank) -> Result<RemoteEvent> {
         self.check_rank(src)?;
-        let ev = self.blocking("remote completion from peer", |s| {
-            let mut q = s.remote_events.lock();
-            let pos = q.iter().position(|e| e.src == src);
-            Ok(pos.and_then(|p| q.remove(p)))
-        })?;
+        let ev =
+            self.blocking("remote completion from peer", |s| Ok(s.remote_events.pop_from(src)))?;
         self.clock.advance_to(ev.ts);
         self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
         Ok(ev)
     }
 
     /// Non-blocking check for the local completion `rid` (`photon_test`):
-    /// consumes and returns its timestamp when present.
+    /// consumes and returns its timestamp when present. O(1) lookup.
     pub fn test_local(&self, rid: u64) -> Result<Option<VTime>> {
         self.progress()?;
-        let mut q = self.local_events.lock();
-        let pos = q.iter().position(|e| matches!(e, Event::Local { rid: r, .. } if *r == rid));
-        let ts = pos.map(|p| match q.remove(p) {
-            Some(Event::Local { ts, .. }) => ts,
-            _ => unreachable!("position matched a local event"),
-        });
-        drop(q);
+        let ts = self.local_events.take_rid(rid);
         if let Some(ts) = ts {
             self.clock.advance_to(ts);
             self.tracer.record(ts, TraceOp::LocalDone, self.rank, rid, 0);
@@ -1206,16 +1301,53 @@ impl Photon {
         Ok(ts)
     }
 
-    /// Block until every operation this context has initiated has completed
-    /// locally (all pending wr_ids drained). The corresponding local events
-    /// are consumed. This is the `photon_flush`-style quiesce used before
-    /// reusing or releasing many buffers at once.
+    /// Block until every operation this context had initiated *at the time
+    /// of the call* has completed locally, consuming those completions'
+    /// events. This is the `photon_flush`-style quiesce used before reusing
+    /// or releasing many buffers at once.
+    ///
+    /// Two snapshots taken at entry bound what the flush touches:
+    ///
+    /// * **Completion** is tracked by `wr_id`: the flush returns once every
+    ///   work request pending at entry has been harvested from the send CQ,
+    ///   no matter which thread consumes the resulting events. Waiting on
+    ///   event *consumption* instead would deadlock whenever a concurrent
+    ///   `wait_local` legitimately eats one of them.
+    /// * **Consumption** is by the pending rids, and opportunistic: the
+    ///   flush drains their events as they appear, but skips any rid a
+    ///   concurrent `wait_local` has claimed — those events belong to their
+    ///   waiters (claim check and take share one queue-shard lock, so the
+    ///   flush can never win a check-then-take race against a waiter). The
+    ///   previous implementation cleared the whole shared queue on every
+    ///   spin, silently discarding completions concurrent waiters needed
+    ///   and stranding them until timeout.
     pub fn flush_local(&self) -> Result<()> {
+        let mut wrs = self.wr_table.pending_wrs();
+        let mut owed = self.wr_table.pending_rids();
+        let sweep = |s: &Self, owed: &mut HashMap<u64, usize>| {
+            owed.retain(|rid, n| {
+                while *n > 0 {
+                    match s.local_events.take_rid_unclaimed(*rid) {
+                        TakeOutcome::Taken(ts) => {
+                            s.clock.advance_to(ts);
+                            *n -= 1;
+                        }
+                        TakeOutcome::Claimed => return false,
+                        TakeOutcome::Empty => break,
+                    }
+                }
+                *n > 0
+            });
+        };
         self.blocking("local flush", |s| {
-            s.local_events.lock().clear();
-            Ok(s.pending_local.lock().is_empty().then_some(()))
+            sweep(s, &mut owed);
+            wrs.retain(|&w| s.wr_table.contains(w));
+            Ok(wrs.is_empty().then_some(()))
         })?;
-        self.local_events.lock().clear();
+        // One mop-up pass: a harvester on another thread may have retired
+        // the final wr just before pushing its event.
+        self.progress()?;
+        sweep(self, &mut owed);
         Ok(())
     }
 
@@ -1252,17 +1384,24 @@ impl Photon {
         let mut spins: u32 = 0;
         loop {
             self.progress()?;
-            if let Some(v) = f(self)? {
-                return Ok(v);
-            }
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(64) {
-                std::thread::yield_now();
-                if Instant::now() > deadline {
-                    return Err(PhotonError::Timeout(what));
+            // The predicate is O(1) on the sharded engine; the progress pass
+            // is the expensive half of the spin. Re-check a few times per
+            // pass so a harvest by a concurrently progressing thread is
+            // picked up without paying for another full pass of our own.
+            for _ in 0..4 {
+                if let Some(v) = f(self)? {
+                    return Ok(v);
                 }
-            } else {
                 std::hint::spin_loop();
+            }
+            // A full pass plus rechecks came up empty: whatever this caller
+            // is waiting on must be produced by another thread (or will not
+            // arrive at all), so hand the core over instead of burning the
+            // rest of the quantum re-polling idle queues.
+            std::thread::yield_now();
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(16) && Instant::now() > deadline {
+                return Err(PhotonError::Timeout(what));
             }
         }
     }
@@ -1437,10 +1576,7 @@ mod tests {
         p0.send(1, b"x", 1).unwrap();
         p1.send(0, b"y", 2).unwrap();
         // p0 has a remote event incoming; probing Local only must not eat it.
-        p0.blocking("event arrival", |s| {
-            Ok(if s.remote_events.lock().is_empty() { None } else { Some(()) })
-        })
-        .unwrap();
+        p0.blocking("event arrival", |s| Ok((s.queued_events().1 > 0).then_some(()))).unwrap();
         assert!(p0.probe_completion(ProbeFlags::Local).unwrap().is_none());
         let ev = p0.probe_completion(ProbeFlags::Remote).unwrap().unwrap();
         assert_eq!(ev.rid(), 2);
@@ -1468,8 +1604,7 @@ mod tests {
         p1.send(0, b"from-1", 11).unwrap();
         // Ensure rank 1's message is already queued before rank 2 sends, so
         // the filter (not arrival order) is what's being tested.
-        p0.blocking("first arrival", |s| Ok((!s.remote_events.lock().is_empty()).then_some(())))
-            .unwrap();
+        p0.blocking("first arrival", |s| Ok((s.queued_events().1 > 0).then_some(()))).unwrap();
         p2.send(0, b"from-2", 22).unwrap();
         let ev = p0.wait_remote_from(2).unwrap();
         assert_eq!((ev.src, ev.rid), (2, 22));
@@ -1503,6 +1638,156 @@ mod tests {
         p0.flush_local().unwrap();
         // All local events consumed; nothing pending.
         assert!(p0.probe_completion(ProbeFlags::Local).unwrap().is_none());
+    }
+
+    #[test]
+    fn flush_local_spares_already_harvested_events() {
+        let c = pair();
+        let (p0, p1) = (c.rank(0), c.rank(1));
+        let src = p0.register_buffer(8).unwrap();
+        let dst = p1.register_buffer(8).unwrap();
+        // A waiter's operation completes and its event is harvested...
+        p0.put(1, &src, 0, 8, &dst.descriptor(), 0, 777).unwrap();
+        p0.progress().unwrap();
+        // ...then another batch is posted and flushed. The flush owns only
+        // the completions pending at entry, not the waiter's queued event.
+        for i in 0..20 {
+            p0.put(1, &src, 0, 8, &dst.descriptor(), 0, i).unwrap();
+        }
+        p0.flush_local().unwrap();
+        assert!(
+            p0.test_local(777).unwrap().is_some(),
+            "flush discarded a completion it did not own"
+        );
+        for i in 0..20 {
+            assert!(p0.test_local(i).unwrap().is_none(), "flush consumed its own batch");
+        }
+    }
+
+    #[test]
+    fn flush_local_race_with_wait_local() {
+        // A waiter blocked in wait_local must never lose its completion to a
+        // concurrent flush_local: the old flush cleared the entire shared
+        // local-event queue on every spin. The waiter claims each rid before
+        // posting (wait_local claims on entry; doing it pre-post closes the
+        // post-to-claim window so the flush snapshot provably excludes it),
+        // and a dedicated harvester thread keeps queued events exposed to the
+        // flusher instead of letting the waiter consume them back-to-back.
+        let cfg = PhotonConfig { wait_timeout_secs: 3, ..PhotonConfig::default() };
+        let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), cfg);
+        let (p0, p1) = (c.rank(0), c.rank(1));
+        let dst = p1.register_buffer(8).unwrap();
+        let d = dst.descriptor();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            {
+                let p0 = p0.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        p0.progress().unwrap();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            let waiter = {
+                let p0 = p0.clone();
+                let src = p0.register_buffer(8).unwrap();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let rid = 0x7700_0000 + i;
+                        p0.local_events.claim(rid);
+                        p0.put(1, &src, 0, 8, &d, 0, rid).unwrap();
+                        // Simulated work between post and wait: the harvester
+                        // queues the completion, which sits exposed to the
+                        // concurrent flush until the waiter comes back for it.
+                        std::thread::sleep(Duration::from_micros(20));
+                        let res = p0.wait_local(rid);
+                        p0.local_events.unclaim(rid);
+                        res.unwrap();
+                    }
+                })
+            };
+            let flusher = {
+                let p0 = p0.clone();
+                let src = p0.register_buffer(8).unwrap();
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        for i in 0..10 {
+                            p0.put(1, &src, 0, 8, &d, 0, (round << 8) | i).unwrap();
+                        }
+                        p0.flush_local().unwrap();
+                    }
+                })
+            };
+            let w = waiter.join();
+            let f = flusher.join();
+            stop.store(true, Ordering::Relaxed);
+            w.expect("waiter lost a completion to flush_local");
+            f.expect("flusher failed");
+        });
+    }
+
+    #[test]
+    fn any_probe_is_fair_under_local_backlog() {
+        let c = pair();
+        let (p0, p1) = (c.rank(0), c.rank(1));
+        // One remote event queued on p0...
+        p1.send(0, b"hi", 42).unwrap();
+        p0.blocking("arrival", |s| Ok((s.queued_events().1 > 0).then_some(()))).unwrap();
+        // ...behind a deep backlog of local completions.
+        let src = p0.register_buffer(8).unwrap();
+        let dst = p1.register_buffer(8).unwrap();
+        for i in 0..64 {
+            p0.put(1, &src, 0, 8, &dst.descriptor(), 0, i).unwrap();
+        }
+        p0.progress().unwrap();
+        // A fair Any drain surfaces the remote event within two probes; the
+        // old local-first drain served all 64 locals before it.
+        let surfaced = (0..2).any(|_| {
+            matches!(p0.probe_completion(ProbeFlags::Any).unwrap(), Some(Event::Remote(_)))
+        });
+        assert!(surfaced, "remote event starved behind local backlog");
+    }
+
+    #[test]
+    fn batch_probe_drains_mixed_classes_fairly() {
+        let c = pair();
+        let (p0, p1) = (c.rank(0), c.rank(1));
+        let src = p0.register_buffer(8).unwrap();
+        let dst = p1.register_buffer(8).unwrap();
+        for i in 0..8 {
+            p0.put(1, &src, 0, 8, &dst.descriptor(), 0, 100 + i).unwrap();
+        }
+        for i in 0..4 {
+            p1.send(0, b"m", 200 + i).unwrap();
+        }
+        p0.blocking("arrivals", |s| Ok((s.queued_events().1 == 4).then_some(()))).unwrap();
+        let mut buf = Vec::new();
+        let n = p0.probe_completions(ProbeFlags::Any, &mut buf, 64).unwrap();
+        assert_eq!(n, 12);
+        let remote_slots: Vec<usize> = buf
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Event::Remote(_)))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(remote_slots.len(), 4);
+        // Fair interleave inside the batch: remote events alternate with
+        // locals instead of bunching at the tail after every local.
+        assert!(
+            *remote_slots.last().unwrap() <= 8,
+            "remote events bunched at batch tail: {remote_slots:?}"
+        );
+        // A capped drain delivers at most `max` and leaves the rest queued.
+        for i in 0..8 {
+            p0.put(1, &src, 0, 8, &dst.descriptor(), 0, 300 + i).unwrap();
+        }
+        p0.progress().unwrap();
+        let mut small = Vec::new();
+        assert_eq!(p0.probe_completions(ProbeFlags::Local, &mut small, 3).unwrap(), 3);
+        assert_eq!(p0.queued_events().0, 5);
+        assert_eq!(p0.stats().probe_batches, 2);
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub enum ProbeFlags {
     Local,
     /// Only target-side (remote) completions.
     Remote,
-    /// Either (local drained first).
+    /// Either class, drained fairly: successive probes alternate which
+    /// class they try first, so a flood of one class cannot starve the
+    /// other.
     Any,
 }
 
@@ -76,17 +78,54 @@ impl Event {
 pub mod rid_space {
     /// All rids at or above this value are reserved for the middleware.
     pub const RESERVED_BASE: u64 = 0xFF00_0000_0000_0000;
-    /// Collective-operation namespace tag.
+    /// Collective-operation namespace tag (occupies the top 10 bits).
     pub const COLLECTIVE: u64 = 0xFFC0_0000_0000_0000;
+
+    /// Width of the `kind` field (bits 40..48).
+    pub const KIND_BITS: u32 = 8;
+    /// Width of the `generation` field (bits 8..40).
+    pub const GENERATION_BITS: u32 = 32;
+    /// Width of the `round` field (bits 0..8).
+    pub const ROUND_BITS: u32 = 8;
+
+    const KIND_SHIFT: u32 = GENERATION_BITS + ROUND_BITS;
+    const GENERATION_SHIFT: u32 = ROUND_BITS;
+    const KIND_MASK: u64 = (1 << KIND_BITS) - 1;
+    const GENERATION_MASK: u64 = (1 << GENERATION_BITS) - 1;
+    const ROUND_MASK: u64 = (1 << ROUND_BITS) - 1;
 
     /// Does `rid` belong to the middleware-internal namespace?
     pub fn is_reserved(rid: u64) -> bool {
         rid >= RESERVED_BASE
     }
 
-    /// Encode a collective rid from `(kind, generation, round, src)`.
+    /// Encode a collective rid from `(kind, generation, round)`.
+    ///
+    /// Layout: `COLLECTIVE | kind:8 << 40 | generation:32 << 8 | round:8`.
+    /// Each field is masked to its declared width (and width violations are
+    /// debug-asserted), so an out-of-range value can never smear into an
+    /// adjacent field or the namespace tag.
     pub fn collective(kind: u8, generation: u32, round: u8) -> u64 {
-        COLLECTIVE | ((kind as u64) << 40) | ((generation as u64) << 8) | round as u64
+        debug_assert_eq!(kind as u64 & !KIND_MASK, 0, "collective kind exceeds field width");
+        debug_assert_eq!(
+            generation as u64 & !GENERATION_MASK,
+            0,
+            "collective generation exceeds field width"
+        );
+        debug_assert_eq!(round as u64 & !ROUND_MASK, 0, "collective round exceeds field width");
+        COLLECTIVE
+            | ((kind as u64 & KIND_MASK) << KIND_SHIFT)
+            | ((generation as u64 & GENERATION_MASK) << GENERATION_SHIFT)
+            | (round as u64 & ROUND_MASK)
+    }
+
+    /// Decode a collective rid back into `(kind, generation, round)`.
+    pub fn collective_parts(rid: u64) -> (u8, u32, u8) {
+        (
+            ((rid >> KIND_SHIFT) & KIND_MASK) as u8,
+            ((rid >> GENERATION_SHIFT) & GENERATION_MASK) as u32,
+            (rid & ROUND_MASK) as u8,
+        )
     }
 }
 
@@ -115,5 +154,25 @@ mod tests {
         let c = rid_space::collective(2, 7, 0);
         let d = rid_space::collective(1, 8, 0);
         assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn collective_rid_roundtrips() {
+        for (k, g, r) in [(0, 0, 0), (255, u32::MAX, 255), (3, 0xDEAD_BEEF, 17)] {
+            let rid = rid_space::collective(k, g, r);
+            assert!(rid_space::is_reserved(rid));
+            assert_eq!(rid & rid_space::COLLECTIVE, rid_space::COLLECTIVE, "tag intact");
+            assert_eq!(rid_space::collective_parts(rid), (k, g, r));
+        }
+    }
+
+    #[test]
+    fn collective_fields_never_smear() {
+        // Extreme field values stay inside their lanes: the namespace tag
+        // survives and neighboring fields decode unchanged.
+        let rid = rid_space::collective(u8::MAX, u32::MAX, u8::MAX);
+        assert_eq!(rid_space::collective_parts(rid), (u8::MAX, u32::MAX, u8::MAX));
+        let (k, g, r) = rid_space::collective_parts(rid_space::collective(u8::MAX, 0, 0));
+        assert_eq!((k, g, r), (u8::MAX, 0, 0));
     }
 }

@@ -17,6 +17,7 @@ pub struct Stats {
     pub(crate) bytes_got: AtomicU64,
     pub(crate) rendezvous_ops: AtomicU64,
     pub(crate) probes: AtomicU64,
+    pub(crate) probe_batches: AtomicU64,
 }
 
 impl Stats {
@@ -45,6 +46,7 @@ impl Stats {
             bytes_got: self.bytes_got.load(Ordering::Relaxed),
             rendezvous_ops: self.rendezvous_ops.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
+            probe_batches: self.probe_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -76,6 +78,8 @@ pub struct StatsSnapshot {
     pub rendezvous_ops: u64,
     /// Probe calls.
     pub probes: u64,
+    /// Batch probe calls (`probe_completions`), also counted in `probes`.
+    pub probe_batches: u64,
 }
 
 #[cfg(test)]

@@ -64,11 +64,82 @@ struct RecvRdv {
     owned: bool,
 }
 
+#[derive(Debug)]
+struct UnexMsg {
+    /// Global arrival sequence number, unique across all sources.
+    seq: u64,
+    tag: u64,
+    data: Vec<u8>,
+    ts: VTime,
+}
+
+/// Unexpected-message store sharded per source rank, mirroring the sharded
+/// completion engine in photon-core: a known-`src` match scans only that
+/// source's queue, and wildcard matches pick the minimum arrival `seq`
+/// across per-source heads instead of scanning one global FIFO.
+#[derive(Debug, Default)]
+struct UnexpectedQueue {
+    by_src: HashMap<Rank, VecDeque<UnexMsg>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl UnexpectedQueue {
+    fn push(&mut self, src: Rank, tag: u64, data: Vec<u8>, ts: VTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_src.entry(src).or_default().push_back(UnexMsg { seq, tag, data, ts });
+        self.len += 1;
+    }
+
+    /// Queued message count (used by the matching reference-model test).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Locate the earliest-arrival message matching the pattern. The unique
+    /// global `seq` makes the wildcard-src winner deterministic regardless
+    /// of map iteration order.
+    fn find(&self, src: Option<Rank>, tag: Option<u64>) -> Option<(Rank, usize)> {
+        let first_match = |s: Rank, q: &VecDeque<UnexMsg>| {
+            q.iter()
+                .enumerate()
+                .find(|(_, m)| tag.is_none_or(|w| w == m.tag))
+                .map(|(i, m)| (m.seq, s, i))
+        };
+        let best = match src {
+            Some(s) => self.by_src.get(&s).and_then(|q| first_match(s, q)),
+            None => self
+                .by_src
+                .iter()
+                .filter_map(|(&s, q)| first_match(s, q))
+                .min_by_key(|&(seq, _, _)| seq),
+        };
+        best.map(|(_, s, i)| (s, i))
+    }
+
+    /// Envelope of the earliest match without consuming it.
+    fn peek(&self, src: Option<Rank>, tag: Option<u64>) -> Option<(Rank, u64, usize)> {
+        let (s, i) = self.find(src, tag)?;
+        let m = &self.by_src[&s][i];
+        Some((s, m.tag, m.data.len()))
+    }
+
+    /// Remove and return the earliest match.
+    fn take(&mut self, src: Option<Rank>, tag: Option<u64>) -> Option<(Rank, u64, Vec<u8>, VTime)> {
+        let (s, i) = self.find(src, tag)?;
+        let m = self.by_src.get_mut(&s).expect("source present").remove(i).expect("index valid");
+        self.len -= 1;
+        Some((s, m.tag, m.data, m.ts))
+    }
+}
+
 #[derive(Debug, Default)]
 struct EpState {
     posted: Vec<PostedRecv>,
     completed: HashMap<u64, RecvMsg>,
-    unexpected: VecDeque<(Rank, u64, Vec<u8>, VTime)>,
+    unexpected: UnexpectedQueue,
     rts_queue: VecDeque<RtsInfo>,
     sender_rdv: HashMap<u64, SenderRdv>,
     recv_rdv: HashMap<u64, RecvRdv>,
@@ -488,29 +559,19 @@ impl MsgEndpoint {
     pub fn probe(&self, src: Option<Rank>, tag: Option<u64>) -> Result<Option<(Rank, u64, usize)>> {
         self.progress()?;
         let st = self.state.lock();
-        Ok(st
-            .unexpected
-            .iter()
-            .find(|(s, t, _, _)| src.is_none_or(|w| w == *s) && tag.is_none_or(|w| w == *t))
-            .map(|(s, t, data, _)| (*s, *t, data.len()))
-            .or_else(|| {
-                st.rts_queue
-                    .iter()
-                    .find(|r| src.is_none_or(|w| w == r.src) && tag.is_none_or(|w| w == r.tag))
-                    .map(|r| (r.src, r.tag, r.size))
-            }))
+        Ok(st.unexpected.peek(src, tag).or_else(|| {
+            st.rts_queue
+                .iter()
+                .find(|r| src.is_none_or(|w| w == r.src) && tag.is_none_or(|w| w == r.tag))
+                .map(|r| (r.src, r.tag, r.size))
+        }))
     }
 
     /// Non-blocking probe-and-receive: `Ok(None)` if nothing matches yet.
     pub fn try_recv(&self, src: Option<Rank>, tag: Option<u64>) -> Result<Option<RecvMsg>> {
         self.progress()?;
         let mut st = self.state.lock();
-        if let Some(pos) = st
-            .unexpected
-            .iter()
-            .position(|(s, t, _, _)| src.is_none_or(|w| w == *s) && tag.is_none_or(|w| w == *t))
-        {
-            let (s, t, data, ts) = st.unexpected.remove(pos).expect("position valid");
+        if let Some((s, t, data, ts)) = st.unexpected.take(src, tag) {
             drop(st);
             self.clock.advance(self.copy_ns(data.len()));
             self.clock.advance_to(ts);
@@ -526,12 +587,7 @@ impl MsgEndpoint {
         }
         let req = self.next_req.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
-        if let Some(pos) = st
-            .unexpected
-            .iter()
-            .position(|(s, t, _, _)| src.is_none_or(|w| w == *s) && tag.is_none_or(|w| w == *t))
-        {
-            let (s, t, data, ts) = st.unexpected.remove(pos).expect("position valid");
+        if let Some((s, t, data, ts)) = st.unexpected.take(src, tag) {
             drop(st);
             self.complete_eager(req, s, t, data, ts, landing)?;
             return Ok(req);
@@ -735,7 +791,7 @@ impl MsgEndpoint {
             if let Some(pos) = st.posted.iter().position(|p| p.matches(src, tag)) {
                 Some(st.posted.remove(pos))
             } else {
-                st.unexpected.push_back((src, tag, payload.clone(), ts));
+                st.unexpected.push(src, tag, payload.clone(), ts);
                 self.stats.unexpected.fetch_add(1, Ordering::Relaxed);
                 None
             }

@@ -348,14 +348,16 @@ impl RtNode {
     // ------------------------------------------------------ progress side
 
     fn progress_loop(self: Arc<RtNode>) {
+        // Batch drain: one progress pass harvests up to a whole batch of
+        // remote events instead of paying probe overhead per event. Only
+        // Remote events are drained here — parcel sends and rendezvous wait
+        // on their local completions from the posting threads.
+        const BATCH: usize = 64;
         let mut idle: u32 = 0;
+        let mut events: Vec<Event> = Vec::with_capacity(BATCH);
         while !self.shutdown.load(Ordering::Acquire) {
-            match self.photon.probe_completion(ProbeFlags::Remote) {
-                Ok(Some(Event::Remote(ev))) => {
-                    idle = 0;
-                    self.handle_remote(ev);
-                }
-                Ok(_) => {
+            match self.photon.probe_completions(ProbeFlags::Remote, &mut events, BATCH) {
+                Ok(0) => {
                     idle = idle.saturating_add(1);
                     if idle == 16 {
                         // Idle: push out any half-full coalescing batches so
@@ -366,6 +368,14 @@ impl RtNode {
                         std::thread::sleep(Duration::from_micros(50));
                     } else {
                         std::thread::yield_now();
+                    }
+                }
+                Ok(_) => {
+                    idle = 0;
+                    for ev in events.drain(..) {
+                        if let Event::Remote(ev) = ev {
+                            self.handle_remote(ev);
+                        }
                     }
                 }
                 Err(_) if self.shutdown.load(Ordering::Acquire) => return,

@@ -765,18 +765,22 @@ impl<'a> Executor<'a> {
     // ------------------------------------------------------------- routing
 
     fn pump(&mut self, r: usize, max: usize) {
+        // Batch drain through the same probe_completions API the runtime
+        // progress thread uses, so chaos schedules exercise the batch path;
+        // each event still routes through the invariant checkers
+        // individually.
         let p = self.cluster.rank(r).clone();
-        for _ in 0..max {
-            match p.probe_completion(ProbeFlags::Any) {
-                Ok(Some(ev)) => {
-                    self.progressed = true;
+        let mut events: Vec<Event> = Vec::with_capacity(max.min(64));
+        match p.probe_completions(ProbeFlags::Any, &mut events, max) {
+            Ok(0) => {}
+            Ok(_) => {
+                self.progressed = true;
+                for ev in events {
                     self.route(r, ev);
                 }
-                Ok(None) => break,
-                Err(e) => {
-                    self.violations.push(format!("rank {r}: probe failed: {e}"));
-                    break;
-                }
+            }
+            Err(e) => {
+                self.violations.push(format!("rank {r}: probe failed: {e}"));
             }
         }
     }
@@ -1060,6 +1064,24 @@ mod tests {
         assert!(rep.sweeps > 0);
         // All four ranks traced something.
         assert!(rep.trace_csv.iter().all(|c| c.lines().count() > 1));
+    }
+
+    #[test]
+    fn schedules_exercise_the_batch_probe_path() {
+        // The executor's pump drains through probe_completions, the same
+        // batch API the runtime progress thread uses — so every chaos
+        // schedule doubles as coverage for the batch path. Pin that wiring:
+        // a clean mixed schedule must leave batch-probe counts on all ranks.
+        let sched = fixed_schedule();
+        let ex = Executor::new(&sched, sched.cfg);
+        let ranks: Vec<_> = ex.cluster.ranks().to_vec();
+        let rep = ex.run();
+        assert!(rep.passed(), "violations: {:?}", rep.violations);
+        for (r, p) in ranks.iter().enumerate() {
+            let s = p.stats();
+            assert!(s.probe_batches > 0, "rank {r} never used the batch probe path");
+            assert!(s.probes >= s.probe_batches, "probes include batch calls");
+        }
     }
 
     #[test]
