@@ -1,0 +1,211 @@
+//! Wall-clock throughput of the eager put TX path, recorded as a JSON
+//! baseline so successive PRs have a perf trajectory (sibling of
+//! `probe_bench`, which covers the completion side).
+//!
+//! ```text
+//! put_bench --label baseline           # writes results/BENCH_put_baseline.json
+//! put_bench --label batched --ops 100000
+//! ```
+//!
+//! Scenarios (all on the `ideal` network model so wall-clock time is
+//! dominated by the posting path's own allocation, locking, and per-post
+//! bookkeeping, not modeled wire latency):
+//!
+//! * `single_put_8B` — strict request-response: one 8-byte
+//!   `put_with_completion` outstanding at a time, local completion reaped
+//!   before the next post.
+//! * `windowed_put_8B_w{4,16,64}` — keep `w` puts outstanding; the sender
+//!   reaps local completions in batches while the receiver drains remote
+//!   notifications (returning ring credits). This is the E3 message-rate
+//!   shape, and the scenario the zero-alloc/doorbell work targets.
+//! * `batched_put_8B_w{4,16,64}` (feature `batch-put`) — same windows, but
+//!   each window posts through `put_many`: one TX lock acquisition and one
+//!   doorbell per window instead of one per frame.
+
+use photon_core::{Event, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_fabric::NetworkModel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Entry {
+    name: String,
+    ops: u64,
+    ns: u128,
+}
+
+impl Entry {
+    fn mops(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.ns as f64 * 1000.0
+        }
+    }
+}
+
+fn cluster() -> PhotonCluster {
+    PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default())
+}
+
+/// Drain up to `want` of rank 1's remote notifications (returns credits to
+/// the sender as a side effect of its probe loop).
+fn drain_remote(c: &PhotonCluster, evs: &mut Vec<Event>, want: u64) -> u64 {
+    let p1 = c.rank(1);
+    let mut got = 0u64;
+    while got < want {
+        evs.clear();
+        let n = p1.probe_completions(ProbeFlags::Remote, evs, 64).expect("remote probe") as u64;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    got
+}
+
+/// `window` 8-byte eager puts kept in flight over `ops` total operations.
+fn windowed_put(name: String, ops: u64, window: usize) -> Entry {
+    let c = cluster();
+    let p0 = c.rank(0);
+    let src = p0.register_buffer(64).unwrap();
+    let dst = c.rank(1).register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    let mut evs: Vec<Event> = Vec::with_capacity(128);
+    let t0 = Instant::now();
+    let (mut posted, mut done, mut drained) = (0u64, 0u64, 0u64);
+    let mut inflight = 0usize;
+    while done < ops {
+        while inflight < window && posted < ops {
+            if p0.try_put_with_completion(1, &src, 0, 8, &d, 0, posted, posted).unwrap() {
+                posted += 1;
+                inflight += 1;
+            } else {
+                break; // out of ring credits: let the receiver catch up
+            }
+        }
+        drained += drain_remote(&c, &mut evs, posted - drained);
+        evs.clear();
+        let n = p0.probe_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
+        done += n as u64;
+        inflight -= n;
+    }
+    Entry { name, ops, ns: t0.elapsed().as_nanos() }
+}
+
+/// Same windows, posted through the doorbell-batch API: one `put_many` call
+/// per window.
+#[cfg(feature = "batch-put")]
+fn batched_put(name: String, ops: u64, window: usize) -> Entry {
+    use photon_core::PutManyItem;
+    let c = cluster();
+    let p0 = c.rank(0);
+    let src = p0.register_buffer(64).unwrap();
+    let dst = c.rank(1).register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    let mut evs: Vec<Event> = Vec::with_capacity(128);
+    let mut items: Vec<PutManyItem> = Vec::with_capacity(window);
+    let t0 = Instant::now();
+    let (mut posted, mut done, mut drained) = (0u64, 0u64, 0u64);
+    while done < ops {
+        let n = (window as u64).min(ops - posted);
+        if n > 0 {
+            items.clear();
+            for i in 0..n {
+                items.push(PutManyItem {
+                    loff: 0,
+                    len: 8,
+                    doff: 0,
+                    local_rid: posted + i,
+                    remote_rid: posted + i,
+                });
+            }
+            let accepted = p0.try_put_many(1, &src, &d, &items).unwrap() as u64;
+            posted += accepted;
+        }
+        drained += drain_remote(&c, &mut evs, posted - drained);
+        evs.clear();
+        done += p0.probe_completions(ProbeFlags::Local, &mut evs, 128).unwrap() as u64;
+    }
+    Entry { name, ops, ns: t0.elapsed().as_nanos() }
+}
+
+/// Min over `reps` runs: each scenario does a fixed amount of work, so the
+/// minimum is the run least disturbed by scheduler noise.
+fn best_of(reps: u32, f: impl Fn() -> Entry) -> Entry {
+    let mut best: Option<Entry> = None;
+    for _ in 0..reps {
+        let e = f();
+        best = Some(match best {
+            Some(b) if b.ns <= e.ns => b,
+            _ => e,
+        });
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = String::from("current");
+    let mut ops = 100_000u64;
+    let mut reps = 5u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args[i + 1].clone();
+                i += 2;
+            }
+            "--ops" => {
+                ops = args[i + 1].parse().expect("--ops takes a number");
+                i += 2;
+            }
+            "--reps" => {
+                reps = args[i + 1].parse().expect("--reps takes a number");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    #[cfg_attr(not(feature = "batch-put"), allow(unused_mut))]
+    let mut entries = vec![
+        best_of(reps, || windowed_put("single_put_8B".into(), ops / 4, 1)),
+        best_of(reps, || windowed_put("windowed_put_8B_w4".into(), ops, 4)),
+        best_of(reps, || windowed_put("windowed_put_8B_w16".into(), ops, 16)),
+        best_of(reps, || windowed_put("windowed_put_8B_w64".into(), ops, 64)),
+    ];
+    #[cfg(feature = "batch-put")]
+    for w in [4usize, 16, 64] {
+        entries.push(best_of(reps, || batched_put(format!("batched_put_8B_w{w}"), ops, w)));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"eager_put_tx_path\",");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"stat\": \"min_over_reps\",");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (k, e) in entries.iter().enumerate() {
+        let comma = if k + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ns_total\": {}, \"mops_per_sec\": {:.4}}}{comma}",
+            e.name, e.ops, e.ns, e.mops()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    for e in &entries {
+        println!("{:>20}  {:>9} ops  {:>12} ns  {:>8.3} Mops/s", e.name, e.ops, e.ns, e.mops());
+    }
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("BENCH_put_{label}.json"));
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {}", path.display());
+}
