@@ -4,7 +4,7 @@
 //! fabric. Patterns are causal chains, so the results are deterministic for
 //! a given configuration.
 
-use photon_core::{PhotonCluster, PhotonConfig};
+use photon_core::{PhotonCluster, PhotonConfig, PutManyItem, StatsSnapshot};
 use photon_fabric::NetworkModel;
 use photon_msg::{MsgCluster, MsgConfig};
 
@@ -170,6 +170,59 @@ pub fn photon_msg_rate(model: NetworkModel, cfg: PhotonConfig, window: usize, ms
         });
     });
     msgs as f64 / (p0.now().as_nanos() as f64 / 1e9)
+}
+
+/// Acked message rate for 8-byte puts posted in doorbell-batched chunks of
+/// `window` through `put_many` (acks stay per-item, so the comparison with
+/// [`photon_msg_rate`] isolates the TX batching). Also returns the sender's
+/// stats snapshot so callers can surface the batch counters.
+pub fn photon_msg_rate_batched(
+    model: NetworkModel,
+    cfg: PhotonConfig,
+    window: usize,
+    msgs: usize,
+) -> (f64, StatsSnapshot) {
+    let c = PhotonCluster::new(2, model, cfg);
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(8).unwrap();
+    let b1 = p1.register_buffer(8).unwrap();
+    let d1 = b1.descriptor();
+    let d0 = b0.descriptor();
+    c.reset_time();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut sent = 0u64;
+            let mut acked = 0u64;
+            while acked < msgs as u64 {
+                let k = (msgs as u64 - sent).min(window as u64) as usize;
+                if k > 0 {
+                    let items: Vec<PutManyItem> = (0..k as u64)
+                        .map(|j| PutManyItem {
+                            loff: 0,
+                            len: 8,
+                            doff: 0,
+                            local_rid: sent + j,
+                            remote_rid: sent + j,
+                        })
+                        .collect();
+                    p0.put_many(1, &b0, &d1, &items).unwrap();
+                    sent += k as u64;
+                }
+                for _ in 0..k.max(1) {
+                    p0.wait_remote().unwrap(); // an ack
+                    acked += 1;
+                }
+            }
+        });
+        s.spawn(|| {
+            for i in 0..msgs as u64 {
+                p1.wait_remote().unwrap();
+                // 0-byte ack riding the eager path.
+                p1.put_with_completion(0, &b1, 0, 0, &d0, 0, i, i).unwrap();
+            }
+        });
+    });
+    (msgs as f64 / (p0.now().as_nanos() as f64 / 1e9), p0.stats())
 }
 
 /// Acked message rate for the two-sided baseline (8-byte sends, tag-matched

@@ -2,7 +2,10 @@
 //!
 //! Reconstructed expectation: rate scales with the window until the NIC
 //! message-gap ceiling; Photon's single-op eager path reaches a higher
-//! ceiling than matched two-sided messaging.
+//! ceiling than matched two-sided messaging. The `photon_batched` column
+//! posts each window as one doorbell-batched `put_many` run, paying the
+//! injection overhead once per batch; its TX batching counters are surfaced
+//! as table footnotes.
 
 use super::drivers;
 use crate::report::{mops, Table};
@@ -16,13 +19,28 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "e3",
         "8-byte acked message rate vs window (Mmsg/s)",
-        &["window", "photon_pwc", "baseline"],
+        &["window", "photon_pwc", "baseline", "photon_batched"],
     );
+    let mut last_stats = None;
     for window in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
         let msgs = (window * 100).clamp(500, 8000);
         let p = drivers::photon_msg_rate(model, PhotonConfig::default(), window, msgs);
         let b = drivers::msg_msg_rate(model, MsgConfig::default(), window, msgs);
-        t.row(vec![window.to_string(), mops(p), mops(b)]);
+        let (pb, s) =
+            drivers::photon_msg_rate_batched(model, PhotonConfig::default(), window, msgs);
+        t.row(vec![window.to_string(), mops(p), mops(b), mops(pb)]);
+        last_stats = Some((window, s));
+    }
+    if let Some((window, s)) = last_stats {
+        t.note(format!(
+            "tx batching at w{window}: batch_posts={} frames/batch 1|2-4|5-16|17+ = {}|{}|{}|{} stage_copies_avoided={}",
+            s.batch_posts,
+            s.frames_per_batch_1,
+            s.frames_per_batch_2_4,
+            s.frames_per_batch_5_16,
+            s.frames_per_batch_17plus,
+            s.stage_copies_avoided,
+        ));
     }
     t
 }

@@ -15,6 +15,8 @@ pub struct Table {
     pub columns: Vec<String>,
     /// Rows of formatted cells (same arity as `columns`).
     pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes rendered after the rows (CSV comment lines).
+    pub notes: Vec<String>,
 }
 
 impl Table {
@@ -25,6 +27,7 @@ impl Table {
             title: title.to_string(),
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -32,6 +35,11 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
         self.rows.push(cells);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, text: String) {
+        self.notes.push(text);
     }
 
     /// Render for the console with aligned columns.
@@ -57,6 +65,9 @@ impl Table {
                 r.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
+        for n in &self.notes {
+            let _ = writeln!(out, "  {n}");
+        }
         out
     }
 
@@ -67,6 +78,9 @@ impl Table {
         let _ = writeln!(out, "{}", self.columns.join(","));
         for r in &self.rows {
             let _ = writeln!(out, "{}", r.join(","));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
         }
         fs::write(dir.join(format!("{}.csv", self.id)), out)
     }

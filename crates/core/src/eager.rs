@@ -140,6 +140,20 @@ pub struct Reservation {
     pub skip: Option<(usize, u32, u64)>,
 }
 
+/// A producer-side reservation for a contiguous *run* of frames (a doorbell
+/// batch): frame `i` starts at `offset` plus the spans of frames `0..i`, and
+/// carries sequence `first_seq + i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReservation {
+    /// Byte offset within the ring for the first frame.
+    pub offset: usize,
+    /// Sequence number the first frame must carry.
+    pub first_seq: u64,
+    /// If set, a `Skip` frame must first be written at `.0` with dead size
+    /// `.1` and sequence `.2`.
+    pub skip: Option<(usize, u32, u64)>,
+}
+
 /// Producer-side eager ring state for one peer direction.
 #[derive(Debug)]
 pub struct EagerTx {
@@ -178,8 +192,22 @@ impl EagerTx {
     /// insufficient tail is covered by an explicit `Skip` frame recorded in
     /// the reservation.
     pub fn try_reserve(&mut self, payload: usize) -> Option<Reservation> {
-        let span = frame_span(payload) as u64;
-        assert!(span <= self.ring, "frame larger than the ring");
+        let r = self.try_reserve_run(std::slice::from_ref(&payload))?;
+        Some(Reservation { offset: r.offset, seq: r.first_seq, skip: r.skip })
+    }
+
+    /// Reserve space for a contiguous run of frames carrying `lens` payload
+    /// bytes each; `None` when out of credits (the state is untouched on
+    /// failure, so the caller can retry with a shorter run).
+    ///
+    /// The run never wraps: when it would straddle the ring end, the whole
+    /// run moves past the wrap (with the same implicit/explicit skip rules as
+    /// single frames), so one RDMA write can carry every frame. The combined
+    /// span must not exceed the ring size.
+    pub fn try_reserve_run(&mut self, lens: &[usize]) -> Option<RunReservation> {
+        assert!(!lens.is_empty(), "empty frame run");
+        let span: u64 = lens.iter().map(|&p| frame_span(p) as u64).sum();
+        assert!(span <= self.ring, "frame run larger than the ring");
         let pos = self.cursor % self.ring;
         let tail = self.ring - pos;
         let mut skip = None;
@@ -198,10 +226,10 @@ impl EagerTx {
             return None;
         }
         let skip_frames = if skip.is_some() { 1 } else { 0 };
-        let seq = self.frames + 1 + skip_frames;
-        self.frames += 1 + skip_frames;
+        let first_seq = self.frames + 1 + skip_frames;
+        self.frames += lens.len() as u64 + skip_frames;
         self.cursor = start + span;
-        Some(Reservation { offset: (start % self.ring) as usize, seq, skip })
+        Some(RunReservation { offset: (start % self.ring) as usize, first_seq, skip })
     }
 
     /// Total bytes produced (diagnostic).
@@ -431,6 +459,84 @@ mod tests {
         assert_eq!(f.header.rid, 33);
         assert_eq!(&ring[f.payload_offset..f.payload_offset + 60], &[3u8; 60]);
         // Cursors agree.
+        assert_eq!(tx.cursor(), rx.cursor());
+    }
+
+    #[test]
+    fn run_reservation_is_contiguous() {
+        let mut tx = EagerTx::new(1024);
+        let r = tx.try_reserve_run(&[10, 0, 100]).unwrap();
+        assert_eq!((r.offset, r.first_seq), (0, 1));
+        assert!(r.skip.is_none());
+        // Frames occupy back-to-back spans; the next single reservation lands
+        // right after the run with the next sequence number.
+        let next = tx.try_reserve(8).unwrap();
+        assert_eq!(next.offset, frame_span(10) + frame_span(0) + frame_span(100));
+        assert_eq!(next.seq, 4);
+    }
+
+    #[test]
+    fn run_wraps_whole_with_skip() {
+        let mut tx = EagerTx::new(256);
+        let a = tx.try_reserve(160).unwrap(); // span 208, tail 48 left
+        assert!(a.skip.is_none());
+        tx.update_credits(208);
+        // span(8)=56 per frame: a 2-frame run (112 bytes) can't use the
+        // 48-byte tail, so the whole run moves past the wrap.
+        let r = tx.try_reserve_run(&[8, 8]).unwrap();
+        let (skip_off, dead, skip_seq) = r.skip.expect("skip frame required");
+        assert_eq!((skip_off, dead as usize, skip_seq), (208, 0, 2));
+        assert_eq!((r.offset, r.first_seq), (0, 3));
+    }
+
+    #[test]
+    fn run_fails_pure_without_credits() {
+        let mut tx = EagerTx::new(256);
+        // One frame (56 bytes) leaves 200 bytes of credit: a 4-frame run
+        // (224 bytes) must fail without moving any state, and a shorter
+        // retry then succeeds right behind the first frame.
+        tx.try_reserve(8).unwrap();
+        let cursor = tx.cursor();
+        assert!(tx.try_reserve_run(&[8, 8, 8, 8]).is_none());
+        assert_eq!(tx.cursor(), cursor);
+        let r = tx.try_reserve_run(&[8, 8, 8]).unwrap();
+        assert_eq!((r.offset, r.first_seq), (frame_span(8), 2));
+        assert!(tx.try_reserve(8).is_none());
+    }
+
+    #[test]
+    fn consumer_walks_a_run() {
+        let ring_bytes = 512;
+        let mut tx = EagerTx::new(ring_bytes);
+        let mut rx = EagerRx::new(ring_bytes, 64);
+        let mut ring = vec![0u8; ring_bytes];
+        let lens = [16usize, 0, 32];
+        let r = tx.try_reserve_run(&lens).unwrap();
+        let mut off = r.offset;
+        for (i, &len) in lens.iter().enumerate() {
+            let h = FrameHeader {
+                seq: r.first_seq + i as u64,
+                rid: 100 + i as u64,
+                dst_addr: 0,
+                dst_rkey: 0,
+                size: len as u32,
+                kind: FrameKind::Msg,
+                ts: 0,
+            };
+            ring[off..off + FRAME_HDR].copy_from_slice(&h.encode());
+            for b in &mut ring[off + FRAME_HDR..off + FRAME_HDR + len] {
+                *b = i as u8 + 1;
+            }
+            off += frame_span(len);
+        }
+        for (i, &len) in lens.iter().enumerate() {
+            let f = rx.accept(&ring).unwrap();
+            assert_eq!(f.header.rid, 100 + i as u64);
+            assert_eq!(f.header.size as usize, len);
+            assert!(ring[f.payload_offset..f.payload_offset + len]
+                .iter()
+                .all(|&b| b == i as u8 + 1));
+        }
         assert_eq!(tx.cursor(), rx.cursor());
     }
 

@@ -82,7 +82,7 @@ pub mod trace;
 pub use buffers::PhotonBuffer;
 pub use collectives::ReduceOp;
 pub use config::PhotonConfig;
-pub use photon::{CreditState, Photon, PhotonCluster};
+pub use photon::{CreditState, Photon, PhotonCluster, PutManyItem};
 pub use pool::BufferPool;
 pub use probe::{Event, ProbeFlags, RemoteEvent};
 pub use stats::StatsSnapshot;

@@ -18,6 +18,12 @@ pub struct Stats {
     pub(crate) rendezvous_ops: AtomicU64,
     pub(crate) probes: AtomicU64,
     pub(crate) probe_batches: AtomicU64,
+    pub(crate) batch_posts: AtomicU64,
+    pub(crate) frames_per_batch_1: AtomicU64,
+    pub(crate) frames_per_batch_2_4: AtomicU64,
+    pub(crate) frames_per_batch_5_16: AtomicU64,
+    pub(crate) frames_per_batch_17plus: AtomicU64,
+    pub(crate) stage_copies_avoided: AtomicU64,
 }
 
 impl Stats {
@@ -29,6 +35,17 @@ impl Stats {
     #[inline]
     pub(crate) fn add(counter: &AtomicU64, v: u64) {
         counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record one doorbell-batched post of `frames` eager frames.
+    pub(crate) fn record_batch(&self, frames: usize) {
+        Stats::bump(&self.batch_posts);
+        Stats::bump(match frames {
+            0..=1 => &self.frames_per_batch_1,
+            2..=4 => &self.frames_per_batch_2_4,
+            5..=16 => &self.frames_per_batch_5_16,
+            _ => &self.frames_per_batch_17plus,
+        });
     }
 
     /// Snapshot the counters.
@@ -47,6 +64,12 @@ impl Stats {
             rendezvous_ops: self.rendezvous_ops.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
             probe_batches: self.probe_batches.load(Ordering::Relaxed),
+            batch_posts: self.batch_posts.load(Ordering::Relaxed),
+            frames_per_batch_1: self.frames_per_batch_1.load(Ordering::Relaxed),
+            frames_per_batch_2_4: self.frames_per_batch_2_4.load(Ordering::Relaxed),
+            frames_per_batch_5_16: self.frames_per_batch_5_16.load(Ordering::Relaxed),
+            frames_per_batch_17plus: self.frames_per_batch_17plus.load(Ordering::Relaxed),
+            stage_copies_avoided: self.stage_copies_avoided.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +103,20 @@ pub struct StatsSnapshot {
     pub probes: u64,
     /// Batch probe calls (`probe_completions`), also counted in `probes`.
     pub probe_batches: u64,
+    /// Doorbell-batched eager posts (`put_many` / batch flushes): one wire
+    /// write carrying a run of frames.
+    pub batch_posts: u64,
+    /// Batches that carried exactly 1 frame.
+    pub frames_per_batch_1: u64,
+    /// Batches that carried 2–4 frames.
+    pub frames_per_batch_2_4: u64,
+    /// Batches that carried 5–16 frames.
+    pub frames_per_batch_5_16: u64,
+    /// Batches that carried 17 or more frames.
+    pub frames_per_batch_17plus: u64,
+    /// Per-op heap copies eliminated on the eager fast path: one per
+    /// MR→stage direct staging on TX, one per in-place ring copy-out on RX.
+    pub stage_copies_avoided: u64,
 }
 
 #[cfg(test)]

@@ -357,6 +357,11 @@ impl MrTable {
         self.registered_bytes.load(Ordering::Relaxed)
     }
 
+    /// The pinning limit this table enforces.
+    pub fn limit_bytes(&self) -> usize {
+        self.limit_bytes
+    }
+
     /// Number of live registrations.
     pub fn region_count(&self) -> usize {
         self.by_rkey.read().len()

@@ -30,6 +30,14 @@ use std::sync::{Arc, Weak};
 /// before the fabric reports `ReceiverNotReady`.
 pub const PENDING_SEND_CAP: usize = 8192;
 
+/// Message buffers kept in a NIC's free list for reuse.
+const BUF_POOL_CAP: usize = 64;
+
+/// Largest buffer capacity the free list retains; bigger one-off transfers
+/// (rendezvous payloads) are returned to the allocator instead of pinning
+/// megabytes in the pool.
+const BUF_POOL_MAX_BYTES: usize = 256 * 1024;
+
 /// Per-NIC resource limits (fault-injection and sizing hooks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NicConfig {
@@ -134,6 +142,9 @@ pub struct Nic {
     next_qp: AtomicU32,
     pending_send_cap: usize,
     counters: NicCounters,
+    /// Free list of message buffers: payload movement recycles `Vec`s here
+    /// instead of allocating one per send/write/read-response.
+    buf_pool: Mutex<Vec<Vec<u8>>>,
 }
 
 impl Nic {
@@ -157,6 +168,7 @@ impl Nic {
                 next_qp: AtomicU32::new(1),
                 pending_send_cap: cfg.pending_send_cap,
                 counters: NicCounters::default(),
+                buf_pool: Mutex::new(Vec::new()),
             })
         })
     }
@@ -263,11 +275,12 @@ impl Nic {
             WrOp::Send { ref local, imm } => {
                 local.check()?;
                 self.check_local(local)?;
-                let mut data = local.mr.to_vec(local.offset, local.len);
+                let mut data = self.take_buf(local.len);
+                local.mr.read_at(local.offset, &mut data);
                 let t = sw.transfer(self.node, qp.peer, local.len, ready)?;
                 let deliver = state.order_deliver(t.deliver);
                 state.advance_floors(t.injected, deliver);
-                stamp(&mut data, wr.stamp_deliver_at, deliver)?;
+                stamp_all(&mut data, &wr, deliver)?;
                 sw.nic(qp.peer)?.deliver_send(self.node, data, imm, deliver)?;
                 self.counters.sends.fetch_add(1, Ordering::Relaxed);
                 self.counters.bytes_tx.fetch_add(local.len as u64, Ordering::Relaxed);
@@ -288,12 +301,14 @@ impl Nic {
                         remote: remote.len,
                     });
                 }
-                let mut data = local.mr.to_vec(local.offset, local.len);
+                let mut data = self.take_buf(local.len);
+                local.mr.read_at(local.offset, &mut data);
                 let t = sw.transfer(self.node, qp.peer, local.len, ready)?;
                 let deliver = state.order_deliver(t.deliver);
                 state.advance_floors(t.injected, deliver);
-                stamp(&mut data, wr.stamp_deliver_at, deliver)?;
+                stamp_all(&mut data, &wr, deliver)?;
                 sw.nic(qp.peer)?.apply_write(self.node, &data, remote, imm, deliver)?;
+                self.give_buf(data);
                 self.counters.writes.fetch_add(1, Ordering::Relaxed);
                 self.counters.bytes_tx.fetch_add(local.len as u64, Ordering::Relaxed);
                 if wr.signaled {
@@ -320,6 +335,7 @@ impl Nic {
                 let data = sw.nic(qp.peer)?.serve_read(remote)?;
                 let resp = sw.transfer(qp.peer, self.node, remote.len, req_deliver)?;
                 local.mr.write_at(local.offset, &data);
+                self.give_buf(data);
                 self.counters.reads.fetch_add(1, Ordering::Relaxed);
                 self.counters.bytes_rx.fetch_add(remote.len as u64, Ordering::Relaxed);
                 if wr.signaled {
@@ -398,6 +414,28 @@ impl Nic {
         Ok(old)
     }
 
+    /// Take a message buffer of exactly `len` bytes from the free list
+    /// (allocating only when the list is empty). Contents are unspecified;
+    /// callers overwrite the whole buffer.
+    fn take_buf(&self, len: usize) -> Vec<u8> {
+        let mut v = self.buf_pool.lock().pop().unwrap_or_default();
+        v.resize(len, 0);
+        v
+    }
+
+    /// Return a message buffer to the free list (bounded; oversized or
+    /// excess buffers go back to the allocator).
+    fn give_buf(&self, mut v: Vec<u8>) {
+        if v.capacity() == 0 || v.capacity() > BUF_POOL_MAX_BYTES {
+            return;
+        }
+        v.clear();
+        let mut pool = self.buf_pool.lock();
+        if pool.len() < BUF_POOL_CAP {
+            pool.push(v);
+        }
+    }
+
     /// A local slice must name memory registered on *this* node.
     fn check_local(&self, s: &MrSlice) -> Result<()> {
         if s.mr.node() != self.node {
@@ -432,9 +470,11 @@ impl Nic {
         recv.local.mr.write_at(recv.local.offset, &p.data);
         self.counters.recvs_matched.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_rx.fetch_add(p.data.len() as u64, Ordering::Relaxed);
+        let len = p.data.len();
+        self.give_buf(p.data);
         self.recv_cq.push(Completion {
             wr_id: recv.wr_id,
-            kind: CompletionKind::RecvDone { src: p.src, len: p.data.len(), imm: p.imm },
+            kind: CompletionKind::RecvDone { src: p.src, len, imm: p.imm },
             ts: p.ts,
         })
     }
@@ -464,7 +504,9 @@ impl Nic {
     fn serve_read(&self, remote: RemoteSlice) -> Result<Vec<u8>> {
         let (mr, off) =
             self.mrs.resolve(remote.addr, remote.rkey, remote.len, Access::REMOTE_READ)?;
-        Ok(mr.to_vec(off, remote.len))
+        let mut data = self.take_buf(remote.len);
+        mr.read_at(off, &mut data);
+        Ok(data)
     }
 
     fn serve_atomic(
@@ -515,6 +557,16 @@ fn stamp(data: &mut [u8], at: Option<usize>, deliver: VTime) -> Result<()> {
             });
         }
         data[off..off + 8].copy_from_slice(&deliver.as_nanos().to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Apply every stamp a work request carries: the primary offset plus the
+/// per-frame offsets of a doorbell-batched post.
+fn stamp_all(data: &mut [u8], wr: &SendWr, deliver: VTime) -> Result<()> {
+    stamp(data, wr.stamp_deliver_at, deliver)?;
+    for &off in &wr.stamp_deliver_also {
+        stamp(data, Some(off), deliver)?;
     }
     Ok(())
 }

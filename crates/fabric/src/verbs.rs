@@ -139,17 +139,28 @@ pub struct SendWr {
     /// virtual time through one-sided protocol writes that generate no
     /// target-side completion.
     pub stamp_deliver_at: Option<usize>,
+    /// Additional payload offsets stamped exactly like `stamp_deliver_at`.
+    /// A doorbell-batched post carries several protocol frames in one
+    /// payload; each frame header gets its own delivery timestamp. Empty
+    /// (allocation-free) for ordinary single-frame posts.
+    pub stamp_deliver_also: Vec<usize>,
 }
 
 impl SendWr {
     /// A signaled work request.
     pub fn new(wr_id: u64, op: WrOp) -> SendWr {
-        SendWr { wr_id, op, signaled: true, stamp_deliver_at: None }
+        SendWr { wr_id, op, signaled: true, stamp_deliver_at: None, stamp_deliver_also: Vec::new() }
     }
 
     /// An unsignaled work request (no initiator completion).
     pub fn unsignaled(op: WrOp) -> SendWr {
-        SendWr { wr_id: 0, op, signaled: false, stamp_deliver_at: None }
+        SendWr {
+            wr_id: 0,
+            op,
+            signaled: false,
+            stamp_deliver_at: None,
+            stamp_deliver_also: Vec::new(),
+        }
     }
 
     /// Request a delivery-time stamp at payload offset `off`.

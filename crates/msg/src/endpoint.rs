@@ -188,6 +188,10 @@ struct StatsInner {
     bytes_sent: AtomicU64,
 }
 
+/// Cached registrations retained per size class. Releases past the cap are
+/// deregistered so the cache cannot pin unbounded memory after a burst.
+const REG_CACHE_PER_SIZE: usize = 8;
+
 /// One rank of the baseline messaging job.
 #[derive(Debug)]
 pub struct MsgEndpoint {
@@ -367,16 +371,21 @@ impl MsgEndpoint {
         Ok(r)
     }
 
-    /// Return an internally managed region: to the cache when enabled,
-    /// otherwise deregister.
+    /// Return an internally managed region: to the cache when enabled and
+    /// its size bucket has room, otherwise deregister. The per-size cap
+    /// keeps a burst of concurrent transfers from pinning memory forever —
+    /// the cache bounds steady-state reuse, it is not a leak.
     fn release_region(&self, r: MemoryRegion) -> Result<()> {
         if self.cfg.registration_cache {
-            self.reg_cache.lock().entry(r.len()).or_default().push(r);
-            Ok(())
-        } else {
-            self.nic.mrs().deregister(&r)?;
-            Ok(())
+            let mut cache = self.reg_cache.lock();
+            let bucket = cache.entry(r.len()).or_default();
+            if bucket.len() < REG_CACHE_PER_SIZE {
+                bucket.push(r);
+                return Ok(());
+            }
         }
+        self.nic.mrs().deregister(&r)?;
+        Ok(())
     }
 
     pub(crate) fn internal_gen(&self) -> u64 {
@@ -1056,6 +1065,30 @@ mod tests {
                 },
             )
             .unwrap();
+    }
+
+    #[test]
+    fn reg_cache_is_bounded_per_size() {
+        let cfg = MsgConfig { registration_cache: true, ..MsgConfig::default() };
+        let c = MsgCluster::new(1, NetworkModel::ideal(), cfg);
+        let e = c.rank(0);
+        let nic_regions = e.nic.mrs().region_count();
+        let burst = REG_CACHE_PER_SIZE + 4;
+        let regions: Vec<_> = (0..burst).map(|_| e.acquire_region(4096).unwrap()).collect();
+        assert_eq!(e.stats().registrations, burst as u64, "cold cache registers each");
+        assert_eq!(e.nic.mrs().region_count(), nic_regions + burst);
+        for r in regions {
+            e.release_region(r).unwrap();
+        }
+        // Only the cap survives; the overflow was deregistered.
+        assert_eq!(e.reg_cache.lock()[&4096].len(), REG_CACHE_PER_SIZE);
+        assert_eq!(e.nic.mrs().region_count(), nic_regions + REG_CACHE_PER_SIZE);
+        // Reacquiring the burst hits the cache first, then registers anew.
+        let regions: Vec<_> = (0..burst).map(|_| e.acquire_region(4096).unwrap()).collect();
+        assert_eq!(e.stats().registrations, (2 * burst - REG_CACHE_PER_SIZE) as u64);
+        for r in regions {
+            e.release_region(r).unwrap();
+        }
     }
 
     #[test]

@@ -2,71 +2,53 @@
 //!
 //! Fine-grained message-driven applications (GUPS, graph traversal) emit
 //! torrents of tiny parcels; per-message injection overhead then dominates.
-//! Coalescing buffers parcels per destination and flushes a whole batch as
-//! one eager message — the aggregation optimization the HPX/AM++ literature
-//! shows is decisive for irregular workloads (at the price of added latency
-//! for the first parcel in a batch).
-//!
-//! Batch wire format: repeated `[ len u32 | parcel bytes ]`, delivered under
-//! a dedicated completion id and unpacked at the receiver.
+//! Coalescing buffers parcels per destination and flushes a whole batch
+//! through [`photon_core::Photon::send_many`] — every parcel stays its own
+//! eager frame (decoded independently at the receiver, no repacking), but
+//! the entire batch is composed into one contiguous ring reservation and
+//! posted as a **single** doorbell-batched RDMA write. This is the
+//! aggregation optimization the HPX/AM++ literature shows is decisive for
+//! irregular workloads (at the price of added latency for the first parcel
+//! in a batch).
 //!
 //! Flushing is explicit or threshold-driven: a batch flushes when it holds
 //! [`crate::RtConfig::coalesce_max`] parcels or would exceed the eager
 //! capacity; [`crate::RtNode::flush_parcels`] force-flushes (applications
 //! call it before waiting on replies).
 
-use crate::parcel::Parcel;
-use crate::{Rank, Result, RtError};
+use crate::Rank;
 
-/// One destination's pending batch.
+/// One destination's pending batch: encoded parcels, kept separate so the
+/// flush can hand them to the batched send API frame-by-frame.
 #[derive(Debug, Default)]
 pub(crate) struct Batch {
-    buf: Vec<u8>,
-    count: usize,
+    parcels: Vec<Vec<u8>>,
+    bytes: usize,
 }
 
 impl Batch {
     /// Append an encoded parcel.
     pub(crate) fn push(&mut self, enc: &[u8]) {
-        self.buf.extend_from_slice(&(enc.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(enc);
-        self.count += 1;
+        self.bytes += enc.len();
+        self.parcels.push(enc.to_vec());
     }
 
     /// Parcels queued.
     pub(crate) fn len(&self) -> usize {
-        self.count
+        self.parcels.len()
     }
 
-    /// Bytes the batch would occupy on the wire.
+    /// Total payload bytes queued (flush-threshold accounting; the fabric
+    /// adds its own per-frame header on the wire).
     pub(crate) fn wire_len(&self) -> usize {
-        self.buf.len()
+        self.bytes
     }
 
-    /// Take the wire bytes, resetting the batch.
-    pub(crate) fn take(&mut self) -> Vec<u8> {
-        self.count = 0;
-        std::mem::take(&mut self.buf)
+    /// Take the queued parcels, resetting the batch.
+    pub(crate) fn take(&mut self) -> Vec<Vec<u8>> {
+        self.bytes = 0;
+        std::mem::take(&mut self.parcels)
     }
-}
-
-/// Decode a batch back into parcels.
-pub(crate) fn unpack(bytes: &[u8]) -> Result<Vec<Parcel>> {
-    let mut out = Vec::new();
-    let mut pos = 0usize;
-    while pos < bytes.len() {
-        if pos + 4 > bytes.len() {
-            return Err(RtError::BadParcel("truncated batch length"));
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        if pos + len > bytes.len() {
-            return Err(RtError::BadParcel("truncated batch body"));
-        }
-        out.push(Parcel::decode(&bytes[pos..pos + len])?);
-        pos += len;
-    }
-    Ok(out)
 }
 
 /// Destination-indexed batches (one per peer).
@@ -84,8 +66,8 @@ impl Coalescer {
         &mut self.batches[peer]
     }
 
-    /// Take every non-empty batch as `(peer, wire bytes)`.
-    pub(crate) fn take_all(&mut self) -> Vec<(Rank, Vec<u8>)> {
+    /// Take every non-empty batch as `(peer, parcels)`.
+    pub(crate) fn take_all(&mut self) -> Vec<(Rank, Vec<Vec<u8>>)> {
         self.batches
             .iter_mut()
             .enumerate()
@@ -98,10 +80,11 @@ impl Coalescer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parcel::Parcel;
     use bytes::Bytes;
 
     #[test]
-    fn batch_roundtrip() {
+    fn batch_keeps_parcels_separate() {
         let mut b = Batch::default();
         let p1 = Parcel::new(17, &b"alpha"[..]);
         let p2 = Parcel::new(18, &b""[..]);
@@ -114,20 +97,14 @@ mod tests {
             b.push(&p.encode());
         }
         assert_eq!(b.len(), 3);
-        let wire = b.take();
+        assert_eq!(b.wire_len(), [&p1, &p2, &p3].iter().map(|p| p.encode().len()).sum());
+        let frames = b.take();
         assert_eq!(b.len(), 0);
-        let got = unpack(&wire).unwrap();
+        assert_eq!(b.wire_len(), 0);
+        // Each frame decodes back to its parcel independently — no
+        // batch-level framing to strip.
+        let got: Vec<Parcel> = frames.iter().map(|f| Parcel::decode(f).unwrap()).collect();
         assert_eq!(got, vec![p1, p2, p3]);
-    }
-
-    #[test]
-    fn truncated_batches_rejected() {
-        let mut b = Batch::default();
-        b.push(&Parcel::new(1, &b"x"[..]).encode());
-        let wire = b.take();
-        assert!(unpack(&wire[..wire.len() - 1]).is_err());
-        assert!(unpack(&wire[..3]).is_err());
-        assert!(unpack(&[]).unwrap().is_empty());
     }
 
     #[test]
@@ -140,7 +117,7 @@ mod tests {
         assert_eq!(flushed.len(), 2);
         assert_eq!(flushed[0].0, 0);
         assert_eq!(flushed[1].0, 2);
-        assert_eq!(unpack(&flushed[1].1).unwrap().len(), 2);
+        assert_eq!(flushed[1].1.len(), 2);
         assert!(c.take_all().is_empty());
     }
 }

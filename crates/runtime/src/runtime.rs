@@ -2,7 +2,7 @@
 //! Photon context per rank.
 
 use crate::action::{ActionId, ActionRegistry, RtContext};
-use crate::coalesce::{unpack, Coalescer};
+use crate::coalesce::Coalescer;
 use crate::lco::{FutureBytes, LcoRef};
 use crate::parcel::Parcel;
 use crate::scheduler::Scheduler;
@@ -20,8 +20,6 @@ use std::time::Duration;
 const RID_PARCEL: u64 = 1;
 /// Completion id of large-parcel rendezvous control messages.
 const RID_RDV_CTRL: u64 = 2;
-/// Completion id of coalesced parcel batches.
-const RID_PARCEL_BATCH: u64 = 3;
 
 /// Internal action: set an LCO with the payload.
 const ACTION_SET_LCO: ActionId = 0;
@@ -35,8 +33,8 @@ pub struct RtConfig {
     /// message; larger ones rendezvous.
     pub parcel_eager_max: usize,
     /// Coalesce up to this many small parcels per destination into one
-    /// eager message (0 disables coalescing). Batches also flush when full
-    /// for the wire, when the progress thread idles, or on
+    /// doorbell-batched eager post (0 disables coalescing). Batches also
+    /// flush when full for the wire, when the progress thread idles, or on
     /// [`RtNode::flush_parcels`].
     pub coalesce_max: usize,
     /// The middleware configuration underneath.
@@ -277,15 +275,15 @@ impl RtNode {
             let flush = {
                 let mut co = self.coalescer.lock();
                 let batch = co.batch_mut(target);
-                // Flush first if appending would overflow the wire message.
-                if batch.wire_len() + enc.len() + 4 > eager_cap && batch.len() > 0 {
+                // Flush first if appending would overflow the eager budget.
+                if batch.wire_len() + enc.len() > eager_cap && batch.len() > 0 {
                     Some(batch.take())
                 } else {
                     None
                 }
             };
-            if let Some(bytes) = flush {
-                self.send_batch(target, &bytes)?;
+            if let Some(parcels) = flush {
+                self.send_batch(target, &parcels)?;
             }
             let full = {
                 let mut co = self.coalescer.lock();
@@ -293,8 +291,8 @@ impl RtNode {
                 batch.push(&enc);
                 (batch.len() >= self.cfg.coalesce_max).then(|| batch.take())
             };
-            if let Some(bytes) = full {
-                self.send_batch(target, &bytes)?;
+            if let Some(parcels) = full {
+                self.send_batch(target, &parcels)?;
             }
             return Ok(());
         }
@@ -302,8 +300,10 @@ impl RtNode {
         Ok(())
     }
 
-    fn send_batch(&self, target: Rank, bytes: &[u8]) -> Result<()> {
-        self.photon.send(target, bytes, RID_PARCEL_BATCH)?;
+    /// Flush a coalesced batch: every parcel stays its own eager frame, but
+    /// the whole run goes out as one doorbell-batched post.
+    fn send_batch(&self, target: Rank, parcels: &[Vec<u8>]) -> Result<()> {
+        self.photon.send_many(target, parcels, RID_PARCEL)?;
         self.batches_sent.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -320,8 +320,8 @@ impl RtNode {
     /// Force-flush all coalesced batches (call before waiting on replies).
     pub fn flush_parcels(&self) -> Result<()> {
         let pending = self.coalescer.lock().take_all();
-        for (peer, bytes) in pending {
-            self.send_batch(peer, &bytes)?;
+        for (peer, parcels) in pending {
+            self.send_batch(peer, &parcels)?;
         }
         Ok(())
     }
@@ -394,18 +394,6 @@ impl RtNode {
                         self.sched.submit(Box::new(move || node.run_parcel(p)));
                     }
                     Err(_) => { /* malformed parcel: drop, counted nowhere */ }
-                }
-            }
-            RID_PARCEL_BATCH => {
-                let Some(bytes) = ev.payload else { return };
-                match unpack(&bytes) {
-                    Ok(parcels) => {
-                        for p in parcels {
-                            let node = Arc::clone(self);
-                            self.sched.submit(Box::new(move || node.run_parcel(p)));
-                        }
-                    }
-                    Err(_) => { /* malformed batch: drop */ }
                 }
             }
             RID_RDV_CTRL => {

@@ -20,7 +20,9 @@
 use crate::checkers::{self, RankTally, Violations};
 use crate::schedule::{FaultSpec, Op, Schedule, SimParams};
 use crate::{fnv1a, splitmix64};
-use photon_core::{Event, PhotonBuffer, PhotonCluster, PhotonConfig, ProbeFlags, StatsSnapshot};
+use photon_core::{
+    Event, PhotonBuffer, PhotonCluster, PhotonConfig, ProbeFlags, PutManyItem, StatsSnapshot,
+};
 use photon_fabric::{Cluster, NetworkModel, NicConfig, VTime, Window};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -31,6 +33,17 @@ const RID_OP_BASE: u64 = 0x0100_0000;
 const RID_BARRIER: u64 = 0x2000_0000;
 /// Parcel rids: `RID_PARCEL + sequence`.
 const RID_PARCEL: u64 = 0x4000_0000;
+/// Batched-put item rids: `RID_MANY | (op << 8) | (2*item [+1])` — the low
+/// bit distinguishes local (even) from remote (odd), as in the plain range.
+const RID_MANY: u64 = 0x0800_0000;
+
+fn many_local_rid(op: usize, item: usize) -> u64 {
+    RID_MANY | ((op as u64) << 8) | (2 * item as u64)
+}
+
+fn many_remote_rid(op: usize, item: usize) -> u64 {
+    RID_MANY | ((op as u64) << 8) | (2 * item as u64 + 1)
+}
 
 /// Idle full sweeps before declaring the case stuck.
 const IDLE_SWEEP_LIMIT: u32 = 8;
@@ -123,6 +136,10 @@ struct OpRun {
     posted: bool,
     local_done: bool,
     remote_done: bool,
+    /// Batched puts: items posted so far / completion bitmasks per side.
+    many_posted: usize,
+    many_local: u32,
+    many_remote: u32,
     snd: SndState,
     rcv: RcvState,
     /// Per-op registered landing buffer in registration-churn mode.
@@ -136,6 +153,11 @@ impl OpRun {
             Op::Send { .. } => self.posted && self.remote_done,
             Op::PutEager { .. } | Op::PutDirect { .. } => {
                 self.posted && self.local_done && self.remote_done
+            }
+            Op::PutMany { count, .. } => {
+                self.posted
+                    && self.many_local.count_ones() as usize >= count
+                    && self.many_remote.count_ones() as usize >= count
             }
             Op::Get { .. } => self.posted && self.local_done,
             Op::Rendezvous { .. } => self.snd == SndState::Done && self.rcv == RcvState::Done,
@@ -257,6 +279,9 @@ impl<'a> Executor<'a> {
                 posted: false,
                 local_done: false,
                 remote_done: false,
+                many_posted: 0,
+                many_local: 0,
+                many_remote: 0,
                 snd: SndState::WaitDesc,
                 rcv: RcvState::Announce,
                 churn_buf: None,
@@ -277,6 +302,17 @@ impl<'a> Executor<'a> {
                     rx_off[dst] += align(len);
                     local_map.insert(local_rid, i);
                     remote_map.insert(remote_rid, i);
+                    queues[src].push(QItem { op: i, role: Role::Init });
+                }
+                Op::PutMany { src, dst, len, count } => {
+                    run.tx = (src, tx_off[src]);
+                    tx_off[src] += count * align(len);
+                    run.rx = (dst, rx_off[dst]);
+                    rx_off[dst] += count * align(len);
+                    for j in 0..count {
+                        local_map.insert(many_local_rid(i, j), i);
+                        remote_map.insert(many_remote_rid(i, j), i);
+                    }
                     queues[src].push(QItem { op: i, role: Role::Init });
                 }
                 Op::Get { src, dst, len } => {
@@ -331,6 +367,15 @@ impl<'a> Executor<'a> {
 
         // Pre-fill every source slice with its op's pattern.
         for (i, run) in ops.iter().enumerate() {
+            if let Op::PutMany { len, count, .. } = run.op {
+                let (r, off) = run.tx;
+                for j in 0..count {
+                    let bytes: Vec<u8> =
+                        (0..len).map(|k| sched.fill_byte(i, j * len + k)).collect();
+                    tx_arena[r].write_at(off + j * align(len), &bytes);
+                }
+                continue;
+            }
             let len = match run.op {
                 Op::PutEager { len, .. }
                 | Op::PutDirect { len, .. }
@@ -525,6 +570,39 @@ impl<'a> Executor<'a> {
                         }
                         Ok(false) => {}
                         Err(e) => self.fail_op(i, r, format!("pwc post failed: {e}")),
+                    }
+                }
+                self.ops[i].done()
+            }
+            Op::PutMany { dst, len, count, .. } => {
+                if !self.ops[i].posted {
+                    let (txr, txo) = self.ops[i].tx;
+                    let (rxr, rxo) = self.ops[i].rx;
+                    let span = (len + 7) & !7;
+                    let dd =
+                        self.rx_arena[rxr].descriptor_at(rxo, count * span).expect("rx run slice");
+                    debug_assert_eq!(txr, r);
+                    debug_assert_eq!(rxr, dst);
+                    let items: Vec<PutManyItem> = (self.ops[i].many_posted..count)
+                        .map(|j| PutManyItem {
+                            loff: txo + j * span,
+                            len,
+                            doff: j * span,
+                            local_rid: many_local_rid(i, j),
+                            remote_rid: many_remote_rid(i, j),
+                        })
+                        .collect();
+                    match self.cluster.rank(r).try_put_many(dst, &self.tx_arena[txr], &dd, &items) {
+                        Ok(0) => {}
+                        Ok(n) => {
+                            self.ops[i].many_posted += n;
+                            self.tally[r].puts_eager += n as u64;
+                            self.progressed = true;
+                            if self.ops[i].many_posted == count {
+                                self.ops[i].posted = true;
+                            }
+                        }
+                        Err(e) => self.fail_op(i, r, format!("put_many post failed: {e}")),
                     }
                 }
                 self.ops[i].done()
@@ -793,6 +871,17 @@ impl<'a> Executor<'a> {
                     self.violations.push(format!("rank {r}: unknown local rid {rid:#x}"));
                     return;
                 };
+                if matches!(self.sched.ops[i], Op::PutMany { .. }) {
+                    let bit = 1u32 << ((rid & 0xFF) >> 1);
+                    if self.ops[i].many_local & bit != 0 {
+                        self.violations.push(format!(
+                            "rank {r}: duplicate local completion for batched op {i} rid {rid:#x}"
+                        ));
+                        return;
+                    }
+                    self.ops[i].many_local |= bit;
+                    return;
+                }
                 if self.ops[i].local_done {
                     self.violations.push(format!(
                         "rank {r}: duplicate local completion for op {i} rid {rid:#x}"
@@ -814,6 +903,10 @@ impl<'a> Executor<'a> {
                 } else if rid & RID_BARRIER != 0 {
                     self.route_barrier(r, rid, rev.src);
                 } else if let Some(&i) = self.remote_map.get(&rid) {
+                    if let Op::PutMany { len, .. } = self.sched.ops[i] {
+                        self.route_many_remote(r, i, rid, len);
+                        return;
+                    }
                     if self.ops[i].remote_done {
                         self.violations.push(format!(
                             "rank {r}: duplicate remote completion for op {i} rid {rid:#x}"
@@ -852,6 +945,28 @@ impl<'a> Executor<'a> {
                     self.violations.push(format!("rank {r}: unknown remote rid {rid:#x}"));
                 }
             }
+        }
+    }
+
+    /// One item of a batched put completed at the target: mark its bit and
+    /// verify the landed bytes independently of its batch-mates.
+    fn route_many_remote(&mut self, r: usize, i: usize, rid: u64, len: usize) {
+        let j = ((rid & 0xFF) >> 1) as usize;
+        let bit = 1u32 << j;
+        if self.ops[i].many_remote & bit != 0 {
+            self.violations.push(format!(
+                "rank {r}: duplicate remote completion for batched op {i} rid {rid:#x}"
+            ));
+            return;
+        }
+        self.ops[i].many_remote |= bit;
+        let span = (len + 7) & !7;
+        let (rxr, rxo) = self.ops[i].rx;
+        debug_assert_eq!(rxr, r);
+        let got = self.rx_arena[rxr].to_vec(rxo + j * span, len);
+        let want: Vec<u8> = (0..len).map(|k| self.sched.fill_byte(i, j * len + k)).collect();
+        if fnv1a(&got) != fnv1a(&want) {
+            self.fail_op(i, r, format!("put_many item {j} payload corrupt"));
         }
     }
 
@@ -933,6 +1048,8 @@ impl<'a> Executor<'a> {
         self.ops[i].posted = true;
         self.ops[i].local_done = true;
         self.ops[i].remote_done = true;
+        self.ops[i].many_local = u32::MAX;
+        self.ops[i].many_remote = u32::MAX;
         self.ops[i].snd = SndState::Done;
         self.ops[i].rcv = RcvState::Done;
     }
@@ -1047,6 +1164,7 @@ mod tests {
             ops: vec![
                 Op::Send { src: 0, dst: 1, len: 64 },
                 Op::PutEager { src: 1, dst: 2, len: 128 },
+                Op::PutMany { src: 1, dst: 2, len: 48, count: 5 },
                 Op::PutDirect { src: 2, dst: 3, len: 4096 },
                 Op::Get { src: 3, dst: 0, len: 512 },
                 Op::Barrier,
@@ -1082,6 +1200,34 @@ mod tests {
             assert!(s.probe_batches > 0, "rank {r} never used the batch probe path");
             assert!(s.probes >= s.probe_batches, "probes include batch calls");
         }
+    }
+
+    #[test]
+    fn batched_puts_interleave_with_singles_under_pressure() {
+        // Batched runs racing single puts and a degraded link, over the
+        // tiny backpressure config so partial posts (halved runs, credit
+        // stalls) actually occur — every item must still land intact.
+        let mut sched = fixed_schedule();
+        sched.cfg = PhotonConfig::tiny();
+        let eager = sched.cfg.eager_threshold.min(sched.cfg.max_eager_payload());
+        sched.ops = vec![
+            Op::PutMany { src: 0, dst: 1, len: eager.min(16), count: 8 },
+            Op::PutEager { src: 0, dst: 1, len: eager.min(16) },
+            Op::PutMany { src: 1, dst: 0, len: eager.min(24), count: 6 },
+            Op::PutEager { src: 1, dst: 0, len: eager.min(8) },
+            Op::PutMany { src: 0, dst: 1, len: eager.min(8), count: 4 },
+        ];
+        sched.faults = vec![FaultSpec::DegradeLink {
+            src: 0,
+            dst: 1,
+            extra_ns: 5_000,
+            from_ns: 0,
+            until_ns: 1_000_000,
+        }];
+        let rep = run_schedule(&sched);
+        assert!(rep.passed(), "violations: {:?}", rep.violations);
+        // The middleware saw batched posts from both sides.
+        assert!(rep.stats.iter().take(2).all(|s| s.batch_posts > 0));
     }
 
     #[test]
