@@ -9,6 +9,7 @@ pub mod e13_imm;
 pub mod e14_coalesce;
 pub mod e15_fabrics;
 pub mod e16_locality;
+pub mod e17_failure;
 pub mod e1_latency;
 pub mod e2_bandwidth;
 pub mod e3_msgrate;
@@ -23,7 +24,7 @@ use crate::report::Table;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8a", "e8b", "e8c", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16",
+    "e14", "e15", "e16", "e17",
 ];
 
 /// Run one experiment by id.
@@ -46,6 +47,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e14" => e14_coalesce::run(),
         "e15" => e15_fabrics::run(),
         "e16" => e16_locality::run(),
+        "e17" => e17_failure::run(),
         _ => return None,
     })
 }

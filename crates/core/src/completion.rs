@@ -30,7 +30,7 @@
 use crate::probe::RemoteEvent;
 use crate::Rank;
 use parking_lot::Mutex;
-use photon_fabric::VTime;
+use photon_fabric::{VTime, WcStatus};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,6 +54,9 @@ const NIL: u32 = u32::MAX;
 struct WrSlot {
     gen: u32,
     rid: u64,
+    /// Destination rank of the work request, so peer eviction
+    /// ([`WrTable::drain_peer`]) can find every wr bound for a dead peer.
+    peer: Rank,
     live: bool,
 }
 
@@ -85,9 +88,9 @@ impl WrTable {
         }
     }
 
-    /// Register an in-flight work request carrying `rid`; returns its
-    /// `wr_id`.
-    pub(crate) fn insert(&self, rid: u64) -> u64 {
+    /// Register an in-flight work request carrying `rid`, bound for `peer`;
+    /// returns its `wr_id`.
+    pub(crate) fn insert(&self, rid: u64, peer: Rank) -> u64 {
         let si = self.cursor.fetch_add(1, Ordering::Relaxed) & (WR_SHARDS - 1);
         let mut shard = self.shards[si].lock();
         let slot = match shard.free.pop() {
@@ -95,7 +98,7 @@ impl WrTable {
             None => {
                 let s = shard.slots.len() as u32;
                 assert!(s < (1 << WR_SLOT_BITS), "wr table shard overflow");
-                shard.slots.push(WrSlot { gen: 0, rid: 0, live: false });
+                shard.slots.push(WrSlot { gen: 0, rid: 0, peer: 0, live: false });
                 s
             }
         };
@@ -105,9 +108,34 @@ impl WrTable {
             e.gen = 1;
         }
         e.rid = rid;
+        e.peer = peer;
         e.live = true;
         self.count.fetch_add(1, Ordering::Relaxed);
         ((e.gen as u64) << 32) | ((slot as u64) << WR_SHARD_BITS) | si as u64
+    }
+
+    /// Evict every in-flight work request bound for `peer`, returning
+    /// `(wr_id, rid)` pairs (with multiplicity). The slots are freed: a
+    /// late CQE for a drained wr misses the generation check and is
+    /// harmlessly dropped, so an eviction plus a straggling flush can never
+    /// double-complete a rid.
+    pub(crate) fn drain_peer(&self, peer: Rank) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let mut shard = shard.lock();
+            for slot in 0..shard.slots.len() {
+                let e = &mut shard.slots[slot];
+                if e.live && e.peer == peer {
+                    e.live = false;
+                    let wr_id =
+                        ((e.gen as u64) << 32) | ((slot as u64) << WR_SHARD_BITS) | si as u64;
+                    out.push((wr_id, e.rid));
+                    shard.free.push(slot as u32);
+                }
+            }
+        }
+        self.count.fetch_sub(out.len(), Ordering::Relaxed);
+        out
     }
 
     /// Retire `wr_id`, returning its rid. `None` for ids this table never
@@ -188,6 +216,7 @@ impl WrTable {
 struct LocalNode {
     rid: u64,
     ts: VTime,
+    status: WcStatus,
     prev: u32,
     next: u32,
 }
@@ -247,7 +276,7 @@ enum RidIndex {
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum TakeOutcome {
     /// An event was consumed.
-    Taken(VTime),
+    Taken(VTime, WcStatus),
     /// The rid is claimed by a `wait_local` waiter; not touched.
     Claimed,
     /// No event with this rid is queued.
@@ -273,10 +302,10 @@ impl LocalShard {
         LocalShard { head: NIL, tail: NIL, ..LocalShard::default() }
     }
 
-    fn unlink(&mut self, slot: u32) -> (u64, VTime) {
-        let (rid, ts, prev, next) = {
+    fn unlink(&mut self, slot: u32) -> (u64, VTime, WcStatus) {
+        let (rid, ts, status, prev, next) = {
             let n = &self.nodes[slot as usize];
-            (n.rid, n.ts, n.prev, n.next)
+            (n.rid, n.ts, n.status, n.prev, n.next)
         };
         match prev {
             NIL => self.head = next,
@@ -287,7 +316,7 @@ impl LocalShard {
             x => self.nodes[x as usize].prev = prev,
         }
         self.free.push(slot);
-        (rid, ts)
+        (rid, ts, status)
     }
 
     fn index_push(&mut self, rid: u64, slot: u32) {
@@ -361,17 +390,17 @@ impl LocalQueue {
         }
     }
 
-    pub(crate) fn push(&self, rid: u64, ts: VTime) {
+    pub(crate) fn push(&self, rid: u64, ts: VTime, status: WcStatus) {
         let mut shard = self.shards[rid_shard(rid)].lock();
+        let node = LocalNode { rid, ts, status, prev: shard.tail, next: NIL };
         let slot = match shard.free.pop() {
             Some(s) => {
-                shard.nodes[s as usize] = LocalNode { rid, ts, prev: shard.tail, next: NIL };
+                shard.nodes[s as usize] = node;
                 s
             }
             None => {
                 let s = shard.nodes.len() as u32;
                 assert!(s < NIL, "local event queue shard overflow");
-                let node = LocalNode { rid, ts, prev: shard.tail, next: NIL };
                 shard.nodes.push(node);
                 s
             }
@@ -390,7 +419,7 @@ impl LocalQueue {
     /// (one warm lock + node slab instead of touching all eight in turn),
     /// and every 32nd pop forces the start shard forward so a continuously
     /// refilled shard cannot starve the others.
-    pub(crate) fn pop_front(&self) -> Option<(u64, VTime)> {
+    pub(crate) fn pop_front(&self) -> Option<(u64, VTime, WcStatus)> {
         if self.count.load(Ordering::Relaxed) == 0 {
             return None;
         }
@@ -407,7 +436,7 @@ impl LocalQueue {
             if slot == NIL {
                 continue;
             }
-            let (rid, ts) = shard.unlink(slot);
+            let (rid, ts, status) = shard.unlink(slot);
             let front = shard.index_take(rid);
             debug_assert_eq!(front, Some(slot), "per-rid index tracks shard FIFO");
             drop(shard);
@@ -416,22 +445,22 @@ impl LocalQueue {
                 self.cursor.store(si, Ordering::Relaxed);
             }
             self.count.fetch_sub(1, Ordering::Relaxed);
-            return Some((rid, ts));
+            return Some((rid, ts, status));
         }
         None
     }
 
     /// Consume the oldest queued event carrying `rid`, if any. O(1).
-    pub(crate) fn take_rid(&self, rid: u64) -> Option<VTime> {
+    pub(crate) fn take_rid(&self, rid: u64) -> Option<(VTime, WcStatus)> {
         if self.count.load(Ordering::Relaxed) == 0 {
             return None;
         }
         let mut shard = self.shards[rid_shard(rid)].lock();
         let slot = shard.index_take(rid)?;
-        let (_, ts) = shard.unlink(slot);
+        let (_, ts, status) = shard.unlink(slot);
         drop(shard);
         self.count.fetch_sub(1, Ordering::Relaxed);
-        Some(ts)
+        Some((ts, status))
     }
 
     /// Declare a `wait_local(rid)` in progress: `flush_local` must leave
@@ -466,10 +495,10 @@ impl LocalQueue {
         let Some(slot) = shard.index_take(rid) else {
             return TakeOutcome::Empty;
         };
-        let (_, ts) = shard.unlink(slot);
+        let (_, ts, status) = shard.unlink(slot);
         drop(shard);
         self.count.fetch_sub(1, Ordering::Relaxed);
-        TakeOutcome::Taken(ts)
+        TakeOutcome::Taken(ts, status)
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -539,8 +568,8 @@ mod tests {
     #[test]
     fn wr_table_roundtrip_and_stale_ids() {
         let t = WrTable::new();
-        let a = t.insert(100);
-        let b = t.insert(200);
+        let a = t.insert(100, 1);
+        let b = t.insert(200, 1);
         assert_ne!(a, b);
         assert_eq!(t.len(), 2);
         assert_eq!(t.remove(a), Some(100));
@@ -554,11 +583,11 @@ mod tests {
     fn wr_table_generation_guards_recycled_slots() {
         let t = WrTable::new();
         // Drain shards until a slot is provably recycled.
-        let ids: Vec<u64> = (0..64).map(|i| t.insert(i)).collect();
+        let ids: Vec<u64> = (0..64).map(|i| t.insert(i, 0)).collect();
         for id in &ids {
             t.remove(*id).unwrap();
         }
-        let fresh = t.insert(999);
+        let fresh = t.insert(999, 0);
         for id in &ids {
             assert_eq!(t.remove(*id), None, "stale id must not hit the recycled slot");
         }
@@ -568,9 +597,9 @@ mod tests {
     #[test]
     fn wr_table_pending_snapshot_counts_duplicates() {
         let t = WrTable::new();
-        t.insert(5);
-        t.insert(5);
-        let keep = t.insert(7);
+        t.insert(5, 2);
+        t.insert(5, 2);
+        let keep = t.insert(7, 3);
         let m = t.pending_rids();
         assert_eq!(m.get(&5), Some(&2));
         assert_eq!(m.get(&7), Some(&1));
@@ -579,15 +608,35 @@ mod tests {
     }
 
     #[test]
+    fn wr_table_drain_peer_evicts_only_that_peer() {
+        let t = WrTable::new();
+        let keep = t.insert(10, 0);
+        let doomed_a = t.insert(20, 1);
+        t.insert(20, 1); // duplicate rid toward the dead peer
+        t.insert(30, 1);
+        let mut rids: Vec<u64> = t.drain_peer(1).into_iter().map(|(_, rid)| rid).collect();
+        rids.sort_unstable();
+        assert_eq!(rids, vec![20, 20, 30]);
+        assert_eq!(t.len(), 1, "other peers' wrs survive");
+        assert_eq!(t.remove(doomed_a), None, "drained slots reject late CQEs");
+        assert_eq!(t.remove(keep), Some(10));
+        assert!(t.drain_peer(1).is_empty(), "drain is idempotent");
+        let again = t.insert(40, 1);
+        assert_eq!(t.drain_peer(1), vec![(again, 40)], "drained pairs carry live wr_ids");
+    }
+
+    const OK: WcStatus = WcStatus::Success;
+
+    #[test]
     fn local_queue_take_rid_is_order_independent() {
         let q = LocalQueue::new();
         for rid in 0..100u64 {
-            q.push(rid, VTime(rid + 1));
+            q.push(rid, VTime(rid + 1), OK);
         }
         assert_eq!(q.len(), 100);
         // Worst case for a scan: consume in reverse arrival order.
         for rid in (0..100u64).rev() {
-            assert_eq!(q.take_rid(rid), Some(VTime(rid + 1)));
+            assert_eq!(q.take_rid(rid), Some((VTime(rid + 1), OK)));
         }
         assert_eq!(q.len(), 0);
         assert_eq!(q.take_rid(5), None);
@@ -596,10 +645,10 @@ mod tests {
     #[test]
     fn local_queue_duplicate_rids_fifo() {
         let q = LocalQueue::new();
-        q.push(9, VTime(1));
-        q.push(9, VTime(2));
-        assert_eq!(q.take_rid(9), Some(VTime(1)), "oldest instance first");
-        assert_eq!(q.take_rid(9), Some(VTime(2)));
+        q.push(9, VTime(1), OK);
+        q.push(9, VTime(2), WcStatus::FlushErr);
+        assert_eq!(q.take_rid(9), Some((VTime(1), OK)), "oldest instance first");
+        assert_eq!(q.take_rid(9), Some((VTime(2), WcStatus::FlushErr)), "status rides along");
         assert_eq!(q.take_rid(9), None);
     }
 
@@ -607,9 +656,9 @@ mod tests {
     fn local_queue_pop_front_drains_everything() {
         let q = LocalQueue::new();
         for rid in 0..50u64 {
-            q.push(rid, VTime(rid));
+            q.push(rid, VTime(rid), OK);
         }
-        let mut seen: Vec<u64> = std::iter::from_fn(|| q.pop_front()).map(|(r, _)| r).collect();
+        let mut seen: Vec<u64> = std::iter::from_fn(|| q.pop_front()).map(|(r, _, _)| r).collect();
         assert_eq!(q.pop_front(), None);
         seen.sort_unstable();
         assert_eq!(seen, (0..50).collect::<Vec<_>>());
@@ -619,14 +668,14 @@ mod tests {
     fn local_queue_mixed_pop_and_take() {
         let q = LocalQueue::new();
         for rid in 0..20u64 {
-            q.push(rid, VTime(rid));
+            q.push(rid, VTime(rid), OK);
         }
         // Interleave targeted takes with FIFO pops; nothing lost or doubled.
         let mut got = Vec::new();
         for rid in (0..20u64).step_by(2) {
             got.push(q.take_rid(rid).map(|_| rid).expect("even rid present"));
         }
-        while let Some((rid, _)) = q.pop_front() {
+        while let Some((rid, _, _)) = q.pop_front() {
             got.push(rid);
         }
         got.sort_unstable();
@@ -636,19 +685,19 @@ mod tests {
     #[test]
     fn claims_shield_rids_from_unclaimed_takes() {
         let q = LocalQueue::new();
-        q.push(7, VTime(1));
+        q.push(7, VTime(1), OK);
         q.claim(7);
         assert_eq!(q.take_rid_unclaimed(7), TakeOutcome::Claimed);
         assert_eq!(q.take_rid_unclaimed(8), TakeOutcome::Empty);
-        assert_eq!(q.take_rid(7), Some(VTime(1)), "the claiming waiter itself still takes");
+        assert_eq!(q.take_rid(7), Some((VTime(1), OK)), "the claiming waiter itself still takes");
         q.unclaim(7);
-        q.push(7, VTime(2));
-        assert_eq!(q.take_rid_unclaimed(7), TakeOutcome::Taken(VTime(2)));
+        q.push(7, VTime(2), OK);
+        assert_eq!(q.take_rid_unclaimed(7), TakeOutcome::Taken(VTime(2), OK));
         assert_eq!(q.len(), 0);
     }
 
     fn rev(src: Rank, rid: u64) -> RemoteEvent {
-        RemoteEvent { src, rid, size: 0, payload: None, ts: VTime(rid) }
+        RemoteEvent { src, rid, size: 0, payload: None, ts: VTime(rid), status: OK }
     }
 
     #[test]

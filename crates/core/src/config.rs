@@ -39,6 +39,19 @@ pub struct PhotonConfig {
     /// checkers can prove they detect credit-accounting bugs (the mutation
     /// smoke check in `crates/simtest`).
     pub skip_credit_return_interval: u64,
+    /// Virtual nanoseconds a peer may stay unreachable before the first
+    /// reconnection probe fires (Healthy → Suspect response deadline of the
+    /// per-peer health machine).
+    pub suspect_deadline_ns: u64,
+    /// Initial reconnection-probe backoff in virtual nanoseconds; doubles
+    /// after every failed probe.
+    pub backoff_base_ns: u64,
+    /// Ceiling for the exponential reconnection backoff.
+    pub backoff_max_ns: u64,
+    /// Failed reconnection probes before a Suspect peer is declared Dead
+    /// and evicted (pending rids flushed as error completions, eager/ledger
+    /// credits reclaimed).
+    pub suspect_death_probes: u32,
 }
 
 impl PhotonConfig {
@@ -80,6 +93,10 @@ impl Default for PhotonConfig {
             wait_timeout_secs: 30,
             imm_completions: false,
             skip_credit_return_interval: 0,
+            suspect_deadline_ns: 50_000,
+            backoff_base_ns: 20_000,
+            backoff_max_ns: 1_000_000,
+            suspect_death_probes: 12,
         }
     }
 }

@@ -82,11 +82,13 @@ pub mod trace;
 pub use buffers::PhotonBuffer;
 pub use collectives::ReduceOp;
 pub use config::PhotonConfig;
-pub use photon::{CreditState, Photon, PhotonCluster, PutManyItem};
+pub use photon::{CreditState, PeerHealthState, Photon, PhotonCluster, PutManyItem};
 pub use pool::BufferPool;
 pub use probe::{Event, ProbeFlags, RemoteEvent};
 pub use stats::StatsSnapshot;
 pub use trace::{TraceOp, TraceRecord, Tracer};
+
+pub use photon_fabric::WcStatus;
 
 use photon_fabric::FabricError;
 use std::fmt;
@@ -121,8 +123,26 @@ pub enum PhotonError {
         /// Buffer capacity.
         cap: usize,
     },
-    /// A blocking wait exceeded the wall-clock deadline (deadlock guard).
-    Timeout(&'static str),
+    /// A blocking wait exceeded its deadline (the config-wide wall-clock
+    /// deadlock guard, or a per-call `wait_*_for` deadline).
+    Timeout {
+        /// What the wait was blocked on.
+        what: &'static str,
+        /// The request id being waited for, when the wait was rid-specific.
+        rid: Option<u64>,
+    },
+    /// The peer has been declared dead by the health machine: it was
+    /// evicted and new operations toward it fail fast until a reconnection
+    /// probe succeeds.
+    PeerDead(Rank),
+    /// An operation completed with an error status (its work request was
+    /// flushed because the peer died or the path to it broke).
+    OpFailed {
+        /// The local completion id of the failed operation.
+        rid: u64,
+        /// The error status carried by its completion.
+        status: WcStatus,
+    },
     /// Collective participants disagree about parameters.
     Protocol(&'static str),
 }
@@ -139,7 +159,17 @@ impl fmt::Display for PhotonError {
             PhotonError::OutOfRange { offset, len, cap } => {
                 write!(f, "range [{offset}, +{len}) outside buffer of {cap} bytes")
             }
-            PhotonError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            PhotonError::Timeout { what, rid } => {
+                write!(f, "timed out waiting for {what}")?;
+                if let Some(rid) = rid {
+                    write!(f, " (rid {rid:#x})")?;
+                }
+                Ok(())
+            }
+            PhotonError::PeerDead(r) => write!(f, "peer rank {r} is dead"),
+            PhotonError::OpFailed { rid, status } => {
+                write!(f, "operation rid {rid:#x} failed: {status}")
+            }
             PhotonError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }
@@ -177,5 +207,16 @@ mod tests {
             PhotonError::MessageTooLarge { len: 10, max: 5 }.to_string(),
             "message of 10 bytes exceeds eager capacity 5"
         );
+        assert_eq!(
+            PhotonError::Timeout { what: "local completion", rid: None }.to_string(),
+            "timed out waiting for local completion"
+        );
+        assert_eq!(
+            PhotonError::Timeout { what: "local completion", rid: Some(0x2a) }.to_string(),
+            "timed out waiting for local completion (rid 0x2a)"
+        );
+        assert_eq!(PhotonError::PeerDead(3).to_string(), "peer rank 3 is dead");
+        let e = PhotonError::OpFailed { rid: 0x10, status: WcStatus::RemoteDead };
+        assert_eq!(e.to_string(), "operation rid 0x10 failed: remote peer dead");
     }
 }

@@ -37,10 +37,10 @@ use crate::trace::{TraceOp, Tracer};
 use crate::{PhotonError, Rank, Result};
 use parking_lot::Mutex;
 use photon_fabric::mr::{Access, RemoteKey};
-use photon_fabric::verbs::{MrSlice, Qp, RemoteSlice, SendWr, WrOp};
-use photon_fabric::{Cluster, MemoryRegion, NetworkModel, Nic, VClock, VTime};
+use photon_fabric::verbs::{MrSlice, Qp, RemoteSlice, SendWr, WcStatus, WrOp};
+use photon_fabric::{Cluster, FabricError, MemoryRegion, NetworkModel, Nic, VClock, VTime};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -71,6 +71,53 @@ struct PeerTx {
 struct PeerRx {
     ledger: LedgerRx,
     ring: EagerRx,
+}
+
+/// Externally visible classification of a peer by the health machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealthState {
+    /// Reachable; operations post normally.
+    Healthy,
+    /// Missed its response deadline; reconnection probes are running under
+    /// exponential backoff. Posts report "would block" until it recovers.
+    Suspect,
+    /// Declared dead and evicted: pending rids were flushed as error
+    /// completions and new operations fail fast with
+    /// [`PhotonError::PeerDead`].
+    Dead,
+}
+
+const PEER_HEALTHY: u8 = 0;
+const PEER_SUSPECT: u8 = 1;
+const PEER_DEAD: u8 = 2;
+
+/// Per-peer health machine: `Healthy → Suspect` on an unreachable path
+/// (response deadline), `Suspect → Healthy` when a backoff-gated
+/// reconnection probe finds the path restored, `Suspect → Dead` after
+/// [`PhotonConfig::suspect_death_probes`] failed probes or on fabric
+/// evidence the node itself is gone. `state` is the lock-free fast path;
+/// the mutex guards the probe bookkeeping.
+#[derive(Debug)]
+struct PeerHealth {
+    state: AtomicU8,
+    inner: Mutex<HealthInner>,
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    /// Consecutive failed reconnection probes since entering Suspect.
+    fails: u32,
+    /// Virtual time before which no further probe may run.
+    next_retry: VTime,
+}
+
+impl PeerHealth {
+    fn new() -> PeerHealth {
+        PeerHealth {
+            state: AtomicU8::new(PEER_HEALTHY),
+            inner: Mutex::new(HealthInner { fails: 0, next_retry: VTime::ZERO }),
+        }
+    }
 }
 
 /// Where an eager frame's payload comes from. `Mr` is the zero-alloc put
@@ -173,6 +220,7 @@ pub struct Photon {
     coll_keys: OnceLock<Vec<RemoteKey>>,
     tx: Vec<Mutex<PeerTx>>,
     rx: Vec<Mutex<PeerRx>>,
+    health: Vec<PeerHealth>,
     wr_table: WrTable,
     local_events: LocalQueue,
     remote_events: RemoteQueue,
@@ -318,6 +366,7 @@ impl Photon {
             coll_keys: OnceLock::new(),
             tx,
             rx,
+            health: (0..n).map(|_| PeerHealth::new()).collect(),
             wr_table: WrTable::new(),
             local_events: LocalQueue::new(),
             remote_events: RemoteQueue::new(n),
@@ -482,11 +531,12 @@ impl Photon {
         op: photon_fabric::verbs::WrOp,
         local_rid: u64,
     ) -> Result<()> {
-        let wr_id = self.wr_table.insert(local_rid);
+        self.gate_blocking(peer)?;
+        let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(wr_id, op);
         if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
             self.wr_table.remove(wr_id);
-            return Err(e.into());
+            return self.fail_post(peer, Err(e.into()));
         }
         Ok(())
     }
@@ -565,7 +615,7 @@ impl Photon {
     ) -> Result<()> {
         let local = MrSlice::new(&self.stage, self.stage_off(peer, sub), len);
         let remote = self.remote_slice(peer, sub, len);
-        let tracked = local_rid.map(|rid| self.wr_table.insert(rid));
+        let tracked = local_rid.map(|rid| self.wr_table.insert(rid, peer));
         let mut wr = match tracked {
             Some(wr_id) => SendWr::new(wr_id, WrOp::Write { local, remote, imm: None }),
             None => SendWr::unsignaled(WrOp::Write { local, remote, imm: None }),
@@ -598,9 +648,9 @@ impl Photon {
         let remote = self.remote_slice(peer, sub, len);
         let tracked = match local_rids.len() {
             0 => None,
-            1 => Some(self.wr_table.insert(local_rids[0])),
+            1 => Some(self.wr_table.insert(local_rids[0], peer)),
             _ => {
-                let wr_id = self.wr_table.insert(BATCH_RID);
+                let wr_id = self.wr_table.insert(BATCH_RID, peer);
                 self.batch_rids.lock().insert(wr_id, local_rids);
                 Some(wr_id)
             }
@@ -659,8 +709,14 @@ impl Photon {
         dst: Option<(u64, u32)>,
         local_rid: Option<u64>,
     ) -> Result<bool> {
-        let mut tx = self.tx[peer].lock();
-        self.try_send_frame_locked(peer, &mut tx, kind, rid, src, len, dst, local_rid)
+        if !self.peer_gate(peer)? {
+            return Ok(false);
+        }
+        let r = {
+            let mut tx = self.tx[peer].lock();
+            self.try_send_frame_locked(peer, &mut tx, kind, rid, src, len, dst, local_rid)
+        };
+        self.fail_post(peer, r)
     }
 
     /// [`Photon::try_send_frame`] with the per-peer TX lock already held, so
@@ -843,8 +899,14 @@ impl Photon {
         rkey: u32,
         paired_data: Option<(MrSlice, RemoteSlice, u64)>,
     ) -> Result<bool> {
-        let mut tx = self.tx[peer].lock();
-        self.try_post_entry_locked(peer, &mut tx, kind, rid, size, addr, rkey, paired_data)
+        if !self.peer_gate(peer)? {
+            return Ok(false);
+        }
+        let r = {
+            let mut tx = self.tx[peer].lock();
+            self.try_post_entry_locked(peer, &mut tx, kind, rid, size, addr, rkey, paired_data)
+        };
+        self.fail_post(peer, r)
     }
 
     /// [`Photon::try_post_entry`] with the per-peer TX lock already held.
@@ -877,7 +939,7 @@ impl Photon {
             }
         };
         if let Some((local, remote, local_rid)) = paired_data {
-            let wr_id = self.wr_table.insert(local_rid);
+            let wr_id = self.wr_table.insert(local_rid, peer);
             let wr = SendWr::new(wr_id, WrOp::Write { local, remote, imm: None });
             if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
                 self.wr_table.remove(wr_id);
@@ -913,14 +975,247 @@ impl Photon {
             // has advanced its counters but the producer is never told.
             return Ok(());
         }
+        if self.health[peer].state.load(Ordering::Acquire) == PEER_DEAD {
+            // No point writing credit words into a dead peer's memory.
+            return Ok(());
+        }
         let sub = self.sub_credit();
         let so = self.stage_off(peer, sub);
         self.stage.write_u64(so, ledger_consumed);
         self.stage.write_u64(so + 8, ring_cursor);
-        self.post_stage_write(peer, sub, CREDIT_BYTES, None, Some(16))?;
+        match self.post_stage_write(peer, sub, CREDIT_BYTES, None, Some(16)) {
+            Err(PhotonError::Fabric(FabricError::PeerUnreachable { .. })) => {
+                // Swallow: a failed credit write must not poison this rank's
+                // progress loop (other peers still need service), and credit
+                // words are absolute counters, so dropping one write is
+                // harmless — the next return re-publishes the same state.
+                // The health machine is told so the path gets probed.
+                self.note_unreachable(peer);
+                return Ok(());
+            }
+            r => r?,
+        }
         Stats::bump(&self.stats.credit_returns);
         self.tracer.record(self.clock.now(), TraceOp::CreditReturn, peer, 0, CREDIT_BYTES);
         Ok(())
+    }
+
+    // ------------------------------------------------------ peer health
+    //
+    // The per-peer failure detector (see DESIGN.md, "Failure model").
+    // Every post path calls `peer_gate` *before* consuming any protocol
+    // state (ring reservations, ledger slots), so an unreachable peer is
+    // detected while the connection state is still consistent and the op
+    // can simply be refused. A post that fails *mid-flight* — after the
+    // reservation — has already broken the per-peer delivery sequence,
+    // which on a reliable-connected QP means the connection is gone: the
+    // peer is declared dead and evicted (`fail_post`).
+
+    /// Health check run at the top of every post path. `Ok(true)` — post
+    /// may proceed. `Ok(false)` — the peer is Suspect; treat as a credit
+    /// stall (non-blocking callers return "would block", blocking callers
+    /// spin through here, which paces the reconnection probes).
+    /// `Err(PeerDead)` — the peer is gone.
+    pub(crate) fn peer_gate(&self, peer: Rank) -> Result<bool> {
+        match self.health[peer].state.load(Ordering::Acquire) {
+            PEER_HEALTHY => {
+                match self.nic.peer_status(self.qps[peer], self.clock.now()) {
+                    None => Ok(true),
+                    Some(WcStatus::RemoteDead) => {
+                        self.mark_dead(peer);
+                        Err(PhotonError::PeerDead(peer))
+                    }
+                    // Partitioned: might heal — start probing.
+                    Some(_) => {
+                        self.mark_suspect(peer);
+                        Ok(false)
+                    }
+                }
+            }
+            PEER_SUSPECT => self.suspect_probe(peer),
+            _ => Err(PhotonError::PeerDead(peer)),
+        }
+    }
+
+    /// Healthy → Suspect: arm the response deadline for the first probe.
+    fn mark_suspect(&self, peer: Rank) {
+        let h = &self.health[peer];
+        let mut inner = h.inner.lock();
+        if h.state.load(Ordering::Acquire) != PEER_HEALTHY {
+            return; // lost the race to another thread
+        }
+        inner.fails = 0;
+        inner.next_retry = VTime(self.clock.now().0 + self.cfg.suspect_deadline_ns);
+        h.state.store(PEER_SUSPECT, Ordering::Release);
+        Stats::bump(&self.stats.peers_suspected);
+    }
+
+    /// One backoff-gated reconnection probe of a Suspect peer.
+    ///
+    /// The probe *advances this rank's virtual clock* to the retry time:
+    /// virtual time only moves when someone moves it, so waiting out a
+    /// partition window must be modeled as elapsed local time — otherwise
+    /// a blocked producer would re-test the same instant forever and a
+    /// windowed partition could never heal (virtual-time livelock).
+    fn suspect_probe(&self, peer: Rank) -> Result<bool> {
+        let h = &self.health[peer];
+        let mut inner = h.inner.lock();
+        match h.state.load(Ordering::Acquire) {
+            PEER_SUSPECT => {}
+            PEER_HEALTHY => return Ok(true),
+            _ => return Err(PhotonError::PeerDead(peer)),
+        }
+        if self.clock.now() < inner.next_retry {
+            self.clock.advance_to(inner.next_retry);
+        }
+        let now = self.clock.now();
+        Stats::bump(&self.stats.reconnect_probes);
+        match self.nic.peer_status(self.qps[peer], now) {
+            None => {
+                // Path restored: recycle the errored QP and resume.
+                self.nic.reset_qp(self.qps[peer])?;
+                inner.fails = 0;
+                h.state.store(PEER_HEALTHY, Ordering::Release);
+                Stats::bump(&self.stats.peer_recoveries);
+                Ok(true)
+            }
+            Some(WcStatus::RemoteDead) => {
+                drop(inner);
+                self.mark_dead(peer);
+                Err(PhotonError::PeerDead(peer))
+            }
+            Some(_) => {
+                inner.fails += 1;
+                if inner.fails >= self.cfg.suspect_death_probes {
+                    drop(inner);
+                    self.mark_dead(peer);
+                    return Err(PhotonError::PeerDead(peer));
+                }
+                let backoff = self
+                    .cfg
+                    .backoff_base_ns
+                    .checked_shl(inner.fails - 1)
+                    .unwrap_or(u64::MAX)
+                    .min(self.cfg.backoff_max_ns);
+                inner.next_retry = VTime(now.0 + backoff);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Report an unreachable peer discovered outside a gated post (failed
+    /// credit return): classify and move the machine without evicting —
+    /// credit writes carry no sequencing, so the connection is intact.
+    fn note_unreachable(&self, peer: Rank) {
+        if self.health[peer].state.load(Ordering::Acquire) != PEER_HEALTHY {
+            return;
+        }
+        match self.nic.peer_status(self.qps[peer], self.clock.now()) {
+            Some(WcStatus::RemoteDead) => self.mark_dead(peer),
+            Some(_) => self.mark_suspect(peer),
+            None => {}
+        }
+    }
+
+    /// Declare `peer` dead and evict it: flush every pending rid toward it
+    /// as an error completion, reclaim its flow-control credits so no
+    /// later op can stall on a ghost, and drop its parked rendezvous
+    /// state. Idempotent.
+    fn mark_dead(&self, peer: Rank) {
+        {
+            let h = &self.health[peer];
+            let _inner = h.inner.lock();
+            if h.state.swap(PEER_DEAD, Ordering::AcqRel) == PEER_DEAD {
+                return;
+            }
+        }
+        Stats::bump(&self.stats.peers_dead);
+        let now = self.clock.now();
+        // Deliver CQEs that already exist before flushing: a work request
+        // whose completion is sitting unpolled in the CQ finished with its
+        // true status and must not be misreported as flushed. Only WRs with
+        // no CQE at all (lost to CQ overflow on the error path) flush.
+        self.harvest_send_cq();
+        // Flush the remaining in-flight work requests as error CQEs would
+        // be flushed on a real RC QP transitioning to error state.
+        for (wr_id, rid) in self.wr_table.drain_peer(peer) {
+            if rid == BATCH_RID {
+                if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
+                    for r in rids {
+                        self.local_events.push(r, now, WcStatus::FlushErr);
+                        Stats::bump(&self.stats.rids_flushed);
+                    }
+                }
+            } else {
+                self.local_events.push(rid, now, WcStatus::FlushErr);
+                Stats::bump(&self.stats.rids_flushed);
+            }
+        }
+        // Reclaim eager-ring and ledger credits: everything produced counts
+        // as consumed, so the TX state can never stall another caller
+        // waiting for a dead consumer to return credits.
+        {
+            let mut tx = self.tx[peer].lock();
+            let cursor = tx.ring.cursor();
+            tx.ring.update_credits(cursor);
+            let produced = tx.ledger.produced();
+            tx.ledger.update_credits(produced);
+        }
+        // Rendezvous state parked from the dead peer will never FIN/match.
+        self.rdv_announces.lock().retain(|(src, _), _| *src != peer);
+        self.rdv_fins.lock().retain(|(src, _), _| *src != peer);
+    }
+
+    /// Convert an *actual* post failure into its health consequence: an
+    /// unreachable transfer after the gate passed means the per-peer
+    /// delivery sequence has a hole (the reservation was consumed), which
+    /// on a reliable-connected QP is a broken connection — evict.
+    fn fail_post<T>(&self, peer: Rank, r: Result<T>) -> Result<T> {
+        match r {
+            Err(PhotonError::Fabric(FabricError::PeerUnreachable { .. })) => {
+                self.mark_dead(peer);
+                Err(PhotonError::PeerDead(peer))
+            }
+            other => other,
+        }
+    }
+
+    /// Ride the health machine to a verdict: returns once the peer is
+    /// Healthy, or [`PhotonError::PeerDead`] once it is declared Dead.
+    /// Terminates deterministically — every Suspect probe advances the
+    /// virtual clock to its backoff deadline, so the peer either heals
+    /// inside the partition window or exhausts its probe budget. Used by
+    /// the direct-RDMA paths, which have no credit gate whose retry loop
+    /// would otherwise pace the probes.
+    fn gate_blocking(&self, peer: Rank) -> Result<()> {
+        while !self.peer_gate(peer)? {}
+        Ok(())
+    }
+
+    /// Actively probe `peer`'s liveness: runs one pass of the health gate
+    /// (the same check every post path performs) and reports the resulting
+    /// classification. Unlike the passive [`Photon::peer_health`] read,
+    /// this *drives* detection — a Suspect peer gets one backoff-paced
+    /// reconnection probe (which may advance the virtual clock to its
+    /// retry deadline), and a peer found dead is evicted. Runtime layers
+    /// use it to classify stalled waits without posting traffic.
+    pub fn check_peer(&self, peer: Rank) -> Result<PeerHealthState> {
+        self.check_rank(peer)?;
+        match self.peer_gate(peer) {
+            Ok(_) => self.peer_health(peer),
+            Err(PhotonError::PeerDead(_)) => Ok(PeerHealthState::Dead),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The health machine's classification of `peer`.
+    pub fn peer_health(&self, peer: Rank) -> Result<PeerHealthState> {
+        self.check_rank(peer)?;
+        Ok(match self.health[peer].state.load(Ordering::Acquire) {
+            PEER_HEALTHY => PeerHealthState::Healthy,
+            PEER_SUSPECT => PeerHealthState::Suspect,
+            _ => PeerHealthState::Dead,
+        })
     }
 
     // ------------------------------------------------------------ user API
@@ -973,6 +1268,9 @@ impl Photon {
         if doff + len > dst.len {
             return Err(PhotonError::OutOfRange { offset: doff, len, cap: dst.len });
         }
+        if !self.peer_gate(peer)? {
+            return Ok(false);
+        }
         if len <= self.cfg.eager_threshold && len <= self.cfg.max_eager_payload() {
             // Zero-alloc fast path: the source region is staged directly,
             // with no intermediate heap buffer.
@@ -994,7 +1292,7 @@ impl Photon {
         } else if self.cfg.imm_completions {
             // CQ-notification mode: one write-with-immediate carries both
             // the data and the remote completion id. No ledger, no credits.
-            let wr_id = self.wr_table.insert(local_rid);
+            let wr_id = self.wr_table.insert(local_rid, peer);
             let wr = SendWr::new(
                 wr_id,
                 WrOp::Write {
@@ -1005,7 +1303,7 @@ impl Photon {
             );
             if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
                 self.wr_table.remove(wr_id);
-                return Err(e.into());
+                return self.fail_post(peer, Err(e.into()));
             }
             Stats::bump(&self.stats.puts_direct);
             Stats::add(&self.stats.bytes_put, len as u64);
@@ -1073,107 +1371,116 @@ impl Photon {
         if items.is_empty() {
             return Ok(0);
         }
+        if !self.peer_gate(peer)? {
+            return Ok(0);
+        }
         let eager_ok =
             |len: usize| len <= self.cfg.eager_threshold && len <= self.cfg.max_eager_payload();
-        let mut posted = 0usize;
-        let mut tx = self.tx[peer].lock();
-        while posted < items.len() {
-            let it = &items[posted];
-            if eager_ok(it.len) {
-                // Longest eager run from here whose combined span fits the
-                // ring (a run never wraps, so it can never exceed it).
-                let mut span = 0usize;
-                let mut run: Vec<RunFrame<'_>> = Vec::new();
-                for it2 in &items[posted..] {
-                    if !eager_ok(it2.len) {
-                        break;
+        // The whole batch posts inside the closure so the TX guard is
+        // released before `fail_post` (eviction locks the same TX state).
+        let res = (|| {
+            let mut posted = 0usize;
+            let mut tx = self.tx[peer].lock();
+            while posted < items.len() {
+                let it = &items[posted];
+                if eager_ok(it.len) {
+                    // Longest eager run from here whose combined span fits the
+                    // ring (a run never wraps, so it can never exceed it).
+                    let mut span = 0usize;
+                    let mut run: Vec<RunFrame<'_>> = Vec::new();
+                    for it2 in &items[posted..] {
+                        if !eager_ok(it2.len) {
+                            break;
+                        }
+                        let s = eager::frame_span(it2.len);
+                        if span + s > self.ring_bytes {
+                            break;
+                        }
+                        span += s;
+                        run.push(RunFrame {
+                            kind: FrameKind::Put,
+                            rid: it2.remote_rid,
+                            dst: Some((dst.addr + it2.doff as u64, dst.rkey)),
+                            src: FrameSrc::Mr(local.region(), it2.loff),
+                            len: it2.len,
+                            local_rid: Some(it2.local_rid),
+                        });
                     }
-                    let s = eager::frame_span(it2.len);
-                    if span + s > self.ring_bytes {
-                        break;
+                    let want = run.len();
+                    let n =
+                        self.post_frame_run_locked(peer, &mut tx, &run, Some(local.region()))?;
+                    for it2 in &items[posted..posted + n] {
+                        Stats::bump(&self.stats.puts_eager);
+                        Stats::add(&self.stats.bytes_put, it2.len as u64);
+                        self.tracer.record(
+                            self.clock.now(),
+                            TraceOp::PutEager,
+                            peer,
+                            it2.remote_rid,
+                            it2.len,
+                        );
                     }
-                    span += s;
-                    run.push(RunFrame {
-                        kind: FrameKind::Put,
-                        rid: it2.remote_rid,
-                        dst: Some((dst.addr + it2.doff as u64, dst.rkey)),
-                        src: FrameSrc::Mr(local.region(), it2.loff),
-                        len: it2.len,
-                        local_rid: Some(it2.local_rid),
-                    });
-                }
-                let want = run.len();
-                let n = self.post_frame_run_locked(peer, &mut tx, &run, Some(local.region()))?;
-                for it2 in &items[posted..posted + n] {
-                    Stats::bump(&self.stats.puts_eager);
-                    Stats::add(&self.stats.bytes_put, it2.len as u64);
+                    posted += n;
+                    if n < want {
+                        break; // out of ring credits
+                    }
+                } else if self.cfg.imm_completions {
+                    let wr_id = self.wr_table.insert(it.local_rid, peer);
+                    let wr = SendWr::new(
+                        wr_id,
+                        WrOp::Write {
+                            local: MrSlice::new(local.region(), it.loff, it.len),
+                            remote: RemoteSlice::from_key(dst, it.doff, it.len),
+                            imm: Some(it.remote_rid),
+                        },
+                    );
+                    if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
+                        self.wr_table.remove(wr_id);
+                        return Err(e.into());
+                    }
+                    Stats::bump(&self.stats.puts_direct);
+                    Stats::add(&self.stats.bytes_put, it.len as u64);
                     self.tracer.record(
                         self.clock.now(),
-                        TraceOp::PutEager,
+                        TraceOp::PutDirect,
                         peer,
-                        it2.remote_rid,
-                        it2.len,
+                        it.remote_rid,
+                        it.len,
                     );
+                    posted += 1;
+                } else {
+                    let ok = self.try_post_entry_locked(
+                        peer,
+                        &mut tx,
+                        EntryKind::Completion,
+                        it.remote_rid,
+                        it.len as u64,
+                        0,
+                        0,
+                        Some((
+                            MrSlice::new(local.region(), it.loff, it.len),
+                            RemoteSlice::from_key(dst, it.doff, it.len),
+                            it.local_rid,
+                        )),
+                    )?;
+                    if !ok {
+                        break; // out of ledger credits
+                    }
+                    Stats::bump(&self.stats.puts_direct);
+                    Stats::add(&self.stats.bytes_put, it.len as u64);
+                    self.tracer.record(
+                        self.clock.now(),
+                        TraceOp::PutDirect,
+                        peer,
+                        it.remote_rid,
+                        it.len,
+                    );
+                    posted += 1;
                 }
-                posted += n;
-                if n < want {
-                    break; // out of ring credits
-                }
-            } else if self.cfg.imm_completions {
-                let wr_id = self.wr_table.insert(it.local_rid);
-                let wr = SendWr::new(
-                    wr_id,
-                    WrOp::Write {
-                        local: MrSlice::new(local.region(), it.loff, it.len),
-                        remote: RemoteSlice::from_key(dst, it.doff, it.len),
-                        imm: Some(it.remote_rid),
-                    },
-                );
-                if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
-                    self.wr_table.remove(wr_id);
-                    return Err(e.into());
-                }
-                Stats::bump(&self.stats.puts_direct);
-                Stats::add(&self.stats.bytes_put, it.len as u64);
-                self.tracer.record(
-                    self.clock.now(),
-                    TraceOp::PutDirect,
-                    peer,
-                    it.remote_rid,
-                    it.len,
-                );
-                posted += 1;
-            } else {
-                let ok = self.try_post_entry_locked(
-                    peer,
-                    &mut tx,
-                    EntryKind::Completion,
-                    it.remote_rid,
-                    it.len as u64,
-                    0,
-                    0,
-                    Some((
-                        MrSlice::new(local.region(), it.loff, it.len),
-                        RemoteSlice::from_key(dst, it.doff, it.len),
-                        it.local_rid,
-                    )),
-                )?;
-                if !ok {
-                    break; // out of ledger credits
-                }
-                Stats::bump(&self.stats.puts_direct);
-                Stats::add(&self.stats.bytes_put, it.len as u64);
-                self.tracer.record(
-                    self.clock.now(),
-                    TraceOp::PutDirect,
-                    peer,
-                    it.remote_rid,
-                    it.len,
-                );
-                posted += 1;
             }
-        }
-        Ok(posted)
+            Ok(posted)
+        })();
+        self.fail_post(peer, res)
     }
 
     /// Doorbell-batched [`Photon::send`]: deliver every payload to `peer` as
@@ -1208,38 +1515,44 @@ impl Photon {
         if payloads.is_empty() {
             return Ok(0);
         }
-        let mut posted = 0usize;
-        let mut tx = self.tx[peer].lock();
-        while posted < payloads.len() {
-            let mut span = 0usize;
-            let mut run: Vec<RunFrame<'_>> = Vec::new();
-            for p in &payloads[posted..] {
-                let s = eager::frame_span(p.len());
-                if span + s > self.ring_bytes {
+        if !self.peer_gate(peer)? {
+            return Ok(0);
+        }
+        let res = (|| {
+            let mut posted = 0usize;
+            let mut tx = self.tx[peer].lock();
+            while posted < payloads.len() {
+                let mut span = 0usize;
+                let mut run: Vec<RunFrame<'_>> = Vec::new();
+                for p in &payloads[posted..] {
+                    let s = eager::frame_span(p.len());
+                    if span + s > self.ring_bytes {
+                        break;
+                    }
+                    span += s;
+                    run.push(RunFrame {
+                        kind: FrameKind::Msg,
+                        rid: remote_rid,
+                        dst: None,
+                        src: FrameSrc::Bytes(p),
+                        len: p.len(),
+                        local_rid: None,
+                    });
+                }
+                let want = run.len();
+                let n = self.post_frame_run_locked(peer, &mut tx, &run, None)?;
+                for p in &payloads[posted..posted + n] {
+                    Stats::bump(&self.stats.sends);
+                    self.tracer.record(self.clock.now(), TraceOp::Send, peer, remote_rid, p.len());
+                }
+                posted += n;
+                if n < want {
                     break;
                 }
-                span += s;
-                run.push(RunFrame {
-                    kind: FrameKind::Msg,
-                    rid: remote_rid,
-                    dst: None,
-                    src: FrameSrc::Bytes(p),
-                    len: p.len(),
-                    local_rid: None,
-                });
             }
-            let want = run.len();
-            let n = self.post_frame_run_locked(peer, &mut tx, &run, None)?;
-            for p in &payloads[posted..posted + n] {
-                Stats::bump(&self.stats.sends);
-                self.tracer.record(self.clock.now(), TraceOp::Send, peer, remote_rid, p.len());
-            }
-            posted += n;
-            if n < want {
-                break;
-            }
-        }
-        Ok(posted)
+            Ok(posted)
+        })();
+        self.fail_post(peer, res)
     }
 
     /// One-sided put with local completion only (`photon_post_os_put`):
@@ -1260,7 +1573,10 @@ impl Photon {
         if doff + len > dst.len {
             return Err(PhotonError::OutOfRange { offset: doff, len, cap: dst.len });
         }
-        let wr_id = self.wr_table.insert(local_rid);
+        // Direct RDMA has no credit gate to ride through the health machine:
+        // settle it here before consuming a work-request slot.
+        self.gate_blocking(peer)?;
+        let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(
             wr_id,
             WrOp::Write {
@@ -1271,7 +1587,7 @@ impl Photon {
         );
         if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
             self.wr_table.remove(wr_id);
-            return Err(e.into());
+            return self.fail_post(peer, Err(e.into()));
         }
         Stats::bump(&self.stats.puts_direct);
         Stats::add(&self.stats.bytes_put, len as u64);
@@ -1298,7 +1614,8 @@ impl Photon {
         if soff + len > src.len {
             return Err(PhotonError::OutOfRange { offset: soff, len, cap: src.len });
         }
-        let wr_id = self.wr_table.insert(local_rid);
+        self.gate_blocking(peer)?;
+        let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(
             wr_id,
             WrOp::Read {
@@ -1308,7 +1625,7 @@ impl Photon {
         );
         if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
             self.wr_table.remove(wr_id);
-            return Err(e.into());
+            return self.fail_post(peer, Err(e.into()));
         }
         Stats::bump(&self.stats.gets);
         Stats::add(&self.stats.bytes_got, len as u64);
@@ -1442,29 +1759,34 @@ impl Photon {
         res
     }
 
-    fn progress_pass(&self) -> Result<()> {
-        // Retiring a CQE is one sharded-slab lookup; a stale or unsignaled
-        // wr_id simply misses. Exactly-once is guaranteed by the table's
-        // generation check, not by a global lock pairing.
-        {
-            for c in self.nic.poll_send_cq_n(256) {
-                if let Some(rid) = self.wr_table.remove(c.wr_id) {
-                    if rid == BATCH_RID {
-                        // One CQE for a doorbell batch: every frame's source
-                        // became reusable when the run was staged, so all
-                        // its local rids surface at the batch's delivery.
-                        if let Some(rids) = self.batch_rids.lock().remove(&c.wr_id) {
-                            for r in rids {
-                                self.local_events.push(r, c.ts);
-                                Stats::bump(&self.stats.local_completions);
-                            }
+    /// Retire every send CQE currently in the queue into local events.
+    /// Retiring a CQE is one sharded-slab lookup; a stale or unsignaled
+    /// wr_id simply misses. Exactly-once is guaranteed by the table's
+    /// generation check, not by a global lock pairing.
+    fn harvest_send_cq(&self) {
+        for c in self.nic.poll_send_cq_n(256) {
+            if let Some(rid) = self.wr_table.remove(c.wr_id) {
+                if rid == BATCH_RID {
+                    // One CQE for a doorbell batch: every frame's source
+                    // became reusable when the run was staged, so all
+                    // its local rids surface at the batch's delivery.
+                    if let Some(rids) = self.batch_rids.lock().remove(&c.wr_id) {
+                        for r in rids {
+                            self.local_events.push(r, c.ts, c.status);
+                            Stats::bump(&self.stats.local_completions);
                         }
-                    } else {
-                        self.local_events.push(rid, c.ts);
-                        Stats::bump(&self.stats.local_completions);
                     }
+                } else {
+                    self.local_events.push(rid, c.ts, c.status);
+                    Stats::bump(&self.stats.local_completions);
                 }
             }
+        }
+    }
+
+    fn progress_pass(&self) -> Result<()> {
+        {
+            self.harvest_send_cq();
             if self.cfg.imm_completions {
                 for c in self.nic.poll_recv_cq_n(256) {
                     if let photon_fabric::verbs::CompletionKind::ImmDone { src, len, imm } = c.kind
@@ -1483,6 +1805,7 @@ impl Photon {
                                 size: len,
                                 payload: None,
                                 ts: c.ts,
+                                status: WcStatus::Success,
                             });
                         }
                     }
@@ -1535,7 +1858,7 @@ impl Photon {
         let svc_rkey = self.svc.remote_key().rkey;
         let rbase = lbase + self.ledger_bytes;
         loop {
-            let mut deferred: Option<(EagerFrame, Vec<u8>)> = None;
+            let mut deferred: Option<(EagerFrame, usize)> = None;
             let got = self.svc.with_bytes(|b| {
                 let ring = &b[rbase..rbase + self.ring_bytes];
                 rx.ring.accept(ring).map(|f| {
@@ -1546,7 +1869,14 @@ impl Photon {
                         &[]
                     };
                     if f.header.kind == FrameKind::Put && f.header.dst_rkey == svc_rkey {
-                        deferred = Some((f, pay.to_vec()));
+                        // A put whose destination *is* the service region:
+                        // copying out under the read lock would nest it.
+                        // Remember the payload's region-absolute offset and
+                        // finish after the lock drops — the rx guard (held
+                        // until the credit return below) keeps the ring slot
+                        // from being overwritten in the meantime.
+                        let src_off = rbase + f.payload_offset;
+                        deferred = Some((f, src_off));
                         return Ok(());
                     }
                     if f.header.kind == FrameKind::Put && !pay.is_empty() {
@@ -1557,8 +1887,36 @@ impl Photon {
             });
             let Some(res) = got else { break };
             res?;
-            if let Some((f, pay)) = deferred {
-                self.route_frame(j, f, &pay)?;
+            if let Some((f, src_off)) = deferred {
+                // In-place ring → destination move inside the one region,
+                // no intermediate heap buffer (ranges may overlap).
+                let h = f.header;
+                let take = h.size as usize;
+                let (mr, off) =
+                    self.nic.mrs().resolve(h.dst_addr, h.dst_rkey, take, Access::REMOTE_WRITE)?;
+                mr.with_bytes_mut(|b| b.copy_within(src_off..src_off + take, off));
+                self.clock.advance_to(VTime(h.ts));
+                let done = self.clock.advance(self.copy_ns(take));
+                Stats::bump(&self.stats.remote_completions);
+                if take > 0 {
+                    Stats::bump(&self.stats.stage_copies_avoided);
+                }
+                if rid_space::is_reserved(h.rid) {
+                    self.coll_inbox.lock().entry(h.rid).or_default().push_back((
+                        j,
+                        Vec::new(),
+                        done,
+                    ));
+                } else {
+                    self.remote_events.push(RemoteEvent {
+                        src: j,
+                        rid: h.rid,
+                        size: take,
+                        payload: None,
+                        ts: done,
+                        status: WcStatus::Success,
+                    });
+                }
             }
             if rx.ring.credit_due().is_some() {
                 credit = Some((rx.ledger.consumed(), rx.ring.cursor()));
@@ -1590,6 +1948,7 @@ impl Photon {
                         size: e.size as usize,
                         payload: None,
                         ts,
+                        status: WcStatus::Success,
                     });
                 }
             }
@@ -1629,6 +1988,7 @@ impl Photon {
                         size: h.size as usize,
                         payload: Some(payload.to_vec()),
                         ts,
+                        status: WcStatus::Success,
                     });
                 }
             }
@@ -1657,6 +2017,7 @@ impl Photon {
                         size: h.size as usize,
                         payload: None,
                         ts: done,
+                        status: WcStatus::Success,
                     });
                 }
             }
@@ -1669,7 +2030,9 @@ impl Photon {
     /// the other by at most one event — the old local-first drain starved
     /// remote delivery indefinitely.
     fn take_one(&self, flags: ProbeFlags) -> Option<Event> {
-        let local = |s: &Self| s.local_events.pop_front().map(|(rid, ts)| Event::Local { rid, ts });
+        let local = |s: &Self| {
+            s.local_events.pop_front().map(|(rid, ts, status)| Event::Local { rid, ts, status })
+        };
         let remote = |s: &Self| s.remote_events.pop_any().map(Event::Remote);
         match flags {
             ProbeFlags::Local => local(self),
@@ -1746,7 +2109,13 @@ impl Photon {
     /// Block until any completion event arrives (fair across classes, like
     /// [`Photon::probe_completion`] with [`ProbeFlags::Any`]).
     pub fn wait_event(&self) -> Result<Event> {
-        self.blocking("completion event", |s| {
+        self.wait_event_for(Duration::from_secs(self.cfg.wait_timeout_secs))
+    }
+
+    /// [`Photon::wait_event`] with a caller-supplied deadline: reports
+    /// [`PhotonError::Timeout`] when no event arrives in time.
+    pub fn wait_event_for(&self, timeout: Duration) -> Result<Event> {
+        self.blocking_deadline("completion event", None, timeout, |s| {
             let ev = s.take_one(ProbeFlags::Any);
             if let Some(e) = &ev {
                 s.clock.advance_to(e.ts());
@@ -1756,26 +2125,49 @@ impl Photon {
     }
 
     /// Block until the local completion `rid` arrives; other events stay
-    /// queued. Returns the completion's virtual time. The lookup is O(1)
+    /// queued. Returns the completion's virtual time, or
+    /// [`PhotonError::OpFailed`] when the operation completed with an error
+    /// status (its peer died or the path to it broke). The lookup is O(1)
     /// per spin (indexed by rid), independent of queue depth.
     pub fn wait_local(&self, rid: u64) -> Result<VTime> {
+        self.wait_local_inner(rid, Duration::from_secs(self.cfg.wait_timeout_secs))
+    }
+
+    /// [`Photon::wait_local`] with a caller-supplied deadline: reports
+    /// [`PhotonError::Timeout`] (carrying `rid`) when the completion does
+    /// not arrive in time, leaving the operation pending.
+    pub fn wait_local_for(&self, rid: u64, timeout: Duration) -> Result<VTime> {
+        self.wait_local_inner(rid, timeout)
+    }
+
+    fn wait_local_inner(&self, rid: u64, timeout: Duration) -> Result<VTime> {
         // Optimistic fast path: with synchronous fabric effects one pass
         // usually harvests the completion, and a hit skips the claim locks.
         self.progress()?;
-        if let Some(ts) = self.local_events.take_rid(rid) {
-            self.clock.advance_to(ts);
-            self.tracer.record(ts, TraceOp::LocalDone, self.rank, rid, 0);
-            return Ok(ts);
+        if let Some((ts, status)) = self.local_events.take_rid(rid) {
+            return self.finish_local(rid, ts, status);
         }
         // Slow path: claim the rid while blocked so a concurrent
         // `flush_local` leaves its event to us (see `flush_local`).
         self.local_events.claim(rid);
-        let res = self.blocking("local completion", |s| Ok(s.local_events.take_rid(rid)));
+        let res = self.blocking_deadline("local completion", Some(rid), timeout, |s| {
+            Ok(s.local_events.take_rid(rid))
+        });
         self.local_events.unclaim(rid);
-        let ts = res?;
+        let (ts, status) = res?;
+        self.finish_local(rid, ts, status)
+    }
+
+    /// Consume one harvested local completion: advance the clock, trace,
+    /// and surface an error status as [`PhotonError::OpFailed`].
+    fn finish_local(&self, rid: u64, ts: VTime, status: WcStatus) -> Result<VTime> {
         self.clock.advance_to(ts);
         self.tracer.record(ts, TraceOp::LocalDone, self.rank, rid, 0);
-        Ok(ts)
+        if status.is_ok() {
+            Ok(ts)
+        } else {
+            Err(PhotonError::OpFailed { rid, status })
+        }
     }
 
     /// Block until the next remote completion arrives.
@@ -1799,15 +2191,14 @@ impl Photon {
     }
 
     /// Non-blocking check for the local completion `rid` (`photon_test`):
-    /// consumes and returns its timestamp when present. O(1) lookup.
+    /// consumes and returns its timestamp when present; an error-status
+    /// completion surfaces as [`PhotonError::OpFailed`]. O(1) lookup.
     pub fn test_local(&self, rid: u64) -> Result<Option<VTime>> {
         self.progress()?;
-        let ts = self.local_events.take_rid(rid);
-        if let Some(ts) = ts {
-            self.clock.advance_to(ts);
-            self.tracer.record(ts, TraceOp::LocalDone, self.rank, rid, 0);
+        match self.local_events.take_rid(rid) {
+            Some((ts, status)) => self.finish_local(rid, ts, status).map(Some),
+            None => Ok(None),
         }
-        Ok(ts)
     }
 
     /// Block until every operation this context had initiated *at the time
@@ -1837,7 +2228,9 @@ impl Photon {
             owed.retain(|rid, n| {
                 while *n > 0 {
                     match s.local_events.take_rid_unclaimed(*rid) {
-                        TakeOutcome::Taken(ts) => {
+                        // A flush quiesces: an error completion still means
+                        // the source buffer is final (flushed), so it counts.
+                        TakeOutcome::Taken(ts, _) => {
                             s.clock.advance_to(ts);
                             *n -= 1;
                         }
@@ -1872,7 +2265,7 @@ impl Photon {
     fn trace_event(&self, e: &Event) {
         if self.tracer.is_enabled() {
             match e {
-                Event::Local { rid, ts } => {
+                Event::Local { rid, ts, .. } => {
                     self.tracer.record(*ts, TraceOp::LocalDone, self.rank, *rid, 0)
                 }
                 Event::Remote(r) => {
@@ -1882,14 +2275,26 @@ impl Photon {
         }
     }
 
-    /// Spin, making progress, until `f` yields a value or the deadline
-    /// passes.
+    /// Spin, making progress, until `f` yields a value or the config-wide
+    /// deadline passes.
     pub(crate) fn blocking<T>(
         &self,
         what: &'static str,
+        f: impl FnMut(&Self) -> Result<Option<T>>,
+    ) -> Result<T> {
+        self.blocking_deadline(what, None, Duration::from_secs(self.cfg.wait_timeout_secs), f)
+    }
+
+    /// [`Photon::blocking`] with an explicit deadline and optional rid
+    /// context for the [`PhotonError::Timeout`] it reports.
+    pub(crate) fn blocking_deadline<T>(
+        &self,
+        what: &'static str,
+        rid: Option<u64>,
+        timeout: Duration,
         mut f: impl FnMut(&Self) -> Result<Option<T>>,
     ) -> Result<T> {
-        let deadline = Instant::now() + Duration::from_secs(self.cfg.wait_timeout_secs);
+        let deadline = Instant::now() + timeout;
         let mut spins: u32 = 0;
         loop {
             self.progress()?;
@@ -1910,7 +2315,7 @@ impl Photon {
             std::thread::yield_now();
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(16) && Instant::now() > deadline {
-                return Err(PhotonError::Timeout(what));
+                return Err(PhotonError::Timeout { what, rid });
             }
         }
     }
@@ -2602,5 +3007,66 @@ mod tests {
         let _b = p0.register_buffer(1 << 20).unwrap();
         let m = NetworkModel::ib_fdr();
         assert_eq!(p0.now().as_nanos() - before.as_nanos(), m.registration_ns(1 << 20));
+    }
+
+    #[test]
+    fn error_status_completion_surfaces_as_op_failed() {
+        // The queues carry the status end-to-end: an error completion must
+        // reach the caller as OpFailed from every consumption API, never be
+        // silently swallowed as a success.
+        let c = pair();
+        let p0 = c.rank(0);
+        p0.local_events.push(7, VTime(10), WcStatus::FlushErr);
+        assert_eq!(
+            p0.wait_local(7),
+            Err(PhotonError::OpFailed { rid: 7, status: WcStatus::FlushErr })
+        );
+        p0.local_events.push(8, VTime(11), WcStatus::RemoteDead);
+        assert_eq!(
+            p0.test_local(8),
+            Err(PhotonError::OpFailed { rid: 8, status: WcStatus::RemoteDead })
+        );
+        p0.local_events.push(9, VTime(12), WcStatus::RetryExceeded);
+        let ev = p0.wait_event().unwrap();
+        assert!(!ev.is_ok());
+        assert_eq!(ev.status(), WcStatus::RetryExceeded);
+        assert_eq!(ev.rid(), 9);
+    }
+
+    #[test]
+    fn wait_local_for_reports_timeout_with_rid() {
+        let c = pair();
+        let p0 = c.rank(0);
+        let e = p0.wait_local_for(0x2a, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(e, PhotonError::Timeout { what: "local completion", rid: Some(0x2a) });
+        assert!(e.to_string().contains("0x2a"));
+        let e = p0.wait_event_for(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(e, PhotonError::Timeout { what: "completion event", rid: None });
+    }
+
+    #[test]
+    fn deferred_self_target_put_copies_in_place() {
+        // A put whose destination is the receiver's own service region takes
+        // the deferred RX path; it must land exactly like any other put and
+        // count as an avoided staging copy.
+        let c = pair();
+        let (p0, p1) = (c.rank(0), c.rank(1));
+        let src = p0.register_buffer(64).unwrap();
+        src.write_at(0, b"self-target payload");
+        // Rank 1's own service region as the destination (the degenerate
+        // case: probe-time copy-out source and destination share the region).
+        let key = p1.svc.remote_key();
+        let dst = BufferDescriptor { addr: key.addr, rkey: key.rkey, len: 64 };
+        let before = p1.stats().stage_copies_avoided;
+        p0.put_with_completion(1, &src, 0, 19, &dst, 0, 1, 2).unwrap();
+        let ev = p1.wait_remote().unwrap();
+        assert_eq!(ev.rid, 2);
+        assert_eq!(ev.size, 19);
+        assert!(ev.status.is_ok());
+        assert_eq!(&p1.svc.to_vec(0, 19), b"self-target payload");
+        assert!(
+            p1.stats().stage_copies_avoided > before,
+            "deferred path must count its avoided staging copy"
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! mean?" — the identifier is the meaning, assigned by the initiator.
 
 use crate::Rank;
-use photon_fabric::VTime;
+use photon_fabric::{VTime, WcStatus};
 
 /// Which event classes a probe should consider.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,10 @@ pub struct RemoteEvent {
     pub payload: Option<Vec<u8>>,
     /// Virtual arrival time.
     pub ts: VTime,
+    /// Completion status. Anything but [`WcStatus::Success`] means the
+    /// operation this event reports *failed* (peer death, partition flush)
+    /// and `payload` is absent.
+    pub status: WcStatus,
 }
 
 /// A completion event returned by probing.
@@ -47,6 +51,11 @@ pub enum Event {
         rid: u64,
         /// Virtual time of local completion (injection finished).
         ts: VTime,
+        /// Completion status: [`WcStatus::Success`] for a normal completion,
+        /// an error status when the work request was flushed because the
+        /// peer died or the path to it broke. The buffer is reusable either
+        /// way — the operation just may not have happened.
+        status: WcStatus,
     },
     /// A peer's operation has completed at this rank.
     Remote(RemoteEvent),
@@ -67,6 +76,19 @@ impl Event {
             Event::Local { ts, .. } => *ts,
             Event::Remote(r) => r.ts,
         }
+    }
+
+    /// The event's completion status.
+    pub fn status(&self) -> WcStatus {
+        match self {
+            Event::Local { status, .. } => *status,
+            Event::Remote(r) => r.status,
+        }
+    }
+
+    /// Did the operation behind this event succeed?
+    pub fn is_ok(&self) -> bool {
+        self.status().is_ok()
     }
 }
 
@@ -135,12 +157,23 @@ mod tests {
 
     #[test]
     fn event_accessors() {
-        let e = Event::Local { rid: 5, ts: VTime(10) };
+        let e = Event::Local { rid: 5, ts: VTime(10), status: WcStatus::Success };
         assert_eq!(e.rid(), 5);
         assert_eq!(e.ts(), VTime(10));
-        let r = Event::Remote(RemoteEvent { src: 2, rid: 9, size: 4, payload: None, ts: VTime(3) });
+        assert!(e.is_ok());
+        let r = Event::Remote(RemoteEvent {
+            src: 2,
+            rid: 9,
+            size: 4,
+            payload: None,
+            ts: VTime(3),
+            status: WcStatus::Success,
+        });
         assert_eq!(r.rid(), 9);
         assert_eq!(r.ts(), VTime(3));
+        let bad = Event::Local { rid: 5, ts: VTime(10), status: WcStatus::FlushErr };
+        assert_eq!(bad.status(), WcStatus::FlushErr);
+        assert!(!bad.is_ok());
     }
 
     #[test]

@@ -80,11 +80,18 @@ impl Photon {
     }
 
     /// Wait for `peer` to announce a receive buffer for `tag`; returns its
-    /// descriptor.
+    /// descriptor. Fails with [`PhotonError::PeerDead`] instead of hanging
+    /// if `peer` crashes or is evicted while the wait is pending (each spin
+    /// runs the health gate, so a partitioned peer is probed with backoff
+    /// and either heals or exhausts its probe budget).
     pub fn wait_send_buffer(&self, peer: Rank, tag: u64) -> Result<BufferDescriptor> {
         self.check_rank_pub(peer)?;
         let (desc, ts) = self.blocking("rendezvous buffer announce", |s| {
-            Ok(s.rdv_announces.lock().remove(&(peer, tag)))
+            if let Some(got) = s.rdv_announces.lock().remove(&(peer, tag)) {
+                return Ok(Some(got));
+            }
+            s.peer_gate(peer)?;
+            Ok(None)
         })?;
         self.clock_ref().advance_to(ts);
         Ok(desc)
@@ -123,9 +130,17 @@ impl Photon {
     }
 
     /// Wait for `peer`'s FIN for `tag`; returns its virtual arrival time.
+    /// Fails with [`PhotonError::PeerDead`] instead of hanging if `peer`
+    /// crashes or is evicted mid-transfer.
     pub fn wait_fin(&self, peer: Rank, tag: u64) -> Result<VTime> {
         self.check_rank_pub(peer)?;
-        let ts = self.blocking("fin", |s| Ok(s.rdv_fins.lock().remove(&(peer, tag))))?;
+        let ts = self.blocking("fin", |s| {
+            if let Some(ts) = s.rdv_fins.lock().remove(&(peer, tag)) {
+                return Ok(Some(ts));
+            }
+            s.peer_gate(peer)?;
+            Ok(None)
+        })?;
         self.clock_ref().advance_to(ts);
         Ok(ts)
     }

@@ -24,6 +24,11 @@ pub struct Stats {
     pub(crate) frames_per_batch_5_16: AtomicU64,
     pub(crate) frames_per_batch_17plus: AtomicU64,
     pub(crate) stage_copies_avoided: AtomicU64,
+    pub(crate) peers_suspected: AtomicU64,
+    pub(crate) peers_dead: AtomicU64,
+    pub(crate) reconnect_probes: AtomicU64,
+    pub(crate) peer_recoveries: AtomicU64,
+    pub(crate) rids_flushed: AtomicU64,
 }
 
 impl Stats {
@@ -70,6 +75,11 @@ impl Stats {
             frames_per_batch_5_16: self.frames_per_batch_5_16.load(Ordering::Relaxed),
             frames_per_batch_17plus: self.frames_per_batch_17plus.load(Ordering::Relaxed),
             stage_copies_avoided: self.stage_copies_avoided.load(Ordering::Relaxed),
+            peers_suspected: self.peers_suspected.load(Ordering::Relaxed),
+            peers_dead: self.peers_dead.load(Ordering::Relaxed),
+            reconnect_probes: self.reconnect_probes.load(Ordering::Relaxed),
+            peer_recoveries: self.peer_recoveries.load(Ordering::Relaxed),
+            rids_flushed: self.rids_flushed.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,6 +127,16 @@ pub struct StatsSnapshot {
     /// Per-op heap copies eliminated on the eager fast path: one per
     /// MR→stage direct staging on TX, one per in-place ring copy-out on RX.
     pub stage_copies_avoided: u64,
+    /// Healthy → Suspect transitions of the per-peer health machine.
+    pub peers_suspected: u64,
+    /// Peers declared dead (evicted).
+    pub peers_dead: u64,
+    /// Reconnection probes issued while a peer was Suspect.
+    pub reconnect_probes: u64,
+    /// Suspect → Healthy recoveries (a reconnection probe succeeded).
+    pub peer_recoveries: u64,
+    /// Pending rids drained as error completions by peer eviction.
+    pub rids_flushed: u64,
 }
 
 #[cfg(test)]

@@ -77,6 +77,13 @@ pub enum FabricError {
         /// Remote slice length.
         remote: usize,
     },
+    /// The peer cannot be reached: it is dead or the path to it is
+    /// partitioned. The affected QP has transitioned to the error state;
+    /// outstanding work requests flush as error completions.
+    PeerUnreachable {
+        /// The unreachable node.
+        node: NodeId,
+    },
     /// The fabric (switch) has been shut down.
     Down,
 }
@@ -110,6 +117,9 @@ impl fmt::Display for FabricError {
             FabricError::LengthMismatch { local, remote } => {
                 write!(f, "length mismatch: local {local} vs remote {remote}")
             }
+            FabricError::PeerUnreachable { node } => {
+                write!(f, "peer node {node} unreachable (dead or partitioned)")
+            }
             FabricError::Down => write!(f, "fabric is down"),
         }
     }
@@ -132,6 +142,9 @@ mod tests {
         let e =
             FabricError::OutOfBounds { addr: 0x1000, len: 64, region_base: 0x1000, region_len: 32 };
         assert!(e.to_string().contains("outside region"));
+        let e = FabricError::PeerUnreachable { node: 4 };
+        assert!(e.to_string().contains("node 4"));
+        assert!(e.to_string().contains("unreachable"));
     }
 
     #[test]

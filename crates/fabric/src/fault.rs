@@ -1,12 +1,16 @@
 //! Fault and perturbation injection.
 //!
-//! RDMA fabrics are reliable transports, so we do not model loss; the faults
-//! that matter to middleware are *performance* faults (congested or degraded
-//! links, straggler NICs, OS noise) and *resource* faults (registration
-//! limits, CQ overflow — configured on [`crate::mr::MrTable`] and
-//! [`crate::verbs::Cq`] directly).  A [`FaultPlan`] perturbs the virtual-time
-//! model; it never corrupts data, so protocol invariants must hold under any
-//! plan.
+//! RDMA fabrics are reliable transports, so we do not model silent loss; the
+//! faults that matter to middleware are *performance* faults (congested or
+//! degraded links, straggler NICs, OS noise), *resource* faults
+//! (registration limits, CQ overflow — configured on [`crate::mr::MrTable`]
+//! and [`crate::verbs::Cq`] directly), and *availability* faults: a node
+//! that crash-stops ([`FaultPlan::kill_node_at`]) or a link partition
+//! ([`FaultPlan::partition_during`]).  Performance faults perturb only the
+//! virtual-time model and never corrupt data, so protocol invariants must
+//! hold under any plan.  Availability faults make transfers fail: the NIC
+//! transitions the affected queue pair to the error state and flushes work
+//! requests as error completions, exactly like the verbs failure model.
 //!
 //! Faults can be *windowed* in virtual time: a degradation installed with
 //! [`FaultPlan::degrade_link_during`] only charges packets whose departure
@@ -19,7 +23,7 @@ use crate::clock::VTime;
 use crate::NodeId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A half-open interval `[from, until)` of virtual time during which a fault
 /// is active.
@@ -73,6 +77,15 @@ pub struct FaultPlan {
     jitter_seed: AtomicU64,
     /// Sequence counter feeding the jitter hash.
     seq: AtomicU64,
+    /// Crash-stop schedule: node -> virtual time from which it is dead.
+    dead_from: RwLock<HashMap<NodeId, VTime>>,
+    /// Symmetric partitions keyed by the normalized `(min, max)` pair; each
+    /// entry is active during its window. Entries accumulate like link
+    /// degradations.
+    partitions: RwLock<HashMap<(NodeId, NodeId), Vec<Window>>>,
+    /// Cheap fast-path gate: true once any kill/partition has been
+    /// installed, so healthy-path transfers pay one relaxed atomic load.
+    disruptions: AtomicBool,
 }
 
 impl FaultPlan {
@@ -120,8 +133,15 @@ impl FaultPlan {
         self.set_jitter_during(bound_ns, Window::ALWAYS);
     }
 
-    /// Enable jitter during `window` only (replaces any previous jitter
-    /// setting; pass `bound_ns = 0` to disable).
+    /// Enable jitter during `window` only; pass `bound_ns = 0` to disable.
+    ///
+    /// **Replace semantics, unlike every other windowed fault:** there is a
+    /// single jitter setting per plan, so this call *replaces* any previous
+    /// bound and window, whereas [`FaultPlan::degrade_link_during`],
+    /// [`FaultPlan::straggle_node_during`] and
+    /// [`FaultPlan::partition_during`] *accumulate* entries (overlapping
+    /// windows sum / both stay active). To model jitter that varies over
+    /// time, re-call this at each transition rather than stacking calls.
     pub fn set_jitter_during(&self, bound_ns: u64, window: Window) {
         *self.jitter_window.write() = window;
         self.jitter_ns.store(bound_ns, Ordering::Relaxed);
@@ -171,8 +191,78 @@ impl FaultPlan {
     /// True when the plan perturbs nothing (fast-path check).
     pub fn is_empty(&self) -> bool {
         self.jitter_ns.load(Ordering::Relaxed) == 0
+            && !self.has_disruptions()
             && self.link_extra_ns.read().is_empty()
             && self.node_extra_ns.read().is_empty()
+    }
+
+    /// Crash-stop `node` at virtual time `at`: every packet departing at or
+    /// after `at` that would be sent by, delivered to, or served by the node
+    /// fails with [`crate::FabricError::PeerUnreachable`]. Crash-stop is
+    /// permanent (no revive); the earliest kill time wins if called twice.
+    pub fn kill_node_at(&self, node: NodeId, at: VTime) {
+        let mut dead = self.dead_from.write();
+        let entry = dead.entry(node).or_insert(at);
+        *entry = (*entry).min(at);
+        self.disruptions.store(true, Ordering::Release);
+    }
+
+    /// Partition the pair `a <-> b` (both directions) during `window`.
+    /// Entries accumulate like link degradations; packets whose departure
+    /// falls inside any active window fail with
+    /// [`crate::FabricError::PeerUnreachable`], and the window heals
+    /// deterministically when virtual time passes `window.until`.
+    pub fn partition_during(&self, a: NodeId, b: NodeId, window: Window) {
+        let key = (a.min(b), a.max(b));
+        self.partitions.write().entry(key).or_default().push(window);
+        self.disruptions.store(true, Ordering::Release);
+    }
+
+    /// Remove every partition window for the pair `a <-> b`.
+    pub fn heal_partition(&self, a: NodeId, b: NodeId) {
+        self.partitions.write().remove(&(a.min(b), a.max(b)));
+    }
+
+    /// True once any kill or partition has been installed (one relaxed
+    /// atomic load; pessimistic — healing does not clear it).
+    #[inline]
+    pub fn has_disruptions(&self) -> bool {
+        self.disruptions.load(Ordering::Acquire)
+    }
+
+    /// True when `node` is dead at virtual time `t`.
+    pub fn node_dead_at(&self, node: NodeId, t: VTime) -> bool {
+        if !self.has_disruptions() {
+            return false;
+        }
+        self.dead_from.read().get(&node).is_some_and(|&k| t >= k)
+    }
+
+    /// True when the pair `a <-> b` is inside an active partition window at
+    /// virtual time `t`.
+    pub fn partitioned_at(&self, a: NodeId, b: NodeId, t: VTime) -> bool {
+        if !self.has_disruptions() {
+            return false;
+        }
+        self.partitions
+            .read()
+            .get(&(a.min(b), a.max(b)))
+            .is_some_and(|ws| ws.iter().any(|w| w.contains(t)))
+    }
+
+    /// If a packet `src -> dst` departing at `t` cannot be delivered,
+    /// the node to blame (the dead node, or `dst` for a partition).
+    pub fn unreachable_between(&self, src: NodeId, dst: NodeId, t: VTime) -> Option<NodeId> {
+        if !self.has_disruptions() {
+            return None;
+        }
+        if self.node_dead_at(src, t) {
+            Some(src)
+        } else if self.node_dead_at(dst, t) || self.partitioned_at(src, dst, t) {
+            Some(dst)
+        } else {
+            None
+        }
     }
 }
 
@@ -289,5 +379,114 @@ mod tests {
         let b = splitmix64(2);
         assert_ne!(a, b);
         assert_ne!(a & 0xffff, b & 0xffff);
+    }
+
+    #[test]
+    fn set_jitter_during_replaces_previous_window() {
+        // Regression: unlike link/node entries, which accumulate, the jitter
+        // setting is single-valued — a second call REPLACES the first window
+        // and bound entirely.
+        let p = FaultPlan::none();
+        p.set_jitter_seed(3);
+        p.set_jitter_during(1_000_000, Window::new(VTime(0), VTime(100)));
+        let early: Vec<u64> = (0..32).map(|_| p.extra_latency_at(0, 1, VTime(50))).collect();
+        assert!(early.iter().any(|&s| s > 0), "first window active");
+        // Replace with a later window: the first window must stop applying.
+        p.set_jitter_during(1_000_000, Window::new(VTime(200), VTime(300)));
+        assert_eq!(p.extra_latency_at(0, 1, VTime(50)), 0, "old window replaced, not summed");
+        let late: Vec<u64> = (0..32).map(|_| p.extra_latency_at(0, 1, VTime(250))).collect();
+        assert!(late.iter().any(|&s| s > 0), "new window active");
+        // Replacing with bound 0 disables jitter outright.
+        p.set_jitter_during(0, Window::new(VTime(200), VTime(300)));
+        assert_eq!(p.extra_latency_at(0, 1, VTime(250)), 0);
+    }
+
+    #[test]
+    fn kill_node_is_permanent_and_earliest_wins() {
+        let p = FaultPlan::none();
+        assert!(!p.has_disruptions());
+        assert!(!p.node_dead_at(2, VTime(u64::MAX)));
+        p.kill_node_at(2, VTime(1_000));
+        assert!(p.has_disruptions());
+        assert!(!p.is_empty());
+        assert!(!p.node_dead_at(2, VTime(999)));
+        assert!(p.node_dead_at(2, VTime(1_000)), "kill instant is inclusive");
+        assert!(p.node_dead_at(2, VTime(u64::MAX)), "crash-stop never heals");
+        assert!(!p.node_dead_at(3, VTime(2_000)), "other nodes unaffected");
+        // A later kill time does not postpone death.
+        p.kill_node_at(2, VTime(5_000));
+        assert!(p.node_dead_at(2, VTime(1_000)));
+        // An earlier one advances it.
+        p.kill_node_at(2, VTime(500));
+        assert!(p.node_dead_at(2, VTime(500)));
+        assert_eq!(p.unreachable_between(2, 0, VTime(600)), Some(2), "dead source blamed");
+        assert_eq!(p.unreachable_between(0, 2, VTime(600)), Some(2), "dead destination blamed");
+        assert_eq!(p.unreachable_between(0, 1, VTime(600)), None);
+    }
+
+    #[test]
+    fn partition_is_symmetric_windowed_and_accumulates() {
+        let p = FaultPlan::none();
+        p.partition_during(1, 4, Window::new(VTime(100), VTime(200)));
+        assert!(p.has_disruptions());
+        assert!(!p.partitioned_at(1, 4, VTime(99)));
+        assert!(p.partitioned_at(1, 4, VTime(100)));
+        assert!(p.partitioned_at(4, 1, VTime(150)), "partition cuts both directions");
+        assert!(!p.partitioned_at(1, 4, VTime(200)), "window heals deterministically");
+        assert!(!p.partitioned_at(1, 3, VTime(150)), "other pairs unaffected");
+        // Entries accumulate: a second window extends the outage.
+        p.partition_during(4, 1, Window::new(VTime(300), VTime(400)));
+        assert!(p.partitioned_at(1, 4, VTime(350)));
+        assert!(!p.partitioned_at(1, 4, VTime(250)), "gap between windows is healthy");
+        assert_eq!(p.unreachable_between(1, 4, VTime(150)), Some(4));
+        assert_eq!(p.unreachable_between(4, 1, VTime(150)), Some(1));
+        assert_eq!(p.unreachable_between(1, 4, VTime(250)), None);
+        p.heal_partition(1, 4);
+        assert!(!p.partitioned_at(1, 4, VTime(350)));
+    }
+
+    #[test]
+    fn window_edges_under_adjacency() {
+        // Adjacent windows [a,b) and [b,c): at exactly b only the second
+        // applies — no double charge, no gap.
+        let p = FaultPlan::none();
+        p.degrade_link_during(0, 1, 10, Window::new(VTime(0), VTime(100)));
+        p.degrade_link_during(0, 1, 25, Window::new(VTime(100), VTime(200)));
+        assert_eq!(p.extra_latency_at(0, 1, VTime(99)), 10);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(100)), 25);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(199)), 25);
+        assert_eq!(p.extra_latency_at(0, 1, VTime(200)), 0);
+        // Degenerate empty window [t, t) never applies.
+        p.degrade_link_during(0, 1, 1_000, Window::new(VTime(50), VTime(50)));
+        assert_eq!(p.extra_latency_at(0, 1, VTime(50)), 10);
+    }
+
+    proptest::proptest! {
+        /// `active_sum` over arbitrary overlapping/adjacent windows equals a
+        /// brute-force filter-and-sum at every probed instant, including the
+        /// exact window edges.
+        #[test]
+        fn active_sum_matches_brute_force(
+            entries in proptest::collection::vec((1u64..1_000, 0u64..500, 0u64..500), 0..16),
+            probes in proptest::collection::vec(0u64..1_100, 1..32),
+        ) {
+            let entries: Vec<(u64, Window)> = entries
+                .into_iter()
+                .map(|(extra, from, len)| (extra, Window::new(VTime(from), VTime(from + len))))
+                .collect();
+            // Probe random instants plus every edge of every window.
+            let mut at: Vec<u64> = probes;
+            for (_, w) in &entries {
+                at.extend([w.from.0, w.from.0.saturating_sub(1), w.until.0, w.until.0 + 1]);
+            }
+            for t in at {
+                let brute: u64 = entries
+                    .iter()
+                    .filter(|(_, w)| w.from.0 <= t && t < w.until.0)
+                    .map(|(e, _)| e)
+                    .sum();
+                proptest::prop_assert_eq!(active_sum(&entries, VTime(t)), brute);
+            }
+        }
     }
 }

@@ -56,7 +56,9 @@ pub use model::NetworkModel;
 pub use mr::{Access, MemoryRegion, MrTable, RemoteKey};
 pub use nic::{Nic, NicConfig};
 pub use topology::Cluster;
-pub use verbs::{Completion, CompletionKind, Cq, MrSlice, Qp, RecvWr, RemoteSlice, SendWr, WrOp};
+pub use verbs::{
+    Completion, CompletionKind, Cq, MrSlice, Qp, RecvWr, RemoteSlice, SendWr, WcStatus, WrOp,
+};
 pub use wire::{PodTopology, Switch};
 
 /// Identifier of a simulated node (0-based, dense).

@@ -16,14 +16,14 @@ use crate::clock::VTime;
 use crate::error::{FabricError, Result};
 use crate::mr::{Access, MemoryRegion, MrTable};
 use crate::verbs::{
-    Completion, CompletionKind, Cq, MrSlice, Qp, RecvWr, RemoteSlice, SendWr, WrOp,
+    Completion, CompletionKind, Cq, MrSlice, Qp, RecvWr, RemoteSlice, SendWr, WcStatus, WrOp,
     DEFAULT_CQ_DEPTH,
 };
-use crate::wire::{Switch, REQUEST_BYTES};
+use crate::wire::{Switch, Transfer, REQUEST_BYTES};
 use crate::NodeId;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Default maximum number of unexpected two-sided sends parked per NIC
@@ -83,6 +83,9 @@ struct QpState {
     depart_floor: AtomicU64,
     /// No later op on this QP may deliver before this instant.
     deliver_floor: AtomicU64,
+    /// Verbs error state: set when a transfer fails against a dead or
+    /// partitioned peer; new posts are rejected until [`Nic::reset_qp`].
+    error: AtomicBool,
 }
 
 /// Operation counters, updated relaxed; snapshot with [`Nic::counters`].
@@ -207,9 +210,54 @@ impl Nic {
                 qp,
                 depart_floor: AtomicU64::new(0),
                 deliver_floor: AtomicU64::new(0),
+                error: AtomicBool::new(false),
             }),
         );
         Ok(qp)
+    }
+
+    /// Clear a QP's error state after the path to the peer has healed
+    /// (reconnection). Ordering floors are preserved: the reconnected flow
+    /// continues forward in virtual time.
+    pub fn reset_qp(&self, qp: Qp) -> Result<()> {
+        let st = self
+            .qps
+            .read()
+            .get(&qp.num)
+            .filter(|st| st.qp == qp)
+            .cloned()
+            .ok_or(FabricError::NoSuchQp { qp: qp.num })?;
+        st.error.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// True when `qp` is in the error state (posts are rejected).
+    pub fn qp_errored(&self, qp: Qp) -> bool {
+        self.qps
+            .read()
+            .get(&qp.num)
+            .is_some_and(|st| st.qp == qp && st.error.load(Ordering::Acquire))
+    }
+
+    /// Reachability pre-check for `qp`'s peer at virtual time `now`:
+    /// `None` when the path is healthy, otherwise the status a post at
+    /// `now` would fail with ([`WcStatus::RemoteDead`] for a crashed node,
+    /// [`WcStatus::RetryExceeded`] for an active partition). Consults only
+    /// the fault plan, never the QP error flag, so callers can use it to
+    /// decide when a reconnection probe ([`Nic::reset_qp`]) may succeed.
+    pub fn peer_status(&self, qp: Qp, now: VTime) -> Option<WcStatus> {
+        let sw = self.switch.upgrade()?;
+        let f = sw.faults();
+        if !f.has_disruptions() {
+            return None;
+        }
+        if f.node_dead_at(qp.peer, now) || f.node_dead_at(self.node, now) {
+            Some(WcStatus::RemoteDead)
+        } else if f.partitioned_at(self.node, qp.peer, now) {
+            Some(WcStatus::RetryExceeded)
+        } else {
+            None
+        }
     }
 
     /// Destroy a QP; subsequent posts on it fail.
@@ -268,6 +316,10 @@ impl Nic {
             .filter(|st| st.qp == qp)
             .cloned()
             .ok_or(FabricError::NoSuchQp { qp: qp.num })?;
+        // A QP in the error state rejects every post until reset_qp.
+        if state.error.load(Ordering::Acquire) {
+            return Err(FabricError::PeerUnreachable { node: qp.peer });
+        }
         // RC in-order floor: never depart before a predecessor on this QP.
         let ready = (now + sw.model().send_overhead_ns)
             .max(VTime(state.depart_floor.load(Ordering::Acquire)));
@@ -277,7 +329,16 @@ impl Nic {
                 self.check_local(local)?;
                 let mut data = self.take_buf(local.len);
                 local.mr.read_at(local.offset, &mut data);
-                let t = sw.transfer(self.node, qp.peer, local.len, ready)?;
+                let t = self.transfer_checked(
+                    &sw,
+                    &state,
+                    self.node,
+                    qp.peer,
+                    local.len,
+                    ready,
+                    wr.wr_id,
+                    CompletionKind::SendDone,
+                )?;
                 let deliver = state.order_deliver(t.deliver);
                 state.advance_floors(t.injected, deliver);
                 stamp_all(&mut data, &wr, deliver)?;
@@ -289,6 +350,7 @@ impl Nic {
                         wr_id: wr.wr_id,
                         kind: CompletionKind::SendDone,
                         ts: t.injected,
+                        status: WcStatus::Success,
                     })?;
                 }
             }
@@ -303,7 +365,16 @@ impl Nic {
                 }
                 let mut data = self.take_buf(local.len);
                 local.mr.read_at(local.offset, &mut data);
-                let t = sw.transfer(self.node, qp.peer, local.len, ready)?;
+                let t = self.transfer_checked(
+                    &sw,
+                    &state,
+                    self.node,
+                    qp.peer,
+                    local.len,
+                    ready,
+                    wr.wr_id,
+                    CompletionKind::WriteDone,
+                )?;
                 let deliver = state.order_deliver(t.deliver);
                 state.advance_floors(t.injected, deliver);
                 stamp_all(&mut data, &wr, deliver)?;
@@ -316,6 +387,7 @@ impl Nic {
                         wr_id: wr.wr_id,
                         kind: CompletionKind::WriteDone,
                         ts: t.injected,
+                        status: WcStatus::Success,
                     })?;
                 }
             }
@@ -329,11 +401,29 @@ impl Nic {
                     });
                 }
                 // Header-only request travels out; data travels back.
-                let req = sw.transfer(self.node, qp.peer, REQUEST_BYTES, ready)?;
+                let req = self.transfer_checked(
+                    &sw,
+                    &state,
+                    self.node,
+                    qp.peer,
+                    REQUEST_BYTES,
+                    ready,
+                    wr.wr_id,
+                    CompletionKind::ReadDone,
+                )?;
                 let req_deliver = state.order_deliver(req.deliver);
                 state.advance_floors(req.injected, req_deliver);
                 let data = sw.nic(qp.peer)?.serve_read(remote)?;
-                let resp = sw.transfer(qp.peer, self.node, remote.len, req_deliver)?;
+                let resp = self.transfer_checked(
+                    &sw,
+                    &state,
+                    qp.peer,
+                    self.node,
+                    remote.len,
+                    req_deliver,
+                    wr.wr_id,
+                    CompletionKind::ReadDone,
+                )?;
                 local.mr.write_at(local.offset, &data);
                 self.give_buf(data);
                 self.counters.reads.fetch_add(1, Ordering::Relaxed);
@@ -343,6 +433,7 @@ impl Nic {
                         wr_id: wr.wr_id,
                         kind: CompletionKind::ReadDone,
                         ts: resp.deliver,
+                        status: WcStatus::Success,
                     })?;
                 }
             }
@@ -396,12 +487,30 @@ impl Nic {
         }
         local.check()?;
         self.check_local(local)?;
-        let req = sw.transfer(self.node, qp.peer, REQUEST_BYTES, ready)?;
+        let req = self.transfer_checked(
+            sw,
+            state,
+            self.node,
+            qp.peer,
+            REQUEST_BYTES,
+            ready,
+            wr_id,
+            CompletionKind::AtomicDone { old: 0 },
+        )?;
         let req_deliver = state.order_deliver(req.deliver);
         state.advance_floors(req.injected, req_deliver);
         let target = sw.nic(qp.peer)?;
         let old = serve(&target)?;
-        let resp = sw.transfer(qp.peer, self.node, 8, req_deliver)?;
+        let resp = self.transfer_checked(
+            sw,
+            state,
+            qp.peer,
+            self.node,
+            8,
+            req_deliver,
+            wr_id,
+            CompletionKind::AtomicDone { old: 0 },
+        )?;
         local.mr.write_u64(local.offset, old);
         self.counters.atomics.fetch_add(1, Ordering::Relaxed);
         if signaled {
@@ -409,9 +518,48 @@ impl Nic {
                 wr_id,
                 kind: CompletionKind::AtomicDone { old },
                 ts: resp.deliver,
+                status: WcStatus::Success,
             })?;
         }
         Ok(old)
+    }
+
+    /// Wire reservation with the verbs failure model: when the transfer is
+    /// rejected because the peer is dead or the path partitioned, transition
+    /// the QP to the error state, flush the failing work request as an error
+    /// CQE carrying its [`WcStatus`] ([`WcStatus::RemoteDead`] for a crashed
+    /// node, [`WcStatus::RetryExceeded`] for an active partition), and
+    /// surface [`FabricError::PeerUnreachable`] to the poster.  The error
+    /// CQE is pushed even for unsignaled work requests (flush semantics);
+    /// its `kind` metadata is unspecified, as on real hardware.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_checked(
+        &self,
+        sw: &Arc<Switch>,
+        state: &QpState,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        ready: VTime,
+        wr_id: u64,
+        kind: CompletionKind,
+    ) -> Result<Transfer> {
+        match sw.transfer(src, dst, bytes, ready) {
+            Err(FabricError::PeerUnreachable { node }) => {
+                state.error.store(true, Ordering::Release);
+                let f = sw.faults();
+                let peer = state.qp.peer;
+                let status = if f.node_dead_at(peer, ready) || f.node_dead_at(self.node, ready) {
+                    WcStatus::RemoteDead
+                } else {
+                    WcStatus::RetryExceeded
+                };
+                // Best effort: a full CQ must not mask the post error.
+                let _ = self.send_cq.push(Completion { wr_id, kind, ts: ready, status });
+                Err(FabricError::PeerUnreachable { node })
+            }
+            other => other,
+        }
     }
 
     /// Take a message buffer of exactly `len` bytes from the free list
@@ -476,6 +624,7 @@ impl Nic {
             wr_id: recv.wr_id,
             kind: CompletionKind::RecvDone { src: p.src, len, imm: p.imm },
             ts: p.ts,
+            status: WcStatus::Success,
         })
     }
 
@@ -496,6 +645,7 @@ impl Nic {
                 wr_id: 0,
                 kind: CompletionKind::ImmDone { src, len: data.len(), imm },
                 ts,
+                status: WcStatus::Success,
             })?;
         }
         Ok(())
@@ -995,5 +1145,122 @@ mod tests {
         let rtt = a.poll_recv_cq().unwrap().ts;
         let oneway = m.send_overhead_ns + m.latency_ns + m.msg_gap_ns;
         assert_eq!(rtt.as_nanos(), 2 * oneway);
+    }
+
+    #[test]
+    fn dead_peer_flushes_wr_and_errors_the_qp() {
+        let (sw, a, b) = two_nodes(NetworkModel::ib_fdr());
+        let src = a.register(64, Access::ALL).unwrap();
+        let dst = b.register(64, Access::ALL).unwrap();
+        let qp = a.create_qp(1).unwrap();
+        sw.faults().kill_node_at(1, VTime(10_000));
+        let put = |id, now| {
+            a.post_send(
+                qp,
+                SendWr::new(
+                    id,
+                    WrOp::Write {
+                        local: MrSlice::new(&src, 0, 16),
+                        remote: RemoteSlice::from_key(&dst.remote_key(), 0, 16),
+                        imm: None,
+                    },
+                ),
+                now,
+            )
+        };
+        // Before the kill instant the path is healthy.
+        put(1, VTime(0)).unwrap();
+        assert!(a.poll_send_cq().unwrap().status.is_ok());
+        assert!(a.peer_status(qp, VTime(0)).is_none());
+        // At/after the kill, the post fails, the WR flushes as an error CQE,
+        // and the QP enters the error state.
+        let err = put(2, VTime(20_000));
+        assert!(matches!(err, Err(FabricError::PeerUnreachable { node: 1 })));
+        let c = a.poll_send_cq().unwrap();
+        assert_eq!(c.wr_id, 2);
+        assert_eq!(c.status, WcStatus::RemoteDead);
+        assert!(a.qp_errored(qp));
+        assert_eq!(a.peer_status(qp, VTime(20_000)), Some(WcStatus::RemoteDead));
+        // New posts are rejected fast, with no further CQEs.
+        assert!(matches!(put(3, VTime(30_000)), Err(FabricError::PeerUnreachable { node: 1 })));
+        assert!(a.poll_send_cq().is_none());
+        // The destination region never saw the failed writes.
+        assert_eq!(sw.nic(1).unwrap().counters().bytes_rx, 16);
+    }
+
+    #[test]
+    fn partition_window_heals_and_qp_resets() {
+        use crate::fault::Window;
+        let (sw, a, b) = two_nodes(NetworkModel::ib_fdr());
+        let src = a.register(8, Access::ALL).unwrap();
+        let dst = b.register(8, Access::ALL).unwrap();
+        let qp = a.create_qp(1).unwrap();
+        sw.faults().partition_during(0, 1, Window::new(VTime(1_000), VTime(50_000)));
+        let put = |id, now| {
+            a.post_send(
+                qp,
+                SendWr::new(
+                    id,
+                    WrOp::Write {
+                        local: MrSlice::whole(&src),
+                        remote: RemoteSlice::from_key(&dst.remote_key(), 0, 8),
+                        imm: None,
+                    },
+                ),
+                now,
+            )
+        };
+        // Inside the window: RetryExceeded flush, QP errored.
+        assert!(matches!(put(1, VTime(2_000)), Err(FabricError::PeerUnreachable { node: 1 })));
+        assert_eq!(a.poll_send_cq().unwrap().status, WcStatus::RetryExceeded);
+        assert_eq!(a.peer_status(qp, VTime(2_000)), Some(WcStatus::RetryExceeded));
+        // The QP stays errored even after the window expires...
+        assert!(matches!(put(2, VTime(60_000)), Err(FabricError::PeerUnreachable { .. })));
+        // ...until reset; peer_status reports the heal so callers know when
+        // a reconnect probe can succeed.
+        assert!(a.peer_status(qp, VTime(60_000)).is_none());
+        a.reset_qp(qp).unwrap();
+        assert!(!a.qp_errored(qp));
+        put(3, VTime(60_000)).unwrap();
+        assert_eq!(a.poll_send_cq().unwrap().status, WcStatus::Success);
+    }
+
+    #[test]
+    fn dead_source_fails_loopback_and_read_request() {
+        let (sw, a, b) = two_nodes(NetworkModel::ib_fdr());
+        let buf = a.register(32, Access::ALL).unwrap();
+        let remote_buf = b.register(32, Access::ALL).unwrap();
+        sw.faults().kill_node_at(0, VTime(0));
+        // Loopback on the dead node itself fails.
+        let lo = a.create_qp(0).unwrap();
+        let err = a.post_send(
+            lo,
+            SendWr::new(
+                1,
+                WrOp::Write {
+                    local: MrSlice::new(&buf, 0, 8),
+                    remote: RemoteSlice::from_key(&buf.remote_key(), 8, 8),
+                    imm: None,
+                },
+            ),
+            VTime(0),
+        );
+        assert!(matches!(err, Err(FabricError::PeerUnreachable { node: 0 })));
+        assert_eq!(a.poll_send_cq().unwrap().status, WcStatus::RemoteDead);
+        // Reads fail on the outbound request leg.
+        let qp = b.create_qp(0).unwrap();
+        let err = b.post_send(
+            qp,
+            SendWr::new(
+                2,
+                WrOp::Read {
+                    local: MrSlice::whole(&remote_buf),
+                    remote: RemoteSlice::from_key(&buf.remote_key(), 0, 32),
+                },
+            ),
+            VTime(0),
+        );
+        assert!(matches!(err, Err(FabricError::PeerUnreachable { node: 0 })));
+        assert_eq!(b.poll_send_cq().unwrap().status, WcStatus::RemoteDead);
     }
 }

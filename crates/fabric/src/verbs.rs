@@ -13,6 +13,7 @@ use crate::mr::MemoryRegion;
 use crate::NodeId;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::fmt;
 
 /// A slice of a locally registered region: the gather/scatter element of a
 /// work request.
@@ -214,6 +215,43 @@ pub enum CompletionKind {
     },
 }
 
+/// Completion status, mirroring `ibv_wc_status`: a successful event, or the
+/// error class a flushed/failed work request carries. Error completions keep
+/// their `wr_id` (so initiators can resolve the matching operation) but the
+/// payload/metadata of `kind` is unspecified, as on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WcStatus {
+    /// The operation completed successfully.
+    Success,
+    /// The work request was flushed from a queue pair in the error state
+    /// without executing (`IBV_WC_WR_FLUSH_ERR`).
+    FlushErr,
+    /// The transport gave up retrying: the path to the peer is broken
+    /// (`IBV_WC_RETRY_EXC_ERR`), e.g. an active partition.
+    RetryExceeded,
+    /// The remote node is dead (crash-stop); no retry can succeed.
+    RemoteDead,
+}
+
+impl WcStatus {
+    /// True for [`WcStatus::Success`].
+    #[inline]
+    pub fn is_ok(self) -> bool {
+        self == WcStatus::Success
+    }
+}
+
+impl fmt::Display for WcStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcStatus::Success => write!(f, "success"),
+            WcStatus::FlushErr => write!(f, "work request flushed (WR_FLUSH_ERR)"),
+            WcStatus::RetryExceeded => write!(f, "transport retries exceeded (RETRY_EXC_ERR)"),
+            WcStatus::RemoteDead => write!(f, "remote peer dead"),
+        }
+    }
+}
+
 /// A completion-queue event.
 #[derive(Debug, Clone)]
 pub struct Completion {
@@ -224,6 +262,8 @@ pub struct Completion {
     pub kind: CompletionKind,
     /// Virtual time at which the modeled hardware delivered this event.
     pub ts: VTime,
+    /// Success, or the error class of a flushed/failed work request.
+    pub status: WcStatus,
 }
 
 /// A polled completion queue.
@@ -300,7 +340,12 @@ mod tests {
     #[test]
     fn cq_fifo_and_overflow() {
         let cq = Cq::new(2);
-        let mk = |id| Completion { wr_id: id, kind: CompletionKind::SendDone, ts: VTime(id) };
+        let mk = |id| Completion {
+            wr_id: id,
+            kind: CompletionKind::SendDone,
+            ts: VTime(id),
+            status: WcStatus::Success,
+        };
         cq.push(mk(1)).unwrap();
         cq.push(mk(2)).unwrap();
         assert!(matches!(cq.push(mk(3)), Err(FabricError::CqOverflow)));
@@ -314,7 +359,13 @@ mod tests {
     fn cq_poll_n_drains_in_order() {
         let cq = Cq::new(16);
         for i in 0..5 {
-            cq.push(Completion { wr_id: i, kind: CompletionKind::SendDone, ts: VTime(i) }).unwrap();
+            cq.push(Completion {
+                wr_id: i,
+                kind: CompletionKind::SendDone,
+                ts: VTime(i),
+                status: WcStatus::Success,
+            })
+            .unwrap();
         }
         let got = cq.poll_n(3);
         assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![0, 1, 2]);
@@ -345,6 +396,18 @@ mod tests {
             WrOp::FetchAdd { local: MrSlice::new(&mr, 0, 8), remote: r8, add: 1 }.wire_bytes(),
             8
         );
+    }
+
+    #[test]
+    fn wc_status_display_and_classification() {
+        assert_eq!(WcStatus::Success.to_string(), "success");
+        assert!(WcStatus::FlushErr.to_string().contains("WR_FLUSH_ERR"));
+        assert!(WcStatus::RetryExceeded.to_string().contains("RETRY_EXC_ERR"));
+        assert!(WcStatus::RemoteDead.to_string().contains("dead"));
+        assert!(WcStatus::Success.is_ok());
+        for s in [WcStatus::FlushErr, WcStatus::RetryExceeded, WcStatus::RemoteDead] {
+            assert!(!s.is_ok(), "{s} must not be ok");
+        }
     }
 
     #[test]

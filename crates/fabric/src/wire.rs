@@ -150,6 +150,16 @@ impl Switch {
             let dp = ports.get(dst).cloned().ok_or(FabricError::NoSuchNode { node: dst })?;
             (sp, dp)
         };
+        // Availability faults reject the packet *before* any port state is
+        // reserved, so a failed transfer leaves the calendar untouched.
+        // Evaluated at `ready` (the departure lower bound), which keeps
+        // windowed partitions deterministic; loopback still fails when the
+        // node itself is dead.
+        if self.faults.has_disruptions() {
+            if let Some(node) = self.faults.unreachable_between(src, dst, ready) {
+                return Err(FabricError::PeerUnreachable { node });
+            }
+        }
         let hold = self.model.egress_hold_ns(bytes);
         let (depart, injected) = sp.egress.reserve(ready, hold);
         let mut latency = self.model.latency_ns;

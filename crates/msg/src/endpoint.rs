@@ -6,7 +6,7 @@ use crate::{MsgConfig, MsgError, Rank, Result};
 use parking_lot::Mutex;
 use photon_fabric::mr::Access;
 use photon_fabric::verbs::{CompletionKind, MrSlice, Qp, RecvWr, RemoteSlice, SendWr, WrOp};
-use photon_fabric::{Cluster, MemoryRegion, NetworkModel, Nic, VClock, VTime};
+use photon_fabric::{Cluster, MemoryRegion, NetworkModel, Nic, VClock, VTime, WcStatus};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -144,6 +144,12 @@ struct EpState {
     sender_rdv: HashMap<u64, SenderRdv>,
     recv_rdv: HashMap<u64, RecvRdv>,
     sends_done: HashSet<u64>,
+    /// Peers declared unreachable: new operations toward them fail fast.
+    dead: HashSet<Rank>,
+    /// Rendezvous sends resolved with an error (xid → dead peer).
+    failed_sends: HashMap<u64, Rank>,
+    /// Receive requests resolved with an error (req → dead peer).
+    failed_reqs: HashMap<u64, Rank>,
 }
 
 /// A completed receive.
@@ -352,6 +358,104 @@ impl MsgEndpoint {
         Ok(())
     }
 
+    // -------------------------------------------------------- peer failure
+    //
+    // The baseline has no health machine or reconnection probes (contrast
+    // photon-core): the first post that hits a dead or partitioned peer
+    // fails, the peer is declared unreachable, and every pending operation
+    // bound to it — rendezvous sends awaiting CTS, receives matched to that
+    // source, parked RTS announcements — is resolved with
+    // [`MsgError::PeerUnreachable`]. Nothing hangs; nothing retries.
+
+    /// True if `peer` has been declared unreachable.
+    pub fn peer_unreachable(&self, peer: Rank) -> bool {
+        self.state.lock().dead.contains(&peer)
+    }
+
+    /// Declare `peer` unreachable and fail everything pending toward it.
+    /// Idempotent.
+    fn mark_peer_dead(&self, peer: Rank) {
+        let mut orphans: Vec<MemoryRegion> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            if !st.dead.insert(peer) {
+                return;
+            }
+            // Rendezvous sends whose CTS can never arrive.
+            let xids: Vec<u64> =
+                st.sender_rdv.iter().filter(|(_, r)| r.peer == peer).map(|(&x, _)| x).collect();
+            for x in xids {
+                let rdv = st.sender_rdv.remove(&x).expect("xid present");
+                if rdv.owned {
+                    orphans.push(rdv.region);
+                }
+                st.failed_sends.insert(x, peer);
+            }
+            // Receives bound to the dead source. Wildcard receives stay
+            // posted: another peer can still match them.
+            let mut i = 0;
+            while i < st.posted.len() {
+                if st.posted[i].src == Some(peer) {
+                    let p = st.posted.remove(i);
+                    st.failed_reqs.insert(p.req, peer);
+                } else {
+                    i += 1;
+                }
+            }
+            // In-flight rendezvous receives whose FIN can never arrive.
+            let xids: Vec<u64> =
+                st.recv_rdv.iter().filter(|(_, r)| r.src == peer).map(|(&x, _)| x).collect();
+            for x in xids {
+                let rdv = st.recv_rdv.remove(&x).expect("xid present");
+                if rdv.owned {
+                    orphans.push(rdv.region);
+                }
+                st.failed_reqs.insert(rdv.req, peer);
+            }
+            // Unmatched RTS announcements from the dead peer are garbage.
+            st.rts_queue.retain(|r| r.src != peer);
+        }
+        for r in orphans {
+            let _ = self.release_region(r);
+        }
+    }
+
+    /// Map a failed post toward `peer`: connectivity errors declare the
+    /// peer dead (resolving all its pending state) and become
+    /// [`MsgError::PeerUnreachable`]; everything else passes through.
+    fn fail_post(&self, peer: Rank, e: MsgError) -> MsgError {
+        if matches!(e, MsgError::Fabric(photon_fabric::FabricError::PeerUnreachable { .. })) {
+            self.mark_peer_dead(peer);
+            MsgError::PeerUnreachable(peer)
+        } else {
+            e
+        }
+    }
+
+    /// Fast-fail guard for new operations toward a known-dead peer.
+    fn check_peer_alive(&self, peer: Rank) -> Result<()> {
+        if self.state.lock().dead.contains(&peer) {
+            return Err(MsgError::PeerUnreachable(peer));
+        }
+        Ok(())
+    }
+
+    /// Fail pending operations bound to peers the fault plan has since
+    /// declared dead. Detects *silent* death — a receiver blocked on a
+    /// crashed sender would otherwise spin to its timeout without ever
+    /// posting toward the peer. Partitions are not scanned for: they may
+    /// heal, and the pending operation can still complete afterwards.
+    fn scan_dead_peers(&self) {
+        let now = self.clock.now();
+        for p in 0..self.n {
+            if p != self.rank
+                && self.nic.peer_status(self.qps[p], now) == Some(WcStatus::RemoteDead)
+            {
+                self.mark_peer_dead(p);
+            }
+        }
+    }
+
     fn copy_ns(&self, bytes: usize) -> u64 {
         (bytes as u64 * self.cfg.copy_ps_per_byte).div_ceil(1000)
     }
@@ -429,6 +533,7 @@ impl MsgEndpoint {
     }
 
     fn send_eager(&self, peer: Rank, tag: u64, data: &[u8]) -> Result<()> {
+        self.check_peer_alive(peer)?;
         let h =
             Header { kind: MsgKind::Eager, tag, size: data.len() as u64, xid: 0, addr: 0, rkey: 0 };
         {
@@ -442,7 +547,9 @@ impl MsgEndpoint {
                 local: MrSlice::new(&stage, 0, HDR + data.len()),
                 imm: None,
             });
-            self.nic.post_send(self.qps[peer], wr, self.clock.now())?;
+            self.nic
+                .post_send(self.qps[peer], wr, self.clock.now())
+                .map_err(|e| self.fail_post(peer, e.into()))?;
         }
         self.stats.sends_eager.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -453,7 +560,9 @@ impl MsgEndpoint {
         let stage = self.stage.lock();
         stage.write_at(0, &h.encode());
         let wr = SendWr::unsignaled(WrOp::Send { local: MrSlice::new(&stage, 0, HDR), imm: None });
-        self.nic.post_send(self.qps[peer], wr, self.clock.now())?;
+        self.nic
+            .post_send(self.qps[peer], wr, self.clock.now())
+            .map_err(|e| self.fail_post(peer, e.into()))?;
         Ok(())
     }
 
@@ -480,6 +589,7 @@ impl MsgEndpoint {
         tag: u64,
         owned: bool,
     ) -> Result<u64> {
+        self.check_peer_alive(peer)?;
         let xid = ((self.rank as u64) << 48) | self.next_xid.fetch_add(1, Ordering::Relaxed);
         self.state.lock().sender_rdv.insert(xid, SenderRdv { peer, region, off, len, owned });
         self.post_ctrl(
@@ -491,16 +601,26 @@ impl MsgEndpoint {
         Ok(xid)
     }
 
-    /// Block until rendezvous `xid`'s data + FIN were injected.
+    /// Block until rendezvous `xid`'s data + FIN were injected. Resolves
+    /// with [`MsgError::PeerUnreachable`] if the peer died mid-handshake.
     pub(crate) fn wait_send_xid(&self, xid: u64) -> Result<()> {
         self.blocking("rendezvous clear-to-send", |s| {
-            Ok(s.state.lock().sends_done.remove(&xid).then_some(()))
+            let mut st = s.state.lock();
+            if let Some(peer) = st.failed_sends.remove(&xid) {
+                return Err(MsgError::PeerUnreachable(peer));
+            }
+            Ok(st.sends_done.remove(&xid).then_some(()))
         })
     }
 
-    /// Consume the done-flag of rendezvous `xid` if set (nonblocking).
-    pub(crate) fn send_xid_done(&self, xid: u64) -> bool {
-        self.state.lock().sends_done.remove(&xid)
+    /// Consume the done-flag of rendezvous `xid` if set (nonblocking);
+    /// errors if the transfer was resolved by peer failure instead.
+    pub(crate) fn send_xid_done(&self, xid: u64) -> Result<bool> {
+        let mut st = self.state.lock();
+        if let Some(peer) = st.failed_sends.remove(&xid) {
+            return Err(MsgError::PeerUnreachable(peer));
+        }
+        Ok(st.sends_done.remove(&xid))
     }
 
     /// Post an owned-landing receive request (nonblocking API support).
@@ -513,12 +633,22 @@ impl MsgEndpoint {
         self.wait_req(req)
     }
 
-    /// Take request `req`'s completed message if present (nonblocking).
-    pub(crate) fn take_completed(&self, req: u64) -> Option<RecvMsg> {
-        let m = self.state.lock().completed.remove(&req)?;
+    /// Take request `req`'s completed message if present (nonblocking);
+    /// errors if the request was resolved by peer failure instead.
+    pub(crate) fn take_completed(&self, req: u64) -> Result<Option<RecvMsg>> {
+        let m = {
+            let mut st = self.state.lock();
+            if let Some(peer) = st.failed_reqs.remove(&req) {
+                return Err(MsgError::PeerUnreachable(peer));
+            }
+            match st.completed.remove(&req) {
+                Some(m) => m,
+                None => return Ok(None),
+            }
+        };
         self.clock.advance_to(m.ts);
         self.stats.recvs.fetch_add(1, Ordering::Relaxed);
-        Some(m)
+        Ok(Some(m))
     }
 
     /// Start a send without blocking: eager sends complete at post
@@ -611,13 +741,25 @@ impl MsgEndpoint {
             self.start_cts(req, rts, landing)?;
             return Ok(req);
         }
+        // Nothing queued can satisfy it: a source known to be dead makes
+        // the request unsatisfiable, so fail now rather than park forever.
+        if let Some(s) = src {
+            if st.dead.contains(&s) {
+                return Err(MsgError::PeerUnreachable(s));
+            }
+        }
         st.posted.push(PostedRecv { req, src, tag, landing });
         Ok(req)
     }
 
     fn wait_req(&self, req: u64) -> Result<RecvMsg> {
-        let msg =
-            self.blocking("receive completion", |s| Ok(s.state.lock().completed.remove(&req)))?;
+        let msg = self.blocking("receive completion", |s| {
+            let mut st = s.state.lock();
+            if let Some(peer) = st.failed_reqs.remove(&req) {
+                return Err(MsgError::PeerUnreachable(peer));
+            }
+            Ok(st.completed.remove(&req))
+        })?;
         self.clock.advance_to(msg.ts);
         self.stats.recvs.fetch_add(1, Ordering::Relaxed);
         Ok(msg)
@@ -674,14 +816,20 @@ impl MsgEndpoint {
             RecvRdv { req, src: rts.src, tag: rts.tag, size: rts.size, region, off, owned },
         );
         self.clock.advance_to(rts.ts);
-        self.post_ctrl(rts.src, h)
+        match self.post_ctrl(rts.src, h) {
+            // The sender died after its RTS: `fail_post` already resolved
+            // the just-parked transfer (and `req`) via `mark_peer_dead`.
+            Err(MsgError::PeerUnreachable(_)) => Ok(()),
+            r => r,
+        }
     }
 
     // ------------------------------------------------------------ progress
 
     /// Drain the receive pool: match eager messages, advance rendezvous
-    /// state machines.
+    /// state machines, and resolve operations stranded by peer death.
     pub fn progress(&self) -> Result<()> {
+        self.scan_dead_peers();
         loop {
             let comps = self.nic.poll_recv_cq_n(64);
             if comps.is_empty() {
@@ -725,9 +873,21 @@ impl MsgEndpoint {
                         }
                     }
                     MsgKind::Cts => {
-                        let rdv = self.state.lock().sender_rdv.remove(&h.xid);
-                        let Some(rdv) = rdv else {
-                            return Err(MsgError::Protocol("CTS for unknown transfer"));
+                        let rdv = {
+                            let mut st = self.state.lock();
+                            match st.sender_rdv.remove(&h.xid) {
+                                Some(r) => r,
+                                // A CTS racing our declaration of the peer's
+                                // death: the transfer is already resolved.
+                                None if st.dead.contains(&src)
+                                    || st.failed_sends.contains_key(&h.xid) =>
+                                {
+                                    continue;
+                                }
+                                None => {
+                                    return Err(MsgError::Protocol("CTS for unknown transfer"));
+                                }
+                            }
                         };
                         self.clock.advance_to(c.ts);
                         // Data write then FIN on the same QP: ordered. The
@@ -743,25 +903,42 @@ impl MsgEndpoint {
                                 imm: None,
                             },
                         );
-                        self.nic.post_send(self.qps[rdv.peer], wr, self.clock.now())?;
-                        // The fabric is synchronous: the CQE is available now.
-                        while let Some(wc) = self.nic.poll_send_cq() {
-                            if wc.wr_id == wr_id {
-                                self.clock.advance_to(wc.ts);
-                                break;
+                        let fin = Header {
+                            kind: MsgKind::Fin,
+                            tag: h.tag,
+                            size: rdv.len as u64,
+                            xid: h.xid,
+                            addr: 0,
+                            rkey: 0,
+                        };
+                        let posted = self
+                            .nic
+                            .post_send(self.qps[rdv.peer], wr, self.clock.now())
+                            .map_err(|e| self.fail_post(rdv.peer, e.into()))
+                            .and_then(|()| {
+                                // The fabric is synchronous: the CQE is
+                                // available now.
+                                while let Some(wc) = self.nic.poll_send_cq() {
+                                    if wc.wr_id == wr_id {
+                                        self.clock.advance_to(wc.ts);
+                                        break;
+                                    }
+                                }
+                                self.post_ctrl(rdv.peer, fin)
+                            });
+                        match posted {
+                            Ok(()) => {}
+                            Err(MsgError::PeerUnreachable(p)) => {
+                                // The peer died between its CTS and our
+                                // data/FIN: resolve the send with an error.
+                                self.state.lock().failed_sends.insert(h.xid, p);
+                                if rdv.owned {
+                                    let _ = self.release_region(rdv.region);
+                                }
+                                continue;
                             }
+                            Err(e) => return Err(e),
                         }
-                        self.post_ctrl(
-                            rdv.peer,
-                            Header {
-                                kind: MsgKind::Fin,
-                                tag: h.tag,
-                                size: rdv.len as u64,
-                                xid: h.xid,
-                                addr: 0,
-                                rkey: 0,
-                            },
-                        )?;
                         if rdv.owned {
                             self.release_region(rdv.region)?;
                         }
@@ -1089,6 +1266,81 @@ mod tests {
         for r in regions {
             e.release_region(r).unwrap();
         }
+    }
+
+    #[test]
+    fn peer_death_fails_sends_fast_and_resolves_posted_recvs() {
+        use photon_fabric::VTime;
+        let c = pair();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        // A message delivered before the crash stays receivable.
+        e0.send(1, b"pre-crash", 1).unwrap();
+        c.fabric().switch().faults().kill_node_at(0, VTime(e1.now().as_nanos() + 1));
+        assert_eq!(e1.recv(Some(0), Some(1)).unwrap().data, b"pre-crash");
+        // A receive bound to the dead source resolves with an error
+        // (detected by the progress-time scan), never a hang.
+        let err = e1.recv(Some(0), Some(2)).unwrap_err();
+        assert_eq!(err, MsgError::PeerUnreachable(0));
+        assert!(e1.peer_unreachable(0));
+        // New sends toward the dead peer fail fast.
+        assert_eq!(e1.send(0, b"x", 3).unwrap_err(), MsgError::PeerUnreachable(0));
+        // Large (rendezvous) sends too: no RTS can reach a dead peer.
+        assert_eq!(e1.send(0, &vec![0u8; 64 * 1024], 4).unwrap_err(), MsgError::PeerUnreachable(0));
+    }
+
+    #[test]
+    fn peer_death_mid_rendezvous_resolves_both_sides() {
+        use photon_fabric::VTime;
+        let c = pair();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        // Sender posts its RTS, then the receiver dies before answering
+        // with a CTS: the pending rendezvous send must resolve with an
+        // error, not spin to the wall-clock timeout.
+        let s = e0.isend(1, &vec![5u8; 64 * 1024], 7).unwrap();
+        c.fabric().switch().faults().kill_node_at(1, VTime(e0.now().as_nanos() + 1));
+        e0.elapse(2);
+        assert_eq!(e0.wait_send(s).unwrap_err(), MsgError::PeerUnreachable(1));
+        let _ = e1;
+    }
+
+    #[test]
+    fn nonblocking_requests_surface_peer_death() {
+        use photon_fabric::VTime;
+        let c = pair();
+        let (e0, e1) = (c.rank(0), c.rank(1));
+        let mut r = e1.irecv(Some(0), Some(9)).unwrap();
+        assert!(!e1.test_recv(&mut r).unwrap());
+        c.fabric().switch().faults().kill_node_at(0, VTime(e1.now().as_nanos() + 1));
+        e1.elapse(2);
+        // The posted request is resolved by the dead-peer scan; both the
+        // poll and the wait surface the error.
+        let err = loop {
+            match e1.test_recv(&mut r) {
+                Ok(false) => continue,
+                Ok(true) => panic!("receive from a dead peer cannot complete"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, MsgError::PeerUnreachable(0));
+        let _ = e0;
+    }
+
+    #[test]
+    fn wildcard_recv_survives_another_peers_death() {
+        use photon_fabric::VTime;
+        let c = MsgCluster::new(3, NetworkModel::ib_fdr(), MsgConfig::default());
+        let (e0, e1, e2) = (c.rank(0), c.rank(1), c.rank(2));
+        // A wildcard receive is posted, rank 2 dies, rank 0 still sends:
+        // the wildcard must stay posted and match the live sender.
+        let mut r = e1.irecv(None, None).unwrap();
+        c.fabric().switch().faults().kill_node_at(2, VTime(0));
+        e1.progress().unwrap();
+        assert!(e1.peer_unreachable(2));
+        assert!(!e1.test_recv(&mut r).unwrap(), "wildcard recv must not be failed");
+        e0.send(1, b"still here", 4).unwrap();
+        let m = e1.wait_recv(r).unwrap();
+        assert_eq!((m.src, m.data.as_slice()), (0, b"still here".as_slice()));
+        let _ = e2;
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub enum MsgError {
     },
     /// A blocking wait exceeded the wall-clock deadline.
     Timeout(&'static str),
+    /// The peer crashed or the path to it broke: the operation cannot
+    /// complete, and every pending operation bound to that peer has been
+    /// resolved with this error (no silent hangs). The baseline has no
+    /// reconnection machinery — contrast with photon-core's health machine.
+    PeerUnreachable(Rank),
     /// Peers disagree about a collective.
     Protocol(&'static str),
     /// Access outside a buffer's bounds.
@@ -93,6 +98,7 @@ impl fmt::Display for MsgError {
                 write!(f, "message of {incoming} bytes exceeds receive capacity {capacity}")
             }
             MsgError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            MsgError::PeerUnreachable(r) => write!(f, "peer rank {r} is unreachable"),
             MsgError::Protocol(what) => write!(f, "protocol violation: {what}"),
             MsgError::OutOfRange { offset, len, cap } => {
                 write!(f, "range [{offset}, +{len}) outside buffer of {cap} bytes")
@@ -168,6 +174,7 @@ mod tests {
         assert!(MsgError::TruncatedReceive { incoming: 10, capacity: 5 }
             .to_string()
             .contains("exceeds"));
+        assert_eq!(MsgError::PeerUnreachable(2).to_string(), "peer rank 2 is unreachable");
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl MsgEndpoint {
             return Ok(true);
         }
         self.progress()?;
-        if let Some(m) = self.take_completed(r.req) {
+        if let Some(m) = self.take_completed(r.req)? {
             r.done = Some(m);
             return Ok(true);
         }
@@ -78,7 +78,7 @@ impl MsgEndpoint {
             None => Ok(true),
             Some(xid) => {
                 self.progress()?;
-                if self.send_xid_done(xid) {
+                if self.send_xid_done(xid)? {
                     r.xid = None;
                     Ok(true)
                 } else {

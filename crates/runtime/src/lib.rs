@@ -78,6 +78,10 @@ pub enum RtError {
     BadParcel(&'static str),
     /// The runtime is shutting down.
     ShuttingDown,
+    /// The target rank crashed or was evicted by the middleware's health
+    /// machine: the parcel was not (and will never be) delivered. The
+    /// runtime degrades gracefully — traffic to surviving ranks continues.
+    PeerDead(Rank),
 }
 
 impl fmt::Display for RtError {
@@ -88,6 +92,7 @@ impl fmt::Display for RtError {
             RtError::InvalidRank(r) => write!(f, "invalid rank {r}"),
             RtError::BadParcel(w) => write!(f, "bad parcel: {w}"),
             RtError::ShuttingDown => write!(f, "runtime shutting down"),
+            RtError::PeerDead(r) => write!(f, "peer rank {r} is dead"),
         }
     }
 }
@@ -103,7 +108,16 @@ impl std::error::Error for RtError {
 
 impl From<PhotonError> for RtError {
     fn from(e: PhotonError) -> Self {
-        RtError::Photon(e)
+        match e {
+            // Normalize both faces of peer failure (declared-dead from the
+            // health machine, raw unreachability from the fabric) into one
+            // runtime-level classification.
+            PhotonError::PeerDead(r) => RtError::PeerDead(r),
+            PhotonError::Fabric(photon_fabric::FabricError::PeerUnreachable { node }) => {
+                RtError::PeerDead(node)
+            }
+            e => RtError::Photon(e),
+        }
     }
 }
 

@@ -63,6 +63,13 @@ pub struct RtStats {
     pub parcels_rdv: u64,
     /// Coalesced batches flushed to the wire.
     pub batches_sent: u64,
+    /// Parcels whose send failed because the target was dead or became
+    /// unreachable (not counted in `parcels_sent`: they never entered the
+    /// system, so quiescence stays sound among survivors).
+    pub parcels_failed: u64,
+    /// Incoming large parcels abandoned because their sender died
+    /// mid-rendezvous (ctrl message arrived, payload never will).
+    pub parcels_dropped: u64,
 }
 
 /// One rank of the runtime job.
@@ -82,6 +89,8 @@ pub struct RtNode {
     parcels_run: AtomicU64,
     parcels_rdv: AtomicU64,
     batches_sent: AtomicU64,
+    parcels_failed: AtomicU64,
+    parcels_dropped: AtomicU64,
     coalescer: Mutex<Coalescer>,
     self_ref: Mutex<Option<Arc<RtNode>>>,
 }
@@ -125,6 +134,8 @@ impl RuntimeCluster {
                 parcels_run: AtomicU64::new(0),
                 parcels_rdv: AtomicU64::new(0),
                 batches_sent: AtomicU64::new(0),
+                parcels_failed: AtomicU64::new(0),
+                parcels_dropped: AtomicU64::new(0),
                 coalescer: Mutex::new(Coalescer::new(n)),
                 self_ref: Mutex::new(None),
             });
@@ -212,7 +223,21 @@ impl RtNode {
             parcels_run: self.parcels_run.load(Ordering::Relaxed),
             parcels_rdv: self.parcels_rdv.load(Ordering::Relaxed),
             batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            parcels_failed: self.parcels_failed.load(Ordering::Relaxed),
+            parcels_dropped: self.parcels_dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Account for `n` parcels that failed to send because their target is
+    /// dead: they never entered the system, so back them out of the `sent`
+    /// counter (keeping quiescence's sent-vs-run accounting sound among the
+    /// survivors) and count them as failed.
+    fn note_send_failure(&self, n: u64, e: RtError) -> RtError {
+        if matches!(e, RtError::PeerDead(_)) {
+            self.parcels_failed.fetch_add(n, Ordering::Relaxed);
+            self.parcels_sent.fetch_sub(n, Ordering::AcqRel);
+        }
+        e
     }
 
     fn me(&self) -> Arc<RtNode> {
@@ -296,14 +321,18 @@ impl RtNode {
             }
             return Ok(());
         }
-        self.photon.send(target, &enc, RID_PARCEL)?;
+        self.photon
+            .send(target, &enc, RID_PARCEL)
+            .map_err(|e| self.note_send_failure(1, e.into()))?;
         Ok(())
     }
 
     /// Flush a coalesced batch: every parcel stays its own eager frame, but
     /// the whole run goes out as one doorbell-batched post.
     fn send_batch(&self, target: Rank, parcels: &[Vec<u8>]) -> Result<()> {
-        self.photon.send_many(target, parcels, RID_PARCEL)?;
+        self.photon
+            .send_many(target, parcels, RID_PARCEL)
+            .map_err(|e| self.note_send_failure(parcels.len() as u64, e.into()))?;
         self.batches_sent.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -335,13 +364,18 @@ impl RtNode {
         ctrl.extend_from_slice(&tag.to_le_bytes());
         ctrl.extend_from_slice(&(p.payload.len() as u64).to_le_bytes());
         ctrl.extend_from_slice(&hdr_only.encode());
-        self.photon.send(target, &ctrl, RID_RDV_CTRL)?;
+        self.photon
+            .send(target, &ctrl, RID_RDV_CTRL)
+            .map_err(|e| self.note_send_failure(1, e.into()))?;
         // Stage the payload in a registered buffer and run the Photon
-        // rendezvous against the receiver's announced landing zone.
+        // rendezvous against the receiver's announced landing zone. If the
+        // receiver dies mid-handshake the rendezvous resolves with
+        // PeerDead (the core's failure-aware waits) rather than hanging.
         let buf = self.photon.register_buffer(p.payload.len())?;
         buf.write_at(0, &p.payload);
-        self.photon.send_rendezvous(target, &buf, 0, p.payload.len(), tag)?;
+        let sent = self.photon.send_rendezvous(target, &buf, 0, p.payload.len(), tag);
         self.photon.release_buffer(&buf)?;
+        sent.map_err(|e| self.note_send_failure(1, e.into()))?;
         Ok(())
     }
 
@@ -379,6 +413,12 @@ impl RtNode {
                     }
                 }
                 Err(_) if self.shutdown.load(Ordering::Acquire) => return,
+                // Peer failure is survivable: the middleware has evicted the
+                // peer and resolved its pending state; keep serving the
+                // survivors. Anything else is a runtime bug and stays fatal.
+                Err(e) if matches!(RtError::from(e.clone()), RtError::PeerDead(_)) => {
+                    idle = 0;
+                }
                 Err(e) => panic!("runtime progress failed on rank {}: {e}", self.rank),
             }
         }
@@ -411,7 +451,20 @@ impl RtNode {
                 self.sched.submit(Box::new(move || {
                     let run = || -> Result<()> {
                         let buf = node.photon.register_buffer(size)?;
-                        node.photon.recv_rendezvous(src, &buf, 0, size, tag)?;
+                        node.photon.post_recv_buffer(src, &buf, 0, size, tag)?;
+                        // Transient stalls get bounded re-waits; peer death
+                        // escalates out of the loop immediately (the
+                        // failure-aware wait_fin runs the health gate).
+                        let mut attempts = 0;
+                        loop {
+                            match node.photon.wait_fin(src, tag) {
+                                Ok(_) => break,
+                                Err(photon_core::PhotonError::Timeout { .. }) if attempts < 2 => {
+                                    attempts += 1;
+                                }
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
                         let payload = buf.to_vec(0, size);
                         node.photon.release_buffer(&buf)?;
                         node.run_parcel(Parcel {
@@ -421,8 +474,17 @@ impl RtNode {
                         });
                         Ok(())
                     };
-                    if let Err(e) = run() {
-                        panic!("large-parcel receive failed on rank {}: {e}", node.rank);
+                    match run() {
+                        Ok(()) => {}
+                        // The sender died between its control message and
+                        // the payload transfer: the parcel can never run.
+                        // Count the drop and degrade gracefully.
+                        Err(RtError::PeerDead(_)) => {
+                            node.parcels_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            panic!("large-parcel receive failed on rank {}: {e}", node.rank)
+                        }
                     }
                 }));
             }
@@ -751,6 +813,45 @@ mod tests {
         assert!(matches!(c.node(0).send_parcel(5, 16, &[]), Err(RtError::InvalidRank(5))));
         c.shutdown();
         assert!(matches!(c.node(0).send_parcel(0, 16, &[]), Err(RtError::ShuttingDown)));
+    }
+
+    #[test]
+    fn parcels_to_dead_rank_fail_without_stalling_survivors() {
+        use photon_fabric::VTime;
+        let mut reg = ActionRegistry::new();
+        let echo = reg.register("echo", |_ctx, payload| Some(payload.to_vec()));
+        let c = boot(3, reg);
+        c.photon().fabric().switch().faults().kill_node_at(2, VTime(0));
+        let n0 = c.node(0);
+        // Toward the dead rank: a clean, classified failure (the first send
+        // trips detection; every later one fails fast).
+        let err = n0.send_parcel(2, echo, b"void").unwrap_err();
+        assert_eq!(err, RtError::PeerDead(2));
+        assert_eq!(n0.send_parcel(2, echo, b"void").unwrap_err(), RtError::PeerDead(2));
+        let s = n0.stats();
+        assert_eq!(s.parcels_failed, 2);
+        assert_eq!(s.parcels_sent, 0, "failed sends are backed out of the sent counter");
+        // Toward the survivor: unaffected, continuation still fires.
+        let (lco, fut) = n0.new_future();
+        n0.send_parcel_with_cont(1, echo, b"alive", lco).unwrap();
+        assert_eq!(fut.wait(), b"alive");
+        c.shutdown();
+    }
+
+    #[test]
+    fn large_parcel_to_dead_rank_fails_cleanly() {
+        use photon_fabric::VTime;
+        let mut reg = ActionRegistry::new();
+        let sink = reg.register("sink", |_, _| None);
+        let c = boot(2, reg);
+        c.photon().fabric().switch().faults().kill_node_at(1, VTime(0));
+        let n0 = c.node(0);
+        // The rendezvous path: the control send (or the buffer-announce
+        // wait) resolves with PeerDead instead of spinning to a timeout.
+        let payload = vec![3u8; 64 * 1024];
+        assert_eq!(n0.send_parcel(1, sink, &payload).unwrap_err(), RtError::PeerDead(1));
+        assert_eq!(n0.stats().parcels_failed, 1);
+        c.shutdown();
     }
 
     #[test]

@@ -7,15 +7,15 @@
 //! SIMTEST_SEED=0x… SIMTEST_CASE=… simtest show <campaign>
 //! ```
 //!
-//! Campaigns: smoke, credits, faults, quiescence. Exit status is 1 when any
-//! case fails, so the binary gates CI directly.
+//! Campaigns: smoke, credits, faults, quiescence, crash. Exit status is 1
+//! when any case fails, so the binary gates CI directly.
 
 use photon_simtest::campaign::{parse_u64, run_one};
 use photon_simtest::{run_campaign, Campaign, CampaignOpts, Schedule};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest <smoke|credits|faults|quiescence|all> [--cases N] [--seed S] [--jobs N] [--no-shrink]\n\
+        "usage: simtest <smoke|credits|faults|quiescence|crash|all> [--cases N] [--seed S] [--jobs N] [--no-shrink]\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest replay <campaign>\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest show <campaign>"
     );

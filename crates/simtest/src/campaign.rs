@@ -36,12 +36,22 @@ pub enum Campaign {
     /// Quiescence-focused mix that also exercises the msg and runtime
     /// layers' own drivers.
     Quiescence,
+    /// Peer-failure chaos: every case crashes a node and/or partitions a
+    /// link mid-traffic; the all-ops-resolve checker enforces that no op
+    /// ever hangs.
+    Crash,
 }
 
 impl Campaign {
     /// All campaigns, in CLI listing order.
-    pub fn all() -> [Campaign; 4] {
-        [Campaign::Smoke, Campaign::Credits, Campaign::Faults, Campaign::Quiescence]
+    pub fn all() -> [Campaign; 5] {
+        [
+            Campaign::Smoke,
+            Campaign::Credits,
+            Campaign::Faults,
+            Campaign::Quiescence,
+            Campaign::Crash,
+        ]
     }
 
     /// The CLI name.
@@ -51,6 +61,7 @@ impl Campaign {
             Campaign::Credits => "credits",
             Campaign::Faults => "faults",
             Campaign::Quiescence => "quiescence",
+            Campaign::Crash => "crash",
         }
     }
 
@@ -66,6 +77,7 @@ impl Campaign {
             Campaign::Credits => SimParams::credits(),
             Campaign::Faults => SimParams::faults(),
             Campaign::Quiescence => SimParams::quiescence(),
+            Campaign::Crash => SimParams::crash(),
         }
     }
 }

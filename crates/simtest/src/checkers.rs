@@ -127,19 +127,39 @@ pub fn check_credit_conservation(cluster: &PhotonCluster, out: &mut Violations) 
 /// undelivered completion events, no orphaned rendezvous control state.
 pub fn check_quiescent(cluster: &PhotonCluster, out: &mut Violations) {
     for (r, p) in cluster.ranks().iter().enumerate() {
-        let inflight = p.in_flight();
-        if inflight != 0 {
-            out.push(format!("rank {r}: {inflight} work requests in flight at quiescence"));
-        }
-        let (ql, qr) = p.queued_events();
-        if ql != 0 || qr != 0 {
-            out.push(format!("rank {r}: {ql} local / {qr} remote events queued at quiescence"));
-        }
-        let (ann, fins) = p.queued_rendezvous();
-        if ann != 0 || fins != 0 {
-            out.push(format!(
-                "rank {r}: {ann} rendezvous announces / {fins} fins unclaimed at quiescence"
-            ));
+        check_quiescent_rank(r, p, out);
+    }
+}
+
+/// Per-rank quiescence check. Crash campaigns use this directly so they can
+/// exempt crashed ranks (whose in-flight state is, by construction, never
+/// drained) while still holding survivors to the full invariant.
+pub fn check_quiescent_rank(r: usize, p: &Photon, out: &mut Violations) {
+    let inflight = p.in_flight();
+    if inflight != 0 {
+        out.push(format!("rank {r}: {inflight} work requests in flight at quiescence"));
+    }
+    let (ql, qr) = p.queued_events();
+    if ql != 0 || qr != 0 {
+        out.push(format!("rank {r}: {ql} local / {qr} remote events queued at quiescence"));
+    }
+    let (ann, fins) = p.queued_rendezvous();
+    if ann != 0 || fins != 0 {
+        out.push(format!(
+            "rank {r}: {ann} rendezvous announces / {fins} fins unclaimed at quiescence"
+        ));
+    }
+}
+
+/// **All-ops-resolve**: every initiated op must terminate — in success or
+/// in an error completion — before quiescence. A `false` entry is an op
+/// that neither completed nor resolved with an error: precisely the silent
+/// hang the peer-failure path exists to rule out. `ops` pairs each op's
+/// debug rendering with its resolution state.
+pub fn check_all_ops_resolve(ops: &[(String, bool)], out: &mut Violations) {
+    for (i, (desc, resolved)) in ops.iter().enumerate() {
+        if !resolved {
+            out.push(format!("op {i} ({desc}) never resolved: no completion, no error"));
         }
     }
 }

@@ -3,7 +3,8 @@
 //! A seeded chaos-campaign harness over the whole Photon stack. Each test
 //! *case* is a [`schedule::Schedule`] — a generated multi-node workload
 //! (puts/gets/PWC/sends, rendezvous pairs, barriers, parcel cascades) plus a
-//! fault plan with virtual-time activation windows — executed by a
+//! fault plan with virtual-time activation windows and, in the `crash`
+//! campaign, node-kill and link-partition injection — executed by a
 //! single-threaded deterministic stepper ([`exec`]) that drives every rank
 //! through the middleware's non-blocking APIs only. Because the simulated
 //! fabric applies RDMA effects synchronously at post time and the stepper
@@ -17,7 +18,10 @@
 //! integrity via seeded fill patterns, per-rank virtual-clock monotonicity,
 //! ledger/ring credit conservation (consumer truth vs. producer credit
 //! words), quiescence ⇒ zero in-flight work, and harness-vs-middleware
-//! stats consistency.
+//! stats consistency. Under chaos injection the harness additionally
+//! enforces **all-ops-resolve**: every initiated op terminates in a success
+//! or an error completion before quiescence, so a hang is a named
+//! violation rather than a timeout (see DESIGN.md, "Failure model").
 //!
 //! On failure a campaign prints a one-line reproducer:
 //!

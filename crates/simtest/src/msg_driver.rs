@@ -186,6 +186,7 @@ pub fn run_msg_case(seed: u64, case_id: u64) -> CaseReport {
         violations: violations.into_items(),
         digest: fnv1a(digest_src.as_bytes()),
         sweeps: 0,
+        resolved_err: 0,
         stats: Vec::new(),
         trace_csv: Vec::new(),
     }

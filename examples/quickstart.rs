@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     src.write_at(0, b"one-sided hello");
     p0.put_with_completion(1, &src, 0, 15, &dst_desc, 0, /*local*/ 11, /*remote*/ 99)?;
     match p0.wait_event()? {
-        Event::Local { rid, ts } => println!("[rank0] local completion rid={rid} at t={ts}"),
+        Event::Local { rid, ts, .. } => println!("[rank0] local completion rid={rid} at t={ts}"),
         other => panic!("unexpected event {other:?}"),
     }
 

@@ -37,6 +37,17 @@ fn credits_campaign_under_tiny_windows() {
 }
 
 #[test]
+fn crash_campaign_every_op_resolves() {
+    // Peer-failure gate: every case kills a node and/or partitions a link
+    // mid-traffic. The all-ops-resolve checker turns any hang into a named
+    // violation; pending ops on a dead peer must surface as error
+    // completions and survivors keep exactly-once + payload integrity.
+    let opts = CampaignOpts { cases: 100, seed: 0xC1C5, jobs: 8, shrink: true, corpus: None };
+    let r = run_campaign(Campaign::Crash, &opts);
+    assert!(r.passed(), "{}", r.summary());
+}
+
+#[test]
 fn mutation_smoke_credit_bug_is_caught() {
     // Mutation check for the checkers themselves: re-run generated credits
     // schedules with a deliberately broken credit-return path (the
