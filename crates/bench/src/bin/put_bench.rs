@@ -5,6 +5,8 @@
 //! ```text
 //! put_bench --label baseline           # writes results/BENCH_put_baseline.json
 //! put_bench --label batched --ops 100000
+//! put_bench --check results/BENCH_put_batched.json --max-regress-pct 2
+//! put_bench --label traced --trace     # extra obs-enabled pass + Perfetto trace
 //! ```
 //!
 //! Scenarios (all on the `ideal` network model so wall-clock time is
@@ -21,8 +23,17 @@
 //! * `batched_put_8B_w{4,16,64}` (feature `batch-put`) — same windows, but
 //!   each window posts through `put_many`: one TX lock acquisition and one
 //!   doorbell per window instead of one per frame.
+//!
+//! `--check <baseline.json>` compares this run against a committed baseline
+//! (scenarios matched by name) and exits non-zero when any shared scenario
+//! regressed by more than `--max-regress-pct` (default 2%). `--trace` runs
+//! one extra *observability-enabled* windowed pass (excluded from the timed
+//! entries), writes its span trace as Chrome trace_event JSON loadable in
+//! Perfetto, and folds per-stage latency summaries into the result JSON's
+//! `notes` array.
 
-use photon_core::{Event, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_core::obs::chrome_trace_json;
+use photon_core::{Completion, PhotonCluster, PhotonConfig, ProbeFlags, TraceExport};
 use photon_fabric::NetworkModel;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -49,12 +60,12 @@ fn cluster() -> PhotonCluster {
 
 /// Drain up to `want` of rank 1's remote notifications (returns credits to
 /// the sender as a side effect of its probe loop).
-fn drain_remote(c: &PhotonCluster, evs: &mut Vec<Event>, want: u64) -> u64 {
+fn drain_remote(c: &PhotonCluster, evs: &mut Vec<Completion>, want: u64) -> u64 {
     let p1 = c.rank(1);
     let mut got = 0u64;
     while got < want {
         evs.clear();
-        let n = p1.probe_completions(ProbeFlags::Remote, evs, 64).expect("remote probe") as u64;
+        let n = p1.poll_completions(ProbeFlags::Remote, evs, 64).expect("remote probe") as u64;
         if n == 0 {
             break;
         }
@@ -70,7 +81,7 @@ fn windowed_put(name: String, ops: u64, window: usize) -> Entry {
     let src = p0.register_buffer(64).unwrap();
     let dst = c.rank(1).register_buffer(64).unwrap();
     let d = dst.descriptor();
-    let mut evs: Vec<Event> = Vec::with_capacity(128);
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
     let t0 = Instant::now();
     let (mut posted, mut done, mut drained) = (0u64, 0u64, 0u64);
     let mut inflight = 0usize;
@@ -85,7 +96,7 @@ fn windowed_put(name: String, ops: u64, window: usize) -> Entry {
         }
         drained += drain_remote(&c, &mut evs, posted - drained);
         evs.clear();
-        let n = p0.probe_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
+        let n = p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
         done += n as u64;
         inflight -= n;
     }
@@ -102,7 +113,7 @@ fn batched_put(name: String, ops: u64, window: usize) -> Entry {
     let src = p0.register_buffer(64).unwrap();
     let dst = c.rank(1).register_buffer(64).unwrap();
     let d = dst.descriptor();
-    let mut evs: Vec<Event> = Vec::with_capacity(128);
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
     let mut items: Vec<PutManyItem> = Vec::with_capacity(window);
     let t0 = Instant::now();
     let (mut posted, mut done, mut drained) = (0u64, 0u64, 0u64);
@@ -124,7 +135,7 @@ fn batched_put(name: String, ops: u64, window: usize) -> Entry {
         }
         drained += drain_remote(&c, &mut evs, posted - drained);
         evs.clear();
-        done += p0.probe_completions(ProbeFlags::Local, &mut evs, 128).unwrap() as u64;
+        done += p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap() as u64;
     }
     Entry { name, ops, ns: t0.elapsed().as_nanos() }
 }
@@ -143,11 +154,114 @@ fn best_of(reps: u32, f: impl Fn() -> Entry) -> Entry {
     best.expect("reps >= 1")
 }
 
+/// One windowed pass with span/histogram recording *on*: returns the Chrome
+/// trace_event JSON (all ranks), the op-log JSON, and latency-summary
+/// footnote lines. Never folded into the timed entries.
+fn traced_pass(ops: u64, window: usize) -> (String, String, Vec<String>) {
+    let c = cluster();
+    for p in c.ranks() {
+        p.obs().enable();
+        p.tracer().enable();
+    }
+    let p0 = c.rank(0);
+    let src = p0.register_buffer(64).unwrap();
+    let dst = c.rank(1).register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let (mut posted, mut done, mut drained) = (0u64, 0u64, 0u64);
+    let mut inflight = 0usize;
+    while done < ops {
+        while inflight < window && posted < ops {
+            if p0.try_put_with_completion(1, &src, 0, 8, &d, 0, posted, posted).unwrap() {
+                posted += 1;
+                inflight += 1;
+            } else {
+                break;
+            }
+        }
+        drained += drain_remote(&c, &mut evs, posted - drained);
+        evs.clear();
+        let n = p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
+        done += n as u64;
+        inflight -= n;
+    }
+    let spans: Vec<_> = c.ranks().iter().map(|p| p.span_trace()).collect();
+    let chrome = chrome_trace_json(&spans);
+    let ops_json = TraceExport::json(&p0.tracer().records());
+    let mut notes = Vec::new();
+    for r in 0..c.len() {
+        for s in c.rank(r).metrics().latencies {
+            notes.push(format!(
+                "rank{r} {} peer{}: count={} p50={}ns p99={}ns max={}ns",
+                s.kind.as_str(),
+                s.peer,
+                s.count,
+                s.p50_ns,
+                s.p99_ns,
+                s.max_ns
+            ));
+        }
+    }
+    (chrome, ops_json, notes)
+}
+
+/// Pull `(name, mops_per_sec)` pairs out of a bench JSON produced by this
+/// binary. Hand-rolled line scan — the format is ours and stable.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else { continue };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else { continue };
+        let name = rest[..nend].to_string();
+        let Some(mpos) = line.find("\"mops_per_sec\": ") else { continue };
+        let tail = &line[mpos + 16..];
+        let num: String =
+            tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Compare `entries` against `baseline` (matched by name); returns the
+/// per-scenario verdict lines and whether any regression breached `max_pct`.
+fn check_against(
+    entries: &[Entry],
+    baseline: &[(String, f64)],
+    max_pct: f64,
+) -> (Vec<String>, bool) {
+    let mut lines = Vec::new();
+    let mut breached = false;
+    for e in entries {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| *n == e.name) else {
+            continue;
+        };
+        let cur = e.mops();
+        let delta_pct = if *base > 0.0 { (cur - base) / base * 100.0 } else { 0.0 };
+        let bad = delta_pct < -max_pct;
+        breached |= bad;
+        lines.push(format!(
+            "{:>20}  base {:>8.3}  now {:>8.3} Mops/s  {:>+7.2}%  {}",
+            e.name,
+            base,
+            cur,
+            delta_pct,
+            if bad { "REGRESSED" } else { "ok" }
+        ));
+    }
+    (lines, breached)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = String::from("current");
     let mut ops = 100_000u64;
     let mut reps = 5u32;
+    let mut check: Option<String> = None;
+    let mut max_regress_pct = 2.0f64;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -162,6 +276,18 @@ fn main() {
             "--reps" => {
                 reps = args[i + 1].parse().expect("--reps takes a number");
                 i += 2;
+            }
+            "--check" => {
+                check = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--max-regress-pct" => {
+                max_regress_pct = args[i + 1].parse().expect("--max-regress-pct takes a number");
+                i += 2;
+            }
+            "--trace" => {
+                trace = true;
+                i += 1;
             }
             other => {
                 eprintln!("unknown arg: {other}");
@@ -182,6 +308,23 @@ fn main() {
         entries.push(best_of(reps, || batched_put(format!("batched_put_8B_w{w}"), ops, w)));
     }
 
+    // Optional obs-enabled pass: its artifacts ride along as footnotes and
+    // side files; it never contributes to the timed entries above.
+    let mut notes: Vec<String> = Vec::new();
+    let mut trace_files: Vec<String> = Vec::new();
+    let dir = std::path::Path::new("results");
+    if trace {
+        let (chrome, ops_json, hist_notes) = traced_pass(ops.min(10_000), 16);
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let span_path = dir.join(format!("BENCH_put_{label}_trace.json"));
+        std::fs::write(&span_path, &chrome).expect("write span trace");
+        let ops_path = dir.join(format!("BENCH_put_{label}_ops.json"));
+        std::fs::write(&ops_path, &ops_json).expect("write op log");
+        trace_files.push(span_path.display().to_string());
+        trace_files.push(ops_path.display().to_string());
+        notes.extend(hist_notes);
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"eager_put_tx_path\",");
@@ -197,15 +340,42 @@ fn main() {
             e.name, e.ops, e.ns, e.mops()
         );
     }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"notes\": [");
+    for (k, n) in notes.iter().enumerate() {
+        let comma = if k + 1 < notes.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\"{comma}", n.replace('"', "'"));
+    }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
     for e in &entries {
         println!("{:>20}  {:>9} ops  {:>12} ns  {:>8.3} Mops/s", e.name, e.ops, e.ns, e.mops());
     }
-    let dir = std::path::Path::new("results");
+    for n in &notes {
+        println!("  # {n}");
+    }
+    for f in &trace_files {
+        println!("wrote {f}");
+    }
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(format!("BENCH_put_{label}.json"));
     std::fs::write(&path, json).expect("write bench json");
     println!("wrote {}", path.display());
+
+    if let Some(base_path) = check {
+        let text = std::fs::read_to_string(&base_path)
+            .unwrap_or_else(|e| panic!("read baseline {base_path}: {e}"));
+        let baseline = parse_baseline(&text);
+        let (lines, breached) = check_against(&entries, &baseline, max_regress_pct);
+        println!("-- check vs {base_path} (max regression {max_regress_pct}%) --");
+        for l in &lines {
+            println!("{l}");
+        }
+        if breached {
+            eprintln!("FAIL: at least one scenario regressed beyond {max_regress_pct}%");
+            std::process::exit(1);
+        }
+        println!("check passed");
+    }
 }

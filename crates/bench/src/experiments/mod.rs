@@ -10,6 +10,7 @@ pub mod e14_coalesce;
 pub mod e15_fabrics;
 pub mod e16_locality;
 pub mod e17_failure;
+pub mod e18_attribution;
 pub mod e1_latency;
 pub mod e2_bandwidth;
 pub mod e3_msgrate;
@@ -24,7 +25,7 @@ use crate::report::Table;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8a", "e8b", "e8c", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17",
+    "e14", "e15", "e16", "e17", "e18",
 ];
 
 /// Run one experiment by id.
@@ -48,6 +49,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e15" => e15_fabrics::run(),
         "e16" => e16_locality::run(),
         "e17" => e17_failure::run(),
+        "e18" => e18_attribution::run(),
         _ => return None,
     })
 }

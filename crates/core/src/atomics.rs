@@ -23,7 +23,7 @@
 //! ```
 
 use crate::buffers::{BufferDescriptor, PhotonBuffer};
-use crate::stats::Stats;
+use crate::obs::Stats;
 use crate::{Photon, PhotonError, Rank, Result};
 use photon_fabric::verbs::{MrSlice, RemoteSlice, WrOp};
 

@@ -29,8 +29,8 @@
 //! });
 //! ```
 
+use crate::obs::Stats;
 use crate::probe::rid_space;
-use crate::stats::Stats;
 use crate::{Photon, PhotonError, Rank, Result};
 use std::sync::atomic::Ordering;
 

@@ -138,9 +138,10 @@ impl WrTable {
         out
     }
 
-    /// Retire `wr_id`, returning its rid. `None` for ids this table never
-    /// issued (unsignaled wrs, stale generations) or already-retired ones.
-    pub(crate) fn remove(&self, wr_id: u64) -> Option<u64> {
+    /// Retire `wr_id`, returning its `(rid, peer)`. `None` for ids this
+    /// table never issued (unsignaled wrs, stale generations) or
+    /// already-retired ones.
+    pub(crate) fn remove(&self, wr_id: u64) -> Option<(u64, Rank)> {
         let gen = (wr_id >> 32) as u32;
         if gen == 0 {
             return None;
@@ -154,10 +155,11 @@ impl WrTable {
         }
         e.live = false;
         let rid = e.rid;
+        let peer = e.peer;
         shard.free.push(slot as u32);
         drop(shard);
         self.count.fetch_sub(1, Ordering::Relaxed);
-        Some(rid)
+        Some((rid, peer))
     }
 
     /// Number of in-flight work requests.
@@ -215,6 +217,9 @@ impl WrTable {
 #[derive(Debug, Clone, Copy)]
 struct LocalNode {
     rid: u64,
+    /// Destination rank of the completed operation, carried through so the
+    /// consolidated `Completion` view can surface it.
+    peer: Rank,
     ts: VTime,
     status: WcStatus,
     prev: u32,
@@ -302,10 +307,10 @@ impl LocalShard {
         LocalShard { head: NIL, tail: NIL, ..LocalShard::default() }
     }
 
-    fn unlink(&mut self, slot: u32) -> (u64, VTime, WcStatus) {
-        let (rid, ts, status, prev, next) = {
+    fn unlink(&mut self, slot: u32) -> (u64, Rank, VTime, WcStatus) {
+        let (rid, peer, ts, status, prev, next) = {
             let n = &self.nodes[slot as usize];
-            (n.rid, n.ts, n.status, n.prev, n.next)
+            (n.rid, n.peer, n.ts, n.status, n.prev, n.next)
         };
         match prev {
             NIL => self.head = next,
@@ -316,7 +321,7 @@ impl LocalShard {
             x => self.nodes[x as usize].prev = prev,
         }
         self.free.push(slot);
-        (rid, ts, status)
+        (rid, peer, ts, status)
     }
 
     fn index_push(&mut self, rid: u64, slot: u32) {
@@ -390,9 +395,9 @@ impl LocalQueue {
         }
     }
 
-    pub(crate) fn push(&self, rid: u64, ts: VTime, status: WcStatus) {
+    pub(crate) fn push(&self, rid: u64, peer: Rank, ts: VTime, status: WcStatus) {
         let mut shard = self.shards[rid_shard(rid)].lock();
-        let node = LocalNode { rid, ts, status, prev: shard.tail, next: NIL };
+        let node = LocalNode { rid, peer, ts, status, prev: shard.tail, next: NIL };
         let slot = match shard.free.pop() {
             Some(s) => {
                 shard.nodes[s as usize] = node;
@@ -419,7 +424,7 @@ impl LocalQueue {
     /// (one warm lock + node slab instead of touching all eight in turn),
     /// and every 32nd pop forces the start shard forward so a continuously
     /// refilled shard cannot starve the others.
-    pub(crate) fn pop_front(&self) -> Option<(u64, VTime, WcStatus)> {
+    pub(crate) fn pop_front(&self) -> Option<(u64, Rank, VTime, WcStatus)> {
         if self.count.load(Ordering::Relaxed) == 0 {
             return None;
         }
@@ -436,7 +441,7 @@ impl LocalQueue {
             if slot == NIL {
                 continue;
             }
-            let (rid, ts, status) = shard.unlink(slot);
+            let (rid, peer, ts, status) = shard.unlink(slot);
             let front = shard.index_take(rid);
             debug_assert_eq!(front, Some(slot), "per-rid index tracks shard FIFO");
             drop(shard);
@@ -445,7 +450,7 @@ impl LocalQueue {
                 self.cursor.store(si, Ordering::Relaxed);
             }
             self.count.fetch_sub(1, Ordering::Relaxed);
-            return Some((rid, ts, status));
+            return Some((rid, peer, ts, status));
         }
         None
     }
@@ -457,7 +462,7 @@ impl LocalQueue {
         }
         let mut shard = self.shards[rid_shard(rid)].lock();
         let slot = shard.index_take(rid)?;
-        let (_, ts, status) = shard.unlink(slot);
+        let (_, _, ts, status) = shard.unlink(slot);
         drop(shard);
         self.count.fetch_sub(1, Ordering::Relaxed);
         Some((ts, status))
@@ -495,7 +500,7 @@ impl LocalQueue {
         let Some(slot) = shard.index_take(rid) else {
             return TakeOutcome::Empty;
         };
-        let (_, ts, status) = shard.unlink(slot);
+        let (_, _, ts, status) = shard.unlink(slot);
         drop(shard);
         self.count.fetch_sub(1, Ordering::Relaxed);
         TakeOutcome::Taken(ts, status)
@@ -572,10 +577,10 @@ mod tests {
         let b = t.insert(200, 1);
         assert_ne!(a, b);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.remove(a), Some(100));
+        assert_eq!(t.remove(a), Some((100, 1)));
         assert_eq!(t.remove(a), None, "double retire must miss");
         assert_eq!(t.remove(0), None, "unsignaled wr_id 0 never matches");
-        assert_eq!(t.remove(b), Some(200));
+        assert_eq!(t.remove(b), Some((200, 1)));
         assert_eq!(t.len(), 0);
     }
 
@@ -591,7 +596,7 @@ mod tests {
         for id in &ids {
             assert_eq!(t.remove(*id), None, "stale id must not hit the recycled slot");
         }
-        assert_eq!(t.remove(fresh), Some(999));
+        assert_eq!(t.remove(fresh), Some((999, 0)));
     }
 
     #[test]
@@ -619,7 +624,7 @@ mod tests {
         assert_eq!(rids, vec![20, 20, 30]);
         assert_eq!(t.len(), 1, "other peers' wrs survive");
         assert_eq!(t.remove(doomed_a), None, "drained slots reject late CQEs");
-        assert_eq!(t.remove(keep), Some(10));
+        assert_eq!(t.remove(keep), Some((10, 0)));
         assert!(t.drain_peer(1).is_empty(), "drain is idempotent");
         let again = t.insert(40, 1);
         assert_eq!(t.drain_peer(1), vec![(again, 40)], "drained pairs carry live wr_ids");
@@ -631,7 +636,7 @@ mod tests {
     fn local_queue_take_rid_is_order_independent() {
         let q = LocalQueue::new();
         for rid in 0..100u64 {
-            q.push(rid, VTime(rid + 1), OK);
+            q.push(rid, 1, VTime(rid + 1), OK);
         }
         assert_eq!(q.len(), 100);
         // Worst case for a scan: consume in reverse arrival order.
@@ -645,8 +650,8 @@ mod tests {
     #[test]
     fn local_queue_duplicate_rids_fifo() {
         let q = LocalQueue::new();
-        q.push(9, VTime(1), OK);
-        q.push(9, VTime(2), WcStatus::FlushErr);
+        q.push(9, 1, VTime(1), OK);
+        q.push(9, 2, VTime(2), WcStatus::FlushErr);
         assert_eq!(q.take_rid(9), Some((VTime(1), OK)), "oldest instance first");
         assert_eq!(q.take_rid(9), Some((VTime(2), WcStatus::FlushErr)), "status rides along");
         assert_eq!(q.take_rid(9), None);
@@ -656,9 +661,10 @@ mod tests {
     fn local_queue_pop_front_drains_everything() {
         let q = LocalQueue::new();
         for rid in 0..50u64 {
-            q.push(rid, VTime(rid), OK);
+            q.push(rid, 0, VTime(rid), OK);
         }
-        let mut seen: Vec<u64> = std::iter::from_fn(|| q.pop_front()).map(|(r, _, _)| r).collect();
+        let mut seen: Vec<u64> =
+            std::iter::from_fn(|| q.pop_front()).map(|(r, _, _, _)| r).collect();
         assert_eq!(q.pop_front(), None);
         seen.sort_unstable();
         assert_eq!(seen, (0..50).collect::<Vec<_>>());
@@ -668,14 +674,14 @@ mod tests {
     fn local_queue_mixed_pop_and_take() {
         let q = LocalQueue::new();
         for rid in 0..20u64 {
-            q.push(rid, VTime(rid), OK);
+            q.push(rid, 0, VTime(rid), OK);
         }
         // Interleave targeted takes with FIFO pops; nothing lost or doubled.
         let mut got = Vec::new();
         for rid in (0..20u64).step_by(2) {
             got.push(q.take_rid(rid).map(|_| rid).expect("even rid present"));
         }
-        while let Some((rid, _, _)) = q.pop_front() {
+        while let Some((rid, _, _, _)) = q.pop_front() {
             got.push(rid);
         }
         got.sort_unstable();
@@ -685,13 +691,13 @@ mod tests {
     #[test]
     fn claims_shield_rids_from_unclaimed_takes() {
         let q = LocalQueue::new();
-        q.push(7, VTime(1), OK);
+        q.push(7, 3, VTime(1), OK);
         q.claim(7);
         assert_eq!(q.take_rid_unclaimed(7), TakeOutcome::Claimed);
         assert_eq!(q.take_rid_unclaimed(8), TakeOutcome::Empty);
         assert_eq!(q.take_rid(7), Some((VTime(1), OK)), "the claiming waiter itself still takes");
         q.unclaim(7);
-        q.push(7, VTime(2), OK);
+        q.push(7, 3, VTime(2), OK);
         assert_eq!(q.take_rid_unclaimed(7), TakeOutcome::Taken(VTime(2), OK));
         assert_eq!(q.len(), 0);
     }

@@ -1,10 +1,24 @@
 //! Middleware configuration.
+//!
+//! Construct configs through [`PhotonConfig::builder`], which validates
+//! cross-field constraints (eager threshold vs ring capacity, backoff base
+//! vs ceiling, …) and reports nonsense values as
+//! [`PhotonError::Config`](crate::PhotonError#variant.Config). Direct struct-literal
+//! construction still compiles (the fields stay public for ablation
+//! experiments and tests) but is deprecated in favor of the builder: a
+//! literal can silently encode a config the runtime will normalize or
+//! misbehave under, while `build()` rejects it with a named reason.
+
+use crate::{PhotonError, Result};
 
 /// Tunables of a Photon context.
 ///
 /// Defaults follow the original implementation's order of magnitude: a few
 /// hundred ledger slots and a few hundred KiB of eager space per peer, with
 /// an 8 KiB eager/rendezvous threshold.
+///
+/// Prefer [`PhotonConfig::builder`] over struct literals — see the module
+/// docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhotonConfig {
     /// Payloads at or below this size take the eager (packed) path when a
@@ -55,6 +69,77 @@ pub struct PhotonConfig {
 }
 
 impl PhotonConfig {
+    /// Start building a validated configuration from the defaults.
+    ///
+    /// ```
+    /// use photon_core::PhotonConfig;
+    /// let cfg = PhotonConfig::builder()
+    ///     .eager_threshold(1024)
+    ///     .ledger_entries(64)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.eager_threshold, 1024);
+    /// assert!(PhotonConfig::builder().backoff_base_ns(10).backoff_max_ns(5).build().is_err());
+    /// ```
+    pub fn builder() -> PhotonConfigBuilder {
+        PhotonConfigBuilder { cfg: PhotonConfig::default() }
+    }
+
+    /// Re-open this config for modification through the validating builder.
+    pub fn to_builder(self) -> PhotonConfigBuilder {
+        PhotonConfigBuilder { cfg: self }
+    }
+
+    /// Validate cross-field constraints; `Err(PhotonError::Config)` names
+    /// every violated rule. Called by [`PhotonConfigBuilder::build`].
+    pub fn validate(&self) -> Result<()> {
+        let mut faults: Vec<String> = Vec::new();
+        let min_ring = 4 * crate::eager::FRAME_HDR;
+        if self.eager_ring_bytes < min_ring {
+            faults.push(format!(
+                "eager_ring_bytes {} below minimum {min_ring} (4 frame headers)",
+                self.eager_ring_bytes
+            ));
+        } else if self.eager_threshold > self.max_eager_payload() {
+            faults.push(format!(
+                "eager_threshold {} exceeds max eager payload {} of a {}-byte ring \
+                 (a frame may span at most half the ring)",
+                self.eager_threshold,
+                self.max_eager_payload(),
+                self.eager_ring_bytes
+            ));
+        }
+        if self.ledger_entries < 2 {
+            faults.push(format!(
+                "ledger_entries {} below minimum 2 (credit return needs headroom)",
+                self.ledger_entries
+            ));
+        }
+        if self.backoff_base_ns == 0 {
+            faults.push("backoff_base_ns must be nonzero".to_string());
+        }
+        if self.backoff_base_ns > self.backoff_max_ns {
+            faults.push(format!(
+                "backoff_base_ns {} exceeds backoff_max_ns {}",
+                self.backoff_base_ns, self.backoff_max_ns
+            ));
+        }
+        if self.suspect_death_probes == 0 {
+            faults.push("suspect_death_probes must be nonzero".to_string());
+        }
+        if self.coll_slot_bytes == 0 {
+            faults.push("coll_slot_bytes must be nonzero".to_string());
+        }
+        if self.wait_timeout_secs == 0 {
+            faults.push("wait_timeout_secs must be nonzero (it is the deadlock guard)".to_string());
+        }
+        if faults.is_empty() {
+            Ok(())
+        } else {
+            Err(PhotonError::Config(faults.join("; ")))
+        }
+    }
+
     /// Configuration with a tiny ledger/ring, for exercising backpressure in
     /// tests.
     pub fn tiny() -> Self {
@@ -101,6 +186,65 @@ impl Default for PhotonConfig {
     }
 }
 
+/// Validating builder for [`PhotonConfig`]; obtain one through
+/// [`PhotonConfig::builder`] or [`PhotonConfig::to_builder`].
+///
+/// Every setter is infallible; [`PhotonConfigBuilder::build`] checks the
+/// cross-field constraints once, over the final value set, and returns
+/// [`PhotonError::Config`](crate::PhotonError#variant.Config) naming each violated
+/// rule.
+#[derive(Debug, Clone, Copy)]
+pub struct PhotonConfigBuilder {
+    cfg: PhotonConfig,
+}
+
+macro_rules! builder_setters {
+    ( $( $(#[doc = $doc:literal])+ $field:ident: $ty:ty, )+ ) => {
+        $(
+            $(#[doc = $doc])+
+            pub fn $field(mut self, v: $ty) -> Self {
+                self.cfg.$field = v;
+                self
+            }
+        )+
+    };
+}
+
+impl PhotonConfigBuilder {
+    builder_setters! {
+        /// See [`PhotonConfig::eager_threshold`].
+        eager_threshold: usize,
+        /// See [`PhotonConfig::eager_ring_bytes`].
+        eager_ring_bytes: usize,
+        /// See [`PhotonConfig::ledger_entries`].
+        ledger_entries: usize,
+        /// See [`PhotonConfig::copy_ps_per_byte`].
+        copy_ps_per_byte: u64,
+        /// See [`PhotonConfig::credit_interval`].
+        credit_interval: usize,
+        /// See [`PhotonConfig::coll_slot_bytes`].
+        coll_slot_bytes: usize,
+        /// See [`PhotonConfig::wait_timeout_secs`].
+        wait_timeout_secs: u64,
+        /// See [`PhotonConfig::imm_completions`].
+        imm_completions: bool,
+        /// See [`PhotonConfig::suspect_deadline_ns`].
+        suspect_deadline_ns: u64,
+        /// See [`PhotonConfig::backoff_base_ns`].
+        backoff_base_ns: u64,
+        /// See [`PhotonConfig::backoff_max_ns`].
+        backoff_max_ns: u64,
+        /// See [`PhotonConfig::suspect_death_probes`].
+        suspect_death_probes: u32,
+    }
+
+    /// Validate and produce the final configuration.
+    pub fn build(self) -> Result<PhotonConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +268,60 @@ mod tests {
     fn zero_credit_interval_means_every_entry() {
         let c = PhotonConfig { credit_interval: 0, ..PhotonConfig::default() };
         assert_eq!(c.credit_interval_entries(), 1);
+    }
+
+    #[test]
+    fn builder_roundtrips_and_validates() {
+        let cfg = PhotonConfig::builder()
+            .eager_threshold(64)
+            .eager_ring_bytes(512)
+            .ledger_entries(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg, PhotonConfig::tiny());
+        let again = cfg.to_builder().imm_completions(true).build().unwrap();
+        assert!(again.imm_completions);
+    }
+
+    #[test]
+    fn builder_rejects_threshold_beyond_ring_capacity() {
+        let err = PhotonConfig::builder()
+            .eager_ring_bytes(512)
+            .eager_threshold(4096)
+            .build()
+            .unwrap_err();
+        let crate::PhotonError::Config(msg) = err else { panic!("want Config, got {err:?}") };
+        assert!(msg.contains("eager_threshold"), "{msg}");
+    }
+
+    #[test]
+    fn builder_rejects_inverted_backoff_and_tiny_ring() {
+        let err = PhotonConfig::builder()
+            .backoff_base_ns(1_000_000)
+            .backoff_max_ns(10)
+            .eager_ring_bytes(1)
+            .suspect_death_probes(0)
+            .build()
+            .unwrap_err();
+        let crate::PhotonError::Config(msg) = err else { panic!("want Config, got {err:?}") };
+        // Every violated rule is named, joined in one message.
+        assert!(msg.contains("backoff_base_ns"), "{msg}");
+        assert!(msg.contains("eager_ring_bytes"), "{msg}");
+        assert!(msg.contains("suspect_death_probes"), "{msg}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_guards() {
+        for (i, b) in [
+            PhotonConfig::builder().backoff_base_ns(0),
+            PhotonConfig::builder().ledger_entries(1),
+            PhotonConfig::builder().coll_slot_bytes(0),
+            PhotonConfig::builder().wait_timeout_secs(0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert!(matches!(b.build(), Err(crate::PhotonError::Config(_))), "case {i}");
+        }
     }
 }

@@ -72,21 +72,22 @@ pub(crate) mod completion;
 pub mod config;
 pub mod eager;
 pub mod ledger;
+pub mod obs;
 pub mod photon;
 pub mod pool;
 pub mod probe;
 pub mod rendezvous;
-pub mod stats;
-pub mod trace;
 
 pub use buffers::PhotonBuffer;
 pub use collectives::ReduceOp;
-pub use config::PhotonConfig;
+pub use config::{PhotonConfig, PhotonConfigBuilder};
+pub use obs::{
+    LatencySummary, Metrics, Obs, OpKind, SpanTrace, StatsSnapshot, TraceExport, TraceOp,
+    TraceRecord, Tracer,
+};
 pub use photon::{CreditState, PeerHealthState, Photon, PhotonCluster, PutManyItem};
 pub use pool::BufferPool;
-pub use probe::{Event, ProbeFlags, RemoteEvent};
-pub use stats::StatsSnapshot;
-pub use trace::{TraceOp, TraceRecord, Tracer};
+pub use probe::{Completion, CompletionClass, Event, ProbeFlags, RemoteEvent};
 
 pub use photon_fabric::WcStatus;
 
@@ -145,6 +146,9 @@ pub enum PhotonError {
     },
     /// Collective participants disagree about parameters.
     Protocol(&'static str),
+    /// A [`PhotonConfig`] failed validation (see
+    /// [`PhotonConfig::builder`]); the message names the offending knobs.
+    Config(String),
 }
 
 impl fmt::Display for PhotonError {
@@ -171,6 +175,7 @@ impl fmt::Display for PhotonError {
                 write!(f, "operation rid {rid:#x} failed: {status}")
             }
             PhotonError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            PhotonError::Config(what) => write!(f, "invalid config: {what}"),
         }
     }
 }

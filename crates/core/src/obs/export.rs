@@ -1,0 +1,103 @@
+//! Trace record export.
+//!
+//! [`TraceExport`] renders a batch of [`TraceRecord`]s in either of two
+//! formats:
+//!
+//! * **CSV** — the historical `ts_ns,op,peer,rid,size` table. Byte-stable:
+//!   simtest case digests hash this text, so its format is pinned.
+//! * **JSON** — an array of record objects, consumed by the bench crate
+//!   when emitting trace artifacts. Hand-rolled (the workspace carries no
+//!   serde); field names mirror the CSV header.
+//!
+//! Both render in virtual-time order: records are buffered in call order,
+//! which can disagree with their timestamps (a probe surfaces a completion
+//! whose delivery time precedes the prober's current clock), and the
+//! export is the canonical timeline, so records sort by timestamp, stably,
+//! before rendering.
+
+use crate::obs::TraceRecord;
+use std::fmt::Write as _;
+
+/// Renderers for [`TraceRecord`] batches. See the module docs.
+pub struct TraceExport;
+
+impl TraceExport {
+    /// Sorted copy of `records`, stable by virtual timestamp.
+    fn ordered(records: &[TraceRecord]) -> Vec<TraceRecord> {
+        let mut out = records.to_vec();
+        out.sort_by_key(|r| r.ts);
+        out
+    }
+
+    /// Render as CSV (`ts_ns,op,peer,rid,size`), in virtual-time order.
+    pub fn csv(records: &[TraceRecord]) -> String {
+        let mut out = String::from("ts_ns,op,peer,rid,size\n");
+        for r in &Self::ordered(records) {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.ts.as_nanos(),
+                r.op,
+                r.peer,
+                r.rid,
+                r.size
+            ));
+        }
+        out
+    }
+
+    /// Render as a JSON array of record objects, in virtual-time order:
+    /// `[{"ts_ns":…,"op":"…","peer":…,"rid":…,"size":…},…]`.
+    pub fn json(records: &[TraceRecord]) -> String {
+        let mut out = String::from("[");
+        for (i, r) in Self::ordered(records).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"ts_ns\":{},\"op\":\"{}\",\"peer\":{},\"rid\":{},\"size\":{}}}",
+                r.ts.as_nanos(),
+                r.op,
+                r.peer,
+                r.rid,
+                r.size
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::TraceOp;
+    use photon_fabric::VTime;
+
+    fn recs() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord { ts: VTime(20), op: TraceOp::RemoteDone, peer: 1, rid: 7, size: 64 },
+            TraceRecord { ts: VTime(5), op: TraceOp::PutEager, peer: 2, rid: 99, size: 128 },
+        ]
+    }
+
+    #[test]
+    fn csv_sorts_by_virtual_time() {
+        let csv = TraceExport::csv(&recs());
+        assert_eq!(csv, "ts_ns,op,peer,rid,size\n5,put-eager,2,99,128\n20,remote-done,1,7,64\n");
+    }
+
+    #[test]
+    fn json_mirrors_csv_fields_in_order() {
+        let json = TraceExport::json(&recs());
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        let first = json.find("put-eager").unwrap();
+        let second = json.find("remote-done").unwrap();
+        assert!(first < second, "time-ordered");
+        assert!(
+            json.contains("{\"ts_ns\":5,\"op\":\"put-eager\",\"peer\":2,\"rid\":99,\"size\":128}")
+        );
+        assert_eq!(TraceExport::json(&[]), "[\n]\n");
+    }
+}

@@ -1,0 +1,264 @@
+//! Sharded lock-free log2-bucket latency histograms.
+//!
+//! One histogram cell per (peer, op-kind, size-class); each cell is 32
+//! power-of-two buckets of `AtomicU64` plus a `fetch_max` maximum. Recording
+//! is wait-free: two relaxed atomic RMWs into a shard picked by the op's
+//! rid, so concurrent completions for different rids almost never contend on
+//! a cache line. Quantiles are computed at snapshot time by merging the
+//! shards and walking the cumulative bucket counts; a log2 bucket bounds the
+//! reported p50/p99 to within 2× of the true value, which is the right
+//! fidelity for "where did the microsecond go" questions against a
+//! virtual-clock fabric.
+//!
+//! The whole structure is only allocated when observability recording is
+//! enabled ([`Obs::enable`](crate::obs::Obs::enable)), so disabled contexts
+//! pay neither the ~200KiB of buckets nor any cache traffic.
+
+use crate::obs::{OpKind, OP_KINDS};
+use crate::Rank;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram shards; recording picks one by rid so concurrent completions
+/// spread across distinct bucket arrays.
+const HIST_SHARDS: usize = 4;
+
+/// Log2 buckets per cell: bucket `i` counts latencies in `[2^i, 2^(i+1))`
+/// ns, so 32 buckets span 1ns..~4.3s of virtual time.
+const BUCKETS: usize = 32;
+
+/// Payload size classes latency is keyed by.
+pub const SIZE_CLASSES: usize = 4;
+
+/// Map a payload size to its class: ≤64B, ≤4KiB, ≤64KiB, larger.
+pub fn size_class(len: usize) -> usize {
+    match len {
+        0..=64 => 0,
+        65..=4096 => 1,
+        4097..=65_536 => 2,
+        _ => 3,
+    }
+}
+
+/// Human-readable label for a size class index.
+pub fn size_class_label(class: usize) -> &'static str {
+    match class {
+        0 => "<=64B",
+        1 => "<=4KiB",
+        2 => "<=64KiB",
+        _ => ">64KiB",
+    }
+}
+
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+#[derive(Debug)]
+struct HistShard {
+    /// `[(peer × kind × class) × BUCKETS]` counters.
+    buckets: Vec<AtomicU64>,
+    /// One maximum per (peer × kind × class) cell.
+    max: Vec<AtomicU64>,
+}
+
+/// Latency summary for one (op-kind, peer) pair, aggregated over size
+/// classes and shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Operation class the latencies belong to.
+    pub kind: OpKind,
+    /// Peer the operations targeted (initiator side) or arrived from
+    /// (target side).
+    pub peer: Rank,
+    /// Completions recorded.
+    pub count: u64,
+    /// Median latency in virtual ns (log2-bucket upper bound).
+    pub p50_ns: u64,
+    /// 99th-percentile latency in virtual ns (log2-bucket upper bound).
+    pub p99_ns: u64,
+    /// Maximum latency in virtual ns (exact).
+    pub max_ns: u64,
+}
+
+/// The per-context histogram bank: `peers × OP_KINDS × SIZE_CLASSES` cells
+/// replicated over `HIST_SHARDS` shards.
+#[derive(Debug)]
+pub struct LatencyHistograms {
+    peers: usize,
+    shards: Vec<HistShard>,
+}
+
+impl LatencyHistograms {
+    pub(crate) fn new(peers: usize) -> LatencyHistograms {
+        let peers = peers.max(1);
+        let cells = peers * OP_KINDS * SIZE_CLASSES;
+        let shards = (0..HIST_SHARDS)
+            .map(|_| HistShard {
+                buckets: (0..cells * BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                max: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
+        LatencyHistograms { peers, shards }
+    }
+
+    #[inline]
+    fn cell(&self, peer: Rank, kind: OpKind, class: usize) -> usize {
+        debug_assert!(peer < self.peers && class < SIZE_CLASSES);
+        (peer * OP_KINDS + kind.index()) * SIZE_CLASSES + class
+    }
+
+    /// Record one completion latency. `shard_key` (typically the rid)
+    /// selects the shard; everything is relaxed atomics.
+    #[inline]
+    pub(crate) fn record(&self, shard_key: u64, peer: Rank, kind: OpKind, size: usize, ns: u64) {
+        if peer >= self.peers {
+            return; // defensive: never index out of the bank
+        }
+        let shard = &self.shards[(shard_key as usize) & (HIST_SHARDS - 1)];
+        let cell = self.cell(peer, kind, size_class(size));
+        shard.buckets[cell * BUCKETS + bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        shard.max[cell].fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Merge one (peer, kind) pair across shards and size classes.
+    fn merged(&self, peer: Rank, kind: OpKind) -> ([u64; BUCKETS], u64, u64) {
+        let mut buckets = [0u64; BUCKETS];
+        let mut max = 0u64;
+        let mut count = 0u64;
+        for class in 0..SIZE_CLASSES {
+            let cell = self.cell(peer, kind, class);
+            for shard in &self.shards {
+                for (b, out) in buckets.iter_mut().enumerate() {
+                    let v = shard.buckets[cell * BUCKETS + b].load(Ordering::Relaxed);
+                    *out += v;
+                    count += v;
+                }
+                max = max.max(shard.max[cell].load(Ordering::Relaxed));
+            }
+        }
+        (buckets, count, max)
+    }
+
+    /// Summaries for every (kind, peer) pair that recorded at least one
+    /// completion, kinds in declaration order, peers ascending.
+    pub fn summaries(&self) -> Vec<LatencySummary> {
+        let mut out = Vec::new();
+        for kind in OpKind::ALL {
+            for peer in 0..self.peers {
+                if let Some(s) = self.summary(kind, peer) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Summary for one (kind, peer) pair; `None` when nothing was recorded.
+    pub fn summary(&self, kind: OpKind, peer: Rank) -> Option<LatencySummary> {
+        if peer >= self.peers {
+            return None;
+        }
+        let (buckets, count, max) = self.merged(peer, kind);
+        if count == 0 {
+            return None;
+        }
+        Some(LatencySummary {
+            kind,
+            peer,
+            count,
+            p50_ns: quantile(&buckets, count, 1, 2, max),
+            p99_ns: quantile(&buckets, count, 99, 100, max),
+            max_ns: max,
+        })
+    }
+}
+
+/// Value at rank `ceil(count × q_num / q_den)` from cumulative bucket
+/// counts; reported as the bucket's inclusive upper bound, clamped by the
+/// exact recorded maximum.
+fn quantile(buckets: &[u64; BUCKETS], count: u64, q_num: u64, q_den: u64, max: u64) -> u64 {
+    let target = (count * q_num).div_ceil(q_den).max(1);
+    let mut cum = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        cum += b;
+        if cum >= target {
+            return bucket_bound(i).min(max);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_partition_sizes() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(64), 0);
+        assert_eq!(size_class(65), 1);
+        assert_eq!(size_class(4096), 1);
+        assert_eq!(size_class(65_536), 2);
+        assert_eq!(size_class(1 << 20), 3);
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(10), 2047);
+    }
+
+    #[test]
+    fn summary_quantiles_bound_the_data() {
+        let h = LatencyHistograms::new(2);
+        // 99 fast ops at ~100ns, one slow outlier at 1ms, spread over rids
+        // (and therefore shards).
+        for rid in 0..99u64 {
+            h.record(rid, 1, OpKind::PutEager, 8, 100);
+        }
+        h.record(7, 1, OpKind::PutEager, 8, 1_000_000);
+        let s = h.summary(OpKind::PutEager, 1).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max_ns, 1_000_000);
+        // p50 falls in the [64,128) bucket → bound 127.
+        assert_eq!(s.p50_ns, 127);
+        // p99 target is the 99th value, still in the fast bucket.
+        assert_eq!(s.p99_ns, 127);
+        assert!(h.summary(OpKind::PutEager, 0).is_none());
+        assert!(h.summary(OpKind::Get, 1).is_none());
+    }
+
+    #[test]
+    fn summaries_split_by_kind_and_peer() {
+        let h = LatencyHistograms::new(3);
+        h.record(1, 0, OpKind::Send, 8, 50);
+        h.record(2, 2, OpKind::Get, 9000, 700);
+        let all = h.summaries();
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[0].kind, all[0].peer), (OpKind::Get, 2));
+        assert_eq!((all[1].kind, all[1].peer), (OpKind::Send, 0));
+        // Out-of-range peers are ignored, not a panic.
+        h.record(3, 99, OpKind::Send, 8, 50);
+        assert_eq!(h.summaries().len(), 2);
+    }
+}

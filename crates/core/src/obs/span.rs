@@ -1,0 +1,484 @@
+//! Op-lifecycle spans.
+//!
+//! Every tracked rid accumulates a timeline as it moves through the stack:
+//!
+//! ```text
+//! initiator:  post → stage → inject → complete
+//! target:              deliver → complete
+//! ```
+//!
+//! * `post`    — the API call entered the data path (caller's virtual clock)
+//! * `stage`   — the payload was composed into the staging ring / ledger
+//! * `inject`  — the simulated NIC finished injection (the CQE timestamp)
+//! * `deliver` — the frame/entry became visible at the target (the delivery
+//!   stamp the NIC wrote into the payload)
+//! * `complete`— the completion was surfaced to the application (probe/wait)
+//!
+//! Spans export as Chrome/Perfetto `trace_event` JSON (load the file in
+//! <https://ui.perfetto.dev> or `chrome://tracing`) and as a compact text
+//! flamegraph that attributes total virtual time per stage per op kind.
+//! All timestamps are **virtual** nanoseconds from the deterministic fabric
+//! clock, so a span trace of a simtest failure replays byte-identically.
+
+use crate::obs::OpKind;
+use crate::Rank;
+use parking_lot::Mutex;
+use photon_fabric::WcStatus;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which side of the wire a span was recorded on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanDir {
+    /// The rank that posted the operation.
+    Initiator,
+    /// The rank the operation landed on.
+    Target,
+}
+
+/// One operation's lifecycle timeline. Absent stamps mean the op never
+/// reached (or has not yet reached) that stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpan {
+    /// Completion identifier the span is keyed by (local rid on the
+    /// initiator, the wire rid on the target).
+    pub rid: u64,
+    /// Peer rank: destination on the initiator side, source on the target.
+    pub peer: Rank,
+    /// Operation class.
+    pub kind: OpKind,
+    /// Recording side.
+    pub dir: SpanDir,
+    /// Payload bytes.
+    pub size: usize,
+    /// Virtual ns the op entered the data path.
+    pub post_ns: Option<u64>,
+    /// Virtual ns the payload was staged.
+    pub stage_ns: Option<u64>,
+    /// Virtual ns the NIC finished injection (CQE timestamp).
+    pub inject_ns: Option<u64>,
+    /// Virtual ns the op became visible at the target.
+    pub deliver_ns: Option<u64>,
+    /// Virtual ns the completion was surfaced to the application.
+    pub complete_ns: Option<u64>,
+    /// Final completion status (`Success` while still in flight).
+    pub status: WcStatus,
+}
+
+impl OpSpan {
+    fn new(rid: u64, peer: Rank, kind: OpKind, dir: SpanDir, size: usize) -> OpSpan {
+        OpSpan {
+            rid,
+            peer,
+            kind,
+            dir,
+            size,
+            post_ns: None,
+            stage_ns: None,
+            inject_ns: None,
+            deliver_ns: None,
+            complete_ns: None,
+            status: WcStatus::Success,
+        }
+    }
+
+    /// Earliest recorded stamp.
+    pub fn begin_ns(&self) -> Option<u64> {
+        [self.post_ns, self.stage_ns, self.inject_ns, self.deliver_ns, self.complete_ns]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Latest recorded stamp.
+    pub fn end_ns(&self) -> Option<u64> {
+        [self.post_ns, self.stage_ns, self.inject_ns, self.deliver_ns, self.complete_ns]
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// The recorded `(stage-name, at_ns)` stamps in lifecycle order.
+    pub fn stamps(&self) -> Vec<(&'static str, u64)> {
+        let all = [
+            ("post", self.post_ns),
+            ("stage", self.stage_ns),
+            ("inject", self.inject_ns),
+            ("deliver", self.deliver_ns),
+            ("complete", self.complete_ns),
+        ];
+        all.into_iter().filter_map(|(n, v)| v.map(|v| (n, v))).collect()
+    }
+}
+
+const SPAN_SHARDS: usize = 8;
+
+/// How many finished spans are retained; beyond this they are counted in
+/// `dropped` instead of buffered, so a long bench run cannot grow without
+/// bound.
+const DONE_CAP: usize = 1 << 16;
+
+#[inline]
+fn shard_of(rid: u64) -> usize {
+    (rid.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (SPAN_SHARDS - 1)
+}
+
+/// The per-context span store: open spans sharded by rid, finished spans in
+/// a bounded buffer.
+#[derive(Debug)]
+pub(crate) struct SpanStore {
+    open_init: Vec<Mutex<HashMap<u64, OpSpan>>>,
+    /// Target-side spans keyed by (source rank, wire rid): rids are only
+    /// unique per initiator, so the source disambiguates.
+    open_tgt: Vec<Mutex<HashMap<(Rank, u64), OpSpan>>>,
+    done: Mutex<Vec<OpSpan>>,
+    dropped: AtomicU64,
+}
+
+impl SpanStore {
+    pub(crate) fn new() -> SpanStore {
+        SpanStore {
+            open_init: (0..SPAN_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            open_tgt: (0..SPAN_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            done: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn begin_initiator(&self, rid: u64, peer: Rank, kind: OpKind, size: usize, ns: u64) {
+        let mut span = OpSpan::new(rid, peer, kind, SpanDir::Initiator, size);
+        span.post_ns = Some(ns);
+        self.open_init[shard_of(rid)].lock().insert(rid, span);
+    }
+
+    pub(crate) fn stamp_stage(&self, rid: u64, ns: u64) {
+        if let Some(s) = self.open_init[shard_of(rid)].lock().get_mut(&rid) {
+            s.stage_ns.get_or_insert(ns);
+        }
+    }
+
+    pub(crate) fn stamp_inject(&self, rid: u64, ns: u64) {
+        if let Some(s) = self.open_init[shard_of(rid)].lock().get_mut(&rid) {
+            s.inject_ns.get_or_insert(ns);
+        }
+    }
+
+    /// Close an initiator span: stamp completion, move it to the done
+    /// buffer, and return a copy (for histogram recording).
+    pub(crate) fn finish_initiator(&self, rid: u64, ns: u64, status: WcStatus) -> Option<OpSpan> {
+        let mut span = self.open_init[shard_of(rid)].lock().remove(&rid)?;
+        span.complete_ns = Some(ns);
+        span.status = status;
+        self.retire(span);
+        Some(span)
+    }
+
+    pub(crate) fn begin_target(&self, src: Rank, rid: u64, kind: OpKind, size: usize, ns: u64) {
+        let mut span = OpSpan::new(rid, src, kind, SpanDir::Target, size);
+        span.deliver_ns = Some(ns);
+        self.open_tgt[shard_of(rid)].lock().insert((src, rid), span);
+    }
+
+    /// Close a target span; see [`SpanStore::finish_initiator`].
+    pub(crate) fn finish_target(
+        &self,
+        src: Rank,
+        rid: u64,
+        ns: u64,
+        status: WcStatus,
+    ) -> Option<OpSpan> {
+        let mut span = self.open_tgt[shard_of(rid)].lock().remove(&(src, rid))?;
+        span.complete_ns = Some(ns);
+        span.status = status;
+        self.retire(span);
+        Some(span)
+    }
+
+    fn retire(&self, span: OpSpan) {
+        let mut done = self.done.lock();
+        if done.len() < DONE_CAP {
+            done.push(span);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Every span recorded so far — finished first, then still-open ones —
+    /// sorted by earliest stamp.
+    pub(crate) fn collect(&self) -> (Vec<OpSpan>, u64) {
+        let mut out = self.done.lock().clone();
+        for shard in &self.open_init {
+            out.extend(shard.lock().values().copied());
+        }
+        for shard in &self.open_tgt {
+            out.extend(shard.lock().values().copied());
+        }
+        out.sort_by_key(|s| (s.begin_ns().unwrap_or(0), s.rid));
+        (out, self.dropped.load(Ordering::Relaxed))
+    }
+}
+
+/// One rank's exported span timeline.
+#[derive(Debug, Clone)]
+pub struct SpanTrace {
+    /// The recording rank (becomes the `pid` in Chrome trace output).
+    pub rank: Rank,
+    /// All recorded spans, earliest first.
+    pub spans: Vec<OpSpan>,
+    /// Finished spans discarded after the retention cap was hit.
+    pub dropped: u64,
+}
+
+impl SpanTrace {
+    /// Render this rank's spans as a Chrome/Perfetto `trace_event` JSON
+    /// document. See [`chrome_trace_json`] to merge several ranks.
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace_json(std::slice::from_ref(self))
+    }
+
+    /// Render a compact text flamegraph: total virtual time per lifecycle
+    /// stage, aggregated per op kind.
+    pub fn to_flamegraph(&self) -> String {
+        #[derive(Default)]
+        struct Agg {
+            count: u64,
+            total_ns: u64,
+            stages: Vec<(String, u64)>,
+        }
+        let mut by_kind: Vec<(OpKind, Agg)> = Vec::new();
+        for span in &self.spans {
+            let stamps = span.stamps();
+            if stamps.len() < 2 {
+                continue;
+            }
+            let agg = match by_kind.iter_mut().find(|(k, _)| *k == span.kind) {
+                Some((_, a)) => a,
+                None => {
+                    by_kind.push((span.kind, Agg::default()));
+                    &mut by_kind.last_mut().unwrap().1
+                }
+            };
+            agg.count += 1;
+            agg.total_ns += stamps.last().unwrap().1 - stamps[0].1;
+            for w in stamps.windows(2) {
+                let name = format!("{}->{}", w[0].0, w[1].0);
+                let dt = w[1].1 - w[0].1;
+                match agg.stages.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, t)) => *t += dt,
+                    None => agg.stages.push((name, dt)),
+                }
+            }
+        }
+        let mut out = String::from("op-lifecycle stage attribution (virtual ns)\n");
+        for (kind, agg) in &by_kind {
+            let _ =
+                writeln!(out, "{:<14} count={} total={}ns", kind.as_str(), agg.count, agg.total_ns);
+            for (stage, ns) in &agg.stages {
+                let pct =
+                    if agg.total_ns == 0 { 0.0 } else { *ns as f64 * 100.0 / agg.total_ns as f64 };
+                let _ = writeln!(out, "  {stage:<18} {ns:>10}ns {pct:>5.1}%");
+            }
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} finished spans dropped past retention cap)", self.dropped);
+        }
+        out
+    }
+}
+
+fn status_str(s: WcStatus) -> &'static str {
+    match s {
+        WcStatus::Success => "Success",
+        WcStatus::FlushErr => "FlushErr",
+        WcStatus::RetryExceeded => "RetryExceeded",
+        WcStatus::RemoteDead => "RemoteDead",
+    }
+}
+
+/// Microseconds with ns precision, as Chrome's `ts`/`dur` expect.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Placement of one `X` slice: lane plus time extent.
+struct SliceAt {
+    pid: Rank,
+    tid: usize,
+    ts_ns: u64,
+    dur_ns: u64,
+}
+
+fn push_event(out: &mut String, first: &mut bool, name: &str, at: &SliceAt, args: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"photon\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{args}}}",
+        us(at.ts_ns),
+        us(at.dur_ns.max(1)),
+        at.pid,
+        at.tid,
+    );
+}
+
+/// Merge several ranks' span traces into one Chrome/Perfetto `trace_event`
+/// JSON document (`pid` = rank, `tid` 0 = initiator ops, `tid` 1 = target
+/// ops). The output loads directly in <https://ui.perfetto.dev> or
+/// `chrome://tracing`.
+pub fn chrome_trace_json(traces: &[SpanTrace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    for t in traces {
+        // Metadata: name the process after the rank and the two thread
+        // lanes after the span direction.
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{0},\"tid\":0,\"args\":{{\"name\":\"rank {0}\"}}}}",
+            t.rank
+        );
+        for (tid, lane) in [(0usize, "initiator"), (1, "target")] {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\"args\":{{\"name\":\"{lane}\"}}}}",
+                t.rank
+            );
+        }
+        for span in &t.spans {
+            let stamps = span.stamps();
+            let Some(&(_, begin)) = stamps.first() else { continue };
+            let end = stamps.last().unwrap().1;
+            let tid = match span.dir {
+                SpanDir::Initiator => 0,
+                SpanDir::Target => 1,
+            };
+            let args = format!(
+                "{{\"rid\":{},\"peer\":{},\"size\":{},\"status\":\"{}\"}}",
+                span.rid,
+                span.peer,
+                span.size,
+                status_str(span.status)
+            );
+            let at = SliceAt { pid: t.rank, tid, ts_ns: begin, dur_ns: end - begin };
+            push_event(&mut out, &mut first, span.kind.as_str(), &at, &args);
+            for w in stamps.windows(2) {
+                let name = format!("{}->{}", w[0].0, w[1].0);
+                let at = SliceAt { pid: t.rank, tid, ts_ns: w[0].1, dur_ns: w[1].1 - w[0].1 };
+                push_event(&mut out, &mut first, &name, &at, "{}");
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_span(store: &SpanStore) {
+        store.begin_initiator(7, 1, OpKind::PutEager, 8, 100);
+        store.stamp_stage(7, 120);
+        store.stamp_inject(7, 180);
+        store.finish_initiator(7, 400, WcStatus::Success);
+    }
+
+    #[test]
+    fn lifecycle_stamps_accumulate() {
+        let store = SpanStore::new();
+        full_span(&store);
+        store.begin_target(0, 7, OpKind::PutEager, 8, 300);
+        let (spans, dropped) = store.collect();
+        assert_eq!(dropped, 0);
+        assert_eq!(spans.len(), 2);
+        let init = &spans[0];
+        assert_eq!(init.dir, SpanDir::Initiator);
+        assert_eq!(
+            init.stamps(),
+            vec![("post", 100), ("stage", 120), ("inject", 180), ("complete", 400)]
+        );
+        let tgt = &spans[1];
+        assert_eq!(tgt.dir, SpanDir::Target);
+        assert_eq!(tgt.deliver_ns, Some(300));
+        assert_eq!(tgt.complete_ns, None, "still open");
+    }
+
+    #[test]
+    fn duplicate_stamps_keep_the_first() {
+        let store = SpanStore::new();
+        store.begin_initiator(1, 0, OpKind::Send, 8, 10);
+        store.stamp_inject(1, 50);
+        store.stamp_inject(1, 99);
+        let span = store.finish_initiator(1, 120, WcStatus::FlushErr).unwrap();
+        assert_eq!(span.inject_ns, Some(50));
+        assert_eq!(span.status, WcStatus::FlushErr);
+        // Unknown rids are ignored, not a panic.
+        store.stamp_stage(999, 1);
+        assert!(store.finish_initiator(999, 1, WcStatus::Success).is_none());
+    }
+
+    #[test]
+    fn target_spans_disambiguate_by_source() {
+        let store = SpanStore::new();
+        store.begin_target(1, 42, OpKind::Send, 4, 10);
+        store.begin_target(2, 42, OpKind::Send, 4, 20);
+        let a = store.finish_target(1, 42, 30, WcStatus::Success).unwrap();
+        let b = store.finish_target(2, 42, 40, WcStatus::Success).unwrap();
+        assert_eq!((a.peer, a.deliver_ns), (1, Some(10)));
+        assert_eq!((b.peer, b.deliver_ns), (2, Some(20)));
+    }
+
+    #[test]
+    fn chrome_json_is_loadable() {
+        let store = SpanStore::new();
+        full_span(&store);
+        let (spans, dropped) = store.collect();
+        let trace = SpanTrace { rank: 0, spans, dropped };
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"put-eager\""));
+        assert!(json.contains("\"name\":\"post->stage\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        // Structural sanity: balanced braces/brackets, no trailing comma
+        // before a closer (the classic trace_event loader rejection).
+        let mut depth = 0i64;
+        let mut prev = ' ';
+        for ch in json.chars() {
+            match ch {
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert_ne!(prev, ',', "trailing comma before closer");
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            if !ch.is_whitespace() {
+                prev = ch;
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+    }
+
+    #[test]
+    fn flamegraph_attributes_stage_time() {
+        let store = SpanStore::new();
+        full_span(&store);
+        let (spans, dropped) = store.collect();
+        let fg = SpanTrace { rank: 0, spans, dropped }.to_flamegraph();
+        assert!(fg.contains("put-eager"), "{fg}");
+        assert!(fg.contains("post->stage"), "{fg}");
+        assert!(fg.contains("inject->complete"), "{fg}");
+        assert!(fg.contains("count=1"), "{fg}");
+    }
+}

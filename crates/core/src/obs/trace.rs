@@ -6,7 +6,11 @@
 //! producing per-operation timelines from the experiment harness.
 //!
 //! Disabled contexts pay a single relaxed atomic load per would-be record.
+//!
+//! Rendering lives in [`TraceExport`], which
+//! offers both the historical CSV table and a JSON form.
 
+use crate::obs::TraceExport;
 use crate::Rank;
 use parking_lot::Mutex;
 use photon_fabric::VTime;
@@ -106,6 +110,12 @@ impl Tracer {
         std::mem::take(&mut *self.records.lock())
     }
 
+    /// Copy of the buffered records in append order, without draining.
+    /// Feed these to [`TraceExport`] for rendering.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().clone()
+    }
+
     /// Number of buffered records.
     pub fn len(&self) -> usize {
         self.records.lock().len()
@@ -117,26 +127,13 @@ impl Tracer {
     }
 
     /// Render the buffered records as CSV (`ts_ns,op,peer,rid,size`), in
-    /// virtual-time order. Records are buffered in call order, which can
-    /// disagree with their timestamps (a probe surfaces a completion whose
-    /// delivery time precedes the prober's current clock); the CSV is the
-    /// canonical timeline, so it sorts by timestamp, stably, before
-    /// rendering.
+    /// virtual-time order.
+    ///
+    /// Deprecated-by-doc alias: prefer `TraceExport::csv(&tracer.records())`,
+    /// which also offers a JSON form. Kept because simtest case digests and
+    /// external tooling consume this exact byte format.
     pub fn to_csv(&self) -> String {
-        let mut records = self.records.lock().clone();
-        records.sort_by_key(|r| r.ts);
-        let mut out = String::from("ts_ns,op,peer,rid,size\n");
-        for r in &records {
-            out.push_str(&format!(
-                "{},{},{},{},{}\n",
-                r.ts.as_nanos(),
-                r.op,
-                r.peer,
-                r.rid,
-                r.size
-            ));
-        }
-        out
+        TraceExport::csv(&self.records())
     }
 }
 

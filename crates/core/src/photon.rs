@@ -31,9 +31,8 @@ use crate::completion::{LocalQueue, RemoteQueue, TakeOutcome, WrTable};
 use crate::config::PhotonConfig;
 use crate::eager::{self, EagerFrame, EagerRx, EagerTx, FrameHeader, FrameKind};
 use crate::ledger::{self, Entry, EntryKind, LedgerRx, LedgerTx, ENTRY_BYTES};
-use crate::probe::{rid_space, Event, ProbeFlags, RemoteEvent};
-use crate::stats::{Stats, StatsSnapshot};
-use crate::trace::{TraceOp, Tracer};
+use crate::obs::{Metrics, Obs, OpKind, SpanTrace, Stats, StatsSnapshot, TraceOp, Tracer};
+use crate::probe::{rid_space, Completion, CompletionClass, Event, ProbeFlags, RemoteEvent};
 use crate::{PhotonError, Rank, Result};
 use parking_lot::Mutex;
 use photon_fabric::mr::{Access, RemoteKey};
@@ -246,6 +245,7 @@ pub struct Photon {
     credit_return_seq: AtomicU64,
     stats: Stats,
     tracer: Tracer,
+    obs: Obs,
     ledger_bytes: usize,
     ring_bytes: usize,
     block: usize,
@@ -382,6 +382,7 @@ impl Photon {
             credit_return_seq: AtomicU64::new(0),
             stats: Stats::default(),
             tracer: Tracer::default(),
+            obs: Obs::new(rank, n),
             ledger_bytes,
             ring_bytes,
             block,
@@ -428,6 +429,25 @@ impl Photon {
     /// The operation tracer (disabled by default; see [`Tracer::enable`]).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The observability switchboard for latency histograms and lifecycle
+    /// spans (disabled by default; see [`Obs::enable`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// One-call metrics export: the counter snapshot plus per-(op, peer)
+    /// latency summaries (empty unless [`Obs::enable`] ran).
+    pub fn metrics(&self) -> Metrics {
+        Metrics { counters: self.stats.snapshot(), latencies: self.obs.latency_summaries() }
+    }
+
+    /// This rank's op-lifecycle span timeline (empty unless [`Obs::enable`]
+    /// ran). Render with [`SpanTrace::to_chrome_json`] /
+    /// [`SpanTrace::to_flamegraph`].
+    pub fn span_trace(&self) -> SpanTrace {
+        self.obs.span_trace()
     }
 
     /// Register a remotely accessible buffer of `len` bytes, charging the
@@ -766,6 +786,9 @@ impl Photon {
                 Stats::bump(&self.stats.stage_copies_avoided);
             }
         }
+        if let Some(rid) = local_rid {
+            self.obs.op_stage(rid, self.clock.now());
+        }
         self.post_stage_write(
             peer,
             self.sub_ring(r.offset),
@@ -871,6 +894,9 @@ impl Photon {
         }
         if payload_bytes > 0 {
             self.clock.advance(self.copy_ns(payload_bytes));
+        }
+        for rid in &local_rids {
+            self.obs.op_stage(*rid, self.clock.now());
         }
         self.post_stage_write_run(
             peer,
@@ -1142,12 +1168,12 @@ impl Photon {
             if rid == BATCH_RID {
                 if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
                     for r in rids {
-                        self.local_events.push(r, now, WcStatus::FlushErr);
+                        self.local_events.push(r, peer, now, WcStatus::FlushErr);
                         Stats::bump(&self.stats.rids_flushed);
                     }
                 }
             } else {
-                self.local_events.push(rid, now, WcStatus::FlushErr);
+                self.local_events.push(rid, peer, now, WcStatus::FlushErr);
                 Stats::bump(&self.stats.rids_flushed);
             }
         }
@@ -1274,6 +1300,7 @@ impl Photon {
         if len <= self.cfg.eager_threshold && len <= self.cfg.max_eager_payload() {
             // Zero-alloc fast path: the source region is staged directly,
             // with no intermediate heap buffer.
+            self.obs.op_post(local_rid, peer, OpKind::PutEager, len, self.clock.now());
             let posted = self.try_send_frame(
                 peer,
                 FrameKind::Put,
@@ -1292,6 +1319,7 @@ impl Photon {
         } else if self.cfg.imm_completions {
             // CQ-notification mode: one write-with-immediate carries both
             // the data and the remote completion id. No ledger, no credits.
+            self.obs.op_post(local_rid, peer, OpKind::PutDirect, len, self.clock.now());
             let wr_id = self.wr_table.insert(local_rid, peer);
             let wr = SendWr::new(
                 wr_id,
@@ -1310,6 +1338,7 @@ impl Photon {
             self.tracer.record(self.clock.now(), TraceOp::PutDirect, peer, remote_rid, len);
             Ok(true)
         } else {
+            self.obs.op_post(local_rid, peer, OpKind::PutDirect, len, self.clock.now());
             let data_local = MrSlice::new(local.region(), loff, len);
             let data_remote = RemoteSlice::from_key(dst, doff, len);
             let posted = self.try_post_entry(
@@ -1407,6 +1436,15 @@ impl Photon {
                         });
                     }
                     let want = run.len();
+                    for it2 in &items[posted..posted + want] {
+                        self.obs.op_post(
+                            it2.local_rid,
+                            peer,
+                            OpKind::PutEager,
+                            it2.len,
+                            self.clock.now(),
+                        );
+                    }
                     let n =
                         self.post_frame_run_locked(peer, &mut tx, &run, Some(local.region()))?;
                     for it2 in &items[posted..posted + n] {
@@ -1425,6 +1463,13 @@ impl Photon {
                         break; // out of ring credits
                     }
                 } else if self.cfg.imm_completions {
+                    self.obs.op_post(
+                        it.local_rid,
+                        peer,
+                        OpKind::PutDirect,
+                        it.len,
+                        self.clock.now(),
+                    );
                     let wr_id = self.wr_table.insert(it.local_rid, peer);
                     let wr = SendWr::new(
                         wr_id,
@@ -1449,6 +1494,13 @@ impl Photon {
                     );
                     posted += 1;
                 } else {
+                    self.obs.op_post(
+                        it.local_rid,
+                        peer,
+                        OpKind::PutDirect,
+                        it.len,
+                        self.clock.now(),
+                    );
                     let ok = self.try_post_entry_locked(
                         peer,
                         &mut tx,
@@ -1576,6 +1628,7 @@ impl Photon {
         // Direct RDMA has no credit gate to ride through the health machine:
         // settle it here before consuming a work-request slot.
         self.gate_blocking(peer)?;
+        self.obs.op_post(local_rid, peer, OpKind::Put, len, self.clock.now());
         let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(
             wr_id,
@@ -1615,6 +1668,7 @@ impl Photon {
             return Err(PhotonError::OutOfRange { offset: soff, len, cap: src.len });
         }
         self.gate_blocking(peer)?;
+        self.obs.op_post(local_rid, peer, OpKind::Get, len, self.clock.now());
         let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(
             wr_id,
@@ -1717,6 +1771,9 @@ impl Photon {
             });
         }
         self.blocking("send credits", |s| {
+            if let Some(rid) = local_rid {
+                s.obs.op_post(rid, peer, OpKind::Send, payload.len(), s.clock.now());
+            }
             let posted = s.try_send_frame(
                 peer,
                 FrameKind::Msg,
@@ -1765,19 +1822,21 @@ impl Photon {
     /// generation check, not by a global lock pairing.
     fn harvest_send_cq(&self) {
         for c in self.nic.poll_send_cq_n(256) {
-            if let Some(rid) = self.wr_table.remove(c.wr_id) {
+            if let Some((rid, peer)) = self.wr_table.remove(c.wr_id) {
                 if rid == BATCH_RID {
                     // One CQE for a doorbell batch: every frame's source
                     // became reusable when the run was staged, so all
                     // its local rids surface at the batch's delivery.
                     if let Some(rids) = self.batch_rids.lock().remove(&c.wr_id) {
                         for r in rids {
-                            self.local_events.push(r, c.ts, c.status);
+                            self.obs.op_inject(r, c.ts);
+                            self.local_events.push(r, peer, c.ts, c.status);
                             Stats::bump(&self.stats.local_completions);
                         }
                     }
                 } else {
-                    self.local_events.push(rid, c.ts, c.status);
+                    self.obs.op_inject(rid, c.ts);
+                    self.local_events.push(rid, peer, c.ts, c.status);
                     Stats::bump(&self.stats.local_completions);
                 }
             }
@@ -1799,6 +1858,7 @@ impl Photon {
                                 c.ts,
                             ));
                         } else {
+                            self.obs.op_deliver(src, imm, OpKind::PutDirect, len, c.ts);
                             self.remote_events.push(RemoteEvent {
                                 src,
                                 rid: imm,
@@ -1908,6 +1968,7 @@ impl Photon {
                         done,
                     ));
                 } else {
+                    self.obs.op_deliver(j, h.rid, OpKind::PutEager, take, done);
                     self.remote_events.push(RemoteEvent {
                         src: j,
                         rid: h.rid,
@@ -1942,6 +2003,7 @@ impl Photon {
                         ts,
                     ));
                 } else {
+                    self.obs.op_deliver(src, e.rid, OpKind::PutDirect, e.size as usize, ts);
                     self.remote_events.push(RemoteEvent {
                         src,
                         rid: e.rid,
@@ -1982,6 +2044,7 @@ impl Photon {
                         ts,
                     ));
                 } else {
+                    self.obs.op_deliver(src, h.rid, OpKind::Send, h.size as usize, ts);
                     self.remote_events.push(RemoteEvent {
                         src,
                         rid: h.rid,
@@ -2011,6 +2074,7 @@ impl Photon {
                         done,
                     ));
                 } else {
+                    self.obs.op_deliver(src, h.rid, OpKind::PutEager, h.size as usize, done);
                     self.remote_events.push(RemoteEvent {
                         src,
                         rid: h.rid,
@@ -2030,11 +2094,20 @@ impl Photon {
     /// the other by at most one event — the old local-first drain starved
     /// remote delivery indefinitely.
     fn take_one(&self, flags: ProbeFlags) -> Option<Event> {
+        self.take_one_completion(flags).map(Event::from)
+    }
+
+    /// [`Photon::take_one`] in the consolidated [`Completion`] shape; every
+    /// dequeue path funnels through here, which is also where the lifecycle
+    /// spans get their `complete` stamp.
+    fn take_one_completion(&self, flags: ProbeFlags) -> Option<Completion> {
         let local = |s: &Self| {
-            s.local_events.pop_front().map(|(rid, ts, status)| Event::Local { rid, ts, status })
+            s.local_events
+                .pop_front()
+                .map(|(rid, peer, ts, status)| Completion::local(rid, peer, ts, status))
         };
-        let remote = |s: &Self| s.remote_events.pop_any().map(Event::Remote);
-        match flags {
+        let remote = |s: &Self| s.remote_events.pop_any().map(Completion::from);
+        let got = match flags {
             ProbeFlags::Local => local(self),
             ProbeFlags::Remote => remote(self),
             ProbeFlags::Any => {
@@ -2044,7 +2117,16 @@ impl Photon {
                     remote(self).or_else(|| local(self))
                 }
             }
+        };
+        if let Some(c) = &got {
+            match c.class {
+                CompletionClass::Local => self.obs.op_complete_local(c.rid, c.ts, c.status),
+                CompletionClass::Remote => {
+                    self.obs.op_complete_remote(c.peer, c.rid, c.ts, c.status)
+                }
+            }
         }
+        got
     }
 
     /// Run progress ahead of a probe, amortized: when events matching
@@ -2067,6 +2149,10 @@ impl Photon {
 
     /// Probe for the next completion event (`photon_probe_completion`).
     /// Non-blocking: returns `Ok(None)` when nothing is pending.
+    ///
+    /// Historical accessor kept as a thin alias: prefer
+    /// [`Photon::poll_completion`], whose [`Completion`] return carries the
+    /// peer for local completions too.
     pub fn probe_completion(&self, flags: ProbeFlags) -> Result<Option<Event>> {
         Stats::bump(&self.stats.probes);
         self.progress_for_probe(flags)?;
@@ -2108,6 +2194,10 @@ impl Photon {
 
     /// Block until any completion event arrives (fair across classes, like
     /// [`Photon::probe_completion`] with [`ProbeFlags::Any`]).
+    ///
+    /// Historical accessor kept as a thin alias: prefer
+    /// [`Photon::wait_completion`], which returns the consolidated
+    /// [`Completion`] view.
     pub fn wait_event(&self) -> Result<Event> {
         self.wait_event_for(Duration::from_secs(self.cfg.wait_timeout_secs))
     }
@@ -2162,6 +2252,7 @@ impl Photon {
     /// and surface an error status as [`PhotonError::OpFailed`].
     fn finish_local(&self, rid: u64, ts: VTime, status: WcStatus) -> Result<VTime> {
         self.clock.advance_to(ts);
+        self.obs.op_complete_local(rid, ts, status);
         self.tracer.record(ts, TraceOp::LocalDone, self.rank, rid, 0);
         if status.is_ok() {
             Ok(ts)
@@ -2171,9 +2262,14 @@ impl Photon {
     }
 
     /// Block until the next remote completion arrives.
+    ///
+    /// Historical accessor kept as a thin alias: prefer
+    /// [`Photon::wait_completion`], which returns the consolidated
+    /// [`Completion`] view this [`RemoteEvent`] is a projection of.
     pub fn wait_remote(&self) -> Result<RemoteEvent> {
         let ev = self.blocking("remote completion", |s| Ok(s.remote_events.pop_any()))?;
         self.clock.advance_to(ev.ts);
+        self.obs.op_complete_remote(ev.src, ev.rid, ev.ts, ev.status);
         self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
         Ok(ev)
     }
@@ -2181,13 +2277,96 @@ impl Photon {
     /// Block until a remote completion *from `src`* arrives; events from
     /// other peers stay queued (the per-proc probe of the original API).
     /// O(1) per spin: the per-peer queue is popped directly, never scanned.
+    ///
+    /// Historical accessor kept as a thin alias: prefer
+    /// [`Photon::wait_completion_from`], which returns the consolidated
+    /// [`Completion`] view.
     pub fn wait_remote_from(&self, src: Rank) -> Result<RemoteEvent> {
         self.check_rank(src)?;
         let ev =
             self.blocking("remote completion from peer", |s| Ok(s.remote_events.pop_from(src)))?;
         self.clock.advance_to(ev.ts);
+        self.obs.op_complete_remote(ev.src, ev.rid, ev.ts, ev.status);
         self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
         Ok(ev)
+    }
+
+    // ---------------------------------------- consolidated completion view
+
+    /// Probe for the next completion in the consolidated [`Completion`]
+    /// shape: one struct carrying rid, peer, timestamp, status, and class
+    /// for both local and remote completions. Non-blocking; `Ok(None)` when
+    /// nothing is pending. Supersedes the [`Event`]-shaped
+    /// [`Photon::probe_completion`].
+    pub fn poll_completion(&self, flags: ProbeFlags) -> Result<Option<Completion>> {
+        Stats::bump(&self.stats.probes);
+        self.progress_for_probe(flags)?;
+        let c = self.take_one_completion(flags);
+        if let Some(c) = &c {
+            self.clock.advance_to(c.ts);
+            self.trace_completion(c);
+        }
+        Ok(c)
+    }
+
+    /// Batch [`Photon::poll_completion`]: run progress once, then drain up
+    /// to `max` completions matching `flags` into `out` (appended). Returns
+    /// how many were delivered. Supersedes the [`Event`]-shaped
+    /// [`Photon::probe_completions`].
+    pub fn poll_completions(
+        &self,
+        flags: ProbeFlags,
+        out: &mut Vec<Completion>,
+        max: usize,
+    ) -> Result<usize> {
+        Stats::bump(&self.stats.probes);
+        Stats::bump(&self.stats.probe_batches);
+        self.progress_for_probe(flags)?;
+        let mut got = 0;
+        while got < max {
+            let Some(c) = self.take_one_completion(flags) else { break };
+            self.clock.advance_to(c.ts);
+            self.trace_completion(&c);
+            out.push(c);
+            got += 1;
+        }
+        Ok(got)
+    }
+
+    /// Block until any completion arrives, in the consolidated
+    /// [`Completion`] shape (fair across classes). Supersedes
+    /// [`Photon::wait_event`].
+    pub fn wait_completion(&self) -> Result<Completion> {
+        let c = self.blocking("completion", |s| Ok(s.take_one_completion(ProbeFlags::Any)))?;
+        self.clock.advance_to(c.ts);
+        self.trace_completion(&c);
+        Ok(c)
+    }
+
+    /// Block until a remote completion *from `src`* arrives, in the
+    /// consolidated [`Completion`] shape. Supersedes
+    /// [`Photon::wait_remote_from`].
+    pub fn wait_completion_from(&self, src: Rank) -> Result<Completion> {
+        self.check_rank(src)?;
+        let ev =
+            self.blocking("remote completion from peer", |s| Ok(s.remote_events.pop_from(src)))?;
+        self.clock.advance_to(ev.ts);
+        self.obs.op_complete_remote(ev.src, ev.rid, ev.ts, ev.status);
+        self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
+        Ok(Completion::from(ev))
+    }
+
+    fn trace_completion(&self, c: &Completion) {
+        if self.tracer.is_enabled() {
+            match c.class {
+                CompletionClass::Local => {
+                    self.tracer.record(c.ts, TraceOp::LocalDone, self.rank, c.rid, 0)
+                }
+                CompletionClass::Remote => {
+                    self.tracer.record(c.ts, TraceOp::RemoteDone, c.peer, c.rid, c.size)
+                }
+            }
+        }
     }
 
     /// Non-blocking check for the local completion `rid` (`photon_test`):
@@ -2230,8 +2409,9 @@ impl Photon {
                     match s.local_events.take_rid_unclaimed(*rid) {
                         // A flush quiesces: an error completion still means
                         // the source buffer is final (flushed), so it counts.
-                        TakeOutcome::Taken(ts, _) => {
+                        TakeOutcome::Taken(ts, status) => {
                             s.clock.advance_to(ts);
+                            s.obs.op_complete_local(*rid, ts, status);
                             *n -= 1;
                         }
                         TakeOutcome::Claimed => return false,
@@ -2716,16 +2896,16 @@ mod tests {
         p0.wait_local(1).unwrap();
         p1.wait_remote().unwrap();
         let tx = p0.tracer().take();
-        assert!(tx.iter().any(|r| r.op == crate::trace::TraceOp::PutEager && r.size == 32));
-        assert!(tx.iter().any(|r| r.op == crate::trace::TraceOp::LocalDone && r.rid == 1));
+        assert!(tx.iter().any(|r| r.op == crate::obs::TraceOp::PutEager && r.size == 32));
+        assert!(tx.iter().any(|r| r.op == crate::obs::TraceOp::LocalDone && r.rid == 1));
         let rx = p1.tracer().take();
         let done = rx
             .iter()
-            .find(|r| r.op == crate::trace::TraceOp::RemoteDone)
+            .find(|r| r.op == crate::obs::TraceOp::RemoteDone)
             .expect("remote completion traced");
         assert_eq!((done.rid, done.peer, done.size), (2, 0, 32));
         // Timeline is causally ordered: remote-done after the local post.
-        let posted = tx.iter().find(|r| r.op == crate::trace::TraceOp::PutEager).unwrap();
+        let posted = tx.iter().find(|r| r.op == crate::obs::TraceOp::PutEager).unwrap();
         assert!(done.ts >= posted.ts);
         let csv = p1.tracer().to_csv();
         assert!(csv.starts_with("ts_ns,op"));
@@ -3016,17 +3196,17 @@ mod tests {
         // silently swallowed as a success.
         let c = pair();
         let p0 = c.rank(0);
-        p0.local_events.push(7, VTime(10), WcStatus::FlushErr);
+        p0.local_events.push(7, 1, VTime(10), WcStatus::FlushErr);
         assert_eq!(
             p0.wait_local(7),
             Err(PhotonError::OpFailed { rid: 7, status: WcStatus::FlushErr })
         );
-        p0.local_events.push(8, VTime(11), WcStatus::RemoteDead);
+        p0.local_events.push(8, 1, VTime(11), WcStatus::RemoteDead);
         assert_eq!(
             p0.test_local(8),
             Err(PhotonError::OpFailed { rid: 8, status: WcStatus::RemoteDead })
         );
-        p0.local_events.push(9, VTime(12), WcStatus::RetryExceeded);
+        p0.local_events.push(9, 1, VTime(12), WcStatus::RetryExceeded);
         let ev = p0.wait_event().unwrap();
         assert!(!ev.is_ok());
         assert_eq!(ev.status(), WcStatus::RetryExceeded);

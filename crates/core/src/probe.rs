@@ -92,6 +92,106 @@ impl Event {
     }
 }
 
+/// Which side of the wire a [`Completion`] was observed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionClass {
+    /// Initiator-side: an operation posted here finished locally (the local
+    /// buffer is reusable).
+    Local,
+    /// Target-side: a peer's operation finished at this rank.
+    Remote,
+}
+
+/// The consolidated completion view returned by every probe/wait path
+/// (`Photon::poll_completion` / `poll_completions` / `wait_completion` /
+/// `wait_completion_from`).
+///
+/// One shape for both directions: rid, peer, timestamp, status, and class,
+/// plus the payload/size a remote send delivers. The historical accessors —
+/// [`Event`] from `probe_completion`/`wait_event`, `(VTime, WcStatus)` pairs
+/// from `wait_local`, [`RemoteEvent`] from `wait_remote(_from)` — remain as
+/// thin aliases over this type's information and interconvert losslessly
+/// (modulo the local peer, which `Event::Local` never carried).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The completion identifier: the `local` id the initiator passed (for
+    /// [`CompletionClass::Local`]) or the `remote` id it attached (for
+    /// [`CompletionClass::Remote`]).
+    pub rid: u64,
+    /// The other end of the operation: destination rank for local
+    /// completions, initiating rank for remote ones.
+    pub peer: Rank,
+    /// Virtual completion time (injection finished / arrival).
+    pub ts: VTime,
+    /// Completion status; anything but [`WcStatus::Success`] means the
+    /// operation failed (peer death, partition flush).
+    pub status: WcStatus,
+    /// Which side of the wire this completion was observed on.
+    pub class: CompletionClass,
+    /// Payload size in bytes (0 for pure completions and local events).
+    pub size: usize,
+    /// For destination-less sends surfacing remotely: the payload itself.
+    pub payload: Option<Vec<u8>>,
+}
+
+impl Completion {
+    /// Did the operation behind this completion succeed?
+    pub fn is_ok(&self) -> bool {
+        self.status.is_ok()
+    }
+
+    /// Is this an initiator-side (local) completion?
+    pub fn is_local(&self) -> bool {
+        self.class == CompletionClass::Local
+    }
+
+    /// Is this a target-side (remote) completion?
+    pub fn is_remote(&self) -> bool {
+        self.class == CompletionClass::Remote
+    }
+
+    pub(crate) fn local(rid: u64, peer: Rank, ts: VTime, status: WcStatus) -> Completion {
+        Completion { rid, peer, ts, status, class: CompletionClass::Local, size: 0, payload: None }
+    }
+
+    pub(crate) fn into_remote_event(self) -> RemoteEvent {
+        debug_assert_eq!(self.class, CompletionClass::Remote);
+        RemoteEvent {
+            src: self.peer,
+            rid: self.rid,
+            size: self.size,
+            payload: self.payload,
+            ts: self.ts,
+            status: self.status,
+        }
+    }
+}
+
+impl From<RemoteEvent> for Completion {
+    fn from(r: RemoteEvent) -> Completion {
+        Completion {
+            rid: r.rid,
+            peer: r.src,
+            ts: r.ts,
+            status: r.status,
+            class: CompletionClass::Remote,
+            size: r.size,
+            payload: r.payload,
+        }
+    }
+}
+
+impl From<Completion> for Event {
+    /// Collapse to the historical [`Event`] shape. Lossy only for local
+    /// completions, whose peer `Event::Local` never carried.
+    fn from(c: Completion) -> Event {
+        match c.class {
+            CompletionClass::Local => Event::Local { rid: c.rid, ts: c.ts, status: c.status },
+            CompletionClass::Remote => Event::Remote(c.into_remote_event()),
+        }
+    }
+}
+
 /// Identifier namespaces.
 ///
 /// User-visible rids live below [`rid_space::RESERVED_BASE`]; the middleware reserves
@@ -173,6 +273,33 @@ mod tests {
         assert_eq!(r.ts(), VTime(3));
         let bad = Event::Local { rid: 5, ts: VTime(10), status: WcStatus::FlushErr };
         assert_eq!(bad.status(), WcStatus::FlushErr);
+        assert!(!bad.is_ok());
+    }
+
+    #[test]
+    fn completion_converts_to_event_and_back() {
+        let c = Completion::local(5, 3, VTime(10), WcStatus::Success);
+        assert!(c.is_ok() && c.is_local() && !c.is_remote());
+        assert_eq!(c.peer, 3);
+        let ev: Event = c.into();
+        assert_eq!(ev, Event::Local { rid: 5, ts: VTime(10), status: WcStatus::Success });
+
+        let r = RemoteEvent {
+            src: 2,
+            rid: 9,
+            size: 4,
+            payload: Some(vec![1, 2, 3, 4]),
+            ts: VTime(3),
+            status: WcStatus::Success,
+        };
+        let c: Completion = r.clone().into();
+        assert!(c.is_remote());
+        assert_eq!((c.peer, c.rid, c.size), (2, 9, 4));
+        assert_eq!(c.clone().into_remote_event(), r);
+        let ev: Event = c.into();
+        assert_eq!(ev, Event::Remote(r));
+
+        let bad = Completion::local(1, 0, VTime(1), WcStatus::FlushErr);
         assert!(!bad.is_ok());
     }
 

@@ -33,7 +33,7 @@
 
 use crate::buffers::{BufferDescriptor, PhotonBuffer};
 use crate::ledger::EntryKind;
-use crate::stats::Stats;
+use crate::obs::Stats;
 use crate::{Photon, PhotonError, Rank, Result};
 use photon_fabric::VTime;
 

@@ -1,0 +1,121 @@
+//! With recording *disabled* (the default), the op-lifecycle observability
+//! hooks must cost nothing on the steady-state eager put path — in
+//! particular, zero heap allocations per operation. A counting global
+//! allocator arms around a windowed put loop and counts every `alloc`;
+//! the zero-alloc property of the staged TX path (established by the
+//! doorbell-batching work) must survive the hook insertion.
+
+use photon_core::{Completion, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_fabric::NetworkModel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `ops` windowed 8-byte eager puts (window 16), sender reaping local
+/// completions while the receiver drains remote notifications.
+fn windowed_puts(c: &PhotonCluster, base_rid: u64, ops: u64) {
+    let p0 = c.rank(0);
+    let p1 = c.rank(1);
+    let src = p0.register_buffer(64).unwrap();
+    let dst = p1.register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let (mut posted, mut done) = (0u64, 0u64);
+    let mut inflight = 0usize;
+    while done < ops {
+        while inflight < 16 && posted < ops {
+            let rid = base_rid + posted;
+            if p0.try_put_with_completion(1, &src, 0, 8, &d, 0, rid, rid).unwrap() {
+                posted += 1;
+                inflight += 1;
+            } else {
+                break;
+            }
+        }
+        loop {
+            evs.clear();
+            if p1.poll_completions(ProbeFlags::Remote, &mut evs, 64).unwrap() == 0 {
+                break;
+            }
+        }
+        evs.clear();
+        let n = p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
+        done += n as u64;
+        inflight -= n;
+    }
+}
+
+#[test]
+fn disabled_recording_allocates_nothing_per_op() {
+    let c = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    assert!(!c.rank(0).obs().is_enabled());
+
+    // Warm-up: fills the staging rings, completion shard vectors, probe
+    // scratch, etc., so the measured window sees only steady-state work.
+    windowed_puts(&c, 0, 2_048);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    windowed_puts(&c, 10_000, 2_048);
+    ARMED.store(false, Ordering::SeqCst);
+
+    // The path is not literally allocation-free: the receiver's periodic
+    // credit-return machinery allocates roughly once per 15 frames (133
+    // allocations for this exact workload, measured identically on the
+    // pre-observability tree). The invariant the hooks must preserve is
+    // *amortized* zero: anything per-op would add >= 2048 allocations here
+    // and trip the bound at once.
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert!(
+        n <= 2_048 / 14,
+        "eager put path allocated {n} times over 2048 ops with recording disabled \
+         (pre-obs baseline: 133; a per-op hook allocation would show as >= 2048)"
+    );
+}
+
+#[test]
+fn enabled_recording_observes_the_same_traffic() {
+    // Sanity inverse: with recording on, the same loop yields spans and
+    // latency samples (allocation is expected and unchecked here).
+    let c = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    for p in c.ranks() {
+        p.obs().enable();
+    }
+    windowed_puts(&c, 0, 256);
+    let m = c.rank(0).metrics();
+    assert!(m.counters.puts_eager >= 256);
+    let lat = m
+        .latencies
+        .iter()
+        .find(|s| s.kind == photon_core::OpKind::PutEager)
+        .expect("put-eager latency summary");
+    assert_eq!(lat.count, 256);
+    assert!(c.rank(0).span_trace().spans.len() >= 256);
+}

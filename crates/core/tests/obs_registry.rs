@@ -1,0 +1,65 @@
+//! Property tests over the `counter_registry!`-generated surface: every
+//! declared counter must appear exactly once — with the right value — in
+//! the snapshot iterator, `get`, `delta`, and both export renderings. This
+//! is the guard against a counter being declared but dropped (or doubled)
+//! by a future macro edit.
+
+use photon_core::obs::{Stats, StatsSnapshot, STATS_COUNTERS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_counter_appears_exactly_once(
+        vals in proptest::collection::vec(0u64..1_000_000, STATS_COUNTERS.len()..STATS_COUNTERS.len() + 1)
+    ) {
+        let s = Stats::default();
+        for (def, v) in STATS_COUNTERS.iter().zip(vals.iter()) {
+            prop_assert!(s.add_named(def.name, *v), "add_named rejected declared counter {}", def.name);
+        }
+        prop_assert!(!s.add_named("no_such_counter", 1));
+        let snap = s.snapshot();
+
+        // iter(): declaration order, one entry per declared counter.
+        let got: Vec<(&'static str, u64)> = snap.iter().collect();
+        prop_assert_eq!(got.len(), STATS_COUNTERS.len());
+        for ((name, v), (def, want)) in got.iter().zip(STATS_COUNTERS.iter().zip(vals.iter())) {
+            prop_assert_eq!(*name, def.name);
+            prop_assert_eq!(*v, *want);
+        }
+
+        // get(): agrees with what was added; unknown names miss.
+        for (def, want) in STATS_COUNTERS.iter().zip(vals.iter()) {
+            prop_assert_eq!(snap.get(def.name), Some(*want));
+        }
+        prop_assert_eq!(snap.get("no_such_counter"), None);
+
+        // delta(): self-minus-self zeroes every field, minus-default is identity.
+        let zero = snap.delta(&snap);
+        for (name, v) in zero.iter() {
+            prop_assert_eq!(v, 0, "delta(self) left {} = {}", name, v);
+        }
+        prop_assert_eq!(snap.delta(&StatsSnapshot::default()), snap);
+
+        // export_json(): each counter keyed exactly once.
+        let json = snap.export_json();
+        for (def, want) in STATS_COUNTERS.iter().zip(vals.iter()) {
+            let needle = format!("\"{}\":{}", def.name, want);
+            prop_assert_eq!(json.matches(&needle).count(), 1, "{} in {}", needle, json);
+        }
+
+        // export_text(): one HELP line and one value line per counter.
+        let text = snap.export_text();
+        for (def, want) in STATS_COUNTERS.iter().zip(vals.iter()) {
+            let value_line = format!("{} {}", def.name, want);
+            prop_assert_eq!(
+                text.lines().filter(|l| **l == value_line).count(), 1,
+                "value line for {}", def.name
+            );
+            let help_prefix = format!("# HELP {} ", def.name);
+            prop_assert_eq!(
+                text.lines().filter(|l| l.starts_with(&help_prefix)).count(), 1,
+                "HELP line for {}", def.name
+            );
+        }
+    }
+}

@@ -167,31 +167,26 @@ pub struct RecvMsg {
     pub ts: VTime,
 }
 
-/// Baseline operation counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct MsgStats {
-    /// Eager sends.
-    pub sends_eager: u64,
-    /// Rendezvous sends.
-    pub sends_rdv: u64,
-    /// Completed receives.
-    pub recvs: u64,
-    /// Messages that arrived before a matching receive was posted.
-    pub unexpected: u64,
-    /// Per-transfer registrations performed (uncached-MPI behaviour).
-    pub registrations: u64,
-    /// Payload bytes sent.
-    pub bytes_sent: u64,
-}
-
-#[derive(Debug, Default)]
-struct StatsInner {
-    sends_eager: AtomicU64,
-    sends_rdv: AtomicU64,
-    recvs: AtomicU64,
-    unexpected: AtomicU64,
-    registrations: AtomicU64,
-    bytes_sent: AtomicU64,
+photon_core::counter_registry! {
+    /// Atomic counter registry backing [`MsgStats`].
+    registry StatsInner;
+    /// Baseline operation counters.
+    snapshot MsgStats;
+    table MSG_COUNTERS;
+    counters {
+        /// Eager sends.
+        sends_eager,
+        /// Rendezvous sends.
+        sends_rdv,
+        /// Completed receives.
+        recvs,
+        /// Messages that arrived before a matching receive was posted.
+        unexpected,
+        /// Per-transfer registrations performed (uncached-MPI behaviour).
+        registrations,
+        /// Payload bytes sent.
+        bytes_sent,
+    }
 }
 
 /// Cached registrations retained per size class. Releases past the cap are
@@ -333,14 +328,7 @@ impl MsgEndpoint {
 
     /// Operation statistics.
     pub fn stats(&self) -> MsgStats {
-        MsgStats {
-            sends_eager: self.stats.sends_eager.load(Ordering::Relaxed),
-            sends_rdv: self.stats.sends_rdv.load(Ordering::Relaxed),
-            recvs: self.stats.recvs.load(Ordering::Relaxed),
-            unexpected: self.stats.unexpected.load(Ordering::Relaxed),
-            registrations: self.stats.registrations.load(Ordering::Relaxed),
-            bytes_sent: self.stats.bytes_sent.load(Ordering::Relaxed),
-        }
+        self.stats.snapshot()
     }
 
     /// Register a buffer for the zero-copy variants, charging registration
@@ -471,7 +459,7 @@ impl MsgEndpoint {
         }
         let r = self.nic.register(len, Access::ALL)?;
         self.clock.advance(self.nic.registration_cost_ns(len));
-        self.stats.registrations.fetch_add(1, Ordering::Relaxed);
+        StatsInner::bump(&self.stats.registrations);
         Ok(r)
     }
 
@@ -551,8 +539,8 @@ impl MsgEndpoint {
                 .post_send(self.qps[peer], wr, self.clock.now())
                 .map_err(|e| self.fail_post(peer, e.into()))?;
         }
-        self.stats.sends_eager.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        StatsInner::bump(&self.stats.sends_eager);
+        StatsInner::add(&self.stats.bytes_sent, data.len() as u64);
         Ok(())
     }
 
@@ -596,8 +584,8 @@ impl MsgEndpoint {
             peer,
             Header { kind: MsgKind::Rts, tag, size: len as u64, xid, addr: 0, rkey: 0 },
         )?;
-        self.stats.sends_rdv.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_sent.fetch_add(len as u64, Ordering::Relaxed);
+        StatsInner::bump(&self.stats.sends_rdv);
+        StatsInner::add(&self.stats.bytes_sent, len as u64);
         Ok(xid)
     }
 
@@ -647,7 +635,7 @@ impl MsgEndpoint {
             }
         };
         self.clock.advance_to(m.ts);
-        self.stats.recvs.fetch_add(1, Ordering::Relaxed);
+        StatsInner::bump(&self.stats.recvs);
         Ok(Some(m))
     }
 
@@ -714,7 +702,7 @@ impl MsgEndpoint {
             drop(st);
             self.clock.advance(self.copy_ns(data.len()));
             self.clock.advance_to(ts);
-            self.stats.recvs.fetch_add(1, Ordering::Relaxed);
+            StatsInner::bump(&self.stats.recvs);
             return Ok(Some(RecvMsg { src: s, tag: t, len: data.len(), data, ts }));
         }
         Ok(None)
@@ -761,7 +749,7 @@ impl MsgEndpoint {
             Ok(st.completed.remove(&req))
         })?;
         self.clock.advance_to(msg.ts);
-        self.stats.recvs.fetch_add(1, Ordering::Relaxed);
+        StatsInner::bump(&self.stats.recvs);
         Ok(msg)
     }
 
@@ -978,7 +966,7 @@ impl MsgEndpoint {
                 Some(st.posted.remove(pos))
             } else {
                 st.unexpected.push(src, tag, payload.clone(), ts);
-                self.stats.unexpected.fetch_add(1, Ordering::Relaxed);
+                StatsInner::bump(&self.stats.unexpected);
                 None
             }
         };

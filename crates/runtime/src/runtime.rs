@@ -8,7 +8,7 @@ use crate::parcel::Parcel;
 use crate::scheduler::Scheduler;
 use crate::{Rank, Result, RtError};
 use parking_lot::Mutex;
-use photon_core::{Event, Photon, PhotonCluster, PhotonConfig, ProbeFlags, RemoteEvent};
+use photon_core::{Completion, Photon, PhotonCluster, PhotonConfig, ProbeFlags};
 use photon_fabric::NetworkModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,24 +52,29 @@ impl Default for RtConfig {
     }
 }
 
-/// Runtime statistics for one node.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RtStats {
-    /// Parcels sent (local short-circuits included).
-    pub parcels_sent: u64,
-    /// Parcels executed on this node.
-    pub parcels_run: u64,
-    /// Parcels that took the rendezvous path.
-    pub parcels_rdv: u64,
-    /// Coalesced batches flushed to the wire.
-    pub batches_sent: u64,
-    /// Parcels whose send failed because the target was dead or became
-    /// unreachable (not counted in `parcels_sent`: they never entered the
-    /// system, so quiescence stays sound among survivors).
-    pub parcels_failed: u64,
-    /// Incoming large parcels abandoned because their sender died
-    /// mid-rendezvous (ctrl message arrived, payload never will).
-    pub parcels_dropped: u64,
+photon_core::counter_registry! {
+    /// Atomic runtime counters for one node (see [`RtStats`]).
+    registry RtCounters;
+    /// Runtime statistics for one node.
+    snapshot RtStats;
+    table RT_COUNTERS;
+    counters {
+        /// Parcels sent (local short-circuits included).
+        parcels_sent,
+        /// Parcels executed on this node.
+        parcels_run,
+        /// Parcels that took the rendezvous path.
+        parcels_rdv,
+        /// Coalesced batches flushed to the wire.
+        batches_sent,
+        /// Parcels whose send failed because the target was dead or became
+        /// unreachable (not counted in `parcels_sent`: they never entered the
+        /// system, so quiescence stays sound among survivors).
+        parcels_failed,
+        /// Incoming large parcels abandoned because their sender died
+        /// mid-rendezvous (ctrl message arrived, payload never will).
+        parcels_dropped,
+    }
 }
 
 /// One rank of the runtime job.
@@ -85,12 +90,7 @@ pub struct RtNode {
     next_lco: AtomicU64,
     next_tag: AtomicU64,
     shutdown: AtomicBool,
-    parcels_sent: AtomicU64,
-    parcels_run: AtomicU64,
-    parcels_rdv: AtomicU64,
-    batches_sent: AtomicU64,
-    parcels_failed: AtomicU64,
-    parcels_dropped: AtomicU64,
+    stats: RtCounters,
     coalescer: Mutex<Coalescer>,
     self_ref: Mutex<Option<Arc<RtNode>>>,
 }
@@ -130,12 +130,7 @@ impl RuntimeCluster {
                 next_lco: AtomicU64::new(1),
                 next_tag: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
-                parcels_sent: AtomicU64::new(0),
-                parcels_run: AtomicU64::new(0),
-                parcels_rdv: AtomicU64::new(0),
-                batches_sent: AtomicU64::new(0),
-                parcels_failed: AtomicU64::new(0),
-                parcels_dropped: AtomicU64::new(0),
+                stats: RtCounters::default(),
                 coalescer: Mutex::new(Coalescer::new(n)),
                 self_ref: Mutex::new(None),
             });
@@ -218,14 +213,7 @@ impl RtNode {
 
     /// Runtime statistics.
     pub fn stats(&self) -> RtStats {
-        RtStats {
-            parcels_sent: self.parcels_sent.load(Ordering::Relaxed),
-            parcels_run: self.parcels_run.load(Ordering::Relaxed),
-            parcels_rdv: self.parcels_rdv.load(Ordering::Relaxed),
-            batches_sent: self.batches_sent.load(Ordering::Relaxed),
-            parcels_failed: self.parcels_failed.load(Ordering::Relaxed),
-            parcels_dropped: self.parcels_dropped.load(Ordering::Relaxed),
-        }
+        self.stats.snapshot()
     }
 
     /// Account for `n` parcels that failed to send because their target is
@@ -234,8 +222,8 @@ impl RtNode {
     /// survivors) and count them as failed.
     fn note_send_failure(&self, n: u64, e: RtError) -> RtError {
         if matches!(e, RtError::PeerDead(_)) {
-            self.parcels_failed.fetch_add(n, Ordering::Relaxed);
-            self.parcels_sent.fetch_sub(n, Ordering::AcqRel);
+            RtCounters::add(&self.stats.parcels_failed, n);
+            self.stats.parcels_sent.fetch_sub(n, Ordering::AcqRel);
         }
         e
     }
@@ -285,7 +273,7 @@ impl RtNode {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(RtError::ShuttingDown);
         }
-        self.parcels_sent.fetch_add(1, Ordering::Relaxed);
+        RtCounters::bump(&self.stats.parcels_sent);
         if target == self.rank {
             let node = self.me();
             self.sched.submit(Box::new(move || node.run_parcel(p)));
@@ -333,7 +321,7 @@ impl RtNode {
         self.photon
             .send_many(target, parcels, RID_PARCEL)
             .map_err(|e| self.note_send_failure(parcels.len() as u64, e.into()))?;
-        self.batches_sent.fetch_add(1, Ordering::Relaxed);
+        RtCounters::bump(&self.stats.batches_sent);
         Ok(())
     }
 
@@ -356,7 +344,7 @@ impl RtNode {
     }
 
     fn send_parcel_rendezvous(&self, target: Rank, p: Parcel) -> Result<()> {
-        self.parcels_rdv.fetch_add(1, Ordering::Relaxed);
+        RtCounters::bump(&self.stats.parcels_rdv);
         let tag = ((self.rank as u64) << 32) | self.next_tag.fetch_add(1, Ordering::Relaxed);
         // Control message: tag, size, then the parcel header (no payload).
         let hdr_only = Parcel { action: p.action, payload: bytes::Bytes::new(), cont: p.cont };
@@ -388,9 +376,9 @@ impl RtNode {
         // on their local completions from the posting threads.
         const BATCH: usize = 64;
         let mut idle: u32 = 0;
-        let mut events: Vec<Event> = Vec::with_capacity(BATCH);
+        let mut events: Vec<Completion> = Vec::with_capacity(BATCH);
         while !self.shutdown.load(Ordering::Acquire) {
-            match self.photon.probe_completions(ProbeFlags::Remote, &mut events, BATCH) {
+            match self.photon.poll_completions(ProbeFlags::Remote, &mut events, BATCH) {
                 Ok(0) => {
                     idle = idle.saturating_add(1);
                     if idle == 16 {
@@ -406,9 +394,9 @@ impl RtNode {
                 }
                 Ok(_) => {
                     idle = 0;
-                    for ev in events.drain(..) {
-                        if let Event::Remote(ev) = ev {
-                            self.handle_remote(ev);
+                    for c in events.drain(..) {
+                        if c.is_remote() {
+                            self.handle_remote(c);
                         }
                     }
                 }
@@ -424,7 +412,7 @@ impl RtNode {
         }
     }
 
-    fn handle_remote(self: &Arc<RtNode>, ev: RemoteEvent) {
+    fn handle_remote(self: &Arc<RtNode>, ev: Completion) {
         match ev.rid {
             RID_PARCEL => {
                 let Some(bytes) = ev.payload else { return };
@@ -445,7 +433,7 @@ impl RtNode {
                 let size = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
                 let Ok(hdr) = Parcel::decode(&bytes[16..]) else { return };
                 let node = Arc::clone(self);
-                let src = ev.src;
+                let src = ev.peer;
                 // The pull runs on a worker so the progress thread keeps
                 // probing (the rendezvous needs it to deliver the announce).
                 self.sched.submit(Box::new(move || {
@@ -480,7 +468,7 @@ impl RtNode {
                         // the payload transfer: the parcel can never run.
                         // Count the drop and degrade gracefully.
                         Err(RtError::PeerDead(_)) => {
-                            node.parcels_dropped.fetch_add(1, Ordering::Relaxed);
+                            RtCounters::bump(&node.stats.parcels_dropped);
                         }
                         Err(e) => {
                             panic!("large-parcel receive failed on rank {}: {e}", node.rank)
@@ -497,7 +485,7 @@ impl RtNode {
         // Counted at COMPLETION, after every send the handler performed:
         // quiescence detection relies on `sent` being visibly ahead of
         // `run` whenever follow-on work can still appear.
-        self.parcels_run.fetch_add(1, Ordering::AcqRel);
+        self.stats.parcels_run.fetch_add(1, Ordering::AcqRel);
     }
 
     fn run_parcel_inner(self: &Arc<RtNode>, p: Parcel) {
@@ -540,8 +528,8 @@ impl RtNode {
         loop {
             self.flush_parcels()?;
             let mut v = [
-                self.parcels_sent.load(Ordering::Acquire),
-                self.parcels_run.load(Ordering::Acquire),
+                self.stats.parcels_sent.load(Ordering::Acquire),
+                self.stats.parcels_run.load(Ordering::Acquire),
             ];
             self.photon.allreduce_u64(&mut v, photon_core::ReduceOp::Sum)?;
             if v[0] == v[1] && (v[0], v[1]) == prev {

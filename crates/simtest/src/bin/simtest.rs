@@ -10,7 +10,7 @@
 //! Campaigns: smoke, credits, faults, quiescence, crash. Exit status is 1
 //! when any case fails, so the binary gates CI directly.
 
-use photon_simtest::campaign::{parse_u64, run_one};
+use photon_simtest::campaign::{dump_span_trace, parse_u64, run_one};
 use photon_simtest::{run_campaign, Campaign, CampaignOpts, Schedule};
 
 fn usage() -> ! {
@@ -87,6 +87,9 @@ fn main() {
                 println!("case ({seed:#x}, {case_id}) of {} FAILED:", campaign.name());
                 for v in &rep.violations {
                     println!("  - {v}");
+                }
+                if let Some(p) = dump_span_trace(campaign.name(), &rep) {
+                    println!("  span trace: {}", p.display());
                 }
                 std::process::exit(1);
             }

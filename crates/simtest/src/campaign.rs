@@ -117,6 +117,10 @@ pub struct CaseFailure {
     pub violations: Vec<String>,
     /// `Display` of the shrunk schedule, when shrinking ran and helped.
     pub shrunk: Option<String>,
+    /// Where the case's op-lifecycle span trace (Chrome trace_event JSON,
+    /// loadable in Perfetto / `chrome://tracing`) was written, when the
+    /// case produced spans and the dump succeeded.
+    pub span_path: Option<PathBuf>,
 }
 
 impl CaseFailure {
@@ -175,6 +179,9 @@ impl CampaignResult {
                 let _ = writeln!(s, "  - {v}");
             }
             let _ = writeln!(s, "  reproduce: {}", f.reproducer());
+            if let Some(p) = &f.span_path {
+                let _ = writeln!(s, "  span trace: {}", p.display());
+            }
             let _ = writeln!(
                 s,
                 "  pin it:    echo '{}' >> proptest-regressions/simtest.txt",
@@ -246,6 +253,21 @@ pub fn load_corpus(path: &Path) -> Vec<(String, u64, u64)> {
         .collect()
 }
 
+/// Write a failing case's span trace (Chrome trace_event JSON) under the OS
+/// temp dir so failure reports can point at it. Returns `None` when the case
+/// produced no spans or the write failed — failure reporting must never
+/// itself fail.
+pub fn dump_span_trace(campaign: &str, rep: &CaseReport) -> Option<PathBuf> {
+    if rep.span_json.is_empty() {
+        return None;
+    }
+    let dir = std::env::temp_dir().join("photon-simtest");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("span-{campaign}-{:#x}-{}.json", rep.seed, rep.case_id));
+    std::fs::write(&path, &rep.span_json).ok()?;
+    Some(path)
+}
+
 fn failure_from(campaign: Campaign, rep: &CaseReport, shrink: bool) -> CaseFailure {
     let shrunk = if shrink && is_schedule_case(campaign, rep.case_id) {
         let sched = Schedule::generate(rep.seed, rep.case_id, &campaign.params());
@@ -261,6 +283,7 @@ fn failure_from(campaign: Campaign, rep: &CaseReport, shrink: bool) -> CaseFailu
         campaign,
         violations: rep.violations.clone(),
         shrunk,
+        span_path: dump_span_trace(campaign.name(), rep),
     }
 }
 
@@ -324,6 +347,36 @@ pub fn run_campaign(campaign: Campaign, opts: &CampaignOpts) -> CampaignResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn failing_case_gets_a_span_trace_dump() {
+        // Any executed schedule case carries spans; fake a violation so the
+        // failure path (dump + summary line) runs end to end.
+        let mut rep = run_one(Campaign::Smoke, 0x5EED, 0);
+        assert!(
+            rep.span_json.starts_with("{\"displayTimeUnit\":"),
+            "span JSON missing/ malformed: {}",
+            &rep.span_json[..rep.span_json.len().min(80)]
+        );
+        assert!(rep.span_json.trim_end().ends_with('}'));
+        rep.violations.push("synthetic violation for dump test".into());
+        let f = failure_from(Campaign::Smoke, &rep, false);
+        let path = f.span_path.clone().expect("span dump written");
+        let text = std::fs::read_to_string(&path).expect("dump readable");
+        assert_eq!(text, rep.span_json);
+        // The summary points the user at the dump, next to the reproducer.
+        let result = CampaignResult {
+            campaign: Campaign::Smoke,
+            cases_run: 1,
+            corpus_run: 0,
+            digest: 0,
+            failures: vec![f],
+        };
+        let summary = result.summary();
+        assert!(summary.contains("reproduce: "));
+        assert!(summary.contains(&format!("span trace: {}", path.display())));
+        std::fs::remove_file(&path).ok();
+    }
 
     #[test]
     fn campaign_names_round_trip() {

@@ -72,6 +72,10 @@ pub struct CaseReport {
     pub stats: Vec<StatsSnapshot>,
     /// Per-rank trace CSVs (virtual-time ordered); empty when tracing off.
     pub trace_csv: Vec<String>,
+    /// Chrome trace_event JSON of the op-lifecycle spans across all ranks.
+    /// Deliberately **excluded** from `digest`: the witness predates spans
+    /// and must stay byte-stable across observability changes.
+    pub span_json: String,
 }
 
 impl CaseReport {
@@ -288,6 +292,7 @@ impl<'a> Executor<'a> {
         install_faults(&cluster, sched);
         for p in cluster.ranks() {
             p.tracer().enable();
+            p.obs().enable();
         }
 
         // ---- materialize ops, queues, rid maps, arena layout -------------
@@ -1365,6 +1370,7 @@ impl<'a> Executor<'a> {
         let stats: Vec<StatsSnapshot> = self.cluster.ranks().iter().map(|p| p.stats()).collect();
         let trace_csv: Vec<String> =
             self.cluster.ranks().iter().map(|p| p.tracer().to_csv()).collect();
+        let span_traces: Vec<_> = self.cluster.ranks().iter().map(|p| p.span_trace()).collect();
         let mut digest_src = String::new();
         for csv in &trace_csv {
             digest_src.push_str(csv);
@@ -1384,6 +1390,7 @@ impl<'a> Executor<'a> {
             resolved_err: self.resolved_err,
             stats,
             trace_csv,
+            span_json: photon_core::obs::chrome_trace_json(&span_traces),
         }
     }
 }

@@ -189,6 +189,7 @@ pub fn run_msg_case(seed: u64, case_id: u64) -> CaseReport {
         resolved_err: 0,
         stats: Vec::new(),
         trace_csv: Vec::new(),
+        span_json: String::new(),
     }
 }
 

@@ -161,6 +161,7 @@ pub fn run_runtime_case(seed: u64, case_id: u64) -> CaseReport {
         resolved_err: 0,
         stats: Vec::new(),
         trace_csv: Vec::new(),
+        span_json: String::new(),
     }
 }
 

@@ -41,7 +41,7 @@ fn relax(buf: &PhotonBuffer, interior: usize) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------- distributed run ------------------------------------
-    let cfg = PhotonConfig { eager_threshold: 0, ..PhotonConfig::default() };
+    let cfg = PhotonConfig::builder().eager_threshold(0).build()?;
     let cluster = PhotonCluster::new(RANKS, NetworkModel::ib_fdr(), cfg);
     let grids: Vec<PhotonBuffer> = (0..RANKS)
         .map(|i| cluster.rank(i).register_buffer((ROWS_PER_RANK + 2) * COLS * 8).unwrap())
