@@ -1,0 +1,118 @@
+//! E19 — RPC invocation throughput: many clients, one server.
+//!
+//! Every client rank hammers a single KV server rank with blocking `kv.put`
+//! invocations, sweeping the client count and the delivery policy. The
+//! interesting comparisons:
+//!
+//! * **fan-in scaling** — how call throughput grows (or saturates) as more
+//!   client ranks share one server's parcel pump;
+//! * **policy overhead** — what at-most-once's sequence numbering and
+//!   server-side dedup-window bookkeeping cost relative to maybe /
+//!   at-least-once on a clean fabric, where every policy behaves
+//!   identically on the wire (one attempt, one reply);
+//! * **round-trip latency** — client-observed p50/p99 per call from the
+//!   per-method latency bank, against the server-side handler-only view.
+//!
+//! Unlike the virtual-time experiments, RPC round trips are measured in
+//! wall-clock time (the client blocks on a real condvar for the reply
+//! parcel), so absolute rates are host-dependent; the *shape* — scaling
+//! curve and policy deltas — is the result.
+
+use crate::report::{us, Table};
+use photon_fabric::NetworkModel;
+use photon_runtime::rpc::kv::{serve_kv, KvPut};
+use photon_runtime::{ActionRegistry, RpcOptions, RtConfig, RuntimeCluster};
+use std::time::{Duration, Instant};
+
+/// Calls each client issues per row. Small enough to keep the full sweep in
+/// bench budget, large enough that per-call percentiles are populated.
+const CALLS_PER_CLIENT: usize = 300;
+
+/// One row: `clients` ranks invoking `kv.put` on rank 0 under `opts`.
+/// Returns (calls/s, client p50 ns, client p99 ns, server executions).
+fn fan_in(clients: usize, opts: RpcOptions, calls: usize) -> (f64, u64, u64, u64) {
+    let cfg = RtConfig { workers: 1, ..RtConfig::default() };
+    let c = RuntimeCluster::new(clients + 1, NetworkModel::ib_fdr(), cfg, ActionRegistry::new());
+    let store = serve_kv(c.node(0));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for r in 1..=clients {
+            let c = &c;
+            s.spawn(move || {
+                let client = c.node(r).rpc_client(0);
+                for i in 0..calls {
+                    let key = vec![r as u8, (i >> 8) as u8, i as u8];
+                    let token = (r * calls + i) as u64 + 1;
+                    client.call::<KvPut>(&(key, vec![0xAB; 16], token), opts).unwrap();
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let total = (clients * calls) as u64;
+    assert_eq!(store.len() as u64, total, "every put must have landed");
+    // Client-observed round trip, from rank 1's method-keyed bank (all
+    // client ranks see statistically identical paths to rank 0).
+    let rt = c.node(1).rpc_latency().summary_of("kv.put").expect("client recorded round trips");
+    let execs = c.node(0).rpc_stats().srv_executed;
+    c.shutdown();
+    (total as f64 / secs, rt.p50_ns, rt.p99_ns, execs)
+}
+
+/// The policy sweep: identical wire behavior on a clean fabric, so deltas
+/// are pure client/server bookkeeping cost.
+fn policies() -> [(&'static str, RpcOptions); 3] {
+    let t = Duration::from_secs(5); // generous: no faults, no retries expected
+    [
+        ("maybe", RpcOptions::maybe().with_timeout(t)),
+        ("at-least-once", RpcOptions::at_least_once().with_timeout(t)),
+        ("at-most-once", RpcOptions::at_most_once().with_timeout(t)),
+    ]
+}
+
+/// Run the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "e19",
+        "RPC fan-in: kv.put calls/s vs client count and delivery policy",
+        &["clients", "policy", "kcalls_s", "rt_p50", "rt_p99", "srv_execs"],
+    );
+    for clients in [1usize, 2, 4, 8] {
+        for (name, opts) in policies() {
+            let (rate, p50, p99, execs) = fan_in(clients, opts, CALLS_PER_CLIENT);
+            t.row(vec![
+                clients.to_string(),
+                name.to_string(),
+                format!("{:.1}", rate / 1e3),
+                us(p50),
+                us(p99),
+                execs.to_string(),
+            ]);
+        }
+    }
+    t.note(format!("{CALLS_PER_CLIENT} calls per client; wall-clock rates (host-dependent)"));
+    t.note("clean fabric: srv_execs == clients x calls under every policy".to_string());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_in_executes_every_call_exactly_once() {
+        let (_, opts) = policies()[2]; // at-most-once
+        let (rate, p50, p99, execs) = fan_in(2, opts, 40);
+        assert!(rate > 0.0);
+        assert_eq!(execs, 80, "clean fabric: one execution per call");
+        assert!(p50 > 0 && p99 >= p50);
+    }
+
+    #[test]
+    fn policies_agree_on_outcome_under_a_clean_fabric() {
+        for (name, opts) in policies() {
+            let (_, _, _, execs) = fan_in(1, opts, 25);
+            assert_eq!(execs, 25, "policy {name} must execute each call once");
+        }
+    }
+}

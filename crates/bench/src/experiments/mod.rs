@@ -11,6 +11,7 @@ pub mod e15_fabrics;
 pub mod e16_locality;
 pub mod e17_failure;
 pub mod e18_attribution;
+pub mod e19_rpc;
 pub mod e1_latency;
 pub mod e2_bandwidth;
 pub mod e3_msgrate;
@@ -25,7 +26,7 @@ use crate::report::Table;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8a", "e8b", "e8c", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17", "e18",
+    "e14", "e15", "e16", "e17", "e18", "e19",
 ];
 
 /// Run one experiment by id.
@@ -50,6 +51,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e16" => e16_locality::run(),
         "e17" => e17_failure::run(),
         "e18" => e18_attribution::run(),
+        "e19" => e19_rpc::run(),
         _ => return None,
     })
 }

@@ -82,8 +82,8 @@ pub use buffers::PhotonBuffer;
 pub use collectives::ReduceOp;
 pub use config::{PhotonConfig, PhotonConfigBuilder};
 pub use obs::{
-    LatencySummary, Metrics, Obs, OpKind, SpanTrace, StatsSnapshot, TraceExport, TraceOp,
-    TraceRecord, Tracer,
+    KeyedLatency, KeyedSummary, LatencySummary, Metrics, Obs, OpKind, SpanTrace, StatsSnapshot,
+    TraceExport, TraceOp, TraceRecord, Tracer,
 };
 pub use photon::{CreditState, PeerHealthState, Photon, PhotonCluster, PutManyItem};
 pub use pool::BufferPool;
@@ -144,6 +144,28 @@ pub enum PhotonError {
         /// The error status carried by its completion.
         status: WcStatus,
     },
+    /// An RPC invocation got no reply inside its retry/deadline budget while
+    /// the server was still believed reachable (Healthy or Suspect): the
+    /// outcome is *unknown* — the request may or may not have executed.
+    /// At-most-once callers may safely re-issue with the same sequence
+    /// number; the server-side dedup window guarantees single execution.
+    RpcTimeout {
+        /// The invoked method's registered name.
+        method: String,
+        /// Send attempts made before giving up (1 = no retries).
+        attempts: u32,
+    },
+    /// An RPC invocation definitively failed: the server was declared dead
+    /// by the health machine, the handler returned an application error, or
+    /// the reply was unserviceable (unknown method, stale sequence number).
+    /// Unlike [`PhotonError::RpcTimeout`] this is a *verdict*, not an
+    /// unknown — retrying with the same arguments cannot succeed.
+    RpcFailed {
+        /// The invoked method's registered name.
+        method: String,
+        /// Human-readable failure classification.
+        reason: String,
+    },
     /// Collective participants disagree about parameters.
     Protocol(&'static str),
     /// A [`PhotonConfig`] failed validation (see
@@ -171,6 +193,12 @@ impl fmt::Display for PhotonError {
                 Ok(())
             }
             PhotonError::PeerDead(r) => write!(f, "peer rank {r} is dead"),
+            PhotonError::RpcTimeout { method, attempts } => {
+                write!(f, "rpc {method} timed out after {attempts} attempt(s)")
+            }
+            PhotonError::RpcFailed { method, reason } => {
+                write!(f, "rpc {method} failed: {reason}")
+            }
             PhotonError::OpFailed { rid, status } => {
                 write!(f, "operation rid {rid:#x} failed: {status}")
             }
@@ -221,6 +249,15 @@ mod tests {
             "timed out waiting for local completion (rid 0x2a)"
         );
         assert_eq!(PhotonError::PeerDead(3).to_string(), "peer rank 3 is dead");
+        assert_eq!(
+            PhotonError::RpcTimeout { method: "kv.get".into(), attempts: 3 }.to_string(),
+            "rpc kv.get timed out after 3 attempt(s)"
+        );
+        assert_eq!(
+            PhotonError::RpcFailed { method: "kv.put".into(), reason: "peer dead".into() }
+                .to_string(),
+            "rpc kv.put failed: peer dead"
+        );
         let e = PhotonError::OpFailed { rid: 0x10, status: WcStatus::RemoteDead };
         assert_eq!(e.to_string(), "operation rid 0x10 failed: remote peer dead");
     }

@@ -187,6 +187,116 @@ impl LatencyHistograms {
     }
 }
 
+/// One row of a [`KeyedLatency`] bank: same log2-bucket geometry as the
+/// per-peer histograms, but owned by a single dynamically registered key.
+#[derive(Debug)]
+struct KeyRow {
+    name: String,
+    buckets: Vec<AtomicU64>,
+    max: AtomicU64,
+}
+
+/// Latency summary for one registered key of a [`KeyedLatency`] bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedSummary {
+    /// The registered key (an RPC method name, a protocol stage, …).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency in ns (log2-bucket upper bound, clamped by max).
+    pub p50_ns: u64,
+    /// 99th-percentile latency in ns (log2-bucket upper bound, clamped).
+    pub p99_ns: u64,
+    /// Maximum latency in ns (exact).
+    pub max_ns: u64,
+}
+
+/// A latency histogram bank keyed by *registered names* instead of the
+/// fixed (peer, op-kind, size-class) grid — the shape request/reply layers
+/// need, where the interesting axis is the RPC method, not the peer.
+///
+/// Keys are interned once (registration returns a dense index; re-registering
+/// a name returns the same index), after which recording is two relaxed
+/// atomic RMWs under a read lock that is never write-contended on the hot
+/// path. Quantile fidelity matches [`LatencyHistograms`]: log2 buckets bound
+/// p50/p99 to within 2× of the true value.
+#[derive(Debug, Default)]
+pub struct KeyedLatency {
+    rows: parking_lot::RwLock<Vec<KeyRow>>,
+}
+
+impl KeyedLatency {
+    /// An empty bank.
+    pub fn new() -> KeyedLatency {
+        KeyedLatency::default()
+    }
+
+    /// Intern `name`, returning its dense key index. Idempotent: the same
+    /// name always maps to the same index.
+    pub fn register(&self, name: &str) -> usize {
+        if let Some(i) = self.rows.read().iter().position(|r| r.name == name) {
+            return i;
+        }
+        let mut rows = self.rows.write();
+        // Re-check under the write lock (two registrants may race).
+        if let Some(i) = rows.iter().position(|r| r.name == name) {
+            return i;
+        }
+        rows.push(KeyRow {
+            name: name.to_string(),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            max: AtomicU64::new(0),
+        });
+        rows.len() - 1
+    }
+
+    /// Record one sample against key index `key` (from
+    /// [`KeyedLatency::register`]); out-of-range keys are ignored.
+    pub fn record(&self, key: usize, ns: u64) {
+        let rows = self.rows.read();
+        let Some(row) = rows.get(key) else { return };
+        row.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        row.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Summary for one key index; `None` when unregistered or empty.
+    pub fn summary(&self, key: usize) -> Option<KeyedSummary> {
+        let rows = self.rows.read();
+        let row = rows.get(key)?;
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (b, out) in buckets.iter_mut().enumerate() {
+            let v = row.buckets[b].load(Ordering::Relaxed);
+            *out = v;
+            count += v;
+        }
+        if count == 0 {
+            return None;
+        }
+        let max = row.max.load(Ordering::Relaxed);
+        Some(KeyedSummary {
+            name: row.name.clone(),
+            count,
+            p50_ns: quantile(&buckets, count, 1, 2, max),
+            p99_ns: quantile(&buckets, count, 99, 100, max),
+            max_ns: max,
+        })
+    }
+
+    /// Summary by registered name.
+    pub fn summary_of(&self, name: &str) -> Option<KeyedSummary> {
+        let key = self.rows.read().iter().position(|r| r.name == name)?;
+        self.summary(key)
+    }
+
+    /// Summaries for every key that recorded at least one sample, in
+    /// registration order.
+    pub fn summaries(&self) -> Vec<KeyedSummary> {
+        let n = self.rows.read().len();
+        (0..n).filter_map(|k| self.summary(k)).collect()
+    }
+}
+
 /// Value at rank `ceil(count × q_num / q_den)` from cumulative bucket
 /// counts; reported as the bucket's inclusive upper bound, clamped by the
 /// exact recorded maximum.
@@ -246,6 +356,32 @@ mod tests {
         assert_eq!(s.p99_ns, 127);
         assert!(h.summary(OpKind::PutEager, 0).is_none());
         assert!(h.summary(OpKind::Get, 1).is_none());
+    }
+
+    #[test]
+    fn keyed_latency_interns_and_summarizes() {
+        let k = KeyedLatency::new();
+        let get = k.register("kv.get");
+        let put = k.register("kv.put");
+        assert_ne!(get, put);
+        assert_eq!(k.register("kv.get"), get, "re-registration is idempotent");
+        for _ in 0..99 {
+            k.record(get, 100);
+        }
+        k.record(get, 1_000_000);
+        let s = k.summary(get).unwrap();
+        assert_eq!(s.name, "kv.get");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 127);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(k.summary_of("kv.get"), Some(s));
+        // Unrecorded and unregistered keys are absent, not a panic.
+        assert!(k.summary(put).is_none());
+        assert!(k.summary(99).is_none());
+        k.record(99, 5); // ignored
+        assert_eq!(k.summaries().len(), 1);
+        k.record(put, 42);
+        assert_eq!(k.summaries().len(), 2);
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod span;
 pub mod trace;
 
 pub use export::TraceExport;
-pub use hist::{size_class, size_class_label, LatencyHistograms, LatencySummary, SIZE_CLASSES};
+pub use hist::{
+    size_class, size_class_label, KeyedLatency, KeyedSummary, LatencyHistograms, LatencySummary,
+    SIZE_CLASSES,
+};
 pub use registry::{Stats, StatsSnapshot, STATS_COUNTERS};
 pub use span::{chrome_trace_json, OpSpan, SpanDir, SpanTrace};
 pub use trace::{TraceOp, TraceRecord, Tracer};

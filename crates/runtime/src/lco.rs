@@ -54,6 +54,22 @@ impl FutureBytes {
         }
         st.clone().expect("value present")
     }
+
+    /// Block until set or `timeout` elapses; `None` on timeout. The future
+    /// stays usable — a later [`FutureBytes::set`] still lands, so bounded
+    /// waiters (RPC attempt deadlines) can re-wait on the same future.
+    pub fn wait_for(&self, timeout: std::time::Duration) -> Option<Vec<u8>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while st.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut st, deadline - now);
+        }
+        st.clone()
+    }
 }
 
 /// A latch that opens after `n` countdowns.
@@ -149,6 +165,14 @@ mod tests {
         f.set(vec![9]); // ignored
         assert_eq!(f.wait(), vec![1, 2]);
         assert_eq!(f.try_get(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn future_wait_for_times_out_then_still_lands() {
+        let f = FutureBytes::new();
+        assert_eq!(f.wait_for(std::time::Duration::from_millis(5)), None);
+        f.set(vec![3]);
+        assert_eq!(f.wait_for(std::time::Duration::from_millis(5)), Some(vec![3]));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   future on the spawning rank when the remote action returns a value.
 //! * **PGAS** ([`gas`]) — a block-distributed global array addressed by
 //!   element index, with one-sided `put`/`get` through Photon.
+//! * **RPC** ([`rpc`]) — typed remote invocations over parcels with
+//!   explicit delivery semantics (maybe / at-least-once / at-most-once with
+//!   server-side dedup), plus the remote KV service built on them.
 //!
 //! ## Example
 //!
@@ -50,6 +53,7 @@ pub mod coalesce;
 pub mod gas;
 pub mod lco;
 pub mod parcel;
+pub mod rpc;
 pub mod runtime;
 pub mod scheduler;
 
@@ -57,6 +61,7 @@ pub use action::{ActionId, ActionRegistry, RtContext};
 pub use gas::GlobalArray;
 pub use lco::{when_all, CountdownLatch, FutureBytes, LcoRef, ReduceLco};
 pub use parcel::Parcel;
+pub use rpc::{DeliveryPolicy, RpcClient, RpcConfig, RpcMethod, RpcOptions, RpcStats, Wire};
 pub use runtime::{RtConfig, RtNode, RuntimeCluster};
 
 use photon_core::PhotonError;

@@ -1,0 +1,378 @@
+//! The at-most-once dedup window: per-client sequence tracking with bounded
+//! memory and reply replay.
+//!
+//! Pure data structure — no locks, no transport — so the exactly-once
+//! invariants are property-testable in isolation (see the proptests at the
+//! bottom). The server drives it in two steps:
+//!
+//! 1. [`DedupWindow::admit`] before running a handler. The verdict says
+//!    whether to execute, replay a cached reply, tell the client to wait
+//!    (original still in flight), reject as stale, or reject as busy.
+//! 2. [`DedupWindow::complete`] after the handler ran, caching the encoded
+//!    reply so later duplicates replay it byte-for-byte.
+//!
+//! Memory is bounded per client: at most `cap` entries (in-flight +
+//! completed). Eviction only ever removes the *lowest-sequence completed*
+//! entry and raises the client's floor past it; in-flight entries are never
+//! evicted (an executing handler must be able to record its reply), so a
+//! window saturated with in-flight work rejects new admissions as
+//! [`Admit::Busy`] instead.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BTreeMap, HashMap};
+
+/// Admission verdict for an at-most-once request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admit {
+    /// First sighting: run the handler (an in-flight entry was recorded;
+    /// the caller must eventually [`DedupWindow::complete`] it).
+    Execute,
+    /// Duplicate of a completed request: send these cached reply bytes
+    /// (status byte + body) without re-executing.
+    Replay(Vec<u8>),
+    /// Duplicate of a request whose handler is still running: drop it (or
+    /// tell the client to back off); the original will reply.
+    InFlight,
+    /// The sequence number fell below the window floor: its outcome was
+    /// evicted long ago and can be neither re-run (might double-apply) nor
+    /// replayed. Terminal for the client.
+    Stale,
+    /// The client's window is full of in-flight entries; nothing evictable.
+    /// Retryable after the in-flight handlers complete.
+    Busy,
+}
+
+/// What the window remembers about one admitted sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SlotState {
+    /// Handler running; reply not yet known.
+    InFlight,
+    /// Handler done; cached reply bytes (status + body).
+    Done(Vec<u8>),
+}
+
+/// One client's slice of the window.
+#[derive(Debug, Default)]
+struct ClientWindow {
+    /// Admitted sequence numbers still remembered, ordered for eviction.
+    entries: BTreeMap<u64, SlotState>,
+    /// Sequence numbers strictly below this are stale: everything below has
+    /// been evicted (or was never admitted and now never can be, since a
+    /// lower-seq admission after eviction could be a re-execution).
+    floor: u64,
+}
+
+/// Bounded per-client dedup state for every at-most-once client this server
+/// has seen. Keyed by `(client_rank, client_id)` so two client instances on
+/// one rank never share sequence spaces.
+#[derive(Debug)]
+pub struct DedupWindow {
+    clients: HashMap<(u32, u64), ClientWindow>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    /// A window retaining at most `cap` entries per client (`cap` is clamped
+    /// to at least 1; a zero-capacity window could never execute anything).
+    pub fn new(cap: usize) -> DedupWindow {
+        DedupWindow { clients: HashMap::new(), cap: cap.max(1) }
+    }
+
+    /// Per-client capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Distinct clients currently tracked.
+    pub fn clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Remembered entries for one client (in-flight + completed), for tests
+    /// and observability.
+    pub fn entries_of(&self, client_rank: u32, client_id: u64) -> usize {
+        self.clients.get(&(client_rank, client_id)).map_or(0, |w| w.entries.len())
+    }
+
+    /// Admit sequence number `seq` from a client.
+    ///
+    /// Check order matters: a remembered entry wins over the floor check —
+    /// an in-flight or completed entry *at or above* the floor is answered
+    /// from the window even if eviction has since raised the floor past
+    /// lower neighbours. Only unknown sequence numbers below the floor are
+    /// stale (their outcome is unrecoverable).
+    pub fn admit(&mut self, client_rank: u32, client_id: u64, seq: u64) -> Admit {
+        let w = self.clients.entry((client_rank, client_id)).or_default();
+        if let Some(state) = w.entries.get(&seq) {
+            return match state {
+                SlotState::InFlight => Admit::InFlight,
+                SlotState::Done(reply) => Admit::Replay(reply.clone()),
+            };
+        }
+        if seq < w.floor {
+            return Admit::Stale;
+        }
+        if w.entries.len() >= self.cap {
+            // Evict the lowest-sequence COMPLETED entry; never in-flight.
+            let victim =
+                w.entries.iter().find(|(_, st)| matches!(st, SlotState::Done(_))).map(|(&s, _)| s);
+            match victim {
+                Some(s) => {
+                    w.entries.remove(&s);
+                    // Everything at or below the victim becomes stale: the
+                    // victim's reply is gone, and anything below it either
+                    // was evicted earlier or must never execute now.
+                    w.floor = w.floor.max(s + 1);
+                    // Raising the floor may strand the new seq below it
+                    // (only possible when the victim's seq exceeded it).
+                    if seq < w.floor {
+                        return Admit::Stale;
+                    }
+                }
+                None => return Admit::Busy,
+            }
+        }
+        w.entries.insert(seq, SlotState::InFlight);
+        Admit::Execute
+    }
+
+    /// Record the handler's reply for an admitted sequence number, flipping
+    /// its entry from in-flight to completed. No-op if the entry is unknown
+    /// (defensive: cannot happen when `complete` is only called after
+    /// [`Admit::Execute`]).
+    pub fn complete(&mut self, client_rank: u32, client_id: u64, seq: u64, reply: Vec<u8>) {
+        if let MapEntry::Occupied(mut c) = self.clients.entry((client_rank, client_id)) {
+            if let Some(state) = c.get_mut().entries.get_mut(&seq) {
+                *state = SlotState::Done(reply);
+            }
+        }
+    }
+
+    /// Forget a client entirely (e.g. its rank died). Its sequence space is
+    /// gone; if the same identity ever returns, old sequence numbers may
+    /// re-execute — which is why client ids are never reused across client
+    /// instances.
+    pub fn forget_client(&mut self, client_rank: u32, client_id: u64) {
+        self.clients.remove(&(client_rank, client_id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sighting_executes_then_replays() {
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute);
+        assert_eq!(w.admit(0, 1, 0), Admit::InFlight);
+        w.complete(0, 1, 0, vec![0, 42]);
+        assert_eq!(w.admit(0, 1, 0), Admit::Replay(vec![0, 42]));
+        assert_eq!(w.admit(0, 1, 0), Admit::Replay(vec![0, 42]));
+        assert_eq!(w.entries_of(0, 1), 1);
+    }
+
+    #[test]
+    fn clients_have_independent_sequence_spaces() {
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.admit(0, 1, 5), Admit::Execute);
+        assert_eq!(w.admit(0, 2, 5), Admit::Execute);
+        assert_eq!(w.admit(1, 1, 5), Admit::Execute);
+        assert_eq!(w.clients(), 3);
+    }
+
+    #[test]
+    fn eviction_prefers_lowest_done_and_raises_floor() {
+        let mut w = DedupWindow::new(2);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute);
+        w.complete(0, 1, 0, vec![0]);
+        assert_eq!(w.admit(0, 1, 1), Admit::Execute);
+        w.complete(0, 1, 1, vec![1]);
+        // Window full: admitting seq 2 evicts seq 0 (lowest done).
+        assert_eq!(w.admit(0, 1, 2), Admit::Execute);
+        assert_eq!(w.admit(0, 1, 0), Admit::Stale, "evicted seq is stale");
+        assert_eq!(w.admit(0, 1, 1), Admit::Replay(vec![1]), "survivor still replays");
+    }
+
+    #[test]
+    fn window_full_of_inflight_is_busy_never_evicts() {
+        let mut w = DedupWindow::new(2);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute);
+        assert_eq!(w.admit(0, 1, 1), Admit::Execute);
+        // Both in flight: seq 2 must NOT evict either.
+        assert_eq!(w.admit(0, 1, 2), Admit::Busy);
+        assert_eq!(w.admit(0, 1, 0), Admit::InFlight);
+        assert_eq!(w.admit(0, 1, 1), Admit::InFlight);
+        // One completes; now there is an evictable victim.
+        w.complete(0, 1, 0, vec![9]);
+        assert_eq!(w.admit(0, 1, 2), Admit::Execute);
+        assert_eq!(w.admit(0, 1, 1), Admit::InFlight, "in-flight survived eviction");
+    }
+
+    #[test]
+    fn inflight_below_raised_floor_still_answers_inflight() {
+        // An in-flight entry must win over the floor check even after
+        // eviction raised the floor past its sequence number.
+        let mut w = DedupWindow::new(2);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute); // in flight
+        assert_eq!(w.admit(0, 1, 5), Admit::Execute);
+        w.complete(0, 1, 5, vec![5]);
+        // Full; admitting 6 evicts seq 5 (the only Done), floor -> 6.
+        assert_eq!(w.admit(0, 1, 6), Admit::Execute);
+        // Seq 0 sits below the floor but is still remembered in flight.
+        assert_eq!(w.admit(0, 1, 0), Admit::InFlight);
+        w.complete(0, 1, 0, vec![0]);
+        assert_eq!(w.admit(0, 1, 0), Admit::Replay(vec![0]));
+    }
+
+    #[test]
+    fn eviction_can_strand_the_new_seq() {
+        let mut w = DedupWindow::new(1);
+        assert_eq!(w.admit(0, 1, 10), Admit::Execute);
+        w.complete(0, 1, 10, vec![1]);
+        // Admitting seq 3 evicts seq 10, raising the floor to 11 — which
+        // strands seq 3 itself: it must come back Stale, not execute below
+        // an already-evicted neighbour.
+        assert_eq!(w.admit(0, 1, 3), Admit::Stale);
+        assert_eq!(w.entries_of(0, 1), 0);
+        // Higher sequence numbers proceed normally.
+        assert_eq!(w.admit(0, 1, 11), Admit::Execute);
+    }
+
+    #[test]
+    fn forget_client_drops_state() {
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute);
+        w.complete(0, 1, 0, vec![1]);
+        w.forget_client(0, 1);
+        assert_eq!(w.clients(), 0);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute, "fresh identity starts clean");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut w = DedupWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute);
+    }
+
+    mod props {
+        //! Model-based property tests: drive random interleavings of
+        //! duplicated, reordered and gapped admissions (plus out-of-order
+        //! completions) against a reference model, and check the at-most-once
+        //! core on every step. Failing seeds persist to
+        //! `proptest-regressions/crates__runtime__src__rpc__dedup.txt` and
+        //! replay first on every run.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::{BTreeSet, HashMap as Map};
+
+        /// The canonical reply bytes for `seq` (so replays are checkable).
+        fn reply_of(seq: u64) -> Vec<u8> {
+            vec![0, seq as u8, 0xAB]
+        }
+
+        /// Interpret one step: `admit` verdicts are checked against the
+        /// model; `complete` flips the lowest in-flight entry.
+        fn check_interleaving(cap: usize, steps: &[(u8, u64)]) -> Result<(), TestCaseError> {
+            let mut w = DedupWindow::new(cap);
+            let mut executed = BTreeSet::new(); // ever got Execute
+            let mut inflight = BTreeSet::new(); // Execute without complete yet
+            let mut completed: Map<u64, Vec<u8>> = Map::new();
+            let mut staled = BTreeSet::new(); // ever got Stale
+            for &(kind, seq) in steps {
+                if kind % 3 == 1 {
+                    // Complete the lowest in-flight admission (handlers
+                    // finish in any order relative to new admissions).
+                    if let Some(&s) = inflight.iter().next() {
+                        w.complete(7, 3, s, reply_of(s));
+                        inflight.remove(&s);
+                        completed.insert(s, reply_of(s));
+                    }
+                    continue;
+                }
+                match w.admit(7, 3, seq) {
+                    Admit::Execute => {
+                        // THE at-most-once property: no sequence number ever
+                        // executes twice, and a staled one never executes.
+                        prop_assert!(
+                            !executed.contains(&seq),
+                            "seq {seq} re-admitted as Execute (double execution)"
+                        );
+                        prop_assert!(
+                            !staled.contains(&seq),
+                            "seq {seq} executed after being declared stale"
+                        );
+                        executed.insert(seq);
+                        inflight.insert(seq);
+                    }
+                    Admit::Replay(r) => {
+                        prop_assert_eq!(
+                            Some(&r),
+                            completed.get(&seq),
+                            "replay must be byte-identical to the recorded reply"
+                        );
+                    }
+                    Admit::InFlight => {
+                        prop_assert!(
+                            inflight.contains(&seq),
+                            "InFlight verdict for seq {seq} with no handler running"
+                        );
+                    }
+                    Admit::Stale => {
+                        // In-flight entries are never evicted, so a stale
+                        // verdict can never hit one.
+                        prop_assert!(
+                            !inflight.contains(&seq),
+                            "seq {seq} stale while its handler is in flight"
+                        );
+                        staled.insert(seq);
+                    }
+                    Admit::Busy => {
+                        prop_assert!(
+                            inflight.len() >= cap.max(1),
+                            "Busy with only {} in-flight of cap {}",
+                            inflight.len(),
+                            cap
+                        );
+                    }
+                }
+                // Memory bound holds after every admission.
+                prop_assert!(w.entries_of(7, 3) <= cap.max(1), "window exceeded its capacity");
+                // Every in-flight admission stays answerable: none may have
+                // been evicted by whatever the step above did.
+                for &s in &inflight {
+                    prop_assert_eq!(
+                        w.admit(7, 3, s),
+                        Admit::InFlight,
+                        "in-flight seq {} was evicted",
+                        s
+                    );
+                }
+            }
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn interleavings_never_double_execute(
+                cap in 1usize..5,
+                steps in proptest::collection::vec((any::<u8>(), 0u64..12), 1..96),
+            ) {
+                check_interleaving(cap, &steps)?;
+            }
+
+            /// Same property under a sequence space much wider than the
+            /// window, so eviction, floor-raising and stranded admissions
+            /// dominate the stream.
+            #[test]
+            fn gapped_sequences_respect_the_floor(
+                cap in 1usize..3,
+                steps in proptest::collection::vec((any::<u8>(), 0u64..64), 1..96),
+            ) {
+                check_interleaving(cap, &steps)?;
+            }
+        }
+    }
+}

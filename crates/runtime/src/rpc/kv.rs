@@ -1,0 +1,168 @@
+//! The remote KV service: the first application-level service in the repo,
+//! and the standard workload for exercising delivery semantics.
+//!
+//! Three methods — `kv.get`, `kv.put`, `kv.cas` — over an in-memory map.
+//! Mutating requests carry a caller-chosen **mutation token**; the store
+//! keeps an apply-count per token, which is the audit trail the chaos
+//! campaign's never-double-apply checker reads: under at-most-once, a token
+//! must never be applied twice no matter how many times the client retried
+//! across partitions, and a success reply implies it applied exactly once.
+//! (Token 0 is untracked, for callers that don't need the audit.)
+
+use super::RpcMethod;
+use crate::runtime::RtNode;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// `kv.get`: request is the key, reply the value if present.
+pub struct KvGet;
+
+impl RpcMethod for KvGet {
+    const NAME: &'static str = "kv.get";
+    type Req = Vec<u8>;
+    type Rep = Option<Vec<u8>>;
+}
+
+/// `kv.put`: request is `(key, value, token)`; unconditional overwrite.
+pub struct KvPut;
+
+impl RpcMethod for KvPut {
+    const NAME: &'static str = "kv.put";
+    type Req = (Vec<u8>, Vec<u8>, u64);
+    type Rep = ();
+}
+
+/// `kv.cas`: request is `(key, expected, new, token)`; swaps to `new` and
+/// replies `true` only when the current value equals `expected`
+/// (`None` = key absent). The token counts as applied only on a swap.
+pub struct KvCas;
+
+impl RpcMethod for KvCas {
+    const NAME: &'static str = "kv.cas";
+    type Req = (Vec<u8>, Option<Vec<u8>>, Vec<u8>, u64);
+    type Rep = bool;
+}
+
+/// The server-side store: the map plus the mutation-token audit.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    map: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+    applied: Mutex<HashMap<u64, u64>>,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Arc<KvStore> {
+        Arc::new(KvStore::default())
+    }
+
+    /// Current value of `key`.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.lock().get(key).cloned()
+    }
+
+    /// Overwrite `key`, recording `token` as applied.
+    pub fn put(&self, key: Vec<u8>, value: Vec<u8>, token: u64) {
+        self.map.lock().insert(key, value);
+        self.note_applied(token);
+    }
+
+    /// Compare-and-swap; `token` counts as applied only when the swap
+    /// happened (a false CAS mutates nothing, so replaying it is harmless
+    /// and must not trip the double-apply audit).
+    pub fn cas(&self, key: Vec<u8>, expected: Option<Vec<u8>>, new: Vec<u8>, token: u64) -> bool {
+        let mut map = self.map.lock();
+        if map.get(&key).cloned() != expected {
+            return false;
+        }
+        map.insert(key, new);
+        drop(map);
+        self.note_applied(token);
+        true
+    }
+
+    fn note_applied(&self, token: u64) {
+        if token != 0 {
+            *self.applied.lock().entry(token).or_insert(0) += 1;
+        }
+    }
+
+    /// How many times mutation `token` was applied (the never-double-apply
+    /// checker asserts this never exceeds 1 for at-most-once traffic).
+    pub fn apply_count(&self, token: u64) -> u64 {
+        self.applied.lock().get(&token).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of every tracked token's apply count.
+    pub fn apply_counts(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<_> = self.applied.lock().iter().map(|(&t, &c)| (t, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when no key was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+/// Register the three KV handlers on `node`, returning the backing store
+/// (the test/bench side reads it directly for audits).
+pub fn serve_kv(node: &Arc<RtNode>) -> Arc<KvStore> {
+    let store = KvStore::new();
+    let s = Arc::clone(&store);
+    node.rpc_serve::<KvGet>(move |key| Ok(s.get(&key)));
+    let s = Arc::clone(&store);
+    node.rpc_serve::<KvPut>(move |(key, value, token)| {
+        s.put(key, value, token);
+        Ok(())
+    });
+    let s = Arc::clone(&store);
+    node.rpc_serve::<KvCas>(
+        move |(key, expected, new, token)| Ok(s.cas(key, expected, new, token)),
+    );
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::Wire;
+
+    #[test]
+    fn store_tracks_apply_counts() {
+        let s = KvStore::new();
+        assert!(s.is_empty());
+        s.put(b"k".to_vec(), b"v1".to_vec(), 7);
+        assert_eq!(s.get(b"k"), Some(b"v1".to_vec()));
+        assert_eq!(s.apply_count(7), 1);
+        s.put(b"k".to_vec(), b"v2".to_vec(), 7); // a double apply, on purpose
+        assert_eq!(s.apply_count(7), 2);
+        // Successful CAS applies its token; failed CAS does not.
+        assert!(s.cas(b"k".to_vec(), Some(b"v2".to_vec()), b"v3".to_vec(), 9));
+        assert!(!s.cas(b"k".to_vec(), Some(b"nope".to_vec()), b"v4".to_vec(), 10));
+        assert_eq!(s.apply_count(9), 1);
+        assert_eq!(s.apply_count(10), 0);
+        assert_eq!(s.apply_counts(), vec![(7, 2), (9, 1)]);
+        assert_eq!(s.len(), 1);
+        // Token 0 is untracked.
+        s.put(b"x".to_vec(), b"y".to_vec(), 0);
+        assert_eq!(s.apply_count(0), 0);
+    }
+
+    #[test]
+    fn method_wire_types_round_trip() {
+        let req: <KvCas as RpcMethod>::Req =
+            (b"key".to_vec(), Some(b"old".to_vec()), b"new".to_vec(), 42);
+        let rt = <<KvCas as RpcMethod>::Req as Wire>::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(rt, req);
+        let rep: <KvGet as RpcMethod>::Rep = Some(b"v".to_vec());
+        assert_eq!(<<KvGet as RpcMethod>::Rep as Wire>::from_bytes(&rep.to_bytes()).unwrap(), rep);
+    }
+}

@@ -1,0 +1,140 @@
+//! Server side: method registration and request dispatch.
+//!
+//! Requests arrive as internal-action parcels, so handlers already run on
+//! the node's work-stealing scheduler (the progress thread submits the
+//! parcel, a worker executes it) — RPC needs no scheduler machinery of its
+//! own. Dispatch is: decode envelope → look up method → (at-most-once only)
+//! consult the dedup window → run the handler → reply with a parcel back to
+//! the caller's rank.
+//!
+//! Reply sends can fail (caller died or partitioned mid-call). The server
+//! treats that as the caller's problem: the failure is counted
+//! (`srv_reply_failures`) and the reply dropped — for at-most-once the
+//! cached copy in the dedup window still satisfies a retry after a heal.
+
+use super::wire::{
+    decode_request, encode_reply, ST_BAD_REQUEST, ST_BUSY, ST_HANDLER_ERR, ST_NO_SUCH_METHOD,
+    ST_OK, ST_STALE,
+};
+use super::{
+    method_hash, Admit, DeliveryPolicy, ErasedHandler, MethodEntry, RpcCounters, RpcMethod, Wire,
+};
+use crate::runtime::{RtNode, ACTION_RPC_REP};
+use std::sync::Arc;
+
+impl RtNode {
+    /// Register a handler for method `M` on this node. The handler receives
+    /// the decoded request and returns the reply or an application error
+    /// string (delivered to the caller as
+    /// [`PhotonError::RpcFailed`](photon_core::PhotonError::RpcFailed)).
+    ///
+    /// Same-binary discipline applies: register before traffic flows, and
+    /// re-registering a name replaces its handler. Handlers run on scheduler
+    /// workers and may themselves send parcels or RPCs (to *other* ranks;
+    /// calling back into a busy self risks worker exhaustion).
+    pub fn rpc_serve<M: RpcMethod>(
+        &self,
+        handler: impl Fn(M::Req) -> Result<M::Rep, String> + Send + Sync + 'static,
+    ) {
+        let srv_key = self.rpc().latency.register(&format!("{}@srv", M::NAME));
+        let erased = Arc::new(move |bytes: &[u8]| match M::Req::from_bytes(bytes) {
+            Ok(req) => match handler(req) {
+                Ok(rep) => (ST_OK, rep.to_bytes()),
+                Err(msg) => (ST_HANDLER_ERR, msg.into_bytes()),
+            },
+            Err(_) => (ST_BAD_REQUEST, Vec::new()),
+        });
+        self.rpc()
+            .methods
+            .write()
+            .insert(method_hash(M::NAME), MethodEntry { latency_key: srv_key, handler: erased });
+    }
+}
+
+/// Execute one request parcel (already on a scheduler worker).
+pub(crate) fn handle_request(node: &Arc<RtNode>, payload: &[u8]) {
+    let rpc = node.rpc();
+    RpcCounters::bump(&rpc.counters.srv_requests);
+    let Ok(env) = decode_request(payload) else {
+        // No decodable correlation id: nowhere to send a verdict. The
+        // caller's timeout owns this (same fate as a lost parcel).
+        return;
+    };
+    let reply_to = env.client_rank as usize;
+
+    // Resolve the method. The handler Arc is cloned out so the registry
+    // lock is never held across handler execution.
+    let entry = {
+        let methods = rpc.methods.read();
+        methods.get(&env.method).map(|m| (m.latency_key, Arc::clone(&m.handler)))
+    };
+    let Some((latency_key, handler)) = entry else {
+        RpcCounters::bump(&rpc.counters.srv_unknown_method);
+        send_reply(node, reply_to, env.corr, ST_NO_SUCH_METHOD, &[]);
+        return;
+    };
+
+    if env.policy == DeliveryPolicy::AtMostOnce.code() {
+        // Admission under the window lock, execution outside it: handlers
+        // may be slow or themselves block, and duplicates arriving mid-run
+        // must still get their InFlight verdict.
+        let verdict = rpc.dedup.lock().admit(env.client_rank, env.client_id, env.seq);
+        match verdict {
+            Admit::Execute => {
+                let (status, body) = timed_execute(node, latency_key, &handler, env.req);
+                // Cache exactly the (status, body) tail the wire carries so
+                // a replayed reply is byte-identical to this one.
+                let mut cached = Vec::with_capacity(1 + body.len());
+                cached.push(status);
+                cached.extend_from_slice(&body);
+                rpc.dedup.lock().complete(env.client_rank, env.client_id, env.seq, cached);
+                send_reply(node, reply_to, env.corr, status, &body);
+            }
+            Admit::Replay(cached) => {
+                RpcCounters::bump(&rpc.counters.srv_replayed);
+                let (status, body) =
+                    cached.split_first().map_or((ST_OK, &[][..]), |(s, b)| (*s, b));
+                send_reply(node, reply_to, env.corr, status, body);
+            }
+            Admit::InFlight => {
+                // The original execution will reply; answering here would
+                // race it. The client's retry timer covers a lost original.
+                RpcCounters::bump(&rpc.counters.srv_dup_inflight);
+            }
+            Admit::Stale => {
+                RpcCounters::bump(&rpc.counters.srv_stale);
+                send_reply(node, reply_to, env.corr, ST_STALE, &[]);
+            }
+            Admit::Busy => {
+                RpcCounters::bump(&rpc.counters.srv_window_full);
+                send_reply(node, reply_to, env.corr, ST_BUSY, &[]);
+            }
+        }
+    } else {
+        // Maybe / at-least-once: every delivery executes.
+        let (status, body) = timed_execute(node, latency_key, &handler, env.req);
+        send_reply(node, reply_to, env.corr, status, &body);
+    }
+}
+
+/// Run the handler, recording its execution latency under `<method>@srv`.
+fn timed_execute(
+    node: &Arc<RtNode>,
+    latency_key: usize,
+    handler: &ErasedHandler,
+    req: &[u8],
+) -> (u8, Vec<u8>) {
+    let rpc = node.rpc();
+    RpcCounters::bump(&rpc.counters.srv_executed);
+    let start = std::time::Instant::now();
+    let out = handler(req);
+    rpc.latency.record(latency_key, start.elapsed().as_nanos() as u64);
+    out
+}
+
+fn send_reply(node: &Arc<RtNode>, reply_to: usize, corr: u64, status: u8, body: &[u8]) {
+    let enc = encode_reply(corr, status, body);
+    if node.send_parcel(reply_to, ACTION_RPC_REP, &enc).is_err() {
+        RpcCounters::bump(&node.rpc().counters.srv_reply_failures);
+    }
+}

@@ -1,0 +1,381 @@
+//! Wire serialization for RPC payloads and envelopes.
+//!
+//! Little-endian, length-prefixed, no self-description — both sides run the
+//! same binary (the action-registration discipline), so the method's
+//! [`super::RpcMethod::Req`]/`Rep` types *are* the schema. Decoding is
+//! defensive anyway: truncated or trailing bytes surface as
+//! [`WireError`], never panics, because requests cross trust domains
+//! (a confused peer must not crash a server).
+
+use std::fmt;
+
+/// Decode failure: the bytes do not parse as the expected type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError;
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire bytes")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over undecoded input.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap `buf` for decoding.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Take a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Take a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Take a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Error unless every byte was consumed (catches schema drift).
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError)
+        }
+    }
+}
+
+/// Types that can ride RPC payloads.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decode one value from the reader.
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encode to a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.put(&mut out);
+        out
+    }
+
+    /// Decode from exactly `buf` (trailing bytes are an error).
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let v = Self::take(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Wire for () {
+    fn put(&self, _out: &mut Vec<u8>) {}
+    fn take(_r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError),
+        }
+    }
+}
+
+impl Wire for u8 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u8()
+    }
+}
+
+impl Wire for u32 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl Wire for u64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.u32()? as usize;
+        Ok(r.bytes(n)?.to_vec())
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.u32()? as usize;
+        String::from_utf8(r.bytes(n)?.to_vec()).map_err(|_| WireError)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::take(r)?)),
+            _ => Err(WireError),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::take(r)?, B::take(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::take(r)?, B::take(r)?, C::take(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+        self.3.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::take(r)?, B::take(r)?, C::take(r)?, D::take(r)?))
+    }
+}
+
+// ------------------------------------------------------------- envelopes
+
+/// Reply status: the handler ran and succeeded.
+pub(crate) const ST_OK: u8 = 0;
+/// Reply status: the handler ran and returned an application error
+/// (body is the UTF-8 message).
+pub(crate) const ST_HANDLER_ERR: u8 = 1;
+/// Reply status: the server has no such method registered.
+pub(crate) const ST_NO_SUCH_METHOD: u8 = 2;
+/// Reply status: at-most-once admission would exceed the dedup window's
+/// in-flight capacity; retryable after backoff.
+pub(crate) const ST_BUSY: u8 = 3;
+/// Reply status: the request's sequence number fell below the dedup window
+/// (its cached reply was evicted long ago); not retryable.
+pub(crate) const ST_STALE: u8 = 4;
+/// Reply status: the request bytes did not decode as the method's Req type.
+pub(crate) const ST_BAD_REQUEST: u8 = 5;
+
+/// A decoded request envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RequestEnvelope<'a> {
+    /// Correlation id (caller-local; reply echoes it back).
+    pub corr: u64,
+    /// Caller's rank (reply destination).
+    pub client_rank: u32,
+    /// At-most-once client identity (0 for other policies).
+    pub client_id: u64,
+    /// At-most-once sequence number (0 for other policies).
+    pub seq: u64,
+    /// Delivery policy code.
+    pub policy: u8,
+    /// Method-name hash.
+    pub method: u64,
+    /// The encoded `Req` value.
+    pub req: &'a [u8],
+}
+
+/// Encode a request envelope.
+pub(crate) fn encode_request(
+    corr: u64,
+    client_rank: u32,
+    client_id: u64,
+    seq: u64,
+    policy: u8,
+    method: u64,
+    req: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + 8 + 8 + 1 + 8 + req.len());
+    out.extend_from_slice(&corr.to_le_bytes());
+    out.extend_from_slice(&client_rank.to_le_bytes());
+    out.extend_from_slice(&client_id.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(policy);
+    out.extend_from_slice(&method.to_le_bytes());
+    out.extend_from_slice(req);
+    out
+}
+
+/// Decode a request envelope.
+pub(crate) fn decode_request(buf: &[u8]) -> Result<RequestEnvelope<'_>, WireError> {
+    let mut r = Reader::new(buf);
+    let corr = r.u64()?;
+    let client_rank = r.u32()?;
+    let client_id = r.u64()?;
+    let seq = r.u64()?;
+    let policy = r.u8()?;
+    let method = r.u64()?;
+    Ok(RequestEnvelope { corr, client_rank, client_id, seq, policy, method, req: r.remaining() })
+}
+
+/// Encode a reply envelope: `[corr][status][body]`. The status+body tail is
+/// exactly what the dedup window caches, so replayed replies are
+/// byte-identical to the original (including handler errors).
+pub(crate) fn encode_reply(corr: u64, status: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 1 + body.len());
+    out.extend_from_slice(&corr.to_le_bytes());
+    out.push(status);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Decode a reply envelope into `(corr, status, body)`.
+pub(crate) fn decode_reply(buf: &[u8]) -> Result<(u64, u8, &[u8]), WireError> {
+    let mut r = Reader::new(buf);
+    let corr = r.u64()?;
+    let status = r.u8()?;
+    Ok((corr, status, r.remaining()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(());
+        round_trip(true);
+        round_trip(false);
+        round_trip(0xabu8);
+        round_trip(0xdead_beefu32);
+        round_trip(0x0123_4567_89ab_cdefu64);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Vec::<u8>::new());
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(String::from("kv.get"));
+        round_trip(Option::<Vec<u8>>::None);
+        round_trip(Some(vec![9u8; 40]));
+        round_trip((7u64, vec![1u8], String::from("x")));
+        round_trip((1u8, 2u32, 3u64, Some(false)));
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_fail() {
+        let enc = 0x1122_3344u32.to_bytes();
+        assert_eq!(u32::from_bytes(&enc[..3]), Err(WireError));
+        let mut extra = enc.clone();
+        extra.push(0);
+        assert_eq!(u32::from_bytes(&extra), Err(WireError));
+        // Length prefix pointing past the buffer.
+        let bogus = 100u32.to_le_bytes().to_vec();
+        assert_eq!(Vec::<u8>::from_bytes(&bogus), Err(WireError));
+        // Bad bool/option discriminants.
+        assert_eq!(bool::from_bytes(&[2]), Err(WireError));
+        assert_eq!(Option::<u8>::from_bytes(&[7]), Err(WireError));
+        // Non-UTF-8 string bytes.
+        let mut s = 2u32.to_le_bytes().to_vec();
+        s.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(String::from_bytes(&s), Err(WireError));
+    }
+
+    #[test]
+    fn request_envelope_round_trips() {
+        let enc = encode_request(42, 3, 17, 9, 2, 0xfeed, b"payload");
+        let env = decode_request(&enc).unwrap();
+        assert_eq!(
+            env,
+            RequestEnvelope {
+                corr: 42,
+                client_rank: 3,
+                client_id: 17,
+                seq: 9,
+                policy: 2,
+                method: 0xfeed,
+                req: b"payload",
+            }
+        );
+        assert_eq!(decode_request(&enc[..10]), Err(WireError));
+    }
+
+    #[test]
+    fn reply_envelope_round_trips() {
+        let enc = encode_reply(7, ST_OK, b"body");
+        assert_eq!(decode_reply(&enc).unwrap(), (7, ST_OK, &b"body"[..]));
+        assert_eq!(decode_reply(&enc[..5]), Err(WireError));
+    }
+}

@@ -23,6 +23,10 @@ const RID_RDV_CTRL: u64 = 2;
 
 /// Internal action: set an LCO with the payload.
 const ACTION_SET_LCO: ActionId = 0;
+/// Internal action: an RPC request envelope (see [`crate::rpc`]).
+pub(crate) const ACTION_RPC_REQ: ActionId = 1;
+/// Internal action: an RPC reply envelope.
+pub(crate) const ACTION_RPC_REP: ActionId = 2;
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +41,8 @@ pub struct RtConfig {
     /// flush when full for the wire, when the progress thread idles, or on
     /// [`RtNode::flush_parcels`].
     pub coalesce_max: usize,
+    /// RPC-layer knobs (dedup-window sizing; see [`crate::rpc`]).
+    pub rpc: crate::rpc::RpcConfig,
     /// The middleware configuration underneath.
     pub photon: PhotonConfig,
 }
@@ -47,6 +53,7 @@ impl Default for RtConfig {
             workers: 2,
             parcel_eager_max: 8192,
             coalesce_max: 0,
+            rpc: crate::rpc::RpcConfig::default(),
             photon: PhotonConfig::default(),
         }
     }
@@ -92,6 +99,7 @@ pub struct RtNode {
     shutdown: AtomicBool,
     stats: RtCounters,
     coalescer: Mutex<Coalescer>,
+    rpc: crate::rpc::RpcState,
     self_ref: Mutex<Option<Arc<RtNode>>>,
 }
 
@@ -132,6 +140,7 @@ impl RuntimeCluster {
                 shutdown: AtomicBool::new(false),
                 stats: RtCounters::default(),
                 coalescer: Mutex::new(Coalescer::new(n)),
+                rpc: crate::rpc::RpcState::new(cfg.rpc),
                 self_ref: Mutex::new(None),
             });
             *node.self_ref.lock() = Some(Arc::clone(&node));
@@ -214,6 +223,22 @@ impl RtNode {
     /// Runtime statistics.
     pub fn stats(&self) -> RtStats {
         self.stats.snapshot()
+    }
+
+    /// The node's RPC state (crate-internal plumbing).
+    pub(crate) fn rpc(&self) -> &crate::rpc::RpcState {
+        &self.rpc
+    }
+
+    /// RPC statistics for this node (client and server side).
+    pub fn rpc_stats(&self) -> crate::rpc::RpcStats {
+        self.rpc.counters.snapshot()
+    }
+
+    /// Per-method RPC latency histograms: client round-trips are keyed by
+    /// the method name, server-side handler executions by `<name>@srv`.
+    pub fn rpc_latency(&self) -> &photon_core::KeyedLatency {
+        &self.rpc.latency
     }
 
     /// Account for `n` parcels that failed to send because their target is
@@ -496,6 +521,14 @@ impl RtNode {
                     f.set(p.payload[8..].to_vec());
                 }
             }
+            return;
+        }
+        if p.action == ACTION_RPC_REQ {
+            crate::rpc::server::handle_request(self, &p.payload);
+            return;
+        }
+        if p.action == ACTION_RPC_REP {
+            crate::rpc::client::handle_reply(self, &p.payload);
             return;
         }
         let Some(handler) = self.registry.get(p.action) else {

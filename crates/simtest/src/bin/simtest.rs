@@ -7,15 +7,15 @@
 //! SIMTEST_SEED=0x… SIMTEST_CASE=… simtest show <campaign>
 //! ```
 //!
-//! Campaigns: smoke, credits, faults, quiescence, crash. Exit status is 1
-//! when any case fails, so the binary gates CI directly.
+//! Campaigns: smoke, credits, faults, quiescence, crash, rpc. Exit status
+//! is 1 when any case fails, so the binary gates CI directly.
 
 use photon_simtest::campaign::{dump_span_trace, parse_u64, run_one};
 use photon_simtest::{run_campaign, Campaign, CampaignOpts, Schedule};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest <smoke|credits|faults|quiescence|crash|all> [--cases N] [--seed S] [--jobs N] [--no-shrink]\n\
+        "usage: simtest <smoke|credits|faults|quiescence|crash|rpc|all> [--cases N] [--seed S] [--jobs N] [--no-shrink]\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest replay <campaign>\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest show <campaign>"
     );
@@ -78,10 +78,11 @@ fn main() {
             let rep = run_one(campaign, seed, case_id);
             if rep.passed() {
                 println!(
-                    "case ({seed:#x}, {case_id}) of {} PASSED (digest {:#018x}, {} sweeps)",
+                    "case ({seed:#x}, {case_id}) of {} PASSED (digest {:#018x}, {} sweeps, {} resolved-as-error)",
                     campaign.name(),
                     rep.digest,
-                    rep.sweeps
+                    rep.sweeps,
+                    rep.resolved_err
                 );
             } else {
                 println!("case ({seed:#x}, {case_id}) of {} FAILED:", campaign.name());

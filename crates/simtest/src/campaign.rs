@@ -15,6 +15,7 @@
 use crate::exec::{run_case, CaseReport};
 use crate::fnv1a;
 use crate::msg_driver::run_msg_case;
+use crate::rpc_driver::run_rpc_case;
 use crate::rt_driver::run_runtime_case;
 use crate::schedule::{Schedule, SimParams};
 use crate::shrink::shrink_schedule;
@@ -40,17 +41,23 @@ pub enum Campaign {
     /// link mid-traffic; the all-ops-resolve checker enforces that no op
     /// ever hangs.
     Crash,
+    /// RPC delivery-semantics chaos: many clients hammer one KV server
+    /// while nodes crash and links partition mid-call; the token audit
+    /// enforces that at-most-once traffic never double-applies and every
+    /// call resolves to a success or a typed error.
+    Rpc,
 }
 
 impl Campaign {
     /// All campaigns, in CLI listing order.
-    pub fn all() -> [Campaign; 5] {
+    pub fn all() -> [Campaign; 6] {
         [
             Campaign::Smoke,
             Campaign::Credits,
             Campaign::Faults,
             Campaign::Quiescence,
             Campaign::Crash,
+            Campaign::Rpc,
         ]
     }
 
@@ -62,6 +69,7 @@ impl Campaign {
             Campaign::Faults => "faults",
             Campaign::Quiescence => "quiescence",
             Campaign::Crash => "crash",
+            Campaign::Rpc => "rpc",
         }
     }
 
@@ -78,6 +86,7 @@ impl Campaign {
             Campaign::Faults => SimParams::faults(),
             Campaign::Quiescence => SimParams::quiescence(),
             Campaign::Crash => SimParams::crash(),
+            Campaign::Rpc => SimParams::rpc(),
         }
     }
 }
@@ -199,16 +208,24 @@ impl CampaignResult {
 }
 
 /// True when `(campaign, case_id)` dispatches to the schedule-based
-/// Photon-core executor (and is therefore shrinkable).
+/// Photon-core executor (and is therefore shrinkable). Rpc cases always
+/// run the threaded rpc driver instead.
 pub fn is_schedule_case(campaign: Campaign, case_id: u64) -> bool {
-    !(campaign == Campaign::Quiescence && (case_id % 8 == 3 || case_id % 8 == 6))
+    match campaign {
+        Campaign::Rpc => false,
+        Campaign::Quiescence => !(case_id % 8 == 3 || case_id % 8 == 6),
+        _ => true,
+    }
 }
 
-/// Run one case exactly as a campaign would: the quiescence campaign
-/// interleaves msg-layer and runtime-layer driver cases into the stream;
-/// every other id (and every other campaign) runs the schedule executor.
+/// Run one case exactly as a campaign would: rpc campaigns dispatch to the
+/// threaded rpc driver, the quiescence campaign interleaves msg-layer and
+/// runtime-layer driver cases into the stream, and every other id (and
+/// every other campaign) runs the schedule executor.
 pub fn run_one(campaign: Campaign, seed: u64, case_id: u64) -> CaseReport {
-    if is_schedule_case(campaign, case_id) {
+    if campaign == Campaign::Rpc {
+        run_rpc_case(seed, case_id, &campaign.params())
+    } else if is_schedule_case(campaign, case_id) {
         run_case(seed, case_id, &campaign.params())
     } else if case_id % 8 == 3 {
         run_msg_case(seed, case_id)

@@ -180,6 +180,8 @@ impl OpRun {
             Op::Barrier | Op::ParcelTree { .. } | Op::CrashNode { .. } | Op::Partition { .. } => {
                 unreachable!("not a data op")
             }
+            // RPC schedules dispatch to the threaded rpc driver, never here.
+            Op::RpcCall { .. } => unreachable!("rpc ops never enter the executor"),
         }
     }
 }
@@ -406,6 +408,9 @@ impl<'a> Executor<'a> {
                     trees.push(TreeRun { expected: fanout as u64 * per, delivered: 0 });
                     queues[root].push(QItem { op: i, role: Role::Init });
                 }
+                // RPC schedules dispatch to the threaded rpc driver
+                // (campaign routing keeps them out of the executor).
+                Op::RpcCall { .. } => unreachable!("rpc ops never enter the executor"),
             }
             ops.push(run);
         }
@@ -769,6 +774,7 @@ impl<'a> Executor<'a> {
             Op::CrashNode { .. } | Op::Partition { .. } => {
                 unreachable!("chaos ops configure the fault plan; they are never queued")
             }
+            Op::RpcCall { .. } => unreachable!("rpc ops never enter the executor"),
         }
     }
 
@@ -1232,7 +1238,7 @@ impl<'a> Executor<'a> {
             | Op::Rendezvous { src, dst, .. } => (src, dst),
             // Collectives touch every rank: any scheduled crash reaches them.
             Op::Barrier | Op::ParcelTree { .. } => return self.crashed.iter().any(Option::is_some),
-            Op::CrashNode { .. } | Op::Partition { .. } => return false,
+            Op::CrashNode { .. } | Op::Partition { .. } | Op::RpcCall { .. } => return false,
         };
         self.crashed[s].is_some()
             || self.crashed[d].is_some()
@@ -1455,6 +1461,7 @@ mod tests {
                 Op::ParcelTree { root: 1, fanout: 2, ttl: 2 },
             ],
             faults: vec![],
+            rpc_server: None,
         }
     }
 
@@ -1571,6 +1578,7 @@ mod tests {
                 .chain((0..2).map(|_| Op::Send { src: 0, dst: 1, len: 16 }))
                 .collect(),
             faults: vec![],
+            rpc_server: None,
         };
         let clean = run_schedule(&s);
         assert!(clean.passed(), "baseline must pass: {:?}", clean.violations);

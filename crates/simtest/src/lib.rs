@@ -39,6 +39,7 @@ pub mod campaign;
 pub mod checkers;
 pub mod exec;
 pub mod msg_driver;
+pub mod rpc_driver;
 pub mod rt_driver;
 pub mod schedule;
 pub mod shrink;
