@@ -1,0 +1,335 @@
+//! E20 — GUPS/YCSB-style mixed read-write sweep over the `photon-ds` DHT,
+//! measuring the **one-sided vs RPC crossover** against value size and
+//! client count.
+//!
+//! ```text
+//! e20_gups                       # full sweep, writes results/BENCH_gups.json
+//! e20_gups --smoke               # CI-sized subset, same JSON shape
+//! e20_gups --ops 4000 --label x  # per-client op count / output label
+//! ```
+//!
+//! Each cell boots a `clients`-rank cluster (weak scaling: every rank hosts
+//! a shard *and* one client thread, the GUPS shape), prefills a keyspace at
+//! ~35% table load, then every client hammers uniformly random keys with a
+//! 50/50 get/put mix (YCSB-A) — once via the one-sided path and once via
+//! RPC, against the same prefilled table, so the two numbers differ only in
+//! the access path. Tables are sized by a fixed per-rank byte budget, so
+//! small values get the capacity story (1M+ buckets at 8 B) and large
+//! values trade capacity for payload.
+//!
+//! Why a crossover exists: a one-sided get is one RDMA read, with no owner
+//! CPU and no scheduler hop, but a one-sided put pays the seqlock protocol
+//! (snapshot read, lock CAS, payload write, release write — four fabric
+//! round trips), every one of them moving or touching the full fixed-size
+//! slot. An RPC op pays the invocation layer (send, scheduler, handler
+//! dispatch, reply) once, carries only the actual value bytes, and executes
+//! under cheap local locking at the owner. As the value (and therefore
+//! slot) grows, the one-sided put's multi-trip full-slot protocol loses to
+//! the single-trip RPC; reads favor one-sided much longer.
+//!
+//! The run prints ops/s tables per value size and appends the JSON to
+//! `results/BENCH_gups.json` (committed; CI re-runs `--smoke` and uploads
+//! its copy as an artifact, non-gating).
+
+use photon_ds::{AccessPath, Dht, DhtConfig, DsError};
+use photon_fabric::NetworkModel;
+use photon_runtime::{ActionRegistry, RtConfig, RuntimeCluster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-rank bucket-region byte budget: holds the table "millions of
+/// buckets" sized at small values without making 4 KiB cells silly.
+const BYTES_PER_RANK: usize = 16 << 20;
+
+/// Table load factor the prefill targets, in percent. Low enough that the
+/// bounded probe window almost never fills at any sweep size.
+const LOAD_PCT: usize = 35;
+
+struct Cell {
+    path: &'static str,
+    vsize: usize,
+    clients: usize,
+    keyspace: usize,
+    buckets_total: usize,
+    ops: u64,
+    full_errors: u64,
+    /// Wall-clock of the whole cell (host overhead + scheduling).
+    ns: u128,
+    /// Modeled-network makespan: max per-client virtual-clock delta. This
+    /// is where the one-sided/RPC crossover lives — virtual time charges
+    /// every fabric round trip and byte at IB-FDR rates, which the
+    /// synchronous simulation makes nearly free in wall time.
+    vns: u64,
+}
+
+impl Cell {
+    fn kops(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.ns as f64 * 1_000_000.0
+        }
+    }
+
+    fn vkops(&self) -> f64 {
+        if self.vns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.vns as f64 * 1_000_000.0
+        }
+    }
+
+    fn v_us_per_op(&self) -> f64 {
+        self.vns as f64 / 1000.0 / self.ops as f64 * self.clients as f64
+    }
+
+    fn name(&self) -> String {
+        format!("dht_{}_v{}_c{}", self.path, self.vsize, self.clients)
+    }
+}
+
+fn dht_config(vsize: usize) -> DhtConfig {
+    // Slot = 3 header words + 8-byte key + inline value (8-aligned).
+    let slot = 24 + 8 + vsize.next_multiple_of(8);
+    DhtConfig {
+        buckets_per_rank: (BYTES_PER_RANK / slot).next_power_of_two() / 2,
+        key_max: 8,
+        val_max: vsize,
+        ..DhtConfig::default()
+    }
+}
+
+/// Boot a cluster + prefilled table for one (vsize, clients) pair. Returns
+/// the cluster, the table, the keyspace size, and how many prefill puts the
+/// probe window rejected (skipped keys stay absent; gets on them are legal).
+fn boot(vsize: usize, clients: usize) -> (RuntimeCluster, Dht, usize, u64) {
+    let n = clients.max(2);
+    let cluster =
+        RuntimeCluster::new(n, NetworkModel::ib_fdr(), RtConfig::default(), ActionRegistry::new());
+    let cfg = dht_config(vsize);
+    let keyspace = cfg.buckets_per_rank * n * LOAD_PCT / 100;
+    let dht = Dht::new(&cluster, cfg).expect("dht boots");
+    let mut full = 0u64;
+    let val = vec![0x5Au8; vsize];
+    for k in 0..keyspace as u64 {
+        let key = k.to_le_bytes();
+        // Prefill from the owner rank: short-circuits to local memory.
+        let owner = dht.owner_of(&key);
+        match dht.put(cluster.node(owner), &key, &val, AccessPath::Rpc) {
+            Ok(()) => {}
+            Err(DsError::Full) => full += 1,
+            Err(e) => panic!("prefill put failed: {e}"),
+        }
+    }
+    (cluster, dht, keyspace, full)
+}
+
+/// The workload knobs of one sweep cell (everything but the access path,
+/// which varies within a boot).
+struct CellSpec {
+    vsize: usize,
+    keyspace: usize,
+    clients: usize,
+    ops_per_client: u64,
+    seed: u64,
+}
+
+/// One measured cell: `clients` threads, each `ops_per_client` random
+/// 50/50 get/put ops over the keyspace, all through `path`.
+fn run_cell(cluster: &RuntimeCluster, dht: &Dht, path: AccessPath, spec: &CellSpec) -> Cell {
+    let CellSpec { vsize, keyspace, clients, ops_per_client, seed } = *spec;
+    let full_errors = AtomicU64::new(0);
+    let max_vns = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (full_errors, max_vns) = (&full_errors, &max_vns);
+            s.spawn(move || {
+                let node = cluster.node(c % cluster.len());
+                let mut rng = StdRng::seed_from_u64(seed ^ (c as u64) << 32);
+                let val = vec![0xA5u8; vsize];
+                let v0 = node.photon().now().0;
+                for _ in 0..ops_per_client {
+                    let key = (rng.gen_range(0..keyspace) as u64).to_le_bytes();
+                    let r = if rng.gen_range(0u32..100) < 50 {
+                        dht.get(node, &key, path).map(|_| ())
+                    } else {
+                        dht.put(node, &key, &val, path)
+                    };
+                    match r {
+                        Ok(()) => {}
+                        Err(DsError::Full) => {
+                            full_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("bench op failed: {e}"),
+                    }
+                }
+                // Per-client modeled-network time for its op stream: the
+                // clock advanced to each completion's virtual delivery.
+                let dv = node.photon().now().0 - v0;
+                max_vns.fetch_max(dv, Ordering::Relaxed);
+            });
+        }
+    });
+    let cfg = dht_config(vsize);
+    Cell {
+        path: if path == AccessPath::OneSided { "1s" } else { "rpc" },
+        vsize,
+        clients,
+        keyspace,
+        buckets_total: cfg.buckets_per_rank * clients.max(2),
+        ops: ops_per_client * clients as u64,
+        full_errors: full_errors.into_inner(),
+        ns: t0.elapsed().as_nanos(),
+        vns: max_vns.into_inner(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = String::from("full");
+    let mut ops_per_client = 2_000u64;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args[i + 1].clone();
+                i += 2;
+            }
+            "--ops" => {
+                ops_per_client = args[i + 1].parse().expect("--ops takes a number");
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                label = String::from("smoke");
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (vsizes, client_counts): (Vec<usize>, Vec<usize>) = if smoke {
+        ops_per_client = ops_per_client.min(300);
+        (vec![8, 512], vec![2, 4])
+    } else {
+        (vec![8, 64, 512, 4096], vec![1, 2, 4, 8])
+    };
+
+    // Both paths per boot, so each comparison runs against the same
+    // prefilled table.
+    let mut cells: Vec<Cell> = Vec::new();
+    for &vsize in &vsizes {
+        for &clients in &client_counts {
+            let (cluster, dht, keyspace, prefill_full) = boot(vsize, clients);
+            if prefill_full > 0 {
+                eprintln!(
+                    "# v{vsize} c{clients}: {prefill_full} prefill keys hit a full probe window"
+                );
+            }
+            let spec = CellSpec {
+                vsize,
+                keyspace,
+                clients,
+                ops_per_client,
+                seed: 0xE20 ^ (vsize as u64) << 16,
+            };
+            for path in [AccessPath::OneSided, AccessPath::Rpc] {
+                cells.push(run_cell(&cluster, &dht, path, &spec));
+            }
+            cluster.shutdown();
+        }
+    }
+
+    // Crossover tables, one block per value size: wall Kops/s (host cost)
+    // and modeled-network µs/op (virtual time at IB-FDR rates, the number
+    // the crossover verdict uses).
+    println!("e20_gups ({label}): 50/50 get/put, {ops_per_client} ops/client");
+    print!("{:>6} {:>5} {:>9}", "vsize", "path", "metric");
+    for c in &client_counts {
+        print!(" {:>10}", format!("c={c}"));
+    }
+    println!("  (keyspace)");
+    for &vsize in &vsizes {
+        for path in ["1s", "rpc"] {
+            let row = |metric: &str, f: &dyn Fn(&Cell) -> f64, ks: bool| {
+                print!("{vsize:>6} {path:>5} {metric:>9}");
+                let mut keys = 0;
+                for &clients in &client_counts {
+                    let cell = cells
+                        .iter()
+                        .find(|x| x.path == path && x.vsize == vsize && x.clients == clients)
+                        .expect("cell ran");
+                    keys = cell.keyspace;
+                    print!(" {:>10.2}", f(cell));
+                }
+                if ks {
+                    println!("  ({keys} keys)");
+                } else {
+                    println!();
+                }
+            };
+            row("Kops/s", &Cell::kops, false);
+            row("net us/op", &Cell::v_us_per_op, true);
+        }
+        // The headline: which path costs less modeled network time.
+        print!("{:>6} {:>5} {:>9}", "", "win", "(net)");
+        for &clients in &client_counts {
+            let get = |p: &str| {
+                cells
+                    .iter()
+                    .find(|x| x.path == p && x.vsize == vsize && x.clients == clients)
+                    .map(|x| x.v_us_per_op())
+                    .unwrap_or(f64::MAX)
+            };
+            print!(" {:>10}", if get("1s") <= get("rpc") { "1s" } else { "rpc" });
+        }
+        println!();
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"e20_gups_dht_crossover\",");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"mix\": \"50/50 get/put, uniform keys (YCSB-A)\",");
+    let _ = writeln!(json, "  \"ops_per_client\": {ops_per_client},");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (k, e) in cells.iter().enumerate() {
+        let comma = if k + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"path\": \"{}\", \"value_bytes\": {}, \"clients\": {}, \
+             \"keyspace\": {}, \"buckets_total\": {}, \"ops\": {}, \"full_errors\": {}, \
+             \"ns_total\": {}, \"kops_per_sec\": {:.2}, \"net_ns_makespan\": {}, \
+             \"net_kops_per_sec\": {:.2}, \"net_us_per_op\": {:.3}}}{comma}",
+            e.name(),
+            e.path,
+            e.vsize,
+            e.clients,
+            e.keyspace,
+            e.buckets_total,
+            e.ops,
+            e.full_errors,
+            e.ns,
+            e.kops(),
+            e.vns,
+            e.vkops(),
+            e.v_us_per_op()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_gups.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,151 @@
+//! Region layout helpers for fixed-slot data planes.
+//!
+//! Data-structure layers (the DHT buckets and queue rings in `photon-ds`)
+//! carve a registered region into fixed-size slots whose fields are
+//! accessed remotely — seqlock words via remote atomics, payloads via
+//! one-sided put/get. Remote atomics require 8-byte-aligned u64 targets,
+//! so every field offset and every slot stride must stay 8-aligned. These
+//! helpers centralize that arithmetic (with overflow checking, since slot
+//! counts come from configuration) instead of scattering `(x + 7) & !7`
+//! across call sites.
+
+use crate::{PhotonError, Result};
+
+/// Round `n` up to the next multiple of 8 (the alignment remote u64
+/// atomics require).
+pub fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+/// Sequential field allocator for one slot's interior: each [`Layout::field`]
+/// call reserves an 8-aligned run of bytes and returns its offset from the
+/// slot base.
+///
+/// ```
+/// use photon_core::layout::Layout;
+/// let mut l = Layout::new();
+/// let version = l.field(8);
+/// let hdr = l.field(12); // padded to 16
+/// let payload = l.field(32);
+/// assert_eq!((version, hdr, payload), (0, 8, 24));
+/// assert_eq!(l.size(), 56);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Layout {
+    off: usize,
+}
+
+impl Layout {
+    /// An empty layout (next field at offset 0).
+    pub fn new() -> Layout {
+        Layout::default()
+    }
+
+    /// Reserve `len` bytes (padded to 8), returning the field's offset.
+    pub fn field(&mut self, len: usize) -> usize {
+        let at = self.off;
+        self.off += align8(len);
+        at
+    }
+
+    /// Total bytes reserved so far (always 8-aligned).
+    pub fn size(&self) -> usize {
+        self.off
+    }
+}
+
+/// A region carved into `count` slots of `slot_bytes` each (8-aligned
+/// stride), with checked offset arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRegion {
+    slot_bytes: usize,
+    count: usize,
+    total: usize,
+}
+
+impl SlotRegion {
+    /// Lay out `count` slots of `slot_bytes` (rounded up to 8). Fails with
+    /// [`PhotonError::Config`] when the total size overflows `usize` or
+    /// either dimension is zero.
+    pub fn new(slot_bytes: usize, count: usize) -> Result<SlotRegion> {
+        if slot_bytes == 0 || count == 0 {
+            return Err(PhotonError::Config(format!(
+                "slot region needs non-zero dimensions (slot_bytes={slot_bytes}, count={count})"
+            )));
+        }
+        let stride = align8(slot_bytes);
+        let total = stride.checked_mul(count).ok_or_else(|| {
+            PhotonError::Config(format!("slot region overflows: {stride} bytes x {count} slots"))
+        })?;
+        Ok(SlotRegion { slot_bytes: stride, count, total })
+    }
+
+    /// The 8-aligned per-slot stride.
+    pub fn slot_bytes(&self) -> usize {
+        self.slot_bytes
+    }
+
+    /// Number of slots.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Bytes the backing region must provide.
+    pub fn total_bytes(&self) -> usize {
+        self.total
+    }
+
+    /// Byte offset of slot `i` (panics on out-of-range, like slice
+    /// indexing — slot indices are internal, not wire input).
+    pub fn offset(&self, i: usize) -> usize {
+        assert!(i < self.count, "slot {i} out of {} slots", self.count);
+        i * self.slot_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align8_rounds_up() {
+        assert_eq!(align8(0), 0);
+        assert_eq!(align8(1), 8);
+        assert_eq!(align8(8), 8);
+        assert_eq!(align8(9), 16);
+        assert_eq!(align8(4096), 4096);
+    }
+
+    #[test]
+    fn layout_allocates_aligned_fields() {
+        let mut l = Layout::new();
+        assert_eq!(l.field(8), 0);
+        assert_eq!(l.field(1), 8); // padded to 8
+        assert_eq!(l.field(17), 16); // padded to 24
+        assert_eq!(l.size(), 40);
+    }
+
+    #[test]
+    fn slot_region_strides_and_bounds() {
+        let r = SlotRegion::new(20, 4).unwrap();
+        assert_eq!(r.slot_bytes(), 24);
+        assert_eq!(r.count(), 4);
+        assert_eq!(r.total_bytes(), 96);
+        assert_eq!(r.offset(0), 0);
+        assert_eq!(r.offset(3), 72);
+    }
+
+    #[test]
+    fn slot_region_rejects_degenerate_and_overflowing_shapes() {
+        assert!(matches!(SlotRegion::new(0, 4), Err(PhotonError::Config(_))));
+        assert!(matches!(SlotRegion::new(8, 0), Err(PhotonError::Config(_))));
+        assert!(matches!(SlotRegion::new(usize::MAX / 2, 3), Err(PhotonError::Config(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn slot_region_offset_panics_past_the_end() {
+        let r = SlotRegion::new(8, 2).unwrap();
+        let _ = r.offset(2);
+    }
+}

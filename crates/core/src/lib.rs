@@ -71,6 +71,7 @@ pub mod collectives;
 pub(crate) mod completion;
 pub mod config;
 pub mod eager;
+pub mod layout;
 pub mod ledger;
 pub mod obs;
 pub mod photon;

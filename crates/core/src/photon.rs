@@ -237,6 +237,13 @@ pub struct Photon {
     /// keyed by `wr_id` (the wr itself carries [`BATCH_RID`]). One lock op
     /// per *batch*, not per frame.
     batch_rids: Mutex<HashMap<u64, Vec<u64>>>,
+    /// Peers declared dead by [`Photon::mark_dead`] and not yet collected
+    /// via [`Photon::take_dead_peers`]. Runtime layers drain this to tear
+    /// down per-peer state of their own (e.g. RPC dedup windows).
+    dead_notify: Mutex<Vec<Rank>>,
+    /// Lock-free fast path for [`Photon::take_dead_peers`]: number of
+    /// uncollected entries in `dead_notify`.
+    dead_pending: AtomicU64,
     pub(crate) coll_inbox: Mutex<HashMap<u64, CollQueue>>,
     pub(crate) rdv_announces: Mutex<HashMap<(Rank, u64), (RemoteKey, VTime)>>,
     pub(crate) rdv_fins: Mutex<HashMap<(Rank, u64), VTime>>,
@@ -374,6 +381,8 @@ impl Photon {
             progress_gate: AtomicBool::new(false),
             probe_ticks: AtomicU64::new(0),
             batch_rids: Mutex::new(HashMap::new()),
+            dead_notify: Mutex::new(Vec::new()),
+            dead_pending: AtomicU64::new(0),
             coll_inbox: Mutex::new(HashMap::new()),
             rdv_announces: Mutex::new(HashMap::new()),
             rdv_fins: Mutex::new(HashMap::new()),
@@ -1190,6 +1199,24 @@ impl Photon {
         // Rendezvous state parked from the dead peer will never FIN/match.
         self.rdv_announces.lock().retain(|(src, _), _| *src != peer);
         self.rdv_fins.lock().retain(|(src, _), _| *src != peer);
+        // Publish the eviction for layers above: each dead peer is queued
+        // exactly once (the state swap above is the idempotence guard).
+        self.dead_notify.lock().push(peer);
+        self.dead_pending.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drain the peers declared dead since the last call. Each evicted peer
+    /// is reported exactly once per context; layers above poll this from
+    /// their progress paths to tear down per-peer state of their own (the
+    /// runtime uses it to forget dead clients' RPC dedup windows). The fast
+    /// path is one atomic load.
+    pub fn take_dead_peers(&self) -> Vec<Rank> {
+        if self.dead_pending.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut q = self.dead_notify.lock();
+        self.dead_pending.fetch_sub(q.len() as u64, Ordering::AcqRel);
+        std::mem::take(&mut *q)
     }
 
     /// Convert an *actual* post failure into its health consequence: an

@@ -1,0 +1,154 @@
+//! Distributed data-structure services layered over the Photon runtime.
+//!
+//! The paper positions Photon as middleware *for runtime systems*: the
+//! point of exposing RDMA put/get/atomics and typed invocations is that
+//! higher-level services get built from them. This crate is that layer for
+//! two structures HPX-5-class runtimes lean on:
+//!
+//! * [`Dht`] — a hash table sharded across ranks by key hash. Fixed-size
+//!   buckets live in registered memory, so remote ranks can read and write
+//!   them **one-sided** (seqlock-versioned buckets, locked with remote
+//!   compare-and-swap) with zero owner involvement — or go through the
+//!   owner with **RPC** methods (`dht.get`/`dht.put`/`dht.cas`). Both paths
+//!   honour the same bucket locking protocol, so they interleave safely.
+//! * [`DQueue`] — a multi-producer single-consumer queue whose ring lives
+//!   on one owner rank. Producers claim slot tickets with remote CAS and
+//!   publish payloads one-sided, or push via RPC (`dq.push`); the owner
+//!   pops locally, remote ranks pop via RPC (`dq.pop`).
+//!
+//! The two paths exist because their cost crossover is the interesting
+//! systems question (measured in `photon-bench` experiment E20): one-sided
+//! operations skip the owner's scheduler but pay multiple round trips for
+//! lock/publish protocols; RPC pays scheduling and handler dispatch but
+//! moves each datum in one round trip and can use owner-local spill storage
+//! for values larger than a bucket.
+//!
+//! Mutating operations that are not idempotent (`dht.cas`, `dq.push`,
+//! `dq.pop`) ride the RPC layer's at-most-once delivery; idempotent ones
+//! (`dht.get`, last-write-wins `dht.put`) use at-least-once, which is
+//! cheaper under retry storms.
+//!
+//! Like the KV exemplar, method names are compile-time constants: create at
+//! most **one** `Dht` and one `DQueue` per cluster.
+
+#![warn(missing_docs)]
+
+pub mod dht;
+pub mod queue;
+
+pub use dht::{Dht, DhtConfig};
+pub use queue::{DQueue, DQueueConfig};
+
+use photon_runtime::RtError;
+
+/// Which mechanism an operation should use to reach the owning rank.
+///
+/// Operations on data the calling rank itself owns short-circuit to plain
+/// local memory access under either path (the shared-memory shortcut every
+/// real deployment also takes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Direct RDMA put/get/CAS against the owner's registered region; no
+    /// owner CPU involvement.
+    OneSided,
+    /// A typed invocation executed by the owner (rides the parcel
+    /// scheduler).
+    Rpc,
+}
+
+/// Typed failures of the data-structure layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsError {
+    /// The key's bounded probe window holds only other keys: the table is
+    /// (locally) full. Grow `buckets_per_rank` or `probe_len`.
+    Full,
+    /// Key empty or longer than the structure's `key_max`.
+    BadKey {
+        /// Offered key length.
+        len: usize,
+        /// Structure's configured maximum.
+        max: usize,
+    },
+    /// A bucket or ticket stayed contended/locked past the retry budget.
+    /// With live peers this is transient back-pressure; after a peer crash
+    /// it can be permanent for buckets whose lock died with the peer (see
+    /// DESIGN.md, "Data-structure layer" — the known seqlock limitation).
+    Unavailable(&'static str),
+    /// The queue ring is at capacity.
+    QueueFull,
+    /// Transport or invocation failure (peer dead, RPC timeout, ...).
+    Rt(RtError),
+}
+
+impl std::fmt::Display for DsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsError::Full => write!(f, "hash table probe window full"),
+            DsError::BadKey { len, max } => write!(f, "bad key: len {len} (max {max}, min 1)"),
+            DsError::Unavailable(what) => write!(f, "unavailable: {what}"),
+            DsError::QueueFull => write!(f, "queue at capacity"),
+            DsError::Rt(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {}
+
+impl From<RtError> for DsError {
+    fn from(e: RtError) -> DsError {
+        DsError::Rt(e)
+    }
+}
+
+impl From<photon_core::PhotonError> for DsError {
+    fn from(e: photon_core::PhotonError) -> DsError {
+        DsError::Rt(RtError::Photon(e))
+    }
+}
+
+/// Result alias for data-structure operations.
+pub type DsResult<T> = std::result::Result<T, DsError>;
+
+// Status codes carried in RPC replies of the ds methods (`u8` on the wire).
+// Handler-level verdicts, distinct from the RPC layer's own status byte:
+// these describe the data structure's answer, not the invocation's fate.
+pub(crate) const DS_OK: u8 = 0;
+pub(crate) const DS_FULL: u8 = 1;
+pub(crate) const DS_BAD_KEY: u8 = 2;
+pub(crate) const DS_UNAVAILABLE: u8 = 3;
+pub(crate) const DS_MISMATCH: u8 = 4;
+pub(crate) const DS_QUEUE_FULL: u8 = 5;
+
+photon_core::counter_registry! {
+    /// Atomic operation counters for one data-structure instance
+    /// (cluster-wide totals; see [`DsStats`]).
+    registry DsCounters;
+    /// Operation statistics for one data-structure instance.
+    snapshot DsStats;
+    table DS_COUNTERS;
+    counters {
+        /// DHT get operations started (any path).
+        dht_gets,
+        /// DHT put operations started (any path).
+        dht_puts,
+        /// DHT compare-and-set operations started.
+        dht_cas,
+        /// One-sided DHT operations that fell back to the RPC path
+        /// (locked bucket past the retry budget, or a spilled value).
+        dht_rpc_fallbacks,
+        /// Values stored in owner-side spill maps instead of inline
+        /// bucket bytes (larger than `val_max`).
+        dht_spills,
+        /// Bucket lock acquisitions that lost a CAS race and re-read.
+        dht_lock_conflicts,
+        /// Queue push operations started (any path).
+        dq_pushes,
+        /// Queue pop operations started.
+        dq_pops,
+        /// One-sided pushes that fell back to the RPC path (oversized
+        /// payload or ticket contention past the retry budget).
+        dq_rpc_fallbacks,
+        /// Push attempts rejected because the ring was full.
+        dq_full,
+    }
+}

@@ -132,7 +132,16 @@ impl RpcClient {
         } else {
             (0, 0)
         };
-        let req_bytes = req.to_bytes();
+        // Encode-time bound check: a request whose length-prefixed fields
+        // exceed their u32 prefixes must fail here, before anything is
+        // sent — truncating a prefix would desync the server's decoder.
+        let req_bytes = match req.to_bytes() {
+            Ok(b) => b,
+            Err(e) => {
+                RpcCounters::bump(&rpc.counters.replies_err);
+                return Err(rpc_failed::<M>(format!("request encode failed: {e}")));
+            }
+        };
 
         // One correlation id for the whole call: every retry is a duplicate
         // of the same envelope, so whichever delivery's reply arrives first
@@ -282,7 +291,12 @@ impl RpcClient {
             }
             ST_BAD_REQUEST => {
                 RpcCounters::bump(&rpc.counters.replies_err);
-                Err(rpc_failed::<M>("request failed to decode on server".into()))
+                let detail = if body.is_empty() {
+                    "request failed to decode on server".to_string()
+                } else {
+                    String::from_utf8_lossy(body).into_owned()
+                };
+                Err(rpc_failed::<M>(detail))
             }
             other => {
                 RpcCounters::bump(&rpc.counters.replies_err);

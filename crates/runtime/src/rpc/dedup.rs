@@ -155,6 +155,23 @@ impl DedupWindow {
     pub fn forget_client(&mut self, client_rank: u32, client_id: u64) {
         self.clients.remove(&(client_rank, client_id));
     }
+
+    /// Forget every client identity that called from `client_rank`,
+    /// returning how many were dropped. This is the server's dead-peer
+    /// path: when the health machine evicts a rank, all of its dedup
+    /// windows leak unless reaped — and worse, a restarted rank reusing a
+    /// `client_id` would collide with the dead instance's sequence state
+    /// (fresh seq 0 admissions answered `Stale` or replayed from stale
+    /// caches). Client ids are allocated per node boot, so a rank that
+    /// rejoins after this reap starts from a clean window either way.
+    pub fn forget_rank(&mut self, client_rank: u32) -> usize {
+        let ids: Vec<u64> =
+            self.clients.keys().filter(|&&(r, _)| r == client_rank).map(|&(_, id)| id).collect();
+        for id in &ids {
+            self.forget_client(client_rank, *id);
+        }
+        ids.len()
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +264,46 @@ mod tests {
         w.forget_client(0, 1);
         assert_eq!(w.clients(), 0);
         assert_eq!(w.admit(0, 1, 0), Admit::Execute, "fresh identity starts clean");
+    }
+
+    #[test]
+    fn forget_rank_reaps_every_id_of_that_rank_only() {
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute);
+        assert_eq!(w.admit(0, 2, 0), Admit::Execute);
+        assert_eq!(w.admit(1, 1, 0), Admit::Execute);
+        assert_eq!(w.forget_rank(0), 2, "both ids on rank 0 reaped");
+        assert_eq!(w.clients(), 1, "rank 1's client survives");
+        assert_eq!(w.admit(1, 1, 0), Admit::InFlight, "survivor state intact");
+        assert_eq!(w.admit(0, 1, 0), Admit::Execute, "reaped identity starts clean");
+        assert_eq!(w.forget_rank(5), 0, "unknown rank reaps nothing");
+    }
+
+    /// The satellite interleaving, pinned deterministically: eviction
+    /// raises client A's floor past a sequence number that client B has in
+    /// flight; B's window must be completely unperturbed (floors, entries
+    /// and verdicts are per-client).
+    #[test]
+    fn eviction_raising_one_clients_floor_never_perturbs_another() {
+        let mut w = DedupWindow::new(2);
+        // B (same rank, different id) admits seq 0; handler still running.
+        assert_eq!(w.admit(0, 2, 0), Admit::Execute);
+        // A completes seqs 5 and 6, then admits 7: the full window evicts
+        // seq 5 and raises A's floor to 6 — past B's in-flight seq 0.
+        assert_eq!(w.admit(0, 1, 5), Admit::Execute);
+        w.complete(0, 1, 5, vec![5]);
+        assert_eq!(w.admit(0, 1, 6), Admit::Execute);
+        w.complete(0, 1, 6, vec![6]);
+        assert_eq!(w.admit(0, 1, 7), Admit::Execute);
+        assert_eq!(w.admit(0, 1, 5), Admit::Stale, "A's own floor did rise");
+        // B's in-flight admit sits below A's floor yet stays answerable...
+        assert_eq!(w.admit(0, 2, 0), Admit::InFlight);
+        w.complete(0, 2, 0, vec![0, 42]);
+        assert_eq!(w.admit(0, 2, 0), Admit::Replay(vec![0, 42]));
+        // ...and B's floor never moved: a fresh low sequence still runs.
+        assert_eq!(w.admit(0, 2, 1), Admit::Execute);
+        // Same id on a different rank is yet another independent client.
+        assert_eq!(w.admit(1, 1, 5), Admit::Execute);
     }
 
     #[test]
@@ -354,6 +411,114 @@ mod tests {
             Ok(())
         }
 
+        /// Per-client reference model for the multi-client property.
+        #[derive(Default)]
+        struct ClientModel {
+            executed: BTreeSet<u64>,
+            inflight: BTreeSet<u64>,
+            completed: Map<u64, Vec<u8>>,
+            staled: BTreeSet<u64>,
+        }
+
+        /// The clients of the cross-client interleaving: two ids sharing a
+        /// rank plus one id reused on another rank — the three ways two
+        /// windows can be "adjacent" without being the same window.
+        const CLIENTS: [(u32, u64); 3] = [(7, 3), (7, 4), (8, 3)];
+
+        /// Drive a random interleaving across several clients through ONE
+        /// window and check that each client's at-most-once core holds as if
+        /// it were alone — in particular that eviction raising one client's
+        /// floor past another client's in-flight or completed sequence
+        /// numbers never perturbs them (the satellite interleaving, as a
+        /// property).
+        fn check_cross_client(cap: usize, steps: &[(u8, u8, u64)]) -> Result<(), TestCaseError> {
+            let mut w = DedupWindow::new(cap);
+            let mut models: Map<(u32, u64), ClientModel> = Map::new();
+            for &(who, kind, seq) in steps {
+                let (rank, id) = CLIENTS[who as usize % CLIENTS.len()];
+                let m = models.entry((rank, id)).or_default();
+                if kind % 3 == 1 {
+                    if let Some(&s) = m.inflight.iter().next() {
+                        w.complete(rank, id, s, reply_of(s));
+                        m.inflight.remove(&s);
+                        m.completed.insert(s, reply_of(s));
+                    }
+                } else {
+                    match w.admit(rank, id, seq) {
+                        Admit::Execute => {
+                            prop_assert!(
+                                !m.executed.contains(&seq),
+                                "client {rank}/{id} seq {seq} double-executed"
+                            );
+                            prop_assert!(
+                                !m.staled.contains(&seq),
+                                "client {rank}/{id} seq {seq} executed after stale"
+                            );
+                            m.executed.insert(seq);
+                            m.inflight.insert(seq);
+                        }
+                        Admit::Replay(r) => {
+                            prop_assert_eq!(
+                                Some(&r),
+                                m.completed.get(&seq),
+                                "client {}/{} replay mismatch",
+                                rank,
+                                id
+                            );
+                        }
+                        Admit::InFlight => {
+                            prop_assert!(
+                                m.inflight.contains(&seq),
+                                "client {rank}/{id} phantom InFlight for seq {seq}"
+                            );
+                        }
+                        Admit::Stale => {
+                            prop_assert!(
+                                !m.inflight.contains(&seq),
+                                "client {rank}/{id} seq {seq} stale while in flight"
+                            );
+                            m.staled.insert(seq);
+                        }
+                        Admit::Busy => {
+                            prop_assert!(
+                                m.inflight.len() >= cap.max(1),
+                                "client {}/{} Busy with {} in-flight of cap {}",
+                                rank,
+                                id,
+                                m.inflight.len(),
+                                cap
+                            );
+                        }
+                    }
+                }
+                // Cross-client independence, checked against EVERY client
+                // after EVERY step: whatever this step evicted or staled,
+                // other clients' in-flight work stays answerable, their
+                // cached replies stay replayable, and their memory bound
+                // holds. A shared floor or shared eviction scan would fail
+                // here.
+                for (&(r, i), m) in &models {
+                    prop_assert!(
+                        w.entries_of(r, i) <= cap.max(1),
+                        "client {}/{} exceeded its per-client capacity",
+                        r,
+                        i
+                    );
+                    for &s in &m.inflight {
+                        prop_assert_eq!(
+                            w.admit(r, i, s),
+                            Admit::InFlight,
+                            "client {}/{} in-flight seq {} perturbed by another client",
+                            r,
+                            i,
+                            s
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+
         proptest! {
             #[test]
             fn interleavings_never_double_execute(
@@ -372,6 +537,20 @@ mod tests {
                 steps in proptest::collection::vec((any::<u8>(), 0u64..64), 1..96),
             ) {
                 check_interleaving(cap, &steps)?;
+            }
+
+            /// Cross-client independence under eviction pressure: tiny
+            /// windows and a wide sequence space make floor-raising constant,
+            /// so interleavings where one client's eviction overlaps another
+            /// client's in-flight admission are the common case, not the
+            /// corner.
+            #[test]
+            fn client_windows_stay_independent_under_eviction(
+                cap in 1usize..3,
+                steps in proptest::collection::vec(
+                    (any::<u8>(), any::<u8>(), 0u64..24), 1..96),
+            ) {
+                check_cross_client(cap, &steps)?;
             }
         }
     }

@@ -160,9 +160,12 @@ mod tests {
     fn method_wire_types_round_trip() {
         let req: <KvCas as RpcMethod>::Req =
             (b"key".to_vec(), Some(b"old".to_vec()), b"new".to_vec(), 42);
-        let rt = <<KvCas as RpcMethod>::Req as Wire>::from_bytes(&req.to_bytes()).unwrap();
+        let rt = <<KvCas as RpcMethod>::Req as Wire>::from_bytes(&req.to_bytes().unwrap()).unwrap();
         assert_eq!(rt, req);
         let rep: <KvGet as RpcMethod>::Rep = Some(b"v".to_vec());
-        assert_eq!(<<KvGet as RpcMethod>::Rep as Wire>::from_bytes(&rep.to_bytes()).unwrap(), rep);
+        assert_eq!(
+            <<KvGet as RpcMethod>::Rep as Wire>::from_bytes(&rep.to_bytes().unwrap()).unwrap(),
+            rep
+        );
     }
 }

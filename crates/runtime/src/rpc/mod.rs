@@ -183,6 +183,13 @@ photon_core::counter_registry! {
         /// Replies this node failed to send (client dead or partitioned);
         /// the client's retry/timeout machinery owns recovery.
         srv_reply_failures,
+        /// Handler executions that panicked; the panic was contained and
+        /// converted to an `ST_HANDLER_ERR` reply (the server keeps
+        /// serving).
+        srv_handler_panics,
+        /// At-most-once client identities whose dedup state was dropped
+        /// because the health machine declared their rank dead.
+        srv_clients_forgotten,
     }
 }
 

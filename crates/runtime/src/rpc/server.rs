@@ -39,7 +39,13 @@ impl RtNode {
         let srv_key = self.rpc().latency.register(&format!("{}@srv", M::NAME));
         let erased = Arc::new(move |bytes: &[u8]| match M::Req::from_bytes(bytes) {
             Ok(req) => match handler(req) {
-                Ok(rep) => (ST_OK, rep.to_bytes()),
+                // A reply too large for its length prefixes is the request's
+                // fault as stated (it asked for an unencodable answer): a
+                // BAD_REQUEST verdict, never a truncated prefix on the wire.
+                Ok(rep) => match rep.to_bytes() {
+                    Ok(body) => (ST_OK, body),
+                    Err(e) => (ST_BAD_REQUEST, format!("reply encode failed: {e}").into_bytes()),
+                },
                 Err(msg) => (ST_HANDLER_ERR, msg.into_bytes()),
             },
             Err(_) => (ST_BAD_REQUEST, Vec::new()),
@@ -118,6 +124,12 @@ pub(crate) fn handle_request(node: &Arc<RtNode>, payload: &[u8]) {
 }
 
 /// Run the handler, recording its execution latency under `<method>@srv`.
+///
+/// Handler panics are contained here: they must not unwind into the
+/// scheduler worker (killing it would silently shrink the worker pool for
+/// every later parcel). A panic becomes an `ST_HANDLER_ERR` verdict like
+/// any application error — cached, replayed, and counted under
+/// `srv_handler_panics` — and the server keeps serving.
 fn timed_execute(
     node: &Arc<RtNode>,
     latency_key: usize,
@@ -127,7 +139,16 @@ fn timed_execute(
     let rpc = node.rpc();
     RpcCounters::bump(&rpc.counters.srv_executed);
     let start = std::time::Instant::now();
-    let out = handler(req);
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(req)))
+        .unwrap_or_else(|payload| {
+            RpcCounters::bump(&rpc.counters.srv_handler_panics);
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (ST_HANDLER_ERR, format!("handler panicked: {msg}").into_bytes())
+        });
     rpc.latency.record(latency_key, start.elapsed().as_nanos() as u64);
     out
 }
@@ -136,5 +157,118 @@ fn send_reply(node: &Arc<RtNode>, reply_to: usize, corr: u64, status: u8, body: 
     let enc = encode_reply(corr, status, body);
     if node.send_parcel(reply_to, ACTION_RPC_REP, &enc).is_err() {
         RpcCounters::bump(&node.rpc().counters.srv_reply_failures);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::kv::{serve_kv, KvGet, KvPut};
+    use crate::rpc::{Admit, RpcOptions};
+    use crate::{ActionRegistry, RtConfig, RtError, RuntimeCluster};
+    use photon_core::PhotonError;
+    use photon_fabric::{NetworkModel, VTime};
+    use std::time::Duration;
+
+    fn boot(n: usize) -> RuntimeCluster {
+        RuntimeCluster::new(n, NetworkModel::ib_fdr(), RtConfig::default(), ActionRegistry::new())
+    }
+
+    /// Satellite pin: a panicking handler must be contained as an
+    /// `ST_HANDLER_ERR` verdict — not unwind a scheduler worker — and the
+    /// server must keep serving afterwards. Pre-fix, the panic killed the
+    /// worker thread and the call timed out instead of resolving.
+    #[test]
+    fn panicking_handler_is_a_verdict_and_the_server_keeps_serving() {
+        struct Boom;
+        impl RpcMethod for Boom {
+            const NAME: &'static str = "boom.panic";
+            type Req = u64;
+            type Rep = u64;
+        }
+        let c = boot(2);
+        let store = serve_kv(c.node(1));
+        c.node(1).rpc_serve::<Boom>(|v| {
+            if v == 13 {
+                panic!("unlucky request {v}");
+            }
+            Ok(v)
+        });
+        let client = c.node(0).rpc_client(1);
+
+        let err = client.call::<Boom>(&13, RpcOptions::at_most_once()).unwrap_err();
+        match err {
+            RtError::Photon(PhotonError::RpcFailed { method, reason }) => {
+                assert_eq!(method, "boom.panic");
+                assert!(reason.contains("handler panicked"), "{reason}");
+                assert!(reason.contains("unlucky request 13"), "{reason}");
+            }
+            other => panic!("expected RpcFailed verdict, got {other:?}"),
+        }
+        // The same method still works for non-panicking input, and other
+        // methods on the same node are untouched: no worker died.
+        assert_eq!(client.call::<Boom>(&7, RpcOptions::at_most_once()).unwrap(), 7);
+        client
+            .call::<KvPut>(&(b"k".to_vec(), b"v".to_vec(), 1), RpcOptions::at_most_once())
+            .unwrap();
+        assert_eq!(
+            client.call::<KvGet>(&b"k".to_vec(), RpcOptions::at_most_once()).unwrap(),
+            Some(b"v".to_vec())
+        );
+        assert_eq!(store.apply_count(1), 1);
+        let s = c.node(1).rpc_stats();
+        assert_eq!(s.srv_handler_panics, 1);
+        assert_eq!(s.srv_reply_failures, 0);
+        // The panic verdict was cached like any reply: a replayed retry of
+        // the same sequence number must not re-execute (and re-panic).
+        let verdict = c.node(1).rpc().dedup.lock().admit(0, 1, 0);
+        match verdict {
+            Admit::Replay(cached) => assert_eq!(cached.first(), Some(&super::ST_HANDLER_ERR)),
+            other => panic!("expected cached panic verdict, got {other:?}"),
+        }
+        c.shutdown();
+    }
+
+    /// Satellite pin: when the health machine declares a client's rank
+    /// dead, the server must invoke the dedup window's forget path —
+    /// otherwise dead clients' windows leak forever and a restarted rank
+    /// reusing a client id collides with the dead instance's sequence
+    /// state. Pre-fix, `clients()` stays non-zero and the rejoin admit
+    /// below answers `Replay` instead of `Execute`.
+    #[test]
+    fn dead_client_rank_is_forgotten_and_a_rejoin_starts_clean() {
+        let c = boot(3);
+        serve_kv(c.node(0));
+        // Rank 1 calls at-most-once, populating rank 0's dedup window for
+        // client_rank=1 (first client id on a node is 1, seq starts at 0).
+        let client = c.node(1).rpc_client(0);
+        for i in 0..3u64 {
+            client
+                .call::<KvPut>(&(vec![i as u8], vec![9], 100 + i), RpcOptions::at_most_once())
+                .unwrap();
+        }
+        assert_eq!(c.node(0).rpc().dedup.lock().clients(), 1);
+
+        // Rank 1 dies; the server discovers it via its own health machine
+        // (here: an explicit probe, as any traffic toward 1 would).
+        c.photon().fabric().switch().faults().kill_node_at(1, VTime(0));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let _ = c.node(0).photon().check_peer(1);
+            // The progress loop drains the dead-peer queue; wait for the
+            // reap to land.
+            if c.node(0).rpc_stats().srv_clients_forgotten >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "dead client never reaped");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(c.node(0).rpc().dedup.lock().clients(), 0, "dead rank's windows must drop");
+
+        // A restarted rank 1 reusing client id 1 starts from seq 0: with
+        // the stale window gone this is a fresh Execute, not a replay of
+        // the dead instance's cached reply.
+        assert_eq!(c.node(0).rpc().dedup.lock().admit(1, 1, 0), Admit::Execute);
+        c.shutdown();
     }
 }

@@ -4,22 +4,43 @@
 //! same binary (the action-registration discipline), so the method's
 //! [`super::RpcMethod::Req`]/`Rep` types *are* the schema. Decoding is
 //! defensive anyway: truncated or trailing bytes surface as
-//! [`WireError`], never panics, because requests cross trust domains
-//! (a confused peer must not crash a server).
+//! [`WireError::Malformed`], never panics, because requests cross trust
+//! domains (a confused peer must not crash a server). Encoding is bounded
+//! too: length prefixes are `u32`, so a body of 4 GiB or more is rejected
+//! at encode time as [`WireError::TooLarge`] — truncating the prefix would
+//! silently desync the codec.
 
 use std::fmt;
 
-/// Decode failure: the bytes do not parse as the expected type.
+/// Wire codec failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WireError;
+pub enum WireError {
+    /// Decode failure: the bytes do not parse as the expected type.
+    Malformed,
+    /// Encode failure: a length-prefixed body is too large for its `u32`
+    /// prefix (≥ 4 GiB); encoding it would truncate the prefix.
+    TooLarge,
+}
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed wire bytes")
+        match self {
+            WireError::Malformed => write!(f, "malformed wire bytes"),
+            WireError::TooLarge => write!(f, "body exceeds u32 length prefix"),
+        }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Append a `u32` length prefix for a body of `len` bytes, rejecting bodies
+/// the prefix cannot represent. All length-prefixed [`Wire`] impls funnel
+/// through here, so the bound is enforced in exactly one place.
+pub fn put_len_prefix(out: &mut Vec<u8>, len: usize) -> Result<(), WireError> {
+    let n = u32::try_from(len).map_err(|_| WireError::TooLarge)?;
+    out.extend_from_slice(&n.to_le_bytes());
+    Ok(())
+}
 
 /// A cursor over undecoded input.
 pub struct Reader<'a> {
@@ -35,7 +56,7 @@ impl<'a> Reader<'a> {
     /// Take `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.buf.len() < n {
-            return Err(WireError);
+            return Err(WireError::Malformed);
         }
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
@@ -67,23 +88,24 @@ impl<'a> Reader<'a> {
         if self.buf.is_empty() {
             Ok(())
         } else {
-            Err(WireError)
+            Err(WireError::Malformed)
         }
     }
 }
 
 /// Types that can ride RPC payloads.
 pub trait Wire: Sized {
-    /// Append this value's encoding to `out`.
-    fn put(&self, out: &mut Vec<u8>);
+    /// Append this value's encoding to `out`. Fails only when a
+    /// length-prefixed body exceeds its `u32` prefix.
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError>;
     /// Decode one value from the reader.
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError>;
 
     /// Encode to a fresh buffer.
-    fn to_bytes(&self) -> Vec<u8> {
+    fn to_bytes(&self) -> Result<Vec<u8>, WireError> {
         let mut out = Vec::new();
-        self.put(&mut out);
-        out
+        self.put(&mut out)?;
+        Ok(out)
     }
 
     /// Decode from exactly `buf` (trailing bytes are an error).
@@ -96,28 +118,32 @@ pub trait Wire: Sized {
 }
 
 impl Wire for () {
-    fn put(&self, _out: &mut Vec<u8>) {}
+    fn put(&self, _out: &mut Vec<u8>) -> Result<(), WireError> {
+        Ok(())
+    }
     fn take(_r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(())
     }
 }
 
 impl Wire for bool {
-    fn put(&self, out: &mut Vec<u8>) {
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         out.push(*self as u8);
+        Ok(())
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            _ => Err(WireError),
+            _ => Err(WireError::Malformed),
         }
     }
 }
 
 impl Wire for u8 {
-    fn put(&self, out: &mut Vec<u8>) {
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         out.push(*self);
+        Ok(())
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.u8()
@@ -125,8 +151,9 @@ impl Wire for u8 {
 }
 
 impl Wire for u32 {
-    fn put(&self, out: &mut Vec<u8>) {
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         out.extend_from_slice(&self.to_le_bytes());
+        Ok(())
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.u32()
@@ -134,8 +161,9 @@ impl Wire for u32 {
 }
 
 impl Wire for u64 {
-    fn put(&self, out: &mut Vec<u8>) {
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         out.extend_from_slice(&self.to_le_bytes());
+        Ok(())
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.u64()
@@ -143,9 +171,10 @@ impl Wire for u64 {
 }
 
 impl Wire for Vec<u8> {
-    fn put(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        put_len_prefix(out, self.len())?;
         out.extend_from_slice(self);
+        Ok(())
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let n = r.u32()? as usize;
@@ -154,39 +183,41 @@ impl Wire for Vec<u8> {
 }
 
 impl Wire for String {
-    fn put(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        put_len_prefix(out, self.len())?;
         out.extend_from_slice(self.as_bytes());
+        Ok(())
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let n = r.u32()? as usize;
-        String::from_utf8(r.bytes(n)?.to_vec()).map_err(|_| WireError)
+        String::from_utf8(r.bytes(n)?.to_vec()).map_err(|_| WireError::Malformed)
     }
 }
 
 impl<T: Wire> Wire for Option<T> {
-    fn put(&self, out: &mut Vec<u8>) {
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
             None => out.push(0),
             Some(v) => {
                 out.push(1);
-                v.put(out);
+                v.put(out)?;
             }
         }
+        Ok(())
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::take(r)?)),
-            _ => Err(WireError),
+            _ => Err(WireError::Malformed),
         }
     }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
-    fn put(&self, out: &mut Vec<u8>) {
-        self.0.put(out);
-        self.1.put(out);
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.0.put(out)?;
+        self.1.put(out)
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::take(r)?, B::take(r)?))
@@ -194,10 +225,10 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
 }
 
 impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
-    fn put(&self, out: &mut Vec<u8>) {
-        self.0.put(out);
-        self.1.put(out);
-        self.2.put(out);
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.0.put(out)?;
+        self.1.put(out)?;
+        self.2.put(out)
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::take(r)?, B::take(r)?, C::take(r)?))
@@ -205,11 +236,11 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
 }
 
 impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
-    fn put(&self, out: &mut Vec<u8>) {
-        self.0.put(out);
-        self.1.put(out);
-        self.2.put(out);
-        self.3.put(out);
+    fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.0.put(out)?;
+        self.1.put(out)?;
+        self.2.put(out)?;
+        self.3.put(out)
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::take(r)?, B::take(r)?, C::take(r)?, D::take(r)?))
@@ -231,7 +262,9 @@ pub(crate) const ST_BUSY: u8 = 3;
 /// Reply status: the request's sequence number fell below the dedup window
 /// (its cached reply was evicted long ago); not retryable.
 pub(crate) const ST_STALE: u8 = 4;
-/// Reply status: the request bytes did not decode as the method's Req type.
+/// Reply status: the request was unserviceable as stated — its bytes did
+/// not decode as the method's Req type, or its reply could not be encoded
+/// within wire limits (body is an optional UTF-8 detail message).
 pub(crate) const ST_BAD_REQUEST: u8 = 5;
 
 /// A decoded request envelope.
@@ -310,7 +343,7 @@ mod tests {
     use super::*;
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
-        assert_eq!(T::from_bytes(&v.to_bytes()).unwrap(), v);
+        assert_eq!(T::from_bytes(&v.to_bytes().unwrap()).unwrap(), v);
     }
 
     #[test]
@@ -336,21 +369,53 @@ mod tests {
 
     #[test]
     fn truncated_and_trailing_bytes_fail() {
-        let enc = 0x1122_3344u32.to_bytes();
-        assert_eq!(u32::from_bytes(&enc[..3]), Err(WireError));
+        let enc = 0x1122_3344u32.to_bytes().unwrap();
+        assert_eq!(u32::from_bytes(&enc[..3]), Err(WireError::Malformed));
         let mut extra = enc.clone();
         extra.push(0);
-        assert_eq!(u32::from_bytes(&extra), Err(WireError));
+        assert_eq!(u32::from_bytes(&extra), Err(WireError::Malformed));
         // Length prefix pointing past the buffer.
         let bogus = 100u32.to_le_bytes().to_vec();
-        assert_eq!(Vec::<u8>::from_bytes(&bogus), Err(WireError));
+        assert_eq!(Vec::<u8>::from_bytes(&bogus), Err(WireError::Malformed));
         // Bad bool/option discriminants.
-        assert_eq!(bool::from_bytes(&[2]), Err(WireError));
-        assert_eq!(Option::<u8>::from_bytes(&[7]), Err(WireError));
+        assert_eq!(bool::from_bytes(&[2]), Err(WireError::Malformed));
+        assert_eq!(Option::<u8>::from_bytes(&[7]), Err(WireError::Malformed));
         // Non-UTF-8 string bytes.
         let mut s = 2u32.to_le_bytes().to_vec();
         s.extend_from_slice(&[0xff, 0xfe]);
-        assert_eq!(String::from_bytes(&s), Err(WireError));
+        assert_eq!(String::from_bytes(&s), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn length_prefix_boundary_at_u32_max() {
+        // The bound check lives in `put_len_prefix`, so the boundary is
+        // testable without materializing 4 GiB bodies: exactly `u32::MAX`
+        // bytes still encode; one more must be rejected, not truncated.
+        let mut out = Vec::new();
+        put_len_prefix(&mut out, u32::MAX as usize).unwrap();
+        assert_eq!(out, u32::MAX.to_le_bytes());
+        out.clear();
+        assert_eq!(put_len_prefix(&mut out, u32::MAX as usize + 1), Err(WireError::TooLarge));
+        assert!(out.is_empty(), "a rejected prefix must write nothing");
+        // And a plainly huge length maps to the same error.
+        assert_eq!(put_len_prefix(&mut out, usize::MAX), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn oversized_bodies_poison_the_whole_encode() {
+        // A too-large field inside a composite value fails the composite's
+        // encode (no partial emission of later fields).
+        struct Huge;
+        impl Wire for Huge {
+            fn put(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+                put_len_prefix(out, u32::MAX as usize + 1)
+            }
+            fn take(_r: &mut Reader<'_>) -> Result<Self, WireError> {
+                Ok(Huge)
+            }
+        }
+        assert_eq!((7u64, Huge).to_bytes().unwrap_err(), WireError::TooLarge);
+        assert_eq!(Some(Huge).to_bytes().unwrap_err(), WireError::TooLarge);
     }
 
     #[test]
@@ -369,13 +434,13 @@ mod tests {
                 req: b"payload",
             }
         );
-        assert_eq!(decode_request(&enc[..10]), Err(WireError));
+        assert_eq!(decode_request(&enc[..10]), Err(WireError::Malformed));
     }
 
     #[test]
     fn reply_envelope_round_trips() {
         let enc = encode_reply(7, ST_OK, b"body");
         assert_eq!(decode_reply(&enc).unwrap(), (7, ST_OK, &b"body"[..]));
-        assert_eq!(decode_reply(&enc[..5]), Err(WireError));
+        assert_eq!(decode_reply(&enc[..5]), Err(WireError::Malformed));
     }
 }

@@ -5,6 +5,7 @@ use crate::action::{ActionId, ActionRegistry, RtContext};
 use crate::coalesce::Coalescer;
 use crate::lco::{FutureBytes, LcoRef};
 use crate::parcel::Parcel;
+use crate::rpc::RpcCounters;
 use crate::scheduler::Scheduler;
 use crate::{Rank, Result, RtError};
 use parking_lot::Mutex;
@@ -403,6 +404,17 @@ impl RtNode {
         let mut idle: u32 = 0;
         let mut events: Vec<Completion> = Vec::with_capacity(BATCH);
         while !self.shutdown.load(Ordering::Acquire) {
+            // Reap per-peer runtime state for ranks the health machine has
+            // just evicted (one atomic load when nothing died): dead
+            // clients' at-most-once dedup windows must not leak, and a
+            // restarted rank reusing a client id must not collide with its
+            // dead predecessor's sequence state.
+            for peer in self.photon.take_dead_peers() {
+                let forgotten = self.rpc.dedup.lock().forget_rank(peer as u32);
+                if forgotten > 0 {
+                    RpcCounters::add(&self.rpc.counters.srv_clients_forgotten, forgotten as u64);
+                }
+            }
             match self.photon.poll_completions(ProbeFlags::Remote, &mut events, BATCH) {
                 Ok(0) => {
                     idle = idle.saturating_add(1);

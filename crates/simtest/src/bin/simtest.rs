@@ -7,7 +7,7 @@
 //! SIMTEST_SEED=0x… SIMTEST_CASE=… simtest show <campaign>
 //! ```
 //!
-//! Campaigns: smoke, credits, faults, quiescence, crash, rpc. Exit status
+//! Campaigns: smoke, credits, faults, quiescence, crash, rpc, ds. Exit status
 //! is 1 when any case fails, so the binary gates CI directly.
 
 use photon_simtest::campaign::{dump_span_trace, parse_u64, run_one};
@@ -15,7 +15,7 @@ use photon_simtest::{run_campaign, Campaign, CampaignOpts, Schedule};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest <smoke|credits|faults|quiescence|crash|rpc|all> [--cases N] [--seed S] [--jobs N] [--no-shrink]\n\
+        "usage: simtest <smoke|credits|faults|quiescence|crash|rpc|ds|all> [--cases N] [--seed S] [--jobs N] [--no-shrink]\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest replay <campaign>\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest show <campaign>"
     );

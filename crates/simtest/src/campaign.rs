@@ -12,6 +12,7 @@
 //! (`proptest-regressions/simtest.txt`) for this campaign are replayed, so
 //! past failures act as permanent regression tests.
 
+use crate::ds_driver::run_ds_case;
 use crate::exec::{run_case, CaseReport};
 use crate::fnv1a;
 use crate::msg_driver::run_msg_case;
@@ -46,11 +47,16 @@ pub enum Campaign {
     /// enforces that at-most-once traffic never double-applies and every
     /// call resolves to a success or a typed error.
     Rpc,
+    /// Distributed-data-structure chaos: concurrent DHT (and, every fourth
+    /// case, MPSC-queue) clients mix one-sided and RPC paths while nodes
+    /// crash and links partition; a per-key linearizability checker must
+    /// explain every observation, with errored ops as indeterminate.
+    Ds,
 }
 
 impl Campaign {
     /// All campaigns, in CLI listing order.
-    pub fn all() -> [Campaign; 6] {
+    pub fn all() -> [Campaign; 7] {
         [
             Campaign::Smoke,
             Campaign::Credits,
@@ -58,6 +64,7 @@ impl Campaign {
             Campaign::Quiescence,
             Campaign::Crash,
             Campaign::Rpc,
+            Campaign::Ds,
         ]
     }
 
@@ -70,6 +77,7 @@ impl Campaign {
             Campaign::Quiescence => "quiescence",
             Campaign::Crash => "crash",
             Campaign::Rpc => "rpc",
+            Campaign::Ds => "ds",
         }
     }
 
@@ -87,6 +95,7 @@ impl Campaign {
             Campaign::Quiescence => SimParams::quiescence(),
             Campaign::Crash => SimParams::crash(),
             Campaign::Rpc => SimParams::rpc(),
+            Campaign::Ds => SimParams::ds(),
         }
     }
 }
@@ -212,7 +221,7 @@ impl CampaignResult {
 /// run the threaded rpc driver instead.
 pub fn is_schedule_case(campaign: Campaign, case_id: u64) -> bool {
     match campaign {
-        Campaign::Rpc => false,
+        Campaign::Rpc | Campaign::Ds => false,
         Campaign::Quiescence => !(case_id % 8 == 3 || case_id % 8 == 6),
         _ => true,
     }
@@ -225,6 +234,8 @@ pub fn is_schedule_case(campaign: Campaign, case_id: u64) -> bool {
 pub fn run_one(campaign: Campaign, seed: u64, case_id: u64) -> CaseReport {
     if campaign == Campaign::Rpc {
         run_rpc_case(seed, case_id, &campaign.params())
+    } else if campaign == Campaign::Ds {
+        run_ds_case(seed, case_id, &campaign.params())
     } else if is_schedule_case(campaign, case_id) {
         run_case(seed, case_id, &campaign.params())
     } else if case_id % 8 == 3 {

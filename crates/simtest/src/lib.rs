@@ -37,6 +37,7 @@
 
 pub mod campaign;
 pub mod checkers;
+pub mod ds_driver;
 pub mod exec;
 pub mod msg_driver;
 pub mod rpc_driver;
