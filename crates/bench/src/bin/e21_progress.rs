@@ -1,0 +1,229 @@
+//! E21 — progress-engine sweep: dedicated completion threads × doorbell
+//! window.
+//!
+//! ```text
+//! e21_progress                # full sweep, writes results/E21_progress.json
+//! e21_progress --smoke        # reduced op counts for CI
+//! ```
+//!
+//! Two grids, both on the `ideal` network model:
+//!
+//! 1. **Batched puts** — `progress_threads ∈ {0, 1, 2, 4}` ×
+//!    `window ∈ {4, 16, 64}` through `put_many`, measuring how the
+//!    dedicated-thread engine interacts with doorbell batching (0 =
+//!    caller-driven inline progress, the deterministic fallback).
+//! 2. **GET batching** — unbatched (`get_with_completion`, one signaled
+//!    read per get) vs batched (`get_many`, one doorbell + one CQE per
+//!    window) at `window ∈ {1, 4, 16, 64}`, inline progress. Window 1 is
+//!    the degenerate batch, included as the no-win sanity row; the
+//!    acceptance line is batched ≥ unbatched at every window ≥ 4.
+//!
+//! Every cell is min-over-reps (the run least disturbed by scheduler
+//! noise). Results land in `results/E21_progress.json`; EXPERIMENTS.md §E21
+//! interprets them.
+
+use photon_core::{Completion, GetManyItem, PhotonCluster, PhotonConfig, ProbeFlags, PutManyItem};
+use photon_fabric::NetworkModel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Cell {
+    scenario: String,
+    progress_threads: usize,
+    window: usize,
+    ops: u64,
+    ns: u128,
+}
+
+impl Cell {
+    fn mops(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.ns as f64 * 1000.0
+        }
+    }
+}
+
+fn cluster(progress_threads: usize) -> PhotonCluster {
+    let cfg = PhotonConfig { progress_threads, ..PhotonConfig::default() };
+    PhotonCluster::new(2, NetworkModel::ideal(), cfg)
+}
+
+/// Drain up to `want` of rank 1's remote notifications (returns ring
+/// credits to the sender as a side effect).
+fn drain_remote(c: &PhotonCluster, evs: &mut Vec<Completion>, want: u64) -> u64 {
+    let p1 = c.rank(1);
+    let mut got = 0u64;
+    while got < want {
+        evs.clear();
+        let n = p1.poll_completions(ProbeFlags::Remote, evs, 64).expect("remote probe") as u64;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    got
+}
+
+/// One batched-put cell: `window`-sized `put_many` doorbells, `ops` total.
+fn batched_put_cell(pt: usize, window: usize, ops: u64) -> u128 {
+    let c = cluster(pt);
+    let p0 = c.rank(0);
+    let src = p0.register_buffer(64).unwrap();
+    let dst = c.rank(1).register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let mut items: Vec<PutManyItem> = Vec::with_capacity(window);
+    let t0 = Instant::now();
+    let (mut posted, mut done, mut drained) = (0u64, 0u64, 0u64);
+    while done < ops {
+        let n = (window as u64).min(ops - posted);
+        if n > 0 {
+            items.clear();
+            for i in 0..n {
+                items.push(PutManyItem {
+                    loff: 0,
+                    len: 8,
+                    doff: 0,
+                    local_rid: posted + i,
+                    remote_rid: posted + i,
+                });
+            }
+            posted += p0.try_put_many(1, &src, &d, &items).unwrap() as u64;
+        }
+        drained += drain_remote(&c, &mut evs, posted - drained);
+        evs.clear();
+        done += p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap() as u64;
+    }
+    t0.elapsed().as_nanos()
+}
+
+/// One GET cell: `batched` selects `get_many` (one doorbell per window)
+/// vs `get_with_completion` (one signaled read per get).
+fn get_cell(batched: bool, window: usize, ops: u64) -> u128 {
+    let c = cluster(0);
+    let p0 = c.rank(0);
+    let dst = p0.register_buffer(64).unwrap();
+    let src = c.rank(1).register_buffer(64).unwrap();
+    let d = src.descriptor();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let mut items: Vec<GetManyItem> = Vec::with_capacity(window);
+    let t0 = Instant::now();
+    let (mut posted, mut done) = (0u64, 0u64);
+    let mut inflight = 0usize;
+    while done < ops {
+        if batched {
+            let n = (window as u64).min(ops - posted);
+            if n > 0 {
+                items.clear();
+                for i in 0..n {
+                    items.push(GetManyItem { loff: 0, len: 8, soff: 0, local_rid: posted + i });
+                }
+                p0.get_many(1, &dst, &d, &items).unwrap();
+                posted += n;
+            }
+        } else {
+            while inflight < window && posted < ops {
+                p0.get_with_completion(1, &dst, 0, 8, &d, 0, posted).unwrap();
+                posted += 1;
+                inflight += 1;
+            }
+        }
+        evs.clear();
+        let n = p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
+        done += n as u64;
+        inflight = inflight.saturating_sub(n);
+    }
+    t0.elapsed().as_nanos()
+}
+
+fn best_of(reps: u32, f: impl Fn() -> u128) -> u128 {
+    (0..reps).map(|_| f()).min().expect("reps >= 1")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (ops, reps) = if smoke { (10_000u64, 2u32) } else { (100_000u64, 5u32) };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for pt in [0usize, 1, 2, 4] {
+        for w in [4usize, 16, 64] {
+            let ns = best_of(reps, || batched_put_cell(pt, w, ops));
+            cells.push(Cell {
+                scenario: "batched_put".into(),
+                progress_threads: pt,
+                window: w,
+                ops,
+                ns,
+            });
+            let c = cells.last().unwrap();
+            println!(
+                "batched_put  pt={pt} w={w:<3} {:>9} ops  {:>12} ns  {:>8.3} Mops/s",
+                c.ops,
+                c.ns,
+                c.mops()
+            );
+        }
+    }
+    for w in [1usize, 4, 16, 64] {
+        for (batched, scen) in [(false, "unbatched_get"), (true, "batched_get")] {
+            let ns = best_of(reps, || get_cell(batched, w, ops));
+            cells.push(Cell { scenario: scen.into(), progress_threads: 0, window: w, ops, ns });
+            let c = cells.last().unwrap();
+            println!(
+                "{scen:<12} pt=0 w={w:<3} {:>9} ops  {:>12} ns  {:>8.3} Mops/s",
+                c.ops,
+                c.ns,
+                c.mops()
+            );
+        }
+    }
+
+    // The headline acceptance comparison, computed here so the JSON carries
+    // the verdict and not just the raw grid.
+    let mops = |scen: &str, w: usize| {
+        cells.iter().find(|c| c.scenario == scen && c.window == w).map(|c| c.mops()).unwrap_or(0.0)
+    };
+    let mut verdicts: Vec<String> = Vec::new();
+    for w in [4usize, 16, 64] {
+        let (b, u) = (mops("batched_get", w), mops("unbatched_get", w));
+        verdicts.push(format!(
+            "get_w{w}: batched {b:.3} vs unbatched {u:.3} Mops/s -> {}",
+            if b > u { "PASS" } else { "FAIL" }
+        ));
+    }
+    for v in &verdicts {
+        println!("  # {v}");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"E21_progress_engine_sweep\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"stat\": \"min_over_reps\",");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (k, c) in cells.iter().enumerate() {
+        let comma = if k + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"progress_threads\": {}, \"window\": {}, \"ops\": {}, \"ns_total\": {}, \"mops_per_sec\": {:.4}}}{comma}",
+            c.scenario, c.progress_threads, c.window, c.ops, c.ns, c.mops()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"get_batching_verdicts\": [");
+    for (k, v) in verdicts.iter().enumerate() {
+        let comma = if k + 1 < verdicts.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{v}\"{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("E21_progress.json");
+    std::fs::write(&path, json).expect("write experiment json");
+    println!("wrote {}", path.display());
+}

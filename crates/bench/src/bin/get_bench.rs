@@ -1,0 +1,194 @@
+//! Wall-clock throughput of the one-sided GET path, recorded as a JSON
+//! baseline (sibling of `put_bench`, which covers the eager put TX path).
+//!
+//! ```text
+//! get_bench --label batched            # writes results/BENCH_get_batched.json
+//! get_bench --ops 100000 --reps 5
+//! get_bench --progress-threads 2       # dedicated completion threads on
+//! ```
+//!
+//! Scenarios (all on the `ideal` network model so wall-clock time is
+//! dominated by the posting path's own locking and bookkeeping, not modeled
+//! wire latency):
+//!
+//! * `single_get_8B` — strict request-response: one 8-byte
+//!   `get_with_completion` outstanding at a time, local completion reaped
+//!   before the next post.
+//! * `windowed_get_8B_w{4,16,64}` — keep `w` gets outstanding, each its own
+//!   signaled read; the sender reaps local completions in batches.
+//! * `batched_get_8B_w{4,16,64}` — same windows posted through `get_many`:
+//!   one doorbell and one signaled CQE per window, fanned out into `w`
+//!   local completions through the batch side table.
+//!
+//! Reads are one-sided, so there is no receiver to drain and no ring-credit
+//! backpressure: the measured loop is post → harvest → reap, which is why
+//! GET batching shows up almost entirely as saved per-post bookkeeping.
+
+use photon_core::{Completion, GetManyItem, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_fabric::NetworkModel;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+struct Entry {
+    name: String,
+    ops: u64,
+    ns: u128,
+}
+
+impl Entry {
+    fn mops(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.ns as f64 * 1000.0
+        }
+    }
+}
+
+/// Progress threads for every cluster this process builds (0 = inline).
+static PROGRESS_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn cluster() -> PhotonCluster {
+    let cfg = PhotonConfig {
+        progress_threads: PROGRESS_THREADS.load(Ordering::Relaxed),
+        ..PhotonConfig::default()
+    };
+    PhotonCluster::new(2, NetworkModel::ideal(), cfg)
+}
+
+/// `window` 8-byte gets kept in flight over `ops` total operations, one
+/// signaled read per get.
+fn windowed_get(name: String, ops: u64, window: usize) -> Entry {
+    let c = cluster();
+    let p0 = c.rank(0);
+    let dst = p0.register_buffer(64).unwrap();
+    let src = c.rank(1).register_buffer(64).unwrap();
+    let d = src.descriptor();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let t0 = Instant::now();
+    let (mut posted, mut done) = (0u64, 0u64);
+    let mut inflight = 0usize;
+    while done < ops {
+        while inflight < window && posted < ops {
+            p0.get_with_completion(1, &dst, 0, 8, &d, 0, posted).unwrap();
+            posted += 1;
+            inflight += 1;
+        }
+        evs.clear();
+        let n = p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
+        done += n as u64;
+        inflight -= n;
+    }
+    Entry { name, ops, ns: t0.elapsed().as_nanos() }
+}
+
+/// Same windows posted through the doorbell-batch API: one `get_many` call
+/// (one doorbell, one signaled CQE) per window.
+fn batched_get(name: String, ops: u64, window: usize) -> Entry {
+    let c = cluster();
+    let p0 = c.rank(0);
+    let dst = p0.register_buffer(64).unwrap();
+    let src = c.rank(1).register_buffer(64).unwrap();
+    let d = src.descriptor();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let mut items: Vec<GetManyItem> = Vec::with_capacity(window);
+    let t0 = Instant::now();
+    let (mut posted, mut done) = (0u64, 0u64);
+    while done < ops {
+        let n = (window as u64).min(ops - posted);
+        if n > 0 {
+            items.clear();
+            for i in 0..n {
+                items.push(GetManyItem { loff: 0, len: 8, soff: 0, local_rid: posted + i });
+            }
+            p0.get_many(1, &dst, &d, &items).unwrap();
+            posted += n;
+        }
+        evs.clear();
+        done += p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap() as u64;
+    }
+    Entry { name, ops, ns: t0.elapsed().as_nanos() }
+}
+
+/// Min over `reps` runs: each scenario does a fixed amount of work, so the
+/// minimum is the run least disturbed by scheduler noise.
+fn best_of(reps: u32, f: impl Fn() -> Entry) -> Entry {
+    let mut best: Option<Entry> = None;
+    for _ in 0..reps {
+        let e = f();
+        best = Some(match best {
+            Some(b) if b.ns <= e.ns => b,
+            _ => e,
+        });
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = String::from("current");
+    let mut ops = 100_000u64;
+    let mut reps = 5u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args[i + 1].clone();
+                i += 2;
+            }
+            "--ops" => {
+                ops = args[i + 1].parse().expect("--ops takes a number");
+                i += 2;
+            }
+            "--reps" => {
+                reps = args[i + 1].parse().expect("--reps takes a number");
+                i += 2;
+            }
+            "--progress-threads" => {
+                let n: usize = args[i + 1].parse().expect("--progress-threads takes a number");
+                PROGRESS_THREADS.store(n, Ordering::Relaxed);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut entries = vec![best_of(reps, || windowed_get("single_get_8B".into(), ops / 4, 1))];
+    for w in [4usize, 16, 64] {
+        entries.push(best_of(reps, || windowed_get(format!("windowed_get_8B_w{w}"), ops, w)));
+    }
+    for w in [4usize, 16, 64] {
+        entries.push(best_of(reps, || batched_get(format!("batched_get_8B_w{w}"), ops, w)));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"one_sided_get_path\",");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"stat\": \"min_over_reps\",");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (k, e) in entries.iter().enumerate() {
+        let comma = if k + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ns_total\": {}, \"mops_per_sec\": {:.4}}}{comma}",
+            e.name, e.ops, e.ns, e.mops()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    for e in &entries {
+        println!("{:>20}  {:>9} ops  {:>12} ns  {:>8.3} Mops/s", e.name, e.ops, e.ns, e.mops());
+    }
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("BENCH_get_{label}.json"));
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {}", path.display());
+}

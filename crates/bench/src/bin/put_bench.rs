@@ -7,6 +7,7 @@
 //! put_bench --label batched --ops 100000
 //! put_bench --check results/BENCH_put_batched.json --max-regress-pct 2
 //! put_bench --label traced --trace     # extra obs-enabled pass + Perfetto trace
+//! put_bench --progress-threads 2       # dedicated completion threads on
 //! ```
 //!
 //! Scenarios (all on the `ideal` network model so wall-clock time is
@@ -36,6 +37,7 @@ use photon_core::obs::chrome_trace_json;
 use photon_core::{Completion, PhotonCluster, PhotonConfig, ProbeFlags, TraceExport};
 use photon_fabric::NetworkModel;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 struct Entry {
@@ -54,8 +56,15 @@ impl Entry {
     }
 }
 
+/// Progress threads for every cluster this process builds (0 = inline).
+static PROGRESS_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 fn cluster() -> PhotonCluster {
-    PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default())
+    let cfg = PhotonConfig {
+        progress_threads: PROGRESS_THREADS.load(Ordering::Relaxed),
+        ..PhotonConfig::default()
+    };
+    PhotonCluster::new(2, NetworkModel::ideal(), cfg)
 }
 
 /// Drain up to `want` of rank 1's remote notifications (returns credits to
@@ -225,8 +234,11 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// Compare `entries` against `baseline` (matched by name); returns the
-/// per-scenario verdict lines and whether any regression breached `max_pct`.
+/// Compare `entries` against `baseline`, cell by cell. Every measured
+/// scenario must have a baseline entry and vice versa — a missing cell is a
+/// failure, not a silent skip (the old behavior let a renamed scenario
+/// evade the gate entirely). Returns the per-scenario verdict lines (ending
+/// with a worst-regression summary) and whether the check failed.
 fn check_against(
     entries: &[Entry],
     baseline: &[(String, f64)],
@@ -234,12 +246,22 @@ fn check_against(
 ) -> (Vec<String>, bool) {
     let mut lines = Vec::new();
     let mut breached = false;
+    // Worst (most negative) delta across the compared cells.
+    let mut worst: Option<(&str, f64)> = None;
     for e in entries {
         let Some((_, base)) = baseline.iter().find(|(n, _)| *n == e.name) else {
+            breached = true;
+            lines.push(format!(
+                "{:>20}  MISSING from baseline — regenerate it to cover this scenario",
+                e.name
+            ));
             continue;
         };
         let cur = e.mops();
         let delta_pct = if *base > 0.0 { (cur - base) / base * 100.0 } else { 0.0 };
+        if worst.is_none_or(|(_, w)| delta_pct < w) {
+            worst = Some((&e.name, delta_pct));
+        }
         let bad = delta_pct < -max_pct;
         breached |= bad;
         lines.push(format!(
@@ -250,6 +272,15 @@ fn check_against(
             delta_pct,
             if bad { "REGRESSED" } else { "ok" }
         ));
+    }
+    for (name, _) in baseline {
+        if !entries.iter().any(|e| e.name == *name) {
+            breached = true;
+            lines.push(format!("{name:>20}  in baseline but NOT measured this run"));
+        }
+    }
+    if let Some((name, delta)) = worst {
+        lines.push(format!("worst regression: {name} ({delta:+.2}%)"));
     }
     (lines, breached)
 }
@@ -288,6 +319,11 @@ fn main() {
             "--trace" => {
                 trace = true;
                 i += 1;
+            }
+            "--progress-threads" => {
+                let n: usize = args[i + 1].parse().expect("--progress-threads takes a number");
+                PROGRESS_THREADS.store(n, Ordering::Relaxed);
+                i += 2;
             }
             other => {
                 eprintln!("unknown arg: {other}");

@@ -231,7 +231,7 @@ struct LocalNode {
 /// combined on the drain hot path, and rids need no DoS hardening — they
 /// are caller-chosen request ids, not attacker-controlled input.
 #[derive(Debug, Default, Clone, Copy)]
-struct RidHasher(u64);
+pub(crate) struct RidHasher(u64);
 
 impl std::hash::Hasher for RidHasher {
     #[inline]
@@ -254,7 +254,7 @@ impl std::hash::Hasher for RidHasher {
 }
 
 #[derive(Debug, Default, Clone, Copy)]
-struct RidBuildHasher;
+pub(crate) struct RidBuildHasher;
 
 impl std::hash::BuildHasher for RidBuildHasher {
     type Hasher = RidHasher;
@@ -265,7 +265,10 @@ impl std::hash::BuildHasher for RidBuildHasher {
     }
 }
 
-type RidMap<V> = HashMap<u64, V, RidBuildHasher>;
+/// A `u64`-keyed map using the cheap rid hasher; shared with the engine's
+/// other rid- and wr_id-keyed side tables (e.g. the doorbell-batch rid
+/// lists), which sit on the same harvest hot path.
+pub(crate) type RidMap<V> = HashMap<u64, V, RidBuildHasher>;
 
 /// Per-rid slot index. Rids are almost always unique among queued events,
 /// so the common case is a bare slot number — no allocation per event.
@@ -344,6 +347,29 @@ impl LocalShard {
         }
     }
 
+    /// Append one event at the FIFO tail (caller holds the shard lock).
+    fn push_node(&mut self, rid: u64, peer: Rank, ts: VTime, status: WcStatus) {
+        let node = LocalNode { rid, peer, ts, status, prev: self.tail, next: NIL };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s as usize] = node;
+                s
+            }
+            None => {
+                let s = self.nodes.len() as u32;
+                assert!(s < NIL, "local event queue shard overflow");
+                self.nodes.push(node);
+                s
+            }
+        };
+        match self.tail {
+            NIL => self.head = slot,
+            t => self.nodes[t as usize].next = slot,
+        }
+        self.tail = slot;
+        self.index_push(rid, slot);
+    }
+
     /// Remove and return the oldest indexed slot for `rid`.
     fn index_take(&mut self, rid: u64) -> Option<u32> {
         let Entry::Occupied(mut o) = self.by_rid.entry(rid) else {
@@ -396,27 +422,25 @@ impl LocalQueue {
     }
 
     pub(crate) fn push(&self, rid: u64, peer: Rank, ts: VTime, status: WcStatus) {
-        let mut shard = self.shards[rid_shard(rid)].lock();
-        let node = LocalNode { rid, peer, ts, status, prev: shard.tail, next: NIL };
-        let slot = match shard.free.pop() {
-            Some(s) => {
-                shard.nodes[s as usize] = node;
-                s
-            }
-            None => {
-                let s = shard.nodes.len() as u32;
-                assert!(s < NIL, "local event queue shard overflow");
-                shard.nodes.push(node);
-                s
-            }
-        };
-        match shard.tail {
-            NIL => shard.head = slot,
-            t => shard.nodes[t as usize].next = slot,
-        }
-        shard.tail = slot;
-        shard.index_push(rid, slot);
+        self.shards[rid_shard(rid)].lock().push_node(rid, peer, ts, status);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Push a run of rids sharing one (peer, ts, status) — the shape a
+    /// doorbell batch retires in. Groups rids by shard so each touched
+    /// shard lock is taken once instead of once per event; FIFO order
+    /// within a shard matches the slice order, which is all `pop_front`
+    /// guarantees across shards anyway.
+    pub(crate) fn push_many(&self, rids: &[u64], peer: Rank, ts: VTime, status: WcStatus) {
+        for si in 0..LOCAL_SHARDS {
+            let mut shard = None;
+            for &rid in rids.iter().filter(|&&r| rid_shard(r) == si) {
+                shard
+                    .get_or_insert_with(|| self.shards[si].lock())
+                    .push_node(rid, peer, ts, status);
+            }
+        }
+        self.count.fetch_add(rids.len(), Ordering::Relaxed);
     }
 
     /// Pop the oldest event of some shard. The drain cursor is *sticky with
@@ -453,6 +477,56 @@ impl LocalQueue {
             return Some((rid, peer, ts, status));
         }
         None
+    }
+
+    /// Drain up to `max` events, invoking `f` on each while the shard lock
+    /// is held (so `f` must not call back into this queue). Same rotation
+    /// policy as [`LocalQueue::pop_front`], but a full run off one shard
+    /// costs a single lock acquisition and one `count` update — the shape
+    /// `poll_completions` wants when a doorbell batch just landed. Returns
+    /// how many events were delivered.
+    pub(crate) fn pop_front_batch(
+        &self,
+        max: usize,
+        mut f: impl FnMut(u64, Rank, VTime, WcStatus),
+    ) -> usize {
+        if max == 0 || self.count.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+        let start = if tick & 31 == 0 {
+            self.cursor.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.cursor.load(Ordering::Relaxed)
+        };
+        let mut got = 0usize;
+        for k in 0..LOCAL_SHARDS {
+            if got == max {
+                break;
+            }
+            let si = (start + k) & (LOCAL_SHARDS - 1);
+            let mut shard = self.shards[si].lock();
+            let before = got;
+            while got < max {
+                let slot = shard.head;
+                if slot == NIL {
+                    break;
+                }
+                let (rid, peer, ts, status) = shard.unlink(slot);
+                let front = shard.index_take(rid);
+                debug_assert_eq!(front, Some(slot), "per-rid index tracks shard FIFO");
+                got += 1;
+                f(rid, peer, ts, status);
+            }
+            if got > before && k != 0 {
+                // Stick to the shard that had events.
+                self.cursor.store(si, Ordering::Relaxed);
+            }
+        }
+        if got > 0 {
+            self.count.fetch_sub(got, Ordering::Relaxed);
+        }
+        got
     }
 
     /// Consume the oldest queued event carrying `rid`, if any. O(1).
@@ -534,6 +608,19 @@ impl RemoteQueue {
     pub(crate) fn push(&self, ev: RemoteEvent) {
         self.peers[ev.src].lock().push_back(ev);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Append a drained run of events — all from `src` — under a single
+    /// peer-lock acquisition, emptying `buf` (its capacity stays with the
+    /// caller's scratch). FIFO order within the run is preserved.
+    pub(crate) fn push_drain(&self, src: Rank, buf: &mut Vec<RemoteEvent>) {
+        let n = buf.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert!(buf.iter().all(|ev| ev.src == src), "push_drain runs share one source");
+        self.peers[src].lock().extend(buf.drain(..));
+        self.count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Pop the next event, rotating the starting peer so no single producer

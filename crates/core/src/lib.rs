@@ -77,6 +77,7 @@ pub mod obs;
 pub mod photon;
 pub mod pool;
 pub mod probe;
+pub(crate) mod progress;
 pub mod rendezvous;
 
 pub use buffers::PhotonBuffer;
@@ -86,8 +87,8 @@ pub use obs::{
     KeyedLatency, KeyedSummary, LatencySummary, Metrics, Obs, OpKind, SpanTrace, StatsSnapshot,
     TraceExport, TraceOp, TraceRecord, Tracer,
 };
-pub use photon::{CreditState, PeerHealthState, Photon, PhotonCluster, PutManyItem};
-pub use pool::BufferPool;
+pub use photon::{CreditState, GetManyItem, PeerHealthState, Photon, PhotonCluster, PutManyItem};
+pub use pool::{BufferPool, Recycler};
 pub use probe::{Completion, CompletionClass, Event, ProbeFlags, RemoteEvent};
 
 pub use photon_fabric::WcStatus;

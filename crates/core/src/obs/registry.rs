@@ -237,6 +237,15 @@ crate::counter_registry! {
         peer_recoveries,
         /// Pending rids drained as error completions by peer eviction.
         rids_flushed,
+        /// Probe passes that skipped a peer because another thread held its
+        /// receive lock (the holder harvests everything pending).
+        rx_lock_skips,
+        /// Times the bounded skip budget ran out and a probe blocked on a
+        /// contended receive lock to guarantee the peer gets service.
+        rx_lock_waits,
+        /// Errors swallowed by dedicated progress threads (the op that hit
+        /// the error still resolves via timeout or peer eviction).
+        progress_thread_errors,
     }
 }
 
@@ -276,7 +285,7 @@ mod tests {
         let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
         let table: Vec<&str> = STATS_COUNTERS.iter().map(|d| d.name).collect();
         assert_eq!(names, table, "table and snapshot must agree on order");
-        assert_eq!(names.len(), 24, "field count pinned (bump when adding counters)");
+        assert_eq!(names.len(), 27, "field count pinned (bump when adding counters)");
         for def in STATS_COUNTERS {
             assert!(!def.help.trim().is_empty(), "{} has empty help", def.name);
         }
@@ -334,6 +343,6 @@ mod tests {
         let snap = StatsSnapshot::default();
         let dbg = format!("{snap:?}");
         assert!(dbg.starts_with("StatsSnapshot { puts_eager: 0, puts_direct: 0, gets: 0,"));
-        assert!(dbg.ends_with("peer_recoveries: 0, rids_flushed: 0 }"));
+        assert!(dbg.ends_with("rx_lock_waits: 0, progress_thread_errors: 0 }"));
     }
 }

@@ -27,7 +27,7 @@
 //! virtual time (they are measured in wall time by the criterion benches).
 
 use crate::buffers::{BufferDescriptor, PhotonBuffer};
-use crate::completion::{LocalQueue, RemoteQueue, TakeOutcome, WrTable};
+use crate::completion::{LocalQueue, RemoteQueue, RidMap, TakeOutcome, WrTable};
 use crate::config::PhotonConfig;
 use crate::eager::{self, EagerFrame, EagerRx, EagerTx, FrameHeader, FrameKind};
 use crate::ledger::{self, Entry, EntryKind, LedgerRx, LedgerTx, ENTRY_BYTES};
@@ -36,7 +36,7 @@ use crate::probe::{rid_space, Completion, CompletionClass, Event, ProbeFlags, Re
 use crate::{PhotonError, Rank, Result};
 use parking_lot::Mutex;
 use photon_fabric::mr::{Access, RemoteKey};
-use photon_fabric::verbs::{MrSlice, Qp, RemoteSlice, SendWr, WcStatus, WrOp};
+use photon_fabric::verbs::{Completion as Cqe, MrSlice, Qp, RemoteSlice, SendWr, WcStatus, WrOp};
 use photon_fabric::{Cluster, FabricError, MemoryRegion, NetworkModel, Nic, VClock, VTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
@@ -57,6 +57,22 @@ const INTERNAL_RID_BASE: u64 = 0xFF10_0000_0000_0000;
 /// reserved namespace so user rids can never alias it.
 const BATCH_RID: u64 = 0xFF20_0000_0000_0000;
 
+/// Consecutive `try_lock` skips of one peer's receive lock before a probe
+/// blocks on it (see [`Photon::poll_peer`]).
+const RX_SKIP_LIMIT: u32 = 16;
+
+/// One-entry destination-resolve memo for a receive pass: `(rkey, MR-table
+/// generation, region)`. See [`Photon::resolve_write_cached`].
+type MrCache = Option<(u32, u64, MemoryRegion)>;
+
+/// Retention cap of the per-context scratch-vector recycler caches: enough
+/// for every plausible in-flight batch, small enough that an adversarial
+/// burst cannot pin unbounded memory.
+const VEC_POOL_CAP: usize = 64;
+
+/// CQEs drained per harvest pass.
+const CQ_HARVEST_BATCH: usize = 256;
+
 /// Queue of collective-namespace arrivals: `(src, payload, arrival time)`.
 pub(crate) type CollQueue = VecDeque<(Rank, Vec<u8>, VTime)>;
 
@@ -64,12 +80,23 @@ pub(crate) type CollQueue = VecDeque<(Rank, Vec<u8>, VTime)>;
 struct PeerTx {
     ledger: LedgerTx,
     ring: EagerTx,
+    /// Recycled scratch for composing doorbell runs: lives with the TX
+    /// state its runs are built under, so steady-state batching allocates
+    /// nothing (the run/span lists reach capacity once and stay).
+    run: Vec<RunFrame>,
+    lens: Vec<usize>,
 }
 
 #[derive(Debug)]
 struct PeerRx {
     ledger: LedgerRx,
     ring: EagerRx,
+    /// Recycled staging for remote events routed during a drain pass: all
+    /// events of one pass share `src`, so they are published to the
+    /// per-peer event queue in one locked append instead of one lock per
+    /// event. Lives with the rx state (whose mutex serializes drainers of
+    /// this peer), so steady-state batching allocates nothing.
+    ev_scratch: Vec<RemoteEvent>,
 }
 
 /// Externally visible classification of a peer by the health machine.
@@ -144,14 +171,60 @@ impl FrameSrc<'_> {
     }
 }
 
+/// Payload source of one frame in a doorbell run. Holds indices, not
+/// borrows, so run scratch can be kept in [`PeerTx`] and recycled across
+/// batches; the compose step resolves them against the run's shared context
+/// (one source region and/or one payload slice per run).
+#[derive(Debug, Clone, Copy)]
+enum RunSrc {
+    /// Byte offset into the run's shared source region.
+    Region(usize),
+    /// Index into the run's payload slice.
+    Payload(usize),
+}
+
 /// One frame of a doorbell batch (see [`Photon::try_put_many`]).
-struct RunFrame<'a> {
+#[derive(Debug, Clone, Copy)]
+struct RunFrame {
     kind: FrameKind,
     rid: u64,
     dst: Option<(u64, u32)>,
-    src: FrameSrc<'a>,
+    src: RunSrc,
     len: usize,
     local_rid: Option<u64>,
+}
+
+/// One ledger entry of a coalesced control run (see
+/// [`Photon::try_post_entry_run`]): the rendezvous batch APIs build these
+/// and the posting layer packs contiguous ledger slots into single
+/// doorbell writes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EntrySpec {
+    /// Control-entry kind (RdvPost, Fin, ...).
+    pub(crate) kind: EntryKind,
+    /// Request / tag id carried by the entry.
+    pub(crate) rid: u64,
+    /// Size field (protocol-specific).
+    pub(crate) size: u64,
+    /// Remote address field (protocol-specific).
+    pub(crate) addr: u64,
+    /// Remote rkey field (protocol-specific).
+    pub(crate) rkey: u32,
+}
+
+/// One element of a [`Photon::get_many`] doorbell batch: a read of
+/// `src[soff..soff+len]` on the peer into `local[loff..]`, surfacing
+/// `local_rid` when the whole batch's data has landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetManyItem {
+    /// Destination offset within the local buffer.
+    pub loff: usize,
+    /// Bytes to fetch.
+    pub len: usize,
+    /// Source offset within the remote buffer.
+    pub soff: usize,
+    /// Local completion id (data landed).
+    pub local_rid: u64,
 }
 
 /// One element of a [`Photon::put_many`] doorbell batch: a put of
@@ -233,10 +306,29 @@ pub struct Photon {
     /// Probe counter driving the amortized progress schedule (see
     /// [`Photon::progress_for_probe`]).
     probe_ticks: AtomicU64,
+    /// Set while dedicated progress threads are running for this context:
+    /// probe paths then consume queued events without pumping (the threads
+    /// pump), falling back to an inline pass only on an empty queue.
+    threads_active: AtomicBool,
+    /// Bounded-skip counters for the per-peer receive locks: a probe that
+    /// finds a peer's lock held skips it (the holder harvests everything
+    /// pending), but after [`RX_SKIP_LIMIT`] consecutive skips the next
+    /// probe blocks, so a contended peer cannot be starved indefinitely
+    /// under concurrent progress threads.
+    rx_skips: Vec<AtomicU32>,
     /// Local rids carried by in-flight doorbell-batched work requests,
     /// keyed by `wr_id` (the wr itself carries [`BATCH_RID`]). One lock op
-    /// per *batch*, not per frame.
-    batch_rids: Mutex<HashMap<u64, Vec<u64>>>,
+    /// per *batch*, not per frame; rid-hashed and free-listed so the
+    /// steady-state batch path allocates nothing.
+    batch_rids: Mutex<RidMap<Vec<u64>>>,
+    /// Recycler cache of rid-list vectors cycling through `batch_rids`.
+    rid_vec_pool: Mutex<Vec<Vec<u64>>>,
+    /// Recycler cache of delivery-stamp offset vectors cycling through
+    /// doorbell-batched work requests.
+    stamp_vec_pool: Mutex<Vec<Vec<usize>>>,
+    /// Recycled CQE harvest buffer (the allocation-free twin of polling
+    /// into a fresh `Vec` per pass). Progress threads carry their own.
+    cq_scratch: Mutex<Vec<Cqe>>,
     /// Peers declared dead by [`Photon::mark_dead`] and not yet collected
     /// via [`Photon::take_dead_peers`]. Runtime layers drain this to tear
     /// down per-peer state of their own (e.g. RPC dedup windows).
@@ -263,6 +355,9 @@ pub struct Photon {
 pub struct PhotonCluster {
     fabric: Cluster,
     ranks: Vec<Arc<Photon>>,
+    /// Dedicated progress threads (see [`crate::progress`]); `None` in
+    /// inline mode (`PhotonConfig::progress_threads == 0`).
+    progress: Option<crate::progress::ProgressEngine>,
 }
 
 impl PhotonCluster {
@@ -284,7 +379,8 @@ impl PhotonCluster {
             p.svc_keys.set(svc_keys.clone()).expect("init once");
             p.coll_keys.set(coll_keys.clone()).expect("init once");
         }
-        PhotonCluster { fabric, ranks }
+        let progress = crate::progress::ProgressEngine::spawn(&ranks, cfg.progress_threads);
+        PhotonCluster { fabric, ranks, progress }
     }
 
     /// Number of ranks.
@@ -322,6 +418,17 @@ impl PhotonCluster {
     }
 }
 
+impl Drop for PhotonCluster {
+    fn drop(&mut self) {
+        // Stop and join the progress threads before any context state is
+        // torn down; each thread holds an `Arc<Photon>`, so joining here
+        // (not just dropping handles) is what bounds their lifetime.
+        if let Some(mut engine) = self.progress.take() {
+            engine.stop();
+        }
+    }
+}
+
 impl Photon {
     fn init(rank: Rank, fabric: &Cluster, mut cfg: PhotonConfig) -> Result<Photon> {
         let n = fabric.len();
@@ -346,6 +453,8 @@ impl Photon {
                 Mutex::new(PeerTx {
                     ledger: LedgerTx::new(cfg.ledger_entries),
                     ring: EagerTx::new(ring_bytes),
+                    run: Vec::new(),
+                    lens: Vec::new(),
                 })
             })
             .collect();
@@ -354,6 +463,7 @@ impl Photon {
                 Mutex::new(PeerRx {
                     ledger: LedgerRx::new(cfg.ledger_entries, credit_entries),
                     ring: EagerRx::new(ring_bytes, ring_credit_bytes),
+                    ev_scratch: Vec::new(),
                 })
             })
             .collect();
@@ -380,7 +490,12 @@ impl Photon {
             any_toggle: AtomicU64::new(0),
             progress_gate: AtomicBool::new(false),
             probe_ticks: AtomicU64::new(0),
-            batch_rids: Mutex::new(HashMap::new()),
+            threads_active: AtomicBool::new(false),
+            rx_skips: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            batch_rids: Mutex::new(RidMap::default()),
+            rid_vec_pool: Mutex::new(Vec::new()),
+            stamp_vec_pool: Mutex::new(Vec::new()),
+            cq_scratch: Mutex::new(Vec::new()),
             dead_notify: Mutex::new(Vec::new()),
             dead_pending: AtomicU64::new(0),
             coll_inbox: Mutex::new(HashMap::new()),
@@ -659,11 +774,50 @@ impl Photon {
         res.map_err(Into::into)
     }
 
+    // ------------------------------------------------- scratch recyclers
+    //
+    // Free lists for the vectors that cycle through the doorbell-batch
+    // machinery (rid fan-out lists, delivery-stamp offset lists, CQE
+    // harvest buffers). Each vector reaches its working capacity once and
+    // is then recycled forever, so the steady-state batch path performs
+    // zero heap allocations (pinned by `obs_overhead`'s counting test).
+
+    /// Take a rid-list vector from the recycler cache (empty, capacity
+    /// retained from earlier batches).
+    fn take_rid_vec(&self) -> Vec<u64> {
+        self.rid_vec_pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a rid-list vector to the recycler cache (dropped past the
+    /// retention cap).
+    fn give_rid_vec(&self, mut v: Vec<u64>) {
+        let mut pool = self.rid_vec_pool.lock();
+        if pool.len() < VEC_POOL_CAP {
+            v.clear();
+            pool.push(v);
+        }
+    }
+
+    /// Take a delivery-stamp offset vector from the recycler cache.
+    fn take_stamp_vec(&self) -> Vec<usize> {
+        self.stamp_vec_pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a delivery-stamp offset vector to the recycler cache.
+    fn give_stamp_vec(&self, mut v: Vec<usize>) {
+        let mut pool = self.stamp_vec_pool.lock();
+        if pool.len() < VEC_POOL_CAP {
+            v.clear();
+            pool.push(v);
+        }
+    }
+
     /// [`Photon::post_stage_write`] for a doorbell-batched run: one wire
     /// write covering `len` staged bytes, every offset in
     /// `{first_stamp} ∪ more_stamps` (relative to the staged slice) gets the
     /// delivery stamp, and all of `local_rids` surface as local completions
-    /// when the single CQE drains.
+    /// when the single CQE drains. Both vectors come from (and return to)
+    /// the recycler caches.
     fn post_stage_write_run(
         &self,
         peer: Rank,
@@ -676,8 +830,11 @@ impl Photon {
         let local = MrSlice::new(&self.stage, self.stage_off(peer, sub), len);
         let remote = self.remote_slice(peer, sub, len);
         let tracked = match local_rids.len() {
-            0 => None,
-            1 => Some(self.wr_table.insert(local_rids[0], peer)),
+            0 | 1 => {
+                let t = local_rids.first().map(|&rid| self.wr_table.insert(rid, peer));
+                self.give_rid_vec(local_rids);
+                t
+            }
             _ => {
                 let wr_id = self.wr_table.insert(BATCH_RID, peer);
                 self.batch_rids.lock().insert(wr_id, local_rids);
@@ -691,11 +848,17 @@ impl Photon {
         };
         wr.stamp_deliver_at = Some(first_stamp);
         wr.stamp_deliver_also = more_stamps;
-        let res = self.nic.post_send(self.qps[peer], wr, self.clock.now());
+        // Post by reference (the one-element doorbell run) so the recycled
+        // stamp list can be reclaimed after the fabric consumes it.
+        let res =
+            self.nic.post_send_many(self.qps[peer], std::slice::from_ref(&wr), self.clock.now());
+        self.give_stamp_vec(std::mem::take(&mut wr.stamp_deliver_also));
         if res.is_err() {
             if let Some(wr_id) = tracked {
                 self.wr_table.remove(wr_id);
-                self.batch_rids.lock().remove(&wr_id);
+                if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
+                    self.give_rid_vec(rids);
+                }
             }
         }
         res.map_err(Into::into)
@@ -822,13 +985,16 @@ impl Photon {
         &self,
         peer: Rank,
         tx: &mut PeerTx,
-        frames: &[RunFrame<'_>],
+        frames: &[RunFrame],
         src_region: Option<&MemoryRegion>,
+        payloads: &[Vec<u8>],
     ) -> Result<usize> {
         debug_assert!(!frames.is_empty());
-        // One small per-batch allocation (the span list), amortized over
-        // every frame in the run; the per-frame path stays allocation-free.
-        let lens: Vec<usize> = frames.iter().map(|f| f.len).collect();
+        // The span list lives in the TX state's scratch vector, so the
+        // steady-state batch path performs no heap allocation at all.
+        let mut lens = std::mem::take(&mut tx.lens);
+        lens.clear();
+        lens.extend(frames.iter().map(|f| f.len));
         let mut k = frames.len();
         let mut refreshed = None;
         let r = loop {
@@ -848,15 +1014,17 @@ impl Photon {
             k /= 2;
             if k == 0 {
                 Stats::bump(&self.stats.credit_stalls);
+                tx.lens = lens;
                 return Ok(0);
             }
         };
+        tx.lens = lens;
         self.post_skip(peer, r.skip)?;
         let base_sub = self.sub_ring(r.offset);
         let base_so = self.stage_off(peer, base_sub);
         let mut run_span = 0usize;
-        let mut more_stamps: Vec<usize> = Vec::with_capacity(k.saturating_sub(1));
-        let mut local_rids: Vec<u64> = Vec::new();
+        let mut more_stamps = self.take_stamp_vec();
+        let mut local_rids = self.take_rid_vec();
         let mut payload_bytes = 0usize;
         let mut compose = |sb: &mut [u8], shared: Option<&[u8]>| {
             let mut rel = 0usize;
@@ -875,11 +1043,12 @@ impl Photon {
                 sb[fo..fo + eager::FRAME_HDR].copy_from_slice(&h.encode());
                 if f.len > 0 {
                     let dst = &mut sb[fo + eager::FRAME_HDR..fo + eager::FRAME_HDR + f.len];
-                    match &f.src {
-                        FrameSrc::Bytes(b) => dst.copy_from_slice(&b[..f.len]),
-                        FrameSrc::Mr(_, off) => {
-                            let s = shared.expect("Mr run frames carry the shared source region");
-                            dst.copy_from_slice(&s[*off..*off + f.len]);
+                    match f.src {
+                        RunSrc::Payload(p) => dst.copy_from_slice(&payloads[p][..f.len]),
+                        RunSrc::Region(off) => {
+                            let s =
+                                shared.expect("Region run frames carry the shared source region");
+                            dst.copy_from_slice(&s[off..off + f.len]);
                             Stats::bump(&self.stats.stage_copies_avoided);
                         }
                     }
@@ -992,6 +1161,90 @@ impl Photon {
             Some(ledger::TS_OFFSET),
         )?;
         Ok(true)
+    }
+
+    /// Post a run of control-ledger entries toward `peer` with coalesced
+    /// doorbells: contiguous ledger slots are staged together and pushed as
+    /// **one** wire write (one doorbell, one delivery-stamp run) instead of
+    /// one write per entry. The ring of ledger slots wraps, so a run may
+    /// split into several contiguous segments — still at most two writes
+    /// per wrap instead of one per entry. Returns how many of `specs` were
+    /// posted: the longest prefix the ledger credits allow (`0` on a full
+    /// stall or a gated peer).
+    pub(crate) fn try_post_entry_run(&self, peer: Rank, specs: &[EntrySpec]) -> Result<usize> {
+        if specs.is_empty() {
+            return Ok(0);
+        }
+        if !self.peer_gate(peer)? {
+            return Ok(0);
+        }
+        let r = (|| {
+            let mut tx = self.tx[peer].lock();
+            // Claim as many ledger slots as credits allow (refreshing the
+            // credit words once on exhaustion, like the single-entry path).
+            let mut slots: Vec<(usize, u64)> = Vec::with_capacity(specs.len());
+            let mut refreshed = None;
+            let mut unblocked = false;
+            while slots.len() < specs.len() {
+                match tx.ledger.try_produce() {
+                    Some(v) => {
+                        if refreshed.is_some() {
+                            unblocked = true;
+                        }
+                        slots.push(v);
+                    }
+                    None if refreshed.is_none() => {
+                        refreshed = Some(self.refresh_tx_credits(peer, &mut tx));
+                    }
+                    None => break,
+                }
+            }
+            if slots.is_empty() {
+                Stats::bump(&self.stats.credit_stalls);
+                return Ok(0);
+            }
+            if unblocked {
+                // Unblocked by the credit read: causally ordered after it.
+                self.clock.advance_to(refreshed.expect("unblocked implies refreshed"));
+            }
+            drop(tx);
+            // Stage and post each contiguous slot segment as one write.
+            let mut i = 0usize;
+            while i < slots.len() {
+                let mut seg = 1usize;
+                while i + seg < slots.len() && slots[i + seg].0 == slots[i].0 + seg {
+                    seg += 1;
+                }
+                for j in 0..seg {
+                    let sp = &specs[i + j];
+                    let (slot, seq) = slots[i + j];
+                    let e = Entry {
+                        seq,
+                        rid: sp.rid,
+                        size: sp.size,
+                        addr: sp.addr,
+                        rkey: sp.rkey,
+                        kind: sp.kind,
+                        ts: 0,
+                    };
+                    let so = self.stage_off(peer, self.sub_ledger(slot));
+                    self.stage.write_at(so, &e.encode());
+                }
+                let mut stamps = self.take_stamp_vec();
+                stamps.extend((1..seg).map(|j| j * ENTRY_BYTES + ledger::TS_OFFSET));
+                self.post_stage_write_run(
+                    peer,
+                    self.sub_ledger(slots[i].0),
+                    seg * ENTRY_BYTES,
+                    self.take_rid_vec(),
+                    ledger::TS_OFFSET,
+                    stamps,
+                )?;
+                i += seg;
+            }
+            Ok(slots.len())
+        })();
+        self.fail_post(peer, r)
     }
 
     /// Read the local credit words for production to `peer`; returns the
@@ -1176,10 +1429,11 @@ impl Photon {
         for (wr_id, rid) in self.wr_table.drain_peer(peer) {
             if rid == BATCH_RID {
                 if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
-                    for r in rids {
+                    for &r in &rids {
                         self.local_events.push(r, peer, now, WcStatus::FlushErr);
                         Stats::bump(&self.stats.rids_flushed);
                     }
+                    self.give_rid_vec(rids);
                 }
             } else {
                 self.local_events.push(rid, peer, now, WcStatus::FlushErr);
@@ -1437,13 +1691,16 @@ impl Photon {
         let res = (|| {
             let mut posted = 0usize;
             let mut tx = self.tx[peer].lock();
+            // Run scratch lives in the TX state and is recycled across
+            // batches (RunFrame holds indices, not borrows).
+            let mut run = std::mem::take(&mut tx.run);
             while posted < items.len() {
                 let it = &items[posted];
                 if eager_ok(it.len) {
                     // Longest eager run from here whose combined span fits the
                     // ring (a run never wraps, so it can never exceed it).
                     let mut span = 0usize;
-                    let mut run: Vec<RunFrame<'_>> = Vec::new();
+                    run.clear();
                     for it2 in &items[posted..] {
                         if !eager_ok(it2.len) {
                             break;
@@ -1457,7 +1714,7 @@ impl Photon {
                             kind: FrameKind::Put,
                             rid: it2.remote_rid,
                             dst: Some((dst.addr + it2.doff as u64, dst.rkey)),
-                            src: FrameSrc::Mr(local.region(), it2.loff),
+                            src: RunSrc::Region(it2.loff),
                             len: it2.len,
                             local_rid: Some(it2.local_rid),
                         });
@@ -1473,7 +1730,7 @@ impl Photon {
                         );
                     }
                     let n =
-                        self.post_frame_run_locked(peer, &mut tx, &run, Some(local.region()))?;
+                        self.post_frame_run_locked(peer, &mut tx, &run, Some(local.region()), &[])?;
                     for it2 in &items[posted..posted + n] {
                         Stats::bump(&self.stats.puts_eager);
                         Stats::add(&self.stats.bytes_put, it2.len as u64);
@@ -1557,6 +1814,7 @@ impl Photon {
                     posted += 1;
                 }
             }
+            tx.run = run;
             Ok(posted)
         })();
         self.fail_post(peer, res)
@@ -1600,10 +1858,11 @@ impl Photon {
         let res = (|| {
             let mut posted = 0usize;
             let mut tx = self.tx[peer].lock();
+            let mut run = std::mem::take(&mut tx.run);
             while posted < payloads.len() {
                 let mut span = 0usize;
-                let mut run: Vec<RunFrame<'_>> = Vec::new();
-                for p in &payloads[posted..] {
+                run.clear();
+                for (i, p) in payloads[posted..].iter().enumerate() {
                     let s = eager::frame_span(p.len());
                     if span + s > self.ring_bytes {
                         break;
@@ -1613,13 +1872,13 @@ impl Photon {
                         kind: FrameKind::Msg,
                         rid: remote_rid,
                         dst: None,
-                        src: FrameSrc::Bytes(p),
+                        src: RunSrc::Payload(posted + i),
                         len: p.len(),
                         local_rid: None,
                     });
                 }
                 let want = run.len();
-                let n = self.post_frame_run_locked(peer, &mut tx, &run, None)?;
+                let n = self.post_frame_run_locked(peer, &mut tx, &run, None, payloads)?;
                 for p in &payloads[posted..posted + n] {
                     Stats::bump(&self.stats.sends);
                     self.tracer.record(self.clock.now(), TraceOp::Send, peer, remote_rid, p.len());
@@ -1629,6 +1888,7 @@ impl Photon {
                     break;
                 }
             }
+            tx.run = run;
             Ok(posted)
         })();
         self.fail_post(peer, res)
@@ -1711,6 +1971,68 @@ impl Photon {
         Stats::bump(&self.stats.gets);
         Stats::add(&self.stats.bytes_got, len as u64);
         self.tracer.record(self.clock.now(), TraceOp::Get, peer, local_rid, len);
+        Ok(())
+    }
+
+    /// Doorbell-batched [`Photon::get_with_completion`]: post every read in
+    /// `items` toward `peer` with **one** doorbell and one signaled CQE.
+    /// On a reliable-connected QP reads retire in posting order, so the
+    /// final read's CQE means every earlier read's data has landed too: the
+    /// one CQE fans out into `items.len()` local completions through the
+    /// same side table the batched put path uses. Each item's `local_rid`
+    /// therefore surfaces when the *batch* completes — items that need
+    /// independent completion latitude should use single gets.
+    pub fn get_many(
+        &self,
+        peer: Rank,
+        local: &PhotonBuffer,
+        src: &BufferDescriptor,
+        items: &[GetManyItem],
+    ) -> Result<()> {
+        self.check_rank(peer)?;
+        for it in items {
+            local.check(it.loff, it.len)?;
+            if it.soff + it.len > src.len {
+                return Err(PhotonError::OutOfRange { offset: it.soff, len: it.len, cap: src.len });
+            }
+        }
+        if items.is_empty() {
+            return Ok(());
+        }
+        self.gate_blocking(peer)?;
+        let now = self.clock.now();
+        let mut rids = self.take_rid_vec();
+        rids.extend(items.iter().map(|it| it.local_rid));
+        // Register the fan-out side table *before* posting: once the
+        // doorbell rings, a progress thread may harvest the CQE immediately.
+        let wr_id = self.wr_table.insert(BATCH_RID, peer);
+        self.batch_rids.lock().insert(wr_id, rids);
+        let mut wrs = Vec::with_capacity(items.len());
+        for (i, it) in items.iter().enumerate() {
+            self.obs.op_post(it.local_rid, peer, OpKind::Get, it.len, now);
+            let op = WrOp::Read {
+                local: MrSlice::new(local.region(), it.loff, it.len),
+                remote: RemoteSlice::from_key(src, it.soff, it.len),
+            };
+            // Only the run's last read is signaled; it carries the batch id.
+            wrs.push(if i + 1 == items.len() {
+                SendWr::new(wr_id, op)
+            } else {
+                SendWr::unsignaled(op)
+            });
+        }
+        if let Err(e) = self.nic.post_send_many(self.qps[peer], &wrs, now) {
+            self.wr_table.remove(wr_id);
+            if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
+                self.give_rid_vec(rids);
+            }
+            return self.fail_post(peer, Err(e.into()));
+        }
+        for it in items {
+            Stats::bump(&self.stats.gets);
+            Stats::add(&self.stats.bytes_got, it.len as u64);
+            self.tracer.record(now, TraceOp::Get, peer, it.local_rid, it.len);
+        }
         Ok(())
     }
 
@@ -1840,26 +2162,88 @@ impl Photon {
         }
         let res = self.progress_pass();
         self.progress_gate.store(false, Ordering::Release);
-        res
+        res.map(|_| ())
     }
 
-    /// Retire every send CQE currently in the queue into local events.
-    /// Retiring a CQE is one sharded-slab lookup; a stale or unsignaled
-    /// wr_id simply misses. Exactly-once is guaranteed by the table's
-    /// generation check, not by a global lock pairing.
-    fn harvest_send_cq(&self) {
-        for c in self.nic.poll_send_cq_n(256) {
+    // --------------------------------------------------- progress threads
+
+    /// Mark this context as served by dedicated progress threads; while
+    /// set, probe paths with events already queued become pure consumers
+    /// (see [`Photon::progress_for_probe`]). Set and cleared by the
+    /// [`crate::progress::ProgressEngine`].
+    pub(crate) fn set_threads_active(&self, active: bool) {
+        self.threads_active.store(active, Ordering::Release);
+    }
+
+    /// One sharded progress pass, run by dedicated progress thread `shard`
+    /// of `nshards`: thread 0 additionally harvests the completion queues,
+    /// and every thread polls the peers hashed to it (Fibonacci multiply,
+    /// like the completion engine's rid sharding — so the peer→thread map
+    /// is stable and disjoint). Returns the amount of work moved, the
+    /// thread's idle-backoff signal. Errors are swallowed into the
+    /// `progress_thread_errors` counter: the op that hit the error still
+    /// resolves through the health machine and its caller's own wait, and
+    /// a progress thread must keep serving the surviving peers.
+    pub(crate) fn progress_shard(
+        &self,
+        shard: usize,
+        nshards: usize,
+        scratch: &mut Vec<Cqe>,
+    ) -> usize {
+        let mut work = 0usize;
+        if shard == 0 {
+            scratch.clear();
+            if self.nic.poll_send_cq_into(CQ_HARVEST_BATCH, scratch) > 0 {
+                work += self.retire_send_cqes(scratch);
+            }
+            if self.cfg.imm_completions {
+                scratch.clear();
+                if self.nic.poll_recv_cq_into(CQ_HARVEST_BATCH, scratch) > 0 {
+                    work += self.retire_recv_cqes(scratch);
+                }
+            }
+        }
+        for j in 0..self.n {
+            if Self::peer_shard(j, nshards) != shard {
+                continue;
+            }
+            match self.poll_peer(j) {
+                Ok(n) => work += n,
+                Err(_) => Stats::bump(&self.stats.progress_thread_errors),
+            }
+        }
+        work
+    }
+
+    /// Peer → progress-thread assignment.
+    pub(crate) fn peer_shard(peer: Rank, nshards: usize) -> usize {
+        (((peer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % nshards
+    }
+
+    /// Retire a harvested slice of send CQEs into local events. Retiring a
+    /// CQE is one sharded-slab lookup; a stale or unsignaled wr_id simply
+    /// misses. Exactly-once is guaranteed by the table's generation check,
+    /// not by a global lock pairing, so inline callers and dedicated
+    /// progress threads can retire concurrently. Returns how many CQEs
+    /// matched a tracked work request.
+    fn retire_send_cqes(&self, cqes: &[Cqe]) -> usize {
+        let mut retired = 0usize;
+        for c in cqes {
             if let Some((rid, peer)) = self.wr_table.remove(c.wr_id) {
+                retired += 1;
                 if rid == BATCH_RID {
                     // One CQE for a doorbell batch: every frame's source
                     // became reusable when the run was staged, so all
                     // its local rids surface at the batch's delivery.
                     if let Some(rids) = self.batch_rids.lock().remove(&c.wr_id) {
-                        for r in rids {
-                            self.obs.op_inject(r, c.ts);
-                            self.local_events.push(r, peer, c.ts, c.status);
-                            Stats::bump(&self.stats.local_completions);
+                        if self.obs.is_enabled() {
+                            for &r in &rids {
+                                self.obs.op_inject(r, c.ts);
+                            }
                         }
+                        self.local_events.push_many(&rids, peer, c.ts, c.status);
+                        Stats::add(&self.stats.local_completions, rids.len() as u64);
+                        self.give_rid_vec(rids);
                     }
                 } else {
                     self.obs.op_inject(rid, c.ts);
@@ -1868,52 +2252,100 @@ impl Photon {
                 }
             }
         }
+        retired
     }
 
-    fn progress_pass(&self) -> Result<()> {
-        {
-            self.harvest_send_cq();
-            if self.cfg.imm_completions {
-                for c in self.nic.poll_recv_cq_n(256) {
-                    if let photon_fabric::verbs::CompletionKind::ImmDone { src, len, imm } = c.kind
-                    {
-                        Stats::bump(&self.stats.remote_completions);
-                        if rid_space::is_reserved(imm) {
-                            self.coll_inbox.lock().entry(imm).or_default().push_back((
-                                src,
-                                Vec::new(),
-                                c.ts,
-                            ));
-                        } else {
-                            self.obs.op_deliver(src, imm, OpKind::PutDirect, len, c.ts);
-                            self.remote_events.push(RemoteEvent {
-                                src,
-                                rid: imm,
-                                size: len,
-                                payload: None,
-                                ts: c.ts,
-                                status: WcStatus::Success,
-                            });
-                        }
-                    }
+    /// Route a harvested slice of recv CQEs (immediate-data completions)
+    /// into remote events. Returns how many were routed.
+    fn retire_recv_cqes(&self, cqes: &[Cqe]) -> usize {
+        let mut routed = 0usize;
+        for c in cqes {
+            if let photon_fabric::verbs::CompletionKind::ImmDone { src, len, imm } = c.kind {
+                routed += 1;
+                Stats::bump(&self.stats.remote_completions);
+                if rid_space::is_reserved(imm) {
+                    self.coll_inbox.lock().entry(imm).or_default().push_back((
+                        src,
+                        Vec::new(),
+                        c.ts,
+                    ));
+                } else {
+                    self.obs.op_deliver(src, imm, OpKind::PutDirect, len, c.ts);
+                    self.remote_events.push(RemoteEvent {
+                        src,
+                        rid: imm,
+                        size: len,
+                        payload: None,
+                        ts: c.ts,
+                        status: WcStatus::Success,
+                    });
                 }
             }
         }
-        for j in 0..self.n {
-            self.poll_peer(j)?;
-        }
-        Ok(())
+        routed
     }
 
-    fn poll_peer(&self, j: Rank) -> Result<()> {
-        // If another thread is already polling this peer, skip: the holder
-        // harvests everything pending, and every caller of progress() either
-        // re-polls on its next spin (blocking loops) or is a polling API the
-        // caller retries by contract. Waiting here would just convoy all
-        // progress threads behind one receive lock.
-        let Some(mut rx) = self.rx[j].try_lock() else {
-            return Ok(());
+    /// Retire every send CQE currently in the queue into local events,
+    /// harvesting through the recycled scratch buffer (no per-pass heap
+    /// allocation). Returns how many CQEs matched a tracked work request.
+    fn harvest_send_cq(&self) -> usize {
+        let mut buf = self.cq_scratch.lock();
+        buf.clear();
+        if self.nic.poll_send_cq_into(CQ_HARVEST_BATCH, &mut buf) == 0 {
+            return 0;
+        }
+        self.retire_send_cqes(&buf)
+    }
+
+    fn progress_pass(&self) -> Result<usize> {
+        let mut work = self.harvest_send_cq();
+        if self.cfg.imm_completions {
+            let routed = {
+                let mut buf = self.cq_scratch.lock();
+                buf.clear();
+                if self.nic.poll_recv_cq_into(CQ_HARVEST_BATCH, &mut buf) > 0 {
+                    self.retire_recv_cqes(&buf)
+                } else {
+                    0
+                }
+            };
+            work += routed;
+        }
+        for j in 0..self.n {
+            work += self.poll_peer(j)?;
+        }
+        Ok(work)
+    }
+
+    /// Scan one peer's completion ledger and eager ring, routing everything
+    /// pending. Returns the number of entries/frames routed (the progress
+    /// threads' idle-backoff signal).
+    fn poll_peer(&self, j: Rank) -> Result<usize> {
+        // If another thread is already polling this peer, usually skip: the
+        // holder harvests everything pending, and every caller of progress()
+        // either re-polls on its next spin (blocking loops) or is a polling
+        // API the caller retries by contract. Waiting here would convoy all
+        // progress threads behind one receive lock. The skip is *bounded*,
+        // though: under dedicated progress threads a persistently contended
+        // lock could otherwise starve the peer's service entirely, so after
+        // `RX_SKIP_LIMIT` consecutive skips the caller blocks and takes a
+        // turn (pinned by `bounded_rx_skip_forces_a_blocking_lock`).
+        let mut rx = match self.rx[j].try_lock() {
+            Some(g) => {
+                self.rx_skips[j].store(0, Ordering::Relaxed);
+                g
+            }
+            None => {
+                if self.rx_skips[j].fetch_add(1, Ordering::Relaxed) + 1 < RX_SKIP_LIMIT {
+                    Stats::bump(&self.stats.rx_lock_skips);
+                    return Ok(0);
+                }
+                self.rx_skips[j].store(0, Ordering::Relaxed);
+                Stats::bump(&self.stats.rx_lock_waits);
+                self.rx[j].lock()
+            }
         };
+        let mut routed = 0usize;
         let lbase = self.my_block_off(j);
         // Credit returns are *coalesced* across the whole pass: every time
         // an interval fires we capture the latest `(consumed, cursor)` pair,
@@ -1928,10 +2360,25 @@ impl Photon {
         // could publish a peer's events out of order (and mis-order
         // eager-put copy-outs).
         loop {
-            let off = lbase + rx.ledger.head_offset();
-            let e = self.svc.with_bytes(|b| rx.ledger.accept(&b[off..off + ENTRY_BYTES]));
-            let Some(e) = e else { break };
-            self.route_entry(j, e);
+            let n = self.svc.with_bytes(|b| {
+                let rx = &mut *rx;
+                let mut n = 0usize;
+                loop {
+                    let off = lbase + rx.ledger.head_offset();
+                    let Some(e) = rx.ledger.accept(&b[off..off + ENTRY_BYTES]) else { break };
+                    self.route_entry(j, e, &mut rx.ev_scratch);
+                    n += 1;
+                }
+                n
+            });
+            if n == 0 {
+                break;
+            }
+            routed += n;
+            // `credit_due` is a stateful threshold check against the total
+            // consumed count, so one check per drained batch fires iff a
+            // per-entry check would have fired somewhere inside it — and
+            // captures an even fresher cursor.
             if rx.ledger.credit_due().is_some() {
                 credit = Some((rx.ledger.consumed(), rx.ring.cursor()));
             }
@@ -1944,11 +2391,28 @@ impl Photon {
         // deferred and staged through a copy below).
         let svc_rkey = self.svc.remote_key().rkey;
         let rbase = lbase + self.ledger_bytes;
+        // One-entry destination-resolve cache for the pass: doorbell-batched
+        // puts land as runs of frames aimed at the same rkey, and the MR
+        // table lookup (map lock + hash + handle clone + bounds) was the
+        // single largest per-frame cost. Generation-checked, so a racing
+        // deregistration invalidates it exactly like a fresh resolve would.
+        let mut mr_cache: MrCache = None;
         loop {
             let mut deferred: Option<(EagerFrame, usize)> = None;
+            let mut err: Option<PhotonError> = None;
+            // The service-region read lock is held across the whole drained
+            // batch, not re-taken per frame; routing stays inside it so put
+            // payloads copy straight from the ring to their destination
+            // region with no intermediate heap buffer (svc.read → dst.write
+            // never nests the same lock: the one degenerate case — a put
+            // targeting the service region itself — is deferred and staged
+            // through a copy below).
             let got = self.svc.with_bytes(|b| {
+                let rx = &mut *rx;
                 let ring = &b[rbase..rbase + self.ring_bytes];
-                rx.ring.accept(ring).map(|f| {
+                let mut n = 0usize;
+                while let Some(f) = rx.ring.accept(ring) {
+                    n += 1;
                     let take = f.header.size as usize;
                     let pay: &[u8] = if f.header.kind != FrameKind::Skip && take > 0 {
                         &ring[f.payload_offset..f.payload_offset + take]
@@ -1964,23 +2428,36 @@ impl Photon {
                         // from being overwritten in the meantime.
                         let src_off = rbase + f.payload_offset;
                         deferred = Some((f, src_off));
-                        return Ok(());
+                        break;
                     }
                     if f.header.kind == FrameKind::Put && !pay.is_empty() {
                         Stats::bump(&self.stats.stage_copies_avoided);
                     }
-                    self.route_frame(j, f, pay)
-                })
+                    if let Err(e) = self.route_frame(j, f, pay, &mut mr_cache, &mut rx.ev_scratch) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+                n
             });
-            let Some(res) = got else { break };
-            res?;
+            if got == 0 {
+                break;
+            }
+            routed += got;
+            if let Some(e) = err {
+                // Publish whatever routed cleanly before surfacing the
+                // error; staged events must not sit in the scratch while
+                // the caller sees the pass as failed.
+                self.remote_events.push_drain(j, &mut rx.ev_scratch);
+                return Err(e);
+            }
             if let Some((f, src_off)) = deferred {
                 // In-place ring → destination move inside the one region,
                 // no intermediate heap buffer (ranges may overlap).
                 let h = f.header;
                 let take = h.size as usize;
                 let (mr, off) =
-                    self.nic.mrs().resolve(h.dst_addr, h.dst_rkey, take, Access::REMOTE_WRITE)?;
+                    self.resolve_write_cached(&mut mr_cache, h.dst_addr, h.dst_rkey, take)?;
                 mr.with_bytes_mut(|b| b.copy_within(src_off..src_off + take, off));
                 self.clock.advance_to(VTime(h.ts));
                 let done = self.clock.advance(self.copy_ns(take));
@@ -1996,7 +2473,7 @@ impl Photon {
                     ));
                 } else {
                     self.obs.op_deliver(j, h.rid, OpKind::PutEager, take, done);
-                    self.remote_events.push(RemoteEvent {
+                    rx.ev_scratch.push(RemoteEvent {
                         src: j,
                         rid: h.rid,
                         size: take,
@@ -2010,15 +2487,60 @@ impl Photon {
                 credit = Some((rx.ledger.consumed(), rx.ring.cursor()));
             }
         }
-        drop(rx);
-        // The write happens outside the receive lock, as before.
+        // Publish the pass's staged events — ledger entries first, frames
+        // after, exactly the order they were routed — in one locked append
+        // per peer instead of one lock per event.
+        self.remote_events.push_drain(j, &mut rx.ev_scratch);
+        // The credit write happens while the receive lock is still held:
+        // the words are *absolute* counters, so two writers racing (a
+        // progress thread and an inline help-pumper) could publish a stale
+        // pair after a newer one, silently re-crediting consumed slots to
+        // the producer. Serializing through the rx guard makes each peer's
+        // credit stream monotone. Lock order stays acyclic: the write path
+        // takes only the stage/MR locks, which are never held around an rx
+        // acquisition.
         if let Some((lc, rc)) = credit {
             self.return_credits(j, lc, rc)?;
         }
-        Ok(())
+        drop(rx);
+        Ok(routed)
     }
 
-    fn route_entry(&self, src: Rank, e: Entry) {
+    /// [`MrTable::resolve`] for `REMOTE_WRITE`, memoized through a one-entry
+    /// `(rkey, generation, region)` cache. A hit skips the table's map lock
+    /// and hash probe entirely; any deregistration bumps the table
+    /// generation and forces a full (re-validating) resolve.
+    fn resolve_write_cached<'c>(
+        &self,
+        cache: &'c mut MrCache,
+        addr: u64,
+        rkey: u32,
+        len: usize,
+    ) -> Result<(&'c MemoryRegion, usize)> {
+        let mrs = self.nic.mrs();
+        let gen = mrs.generation();
+        // A hit hands back a borrow of the cached handle — no Arc clone
+        // per frame, the region reference lives as long as the pass.
+        let hit = match cache {
+            Some((ck, cgen, mr)) if *ck == rkey && *cgen == gen => {
+                let base = mr.base_addr();
+                addr >= base
+                    && ((addr - base) as usize).checked_add(len).is_some_and(|end| end <= mr.len())
+            }
+            _ => false,
+        };
+        if !hit {
+            let (mr, _) = mrs.resolve(addr, rkey, len, Access::REMOTE_WRITE)?;
+            *cache = Some((rkey, gen, mr));
+        }
+        let (_, _, mr) = cache.as_ref().expect("cache filled above");
+        Ok((mr, (addr - mr.base_addr()) as usize))
+    }
+
+    /// Route one completion-ledger entry. Remote events go to `sink` (the
+    /// drain pass's per-peer staging buffer), not straight to the event
+    /// queue — the caller publishes the whole run under one peer lock.
+    fn route_entry(&self, src: Rank, e: Entry, sink: &mut Vec<RemoteEvent>) {
         let ts = VTime(e.ts);
         match e.kind {
             EntryKind::Completion | EntryKind::GetNotify => {
@@ -2031,7 +2553,7 @@ impl Photon {
                     ));
                 } else {
                     self.obs.op_deliver(src, e.rid, OpKind::PutDirect, e.size as usize, ts);
-                    self.remote_events.push(RemoteEvent {
+                    sink.push(RemoteEvent {
                         src,
                         rid: e.rid,
                         size: e.size as usize,
@@ -2055,7 +2577,17 @@ impl Photon {
         }
     }
 
-    fn route_frame(&self, src: Rank, f: EagerFrame, payload: &[u8]) -> Result<()> {
+    /// Route one eager frame. Remote events go to `sink` (the drain pass's
+    /// per-peer staging buffer), not straight to the event queue — the
+    /// caller publishes the whole run under one peer lock.
+    fn route_frame(
+        &self,
+        src: Rank,
+        f: EagerFrame,
+        payload: &[u8],
+        mr_cache: &mut MrCache,
+        sink: &mut Vec<RemoteEvent>,
+    ) -> Result<()> {
         let h = f.header;
         let ts = VTime(h.ts);
         match h.kind {
@@ -2072,7 +2604,7 @@ impl Photon {
                     ));
                 } else {
                     self.obs.op_deliver(src, h.rid, OpKind::Send, h.size as usize, ts);
-                    self.remote_events.push(RemoteEvent {
+                    sink.push(RemoteEvent {
                         src,
                         rid: h.rid,
                         size: h.size as usize,
@@ -2084,12 +2616,8 @@ impl Photon {
             }
             FrameKind::Put => {
                 // Probe-time copy-out to the final destination.
-                let (mr, off) = self.nic.mrs().resolve(
-                    h.dst_addr,
-                    h.dst_rkey,
-                    h.size as usize,
-                    Access::REMOTE_WRITE,
-                )?;
+                let (mr, off) =
+                    self.resolve_write_cached(mr_cache, h.dst_addr, h.dst_rkey, h.size as usize)?;
                 mr.write_at(off, payload);
                 self.clock.advance_to(ts);
                 let done = self.clock.advance(self.copy_ns(payload.len()));
@@ -2102,7 +2630,7 @@ impl Photon {
                     ));
                 } else {
                     self.obs.op_deliver(src, h.rid, OpKind::PutEager, h.size as usize, done);
-                    self.remote_events.push(RemoteEvent {
+                    sink.push(RemoteEvent {
                         src,
                         rid: h.rid,
                         size: h.size as usize,
@@ -2168,6 +2696,11 @@ impl Photon {
             ProbeFlags::Remote => self.remote_events.len() > 0,
             ProbeFlags::Any => self.local_events.len() > 0 || self.remote_events.len() > 0,
         };
+        if queued && self.threads_active.load(Ordering::Relaxed) {
+            // Dedicated progress threads are pumping: a probe with events
+            // already queued is a pure consumer and pays nothing at all.
+            return Ok(());
+        }
         if !queued || self.probe_ticks.fetch_add(1, Ordering::Relaxed) & 7 == 0 {
             self.progress()?;
         }
@@ -2258,7 +2791,13 @@ impl Photon {
     }
 
     fn wait_local_inner(&self, rid: u64, timeout: Duration) -> Result<VTime> {
-        // Optimistic fast path: with synchronous fabric effects one pass
+        // Consumer-first fast path: a completion already harvested — by a
+        // dedicated progress thread or an earlier pass — is taken with no
+        // progress work at all.
+        if let Some((ts, status)) = self.local_events.take_rid(rid) {
+            return self.finish_local(rid, ts, status);
+        }
+        // Optimistic inline pass: with synchronous fabric effects one pass
         // usually harvests the completion, and a hit skips the claim locks.
         self.progress()?;
         if let Some((ts, status)) = self.local_events.take_rid(rid) {
@@ -2349,6 +2888,24 @@ impl Photon {
         Stats::bump(&self.stats.probes);
         Stats::bump(&self.stats.probe_batches);
         self.progress_for_probe(flags)?;
+        if matches!(flags, ProbeFlags::Local) {
+            // Local-only drains (the runtime's completion-reap shape) take
+            // the batched queue path: one shard lock per run instead of one
+            // per event, with the clock advanced once to the batch maximum
+            // (`advance_to` is a running max, so order is immaterial).
+            let mut latest = VTime(0);
+            let got = self.local_events.pop_front_batch(max, |rid, peer, ts, status| {
+                let c = Completion::local(rid, peer, ts, status);
+                self.obs.op_complete_local(rid, ts, status);
+                latest = latest.max(ts);
+                self.trace_completion(&c);
+                out.push(c);
+            });
+            if got > 0 {
+                self.clock.advance_to(latest);
+            }
+            return Ok(got);
+        }
         let mut got = 0;
         while got < max {
             let Some(c) = self.take_one_completion(flags) else { break };
@@ -2400,6 +2957,11 @@ impl Photon {
     /// consumes and returns its timestamp when present; an error-status
     /// completion surfaces as [`PhotonError::OpFailed`]. O(1) lookup.
     pub fn test_local(&self, rid: u64) -> Result<Option<VTime>> {
+        // Consumer-first, like `wait_local`: an already-harvested
+        // completion costs one shard lookup and no progress pass.
+        if let Some((ts, status)) = self.local_events.take_rid(rid) {
+            return self.finish_local(rid, ts, status).map(Some);
+        }
         self.progress()?;
         match self.local_events.take_rid(rid) {
             Some((ts, status)) => self.finish_local(rid, ts, status).map(Some),
@@ -2585,6 +3147,84 @@ mod tests {
         p0.wait_local(55).unwrap();
         assert_eq!(dst.to_vec(0, 7), b"pull me");
         assert_eq!(p0.stats().gets, 1);
+    }
+
+    #[test]
+    fn bounded_rx_skip_forces_a_blocking_lock() {
+        let c = pair();
+        let p0 = c.rank(0).clone();
+        // Hold peer 1's receive lock on another thread; every progress pass
+        // skips it (bounded), and once the budget runs out the pass blocks
+        // until the holder releases — the peer cannot be starved forever.
+        let holder = {
+            let p = p0.clone();
+            std::thread::spawn(move || {
+                let _rx = p.rx[1].lock();
+                std::thread::sleep(Duration::from_millis(200));
+            })
+        };
+        // Wait until the holder owns the lock.
+        while p0.rx[1].try_lock().is_some() {
+            std::thread::yield_now();
+        }
+        for _ in 0..RX_SKIP_LIMIT - 1 {
+            p0.progress().unwrap();
+        }
+        let s = p0.stats();
+        assert_eq!(s.rx_lock_skips, (RX_SKIP_LIMIT - 1) as u64, "skips below the budget");
+        assert_eq!(s.rx_lock_waits, 0, "no forced wait yet");
+        // The budget is exhausted: the next pass blocks until the holder
+        // releases instead of skipping again.
+        p0.progress().unwrap();
+        holder.join().unwrap();
+        let s = p0.stats();
+        assert_eq!(s.rx_lock_waits, 1, "the 16th consecutive skip blocks instead");
+        assert_eq!(s.rx_lock_skips, (RX_SKIP_LIMIT - 1) as u64, "the wait is not a skip");
+        // A successful try_lock resets the budget: later passes skip-count
+        // from zero again instead of blocking immediately.
+        p0.progress().unwrap();
+        assert_eq!(p0.stats().rx_lock_waits, 1);
+    }
+
+    #[test]
+    fn get_many_batches_reads_behind_one_cqe() {
+        let c = pair();
+        let (p0, p1) = (c.rank(0), c.rank(1));
+        let dst = p0.register_buffer(256).unwrap();
+        let src = p1.register_buffer(256).unwrap();
+        for i in 0..32u8 {
+            src.write_at(i as usize * 8, &[i; 8]);
+        }
+        let items: Vec<GetManyItem> = (0..32)
+            .map(|i| GetManyItem { loff: i * 8, len: 8, soff: i * 8, local_rid: 100 + i as u64 })
+            .collect();
+        p0.get_many(1, &dst, &src.descriptor(), &items).unwrap();
+        // One CQE fans out into every item's local completion, and the
+        // first rid's completion already implies all data landed (RC
+        // in-order retirement).
+        for it in &items {
+            p0.wait_local(it.local_rid).unwrap();
+        }
+        for i in 0..32u8 {
+            assert_eq!(dst.to_vec(i as usize * 8, 8), vec![i; 8]);
+        }
+        assert_eq!(p0.stats().gets, 32);
+        assert_eq!(p0.stats().local_completions, 32);
+    }
+
+    #[test]
+    fn get_many_validates_and_handles_empty() {
+        let c = pair();
+        let p0 = c.rank(0);
+        let dst = p0.register_buffer(16).unwrap();
+        let src = c.rank(1).register_buffer(16).unwrap();
+        p0.get_many(1, &dst, &src.descriptor(), &[]).unwrap();
+        let bad = [GetManyItem { loff: 0, len: 8, soff: 12, local_rid: 1 }];
+        assert!(matches!(
+            p0.get_many(1, &dst, &src.descriptor(), &bad),
+            Err(PhotonError::OutOfRange { .. })
+        ));
+        assert_eq!(p0.stats().gets, 0, "failed batch posts nothing");
     }
 
     #[test]

@@ -127,6 +127,83 @@ impl BufferPool {
     }
 }
 
+// --------------------------------------------------------------- Recycler
+
+/// Per-class retention cap of the thread-local [`Recycler`] cache.
+const RECYCLER_PER_CLASS: usize = 16;
+/// Largest class the recycler retains (1 MiB); bigger buffers are rare and
+/// not worth hoarding per-thread.
+const RECYCLER_MAX_CLASS: usize = 1 << 20;
+
+std::thread_local! {
+    static RECYCLER: std::cell::RefCell<HashMap<usize, Vec<Vec<u8>>>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// A thread-local recycler cache for plain heap buffers (`Vec<u8>`),
+/// bucketed by the same power-of-two size classes as [`BufferPool`].
+///
+/// Where [`BufferPool`] recycles *registered* regions (saving the
+/// registration round trip), `Recycler` recycles ordinary staging vectors —
+/// parcel encodings, coalescer batches, bounce buffers — saving the
+/// allocator round trip on hot paths. Being thread-local it takes no lock
+/// and needs no ownership protocol: `take` hands out a cleared vector with
+/// at least the class capacity, `give` returns it to the caller's own
+/// cache (dropped past a per-class cap, so idle threads cannot hoard).
+///
+/// Ownership rule (see DESIGN.md, "Progress engine"): a recycled vector
+/// belongs to exactly one thread's cache at a time; giving a vector back
+/// on a different thread than took it is fine (caches are independent),
+/// but the *same* vector must not be given twice.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Recycler;
+
+impl Recycler {
+    /// Take a cleared `Vec<u8>` with capacity for at least `len` bytes,
+    /// reusing a cached one of the same size class when available.
+    pub fn take(len: usize) -> Vec<u8> {
+        let class = class_of(len);
+        if class > RECYCLER_MAX_CLASS {
+            return Vec::with_capacity(len);
+        }
+        RECYCLER.with(|c| {
+            if let Some(mut v) = c.borrow_mut().get_mut(&class).and_then(Vec::pop) {
+                v.clear();
+                v
+            } else {
+                Vec::with_capacity(class)
+            }
+        })
+    }
+
+    /// Return a vector to this thread's cache. Vectors past the per-class
+    /// retention cap, above the size ceiling, or with no capacity are
+    /// simply dropped.
+    pub fn give(v: Vec<u8>) {
+        let class = class_backed_by(v.capacity());
+        if class == 0 || class > RECYCLER_MAX_CLASS {
+            return;
+        }
+        RECYCLER.with(|c| {
+            let mut cache = c.borrow_mut();
+            let bucket = cache.entry(class).or_default();
+            if bucket.len() < RECYCLER_PER_CLASS {
+                bucket.push(v);
+            }
+        });
+    }
+
+    /// Number of vectors currently cached on this thread (all classes).
+    pub fn cached() -> usize {
+        RECYCLER.with(|c| c.borrow().values().map(Vec::len).sum())
+    }
+
+    /// Drop everything cached on this thread.
+    pub fn clear() {
+        RECYCLER.with(|c| c.borrow_mut().clear());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +293,38 @@ mod tests {
         pool.give(b); // would exceed the cap: deregistered
         assert_eq!(pool.pooled_bytes(), 1024);
         assert_eq!(p.nic().mrs().registered_bytes(), before + 1024);
+    }
+
+    #[test]
+    fn recycler_reuses_capacity_per_class() {
+        Recycler::clear();
+        let mut a = Recycler::take(100);
+        assert!(a.capacity() >= 128, "rounded up to the class size");
+        a.extend_from_slice(&[7u8; 100]);
+        let ptr = a.as_ptr();
+        Recycler::give(a);
+        assert_eq!(Recycler::cached(), 1);
+        let b = Recycler::take(128);
+        assert_eq!(b.as_ptr(), ptr, "same allocation reused");
+        assert!(b.is_empty(), "handed out cleared");
+        assert_eq!(Recycler::cached(), 0);
+        Recycler::give(b);
+        Recycler::clear();
+    }
+
+    #[test]
+    fn recycler_caps_retention_per_class() {
+        Recycler::clear();
+        for _ in 0..(RECYCLER_PER_CLASS + 5) {
+            Recycler::give(Vec::with_capacity(64));
+        }
+        assert_eq!(Recycler::cached(), RECYCLER_PER_CLASS, "overflow dropped");
+        // Zero-capacity and oversized vectors are never cached.
+        Recycler::give(Vec::new());
+        Recycler::give(Vec::with_capacity(RECYCLER_MAX_CLASS * 2));
+        assert_eq!(Recycler::cached(), RECYCLER_PER_CLASS);
+        Recycler::clear();
+        assert_eq!(Recycler::cached(), 0);
     }
 
     #[test]

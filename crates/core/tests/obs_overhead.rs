@@ -101,6 +101,67 @@ fn disabled_recording_allocates_nothing_per_op() {
 }
 
 #[test]
+fn recycler_caches_make_the_batched_put_loop_allocation_free() {
+    // The tightened form of the bound above, for the doorbell-batched path:
+    // with the CQE harvest reading into recycled scratch, the batch rid /
+    // stamp vectors cycling through the context pools, and the run frames
+    // living in per-peer TX scratch, the steady-state batched put loop
+    // performs literally zero heap allocations. Setup (buffer registration,
+    // caller-side scratch) happens before the allocator arms.
+    let c = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
+    assert!(!c.rank(0).obs().is_enabled());
+    let p0 = c.rank(0);
+    let p1 = c.rank(1);
+    let src = p0.register_buffer(64).unwrap();
+    let dst = p1.register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let mut items: Vec<photon_core::PutManyItem> = Vec::with_capacity(16);
+
+    // Run `ops` doorbell-batched 8-byte eager puts (batches of 16 through
+    // `try_put_many`), sender reaping local completions while the receiver
+    // drains remote notifications — the hot loop the recycler caches serve.
+    let mut batched_puts = |base_rid: u64, ops: u64| {
+        let (mut posted, mut done) = (0u64, 0u64);
+        while done < ops {
+            if posted < ops {
+                items.clear();
+                for i in 0..16.min(ops - posted) {
+                    let rid = base_rid + posted + i;
+                    items.push(photon_core::PutManyItem {
+                        loff: 0,
+                        len: 8,
+                        doff: 0,
+                        local_rid: rid,
+                        remote_rid: rid,
+                    });
+                }
+                posted += p0.try_put_many(1, &src, &d, &items).unwrap() as u64;
+            }
+            loop {
+                evs.clear();
+                if p1.poll_completions(ProbeFlags::Remote, &mut evs, 64).unwrap() == 0 {
+                    break;
+                }
+            }
+            evs.clear();
+            done += p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap() as u64;
+        }
+    };
+
+    // Warm-up: grows every recycled vector to its working capacity.
+    batched_puts(0, 2_048);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    batched_puts(10_000, 2_048);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(n, 0, "batched put loop allocated {n} times over 2048 steady-state ops");
+}
+
+#[test]
 fn enabled_recording_observes_the_same_traffic() {
     // Sanity inverse: with recording on, the same loop yields spans and
     // latency samples (allocation is expected and unchecked here).

@@ -95,6 +95,9 @@ struct MrInner {
     rkey: u32,
     lkey: u32,
     flags: Access,
+    /// Region size. Registration sizes are immutable, so hot-path bounds
+    /// checks read this instead of taking the data lock.
+    len: usize,
     data: RwLock<Box<[u8]>>,
 }
 
@@ -129,7 +132,7 @@ impl MemoryRegion {
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.inner.data.read().len()
+        self.inner.len
     }
 
     /// True if the region has zero length.
@@ -240,6 +243,10 @@ pub struct MrTable {
     next_addr: AtomicU64,
     registered_bytes: AtomicUsize,
     limit_bytes: usize,
+    /// Bumped on every deregistration. Rkeys are never reused, so a resolve
+    /// result cached against a generation stays valid exactly while the
+    /// generation holds (registration can only add rkeys, never repoint one).
+    generation: AtomicU64,
 }
 
 /// Default per-node registration limit: 1 GiB of pinned memory.
@@ -262,6 +269,7 @@ impl MrTable {
             next_addr: AtomicU64::new(0x1000_0000),
             registered_bytes: AtomicUsize::new(0),
             limit_bytes,
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -295,6 +303,7 @@ impl MrTable {
                 rkey: key,
                 lkey: key,
                 flags,
+                len,
                 data: RwLock::new(vec![0u8; len].into_boxed_slice()),
             }),
         };
@@ -305,6 +314,7 @@ impl MrTable {
     /// Deregister a region, releasing its pinning budget. Outstanding handles
     /// keep the memory alive but the table will no longer resolve its rkey.
     pub fn deregister(&self, mr: &MemoryRegion) -> Result<()> {
+        self.generation.fetch_add(1, Ordering::Relaxed);
         let removed = self.by_rkey.write().remove(&mr.rkey());
         match removed {
             Some(r) => {
@@ -345,6 +355,12 @@ impl MrTable {
         let offset = (addr - base) as usize;
         mr.check_bounds(offset, len)?;
         Ok((mr, offset))
+    }
+
+    /// Resolve-cache validity token: unchanged generation means every rkey
+    /// that resolved before still resolves to the same region.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Look up a region by lkey (local gather/scatter validation).

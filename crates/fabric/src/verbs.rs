@@ -308,6 +308,17 @@ impl Cq {
         q.drain(..take).collect()
     }
 
+    /// Pop up to `n` events into `out` (appended), returning how many were
+    /// drained. The allocation-free twin of [`Cq::poll_n`]: steady-state
+    /// pollers keep one scratch vector alive instead of collecting a fresh
+    /// one per harvest.
+    pub fn poll_n_into(&self, n: usize, out: &mut Vec<Completion>) -> usize {
+        let mut q = self.q.lock();
+        let take = n.min(q.len());
+        out.extend(q.drain(..take));
+        take
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.q.lock().len()

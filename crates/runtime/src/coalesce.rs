@@ -17,6 +17,7 @@
 //! call it before waiting on replies).
 
 use crate::Rank;
+use photon_core::Recycler;
 
 /// One destination's pending batch: encoded parcels, kept separate so the
 /// flush can hand them to the batched send API frame-by-frame.
@@ -27,10 +28,14 @@ pub(crate) struct Batch {
 }
 
 impl Batch {
-    /// Append an encoded parcel.
+    /// Append an encoded parcel. The staging vector comes from the
+    /// thread-local [`Recycler`] cache; the flush path gives it back after
+    /// the send, so a steady-state parcel loop allocates nothing here.
     pub(crate) fn push(&mut self, enc: &[u8]) {
         self.bytes += enc.len();
-        self.parcels.push(enc.to_vec());
+        let mut v = Recycler::take(enc.len());
+        v.extend_from_slice(enc);
+        self.parcels.push(v);
     }
 
     /// Parcels queued.

@@ -9,7 +9,7 @@ use crate::rpc::RpcCounters;
 use crate::scheduler::Scheduler;
 use crate::{Rank, Result, RtError};
 use parking_lot::Mutex;
-use photon_core::{Completion, Photon, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_core::{Completion, Photon, PhotonCluster, PhotonConfig, ProbeFlags, Recycler};
 use photon_fabric::NetworkModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -322,7 +322,7 @@ impl RtNode {
                 }
             };
             if let Some(parcels) = flush {
-                self.send_batch(target, &parcels)?;
+                self.send_batch(target, parcels)?;
             }
             let full = {
                 let mut co = self.coalescer.lock();
@@ -331,7 +331,7 @@ impl RtNode {
                 (batch.len() >= self.cfg.coalesce_max).then(|| batch.take())
             };
             if let Some(parcels) = full {
-                self.send_batch(target, &parcels)?;
+                self.send_batch(target, parcels)?;
             }
             return Ok(());
         }
@@ -343,11 +343,17 @@ impl RtNode {
 
     /// Flush a coalesced batch: every parcel stays its own eager frame, but
     /// the whole run goes out as one doorbell-batched post.
-    fn send_batch(&self, target: Rank, parcels: &[Vec<u8>]) -> Result<()> {
+    fn send_batch(&self, target: Rank, parcels: Vec<Vec<u8>>) -> Result<()> {
         self.photon
-            .send_many(target, parcels, RID_PARCEL)
+            .send_many(target, &parcels, RID_PARCEL)
             .map_err(|e| self.note_send_failure(parcels.len() as u64, e.into()))?;
         RtCounters::bump(&self.stats.batches_sent);
+        // The staging vectors came from the thread-local recycler cache
+        // (`Batch::push`); the payloads live in the ring now, so the vectors
+        // go back for the next batch.
+        for v in parcels {
+            Recycler::give(v);
+        }
         Ok(())
     }
 
@@ -364,7 +370,7 @@ impl RtNode {
     pub fn flush_parcels(&self) -> Result<()> {
         let pending = self.coalescer.lock().take_all();
         for (peer, parcels) in pending {
-            self.send_batch(peer, &parcels)?;
+            self.send_batch(peer, parcels)?;
         }
         Ok(())
     }

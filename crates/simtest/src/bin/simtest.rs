@@ -15,7 +15,7 @@ use photon_simtest::{run_campaign, Campaign, CampaignOpts, Schedule};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest <smoke|credits|faults|quiescence|crash|rpc|ds|all> [--cases N] [--seed S] [--jobs N] [--no-shrink]\n\
+        "usage: simtest <smoke|credits|faults|quiescence|crash|rpc|ds|all> [--cases N] [--seed S] [--jobs N] [--no-shrink] [--progress-threads N]\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest replay <campaign>\n\
          \x20      SIMTEST_SEED=0x.. SIMTEST_CASE=n simtest show <campaign>"
     );
@@ -58,6 +58,9 @@ fn parse_opts(args: &[String]) -> CampaignOpts {
             "--seed" => opts.seed = num("--seed"),
             "--jobs" => opts.jobs = num("--jobs") as usize,
             "--no-shrink" => opts.shrink = false,
+            "--progress-threads" => {
+                opts.progress_threads = num("--progress-threads") as usize;
+            }
             other => {
                 eprintln!("unknown flag '{other}'");
                 usage();

@@ -115,7 +115,14 @@ fn simtest_campaign_digest_is_thread_count_independent() {
     let run = |jobs| {
         run_campaign(
             Campaign::Smoke,
-            &CampaignOpts { cases: 10, seed: 0x0DE7_E122, jobs, shrink: false, corpus: None },
+            &CampaignOpts {
+                cases: 10,
+                seed: 0x0DE7_E122,
+                jobs,
+                shrink: false,
+                corpus: None,
+                progress_threads: 0,
+            },
         )
     };
     let a = run(1);
