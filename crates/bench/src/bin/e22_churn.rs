@@ -1,0 +1,195 @@
+//! E22 — churn at scale: gossip membership + lazy connection cache.
+//!
+//! ```text
+//! e22_churn                # full sweep, writes results/BENCH_churn.json
+//! e22_churn --smoke        # 64-node cells only, for CI
+//! ```
+//!
+//! Sweeps cluster size {64, 256, 1000} × churn rate {50, 100} (the
+//! percentage fed to the churn plan's victim scaler) over seeded cases of
+//! the simtest churn driver, with the connection-cache capacity pinned to
+//! 16 so per-rank state is comparable across sizes. Reported per cell:
+//!
+//! * **dissemination** — gossip rounds the post-churn convergence phase
+//!   needed to reach ground truth (the O(log n) claim made measurable);
+//! * **reconnect latency** — mean send attempts until a rejoined rank
+//!   accepted traffic again (each failed attempt advances one 20 µs step);
+//! * **per-rank state** — the largest connection-cache and membership-view
+//!   footprints any rank ended the case with (the sublinearity claim);
+//! * traffic/gossip volume counters for context.
+//!
+//! Cases are deterministic per (seed, case id): the JSON is reproducible
+//! bit-for-bit. Wall time per cell is also recorded, but only as a
+//! convenience — virtual-time metrics are the signal.
+
+use photon_simtest::{run_churn_case_metrics, ChurnMetrics, SimParams};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 0xE22_C41;
+const CAP: usize = 16;
+
+struct Cell {
+    nodes: usize,
+    churn_pct: u8,
+    cases: u32,
+    conv_rounds_mean: f64,
+    reconnect_attempts_mean: f64,
+    max_conn_state: usize,
+    max_member_state: usize,
+    posted: u64,
+    resolved_ok: u64,
+    resolved_err: u64,
+    gossip_msgs: u64,
+    violations: usize,
+    wall_ms: u128,
+}
+
+fn run_cell(nodes: usize, churn_pct: u8, cases: u32) -> Cell {
+    let params = SimParams {
+        min_nodes: nodes,
+        max_nodes: nodes,
+        min_ops: 16,
+        max_ops: 16,
+        crash_pct: churn_pct,
+        ..SimParams::churn()
+    };
+    let t0 = Instant::now();
+    let mut agg = ChurnMetrics::default();
+    let (mut conv_sum, mut conv_n) = (0u64, 0u64);
+    let mut violations = 0usize;
+    for case_id in 0..cases as u64 {
+        let (rep, m) = run_churn_case_metrics(SEED, case_id, &params, Some(CAP));
+        violations += rep.violations.len();
+        if let Some(r) = m.conv_rounds {
+            conv_sum += r;
+            conv_n += 1;
+        }
+        agg.posted += m.posted;
+        agg.resolved_ok += m.resolved_ok;
+        agg.resolved_err += m.resolved_err;
+        agg.gossip_msgs += m.gossip_msgs;
+        agg.reconnect_attempts += m.reconnect_attempts;
+        agg.max_conn_state = agg.max_conn_state.max(m.max_conn_state);
+        agg.max_member_state = agg.max_member_state.max(m.max_member_state);
+    }
+    Cell {
+        nodes,
+        churn_pct,
+        cases,
+        conv_rounds_mean: if conv_n > 0 { conv_sum as f64 / conv_n as f64 } else { f64::NAN },
+        reconnect_attempts_mean: agg.reconnect_attempts as f64 / cases as f64,
+        max_conn_state: agg.max_conn_state,
+        max_member_state: agg.max_member_state,
+        posted: agg.posted,
+        resolved_ok: agg.resolved_ok,
+        resolved_err: agg.resolved_err,
+        gossip_msgs: agg.gossip_msgs,
+        violations,
+        wall_ms: t0.elapsed().as_millis(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[64] } else { &[64, 256, 1000] };
+    let cases: u32 = if smoke { 1 } else { 2 };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in sizes {
+        for pct in [50u8, 100] {
+            let c = run_cell(n, pct, cases);
+            println!(
+                "n={:<5} churn={:>3}%  conv {:>5.1} rounds  reconnect {:>5.1} attempts  \
+                 conn {:>8} B  member {:>8} B  ops {}/{} ok/err  viol {}  ({} ms)",
+                c.nodes,
+                c.churn_pct,
+                c.conv_rounds_mean,
+                c.reconnect_attempts_mean,
+                c.max_conn_state,
+                c.max_member_state,
+                c.resolved_ok,
+                c.resolved_err,
+                c.violations,
+                c.wall_ms
+            );
+            cells.push(c);
+        }
+    }
+
+    // Headline verdicts: convergence everywhere, and connection state flat
+    // across an order-of-magnitude size change (the cache cap at work).
+    let mut verdicts: Vec<String> = Vec::new();
+    let any_viol = cells.iter().any(|c| c.violations > 0);
+    verdicts.push(format!(
+        "all cells converged without violations -> {}",
+        if any_viol { "FAIL" } else { "PASS" }
+    ));
+    if let (Some(small), Some(big)) = (
+        cells.iter().find(|c| c.nodes == *sizes.first().unwrap()),
+        cells.iter().find(|c| c.nodes == *sizes.last().unwrap()),
+    ) {
+        if small.nodes != big.nodes {
+            let ratio = big.max_conn_state as f64 / small.max_conn_state.max(1) as f64;
+            verdicts.push(format!(
+                "conn state {}B @ n={} vs {}B @ n={} (x{:.2} for x{:.1} nodes) -> {}",
+                small.max_conn_state,
+                small.nodes,
+                big.max_conn_state,
+                big.nodes,
+                ratio,
+                big.nodes as f64 / small.nodes as f64,
+                if ratio < 2.0 { "PASS" } else { "FAIL" }
+            ));
+        }
+    }
+    for v in &verdicts {
+        println!("  # {v}");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"E22_churn_at_scale\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"conn_cache_cap\": {CAP},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (k, c) in cells.iter().enumerate() {
+        let comma = if k + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"nodes\": {}, \"churn_pct\": {}, \"cases\": {}, \
+             \"conv_rounds_mean\": {:.2}, \"reconnect_attempts_mean\": {:.2}, \
+             \"max_conn_state_bytes\": {}, \"max_member_state_bytes\": {}, \
+             \"posted\": {}, \"resolved_ok\": {}, \"resolved_err\": {}, \
+             \"gossip_msgs\": {}, \"violations\": {}, \"wall_ms\": {}}}{comma}",
+            c.nodes,
+            c.churn_pct,
+            c.cases,
+            c.conv_rounds_mean,
+            c.reconnect_attempts_mean,
+            c.max_conn_state,
+            c.max_member_state,
+            c.posted,
+            c.resolved_ok,
+            c.resolved_err,
+            c.gossip_msgs,
+            c.violations,
+            c.wall_ms
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"verdicts\": [");
+    for (k, v) in verdicts.iter().enumerate() {
+        let comma = if k + 1 < verdicts.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{v}\"{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_churn.json");
+    std::fs::write(&path, json).expect("write experiment json");
+    println!("wrote {}", path.display());
+}

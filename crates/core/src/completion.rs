@@ -29,11 +29,12 @@
 
 use crate::probe::RemoteEvent;
 use crate::Rank;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use photon_fabric::{VTime, WcStatus};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Shards in the work-request table. Posts pick shards round-robin, so this
 /// bounds post-side lock contention at ~`threads / WR_SHARDS`.
@@ -196,6 +197,22 @@ impl WrTable {
             }
         }
         out
+    }
+
+    /// Does any in-flight work request target `peer`? Used by the
+    /// connection cache's eviction policy to prefer idle victims. O(total
+    /// slots) scan, but only runs when the cache is over capacity.
+    pub(crate) fn has_peer(&self, peer: Rank) -> bool {
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        for shard in &self.shards {
+            let shard = shard.lock();
+            if shard.slots.iter().any(|e| e.live && e.peer == peer) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Is `wr_id` still in flight? O(1): shard + slot decode, generation
@@ -589,24 +606,51 @@ impl LocalQueue {
 
 /// Remote completion events, one FIFO per source peer with a fair
 /// round-robin drain cursor.
+///
+/// Peer FIFOs are allocated *lazily*, on the first event a peer ever
+/// delivers: the queue holds a sorted `(rank, FIFO)` vector instead of an
+/// O(N) dense array, so a rank's footprint scales with the peers it has
+/// actually heard from, not the cluster size. The sorted order also keeps
+/// `pop_any`'s rotation deterministic in single-threaded simulations.
+type PeerFifo = Arc<Mutex<VecDeque<RemoteEvent>>>;
+
 #[derive(Debug)]
 pub(crate) struct RemoteQueue {
-    peers: Vec<Mutex<VecDeque<RemoteEvent>>>,
+    slots: RwLock<Vec<(Rank, PeerFifo)>>,
     cursor: AtomicUsize,
     count: AtomicUsize,
 }
 
 impl RemoteQueue {
-    pub(crate) fn new(n: usize) -> RemoteQueue {
+    pub(crate) fn new() -> RemoteQueue {
         RemoteQueue {
-            peers: (0..n.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            slots: RwLock::new(Vec::new()),
             cursor: AtomicUsize::new(0),
             count: AtomicUsize::new(0),
         }
     }
 
+    /// `src`'s FIFO, allocating it on first contact.
+    fn fifo(&self, src: Rank) -> PeerFifo {
+        {
+            let slots = self.slots.read();
+            if let Ok(i) = slots.binary_search_by_key(&src, |s| s.0) {
+                return slots[i].1.clone();
+            }
+        }
+        let mut slots = self.slots.write();
+        match slots.binary_search_by_key(&src, |s| s.0) {
+            Ok(i) => slots[i].1.clone(),
+            Err(i) => {
+                let q = Arc::new(Mutex::new(VecDeque::new()));
+                slots.insert(i, (src, q.clone()));
+                q
+            }
+        }
+    }
+
     pub(crate) fn push(&self, ev: RemoteEvent) {
-        self.peers[ev.src].lock().push_back(ev);
+        self.fifo(ev.src).lock().push_back(ev);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -619,7 +663,7 @@ impl RemoteQueue {
             return;
         }
         debug_assert!(buf.iter().all(|ev| ev.src == src), "push_drain runs share one source");
-        self.peers[src].lock().extend(buf.drain(..));
+        self.fifo(src).lock().extend(buf.drain(..));
         self.count.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -629,10 +673,14 @@ impl RemoteQueue {
         if self.count.load(Ordering::Relaxed) == 0 {
             return None;
         }
-        let n = self.peers.len();
+        let slots = self.slots.read();
+        let n = slots.len();
+        if n == 0 {
+            return None;
+        }
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         for k in 0..n {
-            if let Some(ev) = self.peers[(start + k) % n].lock().pop_front() {
+            if let Some(ev) = slots[(start + k) % n].1.lock().pop_front() {
                 self.count.fetch_sub(1, Ordering::Relaxed);
                 return Some(ev);
             }
@@ -640,16 +688,40 @@ impl RemoteQueue {
         None
     }
 
-    /// Pop the next event from `src` only. O(1): no scan past other peers'
-    /// traffic.
+    /// Pop the next event from `src` only. O(log peers-heard-from): no scan
+    /// past other peers' traffic, and no FIFO allocated just to find it
+    /// empty.
     pub(crate) fn pop_from(&self, src: Rank) -> Option<RemoteEvent> {
-        let ev = self.peers[src].lock().pop_front()?;
+        let q = {
+            let slots = self.slots.read();
+            let i = slots.binary_search_by_key(&src, |s| s.0).ok()?;
+            slots[i].1.clone()
+        };
+        let ev = q.lock().pop_front()?;
         self.count.fetch_sub(1, Ordering::Relaxed);
         Some(ev)
     }
 
     pub(crate) fn len(&self) -> usize {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// How many peer FIFOs have been allocated — the memory-bound tests'
+    /// witness that construction is lazy.
+    pub(crate) fn peers_allocated(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Approximate heap footprint of the queue's per-peer structures.
+    pub(crate) fn state_bytes(&self) -> usize {
+        let slots = self.slots.read();
+        slots.len()
+            * (std::mem::size_of::<(Rank, PeerFifo)>()
+                + std::mem::size_of::<Mutex<VecDeque<RemoteEvent>>>())
+            + slots
+                .iter()
+                .map(|s| s.1.lock().capacity() * std::mem::size_of::<RemoteEvent>())
+                .sum::<usize>()
     }
 }
 
@@ -795,11 +867,12 @@ mod tests {
 
     #[test]
     fn remote_queue_per_peer_fifo_and_fair_any() {
-        let q = RemoteQueue::new(3);
+        let q = RemoteQueue::new();
         for i in 0..6u64 {
             q.push(rev(1, i));
         }
         q.push(rev(2, 100));
+        assert_eq!(q.peers_allocated(), 2, "only contacted peers get a FIFO");
         // Per-peer order always holds…
         assert_eq!(q.pop_from(1).unwrap().rid, 0);
         // …and pop_any must reach peer 2 without draining all of peer 1
@@ -817,11 +890,13 @@ mod tests {
 
     #[test]
     fn remote_queue_pop_from_skips_others() {
-        let q = RemoteQueue::new(4);
+        let q = RemoteQueue::new();
         q.push(rev(0, 1));
         q.push(rev(3, 2));
         assert_eq!(q.pop_from(3).unwrap().rid, 2);
         assert_eq!(q.pop_from(3), None);
+        assert_eq!(q.pop_from(2), None, "unheard-from peer allocates nothing");
+        assert_eq!(q.peers_allocated(), 2);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_any().unwrap().rid, 1);
     }

@@ -77,6 +77,20 @@ pub struct PhotonConfig {
     /// the sharded queues and only help-pump when they would otherwise
     /// block (so a thread-starved host cannot livelock). Capped at 64.
     pub progress_threads: usize,
+    /// Maximum live connections a rank keeps in its lazy connection cache
+    /// (`0` = unbounded, the default). When a connect would exceed the cap,
+    /// the least-recently-used idle connection is evicted: its pending work
+    /// requests flush as `FlushErr` completions exactly like a peer death,
+    /// but the peer stays *healthy* and reconnects on the next op. Must be
+    /// at least 2 when bounded — an initiator and an acceptor half can
+    /// coexist during a single transfer.
+    pub conn_cache_cap: usize,
+    /// Modeled virtual-nanosecond cost of establishing one connection
+    /// (QP bring-up + service-region key exchange), charged to the
+    /// initiating rank's clock. `0` (the default) keeps first-contact
+    /// setup free so steady-state experiments measure the data path only;
+    /// E22 sets it explicitly to measure reconnect latency under churn.
+    pub connect_cost_ns: u64,
 }
 
 impl PhotonConfig {
@@ -151,6 +165,13 @@ impl PhotonConfig {
                 self.progress_threads
             ));
         }
+        if self.conn_cache_cap == 1 {
+            faults.push(
+                "conn_cache_cap 1 cannot hold both halves of a transfer \
+                 (use 0 for unbounded, or at least 2)"
+                    .to_string(),
+            );
+        }
         if faults.is_empty() {
             Ok(())
         } else {
@@ -201,6 +222,8 @@ impl Default for PhotonConfig {
             backoff_max_ns: 1_000_000,
             suspect_death_probes: 12,
             progress_threads: 0,
+            conn_cache_cap: 0,
+            connect_cost_ns: 0,
         }
     }
 }
@@ -257,6 +280,10 @@ impl PhotonConfigBuilder {
         suspect_death_probes: u32,
         /// See [`PhotonConfig::progress_threads`].
         progress_threads: usize,
+        /// See [`PhotonConfig::conn_cache_cap`].
+        conn_cache_cap: usize,
+        /// See [`PhotonConfig::connect_cost_ns`].
+        connect_cost_ns: u64,
     }
 
     /// Validate and produce the final configuration.
@@ -339,6 +366,15 @@ mod tests {
         let err = PhotonConfig::builder().progress_threads(65).build().unwrap_err();
         let crate::PhotonError::Config(msg) = err else { panic!("want Config, got {err:?}") };
         assert!(msg.contains("progress_threads"), "{msg}");
+    }
+
+    #[test]
+    fn conn_cache_cap_rejects_one() {
+        assert_eq!(PhotonConfig::default().conn_cache_cap, 0, "unbounded is the default");
+        let err = PhotonConfig::builder().conn_cache_cap(1).build().unwrap_err();
+        let crate::PhotonError::Config(msg) = err else { panic!("want Config, got {err:?}") };
+        assert!(msg.contains("conn_cache_cap"), "{msg}");
+        assert!(PhotonConfig::builder().conn_cache_cap(2).build().is_ok());
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod config;
 pub mod eager;
 pub mod layout;
 pub mod ledger;
+pub mod membership;
 pub mod obs;
 pub mod photon;
 pub mod pool;
@@ -83,6 +84,7 @@ pub mod rendezvous;
 pub use buffers::PhotonBuffer;
 pub use collectives::ReduceOp;
 pub use config::{PhotonConfig, PhotonConfigBuilder};
+pub use membership::{GossipStats, MemberEntry, MemberStatus, Membership, MembershipConfig};
 pub use obs::{
     KeyedLatency, KeyedSummary, LatencySummary, Metrics, Obs, OpKind, SpanTrace, StatsSnapshot,
     TraceExport, TraceOp, TraceRecord, Tracer,

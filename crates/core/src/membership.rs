@@ -1,0 +1,788 @@
+//! Epidemic (gossip) membership over the Photon eager path.
+//!
+//! SWIM-style dissemination layered on the per-peer health machine: every
+//! rank keeps a *view* — per-member `(incarnation, version, status)` triples
+//! — and pushes a bounded set of the freshest rumors to a few random peers
+//! per round. A receiver merges what it learns and replies with anything it
+//! knows better (push-pull anti-entropy), so liveness, joins and departures
+//! reach every rank in O(log N) rounds without any rank ever paying O(N)
+//! per round.
+//!
+//! Rumor order is monotone and commutative, so merges converge regardless
+//! of delivery order:
+//!
+//! * a higher **incarnation** (the fabric's revive counter) always wins —
+//!   a rejoined rank's `Alive(inc+1)` claim supersedes the `Dead(inc)`
+//!   rumors of its previous life, and a flushed generation can never be
+//!   resurrected by stale gossip;
+//! * at equal incarnation, **Dead is sticky** (death of a generation is a
+//!   verdict, not an opinion) and otherwise the higher **version** wins —
+//!   a suspected rank refutes by publishing `Alive` at a higher version,
+//!   exactly SWIM's refutation rule with the version taking the place of
+//!   an incarnation bump (our incarnations are fabric-owned).
+//!
+//! Rumors originate from three sources, all local evidence: the health
+//! machine's dead notifications ([`Photon::take_dead_peers`], fed in by the
+//! embedder via [`Membership::note_dead`]), the live-connection health
+//! snapshot ([`Photon::peer_states`] — Suspect rumors and direct-evidence
+//! refutations), and each rank's own alive self-claim refreshed every
+//! round.
+//!
+//! Gossip frames ride the eager path under a reserved rid
+//! ([`crate::probe::rid_space::GOSSIP`]), so they route to the
+//! middleware-internal inbox
+//! like collective traffic and never surface as user events — application
+//! probes, quiescence accounting and campaign digests are unaffected.
+//! Everything is driven by explicit [`Membership::tick`] calls (the
+//! runtime's progress loop, or a simulation stepper), keeping the protocol
+//! deterministic under the simtest harness.
+
+use crate::photon::{PeerHealthState, Photon};
+use crate::{PhotonError, Rank};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Membership/gossip configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipConfig {
+    /// Peers pushed to per gossip round.
+    pub fanout: usize,
+    /// Minimum virtual nanoseconds between rounds; `0` runs a round on
+    /// every [`Membership::tick`] call.
+    pub interval_ns: u64,
+    /// Maximum rumors carried per gossip message (freshest first, self
+    /// always included); bounds message size independent of cluster size.
+    pub max_rumors: usize,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig { fanout: 2, interval_ns: 100_000, max_rumors: 64 }
+    }
+}
+
+/// Disseminated liveness status of one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberStatus {
+    /// Believed reachable.
+    Alive,
+    /// Some rank's health machine missed its response deadline; awaiting
+    /// refutation or a death verdict.
+    Suspect,
+    /// This incarnation was declared dead; sticky until the fabric revives
+    /// the rank into a higher incarnation.
+    Dead,
+}
+
+impl MemberStatus {
+    fn encode(self) -> u8 {
+        match self {
+            MemberStatus::Alive => 0,
+            MemberStatus::Suspect => 1,
+            MemberStatus::Dead => 2,
+        }
+    }
+
+    fn decode(b: u8) -> Option<MemberStatus> {
+        match b {
+            0 => Some(MemberStatus::Alive),
+            1 => Some(MemberStatus::Suspect),
+            2 => Some(MemberStatus::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// One member's disseminated state, as seen by a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberEntry {
+    /// The member's rank.
+    pub rank: Rank,
+    /// Fabric incarnation the rumor talks about.
+    pub incarnation: u64,
+    /// Refutation counter within the incarnation (higher wins at equal
+    /// incarnation, except Dead is sticky).
+    pub version: u64,
+    /// The rumored status.
+    pub status: MemberStatus,
+}
+
+/// Wire size of one rumor: u32 rank, u64 incarnation, u64 version,
+/// u8 status.
+const RUMOR_BYTES: usize = 4 + 8 + 8 + 1;
+/// Message header: u8 kind (0 = push, 1 = reply), u32 rumor count.
+const MSG_HDR: usize = 1 + 4;
+const MSG_PUSH: u8 = 0;
+const MSG_REPLY: u8 = 1;
+
+crate::counter_registry! {
+    /// Atomic gossip counters for one rank's membership instance.
+    registry GossipCounters;
+    /// A point-in-time copy of a rank's gossip statistics.
+    snapshot GossipStats;
+    table GOSSIP_COUNTERS;
+    counters {
+        /// Gossip rounds run (interval-gated ticks that actually pushed).
+        gossip_rounds,
+        /// Gossip messages sent (pushes and replies).
+        gossip_msgs_tx,
+        /// Gossip messages received and merged.
+        gossip_msgs_rx,
+        /// Rumors carried by sent messages.
+        rumors_tx,
+        /// Rumors received (before the merge filter).
+        rumors_rx,
+        /// Received rumors that changed the local view.
+        rumors_applied,
+        /// Deaths learned from this rank's own health machine.
+        deaths_direct,
+        /// Deaths learned from gossip before local detection.
+        deaths_gossip,
+        /// Suspect rumors this rank originated from its health snapshot.
+        suspects_rumored,
+        /// Suspect entries refuted by direct evidence or self-claims.
+        refutations,
+        /// Gossip sends that failed for a reason other than a dead peer.
+        gossip_send_failures,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ent {
+    inc: u64,
+    version: u64,
+    status: MemberStatus,
+    /// Local round in which this entry last changed: freshness key for
+    /// bounded rumor selection.
+    touched: u64,
+    /// Remaining rounds this entry may be piggybacked on pushes — SWIM's
+    /// per-rumor retransmit budget, reset to λ·log₂(n)+c on every view
+    /// change. Guarantees each change gets enough epidemic transmissions
+    /// to cover the cluster w.h.p., then stops consuming rumor slots (the
+    /// pull half of anti-entropy covers any straggler).
+    sends_left: u32,
+}
+
+#[derive(Debug)]
+struct View {
+    entries: BTreeMap<Rank, Ent>,
+    rng: u64,
+    round: u64,
+    last_round_ns: u64,
+    started: bool,
+}
+
+/// One rank's gossip membership instance. Owns nothing inside the Photon
+/// context; the embedder drives it with [`Membership::tick`] and feeds it
+/// dead-peer notifications.
+#[derive(Debug)]
+pub struct Membership {
+    photon: Arc<Photon>,
+    cfg: MembershipConfig,
+    /// Retransmit budget granted to every view change: 3·⌈log₂(n)⌉ + 4
+    /// rounds of piggybacking (each reaching `fanout` targets).
+    retransmit: u32,
+    view: Mutex<View>,
+    stats: GossipCounters,
+}
+
+impl Membership {
+    /// Create the instance for `photon`'s rank. `seed` derives the target
+    /// selection stream (mix the rank in for per-rank streams).
+    pub fn new(photon: Arc<Photon>, cfg: MembershipConfig, seed: u64) -> Membership {
+        let rank = photon.rank();
+        let inc = photon.self_incarnation();
+        let n = photon.size().max(2) as u64;
+        let retransmit = 3 * (u64::BITS - (n - 1).leading_zeros()) + 4;
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            rank,
+            Ent {
+                inc,
+                version: 1,
+                status: MemberStatus::Alive,
+                touched: 0,
+                sends_left: retransmit,
+            },
+        );
+        Membership {
+            photon,
+            cfg,
+            retransmit,
+            view: Mutex::new(View {
+                entries,
+                rng: seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                round: 0,
+                last_round_ns: 0,
+                started: false,
+            }),
+            stats: GossipCounters::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MembershipConfig {
+        &self.cfg
+    }
+
+    /// Gossip statistics.
+    pub fn stats(&self) -> GossipStats {
+        self.stats.snapshot()
+    }
+
+    /// Rounds run so far.
+    pub fn rounds(&self) -> u64 {
+        self.view.lock().round
+    }
+
+    /// The current view, sorted by rank. Only members this rank has heard
+    /// about appear — an entry-less rank is implicitly `Alive(0)`.
+    pub fn view(&self) -> Vec<MemberEntry> {
+        self.view
+            .lock()
+            .entries
+            .iter()
+            .map(|(&rank, e)| MemberEntry {
+                rank,
+                incarnation: e.inc,
+                version: e.version,
+                status: e.status,
+            })
+            .collect()
+    }
+
+    /// The rumored status of `rank` (implicitly alive when unheard-of).
+    pub fn status_of(&self, rank: Rank) -> MemberStatus {
+        self.view.lock().entries.get(&rank).map_or(MemberStatus::Alive, |e| e.status)
+    }
+
+    /// The full entry for `rank`, if this rank has heard of it. O(log n) —
+    /// convergence checkers over large clusters use this instead of
+    /// cloning [`Membership::view`] per query.
+    pub fn entry_of(&self, rank: Rank) -> Option<MemberEntry> {
+        self.view.lock().entries.get(&rank).map(|e| MemberEntry {
+            rank,
+            incarnation: e.inc,
+            version: e.version,
+            status: e.status,
+        })
+    }
+
+    /// Approximate heap bytes held by the view — the membership share of
+    /// the per-rank state the churn memory-bound test pins.
+    pub fn state_bytes(&self) -> usize {
+        self.view.lock().entries.len() * (std::mem::size_of::<Rank>() + std::mem::size_of::<Ent>())
+    }
+
+    /// Record a death detected by this rank's own health machine. The
+    /// incarnation comes from the middleware's dead map so the rumor names
+    /// the generation that actually died.
+    pub fn note_dead(&self, peer: Rank) {
+        let inc = self.photon.dead_incarnation(peer).unwrap_or(0);
+        let mut v = self.view.lock();
+        let round = v.round;
+        if Self::merge_one(
+            &mut v,
+            round,
+            self.retransmit,
+            MemberEntry {
+                rank: peer,
+                incarnation: inc,
+                version: u64::MAX,
+                status: MemberStatus::Dead,
+            },
+        ) {
+            GossipCounters::bump(&self.stats.deaths_direct);
+        }
+    }
+
+    /// Drive the protocol: drain and merge every pending gossip frame,
+    /// answer pushes (the pull half of anti-entropy), then — when the
+    /// round interval has elapsed — refresh local evidence and push the
+    /// freshest rumors to `fanout` random peers. Returns the number of
+    /// gossip messages sent. Send failures are absorbed: a dead target is
+    /// itself fresh evidence, anything else is counted and retried by
+    /// later rounds.
+    pub fn tick(&self) -> usize {
+        let mut sent = 0;
+        // A progress pass routes any frames the fabric has delivered but
+        // nobody has polled for, then the inbox drain merges them — ticks
+        // are self-contained even without a separate progress driver.
+        let _ = self.photon.progress();
+        // Inbox first: replies merged before we select rumors keeps the
+        // push half as fresh as possible.
+        let inbox = self.photon.gossip_inbox();
+        for (src, payload, _ts) in inbox {
+            sent += self.on_message(src, &payload);
+        }
+
+        let now = self.photon.now().as_nanos();
+        {
+            let v = self.view.lock();
+            if v.started && now < v.last_round_ns.saturating_add(self.cfg.interval_ns) {
+                return sent;
+            }
+        }
+        sent += self.round(now);
+        sent
+    }
+
+    // ------------------------------------------------------------ internals
+
+    /// One gossip round: local evidence refresh, then fanout pushes.
+    fn round(&self, now_ns: u64) -> usize {
+        let self_rank = self.photon.rank();
+        let n = self.photon.size();
+
+        // Local evidence: health snapshot + self-claim.
+        let states = self.photon.peer_states();
+        let self_inc = self.photon.self_incarnation();
+        let mut targets: Vec<Rank> = Vec::with_capacity(self.cfg.fanout);
+        let msg;
+        {
+            let mut v = self.view.lock();
+            v.round += 1;
+            v.last_round_ns = now_ns;
+            v.started = true;
+            let round = v.round;
+            for (peer, inc, health) in states {
+                let cur = v.entries.get(&peer).copied();
+                match health {
+                    PeerHealthState::Suspect => {
+                        // Suspicion is news only while the view still says
+                        // Alive at this incarnation.
+                        let rumor_worthy = cur.is_none_or(|e| {
+                            e.inc < inc || (e.inc == inc && e.status == MemberStatus::Alive)
+                        });
+                        if rumor_worthy {
+                            let version = cur.map_or(1, |e| {
+                                if e.inc < inc {
+                                    1
+                                } else {
+                                    e.version.saturating_add(1)
+                                }
+                            });
+                            if Self::merge_one(
+                                &mut v,
+                                round,
+                                self.retransmit,
+                                MemberEntry {
+                                    rank: peer,
+                                    incarnation: inc,
+                                    version,
+                                    status: MemberStatus::Suspect,
+                                },
+                            ) {
+                                GossipCounters::bump(&self.stats.suspects_rumored);
+                            }
+                        }
+                    }
+                    PeerHealthState::Healthy => {
+                        // Direct evidence refutes a same-incarnation
+                        // Suspect rumor (and advertises newly met
+                        // incarnations).
+                        let refute = cur.is_some_and(|e| {
+                            e.inc < inc || (e.inc == inc && e.status == MemberStatus::Suspect)
+                        });
+                        if refute {
+                            let version = cur.map_or(1, |e| {
+                                if e.inc < inc {
+                                    1
+                                } else {
+                                    e.version.saturating_add(1)
+                                }
+                            });
+                            if Self::merge_one(
+                                &mut v,
+                                round,
+                                self.retransmit,
+                                MemberEntry {
+                                    rank: peer,
+                                    incarnation: inc,
+                                    version,
+                                    status: MemberStatus::Alive,
+                                },
+                            ) {
+                                GossipCounters::bump(&self.stats.refutations);
+                            }
+                        }
+                    }
+                    PeerHealthState::Dead => {
+                        // The dead notification also arrives via
+                        // note_dead; merging here just makes the round
+                        // self-contained.
+                        Self::merge_one(
+                            &mut v,
+                            round,
+                            self.retransmit,
+                            MemberEntry {
+                                rank: peer,
+                                incarnation: inc,
+                                version: u64::MAX,
+                                status: MemberStatus::Dead,
+                            },
+                        );
+                    }
+                }
+            }
+            // Self-claim: alive at the current fabric incarnation, version
+            // bumped so it outranks any same-incarnation Suspect rumor.
+            let self_ent = v.entries.get(&self_rank).copied();
+            let (version, changed) = match self_ent {
+                Some(e) if e.inc == self_inc && e.status == MemberStatus::Alive => {
+                    (e.version, false)
+                }
+                // New incarnation: the refutation counter restarts (the old
+                // generation's entry may sit at the Dead sentinel version).
+                Some(e) if e.inc < self_inc => (1, true),
+                Some(e) if e.inc == self_inc => (e.version.saturating_add(1), true),
+                Some(e) => (e.version, e.status != MemberStatus::Alive), // stale fabric read
+                None => (1, true),
+            };
+            if changed {
+                let touched = v.round;
+                v.entries.insert(
+                    self_rank,
+                    Ent {
+                        inc: self_inc,
+                        version,
+                        status: MemberStatus::Alive,
+                        touched,
+                        sends_left: self.retransmit,
+                    },
+                );
+                GossipCounters::bump(&self.stats.refutations);
+            }
+
+            // Fanout target selection: uniform over ranks not known dead.
+            let candidates: Vec<Rank> = (0..n)
+                .filter(|&r| {
+                    r != self_rank
+                        && v.entries.get(&r).is_none_or(|e| e.status != MemberStatus::Dead)
+                })
+                .collect();
+            if candidates.is_empty() {
+                return 0;
+            }
+            for _ in 0..self.cfg.fanout.min(candidates.len()) {
+                let x = Self::xorshift(&mut v.rng);
+                let pick = candidates[(x % candidates.len() as u64) as usize];
+                if !targets.contains(&pick) {
+                    targets.push(pick);
+                }
+            }
+            msg = Self::encode(
+                MSG_PUSH,
+                &Self::select_rumors(&mut v, self_rank, self.cfg.max_rumors),
+            );
+        }
+
+        GossipCounters::bump(&self.stats.gossip_rounds);
+        let mut sent = 0;
+        for t in targets {
+            sent += self.send_gossip(t, &msg);
+        }
+        sent
+    }
+
+    /// Merge an incoming message; pushes get a reply carrying everything
+    /// this rank knows better. Returns messages sent (0 or 1).
+    fn on_message(&self, src: Rank, payload: &[u8]) -> usize {
+        let Some((kind, rumors)) = Self::decode(payload) else { return 0 };
+        let self_rank = self.photon.rank();
+        GossipCounters::bump(&self.stats.gossip_msgs_rx);
+        GossipCounters::add(&self.stats.rumors_rx, rumors.len() as u64);
+        let reply;
+        {
+            let mut v = self.view.lock();
+            let round = v.round;
+            for r in &rumors {
+                let was_dead = v
+                    .entries
+                    .get(&r.rank)
+                    .is_some_and(|e| e.status == MemberStatus::Dead && e.inc >= r.incarnation);
+                if Self::merge_one(&mut v, round, self.retransmit, *r) {
+                    GossipCounters::bump(&self.stats.rumors_applied);
+                    if r.status == MemberStatus::Dead && !was_dead {
+                        GossipCounters::bump(&self.stats.deaths_gossip);
+                    }
+                }
+            }
+            if kind != MSG_PUSH {
+                return 0;
+            }
+            // Pull half: answer with entries the sender lacked or was
+            // behind on, freshest first, same size bound as a push.
+            let newer: Vec<MemberEntry> = {
+                let mut out: Vec<(u64, MemberEntry)> = Vec::new();
+                for (&rank, e) in &v.entries {
+                    let claimed = rumors.iter().find(|r| r.rank == rank);
+                    let newer = match claimed {
+                        None => true,
+                        // At equal incarnation a Dead claim is final; our
+                        // entry only helps if it's Dead or strictly newer.
+                        Some(c) => {
+                            e.inc > c.incarnation
+                                || (e.inc == c.incarnation
+                                    && c.status != MemberStatus::Dead
+                                    && (e.status == MemberStatus::Dead || e.version > c.version))
+                        }
+                    };
+                    if newer {
+                        out.push((
+                            Self::rumor_key(self_rank, rank, e),
+                            MemberEntry {
+                                rank,
+                                incarnation: e.inc,
+                                version: e.version,
+                                status: e.status,
+                            },
+                        ));
+                    }
+                }
+                out.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.rank.cmp(&b.1.rank)));
+                out.truncate(self.cfg.max_rumors);
+                out.into_iter().map(|(_, e)| e).collect()
+            };
+            if newer.is_empty() {
+                return 0;
+            }
+            reply = Self::encode(MSG_REPLY, &newer);
+        }
+        self.send_gossip(src, &reply)
+    }
+
+    /// Apply SWIM's merge order. Returns true when the view changed; a
+    /// change re-arms the entry's retransmit budget.
+    fn merge_one(v: &mut View, round: u64, retransmit: u32, r: MemberEntry) -> bool {
+        let e = v.entries.get(&r.rank).copied();
+        let accept = match e {
+            None => true,
+            Some(e) => {
+                r.incarnation > e.inc
+                    || (r.incarnation == e.inc
+                        && e.status != MemberStatus::Dead
+                        && (r.status == MemberStatus::Dead || r.version > e.version))
+            }
+        };
+        if accept {
+            v.entries.insert(
+                r.rank,
+                Ent {
+                    inc: r.incarnation,
+                    version: r.version,
+                    status: r.status,
+                    touched: round,
+                    sends_left: retransmit,
+                },
+            );
+        }
+        accept
+    }
+
+    /// Rumor priority: the self-claim always rides; generation verdicts —
+    /// deaths and rejoins (incarnation > 0) — outrank everything else
+    /// (they are rare and the one rumor class whose loss costs the whole
+    /// cluster a convergence round; at n ≫ max_rumors the Alive/Suspect
+    /// refutation churn would otherwise age them out of the rumor budget
+    /// before they reach every rank); then recency.
+    fn rumor_key(self_rank: Rank, rank: Rank, e: &Ent) -> u64 {
+        if rank == self_rank {
+            u64::MAX
+        } else if e.status == MemberStatus::Dead || e.inc > 0 {
+            // Verdict bucket, recency-ordered within it: when more verdicts
+            // exist than rumor slots, fresh ones ride first while stale
+            // ones (whose budget is already being spent) wait their turn.
+            u64::MAX / 2 + e.touched
+        } else {
+            e.touched
+        }
+    }
+
+    /// The highest-priority `max` entries with retransmit budget remaining
+    /// (self always included), charging one round of budget to each pick.
+    fn select_rumors(v: &mut View, self_rank: Rank, max: usize) -> Vec<MemberEntry> {
+        let mut out: Vec<(u64, MemberEntry)> = v
+            .entries
+            .iter()
+            .filter(|&(&rank, e)| rank == self_rank || e.sends_left > 0)
+            .map(|(&rank, e)| {
+                let key = Self::rumor_key(self_rank, rank, e);
+                (
+                    key,
+                    MemberEntry { rank, incarnation: e.inc, version: e.version, status: e.status },
+                )
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.rank.cmp(&b.1.rank)));
+        out.truncate(max);
+        for (_, r) in &out {
+            if r.rank != self_rank {
+                if let Some(e) = v.entries.get_mut(&r.rank) {
+                    e.sends_left -= 1;
+                }
+            }
+        }
+        out.into_iter().map(|(_, e)| e).collect()
+    }
+
+    fn send_gossip(&self, target: Rank, msg: &[u8]) -> usize {
+        match self.photon.send_gossip_frame(target, msg) {
+            Ok(()) => {
+                GossipCounters::bump(&self.stats.gossip_msgs_tx);
+                GossipCounters::add(
+                    &self.stats.rumors_tx,
+                    ((msg.len() - MSG_HDR) / RUMOR_BYTES) as u64,
+                );
+                1
+            }
+            Err(PhotonError::PeerDead(p)) => {
+                self.note_dead(p);
+                0
+            }
+            Err(_) => {
+                GossipCounters::bump(&self.stats.gossip_send_failures);
+                0
+            }
+        }
+    }
+
+    fn encode(kind: u8, rumors: &[MemberEntry]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MSG_HDR + rumors.len() * RUMOR_BYTES);
+        out.push(kind);
+        out.extend_from_slice(&(rumors.len() as u32).to_le_bytes());
+        for r in rumors {
+            out.extend_from_slice(&(r.rank as u32).to_le_bytes());
+            out.extend_from_slice(&r.incarnation.to_le_bytes());
+            out.extend_from_slice(&r.version.to_le_bytes());
+            out.push(r.status.encode());
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<(u8, Vec<MemberEntry>)> {
+        if payload.len() < MSG_HDR {
+            return None;
+        }
+        let kind = payload[0];
+        let count = u32::from_le_bytes(payload[1..5].try_into().ok()?) as usize;
+        if payload.len() != MSG_HDR + count * RUMOR_BYTES {
+            return None;
+        }
+        let mut rumors = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = MSG_HDR + i * RUMOR_BYTES;
+            let rank = u32::from_le_bytes(payload[off..off + 4].try_into().ok()?) as Rank;
+            let incarnation = u64::from_le_bytes(payload[off + 4..off + 12].try_into().ok()?);
+            let version = u64::from_le_bytes(payload[off + 12..off + 20].try_into().ok()?);
+            let status = MemberStatus::decode(payload[off + 20])?;
+            rumors.push(MemberEntry { rank, incarnation, version, status });
+        }
+        Some((kind, rumors))
+    }
+
+    /// xorshift64*: cheap deterministic stream for target selection.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(rank: Rank, inc: u64, version: u64, status: MemberStatus) -> MemberEntry {
+        MemberEntry { rank, incarnation: inc, version, status }
+    }
+
+    fn fresh_view() -> View {
+        View { entries: BTreeMap::new(), rng: 1, round: 0, last_round_ns: 0, started: false }
+    }
+
+    /// Retransmit budget used by the unit tests.
+    const RT: u32 = 8;
+
+    #[test]
+    fn merge_order_is_monotone() {
+        let mut v = fresh_view();
+        assert!(Membership::merge_one(&mut v, 1, RT, e(3, 0, 1, MemberStatus::Alive)));
+        // Same incarnation: higher version wins, lower loses.
+        assert!(Membership::merge_one(&mut v, 1, RT, e(3, 0, 2, MemberStatus::Suspect)));
+        assert!(!Membership::merge_one(&mut v, 1, RT, e(3, 0, 1, MemberStatus::Alive)));
+        // Refutation: Alive at a higher version clears Suspect.
+        assert!(Membership::merge_one(&mut v, 2, RT, e(3, 0, 3, MemberStatus::Alive)));
+        assert_eq!(v.entries[&3].status, MemberStatus::Alive);
+        // Dead is sticky within the incarnation, whatever the version.
+        assert!(Membership::merge_one(&mut v, 2, RT, e(3, 0, 1, MemberStatus::Dead)));
+        assert!(!Membership::merge_one(&mut v, 3, RT, e(3, 0, 99, MemberStatus::Alive)));
+        assert_eq!(v.entries[&3].status, MemberStatus::Dead);
+        // A higher incarnation resurrects: the rank rejoined.
+        assert!(Membership::merge_one(&mut v, 4, RT, e(3, 1, 1, MemberStatus::Alive)));
+        assert_eq!(v.entries[&3].status, MemberStatus::Alive);
+        assert_eq!(v.entries[&3].inc, 1);
+    }
+
+    #[test]
+    fn wire_format_round_trips() {
+        let rumors = vec![
+            e(0, 0, 5, MemberStatus::Alive),
+            e(999, 3, 1, MemberStatus::Dead),
+            e(17, 1, 2, MemberStatus::Suspect),
+        ];
+        let msg = Membership::encode(MSG_PUSH, &rumors);
+        assert_eq!(msg.len(), MSG_HDR + 3 * RUMOR_BYTES);
+        let (kind, back) = Membership::decode(&msg).unwrap();
+        assert_eq!(kind, MSG_PUSH);
+        assert_eq!(back, rumors);
+        // Truncated and trailing-garbage payloads are rejected, not UB.
+        assert!(Membership::decode(&msg[..msg.len() - 1]).is_none());
+        let mut longer = msg.clone();
+        longer.push(0);
+        assert!(Membership::decode(&longer).is_none());
+        assert!(Membership::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn rumor_selection_is_bounded_and_self_first() {
+        let mut v = fresh_view();
+        for r in 0..10 {
+            Membership::merge_one(&mut v, r, RT, e(r as Rank, 0, 1, MemberStatus::Alive));
+        }
+        let picked = Membership::select_rumors(&mut v, 7, 4);
+        assert_eq!(picked.len(), 4);
+        assert_eq!(picked[0].rank, 7, "self-claim always rides along");
+        // The rest are the freshest (highest touched round) entries.
+        assert_eq!(picked[1].rank, 9);
+        assert_eq!(picked[2].rank, 8);
+        // Generation verdicts jump the recency queue: a death about an old
+        // rumor outranks fresher Alive churn.
+        assert!(Membership::merge_one(&mut v, 10, RT, e(0, 0, 1, MemberStatus::Dead)));
+        let picked = Membership::select_rumors(&mut v, 7, 2);
+        assert_eq!(picked[0].rank, 7);
+        assert_eq!(picked[1].rank, 0, "death verdict rides ahead of recency");
+    }
+
+    #[test]
+    fn retransmit_budget_retires_rumors() {
+        let mut v = fresh_view();
+        Membership::merge_one(&mut v, 1, 3, e(2, 0, 1, MemberStatus::Alive));
+        // Three selections spend the budget; the fourth omits the entry
+        // (the self-claim is exempt and always rides).
+        for _ in 0..3 {
+            let picked = Membership::select_rumors(&mut v, 9, 8);
+            assert!(picked.iter().any(|r| r.rank == 2));
+        }
+        let picked = Membership::select_rumors(&mut v, 9, 8);
+        assert!(!picked.iter().any(|r| r.rank == 2), "budget-spent rumor still pushed");
+        // A view change re-arms the budget.
+        Membership::merge_one(&mut v, 5, 3, e(2, 0, 2, MemberStatus::Suspect));
+        let picked = Membership::select_rumors(&mut v, 9, 8);
+        assert!(picked.iter().any(|r| r.rank == 2));
+    }
+}

@@ -246,6 +246,12 @@ crate::counter_registry! {
         /// Errors swallowed by dedicated progress threads (the op that hit
         /// the error still resolves via timeout or peer eviction).
         progress_thread_errors,
+        /// Connections established (lazily, on first traffic toward a peer —
+        /// includes reconnects after eviction or peer rejoin).
+        conns_opened,
+        /// Connections evicted by the LRU cache cap (peer stayed healthy;
+        /// distinct from `peers_dead`).
+        conns_evicted,
     }
 }
 
@@ -285,7 +291,7 @@ mod tests {
         let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
         let table: Vec<&str> = STATS_COUNTERS.iter().map(|d| d.name).collect();
         assert_eq!(names, table, "table and snapshot must agree on order");
-        assert_eq!(names.len(), 27, "field count pinned (bump when adding counters)");
+        assert_eq!(names.len(), 29, "field count pinned (bump when adding counters)");
         for def in STATS_COUNTERS {
             assert!(!def.help.trim().is_empty(), "{} has empty help", def.name);
         }
@@ -343,6 +349,6 @@ mod tests {
         let snap = StatsSnapshot::default();
         let dbg = format!("{snap:?}");
         assert!(dbg.starts_with("StatsSnapshot { puts_eager: 0, puts_direct: 0, gets: 0,"));
-        assert!(dbg.ends_with("rx_lock_waits: 0, progress_thread_errors: 0 }"));
+        assert!(dbg.ends_with("conns_opened: 0, conns_evicted: 0 }"));
     }
 }

@@ -3,20 +3,26 @@
 //!
 //! ## Memory layout
 //!
-//! Each rank registers two middleware regions at init:
+//! Per-peer protocol memory is allocated **per connection, on first
+//! contact**, not all-to-all at init. Each established connection
+//! (`Conn`) registers two single-block regions on its owner:
 //!
-//! * the **service region** — `n` per-peer blocks; block `j` of rank `i`'s
-//!   region is written *only by rank `j`* and holds: `i`'s receive ledger
-//!   from `j`, `i`'s eager ring from `j`, and the credit words for `i`'s
-//!   transmissions *to* `j` (returned by `j`'s consumer);
-//! * the **staging region** — a local mirror with identical per-peer block
-//!   structure, used as the registered source of protocol writes (frames,
-//!   ledger entries, credit words are composed here and RDMA-written to the
-//!   same sub-offset in the peer's service region).
+//! * the **service block** — written *only by the connected peer* and
+//!   holding: the receive ledger from that peer, the eager ring from that
+//!   peer, and the credit words for this rank's transmissions *to* that
+//!   peer (returned by the peer's consumer);
+//! * the **staging block** — a local mirror with identical structure, used
+//!   as the registered source of protocol writes (frames, ledger entries,
+//!   credit words are composed here and RDMA-written to the same
+//!   sub-offset in the peer's service block).
 //!
-//! Service-region descriptors are exchanged out-of-band at cluster
-//! construction, standing in for the PMI exchange of the original runtime
-//! launcher (see `DESIGN.md`).
+//! Connections are established lazily through an out-of-band connection
+//! manager ([`ConnDirectory`], the PMI/CM stand-in; see `DESIGN.md`
+//! "Membership and connection lifecycle") and live in a bounded LRU cache:
+//! past [`PhotonConfig::conn_cache_cap`] the least-recently-used pair is
+//! torn down, flushing its pending work requests exactly like peer death
+//! does, and re-established on demand. Per-rank middleware memory is
+//! therefore O(active peers), not O(N).
 //!
 //! ## Virtual time
 //!
@@ -34,13 +40,13 @@ use crate::ledger::{self, Entry, EntryKind, LedgerRx, LedgerTx, ENTRY_BYTES};
 use crate::obs::{Metrics, Obs, OpKind, SpanTrace, Stats, StatsSnapshot, TraceOp, Tracer};
 use crate::probe::{rid_space, Completion, CompletionClass, Event, ProbeFlags, RemoteEvent};
 use crate::{PhotonError, Rank, Result};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use photon_fabric::mr::{Access, RemoteKey};
 use photon_fabric::verbs::{Completion as Cqe, MrSlice, Qp, RemoteSlice, SendWr, WcStatus, WrOp};
 use photon_fabric::{Cluster, FabricError, MemoryRegion, NetworkModel, Nic, VClock, VTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// Bytes of credit words per peer block: ledger consumed count, ring
@@ -143,6 +149,65 @@ impl PeerHealth {
             state: AtomicU8::new(PEER_HEALTHY),
             inner: Mutex::new(HealthInner { fails: 0, next_retry: VTime::ZERO }),
         }
+    }
+}
+
+/// One established connection to a peer: the QP, the per-connection
+/// service/staging blocks, the producer/consumer protocol state, and the
+/// peer's health machine. Everything per-peer lives here and is allocated
+/// on first contact, so an idle pair of ranks costs nothing.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    /// The connected peer's rank.
+    peer: Rank,
+    /// QP to the peer.
+    qp: Qp,
+    /// Service block the peer writes into (ledger + ring + credit words).
+    svc: MemoryRegion,
+    /// Staging block for outbound protocol writes toward the peer.
+    stage: MemoryRegion,
+    /// The peer's service block dedicated to this rank.
+    remote_key: RemoteKey,
+    /// Peer incarnation this connection was established against. A stale
+    /// value (the peer died and rejoined) invalidates the connection at
+    /// the post/probe gates — a rejoined peer can never resurrect a
+    /// flushed generation.
+    peer_inc: u64,
+    /// This rank's own incarnation at establishment (a revived rank must
+    /// not reuse its crashed generation's connections either).
+    local_inc: u64,
+    tx: Mutex<PeerTx>,
+    rx: Mutex<PeerRx>,
+    health: PeerHealth,
+    /// Bounded-skip counter for the receive lock (see [`Photon::poll_peer`]).
+    rx_skips: AtomicU32,
+    /// LRU stamp: bumped on every use, read by cache eviction.
+    touch: AtomicU64,
+}
+
+impl Conn {
+    /// Approximate heap + registered bytes of this connection's state (for
+    /// the membership/connection memory accounting).
+    fn state_bytes(&self) -> usize {
+        self.svc.len() + self.stage.len() + std::mem::size_of::<Conn>()
+    }
+}
+
+/// The out-of-band connection manager: a directory of every context in the
+/// job, standing in for the PMI/CM service of a real launcher (the same
+/// role the init-time descriptor exchange played before connections became
+/// lazy). Connection setup and teardown run under one directory-wide lock
+/// — establishment is rare (cache misses only), and serializing it makes
+/// the pairwise handshake trivially deadlock-free.
+#[derive(Debug, Default)]
+pub struct ConnDirectory {
+    slots: RwLock<Vec<Weak<Photon>>>,
+    cm_lock: Mutex<()>,
+}
+
+impl ConnDirectory {
+    fn photon(&self, rank: Rank) -> Option<Arc<Photon>> {
+        self.slots.read().get(rank).and_then(Weak::upgrade)
     }
 }
 
@@ -282,17 +347,22 @@ pub struct Photon {
     n: usize,
     cfg: PhotonConfig,
     nic: Arc<Nic>,
-    qps: Vec<Qp>,
     clock: VClock,
-    svc: MemoryRegion,
-    stage: MemoryRegion,
-    coll_recv: PhotonBuffer,
-    coll_send: PhotonBuffer,
-    svc_keys: OnceLock<Vec<RemoteKey>>,
-    coll_keys: OnceLock<Vec<RemoteKey>>,
-    tx: Vec<Mutex<PeerTx>>,
-    rx: Vec<Mutex<PeerRx>>,
-    health: Vec<PeerHealth>,
+    /// Established connections, keyed by peer rank. O(active peers): a
+    /// never-contacted peer has no entry and costs nothing.
+    conns: RwLock<HashMap<Rank, Arc<Conn>>>,
+    /// LRU clock feeding [`Conn::touch`].
+    conn_stamp: AtomicU64,
+    /// Peers declared dead, with the incarnation that died. Reconnection
+    /// is allowed only against a *newer* incarnation, so a flushed
+    /// generation can never be resurrected.
+    dead: Mutex<HashMap<Rank, u64>>,
+    /// The out-of-band connection manager (set at cluster construction).
+    directory: OnceLock<Arc<ConnDirectory>>,
+    /// Collective scratch buffers, allocated on first collective use
+    /// (`n * coll_slot_bytes` each — O(N), so lazy matters at scale).
+    coll_recv: OnceLock<PhotonBuffer>,
+    coll_send: OnceLock<PhotonBuffer>,
     wr_table: WrTable,
     local_events: LocalQueue,
     remote_events: RemoteQueue,
@@ -310,12 +380,10 @@ pub struct Photon {
     /// probe paths then consume queued events without pumping (the threads
     /// pump), falling back to an inline pass only on an empty queue.
     threads_active: AtomicBool,
-    /// Bounded-skip counters for the per-peer receive locks: a probe that
-    /// finds a peer's lock held skips it (the holder harvests everything
-    /// pending), but after [`RX_SKIP_LIMIT`] consecutive skips the next
-    /// probe blocks, so a contended peer cannot be starved indefinitely
-    /// under concurrent progress threads.
-    rx_skips: Vec<AtomicU32>,
+    /// Recycled snapshot of the connection table for progress passes:
+    /// sorted by peer rank so pass order (and thus virtual-time evolution)
+    /// is deterministic regardless of hash-map iteration order.
+    conn_scratch: Mutex<Vec<Arc<Conn>>>,
     /// Local rids carried by in-flight doorbell-batched work requests,
     /// keyed by `wr_id` (the wr itself carries [`BATCH_RID`]). One lock op
     /// per *batch*, not per frame; rid-hashed and free-listed so the
@@ -372,12 +440,13 @@ impl PhotonCluster {
         let n = fabric.len();
         let ranks: Vec<Arc<Photon>> =
             (0..n).map(|i| Arc::new(Photon::init(i, &fabric, cfg).expect("photon init"))).collect();
-        // Out-of-band descriptor exchange (PMI stand-in).
-        let svc_keys: Vec<RemoteKey> = ranks.iter().map(|p| p.svc.remote_key()).collect();
-        let coll_keys: Vec<RemoteKey> = ranks.iter().map(|p| p.coll_recv.descriptor()).collect();
+        // Out-of-band connection-manager wiring (PMI stand-in): no
+        // descriptors are exchanged here — connections and their service
+        // blocks are established lazily on first contact.
+        let directory = Arc::new(ConnDirectory::default());
+        *directory.slots.write() = ranks.iter().map(Arc::downgrade).collect();
         for p in &ranks {
-            p.svc_keys.set(svc_keys.clone()).expect("init once");
-            p.coll_keys.set(coll_keys.clone()).expect("init once");
+            p.directory.set(Arc::clone(&directory)).expect("init once");
         }
         let progress = crate::progress::ProgressEngine::spawn(&ranks, cfg.progress_threads);
         PhotonCluster { fabric, ranks, progress }
@@ -440,58 +509,26 @@ impl Photon {
         let ring_bytes = cfg.eager_ring_bytes;
         let block = ledger_bytes + ring_bytes + CREDIT_BYTES;
 
-        let qps = (0..n).map(|j| nic.create_qp(j)).collect::<photon_fabric::Result<Vec<_>>>()?;
-        let svc = nic.register(n * block, Access::ALL)?;
-        let stage = nic.register(n * block, Access::LOCAL)?;
-        let coll_recv = PhotonBuffer::register(&nic, n * cfg.coll_slot_bytes)?;
-        let coll_send = PhotonBuffer::register(&nic, n * cfg.coll_slot_bytes)?;
-
-        let credit_entries = cfg.credit_interval_entries();
-        let ring_credit_bytes = (ring_bytes / 4) as u64;
-        let tx = (0..n)
-            .map(|_| {
-                Mutex::new(PeerTx {
-                    ledger: LedgerTx::new(cfg.ledger_entries),
-                    ring: EagerTx::new(ring_bytes),
-                    run: Vec::new(),
-                    lens: Vec::new(),
-                })
-            })
-            .collect();
-        let rx = (0..n)
-            .map(|_| {
-                Mutex::new(PeerRx {
-                    ledger: LedgerRx::new(cfg.ledger_entries, credit_entries),
-                    ring: EagerRx::new(ring_bytes, ring_credit_bytes),
-                    ev_scratch: Vec::new(),
-                })
-            })
-            .collect();
-
         Ok(Photon {
             rank,
             n,
             cfg,
             nic,
-            qps,
             clock: VClock::new(),
-            svc,
-            stage,
-            coll_recv,
-            coll_send,
-            svc_keys: OnceLock::new(),
-            coll_keys: OnceLock::new(),
-            tx,
-            rx,
-            health: (0..n).map(|_| PeerHealth::new()).collect(),
+            conns: RwLock::new(HashMap::new()),
+            conn_stamp: AtomicU64::new(0),
+            dead: Mutex::new(HashMap::new()),
+            directory: OnceLock::new(),
+            coll_recv: OnceLock::new(),
+            coll_send: OnceLock::new(),
             wr_table: WrTable::new(),
             local_events: LocalQueue::new(),
-            remote_events: RemoteQueue::new(n),
+            remote_events: RemoteQueue::new(),
             any_toggle: AtomicU64::new(0),
             progress_gate: AtomicBool::new(false),
             probe_ticks: AtomicU64::new(0),
             threads_active: AtomicBool::new(false),
-            rx_skips: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            conn_scratch: Mutex::new(Vec::new()),
             batch_rids: Mutex::new(RidMap::default()),
             rid_vec_pool: Mutex::new(Vec::new()),
             stamp_vec_pool: Mutex::new(Vec::new()),
@@ -511,6 +548,360 @@ impl Photon {
             ring_bytes,
             block,
         })
+    }
+
+    // ----------------------------------------------------- connection cache
+
+    fn dir(&self) -> Result<&Arc<ConnDirectory>> {
+        self.directory
+            .get()
+            .ok_or_else(|| PhotonError::Config("no connection directory (cluster required)".into()))
+    }
+
+    /// Stamp `conn` as recently used (LRU bookkeeping).
+    fn touch_conn(&self, conn: &Conn) {
+        conn.touch.store(self.conn_stamp.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    /// The established connection to `peer`, if any.
+    fn conn_opt(&self, peer: Rank) -> Option<Arc<Conn>> {
+        let c = self.conns.read().get(&peer).cloned()?;
+        self.touch_conn(&c);
+        Some(c)
+    }
+
+    /// True while `conn` still targets the generations it was established
+    /// against — of the peer *and* of this rank. One relaxed load when no
+    /// fault has ever been injected.
+    fn conn_is_current(&self, conn: &Conn) -> bool {
+        let now = self.clock.now();
+        self.nic.node_incarnation(conn.peer, now) == conn.peer_inc
+            && self.nic.node_incarnation(self.rank, now) == conn.local_inc
+    }
+
+    /// The connection to `peer`, establishing it on first contact and
+    /// re-establishing it after an eviction or a peer rejoin. Fails fast
+    /// with [`PhotonError::PeerDead`] while the peer's *current* incarnation
+    /// is the one that died.
+    pub(crate) fn conn(&self, peer: Rank) -> Result<Arc<Conn>> {
+        self.check_rank(peer)?;
+        if let Some(c) = self.conn_opt(peer) {
+            if self.conn_is_current(&c) {
+                return Ok(c);
+            }
+            // Stale generation (the peer — or this rank — died and came
+            // back): flush it like a death and reconnect fresh below.
+            self.retire_stale(&c);
+        }
+        self.establish(peer)
+    }
+
+    /// Establish the connection pair `(self, peer)` through the out-of-band
+    /// connection manager. Both halves are created under the directory's CM
+    /// lock — establishment never nests, so the global lock is trivially
+    /// deadlock-free and models a serialized CM service.
+    fn establish(&self, peer: Rank) -> Result<Arc<Conn>> {
+        let dir = Arc::clone(self.dir()?);
+        let _cm = dir.cm_lock.lock();
+        // Double-check under the CM lock (another thread may have won).
+        if let Some(c) = self.conn_opt(peer) {
+            return Ok(c);
+        }
+        let now = self.clock.now();
+        let peer_inc = self.nic.node_incarnation(peer, now);
+        if let Some(&dead_inc) = self.dead.lock().get(&peer) {
+            if peer_inc <= dead_inc {
+                // The incarnation that died is still the current one: a
+                // reconnect could resurrect the flushed generation.
+                return Err(PhotonError::PeerDead(peer));
+            }
+        }
+        let other = dir.photon(peer).ok_or(PhotonError::PeerDead(peer))?;
+        // The CM control plane is reliable and can tell a crashed peer
+        // from a live one: connecting to a dead peer fails fast (and is
+        // recorded, so later attempts skip the CM round-trip).
+        if other.nic.node_status(peer, now).is_some_and(|s| s == WcStatus::RemoteDead) {
+            self.dead.lock().insert(peer, peer_inc);
+            self.note_dead(peer);
+            return Err(PhotonError::PeerDead(peer));
+        }
+        let local_inc = self.nic.node_incarnation(self.rank, now);
+        let my_qp = self.nic.create_qp(peer)?;
+        let my_svc = self.nic.register(self.block, Access::ALL)?;
+        let my_stage = self.nic.register(self.block, Access::LOCAL)?;
+        let mine = if peer == self.rank {
+            let key = my_svc.remote_key();
+            let c = self.build_conn(peer, my_qp, my_svc, my_stage, key, peer_inc, local_inc);
+            self.conns.write().insert(peer, Arc::clone(&c));
+            c
+        } else {
+            let peer_qp = other.nic.create_qp(self.rank)?;
+            let peer_svc = other.nic.register(other.block, Access::ALL)?;
+            let peer_stage = other.nic.register(other.block, Access::LOCAL)?;
+            let my_key = my_svc.remote_key();
+            let peer_key = peer_svc.remote_key();
+            let c = self.build_conn(peer, my_qp, my_svc, my_stage, peer_key, peer_inc, local_inc);
+            let theirs = other
+                .build_conn(self.rank, peer_qp, peer_svc, peer_stage, my_key, local_inc, peer_inc);
+            // The acceptor may still hold a half from a previous generation
+            // of this rank (we died and rejoined before it ever spoke to
+            // us again): retire it so its pending wrs flush and the
+            // acceptor's upper layers hear about the old generation's death
+            // before the fresh half appears.
+            let stale = other.conns.read().get(&self.rank).cloned();
+            if let Some(stale) = stale {
+                other.retire_stale(&stale);
+            }
+            self.conns.write().insert(peer, Arc::clone(&c));
+            other.conns.write().insert(self.rank, theirs);
+            Stats::bump(&other.stats.conns_opened);
+            c
+        };
+        Stats::bump(&self.stats.conns_opened);
+        // Charge the modeled CM round-trip to the initiating rank only
+        // (the accept side does no blocking work of its own).
+        self.clock.advance(self.cfg.connect_cost_ns);
+        self.enforce_cache_cap_locked(&dir);
+        if peer != self.rank {
+            other.enforce_cache_cap_locked(&dir);
+        }
+        Ok(mine)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_conn(
+        &self,
+        peer: Rank,
+        qp: Qp,
+        svc: MemoryRegion,
+        stage: MemoryRegion,
+        remote_key: RemoteKey,
+        peer_inc: u64,
+        local_inc: u64,
+    ) -> Arc<Conn> {
+        Arc::new(Conn {
+            peer,
+            qp,
+            svc,
+            stage,
+            remote_key,
+            peer_inc,
+            local_inc,
+            tx: Mutex::new(PeerTx {
+                ledger: LedgerTx::new(self.cfg.ledger_entries),
+                ring: EagerTx::new(self.ring_bytes),
+                run: Vec::new(),
+                lens: Vec::new(),
+            }),
+            rx: Mutex::new(PeerRx {
+                ledger: LedgerRx::new(self.cfg.ledger_entries, self.cfg.credit_interval_entries()),
+                ring: EagerRx::new(self.ring_bytes, (self.ring_bytes / 4) as u64),
+                ev_scratch: Vec::new(),
+            }),
+            health: PeerHealth::new(),
+            rx_skips: AtomicU32::new(0),
+            touch: AtomicU64::new(self.conn_stamp.fetch_add(1, Ordering::Relaxed) + 1),
+        })
+    }
+
+    /// Evict least-recently-used connections until the cache respects
+    /// [`PhotonConfig::conn_cache_cap`]. Caller holds the CM lock. Victims
+    /// with no in-flight work requests are preferred (their flush is a
+    /// no-op); a busy victim's pending rids flush exactly like peer death.
+    fn enforce_cache_cap_locked(&self, dir: &ConnDirectory) {
+        let cap = self.cfg.conn_cache_cap;
+        if cap == 0 {
+            return;
+        }
+        loop {
+            let victim = {
+                let conns = self.conns.read();
+                if conns.len() <= cap {
+                    return;
+                }
+                let mut idle_best: Option<&Arc<Conn>> = None;
+                let mut any_best: Option<&Arc<Conn>> = None;
+                for c in conns.values() {
+                    let stamp = c.touch.load(Ordering::Relaxed);
+                    if any_best.is_none_or(|b| stamp < b.touch.load(Ordering::Relaxed)) {
+                        any_best = Some(c);
+                    }
+                    if !self.wr_table.has_peer(c.peer)
+                        && idle_best.is_none_or(|b| stamp < b.touch.load(Ordering::Relaxed))
+                    {
+                        idle_best = Some(c);
+                    }
+                }
+                idle_best.or(any_best).cloned()
+            };
+            let Some(v) = victim else { return };
+            self.disconnect_locked(dir, &v);
+        }
+    }
+
+    /// Tear down the connection pair behind `conn` (eviction path): drain
+    /// each side's inbound frames (explicit teardown is lossless — nothing
+    /// already delivered to a service region may vanish), remove both
+    /// halves, flush each side's pending work requests exactly like
+    /// [`Photon::mark_dead`] does, and release the QPs and the registered
+    /// blocks. The peers stay *healthy* — traffic after an eviction
+    /// reconnects on demand. Caller holds the CM lock.
+    fn disconnect_locked(&self, dir: &ConnDirectory, conn: &Arc<Conn>) {
+        let _ = self.poll_peer(conn);
+        self.drop_half(conn);
+        Stats::bump(&self.stats.conns_evicted);
+        if conn.peer != self.rank {
+            if let Some(other) = dir.photon(conn.peer) {
+                let theirs = other.conns.read().get(&self.rank).cloned();
+                if let Some(theirs) = theirs {
+                    let _ = other.poll_peer(&theirs);
+                    other.drop_half(&theirs);
+                    Stats::bump(&other.stats.conns_evicted);
+                }
+            }
+        }
+    }
+
+    /// Remove this side's half of a connection and flush everything that
+    /// was riding it: harvest the send CQ, error-complete every in-flight
+    /// wr bound for the peer (with doorbell-batch fan-out), tear down the
+    /// QP and deregister the blocks.
+    fn drop_half(&self, conn: &Arc<Conn>) {
+        {
+            let mut conns = self.conns.write();
+            match conns.get(&conn.peer) {
+                Some(c) if Arc::ptr_eq(c, conn) => {
+                    conns.remove(&conn.peer);
+                }
+                _ => return, // already replaced or gone
+            }
+        }
+        self.flush_peer_wrs(conn.peer);
+        let _ = self.nic.destroy_qp(conn.qp);
+        let _ = self.nic.mrs().deregister(&conn.svc);
+        let _ = self.nic.mrs().deregister(&conn.stage);
+    }
+
+    /// Error-complete every in-flight work request bound for `peer`,
+    /// fanning doorbell-batch sentinels out to their member rids — the
+    /// shared flush step of death, eviction, and stale-generation
+    /// retirement.
+    fn flush_peer_wrs(&self, peer: Rank) {
+        self.harvest_send_cq();
+        let now = self.clock.now();
+        for (wr_id, rid) in self.wr_table.drain_peer(peer) {
+            if rid == BATCH_RID {
+                if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
+                    for &r in &rids {
+                        self.local_events.push(r, peer, now, WcStatus::FlushErr);
+                        Stats::bump(&self.stats.rids_flushed);
+                    }
+                    self.give_rid_vec(rids);
+                }
+            } else {
+                self.local_events.push(rid, peer, now, WcStatus::FlushErr);
+                Stats::bump(&self.stats.rids_flushed);
+            }
+        }
+    }
+
+    /// Retire a connection whose generation is stale (the peer died and
+    /// rejoined, or this rank itself did). When the *peer's* generation
+    /// changed, its old incarnation died — run the full death bookkeeping
+    /// (flush, credit reclaim, dead-map record, upper-layer notification)
+    /// unless the health machine already did; then drop the half for real,
+    /// releasing the QP and the registered blocks.
+    fn retire_stale(&self, conn: &Arc<Conn>) {
+        let now = self.clock.now();
+        if self.nic.node_incarnation(conn.peer, now) != conn.peer_inc {
+            self.mark_dead_conn(conn);
+        }
+        self.drop_half(conn);
+    }
+
+    /// Queue a dead-peer notification for [`Photon::take_dead_peers`].
+    fn note_dead(&self, peer: Rank) {
+        self.dead_notify.lock().push(peer);
+        self.dead_pending.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of live connections in the cache.
+    pub fn conn_count(&self) -> usize {
+        self.conns.read().len()
+    }
+
+    /// Approximate bytes of per-rank membership/connection state: the
+    /// registered service/staging blocks plus the heap structures of every
+    /// live connection, the dead map, and the collective buffers if they
+    /// were ever allocated. The churn memory-bound test asserts this grows
+    /// sublinearly in cluster size.
+    pub fn conn_state_bytes(&self) -> usize {
+        let conns = self.conns.read();
+        let mut bytes: usize = conns.values().map(|c| c.state_bytes()).sum();
+        bytes += self.dead.lock().len() * (std::mem::size_of::<Rank>() + 8);
+        bytes += self.remote_events.state_bytes();
+        for buf in [self.coll_recv.get(), self.coll_send.get()].into_iter().flatten() {
+            bytes += buf.len();
+        }
+        bytes
+    }
+
+    /// How many per-peer remote-event FIFOs this rank has allocated — the
+    /// lazy-allocation witness for the memory-bound tests.
+    pub fn remote_fifos_allocated(&self) -> usize {
+        self.remote_events.peers_allocated()
+    }
+
+    /// This rank's own incarnation number: how many times the fabric has
+    /// revived it. Gossip alive-claims carry it so a rejoined rank's
+    /// announcements supersede the Dead rumors of its previous life.
+    pub fn self_incarnation(&self) -> u64 {
+        self.nic.node_incarnation(self.rank, self.clock.now())
+    }
+
+    /// The incarnation of `peer` that this rank recorded as dead, if any.
+    /// Gossip sources its Dead rumors from here so a rumor always names the
+    /// generation that actually died.
+    pub fn dead_incarnation(&self, peer: Rank) -> Option<u64> {
+        self.dead.lock().get(&peer).copied()
+    }
+
+    /// Drain pending gossip frames: `(source, payload, delivery time)` in
+    /// arrival order. Gossip rides a reserved rid, so frames land in the
+    /// internal inbox (like collective traffic) instead of the user event
+    /// queues.
+    pub(crate) fn gossip_inbox(&self) -> Vec<(Rank, Vec<u8>, VTime)> {
+        match self.coll_inbox.lock().remove(&rid_space::GOSSIP) {
+            Some(q) => q.into(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Send one gossip frame on the eager path under the reserved gossip
+    /// rid. Fire-and-forget locally: no local completion is tracked.
+    pub(crate) fn send_gossip_frame(&self, peer: Rank, payload: &[u8]) -> Result<()> {
+        self.send_internal(peer, payload, rid_space::GOSSIP, None)
+    }
+
+    /// Snapshot `(peer, incarnation, health)` for every live connection,
+    /// sorted by peer, *without* touching the LRU stamps (observation must
+    /// not distort eviction). Gossip samples this to originate Suspect
+    /// rumors and direct-evidence Alive refutations.
+    pub fn peer_states(&self) -> Vec<(Rank, u64, PeerHealthState)> {
+        let conns = self.conns.read();
+        let mut out: Vec<(Rank, u64, PeerHealthState)> = conns
+            .values()
+            .map(|c| {
+                let health = match c.health.state.load(Ordering::Acquire) {
+                    PEER_HEALTHY => PeerHealthState::Healthy,
+                    PEER_SUSPECT => PeerHealthState::Suspect,
+                    _ => PeerHealthState::Dead,
+                };
+                (c.peer, c.peer_inc, health)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(peer, _, _)| peer);
+        out
     }
 
     // ---------------------------------------------------------------- basic
@@ -622,22 +1013,33 @@ impl Photon {
     /// rank and `peer` (both directions as seen from this side).
     pub fn credit_state(&self, peer: Rank) -> Result<CreditState> {
         self.check_rank(peer)?;
+        // No connection yet (or already torn down): all counters are zero.
+        let Some(conn) = self.conn_opt(peer) else {
+            return Ok(CreditState {
+                tx_ledger_produced: 0,
+                tx_ring_cursor: 0,
+                rx_ledger_consumed: 0,
+                rx_ring_cursor: 0,
+                credit_word_ledger: 0,
+                credit_word_ring: 0,
+            });
+        };
         let (tx_ledger_produced, tx_ring_cursor) = {
-            let tx = self.tx[peer].lock();
+            let tx = conn.tx.lock();
             (tx.ledger.produced(), tx.ring.cursor())
         };
         let (rx_ledger_consumed, rx_ring_cursor) = {
-            let rx = self.rx[peer].lock();
+            let rx = conn.rx.lock();
             (rx.ledger.consumed(), rx.ring.cursor())
         };
-        let off = self.my_block_off(peer) + self.sub_credit();
+        let off = self.sub_credit();
         Ok(CreditState {
             tx_ledger_produced,
             tx_ring_cursor,
             rx_ledger_consumed,
             rx_ring_cursor,
-            credit_word_ledger: self.svc.read_u64(off),
-            credit_word_ring: self.svc.read_u64(off + 8),
+            credit_word_ledger: conn.svc.read_u64(off),
+            credit_word_ring: conn.svc.read_u64(off + 8),
         })
     }
 
@@ -675,12 +1077,12 @@ impl Photon {
         op: photon_fabric::verbs::WrOp,
         local_rid: u64,
     ) -> Result<()> {
-        self.gate_blocking(peer)?;
+        let conn = self.gate_blocking(peer)?;
         let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(wr_id, op);
-        if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
+        if let Err(e) = self.nic.post_send(conn.qp, wr, self.clock.now()) {
             self.wr_table.remove(wr_id);
-            return self.fail_post(peer, Err(e.into()));
+            return self.fail_post(&conn, Err(e.into()));
         }
         Ok(())
     }
@@ -704,10 +1106,10 @@ impl Photon {
     }
 
     // ------------------------------------------------------ layout helpers
-
-    fn my_block_off(&self, peer: Rank) -> usize {
-        peer * self.block
-    }
+    //
+    // Each connection owns one dedicated service block (and its staging
+    // mirror), so all offsets are block-relative: there is no per-peer
+    // stride any more.
 
     fn sub_ledger(&self, slot: usize) -> usize {
         slot * ENTRY_BYTES
@@ -721,51 +1123,63 @@ impl Photon {
         self.ledger_bytes + self.ring_bytes
     }
 
-    fn stage_off(&self, peer: Rank, sub: usize) -> usize {
-        peer * self.block + sub
-    }
-
-    fn remote_slice(&self, peer: Rank, sub: usize, len: usize) -> RemoteSlice {
-        let key = &self.svc_keys.get().expect("cluster initialized")[peer];
-        RemoteSlice { addr: key.addr + (self.rank * self.block + sub) as u64, rkey: key.rkey, len }
+    fn remote_slice(&self, conn: &Conn, sub: usize, len: usize) -> RemoteSlice {
+        RemoteSlice { addr: conn.remote_key.addr + sub as u64, rkey: conn.remote_key.rkey, len }
     }
 
     pub(crate) fn coll_slot_bytes(&self) -> usize {
         self.cfg.coll_slot_bytes
     }
 
+    /// The collective receive window, allocated lazily on first collective
+    /// (its footprint is O(N), which a churn simulation never pays).
     pub(crate) fn coll_recv_buf(&self) -> &PhotonBuffer {
-        &self.coll_recv
+        self.coll_recv.get_or_init(|| {
+            PhotonBuffer::register(&self.nic, self.n * self.cfg.coll_slot_bytes)
+                .expect("collective recv window registration")
+        })
     }
 
+    /// The collective send window, allocated lazily on first collective.
     pub(crate) fn coll_send_buf(&self) -> &PhotonBuffer {
-        &self.coll_send
+        self.coll_send.get_or_init(|| {
+            PhotonBuffer::register(&self.nic, self.n * self.cfg.coll_slot_bytes)
+                .expect("collective send window registration")
+        })
     }
 
+    /// Descriptor of `peer`'s collective receive window, resolved through
+    /// the connection directory (out-of-band, like a PMI key lookup).
     pub(crate) fn coll_key(&self, peer: Rank) -> RemoteKey {
-        self.coll_keys.get().expect("cluster initialized")[peer]
+        if peer == self.rank {
+            return self.coll_recv_buf().region().remote_key();
+        }
+        let dir = self.directory.get().expect("cluster initialized");
+        let p = dir.photon(peer).expect("peer context alive");
+        p.coll_recv_buf().region().remote_key()
     }
 
     // ------------------------------------------------------- posting layer
 
-    /// Write `len` staged bytes at `(peer, sub)` to the peer's mirror slot.
+    /// Write `len` staged bytes at `sub` to the peer's mirror slot.
     fn post_stage_write(
         &self,
-        peer: Rank,
+        conn: &Conn,
         sub: usize,
         len: usize,
         local_rid: Option<u64>,
         stamp: Option<usize>,
     ) -> Result<()> {
-        let local = MrSlice::new(&self.stage, self.stage_off(peer, sub), len);
-        let remote = self.remote_slice(peer, sub, len);
+        let peer = conn.peer;
+        let local = MrSlice::new(&conn.stage, sub, len);
+        let remote = self.remote_slice(conn, sub, len);
         let tracked = local_rid.map(|rid| self.wr_table.insert(rid, peer));
         let mut wr = match tracked {
             Some(wr_id) => SendWr::new(wr_id, WrOp::Write { local, remote, imm: None }),
             None => SendWr::unsignaled(WrOp::Write { local, remote, imm: None }),
         };
         wr.stamp_deliver_at = stamp;
-        let res = self.nic.post_send(self.qps[peer], wr, self.clock.now());
+        let res = self.nic.post_send(conn.qp, wr, self.clock.now());
         if res.is_err() {
             if let Some(wr_id) = tracked {
                 self.wr_table.remove(wr_id);
@@ -820,15 +1234,16 @@ impl Photon {
     /// the recycler caches.
     fn post_stage_write_run(
         &self,
-        peer: Rank,
+        conn: &Conn,
         sub: usize,
         len: usize,
         local_rids: Vec<u64>,
         first_stamp: usize,
         more_stamps: Vec<usize>,
     ) -> Result<()> {
-        let local = MrSlice::new(&self.stage, self.stage_off(peer, sub), len);
-        let remote = self.remote_slice(peer, sub, len);
+        let peer = conn.peer;
+        let local = MrSlice::new(&conn.stage, sub, len);
+        let remote = self.remote_slice(conn, sub, len);
         let tracked = match local_rids.len() {
             0 | 1 => {
                 let t = local_rids.first().map(|&rid| self.wr_table.insert(rid, peer));
@@ -850,8 +1265,7 @@ impl Photon {
         wr.stamp_deliver_also = more_stamps;
         // Post by reference (the one-element doorbell run) so the recycled
         // stamp list can be reclaimed after the fabric consumes it.
-        let res =
-            self.nic.post_send_many(self.qps[peer], std::slice::from_ref(&wr), self.clock.now());
+        let res = self.nic.post_send_many(conn.qp, std::slice::from_ref(&wr), self.clock.now());
         self.give_stamp_vec(std::mem::take(&mut wr.stamp_deliver_also));
         if res.is_err() {
             if let Some(wr_id) = tracked {
@@ -866,7 +1280,7 @@ impl Photon {
 
     /// Write and post an explicit `Skip` frame covering a dead ring tail,
     /// when a reservation requires one.
-    fn post_skip(&self, peer: Rank, skip: Option<(usize, u32, u64)>) -> Result<()> {
+    fn post_skip(&self, conn: &Conn, skip: Option<(usize, u32, u64)>) -> Result<()> {
         let Some((off, dead, seq)) = skip else { return Ok(()) };
         let h = FrameHeader {
             seq,
@@ -877,10 +1291,9 @@ impl Photon {
             kind: FrameKind::Skip,
             ts: 0,
         };
-        let so = self.stage_off(peer, self.sub_ring(off));
-        self.stage.write_at(so, &h.encode());
+        conn.stage.write_at(self.sub_ring(off), &h.encode());
         self.post_stage_write(
-            peer,
+            conn,
             self.sub_ring(off),
             eager::FRAME_HDR,
             None,
@@ -901,14 +1314,14 @@ impl Photon {
         dst: Option<(u64, u32)>,
         local_rid: Option<u64>,
     ) -> Result<bool> {
-        if !self.peer_gate(peer)? {
+        let Some(conn) = self.gated_conn(peer)? else {
             return Ok(false);
-        }
-        let r = {
-            let mut tx = self.tx[peer].lock();
-            self.try_send_frame_locked(peer, &mut tx, kind, rid, src, len, dst, local_rid)
         };
-        self.fail_post(peer, r)
+        let r = {
+            let mut tx = conn.tx.lock();
+            self.try_send_frame_locked(&conn, &mut tx, kind, rid, src, len, dst, local_rid)
+        };
+        self.fail_post(&conn, r)
     }
 
     /// [`Photon::try_send_frame`] with the per-peer TX lock already held, so
@@ -917,7 +1330,7 @@ impl Photon {
     #[allow(clippy::too_many_arguments)]
     fn try_send_frame_locked(
         &self,
-        peer: Rank,
+        conn: &Conn,
         tx: &mut PeerTx,
         kind: FrameKind,
         rid: u64,
@@ -932,7 +1345,7 @@ impl Photon {
                 // Out of credits: read the credit words; if that unblocks
                 // us, our progress causally depends on the credit write, so
                 // the clock advances to its delivery time.
-                let credit_ts = self.refresh_tx_credits(peer, tx);
+                let credit_ts = self.refresh_tx_credits(conn, tx);
                 match tx.ring.try_reserve(len) {
                     Some(r) => {
                         self.clock.advance_to(credit_ts);
@@ -945,13 +1358,13 @@ impl Photon {
                 }
             }
         };
-        self.post_skip(peer, r.skip)?;
+        self.post_skip(conn, r.skip)?;
         let (dst_addr, dst_rkey) = dst.unwrap_or((0, 0));
         let h = FrameHeader { seq: r.seq, rid, dst_addr, dst_rkey, size: len as u32, kind, ts: 0 };
-        let so = self.stage_off(peer, self.sub_ring(r.offset));
-        self.stage.write_at(so, &h.encode());
+        let so = self.sub_ring(r.offset);
+        conn.stage.write_at(so, &h.encode());
         if len > 0 {
-            src.write_to(&self.stage, so + eager::FRAME_HDR, len);
+            src.write_to(&conn.stage, so + eager::FRAME_HDR, len);
             // Staging memcpy is real middleware work: charge it.
             self.clock.advance(self.copy_ns(len));
             if matches!(src, FrameSrc::Mr(..)) {
@@ -962,7 +1375,7 @@ impl Photon {
             self.obs.op_stage(rid, self.clock.now());
         }
         self.post_stage_write(
-            peer,
+            conn,
             self.sub_ring(r.offset),
             eager::frame_span(len),
             local_rid,
@@ -983,7 +1396,7 @@ impl Photon {
     /// three lock acquisitions per frame.
     fn post_frame_run_locked(
         &self,
-        peer: Rank,
+        conn: &Conn,
         tx: &mut PeerTx,
         frames: &[RunFrame],
         src_region: Option<&MemoryRegion>,
@@ -1008,7 +1421,7 @@ impl Photon {
                 break r;
             }
             if refreshed.is_none() {
-                refreshed = Some(self.refresh_tx_credits(peer, tx));
+                refreshed = Some(self.refresh_tx_credits(conn, tx));
                 continue;
             }
             k /= 2;
@@ -1019,9 +1432,9 @@ impl Photon {
             }
         };
         tx.lens = lens;
-        self.post_skip(peer, r.skip)?;
+        self.post_skip(conn, r.skip)?;
         let base_sub = self.sub_ring(r.offset);
-        let base_so = self.stage_off(peer, base_sub);
+        let base_so = base_sub;
         let mut run_span = 0usize;
         let mut more_stamps = self.take_stamp_vec();
         let mut local_rids = self.take_rid_vec();
@@ -1066,9 +1479,9 @@ impl Photon {
         };
         match src_region {
             Some(region) => {
-                region.with_bytes(|s| self.stage.with_bytes_mut(|sb| compose(sb, Some(s))))
+                region.with_bytes(|s| conn.stage.with_bytes_mut(|sb| compose(sb, Some(s))))
             }
-            None => self.stage.with_bytes_mut(|sb| compose(sb, None)),
+            None => conn.stage.with_bytes_mut(|sb| compose(sb, None)),
         }
         if payload_bytes > 0 {
             self.clock.advance(self.copy_ns(payload_bytes));
@@ -1077,7 +1490,7 @@ impl Photon {
             self.obs.op_stage(*rid, self.clock.now());
         }
         self.post_stage_write_run(
-            peer,
+            conn,
             base_sub,
             run_span,
             local_rids,
@@ -1103,21 +1516,21 @@ impl Photon {
         rkey: u32,
         paired_data: Option<(MrSlice, RemoteSlice, u64)>,
     ) -> Result<bool> {
-        if !self.peer_gate(peer)? {
+        let Some(conn) = self.gated_conn(peer)? else {
             return Ok(false);
-        }
-        let r = {
-            let mut tx = self.tx[peer].lock();
-            self.try_post_entry_locked(peer, &mut tx, kind, rid, size, addr, rkey, paired_data)
         };
-        self.fail_post(peer, r)
+        let r = {
+            let mut tx = conn.tx.lock();
+            self.try_post_entry_locked(&conn, &mut tx, kind, rid, size, addr, rkey, paired_data)
+        };
+        self.fail_post(&conn, r)
     }
 
     /// [`Photon::try_post_entry`] with the per-peer TX lock already held.
     #[allow(clippy::too_many_arguments)]
     fn try_post_entry_locked(
         &self,
-        peer: Rank,
+        conn: &Conn,
         tx: &mut PeerTx,
         kind: EntryKind,
         rid: u64,
@@ -1129,7 +1542,7 @@ impl Photon {
         let (slot, seq) = match tx.ledger.try_produce() {
             Some(v) => v,
             None => {
-                let credit_ts = self.refresh_tx_credits(peer, tx);
+                let credit_ts = self.refresh_tx_credits(conn, tx);
                 match tx.ledger.try_produce() {
                     Some(v) => {
                         self.clock.advance_to(credit_ts);
@@ -1143,18 +1556,17 @@ impl Photon {
             }
         };
         if let Some((local, remote, local_rid)) = paired_data {
-            let wr_id = self.wr_table.insert(local_rid, peer);
+            let wr_id = self.wr_table.insert(local_rid, conn.peer);
             let wr = SendWr::new(wr_id, WrOp::Write { local, remote, imm: None });
-            if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
+            if let Err(e) = self.nic.post_send(conn.qp, wr, self.clock.now()) {
                 self.wr_table.remove(wr_id);
                 return Err(e.into());
             }
         }
         let e = Entry { seq, rid, size, addr, rkey, kind, ts: 0 };
-        let so = self.stage_off(peer, self.sub_ledger(slot));
-        self.stage.write_at(so, &e.encode());
+        conn.stage.write_at(self.sub_ledger(slot), &e.encode());
         self.post_stage_write(
-            peer,
+            conn,
             self.sub_ledger(slot),
             ENTRY_BYTES,
             None,
@@ -1175,11 +1587,11 @@ impl Photon {
         if specs.is_empty() {
             return Ok(0);
         }
-        if !self.peer_gate(peer)? {
+        let Some(conn) = self.gated_conn(peer)? else {
             return Ok(0);
-        }
+        };
         let r = (|| {
-            let mut tx = self.tx[peer].lock();
+            let mut tx = conn.tx.lock();
             // Claim as many ledger slots as credits allow (refreshing the
             // credit words once on exhaustion, like the single-entry path).
             let mut slots: Vec<(usize, u64)> = Vec::with_capacity(specs.len());
@@ -1194,7 +1606,7 @@ impl Photon {
                         slots.push(v);
                     }
                     None if refreshed.is_none() => {
-                        refreshed = Some(self.refresh_tx_credits(peer, &mut tx));
+                        refreshed = Some(self.refresh_tx_credits(&conn, &mut tx));
                     }
                     None => break,
                 }
@@ -1227,13 +1639,12 @@ impl Photon {
                         kind: sp.kind,
                         ts: 0,
                     };
-                    let so = self.stage_off(peer, self.sub_ledger(slot));
-                    self.stage.write_at(so, &e.encode());
+                    conn.stage.write_at(self.sub_ledger(slot), &e.encode());
                 }
                 let mut stamps = self.take_stamp_vec();
                 stamps.extend((1..seg).map(|j| j * ENTRY_BYTES + ledger::TS_OFFSET));
                 self.post_stage_write_run(
-                    peer,
+                    &conn,
                     self.sub_ledger(slots[i].0),
                     seg * ENTRY_BYTES,
                     self.take_rid_vec(),
@@ -1244,47 +1655,51 @@ impl Photon {
             }
             Ok(slots.len())
         })();
-        self.fail_post(peer, r)
+        self.fail_post(&conn, r)
     }
 
-    /// Read the local credit words for production to `peer`; returns the
+    /// Read the local credit words for production over `conn`; returns the
     /// virtual delivery time of the last credit write.
-    fn refresh_tx_credits(&self, peer: Rank, tx: &mut PeerTx) -> VTime {
-        let off = self.my_block_off(peer) + self.sub_credit();
-        tx.ledger.update_credits(self.svc.read_u64(off));
-        tx.ring.update_credits(self.svc.read_u64(off + 8));
-        VTime(self.svc.read_u64(off + 16))
+    fn refresh_tx_credits(&self, conn: &Conn, tx: &mut PeerTx) -> VTime {
+        let off = self.sub_credit();
+        tx.ledger.update_credits(conn.svc.read_u64(off));
+        tx.ring.update_credits(conn.svc.read_u64(off + 8));
+        VTime(conn.svc.read_u64(off + 16))
     }
 
-    fn return_credits(&self, peer: Rank, ledger_consumed: u64, ring_cursor: u64) -> Result<()> {
+    fn return_credits(
+        &self,
+        conn: &Arc<Conn>,
+        ledger_consumed: u64,
+        ring_cursor: u64,
+    ) -> Result<()> {
         let skip = self.cfg.skip_credit_return_interval;
         if skip > 0 && self.credit_return_seq.fetch_add(1, Ordering::Relaxed) % skip == skip - 1 {
             // Seeded credit-accounting bug (see PhotonConfig): the consumer
             // has advanced its counters but the producer is never told.
             return Ok(());
         }
-        if self.health[peer].state.load(Ordering::Acquire) == PEER_DEAD {
+        if conn.health.state.load(Ordering::Acquire) == PEER_DEAD {
             // No point writing credit words into a dead peer's memory.
             return Ok(());
         }
         let sub = self.sub_credit();
-        let so = self.stage_off(peer, sub);
-        self.stage.write_u64(so, ledger_consumed);
-        self.stage.write_u64(so + 8, ring_cursor);
-        match self.post_stage_write(peer, sub, CREDIT_BYTES, None, Some(16)) {
+        conn.stage.write_u64(sub, ledger_consumed);
+        conn.stage.write_u64(sub + 8, ring_cursor);
+        match self.post_stage_write(conn, sub, CREDIT_BYTES, None, Some(16)) {
             Err(PhotonError::Fabric(FabricError::PeerUnreachable { .. })) => {
                 // Swallow: a failed credit write must not poison this rank's
                 // progress loop (other peers still need service), and credit
                 // words are absolute counters, so dropping one write is
                 // harmless — the next return re-publishes the same state.
                 // The health machine is told so the path gets probed.
-                self.note_unreachable(peer);
+                self.note_unreachable(conn);
                 return Ok(());
             }
             r => r?,
         }
         Stats::bump(&self.stats.credit_returns);
-        self.tracer.record(self.clock.now(), TraceOp::CreditReturn, peer, 0, CREDIT_BYTES);
+        self.tracer.record(self.clock.now(), TraceOp::CreditReturn, conn.peer, 0, CREDIT_BYTES);
         Ok(())
     }
 
@@ -1303,31 +1718,53 @@ impl Photon {
     /// may proceed. `Ok(false)` — the peer is Suspect; treat as a credit
     /// stall (non-blocking callers return "would block", blocking callers
     /// spin through here, which paces the reconnection probes).
-    /// `Err(PeerDead)` — the peer is gone.
+    /// `Err(PeerDead)` — the peer is gone. Establishes the connection on
+    /// first contact (lazy wiring).
     pub(crate) fn peer_gate(&self, peer: Rank) -> Result<bool> {
-        match self.health[peer].state.load(Ordering::Acquire) {
+        let conn = self.conn(peer)?;
+        self.gate_conn(&conn)
+    }
+
+    /// [`Photon::peer_gate`] that hands back the gated connection: `None`
+    /// while the peer is Suspect (would-block).
+    fn gated_conn(&self, peer: Rank) -> Result<Option<Arc<Conn>>> {
+        let conn = self.conn(peer)?;
+        Ok(self.gate_conn(&conn)?.then_some(conn))
+    }
+
+    fn gate_conn(&self, conn: &Arc<Conn>) -> Result<bool> {
+        match conn.health.state.load(Ordering::Acquire) {
             PEER_HEALTHY => {
-                match self.nic.peer_status(self.qps[peer], self.clock.now()) {
+                let now = self.clock.now();
+                match self.nic.peer_status(conn.qp, now) {
                     None => Ok(true),
+                    // `RemoteDead` fires when *either* end of the wire is
+                    // down. If it is this rank that crashed (its clock rode
+                    // past its own kill time), the peer must not be blamed:
+                    // recording a live peer dead at its current incarnation
+                    // is unrefutable and the lie would spread via gossip.
+                    Some(WcStatus::RemoteDead) if self.nic.self_dead_at(now) => {
+                        Err(PhotonError::PeerDead(self.rank))
+                    }
                     Some(WcStatus::RemoteDead) => {
-                        self.mark_dead(peer);
-                        Err(PhotonError::PeerDead(peer))
+                        self.mark_dead_conn(conn);
+                        Err(PhotonError::PeerDead(conn.peer))
                     }
                     // Partitioned: might heal — start probing.
                     Some(_) => {
-                        self.mark_suspect(peer);
+                        self.mark_suspect(conn);
                         Ok(false)
                     }
                 }
             }
-            PEER_SUSPECT => self.suspect_probe(peer),
-            _ => Err(PhotonError::PeerDead(peer)),
+            PEER_SUSPECT => self.suspect_probe(conn),
+            _ => Err(PhotonError::PeerDead(conn.peer)),
         }
     }
 
     /// Healthy → Suspect: arm the response deadline for the first probe.
-    fn mark_suspect(&self, peer: Rank) {
-        let h = &self.health[peer];
+    fn mark_suspect(&self, conn: &Conn) {
+        let h = &conn.health;
         let mut inner = h.inner.lock();
         if h.state.load(Ordering::Acquire) != PEER_HEALTHY {
             return; // lost the race to another thread
@@ -1345,8 +1782,9 @@ impl Photon {
     /// partition window must be modeled as elapsed local time — otherwise
     /// a blocked producer would re-test the same instant forever and a
     /// windowed partition could never heal (virtual-time livelock).
-    fn suspect_probe(&self, peer: Rank) -> Result<bool> {
-        let h = &self.health[peer];
+    fn suspect_probe(&self, conn: &Arc<Conn>) -> Result<bool> {
+        let peer = conn.peer;
+        let h = &conn.health;
         let mut inner = h.inner.lock();
         match h.state.load(Ordering::Acquire) {
             PEER_SUSPECT => {}
@@ -1358,25 +1796,31 @@ impl Photon {
         }
         let now = self.clock.now();
         Stats::bump(&self.stats.reconnect_probes);
-        match self.nic.peer_status(self.qps[peer], now) {
+        match self.nic.peer_status(conn.qp, now) {
             None => {
                 // Path restored: recycle the errored QP and resume.
-                self.nic.reset_qp(self.qps[peer])?;
+                self.nic.reset_qp(conn.qp)?;
                 inner.fails = 0;
                 h.state.store(PEER_HEALTHY, Ordering::Release);
                 Stats::bump(&self.stats.peer_recoveries);
                 Ok(true)
             }
+            // This rank's own crash, not evidence against the peer (the
+            // probe ride itself may have carried the clock past the local
+            // kill time — see `gate_conn`).
+            Some(WcStatus::RemoteDead) if self.nic.self_dead_at(now) => {
+                Err(PhotonError::PeerDead(self.rank))
+            }
             Some(WcStatus::RemoteDead) => {
                 drop(inner);
-                self.mark_dead(peer);
+                self.mark_dead_conn(conn);
                 Err(PhotonError::PeerDead(peer))
             }
             Some(_) => {
                 inner.fails += 1;
                 if inner.fails >= self.cfg.suspect_death_probes {
                     drop(inner);
-                    self.mark_dead(peer);
+                    self.mark_dead_conn(conn);
                     return Err(PhotonError::PeerDead(peer));
                 }
                 let backoff = self
@@ -1394,57 +1838,57 @@ impl Photon {
     /// Report an unreachable peer discovered outside a gated post (failed
     /// credit return): classify and move the machine without evicting —
     /// credit writes carry no sequencing, so the connection is intact.
-    fn note_unreachable(&self, peer: Rank) {
-        if self.health[peer].state.load(Ordering::Acquire) != PEER_HEALTHY {
+    fn note_unreachable(&self, conn: &Arc<Conn>) {
+        if conn.health.state.load(Ordering::Acquire) != PEER_HEALTHY {
             return;
         }
-        match self.nic.peer_status(self.qps[peer], self.clock.now()) {
-            Some(WcStatus::RemoteDead) => self.mark_dead(peer),
-            Some(_) => self.mark_suspect(peer),
+        let now = self.clock.now();
+        match self.nic.peer_status(conn.qp, now) {
+            // Own crash, not evidence against the peer (see `gate_conn`).
+            Some(WcStatus::RemoteDead) if self.nic.self_dead_at(now) => {}
+            Some(WcStatus::RemoteDead) => self.mark_dead_conn(conn),
+            Some(_) => self.mark_suspect(conn),
             None => {}
         }
     }
 
-    /// Declare `peer` dead and evict it: flush every pending rid toward it
-    /// as an error completion, reclaim its flow-control credits so no
-    /// later op can stall on a ghost, and drop its parked rendezvous
-    /// state. Idempotent.
-    fn mark_dead(&self, peer: Rank) {
+    /// Declare the peer behind `conn` dead and evict the connection: flush
+    /// every pending rid toward it as an error completion, reclaim its
+    /// flow-control credits so no later op can stall on a ghost, drop its
+    /// parked rendezvous state, record the incarnation that died (so a
+    /// reconnect can never resurrect the flushed generation), and release
+    /// the connection's fabric resources. Idempotent per connection.
+    fn mark_dead_conn(&self, conn: &Arc<Conn>) {
         {
-            let h = &self.health[peer];
-            let _inner = h.inner.lock();
-            if h.state.swap(PEER_DEAD, Ordering::AcqRel) == PEER_DEAD {
+            let _inner = conn.health.inner.lock();
+            if conn.health.state.swap(PEER_DEAD, Ordering::AcqRel) == PEER_DEAD {
                 return;
             }
         }
+        let peer = conn.peer;
         Stats::bump(&self.stats.peers_dead);
-        let now = self.clock.now();
-        // Deliver CQEs that already exist before flushing: a work request
-        // whose completion is sitting unpolled in the CQ finished with its
-        // true status and must not be misreported as flushed. Only WRs with
-        // no CQE at all (lost to CQ overflow on the error path) flush.
-        self.harvest_send_cq();
-        // Flush the remaining in-flight work requests as error CQEs would
-        // be flushed on a real RC QP transitioning to error state.
-        for (wr_id, rid) in self.wr_table.drain_peer(peer) {
-            if rid == BATCH_RID {
-                if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
-                    for &r in &rids {
-                        self.local_events.push(r, peer, now, WcStatus::FlushErr);
-                        Stats::bump(&self.stats.rids_flushed);
-                    }
-                    self.give_rid_vec(rids);
-                }
-            } else {
-                self.local_events.push(rid, peer, now, WcStatus::FlushErr);
-                Stats::bump(&self.stats.rids_flushed);
-            }
-        }
-        // Reclaim eager-ring and ledger credits: everything produced counts
-        // as consumed, so the TX state can never stall another caller
-        // waiting for a dead consumer to return credits.
+        // The generation guard: remember which incarnation died. A later
+        // `conn()` refuses to reconnect until the fault plan shows a newer
+        // incarnation for the peer.
         {
-            let mut tx = self.tx[peer].lock();
+            let mut dead = self.dead.lock();
+            let e = dead.entry(peer).or_insert(conn.peer_inc);
+            *e = (*e).max(conn.peer_inc);
+        }
+        // Flush its in-flight work requests (CQEs that already exist
+        // deliver with their true status first). The connection itself
+        // STAYS cached: the dying peer's clock may lag ours, so its last
+        // writes must keep landing in a still-registered service region
+        // (and keep being polled and routed, exactly like the pre-cache
+        // all-to-all design) instead of surfacing as invalid-rkey post
+        // errors on a live rank. The half is reaped when the cache cap
+        // evicts it or a newer incarnation reconnects.
+        self.flush_peer_wrs(peer);
+        // Reclaim eager-ring and ledger credits: everything produced counts
+        // as consumed, so a caller already holding this connection's Arc
+        // can never stall waiting for a dead consumer to return credits.
+        {
+            let mut tx = conn.tx.lock();
             let cursor = tx.ring.cursor();
             tx.ring.update_credits(cursor);
             let produced = tx.ledger.produced();
@@ -1453,10 +1897,9 @@ impl Photon {
         // Rendezvous state parked from the dead peer will never FIN/match.
         self.rdv_announces.lock().retain(|(src, _), _| *src != peer);
         self.rdv_fins.lock().retain(|(src, _), _| *src != peer);
-        // Publish the eviction for layers above: each dead peer is queued
+        // Publish the eviction for layers above: each death is queued
         // exactly once (the state swap above is the idempotence guard).
-        self.dead_notify.lock().push(peer);
-        self.dead_pending.fetch_add(1, Ordering::Release);
+        self.note_dead(peer);
     }
 
     /// Drain the peers declared dead since the last call. Each evicted peer
@@ -1476,12 +1919,22 @@ impl Photon {
     /// Convert an *actual* post failure into its health consequence: an
     /// unreachable transfer after the gate passed means the per-peer
     /// delivery sequence has a hole (the reservation was consumed), which
-    /// on a reliable-connected QP is a broken connection — evict.
-    fn fail_post<T>(&self, peer: Rank, r: Result<T>) -> Result<T> {
+    /// on a reliable-connected QP is a broken connection — evict. The
+    /// fabric names which end of the wire was down: only the *peer* being
+    /// unreachable is evidence against the peer. If the failing end is
+    /// this rank itself (its clock has crossed its own scheduled kill
+    /// time), blaming the target would record a live node dead at its
+    /// current incarnation — unrefutable — so the error is surfaced
+    /// against the local rank instead.
+    fn fail_post<T>(&self, conn: &Arc<Conn>, r: Result<T>) -> Result<T> {
         match r {
-            Err(PhotonError::Fabric(FabricError::PeerUnreachable { .. })) => {
-                self.mark_dead(peer);
-                Err(PhotonError::PeerDead(peer))
+            Err(PhotonError::Fabric(FabricError::PeerUnreachable { node })) => {
+                if node == conn.peer || node != self.rank {
+                    self.mark_dead_conn(conn);
+                    Err(PhotonError::PeerDead(conn.peer))
+                } else {
+                    Err(PhotonError::PeerDead(self.rank))
+                }
             }
             other => other,
         }
@@ -1494,9 +1947,15 @@ impl Photon {
     /// inside the partition window or exhausts its probe budget. Used by
     /// the direct-RDMA paths, which have no credit gate whose retry loop
     /// would otherwise pace the probes.
-    fn gate_blocking(&self, peer: Rank) -> Result<()> {
-        while !self.peer_gate(peer)? {}
-        Ok(())
+    fn gate_blocking(&self, peer: Rank) -> Result<Arc<Conn>> {
+        loop {
+            // Re-fetch per spin: a probe may retire the connection (death)
+            // or another thread may replace it (rejoin).
+            let conn = self.conn(peer)?;
+            if self.gate_conn(&conn)? {
+                return Ok(conn);
+            }
+        }
     }
 
     /// Actively probe `peer`'s liveness: runs one pass of the health gate
@@ -1515,14 +1974,24 @@ impl Photon {
         }
     }
 
-    /// The health machine's classification of `peer`.
+    /// The health machine's classification of `peer`. Passive: never
+    /// connects. An unconnected peer reads Healthy unless the generation
+    /// recorded in the dead map is still its current incarnation.
     pub fn peer_health(&self, peer: Rank) -> Result<PeerHealthState> {
         self.check_rank(peer)?;
-        Ok(match self.health[peer].state.load(Ordering::Acquire) {
-            PEER_HEALTHY => PeerHealthState::Healthy,
-            PEER_SUSPECT => PeerHealthState::Suspect,
-            _ => PeerHealthState::Dead,
-        })
+        if let Some(conn) = self.conn_opt(peer) {
+            return Ok(match conn.health.state.load(Ordering::Acquire) {
+                PEER_HEALTHY => PeerHealthState::Healthy,
+                PEER_SUSPECT => PeerHealthState::Suspect,
+                _ => PeerHealthState::Dead,
+            });
+        }
+        if let Some(&dead_inc) = self.dead.lock().get(&peer) {
+            if self.nic.node_incarnation(peer, self.clock.now()) <= dead_inc {
+                return Ok(PeerHealthState::Dead);
+            }
+        }
+        Ok(PeerHealthState::Healthy)
     }
 
     // ------------------------------------------------------------ user API
@@ -1575,9 +2044,9 @@ impl Photon {
         if doff + len > dst.len {
             return Err(PhotonError::OutOfRange { offset: doff, len, cap: dst.len });
         }
-        if !self.peer_gate(peer)? {
+        let Some(conn) = self.gated_conn(peer)? else {
             return Ok(false);
-        }
+        };
         if len <= self.cfg.eager_threshold && len <= self.cfg.max_eager_payload() {
             // Zero-alloc fast path: the source region is staged directly,
             // with no intermediate heap buffer.
@@ -1610,9 +2079,9 @@ impl Photon {
                     imm: Some(remote_rid),
                 },
             );
-            if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
+            if let Err(e) = self.nic.post_send(conn.qp, wr, self.clock.now()) {
                 self.wr_table.remove(wr_id);
-                return self.fail_post(peer, Err(e.into()));
+                return self.fail_post(&conn, Err(e.into()));
             }
             Stats::bump(&self.stats.puts_direct);
             Stats::add(&self.stats.bytes_put, len as u64);
@@ -1681,16 +2150,16 @@ impl Photon {
         if items.is_empty() {
             return Ok(0);
         }
-        if !self.peer_gate(peer)? {
+        let Some(conn) = self.gated_conn(peer)? else {
             return Ok(0);
-        }
+        };
         let eager_ok =
             |len: usize| len <= self.cfg.eager_threshold && len <= self.cfg.max_eager_payload();
         // The whole batch posts inside the closure so the TX guard is
         // released before `fail_post` (eviction locks the same TX state).
         let res = (|| {
             let mut posted = 0usize;
-            let mut tx = self.tx[peer].lock();
+            let mut tx = conn.tx.lock();
             // Run scratch lives in the TX state and is recycled across
             // batches (RunFrame holds indices, not borrows).
             let mut run = std::mem::take(&mut tx.run);
@@ -1729,8 +2198,13 @@ impl Photon {
                             self.clock.now(),
                         );
                     }
-                    let n =
-                        self.post_frame_run_locked(peer, &mut tx, &run, Some(local.region()), &[])?;
+                    let n = self.post_frame_run_locked(
+                        &conn,
+                        &mut tx,
+                        &run,
+                        Some(local.region()),
+                        &[],
+                    )?;
                     for it2 in &items[posted..posted + n] {
                         Stats::bump(&self.stats.puts_eager);
                         Stats::add(&self.stats.bytes_put, it2.len as u64);
@@ -1763,7 +2237,7 @@ impl Photon {
                             imm: Some(it.remote_rid),
                         },
                     );
-                    if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
+                    if let Err(e) = self.nic.post_send(conn.qp, wr, self.clock.now()) {
                         self.wr_table.remove(wr_id);
                         return Err(e.into());
                     }
@@ -1786,7 +2260,7 @@ impl Photon {
                         self.clock.now(),
                     );
                     let ok = self.try_post_entry_locked(
-                        peer,
+                        &conn,
                         &mut tx,
                         EntryKind::Completion,
                         it.remote_rid,
@@ -1817,7 +2291,7 @@ impl Photon {
             tx.run = run;
             Ok(posted)
         })();
-        self.fail_post(peer, res)
+        self.fail_post(&conn, res)
     }
 
     /// Doorbell-batched [`Photon::send`]: deliver every payload to `peer` as
@@ -1852,12 +2326,12 @@ impl Photon {
         if payloads.is_empty() {
             return Ok(0);
         }
-        if !self.peer_gate(peer)? {
+        let Some(conn) = self.gated_conn(peer)? else {
             return Ok(0);
-        }
+        };
         let res = (|| {
             let mut posted = 0usize;
-            let mut tx = self.tx[peer].lock();
+            let mut tx = conn.tx.lock();
             let mut run = std::mem::take(&mut tx.run);
             while posted < payloads.len() {
                 let mut span = 0usize;
@@ -1878,7 +2352,7 @@ impl Photon {
                     });
                 }
                 let want = run.len();
-                let n = self.post_frame_run_locked(peer, &mut tx, &run, None, payloads)?;
+                let n = self.post_frame_run_locked(&conn, &mut tx, &run, None, payloads)?;
                 for p in &payloads[posted..posted + n] {
                     Stats::bump(&self.stats.sends);
                     self.tracer.record(self.clock.now(), TraceOp::Send, peer, remote_rid, p.len());
@@ -1891,7 +2365,7 @@ impl Photon {
             tx.run = run;
             Ok(posted)
         })();
-        self.fail_post(peer, res)
+        self.fail_post(&conn, res)
     }
 
     /// One-sided put with local completion only (`photon_post_os_put`):
@@ -1914,7 +2388,7 @@ impl Photon {
         }
         // Direct RDMA has no credit gate to ride through the health machine:
         // settle it here before consuming a work-request slot.
-        self.gate_blocking(peer)?;
+        let conn = self.gate_blocking(peer)?;
         self.obs.op_post(local_rid, peer, OpKind::Put, len, self.clock.now());
         let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(
@@ -1925,9 +2399,9 @@ impl Photon {
                 imm: None,
             },
         );
-        if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
+        if let Err(e) = self.nic.post_send(conn.qp, wr, self.clock.now()) {
             self.wr_table.remove(wr_id);
-            return self.fail_post(peer, Err(e.into()));
+            return self.fail_post(&conn, Err(e.into()));
         }
         Stats::bump(&self.stats.puts_direct);
         Stats::add(&self.stats.bytes_put, len as u64);
@@ -1954,7 +2428,7 @@ impl Photon {
         if soff + len > src.len {
             return Err(PhotonError::OutOfRange { offset: soff, len, cap: src.len });
         }
-        self.gate_blocking(peer)?;
+        let conn = self.gate_blocking(peer)?;
         self.obs.op_post(local_rid, peer, OpKind::Get, len, self.clock.now());
         let wr_id = self.wr_table.insert(local_rid, peer);
         let wr = SendWr::new(
@@ -1964,9 +2438,9 @@ impl Photon {
                 remote: RemoteSlice::from_key(src, soff, len),
             },
         );
-        if let Err(e) = self.nic.post_send(self.qps[peer], wr, self.clock.now()) {
+        if let Err(e) = self.nic.post_send(conn.qp, wr, self.clock.now()) {
             self.wr_table.remove(wr_id);
-            return self.fail_post(peer, Err(e.into()));
+            return self.fail_post(&conn, Err(e.into()));
         }
         Stats::bump(&self.stats.gets);
         Stats::add(&self.stats.bytes_got, len as u64);
@@ -1999,7 +2473,7 @@ impl Photon {
         if items.is_empty() {
             return Ok(());
         }
-        self.gate_blocking(peer)?;
+        let conn = self.gate_blocking(peer)?;
         let now = self.clock.now();
         let mut rids = self.take_rid_vec();
         rids.extend(items.iter().map(|it| it.local_rid));
@@ -2021,12 +2495,12 @@ impl Photon {
                 SendWr::unsignaled(op)
             });
         }
-        if let Err(e) = self.nic.post_send_many(self.qps[peer], &wrs, now) {
+        if let Err(e) = self.nic.post_send_many(conn.qp, &wrs, now) {
             self.wr_table.remove(wr_id);
             if let Some(rids) = self.batch_rids.lock().remove(&wr_id) {
                 self.give_rid_vec(rids);
             }
-            return self.fail_post(peer, Err(e.into()));
+            return self.fail_post(&conn, Err(e.into()));
         }
         for it in items {
             Stats::bump(&self.stats.gets);
@@ -2189,6 +2663,7 @@ impl Photon {
         shard: usize,
         nshards: usize,
         scratch: &mut Vec<Cqe>,
+        conns: &mut Vec<Arc<Conn>>,
     ) -> usize {
         let mut work = 0usize;
         if shard == 0 {
@@ -2203,16 +2678,27 @@ impl Photon {
                 }
             }
         }
-        for j in 0..self.n {
-            if Self::peer_shard(j, nshards) != shard {
+        self.snapshot_conns(conns);
+        for conn in conns.iter() {
+            if Self::peer_shard(conn.peer, nshards) != shard {
                 continue;
             }
-            match self.poll_peer(j) {
+            match self.poll_peer(conn) {
                 Ok(n) => work += n,
                 Err(_) => Stats::bump(&self.stats.progress_thread_errors),
             }
         }
         work
+    }
+
+    /// Fill `out` with a snapshot of the live connections, sorted by peer
+    /// rank: progress passes only touch peers we have actually spoken to
+    /// (the lazy cache's whole point), and the stable order keeps the
+    /// single-threaded simulator deterministic.
+    fn snapshot_conns(&self, out: &mut Vec<Arc<Conn>>) {
+        out.clear();
+        out.extend(self.conns.read().values().cloned());
+        out.sort_unstable_by_key(|c| c.peer);
     }
 
     /// Peer → progress-thread assignment.
@@ -2311,8 +2797,13 @@ impl Photon {
             };
             work += routed;
         }
-        for j in 0..self.n {
-            work += self.poll_peer(j)?;
+        // The scratch mutex is uncontended here: progress_pass is
+        // single-flight behind progress_gate, and the dedicated progress
+        // threads carry their own per-thread snapshot buffers.
+        let mut conns = self.conn_scratch.lock();
+        self.snapshot_conns(&mut conns);
+        for conn in conns.iter() {
+            work += self.poll_peer(conn)?;
         }
         Ok(work)
     }
@@ -2320,7 +2811,8 @@ impl Photon {
     /// Scan one peer's completion ledger and eager ring, routing everything
     /// pending. Returns the number of entries/frames routed (the progress
     /// threads' idle-backoff signal).
-    fn poll_peer(&self, j: Rank) -> Result<usize> {
+    fn poll_peer(&self, conn: &Arc<Conn>) -> Result<usize> {
+        let j = conn.peer;
         // If another thread is already polling this peer, usually skip: the
         // holder harvests everything pending, and every caller of progress()
         // either re-polls on its next spin (blocking loops) or is a polling
@@ -2330,23 +2822,22 @@ impl Photon {
         // lock could otherwise starve the peer's service entirely, so after
         // `RX_SKIP_LIMIT` consecutive skips the caller blocks and takes a
         // turn (pinned by `bounded_rx_skip_forces_a_blocking_lock`).
-        let mut rx = match self.rx[j].try_lock() {
+        let mut rx = match conn.rx.try_lock() {
             Some(g) => {
-                self.rx_skips[j].store(0, Ordering::Relaxed);
+                conn.rx_skips.store(0, Ordering::Relaxed);
                 g
             }
             None => {
-                if self.rx_skips[j].fetch_add(1, Ordering::Relaxed) + 1 < RX_SKIP_LIMIT {
+                if conn.rx_skips.fetch_add(1, Ordering::Relaxed) + 1 < RX_SKIP_LIMIT {
                     Stats::bump(&self.stats.rx_lock_skips);
                     return Ok(0);
                 }
-                self.rx_skips[j].store(0, Ordering::Relaxed);
+                conn.rx_skips.store(0, Ordering::Relaxed);
                 Stats::bump(&self.stats.rx_lock_waits);
-                self.rx[j].lock()
+                conn.rx.lock()
             }
         };
         let mut routed = 0usize;
-        let lbase = self.my_block_off(j);
         // Credit returns are *coalesced* across the whole pass: every time
         // an interval fires we capture the latest `(consumed, cursor)` pair,
         // but only the final capture is written. The end state the producer
@@ -2360,11 +2851,11 @@ impl Photon {
         // could publish a peer's events out of order (and mis-order
         // eager-put copy-outs).
         loop {
-            let n = self.svc.with_bytes(|b| {
+            let n = conn.svc.with_bytes(|b| {
                 let rx = &mut *rx;
                 let mut n = 0usize;
                 loop {
-                    let off = lbase + rx.ledger.head_offset();
+                    let off = rx.ledger.head_offset();
                     let Some(e) = rx.ledger.accept(&b[off..off + ENTRY_BYTES]) else { break };
                     self.route_entry(j, e, &mut rx.ev_scratch);
                     n += 1;
@@ -2389,8 +2880,8 @@ impl Photon {
         // buffer (svc.read → dst.write never nests the same lock: the one
         // degenerate case — a put targeting the service region itself — is
         // deferred and staged through a copy below).
-        let svc_rkey = self.svc.remote_key().rkey;
-        let rbase = lbase + self.ledger_bytes;
+        let svc_rkey = conn.svc.remote_key().rkey;
+        let rbase = self.ledger_bytes;
         // One-entry destination-resolve cache for the pass: doorbell-batched
         // puts land as runs of frames aimed at the same rkey, and the MR
         // table lookup (map lock + hash + handle clone + bounds) was the
@@ -2407,7 +2898,7 @@ impl Photon {
             // never nests the same lock: the one degenerate case — a put
             // targeting the service region itself — is deferred and staged
             // through a copy below).
-            let got = self.svc.with_bytes(|b| {
+            let got = conn.svc.with_bytes(|b| {
                 let rx = &mut *rx;
                 let ring = &b[rbase..rbase + self.ring_bytes];
                 let mut n = 0usize;
@@ -2500,7 +2991,7 @@ impl Photon {
         // takes only the stage/MR locks, which are never held around an rx
         // acquisition.
         if let Some((lc, rc)) = credit {
-            self.return_credits(j, lc, rc)?;
+            self.return_credits(conn, lc, rc)?;
         }
         drop(rx);
         Ok(routed)
@@ -3156,15 +3647,16 @@ mod tests {
         // Hold peer 1's receive lock on another thread; every progress pass
         // skips it (bounded), and once the budget runs out the pass blocks
         // until the holder releases — the peer cannot be starved forever.
+        let conn = p0.conn(1).unwrap();
         let holder = {
-            let p = p0.clone();
+            let conn = Arc::clone(&conn);
             std::thread::spawn(move || {
-                let _rx = p.rx[1].lock();
+                let _rx = conn.rx.lock();
                 std::thread::sleep(Duration::from_millis(200));
             })
         };
         // Wait until the holder owns the lock.
-        while p0.rx[1].try_lock().is_some() {
+        while conn.rx.try_lock().is_some() {
             std::thread::yield_now();
         }
         for _ in 0..RX_SKIP_LIMIT - 1 {
@@ -3900,9 +4392,11 @@ mod tests {
         let (p0, p1) = (c.rank(0), c.rank(1));
         let src = p0.register_buffer(64).unwrap();
         src.write_at(0, b"self-target payload");
-        // Rank 1's own service region as the destination (the degenerate
-        // case: probe-time copy-out source and destination share the region).
-        let key = p1.svc.remote_key();
+        // Rank 1's own service region (its half of the 1↔0 connection) as
+        // the destination (the degenerate case: probe-time copy-out source
+        // and destination share the region).
+        let conn1 = p1.conn(0).unwrap();
+        let key = conn1.svc.remote_key();
         let dst = BufferDescriptor { addr: key.addr, rkey: key.rkey, len: 64 };
         let before = p1.stats().stage_copies_avoided;
         p0.put_with_completion(1, &src, 0, 19, &dst, 0, 1, 2).unwrap();
@@ -3910,7 +4404,7 @@ mod tests {
         assert_eq!(ev.rid, 2);
         assert_eq!(ev.size, 19);
         assert!(ev.status.is_ok());
-        assert_eq!(&p1.svc.to_vec(0, 19), b"self-target payload");
+        assert_eq!(&conn1.svc.to_vec(0, 19), b"self-target payload");
         assert!(
             p1.stats().stage_copies_avoided > before,
             "deferred path must count its avoided staging copy"

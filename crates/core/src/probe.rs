@@ -202,6 +202,9 @@ pub mod rid_space {
     pub const RESERVED_BASE: u64 = 0xFF00_0000_0000_0000;
     /// Collective-operation namespace tag (occupies the top 10 bits).
     pub const COLLECTIVE: u64 = 0xFFC0_0000_0000_0000;
+    /// Gossip membership frames (see [`crate::membership`]): routed to the
+    /// internal inbox like collectives, never surfaced as user events.
+    pub const GOSSIP: u64 = 0xFF47_0551_0000_0001;
 
     /// Width of the `kind` field (bits 40..48).
     pub const KIND_BITS: u32 = 8;

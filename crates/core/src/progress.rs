@@ -19,7 +19,7 @@
 //! generation check (exactly-once CQE retirement), and credit returns
 //! serialized under the receive lock (absolute counters stay monotone).
 
-use crate::photon::Photon;
+use crate::photon::{Conn, Photon};
 use crate::Rank;
 use photon_fabric::verbs::Completion as Cqe;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -95,11 +95,12 @@ impl Drop for ProgressEngine {
 /// costs (almost) nothing.
 fn run(ranks: &[Arc<Photon>], shard: usize, nshards: usize, shutdown: &AtomicBool) {
     let mut scratch: Vec<Cqe> = Vec::new();
+    let mut conns: Vec<Arc<Conn>> = Vec::new();
     let mut idle: u32 = 0;
     while !shutdown.load(Ordering::Acquire) {
         let mut work = 0usize;
         for p in ranks {
-            work += p.progress_shard(shard, nshards, &mut scratch);
+            work += p.progress_shard(shard, nshards, &mut scratch, &mut conns);
         }
         if work > 0 {
             idle = 0;

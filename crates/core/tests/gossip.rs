@@ -1,0 +1,156 @@
+//! Gossip membership over the public API: epidemic dissemination of
+//! deaths and rejoins, refutation of transient suspicion, and the O(log N)
+//! round bound. Companion to DESIGN.md "Membership and connection
+//! lifecycle".
+
+use photon_core::{
+    MemberStatus, Membership, MembershipConfig, PhotonCluster, PhotonConfig, PhotonError,
+};
+use photon_fabric::{NetworkModel, VTime};
+use std::sync::Arc;
+
+fn memberships(c: &PhotonCluster, cfg: MembershipConfig, seed: u64) -> Vec<Membership> {
+    c.ranks().iter().map(|p| Membership::new(Arc::clone(p), cfg, seed)).collect()
+}
+
+/// Tick every live rank once, in rank order (a deterministic "round").
+fn round(ms: &[Membership], dead: &[usize]) -> usize {
+    let mut sent = 0;
+    for (i, m) in ms.iter().enumerate() {
+        if !dead.contains(&i) {
+            sent += m.tick();
+        }
+    }
+    sent
+}
+
+#[test]
+fn death_disseminates_in_logarithmic_rounds() {
+    let n = 32;
+    let c = PhotonCluster::new(n, NetworkModel::ideal(), PhotonConfig::default());
+    let cfg = MembershipConfig { fanout: 2, interval_ns: 0, max_rumors: 64 };
+    let ms = memberships(&c, cfg, 0xD15E);
+    // Kill rank 3; rank 0 discovers it directly by talking to it.
+    let p0 = c.rank(0);
+    c.fabric().switch().faults().kill_node_at(3, VTime(p0.now().as_nanos() + 1));
+    p0.elapse(10);
+    let death = loop {
+        match p0.send(3, b"probe", 1) {
+            Ok(()) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(death, PhotonError::PeerDead(3));
+    for peer in p0.take_dead_peers() {
+        ms[0].note_dead(peer);
+    }
+    assert_eq!(ms[0].status_of(3), MemberStatus::Dead);
+    // Epidemic push-pull: every live rank must learn of the death within
+    // a small multiple of log2(n) rounds (log2(32) = 5; x4 slack absorbs
+    // fanout collisions on random target draws).
+    let budget = 4 * 5;
+    let mut rounds_used = None;
+    for r in 1..=budget {
+        round(&ms, &[3]);
+        let informed = (0..n).filter(|&i| i != 3).all(|i| ms[i].status_of(3) == MemberStatus::Dead);
+        if informed {
+            rounds_used = Some(r);
+            break;
+        }
+    }
+    let used = rounds_used.expect("death never reached every rank");
+    assert!(used <= budget, "dissemination took {used} rounds, budget {budget}");
+    // Most ranks learn from gossip; the rest happened to pick the dead
+    // rank as a gossip target and detected the death themselves.
+    let via_gossip: u64 = (0..n).map(|i| ms[i].stats().deaths_gossip).sum();
+    assert!(via_gossip >= (n as u64) / 2, "gossip must carry the news: {via_gossip}");
+}
+
+#[test]
+fn rejoin_refutes_dead_rumors_cluster_wide() {
+    let n = 8;
+    let c = PhotonCluster::new(n, NetworkModel::ideal(), PhotonConfig::default());
+    let cfg = MembershipConfig { fanout: 2, interval_ns: 0, max_rumors: 64 };
+    let ms = memberships(&c, cfg, 0xBEA7);
+    let p0 = c.rank(0);
+    let t0 = p0.now().as_nanos();
+    c.fabric().switch().faults().kill_node_at(5, VTime(t0 + 1));
+    c.fabric().switch().faults().revive_node_at(5, VTime(t0 + 1_000));
+    p0.elapse(10);
+    let death = loop {
+        match p0.send(5, b"probe", 1) {
+            Ok(()) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(death, PhotonError::PeerDead(5));
+    for peer in p0.take_dead_peers() {
+        ms[0].note_dead(peer);
+    }
+    // Spread the death while the rank is still down.
+    for _ in 0..6 {
+        round(&ms, &[5]);
+    }
+    assert!((0..n).filter(|&i| i != 5).any(|i| ms[i].status_of(5) == MemberStatus::Dead));
+    // The rank rejoins: its own ticks claim Alive at incarnation 1, which
+    // supersedes every Dead(0) rumor as gossip mixes.
+    for p in c.ranks() {
+        p.elapse(2_000);
+    }
+    assert_eq!(c.rank(5).self_incarnation(), 1);
+    for _ in 0..24 {
+        round(&ms, &[]);
+        if (0..n).all(|i| ms[i].status_of(5) == MemberStatus::Alive) {
+            break;
+        }
+    }
+    for (i, m) in ms.iter().enumerate() {
+        assert_eq!(m.status_of(5), MemberStatus::Alive, "rank {i} still believes the rumor");
+        let e = m.view().into_iter().find(|e| e.rank == 5).unwrap();
+        assert_eq!(e.incarnation, 1, "rank {i} must know the new incarnation");
+    }
+}
+
+#[test]
+fn view_state_is_bounded_and_stats_accumulate() {
+    let n = 16;
+    let c = PhotonCluster::new(n, NetworkModel::ideal(), PhotonConfig::default());
+    let cfg = MembershipConfig { fanout: 3, interval_ns: 0, max_rumors: 8 };
+    let ms = memberships(&c, cfg, 0x5EED);
+    for _ in 0..10 {
+        round(&ms, &[]);
+    }
+    for m in &ms {
+        // A full view costs one entry per member — tens of bytes each,
+        // independent of traffic volume.
+        assert!(m.state_bytes() <= n * 64, "view too large: {}", m.state_bytes());
+        let s = m.stats();
+        assert!(s.gossip_rounds >= 10);
+        assert!(s.gossip_msgs_tx > 0);
+        // Bounded rumor budget: every message carries at most max_rumors.
+        assert!(s.rumors_tx <= s.gossip_msgs_tx * 8);
+    }
+    // Gossip frames never surface as user events.
+    let mut buf = Vec::new();
+    for p in c.ranks() {
+        assert_eq!(
+            p.poll_completions(photon_core::ProbeFlags::Any, &mut buf, 64).unwrap(),
+            0,
+            "gossip leaked into the user event stream"
+        );
+    }
+}
+
+#[test]
+fn interval_gates_round_frequency() {
+    let c = PhotonCluster::new(4, NetworkModel::ideal(), PhotonConfig::default());
+    let cfg = MembershipConfig { fanout: 2, interval_ns: 1_000_000, max_rumors: 64 };
+    let m = Membership::new(Arc::clone(c.rank(0)), cfg, 7);
+    m.tick(); // first round runs unconditionally
+    m.tick();
+    m.tick();
+    assert_eq!(m.rounds(), 1, "rounds must be interval-gated");
+    c.rank(0).elapse(1_000_001);
+    m.tick();
+    assert_eq!(m.rounds(), 2);
+}

@@ -1,0 +1,224 @@
+//! Property tests for the per-peer health machine under flapping — seeded
+//! kill/revive sequences with traffic in between. Pinned properties:
+//!
+//! * **backoff-probe monotonicity** — while a peer is Suspect, the virtual
+//!   intervals between reconnection probes never shrink, and saturate at
+//!   `backoff_max_ns`;
+//! * **no double-flush** — across any kill/revive/kill sequence, every
+//!   accepted rid surfaces exactly one local completion (success or error),
+//!   never two, never zero;
+//! * **credits reclaimed exactly once** — after a death flushed a
+//!   generation's credits, a reconnect to the revived peer starts from a
+//!   full credit window: the eager path accepts exactly as many posts as a
+//!   never-killed peer's does.
+
+use photon_core::{
+    Completion, PeerHealthState, PhotonCluster, PhotonConfig, PhotonError, ProbeFlags,
+};
+use photon_fabric::{NetworkModel, VTime, Window};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Fast-detection knobs shared by every case: the full ride (deadline +
+/// probe budget) spans ≈70k virtual ns.
+fn fast_cfg() -> PhotonConfig {
+    PhotonConfig {
+        eager_threshold: 1024,
+        eager_ring_bytes: 8 * 1024,
+        ledger_entries: 32,
+        suspect_deadline_ns: 5_000,
+        backoff_base_ns: 2_000,
+        backoff_max_ns: 40_000,
+        suspect_death_probes: 5,
+        ..PhotonConfig::default()
+    }
+}
+
+#[test]
+fn backoff_probe_intervals_are_monotone_then_capped() {
+    // A long partition with a probe budget too large to exhaust: every
+    // `check_peer` call advances the clock to the next retry deadline, so
+    // consecutive `now()` readings expose the backoff schedule directly.
+    let cfg = PhotonConfig {
+        suspect_deadline_ns: 5_000,
+        backoff_base_ns: 1_000,
+        backoff_max_ns: 64_000,
+        suspect_death_probes: 200,
+        ..PhotonConfig::default()
+    };
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), cfg);
+    let p0 = c.rank(0);
+    let t0 = p0.now().as_nanos();
+    c.fabric().switch().faults().partition_during(
+        0,
+        1,
+        Window::new(VTime(t0), VTime(t0 + 10_000_000)),
+    );
+    assert_eq!(p0.check_peer(1).unwrap(), PeerHealthState::Suspect);
+
+    let mut instants = vec![p0.now().as_nanos()];
+    for _ in 0..16 {
+        assert_eq!(p0.check_peer(1).unwrap(), PeerHealthState::Suspect);
+        instants.push(p0.now().as_nanos());
+    }
+    // deltas[0] is the suspect deadline; the backoff schedule proper starts
+    // at deltas[1] and must never shrink, saturating at backoff_max.
+    let deltas: Vec<u64> = instants.windows(2).map(|w| w[1] - w[0]).collect();
+    for (i, w) in deltas[1..].windows(2).enumerate() {
+        assert!(w[1] >= w[0], "probe interval shrank at step {i}: {:?}", deltas);
+        assert!(w[1] <= 64_000, "probe interval exceeds backoff_max: {:?}", deltas);
+    }
+    assert_eq!(
+        *deltas.last().unwrap(),
+        64_000,
+        "backoff never saturated at backoff_max: {:?}",
+        deltas
+    );
+    // The partition ends inside the probe budget: the peer heals and the
+    // machine records exactly the probes the schedule predicts.
+    p0.elapse(10_000_000);
+    assert_eq!(p0.check_peer(1).unwrap(), PeerHealthState::Healthy);
+    let s = p0.stats();
+    assert_eq!(s.peer_recoveries, 1);
+    assert!(s.reconnect_probes >= deltas.len() as u64);
+    assert_eq!(s.peers_dead, 0, "a healed partition must not count as a death");
+}
+
+/// Drive rank 0's completion queue dry, folding every surfaced local rid
+/// into `seen`.
+fn drain_local(c: &PhotonCluster, seen: &mut HashMap<u64, u32>) {
+    let p0 = c.rank(0);
+    let mut evs: Vec<Completion> = Vec::new();
+    loop {
+        evs.clear();
+        let n = p0.poll_completions(ProbeFlags::Local, &mut evs, 64).unwrap_or(0);
+        if n == 0 {
+            break;
+        }
+        for ev in &evs {
+            *seen.entry(ev.rid).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Retry a 1-byte send until the (revived) peer accepts it again.
+fn reconnect(c: &PhotonCluster, peer: usize, rrid: u64) {
+    let p0 = c.rank(0);
+    for _ in 0..50 {
+        match p0.try_send(peer, b"r", rrid) {
+            Ok(true) => return,
+            Ok(false) | Err(PhotonError::PeerDead(_)) => {
+                p0.elapse(20_000);
+            }
+            Err(e) => panic!("reconnect to {peer} failed oddly: {e}"),
+        }
+    }
+    panic!("rank 0 never reconnected to revived rank {peer}");
+}
+
+/// Flood `peer` with unacknowledged 64-byte eager sends until the credit
+/// window closes; returns how many the window admitted.
+fn flood_capacity(c: &PhotonCluster, peer: usize, rid_base: u64) -> u64 {
+    let p0 = c.rank(0);
+    let mut accepted = 0u64;
+    for i in 0..10_000u64 {
+        match p0.try_send(peer, &[0u8; 64], rid_base + i) {
+            Ok(true) => accepted += 1,
+            Ok(false) => break,
+            Err(e) => panic!("flood send {i} to {peer} failed oddly: {e}"),
+        }
+    }
+    accepted
+}
+
+#[test]
+fn flapping_never_double_flushes_rids_and_reclaims_credits_once() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1A9 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let c = PhotonCluster::new(3, NetworkModel::ideal(), fast_cfg());
+        let p0 = c.rank(0);
+        let src = p0.register_buffer(256).unwrap();
+        let dst = c.rank(1).register_buffer(256).unwrap();
+        let d = dst.descriptor();
+
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        let mut posted: Vec<u64> = Vec::new();
+        let mut rid = 1u64;
+        let mut rrid = 0x10_0000u64;
+        let mut deaths = 0u64;
+
+        let phases = rng.gen_range(2..=4);
+        for _ in 0..phases {
+            // Kill rank 1 a hair into the future, then keep posting: some
+            // ops race the kill, some fail at the gate, some ride probes.
+            c.fabric().switch().faults().kill_node_at(1, VTime(p0.now().as_nanos() + 1));
+            deaths += 1;
+            let ops = rng.gen_range(4..=12);
+            for _ in 0..ops {
+                rrid += 1;
+                let accepted = if rng.gen_range(0u8..100) < 50 {
+                    let r = p0.put_with_completion(1, &src, 0, 64, &d, 0, rid, rrid);
+                    match r {
+                        Ok(()) => true,
+                        Err(PhotonError::PeerDead(_)) | Err(PhotonError::WouldBlock) => false,
+                        Err(e) => panic!("seed {seed}: put failed oddly: {e}"),
+                    }
+                } else {
+                    // A send with a local rid so its resolution is countable.
+                    match p0.send_with_local(1, &[7u8; 48], rrid, rid) {
+                        Ok(()) => true,
+                        Err(PhotonError::PeerDead(_)) | Err(PhotonError::WouldBlock) => false,
+                        Err(e) => panic!("seed {seed}: send failed oddly: {e}"),
+                    }
+                };
+                if accepted {
+                    posted.push(rid);
+                }
+                rid += 1;
+                drain_local(&c, &mut seen);
+            }
+            // Ride the health machine to the death verdict, then verify the
+            // eviction flushed everything exactly once.
+            while p0.check_peer(1).unwrap() != PeerHealthState::Dead {
+                p0.elapse(5_000);
+            }
+            drain_local(&c, &mut seen);
+            assert_eq!(p0.in_flight(), 0, "seed {seed}: eviction left in-flight wrs");
+            for r in &posted {
+                assert_eq!(
+                    seen.get(r),
+                    Some(&1),
+                    "seed {seed}: rid {r} resolved {:?} times (want exactly 1)",
+                    seen.get(r)
+                );
+            }
+            // Revive into the next incarnation and reconnect on demand.
+            c.fabric().switch().faults().revive_node_at(1, VTime(p0.now().as_nanos() + 1));
+            p0.elapse(10_000);
+            rrid += 1;
+            reconnect(&c, 1, rrid);
+        }
+
+        assert_eq!(
+            p0.stats().peers_dead,
+            deaths,
+            "seed {seed}: each kill must be detected exactly once (no double eviction)"
+        );
+
+        // Credit conservation across all that flapping: the rebuilt
+        // connection's eager window admits exactly as much as the window
+        // toward never-killed rank 2 — reclaimed once, leaked never.
+        let baseline = flood_capacity(&c, 2, 0x20_0000);
+        let revived = flood_capacity(&c, 1, 0x30_0000);
+        assert!(baseline > 0, "seed {seed}: baseline flood admitted nothing");
+        // The final reconnect consumed one frame of the revived window;
+        // anything beyond that means credits were double-reclaimed or
+        // leaked somewhere across the flaps.
+        assert!(
+            revived <= baseline && baseline - revived <= 1,
+            "seed {seed}: revived credit window {revived} vs baseline {baseline} \
+             (credits double-reclaimed or leaked)"
+        );
+    }
+}

@@ -60,6 +60,31 @@ impl Default for Window {
 /// Windowed extra-latency entries: `(extra_ns, active window)`.
 type WindowedExtras = Vec<(u64, Window)>;
 
+/// A node's crash/revive timeline: sorted kill instants and revive
+/// instants. A node is dead at `t` when its latest kill at or before `t`
+/// is not followed by a revive at or before `t` (a revive at the same
+/// instant as a kill wins — the node is treated as back up). Each revive
+/// starts a new *incarnation*: a rejoined node is a different process
+/// generation, and [`FaultPlan::incarnation_at`] lets higher layers tell
+/// the generations apart.
+#[derive(Debug, Default, Clone)]
+struct NodeLife {
+    kills: Vec<VTime>,
+    revives: Vec<VTime>,
+}
+
+impl NodeLife {
+    fn dead_at(&self, t: VTime) -> bool {
+        let k = self.kills.iter().filter(|&&k| k <= t).max();
+        let Some(&k) = k else { return false };
+        !self.revives.iter().any(|&r| k <= r && r <= t)
+    }
+
+    fn incarnation_at(&self, t: VTime) -> u64 {
+        self.revives.iter().filter(|&&r| r <= t).count() as u64
+    }
+}
+
 /// A performance-fault plan applied by the switch when computing delivery
 /// times.
 #[derive(Debug, Default)]
@@ -77,8 +102,8 @@ pub struct FaultPlan {
     jitter_seed: AtomicU64,
     /// Sequence counter feeding the jitter hash.
     seq: AtomicU64,
-    /// Crash-stop schedule: node -> virtual time from which it is dead.
-    dead_from: RwLock<HashMap<NodeId, VTime>>,
+    /// Crash/revive schedule per node: sorted kill times and revive times.
+    lives: RwLock<HashMap<NodeId, NodeLife>>,
     /// Symmetric partitions keyed by the normalized `(min, max)` pair; each
     /// entry is active during its window. Entries accumulate like link
     /// degradations.
@@ -198,13 +223,37 @@ impl FaultPlan {
 
     /// Crash-stop `node` at virtual time `at`: every packet departing at or
     /// after `at` that would be sent by, delivered to, or served by the node
-    /// fails with [`crate::FabricError::PeerUnreachable`]. Crash-stop is
-    /// permanent (no revive); the earliest kill time wins if called twice.
+    /// fails with [`crate::FabricError::PeerUnreachable`]. Without a
+    /// matching [`FaultPlan::revive_node_at`] the crash is permanent, and
+    /// the earliest kill time wins if called twice.
     pub fn kill_node_at(&self, node: NodeId, at: VTime) {
-        let mut dead = self.dead_from.write();
-        let entry = dead.entry(node).or_insert(at);
-        *entry = (*entry).min(at);
+        let mut lives = self.lives.write();
+        let life = lives.entry(node).or_default();
+        life.kills.push(at);
+        life.kills.sort_unstable();
         self.disruptions.store(true, Ordering::Release);
+    }
+
+    /// Bring `node` back up at virtual time `at` as a **new incarnation**:
+    /// packets depart/arrive normally from `at` on (until a later kill),
+    /// and [`FaultPlan::incarnation_at`] ticks up so middleware can tell
+    /// the rejoined generation from the crashed one. A node can also *join*
+    /// late: kill it at `VTime(0)` and revive it at its join time.
+    pub fn revive_node_at(&self, node: NodeId, at: VTime) {
+        let mut lives = self.lives.write();
+        let life = lives.entry(node).or_default();
+        life.revives.push(at);
+        life.revives.sort_unstable();
+        self.disruptions.store(true, Ordering::Release);
+    }
+
+    /// The incarnation of `node` at virtual time `t`: 0 for the original
+    /// process generation, +1 per revive at or before `t`.
+    pub fn incarnation_at(&self, node: NodeId, t: VTime) -> u64 {
+        if !self.has_disruptions() {
+            return 0;
+        }
+        self.lives.read().get(&node).map_or(0, |l| l.incarnation_at(t))
     }
 
     /// Partition the pair `a <-> b` (both directions) during `window`.
@@ -235,7 +284,7 @@ impl FaultPlan {
         if !self.has_disruptions() {
             return false;
         }
-        self.dead_from.read().get(&node).is_some_and(|&k| t >= k)
+        self.lives.read().get(&node).is_some_and(|l| l.dead_at(t))
     }
 
     /// True when the pair `a <-> b` is inside an active partition window at
@@ -422,6 +471,43 @@ mod tests {
         assert_eq!(p.unreachable_between(2, 0, VTime(600)), Some(2), "dead source blamed");
         assert_eq!(p.unreachable_between(0, 2, VTime(600)), Some(2), "dead destination blamed");
         assert_eq!(p.unreachable_between(0, 1, VTime(600)), None);
+    }
+
+    #[test]
+    fn revive_opens_a_new_incarnation() {
+        let p = FaultPlan::none();
+        p.kill_node_at(3, VTime(1_000));
+        p.revive_node_at(3, VTime(5_000));
+        assert!(!p.node_dead_at(3, VTime(999)));
+        assert!(p.node_dead_at(3, VTime(1_000)));
+        assert!(p.node_dead_at(3, VTime(4_999)));
+        assert!(!p.node_dead_at(3, VTime(5_000)), "revive instant is inclusive");
+        assert!(!p.node_dead_at(3, VTime(u64::MAX)));
+        assert_eq!(p.incarnation_at(3, VTime(0)), 0);
+        assert_eq!(p.incarnation_at(3, VTime(4_999)), 0);
+        assert_eq!(p.incarnation_at(3, VTime(5_000)), 1, "rejoin is a new generation");
+        // A second kill re-kills the new incarnation.
+        p.kill_node_at(3, VTime(9_000));
+        assert!(!p.node_dead_at(3, VTime(8_999)));
+        assert!(p.node_dead_at(3, VTime(9_000)));
+        p.revive_node_at(3, VTime(9_500));
+        assert_eq!(p.incarnation_at(3, VTime(9_500)), 2);
+        assert!(!p.node_dead_at(3, VTime(9_500)));
+        // Reachability blame follows the windows.
+        assert_eq!(p.unreachable_between(0, 3, VTime(2_000)), Some(3));
+        assert_eq!(p.unreachable_between(0, 3, VTime(6_000)), None);
+    }
+
+    #[test]
+    fn late_join_is_kill_at_zero_plus_revive() {
+        let p = FaultPlan::none();
+        p.kill_node_at(7, VTime(0));
+        p.revive_node_at(7, VTime(40_000));
+        assert!(p.node_dead_at(7, VTime(0)));
+        assert!(p.node_dead_at(7, VTime(39_999)));
+        assert!(!p.node_dead_at(7, VTime(40_000)), "joined");
+        assert_eq!(p.incarnation_at(7, VTime(40_000)), 1);
+        assert_eq!(p.incarnation_at(7, VTime(0)), 0);
     }
 
     #[test]

@@ -253,6 +253,17 @@ impl Nic {
             .is_some_and(|st| st.qp == qp && st.error.load(Ordering::Acquire))
     }
 
+    /// Whether this NIC's *own* node is dead at `now` — i.e. the caller's
+    /// virtual clock has crossed the node's scheduled kill time (probe
+    /// rides and partition waits advance clocks past arbitrary fault
+    /// boundaries). [`Nic::peer_status`] reports [`WcStatus::RemoteDead`]
+    /// when *either* end of the wire is down; this read lets the layer
+    /// above tell "the peer died" from "I died" so it never records a
+    /// live peer dead on the strength of its own crash.
+    pub fn self_dead_at(&self, now: VTime) -> bool {
+        self.switch.upgrade().is_some_and(|sw| sw.faults().node_dead_at(self.node, now))
+    }
+
     /// Reachability pre-check for `qp`'s peer at virtual time `now`:
     /// `None` when the path is healthy, otherwise the status a post at
     /// `now` would fail with ([`WcStatus::RemoteDead`] for a crashed node,
@@ -272,6 +283,34 @@ impl Nic {
         } else {
             None
         }
+    }
+
+    /// Reachability pre-check for `peer` without a QP — the connection-
+    /// manager analogue of [`Nic::peer_status`], usable before any QP to
+    /// the peer exists. Same status mapping: `RemoteDead` for a crashed
+    /// node (or when this node itself is dead), `RetryExceeded` for an
+    /// active partition, `None` for a healthy path.
+    pub fn node_status(&self, peer: NodeId, now: VTime) -> Option<WcStatus> {
+        let sw = self.switch.upgrade()?;
+        let f = sw.faults();
+        if !f.has_disruptions() {
+            return None;
+        }
+        if f.node_dead_at(peer, now) || f.node_dead_at(self.node, now) {
+            Some(WcStatus::RemoteDead)
+        } else if f.partitioned_at(self.node, peer, now) {
+            Some(WcStatus::RetryExceeded)
+        } else {
+            None
+        }
+    }
+
+    /// The incarnation of `peer` at virtual time `now` (0 = original
+    /// generation, +1 per [`crate::FaultPlan::revive_node_at`]). A
+    /// connection established against one incarnation must not be reused
+    /// against a later one.
+    pub fn node_incarnation(&self, peer: NodeId, now: VTime) -> u64 {
+        self.switch.upgrade().map_or(0, |sw| sw.faults().incarnation_at(peer, now))
     }
 
     /// Destroy a QP; subsequent posts on it fail.

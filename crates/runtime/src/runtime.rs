@@ -44,6 +44,12 @@ pub struct RtConfig {
     pub coalesce_max: usize,
     /// RPC-layer knobs (dedup-window sizing; see [`crate::rpc`]).
     pub rpc: crate::rpc::RpcConfig,
+    /// Gossip membership: when set, every node runs the epidemic
+    /// membership protocol ([`photon_core::Membership`]) off its progress
+    /// thread, so deaths, joins and departures disseminate cluster-wide
+    /// without any rank polling all N peers. `None` (the default) keeps
+    /// membership knowledge purely local, as before.
+    pub membership: Option<photon_core::MembershipConfig>,
     /// The middleware configuration underneath.
     pub photon: PhotonConfig,
 }
@@ -55,6 +61,7 @@ impl Default for RtConfig {
             parcel_eager_max: 8192,
             coalesce_max: 0,
             rpc: crate::rpc::RpcConfig::default(),
+            membership: None,
             photon: PhotonConfig::default(),
         }
     }
@@ -101,6 +108,7 @@ pub struct RtNode {
     stats: RtCounters,
     coalescer: Mutex<Coalescer>,
     rpc: crate::rpc::RpcState,
+    membership: Option<photon_core::Membership>,
     self_ref: Mutex<Option<Arc<RtNode>>>,
 }
 
@@ -142,6 +150,13 @@ impl RuntimeCluster {
                 stats: RtCounters::default(),
                 coalescer: Mutex::new(Coalescer::new(n)),
                 rpc: crate::rpc::RpcState::new(cfg.rpc),
+                membership: cfg.membership.map(|mcfg| {
+                    photon_core::Membership::new(
+                        Arc::clone(photon.rank(i)),
+                        mcfg,
+                        0x6055_1900 ^ i as u64,
+                    )
+                }),
                 self_ref: Mutex::new(None),
             });
             *node.self_ref.lock() = Some(Arc::clone(&node));
@@ -229,6 +244,12 @@ impl RtNode {
     /// The node's RPC state (crate-internal plumbing).
     pub(crate) fn rpc(&self) -> &crate::rpc::RpcState {
         &self.rpc
+    }
+
+    /// The gossip membership instance, when [`RtConfig::membership`] is
+    /// set: query views, statuses and dissemination statistics.
+    pub fn membership(&self) -> Option<&photon_core::Membership> {
+        self.membership.as_ref()
     }
 
     /// RPC statistics for this node (client and server side).
@@ -420,6 +441,14 @@ impl RtNode {
                 if forgotten > 0 {
                     RpcCounters::add(&self.rpc.counters.srv_clients_forgotten, forgotten as u64);
                 }
+                if let Some(m) = &self.membership {
+                    m.note_dead(peer);
+                }
+            }
+            // Gossip rounds ride the progress thread, interval-gated in
+            // virtual time inside tick().
+            if let Some(m) = &self.membership {
+                m.tick();
             }
             match self.photon.poll_completions(ProbeFlags::Remote, &mut events, BATCH) {
                 Ok(0) => {
@@ -890,6 +919,44 @@ mod tests {
         let payload = vec![3u8; 64 * 1024];
         assert_eq!(n0.send_parcel(1, sink, &payload).unwrap_err(), RtError::PeerDead(1));
         assert_eq!(n0.stats().parcels_failed, 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn gossip_membership_disseminates_death_to_bystanders() {
+        use photon_core::{MemberStatus, MembershipConfig};
+        use photon_fabric::VTime;
+        let mut reg = ActionRegistry::new();
+        let echo = reg.register("echo", |_ctx, payload| Some(payload.to_vec()));
+        let cfg = RtConfig {
+            membership: Some(MembershipConfig { fanout: 2, interval_ns: 1_000, max_rumors: 64 }),
+            ..RtConfig::default()
+        };
+        let c = RuntimeCluster::new(4, NetworkModel::ib_fdr(), cfg, reg);
+        c.photon().fabric().switch().faults().kill_node_at(3, VTime(0));
+        // Only node 0 ever talks to the dead rank; nodes 1 and 2 must learn
+        // of the death purely from gossip.
+        let n0 = c.node(0);
+        assert_eq!(n0.send_parcel(3, echo, b"void").unwrap_err(), RtError::PeerDead(3));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let informed = [1, 2]
+                .iter()
+                .all(|&i| c.node(i).membership().unwrap().status_of(3) == MemberStatus::Dead);
+            if informed {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "death rumor never spread");
+            // Progress threads gate rounds on virtual time; nudge it along.
+            for i in 0..3 {
+                c.node(i).photon().elapse(1_000);
+            }
+            std::thread::yield_now();
+        }
+        // Survivors keep working while the rumor mill turns.
+        let (lco, fut) = n0.new_future();
+        n0.send_parcel_with_cont(1, echo, b"alive", lco).unwrap();
+        assert_eq!(fut.wait(), b"alive");
         c.shutdown();
     }
 

@@ -12,6 +12,7 @@
 //! (`proptest-regressions/simtest.txt`) for this campaign are replayed, so
 //! past failures act as permanent regression tests.
 
+use crate::churn_driver::run_churn_case;
 use crate::ds_driver::run_ds_case;
 use crate::exec::CaseReport;
 use crate::fnv1a;
@@ -52,11 +53,16 @@ pub enum Campaign {
     /// crash and links partition; a per-key linearizability checker must
     /// explain every observation, with errored ops as indeterminate.
     Ds,
+    /// Membership churn: nodes crash, rejoin and late-join mid-traffic
+    /// while every rank runs gossip membership over a bounded connection
+    /// cache; checkers enforce all-ops-resolve, view convergence to fabric
+    /// ground truth, reconnect-on-demand and bounded per-rank state.
+    Churn,
 }
 
 impl Campaign {
     /// All campaigns, in CLI listing order.
-    pub fn all() -> [Campaign; 7] {
+    pub fn all() -> [Campaign; 8] {
         [
             Campaign::Smoke,
             Campaign::Credits,
@@ -65,6 +71,7 @@ impl Campaign {
             Campaign::Crash,
             Campaign::Rpc,
             Campaign::Ds,
+            Campaign::Churn,
         ]
     }
 
@@ -78,6 +85,7 @@ impl Campaign {
             Campaign::Crash => "crash",
             Campaign::Rpc => "rpc",
             Campaign::Ds => "ds",
+            Campaign::Churn => "churn",
         }
     }
 
@@ -96,6 +104,7 @@ impl Campaign {
             Campaign::Crash => SimParams::crash(),
             Campaign::Rpc => SimParams::rpc(),
             Campaign::Ds => SimParams::ds(),
+            Campaign::Churn => SimParams::churn(),
         }
     }
 }
@@ -236,7 +245,7 @@ impl CampaignResult {
 /// run the threaded rpc driver instead.
 pub fn is_schedule_case(campaign: Campaign, case_id: u64) -> bool {
     match campaign {
-        Campaign::Rpc | Campaign::Ds => false,
+        Campaign::Rpc | Campaign::Ds | Campaign::Churn => false,
         Campaign::Quiescence => !(case_id % 8 == 3 || case_id % 8 == 6),
         _ => true,
     }
@@ -263,6 +272,8 @@ pub fn run_one_opts(
         run_rpc_case(seed, case_id, &campaign.params())
     } else if campaign == Campaign::Ds {
         run_ds_case(seed, case_id, &campaign.params())
+    } else if campaign == Campaign::Churn {
+        run_churn_case(seed, case_id, &campaign.params())
     } else if is_schedule_case(campaign, case_id) {
         crate::exec::run_case_cfg(seed, case_id, &campaign.params(), |cfg| {
             cfg.progress_threads = progress_threads

@@ -1,0 +1,581 @@
+//! Churn campaign driver: gossip membership + lazy connection cache under
+//! node kills, rejoins and late joins, at cluster sizes far beyond what the
+//! schedule executor drives.
+//!
+//! Unlike the runtime driver (real threads per node), a churn case runs the
+//! Photon-core stack single-threaded: one [`photon_core::PhotonCluster`]
+//! plus one [`photon_core::Membership`] instance per rank, stepped in rank
+//! order. The simulated fabric applies RDMA effects synchronously at post
+//! and the health gate rides its backoff probes to a verdict inside the
+//! blocking wrappers, so a case is a pure function of `(seed, case_id)` —
+//! which is what lets the campaign pin 1000-node cases by seed.
+//!
+//! Each case generates a churn plan — crashes mid-traffic, crash-then-rejoin
+//! windows, and "late joiners" (killed at t≈0, revived mid-run: the join
+//! case) — then interleaves point-to-point traffic (PWC puts and eager
+//! sends, some deliberately aimed at dead ranks) with gossip rounds.
+//! Checked invariants:
+//!
+//! * **all-ops-resolve** — every accepted op resolves to a success or a
+//!   typed error (`OpFailed`/`PeerDead`); a `Timeout` is a named violation;
+//! * **payload integrity** — puts into never-churned ranks are verified
+//!   byte-for-byte after their remote completion surfaces;
+//! * **membership convergence** — after the last churn event, every live
+//!   rank's view must reach the fabric's ground truth (dead ranks Dead,
+//!   rejoined ranks Alive at their *new* incarnation) within
+//!   `4·log2(n) + 16` gossip rounds;
+//! * **reconnect-on-demand** — traffic to a rejoined rank must succeed
+//!   again (the dead-map gate clears on the incarnation bump), and traffic
+//!   to a still-dead rank must keep failing `PeerDead`;
+//! * **bounded state** — with a finite connection-cache cap the cached-conn
+//!   count never exceeds it, the membership view stays within 64 bytes per
+//!   member, and no live rank ends the case with in-flight work requests.
+
+use crate::checkers::Violations;
+use crate::exec::CaseReport;
+use crate::schedule::SimParams;
+use crate::{fnv1a, splitmix64};
+use photon_core::{
+    Completion, CompletionClass, MemberStatus, Membership, MembershipConfig, PhotonCluster,
+    PhotonConfig, PhotonError, ProbeFlags,
+};
+use photon_fabric::{NetworkModel, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Virtual nanoseconds each driver step advances every rank's clock.
+const STEP_NS: u64 = 20_000;
+
+/// What the churn plan does to one rank.
+#[derive(Debug, Clone, Copy, Default)]
+struct Fate {
+    /// Step at whose start the kill takes effect; `usize::MAX` marks a
+    /// late joiner (killed at t=1ns, before any traffic).
+    kill_step: Option<usize>,
+    /// Step at whose start the revive takes effect.
+    revive_step: Option<usize>,
+}
+
+impl Fate {
+    fn churned(&self) -> bool {
+        self.kill_step.is_some()
+    }
+
+    /// Fabric-liveness during step `s` (clocks sit past the step boundary).
+    /// A late joiner (`kill_step == usize::MAX`, killed at t=1ns) is dead
+    /// from step 0 until its revive step.
+    fn alive_at(&self, s: usize) -> bool {
+        match (self.kill_step, self.revive_step) {
+            (None, _) => true,
+            (Some(k), None) => s < k,
+            (Some(k), Some(r)) => (k != usize::MAX && s < k) || s >= r,
+        }
+    }
+
+    fn alive_at_end(&self) -> bool {
+        self.kill_step.is_none() || self.revive_step.is_some()
+    }
+
+    /// The fabric incarnation the rank holds once all plan events passed.
+    fn final_inc(&self) -> u64 {
+        u64::from(self.revive_step.is_some())
+    }
+}
+
+/// Aggregate measurements of one churn case, for the E22 experiment and the
+/// scaling tests. Everything here is deterministic per `(seed, case_id)`.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnMetrics {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Traffic steps driven before the convergence phase.
+    pub steps: usize,
+    /// Connection-cache capacity the case ran with (0 = unbounded).
+    pub cache_cap: usize,
+    /// Gossip rounds the convergence phase needed after the last churn
+    /// event (`None` ⇒ the budget was exhausted — also a violation).
+    pub conv_rounds: Option<u64>,
+    /// Largest per-rank connection-cache footprint at case end, bytes.
+    pub max_conn_state: usize,
+    /// Largest per-rank membership-view footprint at case end, bytes.
+    pub max_member_state: usize,
+    /// Ops accepted by a post (puts and sends).
+    pub posted: u64,
+    /// Accepted ops that resolved successfully.
+    pub resolved_ok: u64,
+    /// Accepted or attempted ops that resolved as typed errors.
+    pub resolved_err: u64,
+    /// Gossip messages sent across all ranks.
+    pub gossip_msgs: u64,
+    /// Gossip rounds run across all ranks.
+    pub gossip_rounds: u64,
+    /// Deaths ranks learned from gossip before local detection.
+    pub deaths_gossip: u64,
+    /// Send attempts the rejoin-reconnect check needed in total.
+    pub reconnect_attempts: u64,
+}
+
+/// Run one seeded churn case under the campaign parameters.
+pub fn run_churn_case(seed: u64, case_id: u64, params: &SimParams) -> CaseReport {
+    run_churn_case_metrics(seed, case_id, params, None).0
+}
+
+/// [`run_churn_case`] variant that also returns the case's measurements.
+/// `cap_override` pins the connection-cache capacity (the E22 sweep and the
+/// scaling test need it held constant while `n` varies); `None` draws it
+/// from the case RNG like the campaign does.
+pub fn run_churn_case_metrics(
+    seed: u64,
+    case_id: u64,
+    params: &SimParams,
+    cap_override: Option<usize>,
+) -> (CaseReport, ChurnMetrics) {
+    let mut rng = StdRng::seed_from_u64(seed ^ case_id.wrapping_mul(0xC11A_0A0F_5EED_C0DE));
+    let mut violations = Violations::default();
+
+    let n = rng.gen_range(params.min_nodes..=params.max_nodes);
+    let steps = rng.gen_range(params.min_ops..=params.max_ops).max(12);
+    let drawn_cap = [0usize, 8, 16][rng.gen_range(0..3usize)];
+    let cap = cap_override.unwrap_or(drawn_cap);
+    let connect_cost = [0u64, 500][rng.gen_range(0..2usize)];
+    let fanout = rng.gen_range(2..=3);
+
+    // Fast-death health knobs: the full backoff ride (deadline + 5 probes)
+    // spans ≈70k virtual ns, well inside every kill→revive window the plan
+    // generates (≥5 steps of 20k ns), so crashes are always detectable.
+    let cfg = PhotonConfig {
+        eager_threshold: 1024,
+        eager_ring_bytes: 8 * 1024,
+        ledger_entries: 32,
+        credit_interval: 8,
+        conn_cache_cap: cap,
+        connect_cost_ns: connect_cost,
+        suspect_deadline_ns: 5_000,
+        backoff_base_ns: 2_000,
+        backoff_max_ns: 40_000,
+        suspect_death_probes: 5,
+        ..PhotonConfig::default()
+    };
+
+    // ---- churn plan: distinct victims, at least two ranks never churned.
+    // `crash_pct` is the campaign's churn-rate axis (E22 sweeps it): 100
+    // churns up to 10% of the cluster, bounded at 64 victims so the
+    // convergence budget stays meaningful at every size.
+    let mut fate = vec![Fate::default(); n];
+    let max_victims = (n * params.crash_pct as usize / 1000).clamp(1, 64);
+    let n_victims = rng.gen_range(1..=max_victims);
+    let mut victims: Vec<usize> = Vec::new();
+    while victims.len() < n_victims {
+        let v = rng.gen_range(0..n);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    for &v in &victims {
+        let roll = rng.gen_range(0u8..100);
+        if roll < 30 && n >= 8 {
+            // Late joiner: dead before any traffic, joins mid-run.
+            fate[v] = Fate {
+                kill_step: Some(usize::MAX),
+                revive_step: Some(rng.gen_range(steps / 3..2 * steps / 3)),
+            };
+        } else {
+            let k = rng.gen_range(2..steps - 4);
+            let revive =
+                if roll < 65 && k + 5 < steps { Some(rng.gen_range(k + 5..steps)) } else { None };
+            fate[v] = Fate { kill_step: Some(k), revive_step: revive };
+        }
+    }
+
+    let c = PhotonCluster::new(n, NetworkModel::ideal(), cfg);
+    for (r, f) in fate.iter().enumerate() {
+        if let Some(k) = f.kill_step {
+            let at = if k == usize::MAX { 1 } else { k as u64 * STEP_NS + 1 };
+            c.fabric().switch().faults().kill_node_at(r, VTime(at));
+        }
+        if let Some(rv) = f.revive_step {
+            c.fabric().switch().faults().revive_node_at(r, VTime(rv as u64 * STEP_NS + 1));
+        }
+    }
+
+    let mcfg = MembershipConfig { fanout, interval_ns: 0, max_rumors: 64 };
+    let ms: Vec<Membership> = c
+        .ranks()
+        .iter()
+        .map(|p| Membership::new(Arc::clone(p), mcfg, seed ^ case_id.rotate_left(17)))
+        .collect();
+
+    // One registered buffer per rank: puts land in a per-source slot so an
+    // immediate read-back can verify integrity without cross-op races.
+    let bufs: Vec<_> = c.ranks().iter().map(|p| p.register_buffer(1024).expect("buf")).collect();
+    let descs: Vec<_> = bufs.iter().map(|b| b.descriptor()).collect();
+
+    let mut m = ChurnMetrics { nodes: n, steps, cache_cap: cap, ..ChurnMetrics::default() };
+    let alive_at = |r: usize, s: usize| fate[r].alive_at(s);
+    let ops_per_step = (n / 16).clamp(2, 24);
+    let mut next_rid = vec![1u64; n];
+    let mut rrid_seq = 0x10_0000u64;
+    let mut evbuf: Vec<Completion> = Vec::new();
+    let mut op_no = 0u64;
+
+    for s in 0..steps {
+        for p in c.ranks() {
+            p.elapse(STEP_NS);
+        }
+        let live: Vec<usize> = (0..n).filter(|&r| alive_at(r, s)).collect();
+
+        for _ in 0..ops_per_step {
+            let src = live[rng.gen_range(0..live.len())];
+            let mut dst = rng.gen_range(0..n);
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            let len = rng.gen_range(8usize..=128);
+            let fill = splitmix64(seed ^ op_no.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            op_no += 1;
+            let payload: Vec<u8> =
+                (0..len).map(|i| (fill.rotate_left((i % 57) as u32) as u8) ^ i as u8).collect();
+            let p = c.rank(src);
+            rrid_seq += 1;
+            let rrid = rrid_seq;
+
+            if rng.gen_range(0u8..100) < 50 {
+                // PWC put into dst's per-source slot.
+                let doff = (src % 8) * 128;
+                let rid = next_rid[src];
+                next_rid[src] += 1;
+                bufs[src].write_at(0, &payload);
+                match p.put_with_completion(dst, &bufs[src], 0, len, &descs[dst], doff, rid, rrid) {
+                    Ok(()) => {
+                        m.posted += 1;
+                        match p.wait_local(rid) {
+                            Ok(_) => {
+                                m.resolved_ok += 1;
+                                // Integrity + remote delivery, but only for
+                                // targets the plan never touches: a churned
+                                // target may legitimately lose the frame.
+                                if !fate[dst].churned() {
+                                    verify_put(
+                                        &c,
+                                        dst,
+                                        rrid,
+                                        doff,
+                                        &payload,
+                                        &bufs,
+                                        &mut evbuf,
+                                        &mut violations,
+                                    );
+                                }
+                            }
+                            Err(PhotonError::OpFailed { .. }) | Err(PhotonError::PeerDead(_)) => {
+                                m.resolved_err += 1;
+                            }
+                            Err(e) => violations.push(format!(
+                                "put rid {rid} from {src} to {dst} did not resolve typed: {e}"
+                            )),
+                        }
+                    }
+                    Err(PhotonError::PeerDead(_)) | Err(PhotonError::WouldBlock) => {
+                        m.resolved_err += 1;
+                    }
+                    Err(e) => violations.push(format!("put post {src}->{dst} failed oddly: {e}")),
+                }
+            } else {
+                match p.send(dst, &payload, rrid) {
+                    Ok(()) => {
+                        m.posted += 1;
+                        m.resolved_ok += 1;
+                    }
+                    Err(PhotonError::PeerDead(_)) | Err(PhotonError::WouldBlock) => {
+                        m.resolved_err += 1;
+                    }
+                    Err(e) => violations.push(format!("send {src}->{dst} failed oddly: {e}")),
+                }
+            }
+        }
+
+        // Gossip: feed direct death verdicts, then one round per live rank.
+        for &r in &live {
+            for peer in c.rank(r).take_dead_peers() {
+                ms[r].note_dead(peer);
+            }
+            ms[r].tick();
+        }
+        // Drain surfaced events so queues stay bounded under churn.
+        for &r in &live {
+            let _ = c.rank(r).poll_completions(ProbeFlags::Any, &mut evbuf, 256);
+            evbuf.clear();
+        }
+    }
+
+    // ---- convergence phase: all churn events are in the past once every
+    // clock passes the plan horizon; gossip must now reach ground truth.
+    for p in c.ranks() {
+        p.elapse((steps as u64 + 4) * STEP_NS);
+    }
+    let live_end: Vec<usize> = (0..n).filter(|&r| fate[r].alive_at_end()).collect();
+    let budget = 4 * (usize::BITS - n.leading_zeros()) as u64 + 16;
+    for round in 1..=budget {
+        for &r in &live_end {
+            for peer in c.rank(r).take_dead_peers() {
+                ms[r].note_dead(peer);
+            }
+            ms[r].tick();
+        }
+        for &r in &live_end {
+            c.rank(r).elapse(STEP_NS);
+        }
+        if divergence(&ms, &fate, &live_end).is_none() {
+            m.conv_rounds = Some(round);
+            break;
+        }
+    }
+    if m.conv_rounds.is_none() {
+        let why = divergence(&ms, &fate, &live_end).unwrap_or_default();
+        violations
+            .push(format!("membership failed to converge within {budget} gossip rounds: {why}"));
+    }
+
+    // ---- reconnect-on-demand: rejoined ranks must accept traffic again;
+    // permanently dead ranks must keep refusing it.
+    for (j, f) in fate.iter().enumerate() {
+        if !(f.churned() && f.alive_at_end()) {
+            continue;
+        }
+        for &src in live_end.iter().filter(|&&r| r != j).take(3) {
+            let p = c.rank(src);
+            let mut ok = false;
+            for _ in 0..30 {
+                m.reconnect_attempts += 1;
+                rrid_seq += 1;
+                match p.send(j, b"rejoin-hello", rrid_seq) {
+                    Ok(()) => {
+                        ok = true;
+                        break;
+                    }
+                    Err(PhotonError::PeerDead(_)) | Err(PhotonError::WouldBlock) => {
+                        p.elapse(STEP_NS);
+                    }
+                    Err(e) => {
+                        violations.push(format!("reconnect {src}->{j} failed oddly: {e}"));
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                violations.push(format!(
+                    "rank {src} could not reconnect to rejoined rank {j} (incarnation gate stuck)"
+                ));
+            }
+        }
+    }
+    if let Some(&probe_src) = live_end.first() {
+        for (j, f) in fate.iter().enumerate() {
+            if f.alive_at_end() || j == probe_src {
+                continue;
+            }
+            rrid_seq += 1;
+            match c.rank(probe_src).send(j, b"necromancy", rrid_seq) {
+                Err(PhotonError::PeerDead(_)) => {}
+                Ok(()) => violations.push(format!("dead rank {j} accepted traffic at case end")),
+                Err(e) => violations.push(format!("probe of dead rank {j} failed oddly: {e}")),
+            }
+        }
+    }
+
+    // ---- bounded-state checks and measurements.
+    for &r in &live_end {
+        let p = c.rank(r);
+        for peer in p.take_dead_peers() {
+            ms[r].note_dead(peer);
+        }
+        let conns = p.peer_states().len();
+        if cap != 0 && conns > cap {
+            violations.push(format!("rank {r} caches {conns} conns, cap {cap}"));
+        }
+        let member = ms[r].state_bytes();
+        if member > 64 * n {
+            violations.push(format!("rank {r} membership view {member} bytes for n={n}"));
+        }
+        if p.in_flight() != 0 {
+            violations.push(format!("rank {r} ends with {} in-flight wrs", p.in_flight()));
+        }
+        m.max_conn_state = m.max_conn_state.max(p.conn_state_bytes());
+        m.max_member_state = m.max_member_state.max(member);
+        let s = ms[r].stats();
+        m.gossip_msgs += s.gossip_msgs_tx;
+        m.gossip_rounds += s.gossip_rounds;
+        m.deaths_gossip += s.deaths_gossip;
+    }
+
+    // ---- digest: every deterministic fact that should stay pinned.
+    let mut digest_src = String::new();
+    let _ = write!(
+        digest_src,
+        "churn n={n} steps={steps} cap={cap} cost={connect_cost} fanout={fanout};"
+    );
+    for (r, f) in fate.iter().enumerate() {
+        if f.churned() {
+            let _ = write!(digest_src, "fate {r}:{:?}/{:?};", f.kill_step, f.revive_step);
+        }
+    }
+    let _ = write!(
+        digest_src,
+        "posted={} ok={} err={} conv={:?} reconn={} gmsgs={} grounds={} dg={} mem={}/{};",
+        m.posted,
+        m.resolved_ok,
+        m.resolved_err,
+        m.conv_rounds,
+        m.reconnect_attempts,
+        m.gossip_msgs,
+        m.gossip_rounds,
+        m.deaths_gossip,
+        m.max_conn_state,
+        m.max_member_state
+    );
+    for &r in &live_end {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for e in ms[r].view() {
+            h = h
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(e.rank as u64)
+                .wrapping_add(e.incarnation << 8)
+                .wrapping_add(e.status as u64 + 1);
+        }
+        let _ = write!(digest_src, "{r}:{h:x};");
+    }
+
+    let resolved_err = m.resolved_err;
+    (
+        CaseReport {
+            seed,
+            case_id,
+            violations: violations.into_items(),
+            digest: fnv1a(digest_src.as_bytes()),
+            sweeps: steps as u64,
+            resolved_err,
+            stats: Vec::new(),
+            trace_csv: Vec::new(),
+            span_json: String::new(),
+        },
+        m,
+    )
+}
+
+/// Wait for the put's remote completion at `dst` and verify the payload
+/// landed intact. Only called for never-churned targets.
+#[allow(clippy::too_many_arguments)]
+fn verify_put(
+    c: &PhotonCluster,
+    dst: usize,
+    rrid: u64,
+    doff: usize,
+    payload: &[u8],
+    bufs: &[photon_core::PhotonBuffer],
+    evbuf: &mut Vec<Completion>,
+    violations: &mut Violations,
+) {
+    let d = c.rank(dst);
+    let mut seen = false;
+    for _ in 0..50 {
+        let _ = d.poll_completions(ProbeFlags::Any, evbuf, 64);
+        for ev in evbuf.drain(..) {
+            if ev.class == CompletionClass::Remote && ev.rid == rrid {
+                seen = true;
+            }
+        }
+        if seen {
+            break;
+        }
+        // The producer's clock may run ahead (probe rides); catch up.
+        d.elapse(5_000);
+    }
+    if !seen {
+        violations.push(format!("remote completion rid {rrid:#x} never surfaced at rank {dst}"));
+        return;
+    }
+    if bufs[dst].to_vec(doff, payload.len()) != payload {
+        violations.push(format!("payload corrupt at rank {dst} off {doff} len {}", payload.len()));
+    }
+}
+
+/// First discrepancy between live ranks' views and fabric ground truth, or
+/// `None` once converged: dead ranks seen Dead, live ranks seen Alive, and
+/// rejoined ranks known at their new incarnation.
+fn divergence(ms: &[Membership], fate: &[Fate], live_end: &[usize]) -> Option<String> {
+    for &i in live_end {
+        for (j, f) in fate.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let st = ms[i].status_of(j);
+            if f.alive_at_end() {
+                if st != MemberStatus::Alive {
+                    return Some(format!("rank {i} sees live rank {j} as {st:?}"));
+                }
+                let want = f.final_inc();
+                if want > 0 {
+                    match ms[i].entry_of(j) {
+                        Some(e) if e.incarnation == want => {}
+                        Some(e) => {
+                            return Some(format!(
+                                "rank {i} knows rejoined rank {j} at incarnation {} (want {want})",
+                                e.incarnation
+                            ));
+                        }
+                        None => {
+                            return Some(format!("rank {i} never heard of rejoined rank {j}"));
+                        }
+                    }
+                }
+            } else if st != MemberStatus::Dead {
+                return Some(format!("rank {i} sees dead rank {j} as {st:?}"));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_cases_are_deterministic() {
+        let params = SimParams::churn();
+        let (a, am) = run_churn_case_metrics(0xC0DE, 3, &params, None);
+        let (b, bm) = run_churn_case_metrics(0xC0DE, 3, &params, None);
+        assert!(a.passed(), "{:?}", a.violations);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(am.conv_rounds, bm.conv_rounds);
+        assert_eq!(am.max_conn_state, bm.max_conn_state);
+    }
+
+    #[test]
+    fn churn_preset_cases_pass() {
+        let params = SimParams::churn();
+        for case_id in 0..4 {
+            let rep = run_churn_case(0x05EE_DC41, case_id, &params);
+            assert!(rep.passed(), "case {case_id}: {:?}", rep.violations);
+        }
+    }
+
+    #[test]
+    fn churn_cases_exercise_gossip_and_churn() {
+        // The plan generator must actually produce churn, and convergence
+        // must be gossip-driven (not every rank detecting every death).
+        let params = SimParams::churn();
+        let mut any_deaths_gossip = false;
+        for case_id in 0..3 {
+            let (rep, m) = run_churn_case_metrics(0xFADE, case_id, &params, None);
+            assert!(rep.passed(), "case {case_id}: {:?}", rep.violations);
+            assert!(m.conv_rounds.is_some());
+            assert!(m.posted > 0);
+            assert!(m.gossip_msgs > 0);
+            any_deaths_gossip |= m.deaths_gossip > 0;
+        }
+        assert!(any_deaths_gossip, "no case disseminated a death via gossip");
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod campaign;
 pub mod checkers;
+pub mod churn_driver;
 pub mod ds_driver;
 pub mod exec;
 pub mod msg_driver;
@@ -47,6 +48,7 @@ pub mod shrink;
 
 pub use campaign::{run_campaign, Campaign, CampaignOpts, CampaignResult, CaseFailure};
 pub use checkers::Violations;
+pub use churn_driver::{run_churn_case, run_churn_case_metrics, ChurnMetrics};
 pub use exec::{run_case, run_case_cfg, run_schedule, run_schedule_cfg, CaseReport};
 pub use schedule::{FaultSpec, Op, Schedule, SimParams};
 pub use shrink::{shrink_schedule, shrink_schedule_cfg, Shrunk};

@@ -1,0 +1,72 @@
+//! Churn-at-scale acceptance tests: the 1000-node case the issue pins, and
+//! the per-rank memory scaling law across cluster sizes.
+//!
+//! These run the churn driver directly (not through the campaign) so the
+//! cluster size and connection-cache capacity can be held constant while
+//! everything else stays seeded and deterministic.
+
+use photon_simtest::{run_churn_case_metrics, SimParams};
+
+/// A churn parameter set pinned to exactly `n` ranks and a short traffic
+/// phase (the convergence phase after it dominates what these tests check).
+fn params_at(n: usize) -> SimParams {
+    SimParams { min_nodes: n, max_nodes: n, min_ops: 12, max_ops: 12, ..SimParams::churn() }
+}
+
+/// The headline robustness case: 1000 ranks, crashes and rejoins mid-traffic,
+/// a 16-entry connection cache. Every op must resolve typed, membership must
+/// reach ground truth within the O(log n) budget, and no rank may end with
+/// unbounded per-peer state.
+#[test]
+fn churn_survives_1000_nodes() {
+    let (rep, m) = run_churn_case_metrics(0x1000_5EED, 1, &params_at(1000), Some(16));
+    assert!(rep.passed(), "1000-node churn case failed: {:?}", rep.violations);
+    assert_eq!(m.nodes, 1000);
+    assert!(m.posted > 0, "case drove no traffic");
+    assert!(m.conv_rounds.is_some(), "membership never converged (budget = 4*log2(n) + 16 rounds)");
+    assert!(m.gossip_msgs > 0, "no gossip was exchanged");
+    // The cache cap bounds connection state absolutely, independent of n:
+    // 16 conns of a few KiB each, with headroom for block/service overhead.
+    assert!(
+        m.max_conn_state < 2 * 1024 * 1024,
+        "per-rank connection state {} bytes at cap 16",
+        m.max_conn_state
+    );
+}
+
+/// Per-rank *connection* state must be sublinear in cluster size when the
+/// cache cap is held constant — the fitted exponent over n ∈ {64, 256, 1000}
+/// stays below 0.5 (it is essentially flat: the LRU cap bounds it).
+/// Membership state is O(n) by design (a SWIM view names every member) but
+/// must stay within its 64-bytes-per-member envelope, which the driver
+/// asserts internally for every case.
+#[test]
+fn churn_per_rank_memory_is_sublinear() {
+    let sizes = [64usize, 256, 1000];
+    let mut conn_bytes = Vec::new();
+    let mut member_bytes = Vec::new();
+    for &n in &sizes {
+        let (rep, m) = run_churn_case_metrics(0x5CA1_AB1E, 2, &params_at(n), Some(16));
+        assert!(rep.passed(), "n={n}: {:?}", rep.violations);
+        assert!(m.max_conn_state > 0, "n={n}: no connection state measured");
+        conn_bytes.push(m.max_conn_state as f64);
+        member_bytes.push(m.max_member_state as f64);
+    }
+    // Least-squares slope of log(bytes) vs log(n) — the growth exponent.
+    let xs: Vec<f64> = sizes.iter().map(|&n| (n as f64).ln()).collect();
+    let ys: Vec<f64> = conn_bytes.iter().map(|&b| b.ln()).collect();
+    let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let num: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let den: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let p = num / den;
+    assert!(
+        p < 0.5,
+        "per-rank connection state grows like n^{p:.2} ({conn_bytes:?} bytes at {sizes:?}); \
+         the cache cap should make it ~flat"
+    );
+    // Membership views stay within the linear envelope at every size.
+    for (&n, &b) in sizes.iter().zip(&member_bytes) {
+        assert!(b <= 64.0 * n as f64, "n={n}: membership view {b} bytes");
+    }
+}
