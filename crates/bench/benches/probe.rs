@@ -2,7 +2,7 @@
 //! progress loop (experiment E5's software-side companion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use photon_core::{Event, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_core::{Completion, PhotonCluster, PhotonConfig, ProbeFlags};
 use photon_fabric::NetworkModel;
 
 fn compact() -> PhotonConfig {
@@ -20,7 +20,7 @@ fn bench_empty_probe(c: &mut Criterion) {
         let cluster = PhotonCluster::new(n, NetworkModel::ideal(), compact());
         let p0 = cluster.rank(0).clone();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| p0.probe_completion(ProbeFlags::Any).unwrap())
+            b.iter(|| p0.poll_completion(ProbeFlags::Any).unwrap())
         });
     }
     g.finish();
@@ -35,7 +35,7 @@ fn bench_probe_one_event(c: &mut Criterion) {
         b.iter(|| {
             p1.send(0, &[7u8; 8], 1).unwrap();
             loop {
-                if p0.probe_completion(ProbeFlags::Remote).unwrap().is_some() {
+                if p0.poll_completion(ProbeFlags::Remote).unwrap().is_some() {
                     break;
                 }
             }
@@ -129,20 +129,20 @@ fn bench_batch_probe(c: &mut Criterion) {
             base += 1000;
             let mut got = 0;
             while got < 256 {
-                if p0.probe_completion(ProbeFlags::Local).unwrap().is_some() {
+                if p0.poll_completion(ProbeFlags::Local).unwrap().is_some() {
                     got += 1;
                 }
             }
         })
     });
-    let mut buf: Vec<Event> = Vec::with_capacity(256);
+    let mut buf: Vec<Completion> = Vec::with_capacity(256);
     g.bench_function("batch", |b| {
         b.iter(|| {
             fill(base);
             base += 1000;
             let mut got = 0;
             while got < 256 {
-                got += p0.probe_completions(ProbeFlags::Local, &mut buf, 256).unwrap();
+                got += p0.poll_completions(ProbeFlags::Local, &mut buf, 256).unwrap();
                 buf.clear();
             }
         })

@@ -19,7 +19,7 @@ fn bench_pwc_roundtrip(c: &mut Criterion) {
             b.iter(|| {
                 p0.put_with_completion(1, &src, 0, size, &d, 0, 1, 1).unwrap();
                 p0.wait_local(1).unwrap();
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
             })
         });
     }
@@ -59,7 +59,7 @@ fn bench_probe_empty_baseline(c: &mut Criterion) {
     let cluster = PhotonCluster::new(2, NetworkModel::ideal(), PhotonConfig::default());
     let p0 = cluster.rank(0).clone();
     c.bench_function("probe_empty_2ranks", |b| {
-        b.iter(|| p0.probe_completion(ProbeFlags::Any).unwrap())
+        b.iter(|| p0.poll_completion(ProbeFlags::Any).unwrap())
     });
 }
 

@@ -1,0 +1,238 @@
+//! E23 — modeled fabric vs real sockets: latency and message-rate shapes.
+//!
+//! ```text
+//! e23_sockets              # writes results/BENCH_sockets.json
+//! e23_sockets --ops 500 --iters 50
+//! ```
+//!
+//! The sockets backend turns the reproduction's model-vs-reality gap into
+//! a measurement: the *same* PWC protocol code runs over the LogGP-modeled
+//! simulated NIC (latency in virtual nanoseconds) and over real loopback
+//! UDP (wall-clock nanoseconds). Absolute numbers are not comparable — one
+//! models FDR InfiniBand hardware, the other pays Linux syscalls on
+//! loopback — so the artifact records *shapes*:
+//!
+//! * **latency vs size** — half round trip of a PWC ping-pong; both curves
+//!   must grow monotonically with payload size (serialization dominates).
+//! * **message rate vs window** — 8-byte windowed puts; both curves must
+//!   grow with window depth (latency hiding), the E3 claim.
+//!
+//! The JSON lands in `results/BENCH_sockets.json` and is uploaded by CI as
+//! a non-gating artifact; the `shape` entries make eyeball comparison a
+//! grep.
+
+use photon_bench::experiments::drivers;
+use photon_core::{BackendKind, Completion, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_fabric::NetworkModel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn sock_cfg() -> PhotonConfig {
+    PhotonConfig { backend: BackendKind::Sock, ..PhotonConfig::default() }
+}
+
+/// Wall-clock half-RTT of a PWC ping-pong over the sockets backend.
+fn sock_pingpong_ns(size: usize, iters: usize) -> u64 {
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), sock_cfg());
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let b0 = p0.register_buffer(size.max(8)).unwrap();
+    let b1 = p1.register_buffer(size.max(8)).unwrap();
+    let d0 = b0.descriptor();
+    let d1 = b1.descriptor();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..iters as u64 {
+                p0.put_with_completion(1, &b0, 0, size, &d1, 0, i, i).unwrap();
+                p0.wait_local(i).unwrap();
+                p0.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
+            }
+        });
+        s.spawn(|| {
+            for i in 0..iters as u64 {
+                p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
+                p1.put_with_completion(0, &b1, 0, size, &d0, 0, i, i).unwrap();
+                p1.wait_local(i).unwrap();
+            }
+        });
+    });
+    t0.elapsed().as_nanos() as u64 / (2 * iters as u64)
+}
+
+/// `ops` windowed 8-byte puts rank0 -> rank1; returns elapsed time — virtual
+/// nanoseconds on the sim backend, wall nanoseconds on sockets.
+fn windowed_elapsed_ns(cfg: PhotonConfig, ops: u64, window: usize) -> u64 {
+    let sock = cfg.backend == BackendKind::Sock;
+    let c = PhotonCluster::new(2, NetworkModel::ib_fdr(), cfg);
+    let (p0, p1) = (c.rank(0), c.rank(1));
+    let src = p0.register_buffer(64).unwrap();
+    let dst = p1.register_buffer(64).unwrap();
+    let d = dst.descriptor();
+    c.reset_time(); // sim: exclude registration cost from the virtual clock
+    let t0 = Instant::now();
+    let mut evs: Vec<Completion> = Vec::with_capacity(128);
+    let (mut posted, mut done, mut drained) = (0u64, 0u64, 0u64);
+    let mut inflight = 0usize;
+    while done < ops || drained < ops {
+        while inflight < window && posted < ops {
+            if p0.try_put_with_completion(1, &src, 0, 8, &d, 0, posted, posted).unwrap() {
+                posted += 1;
+                inflight += 1;
+            } else {
+                break;
+            }
+        }
+        evs.clear();
+        drained += p1.poll_completions(ProbeFlags::Remote, &mut evs, 64).unwrap() as u64;
+        evs.clear();
+        let k = p0.poll_completions(ProbeFlags::Local, &mut evs, 128).unwrap();
+        done += k as u64;
+        inflight -= k;
+    }
+    if sock {
+        t0.elapsed().as_nanos() as u64
+    } else {
+        p0.now().as_nanos()
+    }
+}
+
+fn mops(ops: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        0.0
+    } else {
+        ops as f64 / ns as f64 * 1000.0
+    }
+}
+
+fn monotone_up(xs: &[f64], slack: f64) -> bool {
+    xs.windows(2).all(|w| w[1] >= w[0] * slack)
+}
+
+/// Endpoint trend: does the curve grow overall? Loopback wall clocks are
+/// too jittery for point-wise monotonicity, but the first-to-last trend is
+/// the actual claim being compared against the model.
+fn grows_overall(xs: &[f64]) -> bool {
+    match (xs.first(), xs.last()) {
+        (Some(a), Some(b)) => *b > *a,
+        _ => false,
+    }
+}
+
+/// Min over `reps` measurements: the run least disturbed by the scheduler.
+fn best_of(reps: u32, f: impl Fn() -> u64) -> u64 {
+    (0..reps).map(|_| f()).min().expect("reps >= 1")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters = 50usize;
+    let mut ops = 500u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                iters = args[i + 1].parse().expect("--iters takes a count");
+                i += 2;
+            }
+            "--ops" => {
+                ops = args[i + 1].parse().expect("--ops takes a count");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown arg: {other} (try --iters/--ops)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Latency vs size: modeled virtual ns vs real wall ns.
+    let sizes = [8usize, 64, 512, 4096, 16384];
+    let mut lat: Vec<(usize, u64, u64)> = Vec::new();
+    for &size in &sizes {
+        let modeled = drivers::photon_pingpong_ns(
+            NetworkModel::ib_fdr(),
+            PhotonConfig::default(),
+            size,
+            iters,
+        );
+        let real = best_of(3, || sock_pingpong_ns(size, iters));
+        println!(
+            "latency {:>6}B  modeled {:>9} ns  real {:>9} ns  ({:.0}x wall overhead)",
+            size,
+            modeled,
+            real,
+            real as f64 / modeled as f64
+        );
+        lat.push((size, modeled, real));
+    }
+
+    // Message rate vs window depth: 8-byte windowed puts.
+    let windows = [1usize, 4, 16, 64];
+    let mut rate: Vec<(usize, f64, f64)> = Vec::new();
+    for &w in &windows {
+        let modeled = mops(ops, windowed_elapsed_ns(PhotonConfig::default(), ops, w));
+        let real = mops(ops, best_of(3, || windowed_elapsed_ns(sock_cfg(), ops, w)));
+        println!("msgrate w={w:<3} modeled {modeled:>8.3} Mops/s  real {real:>8.3} Mops/s");
+        rate.push((w, modeled, real));
+    }
+
+    // Shape verdicts: do both transports agree on the *trends*? The
+    // modeled curves must be point-wise monotone (virtual time is
+    // deterministic); the real curves need only grow end-to-end.
+    let lat_modeled: Vec<f64> = lat.iter().map(|(_, m, _)| *m as f64).collect();
+    let lat_real: Vec<f64> = lat.iter().map(|(_, _, r)| *r as f64).collect();
+    let rate_modeled: Vec<f64> = rate.iter().map(|(_, m, _)| *m).collect();
+    let rate_real: Vec<f64> = rate.iter().map(|(_, _, r)| *r).collect();
+    let shapes = [
+        format!(
+            "latency_rises_with_size modeled={} real={}",
+            monotone_up(&lat_modeled, 1.0),
+            grows_overall(&lat_real)
+        ),
+        format!(
+            "msgrate_rises_with_window modeled={} real={}",
+            monotone_up(&rate_modeled, 1.0),
+            grows_overall(&rate_real)
+        ),
+    ];
+    for s in &shapes {
+        println!("shape: {s}");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"e23_model_vs_sockets\",");
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"ops\": {ops},");
+    let _ = writeln!(json, "  \"latency_half_rtt\": [");
+    for (k, (size, m, r)) in lat.iter().enumerate() {
+        let comma = if k + 1 < lat.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"size\": {size}, \"modeled_vns\": {m}, \"real_wall_ns\": {r}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"msgrate_8B\": [");
+    for (k, (w, m, r)) in rate.iter().enumerate() {
+        let comma = if k + 1 < rate.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"window\": {w}, \"modeled_mops\": {m:.4}, \"real_mops\": {r:.4}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"shape\": [");
+    for (k, s) in shapes.iter().enumerate() {
+        let comma = if k + 1 < shapes.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{s}\"{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_sockets.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {}", path.display());
+}

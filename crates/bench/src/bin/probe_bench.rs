@@ -22,7 +22,7 @@
 //!   probe API (single-event probes; the sharded engine also records
 //!   `drain_10k_batch` through `probe_completions`).
 
-use photon_core::{Event, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon_core::{Completion, PhotonCluster, PhotonConfig, ProbeFlags};
 use photon_fabric::NetworkModel;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -93,7 +93,7 @@ fn st_send_probe(ops: u64) -> Entry {
         }
         let mut got = 0u64;
         while got < n {
-            if p1.probe_completion(ProbeFlags::Any).unwrap().is_some() {
+            if p1.poll_completion(ProbeFlags::Any).unwrap().is_some() {
                 got += 1;
             }
         }
@@ -132,7 +132,7 @@ fn drain_10k(depth: u64) -> Entry {
     let t0 = Instant::now();
     let mut got = 0u64;
     while got < depth {
-        if p0.probe_completion(ProbeFlags::Local).unwrap().is_some() {
+        if p0.poll_completion(ProbeFlags::Local).unwrap().is_some() {
             got += 1;
         }
     }
@@ -144,11 +144,11 @@ fn drain_10k_batch(depth: u64) -> Entry {
     let c = cluster();
     fill_local_events(&c, depth);
     let p0 = c.rank(0);
-    let mut buf: Vec<Event> = Vec::with_capacity(256);
+    let mut buf: Vec<Completion> = Vec::with_capacity(256);
     let t0 = Instant::now();
     let mut got = 0u64;
     while got < depth {
-        got += p0.probe_completions(ProbeFlags::Local, &mut buf, 256).unwrap() as u64;
+        got += p0.poll_completions(ProbeFlags::Local, &mut buf, 256).unwrap() as u64;
         buf.clear();
     }
     Entry { name: "drain_10k_batch", ops: depth, ns: t0.elapsed().as_nanos() }
@@ -206,7 +206,7 @@ fn main() {
     #[cfg(feature = "batch-probe")]
     entries.push(best_of(reps, || drain_10k_batch(10_000)));
     // Keep the unused import warning-free when the feature is off.
-    let _ = std::marker::PhantomData::<Event>;
+    let _ = std::marker::PhantomData::<Completion>;
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");

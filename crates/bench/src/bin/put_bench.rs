@@ -8,6 +8,7 @@
 //! put_bench --check results/BENCH_put_batched.json --max-regress-pct 2
 //! put_bench --label traced --trace     # extra obs-enabled pass + Perfetto trace
 //! put_bench --progress-threads 2       # dedicated completion threads on
+//! put_bench --backend sock --ops 2000  # real loopback sockets transport
 //! ```
 //!
 //! Scenarios (all on the `ideal` network model so wall-clock time is
@@ -34,10 +35,10 @@
 //! `notes` array.
 
 use photon_core::obs::chrome_trace_json;
-use photon_core::{Completion, PhotonCluster, PhotonConfig, ProbeFlags, TraceExport};
+use photon_core::{BackendKind, Completion, PhotonCluster, PhotonConfig, ProbeFlags, TraceExport};
 use photon_fabric::NetworkModel;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 struct Entry {
@@ -58,10 +59,20 @@ impl Entry {
 
 /// Progress threads for every cluster this process builds (0 = inline).
 static PROGRESS_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// `--backend sock`: run over the real sockets transport (loopback UDP)
+/// instead of the simulated fabric. Wall-clock numbers then include real
+/// syscall + wire costs and are NOT comparable to sim baselines — use a
+/// separate `--label`.
+static BACKEND_SOCK: AtomicBool = AtomicBool::new(false);
 
 fn cluster() -> PhotonCluster {
     let cfg = PhotonConfig {
         progress_threads: PROGRESS_THREADS.load(Ordering::Relaxed),
+        backend: if BACKEND_SOCK.load(Ordering::Relaxed) {
+            BackendKind::Sock
+        } else {
+            BackendKind::Sim
+        },
         ..PhotonConfig::default()
     };
     PhotonCluster::new(2, NetworkModel::ideal(), cfg)
@@ -325,6 +336,17 @@ fn main() {
                 PROGRESS_THREADS.store(n, Ordering::Relaxed);
                 i += 2;
             }
+            "--backend" => {
+                match args[i + 1].as_str() {
+                    "sim" => BACKEND_SOCK.store(false, Ordering::Relaxed),
+                    "sock" => BACKEND_SOCK.store(true, Ordering::Relaxed),
+                    other => {
+                        eprintln!("--backend takes sim|sock, got {other}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown arg: {other}");
                 std::process::exit(2);
@@ -365,6 +387,11 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"eager_put_tx_path\",");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(
+        json,
+        "  \"backend\": \"{}\",",
+        if BACKEND_SOCK.load(Ordering::Relaxed) { "sock" } else { "sim" }
+    );
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"stat\": \"min_over_reps\",");
     let _ = writeln!(json, "  \"entries\": [");

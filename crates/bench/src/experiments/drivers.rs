@@ -28,12 +28,13 @@ pub fn photon_pingpong_ns(
             for i in 0..iters as u64 {
                 p0.put_with_completion(1, &b0, 0, size, &d1, 0, i, i).unwrap();
                 p0.wait_local(i).unwrap();
-                p0.wait_remote().unwrap(); // the pong
+                p0.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
+                // the pong
             }
         });
         s.spawn(|| {
             for i in 0..iters as u64 {
-                p1.wait_remote().unwrap(); // the ping
+                p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap(); // the ping
                 p1.put_with_completion(0, &b1, 0, size, &d0, 0, i, i).unwrap();
                 p1.wait_local(i).unwrap();
             }
@@ -82,7 +83,7 @@ pub fn photon_put_bw(model: NetworkModel, cfg: PhotonConfig, size: usize, count:
         });
         s.spawn(|| {
             for _ in 0..count {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
             }
         });
     });
@@ -153,7 +154,7 @@ pub fn photon_msg_rate(model: NetworkModel, cfg: PhotonConfig, window: usize, ms
                 sent += 1;
             }
             while acked < msgs as u64 {
-                p0.wait_remote().unwrap(); // an ack
+                p0.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap(); // an ack
                 acked += 1;
                 if sent < msgs as u64 {
                     p0.put_with_completion(1, &b0, 0, 8, &d1, 0, sent, sent).unwrap();
@@ -163,7 +164,7 @@ pub fn photon_msg_rate(model: NetworkModel, cfg: PhotonConfig, window: usize, ms
         });
         s.spawn(|| {
             for i in 0..msgs as u64 {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
                 // 0-byte ack riding the eager path.
                 p1.put_with_completion(0, &b1, 0, 0, &d0, 0, i, i).unwrap();
             }
@@ -209,14 +210,14 @@ pub fn photon_msg_rate_batched(
                     sent += k as u64;
                 }
                 for _ in 0..k.max(1) {
-                    p0.wait_remote().unwrap(); // an ack
+                    p0.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap(); // an ack
                     acked += 1;
                 }
             }
         });
         s.spawn(|| {
             for i in 0..msgs as u64 {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
                 // 0-byte ack riding the eager path.
                 p1.put_with_completion(0, &b1, 0, 0, &d0, 0, i, i).unwrap();
             }

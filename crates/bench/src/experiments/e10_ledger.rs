@@ -34,7 +34,7 @@ fn throughput(depth: usize, msgs: usize, consumer_work_ns: u64) -> f64 {
         });
         s.spawn(|| {
             for _ in 0..msgs {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
                 p1.elapse(consumer_work_ns); // busy runtime between probes
             }
         });

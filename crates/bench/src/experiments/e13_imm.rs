@@ -29,12 +29,12 @@ fn direct_pingpong_ns(imm: bool, size: usize, iters: usize) -> u64 {
         s.spawn(|| {
             for i in 0..iters as u64 {
                 p0.put_with_completion(1, &b0, 0, size, &d1, 0, i, i).unwrap();
-                p0.wait_remote().unwrap();
+                p0.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
             }
         });
         s.spawn(|| {
             for i in 0..iters as u64 {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
                 p1.put_with_completion(0, &b1, 0, size, &d0, 0, i, i).unwrap();
             }
         });

@@ -24,7 +24,7 @@ pub fn run() -> Table {
         let iters = 20_000;
         let start = Instant::now();
         for _ in 0..iters {
-            let _ = p0.probe_completion(ProbeFlags::Any).unwrap();
+            let _ = p0.poll_completion(ProbeFlags::Any).unwrap();
         }
         let empty_ns = start.elapsed().as_nanos() as u64 / iters;
         // Loaded: rank 1 feeds events in ring-sized batches (the consumer
@@ -40,7 +40,7 @@ pub fn run() -> Table {
             let start = Instant::now();
             let mut got = 0;
             while got < batch {
-                if p0.probe_completion(ProbeFlags::Remote).unwrap().is_some() {
+                if p0.poll_completion(ProbeFlags::Remote).unwrap().is_some() {
                     got += 1;
                 }
             }

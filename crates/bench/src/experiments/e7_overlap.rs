@@ -29,14 +29,15 @@ fn photon_total_ns(model: NetworkModel, size: usize, compute_ns: u64, overlap: b
             p0.put_with_completion(1, &b0, 0, size, &d1, 0, 1, 1).unwrap();
             if overlap {
                 p0.elapse(compute_ns);
-                p0.wait_remote().unwrap(); // ack
+                p0.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
+            // ack
             } else {
-                p0.wait_remote().unwrap();
+                p0.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
                 p0.elapse(compute_ns);
             }
         });
         s.spawn(|| {
-            p1.wait_remote().unwrap();
+            p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
             p1.put_with_completion(0, &b1, 0, 0, &d0, 0, 1, 1).unwrap();
         });
     });

@@ -180,8 +180,8 @@ fn photon_stencil_ns_per_iter(n: usize, iters: usize) -> u64 {
                         k,
                     )
                     .unwrap();
-                    p.wait_remote().unwrap();
-                    p.wait_remote().unwrap();
+                    p.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
+                    p.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
                     // Five-point relaxation over the interior, modeled at
                     // ~1 ns/cell of CPU work.
                     p.elapse((ROWS * COLS) as u64);

@@ -10,9 +10,7 @@
 //! exchange a launcher performs).
 
 use crate::{PhotonError, Result};
-use photon_fabric::mr::{Access, RemoteKey};
-use photon_fabric::{MemoryRegion, Nic};
-use std::sync::Arc;
+use photon_fabric::api::{Access, FabricBackend, MemoryRegion, RemoteKey};
 
 /// A peer-targetable buffer descriptor (re-exported fabric type).
 pub type BufferDescriptor = RemoteKey;
@@ -24,8 +22,9 @@ pub struct PhotonBuffer {
 }
 
 impl PhotonBuffer {
-    /// Register a fresh zeroed buffer of `len` bytes on `nic`.
-    pub(crate) fn register(nic: &Arc<Nic>, len: usize) -> Result<PhotonBuffer> {
+    /// Register a fresh zeroed buffer of `len` bytes on `nic` (any
+    /// backend behind the [`FabricBackend`] seam).
+    pub(crate) fn register(nic: &dyn FabricBackend, len: usize) -> Result<PhotonBuffer> {
         let mr = nic.register(len, Access::ALL)?;
         Ok(PhotonBuffer { mr })
     }
@@ -103,7 +102,7 @@ mod tests {
     #[test]
     fn buffer_rw_and_descriptor() {
         let c = Cluster::new(1, NetworkModel::ideal());
-        let b = PhotonBuffer::register(c.nic(0), 128).unwrap();
+        let b = PhotonBuffer::register(c.nic(0).as_ref(), 128).unwrap();
         assert_eq!(b.len(), 128);
         b.write_at(8, b"abc");
         assert_eq!(b.to_vec(8, 3), b"abc");
@@ -118,7 +117,7 @@ mod tests {
     #[test]
     fn bounds_check() {
         let c = Cluster::new(1, NetworkModel::ideal());
-        let b = PhotonBuffer::register(c.nic(0), 16).unwrap();
+        let b = PhotonBuffer::register(c.nic(0).as_ref(), 16).unwrap();
         assert!(b.check(0, 16).is_ok());
         assert!(matches!(b.check(8, 16), Err(PhotonError::OutOfRange { cap: 16, .. })));
         assert!(b.check(usize::MAX, 2).is_err(), "overflow-safe");

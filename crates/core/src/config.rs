@@ -11,6 +11,24 @@
 
 use crate::{PhotonError, Result};
 
+/// Which fabric backend a [`crate::PhotonCluster`] constructs its ranks
+/// over. The middleware itself is backend-agnostic — it posts against the
+/// `photon_fabric::api::FabricBackend` trait — so this knob only selects
+/// what `PhotonCluster::new` builds underneath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The simulated RDMA fabric: synchronous effects, LogGP virtual time,
+    /// fault injection. The default, and what every deterministic test and
+    /// modeled experiment uses.
+    #[default]
+    Sim,
+    /// The real-sockets transport: UDP datagrams over loopback (or any
+    /// routable path), a per-process reactor emulating one-sided ops, and
+    /// wall-clock timestamps. Completions are asynchronous — use the
+    /// blocking `wait_*` APIs, not post-then-poll-once patterns.
+    Sock,
+}
+
 /// Tunables of a Photon context.
 ///
 /// Defaults follow the original implementation's order of magnitude: a few
@@ -91,6 +109,9 @@ pub struct PhotonConfig {
     /// setup free so steady-state experiments measure the data path only;
     /// E22 sets it explicitly to measure reconnect latency under churn.
     pub connect_cost_ns: u64,
+    /// Fabric backend [`crate::PhotonCluster::new`] constructs: the
+    /// simulated NIC (default) or the real-sockets transport.
+    pub backend: BackendKind,
 }
 
 impl PhotonConfig {
@@ -224,6 +245,7 @@ impl Default for PhotonConfig {
             progress_threads: 0,
             conn_cache_cap: 0,
             connect_cost_ns: 0,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -284,6 +306,8 @@ impl PhotonConfigBuilder {
         conn_cache_cap: usize,
         /// See [`PhotonConfig::connect_cost_ns`].
         connect_cost_ns: u64,
+        /// See [`PhotonConfig::backend`].
+        backend: BackendKind,
     }
 
     /// Validate and produce the final configuration.
@@ -366,6 +390,13 @@ mod tests {
         let err = PhotonConfig::builder().progress_threads(65).build().unwrap_err();
         let crate::PhotonError::Config(msg) = err else { panic!("want Config, got {err:?}") };
         assert!(msg.contains("progress_threads"), "{msg}");
+    }
+
+    #[test]
+    fn backend_knob_defaults_to_sim() {
+        assert_eq!(PhotonConfig::default().backend, BackendKind::Sim);
+        let cfg = PhotonConfig::builder().backend(BackendKind::Sock).build().unwrap();
+        assert_eq!(cfg.backend, BackendKind::Sock);
     }
 
     #[test]

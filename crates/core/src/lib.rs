@@ -28,14 +28,18 @@
 //! * **Collectives** ([`collectives`]) — barrier, broadcast, reduce,
 //!   allreduce and all-to-all built purely from PWC operations.
 //!
-//! The fabric backend is the simulated RDMA fabric from [`photon_fabric`]
-//! (see `DESIGN.md` for the substitution rationale); all protocol state
-//! machines are independent of it and are unit/property-tested in isolation.
+//! The protocol state machines are independent of the wire: they speak to
+//! a [`photon_fabric::FabricBackend`] trait object, which is either the
+//! simulated RDMA fabric from [`photon_fabric`] (deterministic LogGP
+//! timing, fault injection — the default, see `DESIGN.md`) or the real
+//! sockets transport in [`photon_fabric::sock`] selected via
+//! [`PhotonConfig::builder`]'s `backend` knob. Multi-process jobs over the
+//! sockets backend join through [`process::PhotonProcess`].
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use photon_core::{PhotonCluster, PhotonConfig, Event};
+//! use photon_core::{PhotonCluster, PhotonConfig};
 //! use photon_fabric::NetworkModel;
 //!
 //! // Two "nodes" over a modeled FDR InfiniBand fabric.
@@ -52,14 +56,12 @@
 //! p0.put_with_completion(1, &src, 0, 12, &dst.descriptor(), 0, 7, 99).unwrap();
 //!
 //! // Rank 0 sees its local completion...
-//! let ev = p0.wait_event().unwrap();
-//! assert!(matches!(ev, Event::Local { rid: 7, .. }));
+//! let c = p0.wait_completion().unwrap();
+//! assert!(c.is_local() && c.rid == 7);
 //! // ...and rank 1 discovers the remote completion by probing.
-//! let ev = p1.wait_event().unwrap();
-//! match ev {
-//!     Event::Remote(r) => assert_eq!(r.rid, 99),
-//!     _ => panic!("expected remote completion"),
-//! }
+//! let c = p1.wait_completion().unwrap();
+//! assert!(c.is_remote());
+//! assert_eq!((c.rid, c.peer), (99, 0));
 //! assert_eq!(dst.to_vec(0, 12), b"hello photon");
 //! ```
 
@@ -78,12 +80,13 @@ pub mod obs;
 pub mod photon;
 pub mod pool;
 pub mod probe;
+pub mod process;
 pub(crate) mod progress;
 pub mod rendezvous;
 
 pub use buffers::PhotonBuffer;
 pub use collectives::ReduceOp;
-pub use config::{PhotonConfig, PhotonConfigBuilder};
+pub use config::{BackendKind, PhotonConfig, PhotonConfigBuilder};
 pub use membership::{GossipStats, MemberEntry, MemberStatus, Membership, MembershipConfig};
 pub use obs::{
     KeyedLatency, KeyedSummary, LatencySummary, Metrics, Obs, OpKind, SpanTrace, StatsSnapshot,
@@ -91,7 +94,8 @@ pub use obs::{
 };
 pub use photon::{CreditState, GetManyItem, PeerHealthState, Photon, PhotonCluster, PutManyItem};
 pub use pool::{BufferPool, Recycler};
-pub use probe::{Completion, CompletionClass, Event, ProbeFlags, RemoteEvent};
+pub use probe::{Completion, CompletionClass, ProbeFlags, RemoteEvent};
+pub use process::PhotonProcess;
 
 pub use photon_fabric::WcStatus;
 

@@ -238,9 +238,9 @@ mod tests {
             p0.put_with_completion(1, &b0, 0, 64, &b1.descriptor(), 0, 4 * i, 4 * i + 1).unwrap();
             p1.put_with_completion(0, &b1, 0, 64, &b0.descriptor(), 0, 4 * i + 2, 4 * i + 3)
                 .unwrap();
-            p0.wait_remote().unwrap();
+            p0.wait_completion_matching(crate::ProbeFlags::Remote).unwrap();
             p0.wait_local(4 * i).unwrap();
-            p1.wait_remote().unwrap();
+            p1.wait_completion_matching(crate::ProbeFlags::Remote).unwrap();
             p1.wait_local(4 * i + 2).unwrap();
         }
         for p in [p0, p1] {

@@ -38,12 +38,15 @@ use crate::config::PhotonConfig;
 use crate::eager::{self, EagerFrame, EagerRx, EagerTx, FrameHeader, FrameKind};
 use crate::ledger::{self, Entry, EntryKind, LedgerRx, LedgerTx, ENTRY_BYTES};
 use crate::obs::{Metrics, Obs, OpKind, SpanTrace, Stats, StatsSnapshot, TraceOp, Tracer};
-use crate::probe::{rid_space, Completion, CompletionClass, Event, ProbeFlags, RemoteEvent};
+use crate::probe::{rid_space, Completion, CompletionClass, ProbeFlags, RemoteEvent};
 use crate::{PhotonError, Rank, Result};
 use parking_lot::{Mutex, RwLock};
-use photon_fabric::mr::{Access, RemoteKey};
-use photon_fabric::verbs::{Completion as Cqe, MrSlice, Qp, RemoteSlice, SendWr, WcStatus, WrOp};
-use photon_fabric::{Cluster, FabricError, MemoryRegion, NetworkModel, Nic, VClock, VTime};
+use photon_fabric::api::{
+    Access, Completion as Cqe, FabricBackend, FabricError, MemoryRegion, MrSlice, Qp, RemoteKey,
+    RemoteSlice, SendWr, VClock, VTime, WcStatus, WrOp,
+};
+use photon_fabric::sock::SockCluster;
+use photon_fabric::{Cluster, NetworkModel};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
@@ -346,7 +349,7 @@ pub struct Photon {
     rank: Rank,
     n: usize,
     cfg: PhotonConfig,
-    nic: Arc<Nic>,
+    nic: Arc<dyn FabricBackend>,
     clock: VClock,
     /// Established connections, keyed by peer rank. O(active peers): a
     /// never-contacted peer has no entry and costs nothing.
@@ -363,6 +366,10 @@ pub struct Photon {
     /// (`n * coll_slot_bytes` each — O(N), so lazy matters at scale).
     coll_recv: OnceLock<PhotonBuffer>,
     coll_send: OnceLock<PhotonBuffer>,
+    /// Collective-window descriptors for every rank, pre-exchanged at
+    /// multi-process join ([`crate::process::PhotonProcess`]). Absent
+    /// in-process, where the connection directory serves the lookup.
+    coll_keys: OnceLock<Vec<RemoteKey>>,
     wr_table: WrTable,
     local_events: LocalQueue,
     remote_events: RemoteQueue,
@@ -418,10 +425,23 @@ pub struct Photon {
     block: usize,
 }
 
-/// A whole Photon job: `n` contexts over one simulated fabric.
+/// The fabric a [`PhotonCluster`] was constructed over: the simulated
+/// switch or an in-process sockets cluster. Backend-specific escape
+/// hatches (fault plans, socket addresses) hang off the respective arm.
+#[derive(Debug)]
+pub enum FabricHandle {
+    /// Simulated RDMA fabric (LogGP model, fault injection).
+    Sim(Cluster),
+    /// In-process sockets cluster: one UDP endpoint + reactor per rank,
+    /// data crossing the loopback interface for real.
+    Sock(Arc<SockCluster>),
+}
+
+/// A whole Photon job: `n` contexts over one fabric (simulated by
+/// default; see [`crate::config::BackendKind`]).
 #[derive(Debug)]
 pub struct PhotonCluster {
-    fabric: Cluster,
+    fabric: FabricHandle,
     ranks: Vec<Arc<Photon>>,
     /// Dedicated progress threads (see [`crate::progress`]); `None` in
     /// inline mode (`PhotonConfig::progress_threads == 0`).
@@ -429,20 +449,45 @@ pub struct PhotonCluster {
 }
 
 impl PhotonCluster {
-    /// Build an `n`-rank job over a fresh cluster using `model`.
+    /// Build an `n`-rank job over the backend `cfg.backend` selects. The
+    /// sim backend models the network with `model`; the sockets backend
+    /// moves real datagrams and ignores it.
     pub fn new(n: usize, model: NetworkModel, cfg: PhotonConfig) -> PhotonCluster {
-        Self::with_fabric(Cluster::new(n, model), cfg)
+        match cfg.backend {
+            crate::config::BackendKind::Sim => Self::with_fabric(Cluster::new(n, model), cfg),
+            crate::config::BackendKind::Sock => Self::new_sock(n, cfg),
+        }
     }
 
-    /// Build over a pre-constructed fabric (custom registration limits,
-    /// fault plans).
+    /// Build over a pre-constructed simulated fabric (custom registration
+    /// limits, fault plans).
     pub fn with_fabric(fabric: Cluster, cfg: PhotonConfig) -> PhotonCluster {
         let n = fabric.len();
         let ranks: Vec<Arc<Photon>> =
             (0..n).map(|i| Arc::new(Photon::init(i, &fabric, cfg).expect("photon init"))).collect();
-        // Out-of-band connection-manager wiring (PMI stand-in): no
-        // descriptors are exchanged here — connections and their service
-        // blocks are established lazily on first contact.
+        Self::assemble(FabricHandle::Sim(fabric), ranks, cfg)
+    }
+
+    /// Build an `n`-rank job over an in-process sockets cluster: every
+    /// rank's protocol writes cross real UDP sockets on loopback, served
+    /// by per-rank reactor threads. The multi-process twin is
+    /// `photon-launch` + [`crate::process::PhotonProcess`].
+    pub fn new_sock(n: usize, cfg: PhotonConfig) -> PhotonCluster {
+        let sock = Arc::new(SockCluster::new(n).expect("sockets cluster"));
+        let ranks: Vec<Arc<Photon>> = (0..n)
+            .map(|i| {
+                let nic: Arc<dyn FabricBackend> = Arc::clone(sock.nic(i)) as _;
+                Arc::new(Photon::init_backend(i, n, nic, cfg).expect("photon init"))
+            })
+            .collect();
+        Self::assemble(FabricHandle::Sock(sock), ranks, cfg)
+    }
+
+    /// Shared tail of every constructor: out-of-band connection-manager
+    /// wiring (PMI stand-in — no descriptors are exchanged here;
+    /// connections and their service blocks are established lazily on
+    /// first contact) plus the progress engine.
+    fn assemble(fabric: FabricHandle, ranks: Vec<Arc<Photon>>, cfg: PhotonConfig) -> PhotonCluster {
         let directory = Arc::new(ConnDirectory::default());
         *directory.slots.write() = ranks.iter().map(Arc::downgrade).collect();
         for p in &ranks {
@@ -472,15 +517,37 @@ impl PhotonCluster {
         &self.ranks
     }
 
-    /// The underlying fabric (model, faults, diagnostics).
-    pub fn fabric(&self) -> &Cluster {
+    /// The backend this cluster was constructed over.
+    pub fn fabric_handle(&self) -> &FabricHandle {
         &self.fabric
     }
 
-    /// Reset all virtual clocks and port reservations to the origin.
-    /// Benchmark harness hook: lets repetitions start from t=0.
+    /// The underlying *simulated* fabric (model, faults, diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// On a sockets-backed cluster — fault plans and the LogGP switch are
+    /// sim-only concepts. Match on [`PhotonCluster::fabric_handle`] when
+    /// the backend is not statically known.
+    pub fn fabric(&self) -> &Cluster {
+        match &self.fabric {
+            FabricHandle::Sim(c) => c,
+            FabricHandle::Sock(_) => {
+                panic!("fabric(): sockets-backed cluster has no simulated switch")
+            }
+        }
+    }
+
+    /// Reset all virtual clocks (and, on the sim backend, the switch's
+    /// port reservations) to the origin. Benchmark harness hook: lets
+    /// repetitions start from t=0. On the sockets backend only the rank
+    /// clocks reset — wall-clock timestamps keep flowing from the job
+    /// epoch, and the [`photon_fabric::VTime`] monotonicity contract makes
+    /// that safe.
     pub fn reset_time(&self) {
-        self.fabric.switch().reset_time();
+        if let FabricHandle::Sim(c) = &self.fabric {
+            c.switch().reset_time();
+        }
         for p in &self.ranks {
             p.clock.reset();
         }
@@ -499,9 +566,20 @@ impl Drop for PhotonCluster {
 }
 
 impl Photon {
-    fn init(rank: Rank, fabric: &Cluster, mut cfg: PhotonConfig) -> Result<Photon> {
-        let n = fabric.len();
-        let nic = Arc::clone(fabric.nic(rank));
+    fn init(rank: Rank, fabric: &Cluster, cfg: PhotonConfig) -> Result<Photon> {
+        let nic: Arc<dyn FabricBackend> = Arc::clone(fabric.nic(rank)) as _;
+        Self::init_backend(rank, fabric.len(), nic, cfg)
+    }
+
+    /// Build one context over any backend endpoint. The backbone of every
+    /// construction path: the sim cluster, the in-process sockets cluster,
+    /// and the multi-process join ([`crate::process::PhotonProcess`]).
+    pub(crate) fn init_backend(
+        rank: Rank,
+        n: usize,
+        nic: Arc<dyn FabricBackend>,
+        mut cfg: PhotonConfig,
+    ) -> Result<Photon> {
         // Normalize the ring size to the frame alignment.
         cfg.eager_ring_bytes = (cfg.eager_ring_bytes / eager::FRAME_ALIGN) * eager::FRAME_ALIGN;
         cfg.eager_ring_bytes = cfg.eager_ring_bytes.max(4 * eager::FRAME_HDR);
@@ -521,6 +599,7 @@ impl Photon {
             directory: OnceLock::new(),
             coll_recv: OnceLock::new(),
             coll_send: OnceLock::new(),
+            coll_keys: OnceLock::new(),
             wr_table: WrTable::new(),
             local_events: LocalQueue::new(),
             remote_events: RemoteQueue::new(),
@@ -702,6 +781,37 @@ impl Photon {
             rx_skips: AtomicU32::new(0),
             touch: AtomicU64::new(self.conn_stamp.fetch_add(1, Ordering::Relaxed) + 1),
         })
+    }
+
+    // ------------------------------------------------- multi-process join
+    //
+    // The eager twin of `establish` for jobs whose peers live in *other
+    // OS processes* (no directory, no CM lock): service blocks are
+    // registered up front, their descriptors allgathered through the
+    // bootstrap rendezvous, and every connection installed fully formed.
+
+    /// Register one service block this rank dedicates to a future peer
+    /// (multi-process join, step 1: keys must exist before the exchange).
+    pub(crate) fn preregister_svc(&self) -> Result<MemoryRegion> {
+        Ok(self.nic.register(self.block, Access::ALL)?)
+    }
+
+    /// Install a fully specified connection to `peer` from pre-exchanged
+    /// descriptors (multi-process join, step 2). Incarnations start at 0 on
+    /// both sides — the sockets backend never revives a rank in place.
+    pub(crate) fn install_conn(&self, peer: Rank, svc: MemoryRegion, key: RemoteKey) -> Result<()> {
+        let qp = self.nic.create_qp(peer)?;
+        let stage = self.nic.register(self.block, Access::LOCAL)?;
+        let conn = self.build_conn(peer, qp, svc, stage, key, 0, 0);
+        self.conns.write().insert(peer, conn);
+        Stats::bump(&self.stats.conns_opened);
+        Ok(())
+    }
+
+    /// Install the pre-exchanged collective-window key table (one
+    /// descriptor per rank, this rank's own included).
+    pub(crate) fn set_coll_keys(&self, keys: Vec<RemoteKey>) {
+        self.coll_keys.set(keys).expect("coll keys set once");
     }
 
     /// Evict least-recently-used connections until the cache respects
@@ -921,8 +1031,9 @@ impl Photon {
         &self.cfg
     }
 
-    /// The underlying NIC (escape hatch for verbs-level use).
-    pub fn nic(&self) -> &Arc<Nic> {
+    /// The underlying fabric endpoint (escape hatch for verbs-level use),
+    /// behind the backend seam.
+    pub fn nic(&self) -> &Arc<dyn FabricBackend> {
         &self.nic
     }
 
@@ -968,7 +1079,7 @@ impl Photon {
     /// Register a remotely accessible buffer of `len` bytes, charging the
     /// modeled registration (pinning) cost to this rank's virtual clock.
     pub fn register_buffer(&self, len: usize) -> Result<PhotonBuffer> {
-        let buf = PhotonBuffer::register(&self.nic, len)?;
+        let buf = PhotonBuffer::register(self.nic.as_ref(), len)?;
         self.clock.advance(self.nic.registration_cost_ns(len));
         Ok(buf)
     }
@@ -1135,7 +1246,7 @@ impl Photon {
     /// (its footprint is O(N), which a churn simulation never pays).
     pub(crate) fn coll_recv_buf(&self) -> &PhotonBuffer {
         self.coll_recv.get_or_init(|| {
-            PhotonBuffer::register(&self.nic, self.n * self.cfg.coll_slot_bytes)
+            PhotonBuffer::register(self.nic.as_ref(), self.n * self.cfg.coll_slot_bytes)
                 .expect("collective recv window registration")
         })
     }
@@ -1143,16 +1254,20 @@ impl Photon {
     /// The collective send window, allocated lazily on first collective.
     pub(crate) fn coll_send_buf(&self) -> &PhotonBuffer {
         self.coll_send.get_or_init(|| {
-            PhotonBuffer::register(&self.nic, self.n * self.cfg.coll_slot_bytes)
+            PhotonBuffer::register(self.nic.as_ref(), self.n * self.cfg.coll_slot_bytes)
                 .expect("collective send window registration")
         })
     }
 
-    /// Descriptor of `peer`'s collective receive window, resolved through
-    /// the connection directory (out-of-band, like a PMI key lookup).
+    /// Descriptor of `peer`'s collective receive window: the key table a
+    /// multi-process join pre-exchanged, or a lookup through the connection
+    /// directory (out-of-band either way, like a PMI key lookup).
     pub(crate) fn coll_key(&self, peer: Rank) -> RemoteKey {
         if peer == self.rank {
             return self.coll_recv_buf().region().remote_key();
+        }
+        if let Some(keys) = self.coll_keys.get() {
+            return keys[peer];
         }
         let dir = self.directory.get().expect("cluster initialized");
         let p = dir.photon(peer).expect("peer context alive");
@@ -3139,13 +3254,9 @@ impl Photon {
     /// alternates on every take, so sustained traffic of one class can delay
     /// the other by at most one event — the old local-first drain starved
     /// remote delivery indefinitely.
-    fn take_one(&self, flags: ProbeFlags) -> Option<Event> {
-        self.take_one_completion(flags).map(Event::from)
-    }
-
-    /// [`Photon::take_one`] in the consolidated [`Completion`] shape; every
-    /// dequeue path funnels through here, which is also where the lifecycle
-    /// spans get their `complete` stamp.
+    /// Dequeue one event matching `flags` in the consolidated
+    /// [`Completion`] shape; every dequeue path funnels through here, which
+    /// is also where the lifecycle spans get their `complete` stamp.
     fn take_one_completion(&self, flags: ProbeFlags) -> Option<Completion> {
         let local = |s: &Self| {
             s.local_events
@@ -3196,73 +3307,6 @@ impl Photon {
             self.progress()?;
         }
         Ok(())
-    }
-
-    /// Probe for the next completion event (`photon_probe_completion`).
-    /// Non-blocking: returns `Ok(None)` when nothing is pending.
-    ///
-    /// Historical accessor kept as a thin alias: prefer
-    /// [`Photon::poll_completion`], whose [`Completion`] return carries the
-    /// peer for local completions too.
-    pub fn probe_completion(&self, flags: ProbeFlags) -> Result<Option<Event>> {
-        Stats::bump(&self.stats.probes);
-        self.progress_for_probe(flags)?;
-        let ev = self.take_one(flags);
-        if let Some(e) = &ev {
-            self.clock.advance_to(e.ts());
-            self.trace_event(e);
-        }
-        Ok(ev)
-    }
-
-    /// Batch probe: run progress once, then drain up to `max` events
-    /// matching `flags` into `out` (appended; the caller's buffer is not
-    /// cleared). Returns how many were delivered.
-    ///
-    /// One progress pass and a handful of shard-lock acquisitions amortize
-    /// across the whole batch, which is what a runtime progress thread
-    /// wants under load; `Any` interleaves local and remote events fairly
-    /// within the batch.
-    pub fn probe_completions(
-        &self,
-        flags: ProbeFlags,
-        out: &mut Vec<Event>,
-        max: usize,
-    ) -> Result<usize> {
-        Stats::bump(&self.stats.probes);
-        Stats::bump(&self.stats.probe_batches);
-        self.progress_for_probe(flags)?;
-        let mut got = 0;
-        while got < max {
-            let Some(ev) = self.take_one(flags) else { break };
-            self.clock.advance_to(ev.ts());
-            self.trace_event(&ev);
-            out.push(ev);
-            got += 1;
-        }
-        Ok(got)
-    }
-
-    /// Block until any completion event arrives (fair across classes, like
-    /// [`Photon::probe_completion`] with [`ProbeFlags::Any`]).
-    ///
-    /// Historical accessor kept as a thin alias: prefer
-    /// [`Photon::wait_completion`], which returns the consolidated
-    /// [`Completion`] view.
-    pub fn wait_event(&self) -> Result<Event> {
-        self.wait_event_for(Duration::from_secs(self.cfg.wait_timeout_secs))
-    }
-
-    /// [`Photon::wait_event`] with a caller-supplied deadline: reports
-    /// [`PhotonError::Timeout`] when no event arrives in time.
-    pub fn wait_event_for(&self, timeout: Duration) -> Result<Event> {
-        self.blocking_deadline("completion event", None, timeout, |s| {
-            let ev = s.take_one(ProbeFlags::Any);
-            if let Some(e) = &ev {
-                s.clock.advance_to(e.ts());
-            }
-            Ok(ev)
-        })
     }
 
     /// Block until the local completion `rid` arrives; other events stay
@@ -3318,43 +3362,12 @@ impl Photon {
         }
     }
 
-    /// Block until the next remote completion arrives.
-    ///
-    /// Historical accessor kept as a thin alias: prefer
-    /// [`Photon::wait_completion`], which returns the consolidated
-    /// [`Completion`] view this [`RemoteEvent`] is a projection of.
-    pub fn wait_remote(&self) -> Result<RemoteEvent> {
-        let ev = self.blocking("remote completion", |s| Ok(s.remote_events.pop_any()))?;
-        self.clock.advance_to(ev.ts);
-        self.obs.op_complete_remote(ev.src, ev.rid, ev.ts, ev.status);
-        self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
-        Ok(ev)
-    }
-
-    /// Block until a remote completion *from `src`* arrives; events from
-    /// other peers stay queued (the per-proc probe of the original API).
-    /// O(1) per spin: the per-peer queue is popped directly, never scanned.
-    ///
-    /// Historical accessor kept as a thin alias: prefer
-    /// [`Photon::wait_completion_from`], which returns the consolidated
-    /// [`Completion`] view.
-    pub fn wait_remote_from(&self, src: Rank) -> Result<RemoteEvent> {
-        self.check_rank(src)?;
-        let ev =
-            self.blocking("remote completion from peer", |s| Ok(s.remote_events.pop_from(src)))?;
-        self.clock.advance_to(ev.ts);
-        self.obs.op_complete_remote(ev.src, ev.rid, ev.ts, ev.status);
-        self.tracer.record(ev.ts, TraceOp::RemoteDone, ev.src, ev.rid, ev.size);
-        Ok(ev)
-    }
-
     // ---------------------------------------- consolidated completion view
 
     /// Probe for the next completion in the consolidated [`Completion`]
     /// shape: one struct carrying rid, peer, timestamp, status, and class
     /// for both local and remote completions. Non-blocking; `Ok(None)` when
-    /// nothing is pending. Supersedes the [`Event`]-shaped
-    /// [`Photon::probe_completion`].
+    /// nothing is pending (`photon_probe_completion`).
     pub fn poll_completion(&self, flags: ProbeFlags) -> Result<Option<Completion>> {
         Stats::bump(&self.stats.probes);
         self.progress_for_probe(flags)?;
@@ -3367,9 +3380,13 @@ impl Photon {
     }
 
     /// Batch [`Photon::poll_completion`]: run progress once, then drain up
-    /// to `max` completions matching `flags` into `out` (appended). Returns
-    /// how many were delivered. Supersedes the [`Event`]-shaped
-    /// [`Photon::probe_completions`].
+    /// to `max` completions matching `flags` into `out` (appended; the
+    /// caller's buffer is not cleared). Returns how many were delivered.
+    ///
+    /// One progress pass and a handful of shard-lock acquisitions amortize
+    /// across the whole batch, which is what a runtime progress thread
+    /// wants under load; `Any` interleaves local and remote events fairly
+    /// within the batch.
     pub fn poll_completions(
         &self,
         flags: ProbeFlags,
@@ -3409,18 +3426,44 @@ impl Photon {
     }
 
     /// Block until any completion arrives, in the consolidated
-    /// [`Completion`] shape (fair across classes). Supersedes
-    /// [`Photon::wait_event`].
+    /// [`Completion`] shape (fair across classes).
     pub fn wait_completion(&self) -> Result<Completion> {
-        let c = self.blocking("completion", |s| Ok(s.take_one_completion(ProbeFlags::Any)))?;
+        self.wait_completion_for(Duration::from_secs(self.cfg.wait_timeout_secs))
+    }
+
+    /// [`Photon::wait_completion`] with a caller-supplied deadline: reports
+    /// [`PhotonError::Timeout`] when no completion arrives in time.
+    pub fn wait_completion_for(&self, timeout: Duration) -> Result<Completion> {
+        self.blocking_deadline("completion", None, timeout, |s| {
+            Ok(s.take_one_completion(ProbeFlags::Any))
+        })
+        .inspect(|c| {
+            self.clock.advance_to(c.ts);
+            self.trace_completion(c);
+        })
+    }
+
+    /// Block until a completion matching `flags` arrives. The class-aware
+    /// sibling of [`Photon::wait_completion`]: [`ProbeFlags::Remote`] is
+    /// the historical `wait_remote` (events of the other class stay
+    /// queued), [`ProbeFlags::Local`] blocks for the next initiator-side
+    /// completion regardless of rid.
+    pub fn wait_completion_matching(&self, flags: ProbeFlags) -> Result<Completion> {
+        let what = match flags {
+            ProbeFlags::Local => "local completion",
+            ProbeFlags::Remote => "remote completion",
+            ProbeFlags::Any => "completion",
+        };
+        let c = self.blocking(what, |s| Ok(s.take_one_completion(flags)))?;
         self.clock.advance_to(c.ts);
         self.trace_completion(&c);
         Ok(c)
     }
 
     /// Block until a remote completion *from `src`* arrives, in the
-    /// consolidated [`Completion`] shape. Supersedes
-    /// [`Photon::wait_remote_from`].
+    /// consolidated [`Completion`] shape; events from other peers stay
+    /// queued (the per-proc probe of the original API). O(1) per spin: the
+    /// per-peer queue is popped directly, never scanned.
     pub fn wait_completion_from(&self, src: Rank) -> Result<Completion> {
         self.check_rank(src)?;
         let ev =
@@ -3522,19 +3565,6 @@ impl Photon {
         Ok(got)
     }
 
-    fn trace_event(&self, e: &Event) {
-        if self.tracer.is_enabled() {
-            match e {
-                Event::Local { rid, ts, .. } => {
-                    self.tracer.record(*ts, TraceOp::LocalDone, self.rank, *rid, 0)
-                }
-                Event::Remote(r) => {
-                    self.tracer.record(r.ts, TraceOp::RemoteDone, r.src, r.rid, r.size)
-                }
-            }
-        }
-    }
-
     /// Spin, making progress, until `f` yields a value or the config-wide
     /// deadline passes.
     pub(crate) fn blocking<T>(
@@ -3598,9 +3628,9 @@ mod tests {
         src.write_at(0, b"eager path");
         p0.put_with_completion(1, &src, 0, 10, &dst.descriptor(), 16, 7, 99).unwrap();
         assert!(p0.wait_local(7).unwrap() > VTime::ZERO);
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         assert_eq!(ev.rid, 99);
-        assert_eq!(ev.src, 0);
+        assert_eq!(ev.peer, 0);
         assert_eq!(ev.size, 10);
         assert!(ev.payload.is_none(), "eager put copies out, no payload");
         assert_eq!(dst.to_vec(16, 10), b"eager path");
@@ -3619,7 +3649,7 @@ mod tests {
         src.fill(0xAB);
         p0.put_with_completion(1, &src, 0, len, &dst.descriptor(), 0, 1, 2).unwrap();
         p0.wait_local(1).unwrap();
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         assert_eq!(ev.rid, 2);
         assert_eq!(ev.size, len);
         assert_eq!(dst.to_vec(0, len), vec![0xAB; len]);
@@ -3727,7 +3757,7 @@ mod tests {
         let src = p1.register_buffer(8).unwrap();
         p0.get_with_remote_notify(1, &dst, 0, 8, &src.descriptor(), 0, 1, 77).unwrap();
         p0.wait_local(1).unwrap();
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         assert_eq!(ev.rid, 77);
     }
 
@@ -3736,7 +3766,7 @@ mod tests {
         let c = pair();
         let (p0, p1) = (c.rank(0), c.rank(1));
         p0.send(1, b"parcel bytes", 11).unwrap();
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         assert_eq!(ev.rid, 11);
         assert_eq!(ev.payload.as_deref(), Some(&b"parcel bytes"[..]));
         assert_eq!(p0.stats().sends, 1);
@@ -3757,7 +3787,7 @@ mod tests {
             });
             s.spawn(|| {
                 for i in 0..500u64 {
-                    let ev = p1.wait_remote().unwrap();
+                    let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
                     assert_eq!(ev.rid, i, "in-order delivery");
                     assert_eq!(ev.payload.unwrap(), vec![i as u8; (i % 60) as usize]);
                 }
@@ -3782,7 +3812,7 @@ mod tests {
         assert!(p0.stats().credit_stalls > 0);
         // Once the peer probes, credits come back.
         for _ in 0..8 {
-            p1.wait_remote().unwrap();
+            p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         }
         assert!(p0.try_put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, 9, 9).unwrap());
     }
@@ -3797,7 +3827,7 @@ mod tests {
         p0.put(1, &src, 0, 8, &dst.descriptor(), 0, 4).unwrap();
         p0.wait_local(4).unwrap();
         assert_eq!(dst.read_u64(0), 31337);
-        assert!(p1.probe_completion(ProbeFlags::Any).unwrap().is_none());
+        assert!(p1.poll_completion(ProbeFlags::Any).unwrap().is_none());
     }
 
     #[test]
@@ -3830,9 +3860,9 @@ mod tests {
         p1.send(0, b"y", 2).unwrap();
         // p0 has a remote event incoming; probing Local only must not eat it.
         p0.blocking("event arrival", |s| Ok((s.queued_events().1 > 0).then_some(()))).unwrap();
-        assert!(p0.probe_completion(ProbeFlags::Local).unwrap().is_none());
-        let ev = p0.probe_completion(ProbeFlags::Remote).unwrap().unwrap();
-        assert_eq!(ev.rid(), 2);
+        assert!(p0.poll_completion(ProbeFlags::Local).unwrap().is_none());
+        let ev = p0.poll_completion(ProbeFlags::Remote).unwrap().unwrap();
+        assert_eq!(ev.rid, 2);
     }
 
     #[test]
@@ -3841,7 +3871,7 @@ mod tests {
         let (p0, p1) = (c.rank(0), c.rank(1));
         assert_eq!(p0.now(), VTime::ZERO);
         p0.send(1, b"ping", 1).unwrap();
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         assert!(p1.now() >= ev.ts);
         assert!(ev.ts.as_nanos() >= 700, "at least one wire latency");
         // Local compute advances explicitly.
@@ -3851,7 +3881,7 @@ mod tests {
     }
 
     #[test]
-    fn wait_remote_from_filters_by_source() {
+    fn wait_completion_from_filters_by_source() {
         let c = PhotonCluster::new(3, NetworkModel::ib_fdr(), PhotonConfig::default());
         let (p0, p1, p2) = (c.rank(0), c.rank(1), c.rank(2));
         p1.send(0, b"from-1", 11).unwrap();
@@ -3859,11 +3889,11 @@ mod tests {
         // the filter (not arrival order) is what's being tested.
         p0.blocking("first arrival", |s| Ok((s.queued_events().1 > 0).then_some(()))).unwrap();
         p2.send(0, b"from-2", 22).unwrap();
-        let ev = p0.wait_remote_from(2).unwrap();
-        assert_eq!((ev.src, ev.rid), (2, 22));
-        let ev = p0.wait_remote().unwrap();
-        assert_eq!((ev.src, ev.rid), (1, 11), "skipped event still queued");
-        assert!(p0.wait_remote_from(9).is_err());
+        let ev = p0.wait_completion_from(2).unwrap();
+        assert_eq!((ev.peer, ev.rid), (2, 22));
+        let ev = p0.wait_completion_matching(ProbeFlags::Remote).unwrap();
+        assert_eq!((ev.peer, ev.rid), (1, 11), "skipped event still queued");
+        assert!(p0.wait_completion_from(9).is_err());
     }
 
     #[test]
@@ -3890,7 +3920,7 @@ mod tests {
         }
         p0.flush_local().unwrap();
         // All local events consumed; nothing pending.
-        assert!(p0.probe_completion(ProbeFlags::Local).unwrap().is_none());
+        assert!(p0.poll_completion(ProbeFlags::Local).unwrap().is_none());
     }
 
     #[test]
@@ -3997,9 +4027,9 @@ mod tests {
         p0.progress().unwrap();
         // A fair Any drain surfaces the remote event within two probes; the
         // old local-first drain served all 64 locals before it.
-        let surfaced = (0..2).any(|_| {
-            matches!(p0.probe_completion(ProbeFlags::Any).unwrap(), Some(Event::Remote(_)))
-        });
+        let surfaced = (0..2).any(
+            |_| matches!(p0.poll_completion(ProbeFlags::Any).unwrap(), Some(c) if c.is_remote()),
+        );
         assert!(surfaced, "remote event starved behind local backlog");
     }
 
@@ -4017,14 +4047,10 @@ mod tests {
         }
         p0.blocking("arrivals", |s| Ok((s.queued_events().1 == 4).then_some(()))).unwrap();
         let mut buf = Vec::new();
-        let n = p0.probe_completions(ProbeFlags::Any, &mut buf, 64).unwrap();
+        let n = p0.poll_completions(ProbeFlags::Any, &mut buf, 64).unwrap();
         assert_eq!(n, 12);
-        let remote_slots: Vec<usize> = buf
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| matches!(e, Event::Remote(_)))
-            .map(|(k, _)| k)
-            .collect();
+        let remote_slots: Vec<usize> =
+            buf.iter().enumerate().filter(|(_, e)| e.is_remote()).map(|(k, _)| k).collect();
         assert_eq!(remote_slots.len(), 4);
         // Fair interleave inside the batch: remote events alternate with
         // locals instead of bunching at the tail after every local.
@@ -4038,7 +4064,7 @@ mod tests {
         }
         p0.progress().unwrap();
         let mut small = Vec::new();
-        assert_eq!(p0.probe_completions(ProbeFlags::Local, &mut small, 3).unwrap(), 3);
+        assert_eq!(p0.poll_completions(ProbeFlags::Local, &mut small, 3).unwrap(), 3);
         assert_eq!(p0.queued_events().0, 5);
         assert_eq!(p0.stats().probe_batches, 2);
     }
@@ -4053,7 +4079,7 @@ mod tests {
         let dst = p1.register_buffer(64).unwrap();
         p0.put_with_completion(1, &src, 0, 32, &dst.descriptor(), 0, 1, 2).unwrap();
         p0.wait_local(1).unwrap();
-        p1.wait_remote().unwrap();
+        p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         let tx = p0.tracer().take();
         assert!(tx.iter().any(|r| r.op == crate::obs::TraceOp::PutEager && r.size == 32));
         assert!(tx.iter().any(|r| r.op == crate::obs::TraceOp::LocalDone && r.rid == 1));
@@ -4084,8 +4110,8 @@ mod tests {
         src.fill(0x42);
         p0.put_with_completion(1, &src, 0, 4096, &dst.descriptor(), 0, 1, 77).unwrap();
         p0.wait_local(1).unwrap();
-        let ev = p1.wait_remote().unwrap();
-        assert_eq!((ev.rid, ev.size, ev.src), (77, 4096, 0));
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
+        assert_eq!((ev.rid, ev.size, ev.peer), (77, 4096, 0));
         assert_eq!(dst.to_vec(0, 8), vec![0x42; 8]);
         // No ledger entries were consumed for this put.
         assert_eq!(p1.stats().credit_returns, 0);
@@ -4157,7 +4183,7 @@ mod tests {
         for i in 0..n {
             p0.put_with_completion(1, &src, 0, 8, &d, 0, i, i).unwrap();
             p0.wait_local(i).unwrap();
-            p1.wait_remote().unwrap();
+            p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         }
         assert_eq!(p0.stats().stage_copies_avoided, n, "one per TX staging");
         assert_eq!(p1.stats().stage_copies_avoided, n, "one per RX copy-out");
@@ -4186,7 +4212,7 @@ mod tests {
         // Remote completions surface per frame, in posting order, and the
         // data landed at each sub-put's destination.
         for (i, it) in items.iter().enumerate() {
-            let ev = p1.wait_remote().unwrap();
+            let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
             assert_eq!((ev.rid, ev.size), (i as u64, 16));
             assert_eq!(dst.to_vec(it.doff, 16), vec![i as u8 + 1; 16]);
         }
@@ -4221,7 +4247,7 @@ mod tests {
         assert_eq!(p0.try_put_many(1, &src, &d, &items).unwrap(), 4);
         let mut rids = Vec::new();
         while rids.len() < 4 {
-            if let Some(Event::Remote(ev)) = p1.probe_completion(ProbeFlags::Remote).unwrap() {
+            if let Some(ev) = p1.poll_completion(ProbeFlags::Remote).unwrap() {
                 rids.push(ev.rid);
             }
         }
@@ -4262,7 +4288,7 @@ mod tests {
         assert_eq!(p0.try_put_many(1, &src, &d, &batch2).unwrap(), 1);
         let mut rids = Vec::new();
         while rids.len() < 4 {
-            if let Some(Event::Remote(ev)) = p1.probe_completion(ProbeFlags::Remote).unwrap() {
+            if let Some(ev) = p1.poll_completion(ProbeFlags::Remote).unwrap() {
                 rids.push(ev.rid);
             }
         }
@@ -4287,7 +4313,7 @@ mod tests {
         let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 3 + i as usize]).collect();
         p0.send_many(1, &payloads, 7).unwrap();
         for want in &payloads {
-            let ev = p1.wait_remote().unwrap();
+            let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
             assert_eq!(ev.rid, 7);
             assert_eq!(ev.payload.as_deref(), Some(&want[..]));
         }
@@ -4321,7 +4347,7 @@ mod tests {
             s.spawn(|| p0.put_many(1, &src, &d, &items[first..]).unwrap());
             s.spawn(|| {
                 for i in 0..32u64 {
-                    let ev = p1.wait_remote().unwrap();
+                    let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
                     assert_eq!(ev.rid, i, "in-order delivery across partial batches");
                 }
             });
@@ -4366,10 +4392,10 @@ mod tests {
             Err(PhotonError::OpFailed { rid: 8, status: WcStatus::RemoteDead })
         );
         p0.local_events.push(9, 1, VTime(12), WcStatus::RetryExceeded);
-        let ev = p0.wait_event().unwrap();
+        let ev = p0.wait_completion().unwrap();
         assert!(!ev.is_ok());
-        assert_eq!(ev.status(), WcStatus::RetryExceeded);
-        assert_eq!(ev.rid(), 9);
+        assert_eq!(ev.status, WcStatus::RetryExceeded);
+        assert_eq!(ev.rid, 9);
     }
 
     #[test]
@@ -4379,8 +4405,8 @@ mod tests {
         let e = p0.wait_local_for(0x2a, Duration::from_millis(20)).unwrap_err();
         assert_eq!(e, PhotonError::Timeout { what: "local completion", rid: Some(0x2a) });
         assert!(e.to_string().contains("0x2a"));
-        let e = p0.wait_event_for(Duration::from_millis(20)).unwrap_err();
-        assert_eq!(e, PhotonError::Timeout { what: "completion event", rid: None });
+        let e = p0.wait_completion_for(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(e, PhotonError::Timeout { what: "completion", rid: None });
     }
 
     #[test]
@@ -4400,7 +4426,7 @@ mod tests {
         let dst = BufferDescriptor { addr: key.addr, rkey: key.rkey, len: 64 };
         let before = p1.stats().stage_copies_avoided;
         p0.put_with_completion(1, &src, 0, 19, &dst, 0, 1, 2).unwrap();
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote).unwrap();
         assert_eq!(ev.rid, 2);
         assert_eq!(ev.size, 19);
         assert!(ev.status.is_ok());

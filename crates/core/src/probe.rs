@@ -41,57 +41,6 @@ pub struct RemoteEvent {
     pub status: WcStatus,
 }
 
-/// A completion event returned by probing.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Event {
-    /// An operation initiated locally has completed locally: the local
-    /// buffer is reusable.
-    Local {
-        /// The local completion identifier passed at initiation.
-        rid: u64,
-        /// Virtual time of local completion (injection finished).
-        ts: VTime,
-        /// Completion status: [`WcStatus::Success`] for a normal completion,
-        /// an error status when the work request was flushed because the
-        /// peer died or the path to it broke. The buffer is reusable either
-        /// way — the operation just may not have happened.
-        status: WcStatus,
-    },
-    /// A peer's operation has completed at this rank.
-    Remote(RemoteEvent),
-}
-
-impl Event {
-    /// The completion identifier regardless of direction.
-    pub fn rid(&self) -> u64 {
-        match self {
-            Event::Local { rid, .. } => *rid,
-            Event::Remote(r) => r.rid,
-        }
-    }
-
-    /// The event's virtual timestamp.
-    pub fn ts(&self) -> VTime {
-        match self {
-            Event::Local { ts, .. } => *ts,
-            Event::Remote(r) => r.ts,
-        }
-    }
-
-    /// The event's completion status.
-    pub fn status(&self) -> WcStatus {
-        match self {
-            Event::Local { status, .. } => *status,
-            Event::Remote(r) => r.status,
-        }
-    }
-
-    /// Did the operation behind this event succeed?
-    pub fn is_ok(&self) -> bool {
-        self.status().is_ok()
-    }
-}
-
 /// Which side of the wire a [`Completion`] was observed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompletionClass {
@@ -104,14 +53,14 @@ pub enum CompletionClass {
 
 /// The consolidated completion view returned by every probe/wait path
 /// (`Photon::poll_completion` / `poll_completions` / `wait_completion` /
-/// `wait_completion_from`).
+/// `wait_completion_matching` / `wait_completion_from`).
 ///
 /// One shape for both directions: rid, peer, timestamp, status, and class,
-/// plus the payload/size a remote send delivers. The historical accessors —
-/// [`Event`] from `probe_completion`/`wait_event`, `(VTime, WcStatus)` pairs
-/// from `wait_local`, [`RemoteEvent`] from `wait_remote(_from)` — remain as
-/// thin aliases over this type's information and interconvert losslessly
-/// (modulo the local peer, which `Event::Local` never carried).
+/// plus the payload/size a remote send delivers. Rid-addressed waits
+/// ([`crate::Photon::wait_local`]) still return bare `(VTime, status)`
+/// information — the caller already knows the rid — and [`RemoteEvent`]
+/// survives as the payload-bearing remote half, interconverting losslessly
+/// with [`CompletionClass::Remote`] completions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Completion {
     /// The completion identifier: the `local` id the initiator passed (for
@@ -154,6 +103,7 @@ impl Completion {
         Completion { rid, peer, ts, status, class: CompletionClass::Local, size: 0, payload: None }
     }
 
+    #[cfg(test)]
     pub(crate) fn into_remote_event(self) -> RemoteEvent {
         debug_assert_eq!(self.class, CompletionClass::Remote);
         RemoteEvent {
@@ -177,17 +127,6 @@ impl From<RemoteEvent> for Completion {
             class: CompletionClass::Remote,
             size: r.size,
             payload: r.payload,
-        }
-    }
-}
-
-impl From<Completion> for Event {
-    /// Collapse to the historical [`Event`] shape. Lossy only for local
-    /// completions, whose peer `Event::Local` never carried.
-    fn from(c: Completion) -> Event {
-        match c.class {
-            CompletionClass::Local => Event::Local { rid: c.rid, ts: c.ts, status: c.status },
-            CompletionClass::Remote => Event::Remote(c.into_remote_event()),
         }
     }
 }
@@ -259,33 +198,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn event_accessors() {
-        let e = Event::Local { rid: 5, ts: VTime(10), status: WcStatus::Success };
-        assert_eq!(e.rid(), 5);
-        assert_eq!(e.ts(), VTime(10));
-        assert!(e.is_ok());
-        let r = Event::Remote(RemoteEvent {
-            src: 2,
-            rid: 9,
-            size: 4,
-            payload: None,
-            ts: VTime(3),
-            status: WcStatus::Success,
-        });
-        assert_eq!(r.rid(), 9);
-        assert_eq!(r.ts(), VTime(3));
-        let bad = Event::Local { rid: 5, ts: VTime(10), status: WcStatus::FlushErr };
-        assert_eq!(bad.status(), WcStatus::FlushErr);
-        assert!(!bad.is_ok());
-    }
-
-    #[test]
-    fn completion_converts_to_event_and_back() {
+    fn completion_accessors_and_remote_round_trip() {
         let c = Completion::local(5, 3, VTime(10), WcStatus::Success);
         assert!(c.is_ok() && c.is_local() && !c.is_remote());
-        assert_eq!(c.peer, 3);
-        let ev: Event = c.into();
-        assert_eq!(ev, Event::Local { rid: 5, ts: VTime(10), status: WcStatus::Success });
+        assert_eq!((c.rid, c.peer, c.ts), (5, 3, VTime(10)));
 
         let r = RemoteEvent {
             src: 2,
@@ -296,11 +212,9 @@ mod tests {
             status: WcStatus::Success,
         };
         let c: Completion = r.clone().into();
-        assert!(c.is_remote());
+        assert!(c.is_remote() && !c.is_local());
         assert_eq!((c.peer, c.rid, c.size), (2, 9, 4));
         assert_eq!(c.clone().into_remote_event(), r);
-        let ev: Event = c.into();
-        assert_eq!(ev, Event::Remote(r));
 
         let bad = Completion::local(1, 0, VTime(1), WcStatus::FlushErr);
         assert!(!bad.is_ok());

@@ -155,11 +155,9 @@ mod tests {
         src.write_at(0, b"threaded");
         p0.put_with_completion(1, &src, 0, 8, &dst.descriptor(), 0, 7, 99).unwrap();
         p0.wait_local(7).unwrap();
-        let ev = p1.wait_event().unwrap();
-        match ev {
-            crate::Event::Remote(r) => assert_eq!(r.rid, 99),
-            other => panic!("expected remote completion, got {other:?}"),
-        }
+        let c = p1.wait_completion().unwrap();
+        assert!(c.is_remote(), "expected remote completion, got {c:?}");
+        assert_eq!(c.rid, 99);
         assert_eq!(dst.to_vec(0, 8), b"threaded");
         drop(cluster); // joins the threads; must not hang or panic
     }

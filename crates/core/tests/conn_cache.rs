@@ -28,7 +28,7 @@ fn connections_establish_lazily_on_first_contact() {
     assert_eq!(p0.stats().conns_opened, 2);
     // Remote-event FIFOs are lazy too: the receivers allocate one (for
     // rank 0), the bystanders none.
-    assert_eq!(c.rank(1).wait_remote().unwrap().rid, 1);
+    assert_eq!(c.rank(1).wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap().rid, 1);
     assert_eq!(c.rank(1).remote_fifos_allocated(), 1);
     assert_eq!(c.rank(2).remote_fifos_allocated(), 0);
 }
@@ -80,12 +80,12 @@ fn lru_eviction_disconnects_and_reconnects_on_demand() {
     assert_eq!(p0.stats().conns_opened, 4, "reconnect counts as a fresh establishment");
     // Teardown was lossless: every message, including the pre-eviction
     // one, reaches its receiver exactly once.
-    let ev = c.rank(1).wait_remote().unwrap();
+    let ev = c.rank(1).wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
     assert_eq!((ev.rid, ev.payload.as_deref()), (1, Some(b"a".as_slice())));
-    let ev = c.rank(1).wait_remote().unwrap();
+    let ev = c.rank(1).wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
     assert_eq!((ev.rid, ev.payload.as_deref()), (4, Some(b"again".as_slice())));
-    assert_eq!(c.rank(2).wait_remote().unwrap().rid, 2);
-    assert_eq!(c.rank(3).wait_remote().unwrap().rid, 3);
+    assert_eq!(c.rank(2).wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap().rid, 2);
+    assert_eq!(c.rank(3).wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap().rid, 3);
     // No rank ever exceeded the cap.
     for p in c.ranks() {
         assert!(p.conn_count() <= 2, "rank {} holds {} conns", p.rank(), p.conn_count());

@@ -84,7 +84,7 @@ fn windowed_partition_heals_through_backoff_probes() {
         p0.now().as_nanos() >= t0 + 400_000,
         "recovery cannot precede the partition window's end"
     );
-    let ev = p1.wait_remote().unwrap();
+    let ev = p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
     assert_eq!((ev.rid, ev.size), (8, 15));
     assert!(ev.status.is_ok());
     assert_eq!(dst.to_vec(0, 15), b"after the storm");
@@ -97,7 +97,7 @@ fn windowed_partition_heals_through_backoff_probes() {
     // The healed path keeps working with no residual state.
     p0.put_with_completion(1, &src, 0, 15, &d, 16, 9, 10).unwrap();
     p0.wait_local(9).unwrap();
-    assert_eq!(p1.wait_remote().unwrap().rid, 10);
+    assert_eq!(p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap().rid, 10);
 }
 
 #[test]
@@ -133,7 +133,7 @@ fn dead_peer_does_not_stall_traffic_to_survivors() {
         p0.send(1, format!("msg-{i}").as_bytes(), i).unwrap();
     }
     for i in 0..50u64 {
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(photon_core::ProbeFlags::Remote).unwrap();
         assert_eq!(ev.rid, i);
         assert_eq!(ev.payload.as_deref(), Some(format!("msg-{i}").as_bytes()));
     }

@@ -1,0 +1,258 @@
+//! The fabric backend seam: one verbs-shaped trait, many transports.
+//!
+//! The original Photon shipped verbs, uGNI *and* sockets backends behind a
+//! single RMA API. This module is that seam for the reproduction:
+//! [`FabricBackend`] captures exactly the surface the middleware consumes —
+//! memory registration yielding `(addr, rkey)`, QP-style endpoints carrying
+//! Send/Write(+imm)/Read/FetchAdd/CompareSwap work requests, and polled
+//! completion queues — so the simulated [`Nic`] and the real-sockets
+//! [`crate::sock::SockNic`] are interchangeable above this line.
+//!
+//! ## What stays behind the seam
+//!
+//! Fault injection ([`crate::FaultPlan`]) and the LogGP clock are *sim-only*
+//! concerns: the trait exposes their observable consequences (reachability
+//! verdicts, incarnations, modeled registration cost) with defaults that a
+//! real transport satisfies trivially (`None`, `0`, `false`). Conversely,
+//! retransmission and wire framing are sockets-only concerns the sim never
+//! sees. Neither leaks through the trait.
+//!
+//! ## Timestamp contract
+//!
+//! Every completion carries a [`VTime`]. Backends must deliver timestamps
+//! that are *monotone per flow*: a completion observed after another on the
+//! same CQ never carries a smaller timestamp than causality allows. The sim
+//! derives them from the LogGP model; the sockets backend uses wall-clock
+//! nanoseconds against a job-wide epoch, clamped monotone.
+
+use crate::clock::VTime;
+use crate::error::Result;
+use crate::mr::{Access, MemoryRegion, MrTable};
+use crate::nic::Nic;
+use crate::verbs::{Completion, Qp, RecvWr, SendWr, WcStatus};
+use crate::NodeId;
+use std::fmt::Debug;
+
+/// A fabric transport endpoint for one node: the verbs-like surface the
+/// middleware posts against.
+///
+/// Object-safe by design — the middleware holds `Arc<dyn FabricBackend>`
+/// and the cost of dynamic dispatch is noise next to a post's real work
+/// (locking, memcpy, or a syscall).
+pub trait FabricBackend: Send + Sync + Debug {
+    /// This endpoint's node id (dense, 0-based).
+    fn node(&self) -> NodeId;
+
+    /// Number of nodes in the job this endpoint belongs to.
+    fn num_nodes(&self) -> usize;
+
+    /// The local registration table (resolve, deregister, accounting).
+    fn mrs(&self) -> &MrTable;
+
+    /// Register a zeroed region of `len` bytes.
+    fn register(&self, len: usize, flags: Access) -> Result<MemoryRegion>;
+
+    /// Modeled virtual-time cost of registering `len` bytes. Real
+    /// transports charge nothing to virtual time (the wall clock *is* the
+    /// clock there).
+    fn registration_cost_ns(&self, _len: usize) -> u64 {
+        0
+    }
+
+    /// Create a reliable-connected QP to `peer`.
+    fn create_qp(&self, peer: NodeId) -> Result<Qp>;
+
+    /// Destroy a QP; subsequent posts on it fail.
+    fn destroy_qp(&self, qp: Qp) -> Result<()>;
+
+    /// Clear a QP's error state after the path to the peer has healed.
+    fn reset_qp(&self, qp: Qp) -> Result<()>;
+
+    /// True when `qp` is in the error state (posts are rejected).
+    fn qp_errored(&self, qp: Qp) -> bool;
+
+    /// Post one send-queue work request with the initiator's clock at
+    /// `now`.
+    fn post_send(&self, qp: Qp, wr: SendWr, now: VTime) -> Result<()>;
+
+    /// Post a run of work requests through one doorbell. RC ordering holds
+    /// across the run; stops at the first failing wr.
+    fn post_send_many(&self, qp: Qp, wrs: &[SendWr], now: VTime) -> Result<()>;
+
+    /// Post a receive for the next matching two-sided send.
+    fn post_recv(&self, wr: RecvWr) -> Result<()>;
+
+    /// Drain up to `n` initiator-side completions into `out` (appended);
+    /// returns the number drained.
+    fn poll_send_cq_into(&self, n: usize, out: &mut Vec<Completion>) -> usize;
+
+    /// Drain up to `n` target-side completions into `out` (appended);
+    /// returns the number drained.
+    fn poll_recv_cq_into(&self, n: usize, out: &mut Vec<Completion>) -> usize;
+
+    /// Poll one initiator-side completion.
+    fn poll_send_cq(&self) -> Option<Completion> {
+        let mut out = Vec::with_capacity(1);
+        if self.poll_send_cq_into(1, &mut out) == 1 {
+            out.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Poll one target-side completion.
+    fn poll_recv_cq(&self) -> Option<Completion> {
+        let mut out = Vec::with_capacity(1);
+        if self.poll_recv_cq_into(1, &mut out) == 1 {
+            out.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Reachability pre-check for `qp`'s peer at `now`: `None` when the
+    /// path is healthy, otherwise the status a post would fail with.
+    fn peer_status(&self, qp: Qp, now: VTime) -> Option<WcStatus> {
+        self.node_status(qp.peer, now)
+    }
+
+    /// Reachability pre-check for `peer` without a QP (connection-manager
+    /// analogue of [`FabricBackend::peer_status`]).
+    fn node_status(&self, peer: NodeId, now: VTime) -> Option<WcStatus>;
+
+    /// Whether this endpoint's *own* node is dead at `now` (sim fault
+    /// plans only; a real process that can ask is alive).
+    fn self_dead_at(&self, _now: VTime) -> bool {
+        false
+    }
+
+    /// The incarnation of `peer` at `now` (0 = original generation; bumped
+    /// by sim-side revive-after-crash). Real transports have one
+    /// generation per job.
+    fn node_incarnation(&self, _peer: NodeId, _now: VTime) -> u64 {
+        0
+    }
+}
+
+impl FabricBackend for crate::nic::Nic {
+    fn node(&self) -> NodeId {
+        Nic::node(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Nic::num_nodes(self)
+    }
+
+    fn mrs(&self) -> &MrTable {
+        Nic::mrs(self)
+    }
+
+    fn register(&self, len: usize, flags: Access) -> Result<MemoryRegion> {
+        Nic::register(self, len, flags)
+    }
+
+    fn registration_cost_ns(&self, len: usize) -> u64 {
+        Nic::registration_cost_ns(self, len)
+    }
+
+    fn create_qp(&self, peer: NodeId) -> Result<Qp> {
+        Nic::create_qp(self, peer)
+    }
+
+    fn destroy_qp(&self, qp: Qp) -> Result<()> {
+        Nic::destroy_qp(self, qp)
+    }
+
+    fn reset_qp(&self, qp: Qp) -> Result<()> {
+        Nic::reset_qp(self, qp)
+    }
+
+    fn qp_errored(&self, qp: Qp) -> bool {
+        Nic::qp_errored(self, qp)
+    }
+
+    fn post_send(&self, qp: Qp, wr: SendWr, now: VTime) -> Result<()> {
+        Nic::post_send(self, qp, wr, now)
+    }
+
+    fn post_send_many(&self, qp: Qp, wrs: &[SendWr], now: VTime) -> Result<()> {
+        Nic::post_send_many(self, qp, wrs, now)
+    }
+
+    fn post_recv(&self, wr: RecvWr) -> Result<()> {
+        Nic::post_recv(self, wr)
+    }
+
+    fn poll_send_cq_into(&self, n: usize, out: &mut Vec<Completion>) -> usize {
+        Nic::poll_send_cq_into(self, n, out)
+    }
+
+    fn poll_recv_cq_into(&self, n: usize, out: &mut Vec<Completion>) -> usize {
+        Nic::poll_recv_cq_into(self, n, out)
+    }
+
+    fn poll_send_cq(&self) -> Option<Completion> {
+        Nic::poll_send_cq(self)
+    }
+
+    fn poll_recv_cq(&self) -> Option<Completion> {
+        Nic::poll_recv_cq(self)
+    }
+
+    fn peer_status(&self, qp: Qp, now: VTime) -> Option<WcStatus> {
+        Nic::peer_status(self, qp, now)
+    }
+
+    fn node_status(&self, peer: NodeId, now: VTime) -> Option<WcStatus> {
+        Nic::node_status(self, peer, now)
+    }
+
+    fn self_dead_at(&self, now: VTime) -> bool {
+        Nic::self_dead_at(self, now)
+    }
+
+    fn node_incarnation(&self, peer: NodeId, now: VTime) -> u64 {
+        Nic::node_incarnation(self, peer, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verbs::{MrSlice, RemoteSlice, WrOp};
+    use crate::{Cluster, NetworkModel};
+    use std::sync::Arc;
+
+    #[test]
+    fn sim_nic_behind_trait_object() {
+        let c = Cluster::new(2, NetworkModel::ib_fdr());
+        let a: Arc<dyn FabricBackend> = Arc::clone(c.nic(0)) as Arc<dyn FabricBackend>;
+        let b: Arc<dyn FabricBackend> = Arc::clone(c.nic(1)) as Arc<dyn FabricBackend>;
+        assert_eq!(a.node(), 0);
+        assert_eq!(a.num_nodes(), 2);
+        let src = a.register(16, Access::ALL).unwrap();
+        let dst = b.register(16, Access::ALL).unwrap();
+        src.write_u64(0, 7777);
+        let qp = a.create_qp(1).unwrap();
+        a.post_send(
+            qp,
+            SendWr::new(
+                1,
+                WrOp::Write {
+                    local: MrSlice::new(&src, 0, 8),
+                    remote: RemoteSlice::from_key(&dst.remote_key(), 0, 8),
+                    imm: None,
+                },
+            ),
+            VTime(0),
+        )
+        .unwrap();
+        assert_eq!(dst.read_u64(0), 7777);
+        let mut out = Vec::new();
+        assert_eq!(a.poll_send_cq_into(8, &mut out), 1);
+        assert_eq!(out[0].wr_id, 1);
+        assert!(a.node_status(1, VTime(0)).is_none());
+        assert!(!a.self_dead_at(VTime(0)));
+        assert_eq!(a.node_incarnation(1, VTime(0)), 0);
+    }
+}

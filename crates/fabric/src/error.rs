@@ -86,6 +86,12 @@ pub enum FabricError {
     },
     /// The fabric (switch) has been shut down.
     Down,
+    /// An operating-system transport failed (sockets backend only): bind,
+    /// bootstrap, or datagram I/O.
+    Io {
+        /// Human-readable description of the failed operation.
+        what: String,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -121,6 +127,7 @@ impl fmt::Display for FabricError {
                 write!(f, "peer node {node} unreachable (dead or partitioned)")
             }
             FabricError::Down => write!(f, "fabric is down"),
+            FabricError::Io { what } => write!(f, "transport I/O failure: {what}"),
         }
     }
 }

@@ -39,16 +39,20 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod backend;
 pub mod clock;
 pub mod error;
 pub mod fault;
 pub mod model;
 pub mod mr;
 pub mod nic;
+pub mod sock;
 pub mod topology;
 pub mod verbs;
 pub mod wire;
 
+pub use backend::FabricBackend;
 pub use clock::{VClock, VTime};
 pub use error::{FabricError, Result};
 pub use fault::{FaultPlan, Window};

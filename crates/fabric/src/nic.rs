@@ -195,6 +195,11 @@ impl Nic {
         self.node
     }
 
+    /// Number of nodes attached to this NIC's switch (job size).
+    pub fn num_nodes(&self) -> usize {
+        self.switch.upgrade().map_or(0, |sw| sw.len())
+    }
+
     /// The registration table.
     pub fn mrs(&self) -> &MrTable {
         &self.mrs

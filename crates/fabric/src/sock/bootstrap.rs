@@ -1,0 +1,203 @@
+//! Out-of-band bootstrap: a TCP rendezvous for multi-process jobs.
+//!
+//! The launcher (`photon-launch`) runs a [`BootstrapServer`] on a loopback
+//! listen socket and passes its address to every rank process. Each rank
+//! [`Bootstrap::connect`]s, learns the job size and the shared wall-clock
+//! epoch, and then performs any number of **allgather rounds**: every rank
+//! contributes an opaque byte payload and receives all `n` payloads in rank
+//! order. Two rounds bootstrap a cluster: one exchanges UDP datagram
+//! addresses, one exchanges per-peer service-block remote keys. The
+//! protocol is strictly round-synchronous — the PMI stand-in, not a
+//! general-purpose collective.
+
+use crate::error::{FabricError, Result};
+use crate::NodeId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+const BOOT_MAGIC: u32 = 0xB007_0901;
+
+fn io_err(what: &str, e: std::io::Error) -> FabricError {
+    FabricError::Io { what: format!("{what}: {e}") }
+}
+
+fn write_u32(s: &mut TcpStream, v: u32) -> Result<()> {
+    s.write_all(&v.to_le_bytes()).map_err(|e| io_err("bootstrap write", e))
+}
+
+fn write_u64(s: &mut TcpStream, v: u64) -> Result<()> {
+    s.write_all(&v.to_le_bytes()).map_err(|e| io_err("bootstrap write", e))
+}
+
+fn read_u32(s: &mut TcpStream) -> Result<u32> {
+    let mut b = [0u8; 4];
+    s.read_exact(&mut b).map_err(|e| io_err("bootstrap read", e))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(s: &mut TcpStream) -> Result<u64> {
+    let mut b = [0u8; 8];
+    s.read_exact(&mut b).map_err(|e| io_err("bootstrap read", e))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// The launcher-side rendezvous service.
+#[derive(Debug)]
+pub struct BootstrapServer {
+    listener: TcpListener,
+}
+
+impl BootstrapServer {
+    /// Bind the rendezvous listener (use port 0 for an OS-chosen port).
+    pub fn bind(addr: &str) -> Result<BootstrapServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bootstrap bind", e))?;
+        Ok(BootstrapServer { listener })
+    }
+
+    /// The address rank processes should connect to (`PHOTON_BOOTSTRAP`).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener.local_addr().map_err(|e| io_err("bootstrap addr", e))
+    }
+
+    /// Serve an `n`-rank job: accept all ranks, distribute `(n, epoch)`,
+    /// then run allgather rounds until every rank disconnects. Blocking —
+    /// the launcher runs it on a thread.
+    pub fn run(&self, n: usize) -> Result<()> {
+        let mut conns: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut accepted = 0;
+        while accepted < n {
+            let (mut s, _) = self.listener.accept().map_err(|e| io_err("bootstrap accept", e))?;
+            if read_u32(&mut s)? != BOOT_MAGIC {
+                continue; // stray connection; ignore
+            }
+            let rank = read_u32(&mut s)? as usize;
+            if rank >= n || conns[rank].is_some() {
+                return Err(FabricError::Io {
+                    what: format!("bootstrap: bad or duplicate rank {rank}"),
+                });
+            }
+            conns[rank] = Some(s);
+            accepted += 1;
+        }
+        let epoch =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+        for s in conns.iter_mut().flatten() {
+            write_u32(s, BOOT_MAGIC)?;
+            write_u32(s, n as u32)?;
+            write_u64(s, epoch)?;
+        }
+        // Allgather rounds until unanimous EOF.
+        loop {
+            let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(n);
+            let mut eofs = 0;
+            for s in conns.iter_mut().flatten() {
+                let mut lb = [0u8; 4];
+                match s.read_exact(&mut lb) {
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                        eofs += 1;
+                        payloads.push(Vec::new());
+                        continue;
+                    }
+                    Err(e) => return Err(io_err("bootstrap round", e)),
+                    Ok(()) => {}
+                }
+                let len = u32::from_le_bytes(lb) as usize;
+                let mut body = vec![0u8; len];
+                s.read_exact(&mut body).map_err(|e| io_err("bootstrap round", e))?;
+                payloads.push(body);
+            }
+            if eofs == n {
+                return Ok(());
+            }
+            if eofs != 0 {
+                return Err(FabricError::Io {
+                    what: format!("bootstrap: {eofs}/{n} ranks left mid-round"),
+                });
+            }
+            for s in conns.iter_mut().flatten() {
+                for pl in &payloads {
+                    write_u32(s, pl.len() as u32)?;
+                    s.write_all(pl).map_err(|e| io_err("bootstrap round", e))?;
+                }
+            }
+        }
+    }
+}
+
+/// A rank's connection to the rendezvous service.
+#[derive(Debug)]
+pub struct Bootstrap {
+    stream: TcpStream,
+    /// This rank.
+    pub rank: NodeId,
+    /// Job size, as the server knows it.
+    pub n: usize,
+    /// Job-wide wall-clock epoch (unix nanoseconds).
+    pub epoch_ns: u64,
+}
+
+impl Bootstrap {
+    /// Connect to the rendezvous service as `rank` and complete the hello
+    /// handshake (learning `n` and the epoch).
+    pub fn connect(addr: &str, rank: NodeId) -> Result<Bootstrap> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| io_err("bootstrap connect", e))?;
+        stream.set_nodelay(true).ok();
+        write_u32(&mut stream, BOOT_MAGIC)?;
+        write_u32(&mut stream, rank as u32)?;
+        if read_u32(&mut stream)? != BOOT_MAGIC {
+            return Err(FabricError::Io { what: "bootstrap: bad server hello".into() });
+        }
+        let n = read_u32(&mut stream)? as usize;
+        let epoch_ns = read_u64(&mut stream)?;
+        Ok(Bootstrap { stream, rank, n, epoch_ns })
+    }
+
+    /// One allgather round: contribute `payload`, receive all `n` payloads
+    /// in rank order. Every rank must call this the same number of times.
+    pub fn allgather(&mut self, payload: &[u8]) -> Result<Vec<Vec<u8>>> {
+        write_u32(&mut self.stream, payload.len() as u32)?;
+        self.stream.write_all(payload).map_err(|e| io_err("allgather write", e))?;
+        let mut out = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let len = read_u32(&mut self.stream)? as usize;
+            let mut body = vec![0u8; len];
+            self.stream.read_exact(&mut body).map_err(|e| io_err("allgather read", e))?;
+            out.push(body);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_rounds_across_threads() {
+        let server = BootstrapServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let n = 3;
+        let srv = std::thread::spawn(move || server.run(n));
+        let mut clients = Vec::new();
+        for rank in 0..n {
+            let addr = addr.clone();
+            clients.push(std::thread::spawn(move || {
+                let mut bs = Bootstrap::connect(&addr, rank).unwrap();
+                assert_eq!(bs.n, 3);
+                assert_eq!(bs.rank, rank);
+                let round1 = bs.allgather(format!("rank-{rank}").as_bytes()).unwrap();
+                assert_eq!(round1.len(), 3);
+                for (i, p) in round1.iter().enumerate() {
+                    assert_eq!(p, format!("rank-{i}").as_bytes());
+                }
+                let round2 = bs.allgather(&[rank as u8; 4]).unwrap();
+                assert_eq!(round2[2], vec![2u8; 4]);
+                bs.epoch_ns
+            }));
+        }
+        let epochs: Vec<u64> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        assert!(epochs.iter().all(|&e| e == epochs[0] && e > 0));
+        srv.join().unwrap().unwrap();
+    }
+}

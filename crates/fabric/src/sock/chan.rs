@@ -1,0 +1,407 @@
+//! Reliable delivery over one `(src, dst)` direction: cumulative
+//! sequence/ack with go-back-N retransmission and bounded retry.
+//!
+//! All QPs between one pair of nodes share a channel, so channel order
+//! implies per-QP order (strictly stronger, as on a shared RC link). A
+//! channel that exhausts its retry budget is *failed*: every QP to the peer
+//! enters the error state and pending work requests resolve as
+//! [`crate::verbs::WcStatus::RetryExceeded`] completions — the sockets
+//! analogue of `IBV_WC_RETRY_EXC_ERR`.
+
+use super::wire::Packet;
+use crate::verbs::CompletionKind;
+use crate::NodeId;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// In-flight window: frames past either cap wait, already sequenced, for
+/// ack progress before hitting the wire.
+pub const WINDOW_PKTS: usize = 128;
+/// Byte-based companion cap, keeping bursts under the default UDP socket
+/// buffer on localhost.
+pub const WINDOW_BYTES: usize = 256 * 1024;
+
+/// Initial retransmission timeout; doubles per round up to [`RTO_MAX`].
+pub const RTO_INITIAL: Duration = Duration::from_millis(20);
+/// Retransmission timeout ceiling.
+pub const RTO_MAX: Duration = Duration::from_millis(200);
+/// Retransmit rounds without ack progress before the channel fails.
+pub const MAX_TRIES: u32 = 10;
+
+/// What to resolve when a sequenced frame is cumulatively acked: the
+/// initiator-side completion of the work request whose last fragment this
+/// was.
+#[derive(Debug)]
+pub struct OpDone {
+    /// Op correlation id (for remote-validation errors arriving by ACK).
+    pub op: u64,
+    /// Caller cookie for the completion.
+    pub wr_id: u64,
+    /// False for unsignaled wrs: resolve silently, no CQE.
+    pub signaled: bool,
+    /// `SendDone` or `WriteDone`.
+    pub kind: CompletionKind,
+    /// Remote validation failed (set by an `F_ERR` ACK before the frame
+    /// was acked).
+    pub errored: bool,
+}
+
+#[derive(Debug)]
+struct Frame {
+    seq: u64,
+    bytes: Vec<u8>,
+    /// Whether this frame has been handed to the socket at least once.
+    sent: bool,
+}
+
+#[derive(Debug)]
+struct TxState {
+    /// Next sequence number to assign (first frame is seq 1).
+    next_seq: u64,
+    /// Highest cumulatively acked sequence.
+    acked: u64,
+    /// Sequenced frames not yet cumulatively acked, in seq order. The
+    /// in-window prefix has hit the wire; the rest waits for ack progress.
+    unacked: VecDeque<Frame>,
+    /// Bytes of the in-window (sent) prefix.
+    inflight_bytes: usize,
+    /// Completions to resolve at cumulative ack, keyed by seq (ascending).
+    on_ack: VecDeque<(u64, OpDone)>,
+    /// Last transmission or ack-progress instant (RTO anchor).
+    last_activity: Instant,
+    /// Retransmit rounds since the last ack progress.
+    tries: u32,
+    current_rto: Duration,
+}
+
+#[derive(Debug)]
+struct RxState {
+    /// Next expected sequence number.
+    expected: u64,
+    /// Highest ack we have sent (suppresses redundant ACK datagrams).
+    last_acked: u64,
+}
+
+/// One direction of a node pair: reliable transmission toward `peer` plus
+/// in-order acceptance of `peer`'s frames.
+#[derive(Debug)]
+pub struct Channel {
+    /// The remote node.
+    pub peer: NodeId,
+    /// The remote node's datagram address.
+    pub peer_addr: SocketAddr,
+    tx: Mutex<TxState>,
+    rx: Mutex<RxState>,
+    failed: AtomicBool,
+    /// Latest cumulative ack to piggyback on outgoing frames (mirror of
+    /// `rx.expected - 1`, readable without the rx lock).
+    ack_mirror: AtomicU64,
+}
+
+/// Frames acked by one ack-processing pass, ready for completion fan-out.
+pub type AckedOps = Vec<OpDone>;
+
+impl Channel {
+    /// Fresh channel toward `peer` at `peer_addr`.
+    pub fn new(peer: NodeId, peer_addr: SocketAddr) -> Channel {
+        Channel {
+            peer,
+            peer_addr,
+            tx: Mutex::new(TxState {
+                next_seq: 1,
+                acked: 0,
+                unacked: VecDeque::new(),
+                inflight_bytes: 0,
+                on_ack: VecDeque::new(),
+                last_activity: Instant::now(),
+                tries: 0,
+                current_rto: RTO_INITIAL,
+            }),
+            rx: Mutex::new(RxState { expected: 1, last_acked: 0 }),
+            failed: AtomicBool::new(false),
+            ack_mirror: AtomicU64::new(0),
+        }
+    }
+
+    /// True once the retry budget is exhausted.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Cumulative ack value to piggyback on the next outgoing packet.
+    pub fn piggyback_ack(&self) -> u64 {
+        self.ack_mirror.load(Ordering::Relaxed)
+    }
+
+    /// Sequence, enqueue, and (window permitting) transmit a run of
+    /// packets. `packets` are pre-built except for `seq`/`ack`, which this
+    /// method assigns under the tx lock; `done` resolves when the *last*
+    /// packet of the run is cumulatively acked.
+    pub fn send_run(
+        &self,
+        sock: &UdpSocket,
+        mut packets: Vec<Packet>,
+        done: Option<OpDone>,
+    ) -> bool {
+        if self.is_failed() {
+            return false;
+        }
+        let ack = self.piggyback_ack();
+        let mut tx = self.tx.lock();
+        let mut last_seq = 0;
+        for p in &mut packets {
+            p.seq = tx.next_seq;
+            p.ack = ack;
+            tx.next_seq += 1;
+            last_seq = p.seq;
+        }
+        if let Some(d) = done {
+            tx.on_ack.push_back((last_seq, d));
+        }
+        for p in &packets {
+            tx.unacked.push_back(Frame { seq: p.seq, bytes: p.encode(), sent: false });
+        }
+        self.pump_window(sock, &mut tx);
+        true
+    }
+
+    /// Transmit the unsent prefix that fits the window.
+    fn pump_window(&self, sock: &UdpSocket, tx: &mut TxState) {
+        let mut sent_any = false;
+        let mut pkts_inflight = 0;
+        for f in tx.unacked.iter() {
+            if f.sent {
+                pkts_inflight += 1;
+            }
+        }
+        let mut bytes = tx.inflight_bytes;
+        for f in tx.unacked.iter_mut() {
+            if f.sent {
+                continue;
+            }
+            if pkts_inflight >= WINDOW_PKTS
+                || bytes + f.bytes.len() > WINDOW_BYTES.max(f.bytes.len())
+            {
+                break;
+            }
+            let _ = sock.send_to(&f.bytes, self.peer_addr);
+            f.sent = true;
+            pkts_inflight += 1;
+            bytes += f.bytes.len();
+            sent_any = true;
+        }
+        tx.inflight_bytes = bytes;
+        if sent_any {
+            tx.last_activity = Instant::now();
+        }
+    }
+
+    /// Process a cumulative ack from the peer; returns the completions it
+    /// resolved, in seq order. `err_op` carries an op id the peer flagged
+    /// as failing remote validation (`F_ERR`).
+    pub fn on_ack(&self, sock: &UdpSocket, ack: u64, err_op: Option<u64>) -> AckedOps {
+        let mut tx = self.tx.lock();
+        if let Some(bad) = err_op {
+            for (_, d) in tx.on_ack.iter_mut() {
+                if d.op == bad {
+                    d.errored = true;
+                }
+            }
+        }
+        if ack > tx.acked {
+            tx.acked = ack;
+            tx.tries = 0;
+            tx.current_rto = RTO_INITIAL;
+            tx.last_activity = Instant::now();
+            while tx.unacked.front().is_some_and(|f| f.seq <= ack) {
+                let f = tx.unacked.pop_front().unwrap();
+                if f.sent {
+                    tx.inflight_bytes = tx.inflight_bytes.saturating_sub(f.bytes.len());
+                }
+            }
+            self.pump_window(sock, &mut tx);
+        }
+        let mut out = Vec::new();
+        while tx.on_ack.front().is_some_and(|(s, _)| *s <= tx.acked) {
+            out.push(tx.on_ack.pop_front().unwrap().1);
+        }
+        out
+    }
+
+    /// Retransmission tick: resend the in-window unacked frames if the RTO
+    /// expired. Returns `true` when this tick exhausted the retry budget
+    /// (the caller fails the channel and flushes its ops).
+    pub fn tick(&self, sock: &UdpSocket, now: Instant) -> bool {
+        if self.is_failed() {
+            return false;
+        }
+        let mut tx = self.tx.lock();
+        if tx.unacked.is_empty() {
+            return false;
+        }
+        if now.duration_since(tx.last_activity) < tx.current_rto {
+            return false;
+        }
+        tx.tries += 1;
+        if tx.tries > MAX_TRIES {
+            return true;
+        }
+        tx.current_rto = (tx.current_rto * 2).min(RTO_MAX);
+        tx.last_activity = now;
+        let ack = self.piggyback_ack();
+        for f in tx.unacked.iter_mut().take(WINDOW_PKTS) {
+            if !f.sent {
+                break;
+            }
+            // Refresh the piggybacked ack in the stored frame (offset 20).
+            f.bytes[20..28].copy_from_slice(&ack.to_le_bytes());
+            let _ = sock.send_to(&f.bytes, self.peer_addr);
+        }
+        false
+    }
+
+    /// Fail the channel, draining every pending completion (they resolve
+    /// as `RetryExceeded` at the caller).
+    pub fn fail(&self) -> AckedOps {
+        self.failed.store(true, Ordering::Release);
+        let mut tx = self.tx.lock();
+        tx.unacked.clear();
+        tx.inflight_bytes = 0;
+        tx.on_ack.drain(..).map(|(_, d)| d).collect()
+    }
+
+    /// In-order acceptance of a sequenced frame: `Some(true)` to process
+    /// (it is the expected one), `Some(false)` to drop (duplicate or
+    /// out-of-order under go-back-N); always records the ack to send.
+    pub fn accept(&self, seq: u64) -> bool {
+        let mut rx = self.rx.lock();
+        if seq == rx.expected {
+            rx.expected += 1;
+            self.ack_mirror.store(rx.expected - 1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The cumulative ack to advertise, and whether it is new since the
+    /// last advertisement (dup-ack requests still re-advertise).
+    pub fn ack_due(&self, force: bool) -> Option<u64> {
+        let mut rx = self.rx.lock();
+        let cum = rx.expected - 1;
+        if force || cum > rx.last_acked {
+            rx.last_acked = cum;
+            Some(cum)
+        } else {
+            None
+        }
+    }
+
+    /// Whether any frames await (re)transmission or acknowledgement.
+    #[cfg(test)]
+    pub fn has_unacked(&self) -> bool {
+        !self.tx.lock().unacked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop_sock() -> UdpSocket {
+        UdpSocket::bind("127.0.0.1:0").expect("bind")
+    }
+
+    use super::super::wire::Body;
+
+    fn pkt(src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            flags: 0,
+            src,
+            dst,
+            seq: 0,
+            ack: 0,
+            op: 1,
+            body: Body::ReadReq { addr: 0, rkey: 0, len: 8 },
+        }
+    }
+
+    #[test]
+    fn seq_assignment_and_cumulative_ack() {
+        let s = loop_sock();
+        let sink = loop_sock();
+        let ch = Channel::new(1, sink.local_addr().unwrap());
+        let done = OpDone {
+            op: 7,
+            wr_id: 42,
+            signaled: true,
+            kind: CompletionKind::WriteDone,
+            errored: false,
+        };
+        assert!(ch.send_run(&s, vec![pkt(0, 1), pkt(0, 1), pkt(0, 1)], Some(done)));
+        assert!(ch.has_unacked());
+        // Ack of the middle frame resolves nothing (op rides frame 3).
+        assert!(ch.on_ack(&s, 2, None).is_empty());
+        let acked = ch.on_ack(&s, 3, None);
+        assert_eq!(acked.len(), 1);
+        assert_eq!(acked[0].wr_id, 42);
+        assert!(!acked[0].errored);
+        assert!(!ch.has_unacked());
+    }
+
+    #[test]
+    fn err_ack_marks_op() {
+        let s = loop_sock();
+        let sink = loop_sock();
+        let ch = Channel::new(1, sink.local_addr().unwrap());
+        let done = OpDone {
+            op: 9,
+            wr_id: 1,
+            signaled: true,
+            kind: CompletionKind::WriteDone,
+            errored: false,
+        };
+        ch.send_run(&s, vec![pkt(0, 1)], Some(done));
+        let acked = ch.on_ack(&s, 1, Some(9));
+        assert_eq!(acked.len(), 1);
+        assert!(acked[0].errored);
+    }
+
+    #[test]
+    fn rx_accept_is_in_order() {
+        let ch = Channel::new(0, "127.0.0.1:9".parse().unwrap());
+        assert!(ch.accept(1));
+        assert!(!ch.accept(3)); // gap: go-back-N drops it
+        assert!(ch.accept(2));
+        assert_eq!(ch.ack_due(false), Some(2));
+        assert_eq!(ch.ack_due(false), None); // nothing new
+        assert_eq!(ch.ack_due(true), Some(2)); // forced re-advertisement
+        assert!(!ch.accept(1)); // duplicate
+    }
+
+    #[test]
+    fn retry_budget_exhausts() {
+        let s = loop_sock();
+        let sink = loop_sock();
+        let ch = Channel::new(1, sink.local_addr().unwrap());
+        ch.send_run(&s, vec![pkt(0, 1)], None);
+        let mut failed = false;
+        let far = Instant::now();
+        for i in 0..(MAX_TRIES + 2) {
+            // Pretend ever-later ticks so every tick fires the RTO.
+            let t = far + Duration::from_secs(u64::from(i + 1) * 10);
+            if ch.tick(&s, t) {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+        let flushed = ch.fail();
+        assert!(ch.is_failed());
+        assert!(flushed.is_empty());
+        assert!(!ch.send_run(&s, vec![pkt(0, 1)], None));
+    }
+}

@@ -1,0 +1,423 @@
+//! The sockets fabric backend: real OS transport behind the
+//! [`FabricBackend`] seam.
+//!
+//! Where the simulated NIC models an RDMA fabric in virtual time, this
+//! backend moves bytes over UDP datagrams on a real network path (loopback
+//! today; any routable address in principle):
+//!
+//! * **Framing** — length-prefixed datagram packets ([`wire`]), one per
+//!   fragment, fragments capped at [`wire::MAX_FRAG`] bytes.
+//! * **Reliability** — per-`(src, dst)` cumulative sequence/ack channels
+//!   with go-back-N retransmission and a bounded retry budget (`chan`);
+//!   exhausting it fails the channel and resolves pending work as
+//!   `RetryExceeded`, the verbs `IBV_WC_RETRY_EXC_ERR` analogue.
+//! * **Emulated one-sided ops** — a per-process reactor thread
+//!   (`reactor`) executes write/read/atomic requests against locally
+//!   registered memory, as Photon's original sockets backend did.
+//! * **Bootstrap** — a TCP rendezvous (`bootstrap`) distributes the job
+//!   size, a shared wall-clock epoch, and per-rank metadata (datagram
+//!   addresses, service-block keys) for multi-process jobs.
+//!
+//! Two deployment shapes share all of the above:
+//! [`SockCluster`] wires `n` endpoints *in one process* (tests, benches —
+//! the data path still crosses real sockets), while [`join_job`] builds
+//! this process's single endpoint of a *multi-process* job launched by
+//! `photon-launch`.
+
+mod bootstrap;
+mod chan;
+mod nic;
+pub(crate) mod reactor;
+pub mod wire;
+
+pub use bootstrap::{Bootstrap, BootstrapServer};
+pub use nic::{SockNic, SOCK_PENDING_SEND_CAP};
+
+use crate::backend::FabricBackend;
+use crate::clock::VTime;
+use crate::error::{FabricError, Result};
+use crate::mr::{Access, MemoryRegion, MrTable};
+use crate::verbs::{Completion, Qp, RecvWr, SendWr, WcStatus};
+use crate::NodeId;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+impl FabricBackend for SockNic {
+    fn node(&self) -> NodeId {
+        SockNic::node(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        SockNic::num_nodes(self)
+    }
+
+    fn mrs(&self) -> &MrTable {
+        SockNic::mrs(self)
+    }
+
+    fn register(&self, len: usize, flags: Access) -> Result<MemoryRegion> {
+        SockNic::register(self, len, flags)
+    }
+
+    fn create_qp(&self, peer: NodeId) -> Result<Qp> {
+        SockNic::create_qp(self, peer)
+    }
+
+    fn destroy_qp(&self, qp: Qp) -> Result<()> {
+        SockNic::destroy_qp(self, qp)
+    }
+
+    fn reset_qp(&self, qp: Qp) -> Result<()> {
+        SockNic::reset_qp(self, qp)
+    }
+
+    fn qp_errored(&self, qp: Qp) -> bool {
+        SockNic::qp_errored(self, qp)
+    }
+
+    fn post_send(&self, qp: Qp, wr: SendWr, now: VTime) -> Result<()> {
+        SockNic::post_send(self, qp, wr, now)
+    }
+
+    fn post_send_many(&self, qp: Qp, wrs: &[SendWr], now: VTime) -> Result<()> {
+        SockNic::post_send_many(self, qp, wrs, now)
+    }
+
+    fn post_recv(&self, wr: RecvWr) -> Result<()> {
+        SockNic::post_recv(self, wr)
+    }
+
+    fn poll_send_cq_into(&self, n: usize, out: &mut Vec<Completion>) -> usize {
+        SockNic::poll_send_cq_into(self, n, out)
+    }
+
+    fn poll_recv_cq_into(&self, n: usize, out: &mut Vec<Completion>) -> usize {
+        SockNic::poll_recv_cq_into(self, n, out)
+    }
+
+    fn poll_send_cq(&self) -> Option<Completion> {
+        SockNic::poll_send_cq(self)
+    }
+
+    fn poll_recv_cq(&self) -> Option<Completion> {
+        SockNic::poll_recv_cq(self)
+    }
+
+    fn node_status(&self, peer: NodeId, _now: VTime) -> Option<WcStatus> {
+        SockNic::node_status(self, peer)
+    }
+}
+
+/// An `n`-endpoint sockets cluster in one process: every rank gets its own
+/// UDP socket and reactor thread, and the data path crosses the loopback
+/// interface for real. The in-process twin of a `photon-launch` job, used
+/// by tests and single-process benches.
+#[derive(Debug)]
+pub struct SockCluster {
+    nics: Vec<Arc<SockNic>>,
+}
+
+impl SockCluster {
+    /// Bind and start `n` endpoints wired to each other over loopback.
+    pub fn new(n: usize) -> Result<SockCluster> {
+        let nics: Vec<Arc<SockNic>> = (0..n).map(|i| SockNic::bind(i, n)).collect::<Result<_>>()?;
+        let peers: Vec<_> = nics.iter().map(|nic| nic.local_addr()).collect::<Result<_>>()?;
+        let epoch =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+        for nic in &nics {
+            nic.start(peers.clone(), epoch)?;
+        }
+        Ok(SockCluster { nics })
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// True for a zero-endpoint cluster.
+    pub fn is_empty(&self) -> bool {
+        self.nics.is_empty()
+    }
+
+    /// Endpoint of node `i`.
+    pub fn nic(&self, i: NodeId) -> &Arc<SockNic> {
+        &self.nics[i]
+    }
+}
+
+impl Drop for SockCluster {
+    fn drop(&mut self) {
+        for nic in &self.nics {
+            nic.shutdown();
+        }
+    }
+}
+
+/// Join a multi-process job as one rank: rendezvous at `bootstrap_addr`
+/// (the `PHOTON_BOOTSTRAP` address a `photon-launch` parent exported),
+/// exchange datagram addresses, and start this process's endpoint.
+///
+/// Returns the live endpoint plus the still-open [`Bootstrap`] connection
+/// so higher layers can run further allgather rounds (connection key
+/// exchange) before releasing it.
+pub fn join_job(bootstrap_addr: &str, rank: NodeId) -> Result<(Arc<SockNic>, Bootstrap)> {
+    let mut bs = Bootstrap::connect(bootstrap_addr, rank)?;
+    let nic = SockNic::bind(rank, bs.n)?;
+    let my_addr = nic.local_addr()?.to_string();
+    let addrs = bs.allgather(my_addr.as_bytes())?;
+    let peers: Vec<_> = addrs
+        .iter()
+        .map(|b| {
+            std::str::from_utf8(b)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| FabricError::Io { what: "bad peer address in bootstrap".into() })
+        })
+        .collect::<Result<_>>()?;
+    nic.start(peers, bs.epoch_ns)?;
+    Ok((nic, bs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verbs::{CompletionKind, MrSlice, RemoteSlice, WrOp};
+    use std::time::{Duration, Instant};
+
+    fn wait_send_cqe(nic: &SockNic) -> Completion {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(c) = nic.poll_send_cq() {
+                return c;
+            }
+            assert!(Instant::now() < deadline, "no completion within 5s");
+            std::thread::yield_now();
+        }
+    }
+
+    fn wait_recv_cqe(nic: &SockNic) -> Completion {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(c) = nic.poll_recv_cq() {
+                return c;
+            }
+            assert!(Instant::now() < deadline, "no recv completion within 5s");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn write_with_imm_crosses_sockets() {
+        let c = SockCluster::new(2).unwrap();
+        let src = c.nic(0).register(64, Access::ALL).unwrap();
+        let dst = c.nic(1).register(64, Access::ALL).unwrap();
+        src.write_u64(0, 0xabcd);
+        let qp = c.nic(0).create_qp(1).unwrap();
+        c.nic(0)
+            .post_send(
+                qp,
+                SendWr::new(
+                    5,
+                    WrOp::Write {
+                        local: MrSlice::new(&src, 0, 8),
+                        remote: RemoteSlice::from_key(&dst.remote_key(), 8, 8),
+                        imm: Some(42),
+                    },
+                ),
+                VTime(0),
+            )
+            .unwrap();
+        let cqe = wait_send_cqe(c.nic(0));
+        assert_eq!(cqe.wr_id, 5);
+        assert_eq!(cqe.status, WcStatus::Success);
+        assert_eq!(cqe.kind, CompletionKind::WriteDone);
+        let ev = wait_recv_cqe(c.nic(1));
+        assert!(matches!(ev.kind, CompletionKind::ImmDone { src: 0, len: 8, imm: 42 }));
+        assert_eq!(dst.read_u64(8), 0xabcd);
+    }
+
+    #[test]
+    fn read_and_atomics_round_trip() {
+        let c = SockCluster::new(2).unwrap();
+        let local = c.nic(0).register(64, Access::ALL).unwrap();
+        let remote = c.nic(1).register(64, Access::ALL).unwrap();
+        remote.write_u64(0, 999);
+        let qp = c.nic(0).create_qp(1).unwrap();
+        c.nic(0)
+            .post_send(
+                qp,
+                SendWr::new(
+                    1,
+                    WrOp::Read {
+                        local: MrSlice::new(&local, 0, 8),
+                        remote: RemoteSlice::from_key(&remote.remote_key(), 0, 8),
+                    },
+                ),
+                VTime(0),
+            )
+            .unwrap();
+        assert_eq!(wait_send_cqe(c.nic(0)).kind, CompletionKind::ReadDone);
+        assert_eq!(local.read_u64(0), 999);
+
+        c.nic(0)
+            .post_send(
+                qp,
+                SendWr::new(
+                    2,
+                    WrOp::FetchAdd {
+                        local: MrSlice::new(&local, 8, 8),
+                        remote: RemoteSlice::from_key(&remote.remote_key(), 0, 8),
+                        add: 11,
+                    },
+                ),
+                VTime(0),
+            )
+            .unwrap();
+        let cqe = wait_send_cqe(c.nic(0));
+        assert!(matches!(cqe.kind, CompletionKind::AtomicDone { old: 999 }));
+        assert_eq!(remote.read_u64(0), 1010);
+
+        c.nic(0)
+            .post_send(
+                qp,
+                SendWr::new(
+                    3,
+                    WrOp::CompareSwap {
+                        local: MrSlice::new(&local, 16, 8),
+                        remote: RemoteSlice::from_key(&remote.remote_key(), 0, 8),
+                        compare: 1010,
+                        swap: 7,
+                    },
+                ),
+                VTime(0),
+            )
+            .unwrap();
+        assert!(matches!(wait_send_cqe(c.nic(0)).kind, CompletionKind::AtomicDone { old: 1010 }));
+        assert_eq!(remote.read_u64(0), 7);
+    }
+
+    #[test]
+    fn two_sided_send_and_large_fragmented_write() {
+        let c = SockCluster::new(2).unwrap();
+        let src = c.nic(0).register(200_000, Access::ALL).unwrap();
+        let dst = c.nic(1).register(200_000, Access::ALL).unwrap();
+        // Two-sided with a posted receive.
+        let rbuf = c.nic(1).register(64, Access::ALL).unwrap();
+        c.nic(1).post_recv(RecvWr { wr_id: 77, local: MrSlice::new(&rbuf, 0, 64) }).unwrap();
+        let qp = c.nic(0).create_qp(1).unwrap();
+        src.write_at(0, b"parcel");
+        c.nic(0)
+            .post_send(
+                qp,
+                SendWr::new(1, WrOp::Send { local: MrSlice::new(&src, 0, 6), imm: Some(9) }),
+                VTime(0),
+            )
+            .unwrap();
+        let ev = wait_recv_cqe(c.nic(1));
+        assert_eq!(ev.wr_id, 77);
+        assert!(matches!(ev.kind, CompletionKind::RecvDone { src: 0, len: 6, imm: Some(9) }));
+        assert_eq!(rbuf.to_vec(0, 6), b"parcel");
+        assert_eq!(wait_send_cqe(c.nic(0)).kind, CompletionKind::SendDone);
+
+        // A write spanning many fragments lands byte-exact.
+        let pattern: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        src.write_at(0, &pattern);
+        c.nic(0)
+            .post_send(
+                qp,
+                SendWr::new(
+                    2,
+                    WrOp::Write {
+                        local: MrSlice::new(&src, 0, 200_000),
+                        remote: RemoteSlice::from_key(&dst.remote_key(), 0, 200_000),
+                        imm: None,
+                    },
+                ),
+                VTime(0),
+            )
+            .unwrap();
+        let cqe = wait_send_cqe(c.nic(0));
+        assert_eq!(cqe.status, WcStatus::Success);
+        assert_eq!(dst.to_vec(0, 200_000), pattern);
+    }
+
+    #[test]
+    fn loopback_is_synchronous() {
+        let c = SockCluster::new(1).unwrap();
+        let a = c.nic(0).register(32, Access::ALL).unwrap();
+        let b = c.nic(0).register(32, Access::ALL).unwrap();
+        a.write_u64(0, 31337);
+        let qp = c.nic(0).create_qp(0).unwrap();
+        c.nic(0)
+            .post_send(
+                qp,
+                SendWr::new(
+                    1,
+                    WrOp::Write {
+                        local: MrSlice::new(&a, 0, 8),
+                        remote: RemoteSlice::from_key(&b.remote_key(), 0, 8),
+                        imm: None,
+                    },
+                ),
+                VTime(0),
+            )
+            .unwrap();
+        assert_eq!(b.read_u64(0), 31337);
+        assert_eq!(c.nic(0).poll_send_cq().unwrap().wr_id, 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let c = SockCluster::new(1).unwrap();
+        let mut last = VTime(0);
+        for _ in 0..100 {
+            let t = c.nic(0).now_v();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn multi_process_style_bootstrap_over_threads() {
+        let server = BootstrapServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let srv = std::thread::spawn(move || server.run(2));
+        let mk = |rank: NodeId, addr: String| {
+            std::thread::spawn(move || {
+                let (nic, _bs) = join_job(&addr, rank).unwrap();
+                nic
+            })
+        };
+        let h0 = mk(0, addr.clone());
+        let h1 = mk(1, addr);
+        let n0 = h0.join().unwrap();
+        let n1 = h1.join().unwrap();
+        srv.join().unwrap().unwrap();
+        // Post a real write across the two endpoints.
+        let src = n0.register(8, Access::ALL).unwrap();
+        let dst = n1.register(8, Access::ALL).unwrap();
+        src.write_u64(0, 4242);
+        let qp = n0.create_qp(1).unwrap();
+        n0.post_send(
+            qp,
+            SendWr::new(
+                1,
+                WrOp::Write {
+                    local: MrSlice::whole(&src),
+                    remote: RemoteSlice::from_key(&dst.remote_key(), 0, 8),
+                    imm: None,
+                },
+            ),
+            VTime(0),
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while dst.read_u64(0) != 4242 {
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        n0.shutdown();
+        n1.shutdown();
+    }
+}

@@ -1,0 +1,289 @@
+//! The per-process reactor: executes emulated one-sided operations.
+//!
+//! One thread per [`SockNic`] loops on the UDP socket with a short read
+//! timeout. Each pass drains pending datagrams (processing piggybacked and
+//! explicit ACKs, then accepting sequenced frames in channel order),
+//! answers read/atomic requests against local registered memory, flushes
+//! newly due ACKs, and runs the retransmission tick. A channel whose retry
+//! budget is exhausted is failed here, flushing its pending work requests
+//! as `RetryExceeded` completions.
+
+use super::chan::Channel;
+use super::nic::{stamp_payload, SendReasm, SockNic};
+use super::wire::{AtomicKind, Body, Packet, F_ERR, F_HAS_IMM, F_LAST, MAX_FRAG};
+use crate::mr::Access;
+use crate::verbs::{Completion, CompletionKind, WcStatus};
+use std::io::ErrorKind;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Reactor thread body for `nic` (named `photon-sock-<node>`).
+pub(super) fn run(nic: Arc<SockNic>) {
+    let mut buf = vec![0u8; 65536];
+    while !nic.stop.load(Ordering::Acquire) {
+        // Drain every queued datagram before housekeeping.
+        let mut drained = 0;
+        loop {
+            match nic.sock.recv_from(&mut buf) {
+                Ok((n, _)) => {
+                    if let Some(p) = Packet::decode(&buf[..n]) {
+                        handle(&nic, p);
+                    }
+                    drained += 1;
+                    if drained >= 1024 {
+                        break; // bounded pass; acks must get out
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break
+                }
+                Err(_) => break,
+            }
+        }
+        housekeeping(&nic);
+    }
+}
+
+/// Flush due ACKs and run the retransmission tick on every channel.
+fn housekeeping(nic: &Arc<SockNic>) {
+    let Some(chans) = nic.chans.get() else { return };
+    let now = Instant::now();
+    for ch in chans {
+        if ch.peer == nic.node() {
+            continue;
+        }
+        if let Some(cum) = ch.ack_due(false) {
+            send_ack(nic, ch, cum, None);
+        }
+        if ch.tick(&nic.sock, now) {
+            nic.fail_peer(ch.peer);
+        }
+    }
+}
+
+fn send_ack(nic: &SockNic, ch: &Channel, cum: u64, err_op: Option<u64>) {
+    let pkt = Packet {
+        flags: if err_op.is_some() { F_ERR } else { 0 },
+        src: nic.node(),
+        dst: ch.peer,
+        seq: 0,
+        ack: cum,
+        op: err_op.unwrap_or(0),
+        body: Body::Ack,
+    };
+    let _ = nic.sock.send_to(&pkt.encode(), ch.peer_addr);
+}
+
+fn handle(nic: &Arc<SockNic>, p: Packet) {
+    if p.dst != nic.node() {
+        return;
+    }
+    let Some(chans) = nic.chans.get() else { return };
+    let Some(ch) = chans.get(p.src) else { return };
+
+    // Piggybacked cumulative ack (every packet carries one).
+    let err_op =
+        if matches!(p.body, Body::Ack) && p.flags & F_ERR != 0 { Some(p.op) } else { None };
+    let acked = ch.on_ack(&nic.sock, p.ack, err_op);
+    if !acked.is_empty() {
+        nic.complete_acked(p.src, acked);
+    }
+    // Remote-validation failure of a read/atomic resolves its pending op.
+    if let Some(bad) = err_op {
+        let failed = nic.pending.lock().remove(&bad);
+        if let Some(op) = failed {
+            if op.signaled {
+                let kind = if op.atomic {
+                    CompletionKind::AtomicDone { old: 0 }
+                } else {
+                    CompletionKind::ReadDone
+                };
+                nic.push_send_cqe(Completion {
+                    wr_id: op.wr_id,
+                    kind,
+                    ts: nic.now_v(),
+                    status: WcStatus::FlushErr,
+                });
+            }
+        }
+    }
+    if matches!(p.body, Body::Ack) {
+        return;
+    }
+
+    // Sequenced frame: accept in order or drop + re-advertise (go-back-N).
+    if !ch.accept(p.seq) {
+        if let Some(cum) = ch.ack_due(true) {
+            send_ack(nic, ch, cum, None);
+        }
+        return;
+    }
+
+    match p.body {
+        Body::Ack => unreachable!("handled above"),
+        Body::Write { addr, rkey, total, imm, stamps, mut payload } => {
+            let ts = nic.now_v();
+            stamp_payload(&mut payload, &stamps, 0, ts);
+            match nic.mrs().resolve(addr, rkey, payload.len(), Access::REMOTE_WRITE) {
+                Ok((mr, off)) => {
+                    mr.write_at(off, &payload);
+                    if p.flags & F_LAST != 0 && p.flags & F_HAS_IMM != 0 {
+                        nic.push_recv_cqe(Completion {
+                            wr_id: 0,
+                            kind: CompletionKind::ImmDone { src: p.src, len: total as usize, imm },
+                            ts,
+                            status: WcStatus::Success,
+                        });
+                    }
+                }
+                Err(_) => {
+                    if let Some(cum) = ch.ack_due(true) {
+                        send_ack(nic, ch, cum, Some(p.op));
+                    }
+                    return;
+                }
+            }
+        }
+        Body::Send { total, frag_off, imm, payload } => {
+            let imm = if p.flags & F_HAS_IMM != 0 { Some(imm) } else { None };
+            let total = total as usize;
+            if frag_off == 0 && payload.len() == total {
+                nic.deliver_send(p.src, payload, imm);
+            } else {
+                let key = (p.src, p.op);
+                let mut reasm = nic.reasm.lock();
+                let entry = reasm.entry(key).or_insert_with(|| SendReasm {
+                    buf: vec![0u8; total],
+                    received: 0,
+                    imm: None,
+                });
+                let off = frag_off as usize;
+                let end = (off + payload.len()).min(entry.buf.len());
+                if off < end {
+                    entry.buf[off..end].copy_from_slice(&payload[..end - off]);
+                    entry.received += end - off;
+                }
+                if imm.is_some() {
+                    entry.imm = imm;
+                }
+                if p.flags & F_LAST != 0 {
+                    let done = reasm.remove(&key).unwrap();
+                    drop(reasm);
+                    nic.deliver_send(p.src, done.buf, done.imm);
+                }
+            }
+        }
+        Body::ReadReq { addr, rkey, len } => {
+            match nic.mrs().resolve(addr, rkey, len as usize, Access::REMOTE_READ) {
+                Ok((mr, off)) => {
+                    let data = mr.to_vec(off, len as usize);
+                    let pkts = frag_read_resp(nic.node(), p.src, p.op, data);
+                    ch.send_run(&nic.sock, pkts, None);
+                }
+                Err(_) => {
+                    if let Some(cum) = ch.ack_due(true) {
+                        send_ack(nic, ch, cum, Some(p.op));
+                    }
+                    return;
+                }
+            }
+        }
+        Body::ReadResp { total, frag_off, payload } => {
+            let last = p.flags & F_LAST != 0;
+            let mut pend = nic.pending.lock();
+            if let Some(op) = pend.get(&p.op) {
+                let off = frag_off as usize;
+                let n = payload.len().min(op.local.len.saturating_sub(off));
+                if n > 0 {
+                    op.local.mr.write_at(op.local.offset + off, &payload[..n]);
+                }
+                let _ = total;
+                if last {
+                    let op = pend.remove(&p.op).unwrap();
+                    drop(pend);
+                    if op.signaled {
+                        nic.push_send_cqe(Completion {
+                            wr_id: op.wr_id,
+                            kind: CompletionKind::ReadDone,
+                            ts: nic.now_v(),
+                            status: WcStatus::Success,
+                        });
+                    }
+                }
+            }
+        }
+        Body::AtomicReq { addr, rkey, akind, arg1, arg2 } => {
+            let served = nic.serve_atomic_local(addr, rkey, |mr, off| match akind {
+                AtomicKind::FetchAdd => mr.fetch_add_u64(off, arg1),
+                AtomicKind::CompareSwap => mr.compare_swap_u64(off, arg1, arg2),
+            });
+            match served {
+                Ok(old) => {
+                    let pkt = Packet {
+                        flags: F_LAST,
+                        src: nic.node(),
+                        dst: p.src,
+                        seq: 0,
+                        ack: 0,
+                        op: p.op,
+                        body: Body::AtomicResp { old },
+                    };
+                    ch.send_run(&nic.sock, vec![pkt], None);
+                }
+                Err(_) => {
+                    if let Some(cum) = ch.ack_due(true) {
+                        send_ack(nic, ch, cum, Some(p.op));
+                    }
+                    return;
+                }
+            }
+        }
+        Body::AtomicResp { old } => {
+            let op = nic.pending.lock().remove(&p.op);
+            if let Some(op) = op {
+                op.local.mr.write_u64(op.local.offset, old);
+                if op.signaled {
+                    nic.push_send_cqe(Completion {
+                        wr_id: op.wr_id,
+                        kind: CompletionKind::AtomicDone { old },
+                        ts: nic.now_v(),
+                        status: WcStatus::Success,
+                    });
+                }
+            }
+        }
+    }
+    // Acknowledge the accepted frame promptly (cumulative).
+    if let Some(cum) = ch.ack_due(false) {
+        send_ack(nic, ch, cum, None);
+    }
+}
+
+fn frag_read_resp(src: crate::NodeId, dst: crate::NodeId, op: u64, data: Vec<u8>) -> Vec<Packet> {
+    let total = data.len();
+    let mut pkts = Vec::new();
+    let mut off = 0;
+    loop {
+        let n = (total - off).min(MAX_FRAG);
+        let last = off + n == total;
+        pkts.push(Packet {
+            flags: if last { F_LAST } else { 0 },
+            src,
+            dst,
+            seq: 0,
+            ack: 0,
+            op,
+            body: Body::ReadResp {
+                total: total as u32,
+                frag_off: off as u32,
+                payload: data[off..off + n].to_vec(),
+            },
+        });
+        off += n;
+        if last {
+            break;
+        }
+    }
+    pkts
+}

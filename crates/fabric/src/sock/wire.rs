@@ -1,0 +1,457 @@
+//! Datagram wire format of the sockets backend.
+//!
+//! Every UDP datagram carries one packet: a fixed header followed by a
+//! kind-specific body with a length-prefixed payload. All integers are
+//! little-endian. Packets other than [`Kind::Ack`] consume one sequence
+//! number on the per-`(src, dst)` channel and are retransmitted until
+//! cumulatively acknowledged; ACKs are unsequenced and idempotent.
+//!
+//! Large transfers are fragmented at [`MAX_FRAG`] payload bytes. Write
+//! fragments are *independent* (each names its own remote address), so a
+//! receiver applies them as they arrive in channel order; send and
+//! read-response fragments carry `(total, frag_off)` and are reassembled
+//! per op id.
+
+use crate::NodeId;
+
+/// First two bytes of every datagram; anything else is dropped on read.
+pub const MAGIC: u16 = 0x9A07;
+
+/// Fixed header size in bytes.
+pub const HDR: usize = 36;
+
+/// Maximum payload bytes per fragment: comfortably under the 64 KiB UDP
+/// datagram ceiling with header + stamp-table overhead included.
+pub const MAX_FRAG: usize = 32 * 1024;
+
+/// Final fragment of its work request.
+pub const F_LAST: u8 = 1 << 0;
+/// The op carries immediate data (valid only with `F_LAST`).
+pub const F_HAS_IMM: u8 = 1 << 1;
+/// On an ACK: the op named by `op` failed remote validation (bounds,
+/// access, unknown rkey); the initiator resolves it as an error completion.
+pub const F_ERR: u8 = 1 << 2;
+
+/// Packet kind discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// Cumulative acknowledgement (unsequenced).
+    Ack = 0,
+    /// Two-sided send fragment.
+    Send = 1,
+    /// One-sided write fragment.
+    Write = 2,
+    /// RDMA-read request.
+    ReadReq = 3,
+    /// RDMA-read response fragment.
+    ReadResp = 4,
+    /// Remote-atomic request.
+    AtomicReq = 5,
+    /// Remote-atomic response.
+    AtomicResp = 6,
+}
+
+impl Kind {
+    fn from_u8(v: u8) -> Option<Kind> {
+        Some(match v {
+            0 => Kind::Ack,
+            1 => Kind::Send,
+            2 => Kind::Write,
+            3 => Kind::ReadReq,
+            4 => Kind::ReadResp,
+            5 => Kind::AtomicReq,
+            6 => Kind::AtomicResp,
+            _ => return None,
+        })
+    }
+}
+
+/// Atomic sub-operation inside [`Body::AtomicReq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// 64-bit fetch-and-add; `arg1` is the addend.
+    FetchAdd,
+    /// 64-bit compare-and-swap; `arg1` is the expected value, `arg2` the
+    /// replacement.
+    CompareSwap,
+}
+
+/// Kind-specific packet body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// Cumulative ACK; op-level errors ride the header's `F_ERR` + `op`.
+    Ack,
+    /// Two-sided send fragment: reassembled per op id.
+    Send {
+        /// Total payload bytes of the whole send.
+        total: u32,
+        /// This fragment's offset within the send.
+        frag_off: u32,
+        /// Immediate data (valid if `F_HAS_IMM`).
+        imm: u64,
+        /// Fragment payload.
+        payload: Vec<u8>,
+    },
+    /// One-sided write fragment targeting `(addr, rkey)` directly.
+    Write {
+        /// Remote virtual address this fragment lands at.
+        addr: u64,
+        /// Remote key naming the target region.
+        rkey: u32,
+        /// Total payload bytes of the whole write (reported in `ImmDone`).
+        total: u32,
+        /// Immediate data (valid if `F_HAS_IMM`, on the last fragment).
+        imm: u64,
+        /// Payload-relative offsets (within this fragment) the receiver
+        /// overwrites with its delivery timestamp before applying.
+        stamps: Vec<u32>,
+        /// Fragment payload.
+        payload: Vec<u8>,
+    },
+    /// RDMA-read request for `len` bytes at `(addr, rkey)`.
+    ReadReq {
+        /// Remote source address.
+        addr: u64,
+        /// Remote key naming the source region.
+        rkey: u32,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// RDMA-read response fragment, scattered into the initiator's local
+    /// slice at `frag_off`.
+    ReadResp {
+        /// Total bytes of the whole response.
+        total: u32,
+        /// This fragment's offset.
+        frag_off: u32,
+        /// Fragment payload.
+        payload: Vec<u8>,
+    },
+    /// Remote-atomic request on the 8-byte word at `(addr, rkey)`.
+    AtomicReq {
+        /// Remote target address (8-aligned within its region).
+        addr: u64,
+        /// Remote key naming the target region.
+        rkey: u32,
+        /// Which atomic.
+        akind: AtomicKind,
+        /// Addend (FAA) or expected value (CAS).
+        arg1: u64,
+        /// Replacement value (CAS only).
+        arg2: u64,
+    },
+    /// Remote-atomic response carrying the prior value.
+    AtomicResp {
+        /// Value at the remote word before the operation.
+        old: u64,
+    },
+}
+
+impl Body {
+    fn kind(&self) -> Kind {
+        match self {
+            Body::Ack => Kind::Ack,
+            Body::Send { .. } => Kind::Send,
+            Body::Write { .. } => Kind::Write,
+            Body::ReadReq { .. } => Kind::ReadReq,
+            Body::ReadResp { .. } => Kind::ReadResp,
+            Body::AtomicReq { .. } => Kind::AtomicReq,
+            Body::AtomicResp { .. } => Kind::AtomicResp,
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Flag bits (`F_LAST`, `F_HAS_IMM`, `F_ERR`).
+    pub flags: u8,
+    /// Sending node.
+    pub src: NodeId,
+    /// Intended receiver (guards against port-map confusion).
+    pub dst: NodeId,
+    /// Channel sequence number (0 and unused for ACKs).
+    pub seq: u64,
+    /// Piggybacked cumulative ACK of the reverse direction.
+    pub ack: u64,
+    /// Work-request correlation id (request/response matching).
+    pub op: u64,
+    /// Kind-specific body.
+    pub body: Body,
+}
+
+fn put_u16(b: &mut Vec<u8>, v: u16) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.b.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    /// Length-prefixed byte string.
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        self.take(n).map(|s| s.to_vec())
+    }
+}
+
+impl Packet {
+    /// Serialize to a fresh datagram buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(HDR + 64);
+        put_u16(&mut b, MAGIC);
+        b.push(self.body.kind() as u8);
+        b.push(self.flags);
+        put_u32(&mut b, self.src as u32);
+        put_u32(&mut b, self.dst as u32);
+        put_u64(&mut b, self.seq);
+        put_u64(&mut b, self.ack);
+        put_u64(&mut b, self.op);
+        debug_assert_eq!(b.len(), HDR);
+        match &self.body {
+            Body::Ack => {}
+            Body::Send { total, frag_off, imm, payload } => {
+                put_u32(&mut b, *total);
+                put_u32(&mut b, *frag_off);
+                put_u64(&mut b, *imm);
+                put_u32(&mut b, payload.len() as u32);
+                b.extend_from_slice(payload);
+            }
+            Body::Write { addr, rkey, total, imm, stamps, payload } => {
+                put_u64(&mut b, *addr);
+                put_u32(&mut b, *rkey);
+                put_u32(&mut b, *total);
+                put_u64(&mut b, *imm);
+                put_u16(&mut b, stamps.len() as u16);
+                for s in stamps {
+                    put_u32(&mut b, *s);
+                }
+                put_u32(&mut b, payload.len() as u32);
+                b.extend_from_slice(payload);
+            }
+            Body::ReadReq { addr, rkey, len } => {
+                put_u64(&mut b, *addr);
+                put_u32(&mut b, *rkey);
+                put_u32(&mut b, *len);
+            }
+            Body::ReadResp { total, frag_off, payload } => {
+                put_u32(&mut b, *total);
+                put_u32(&mut b, *frag_off);
+                put_u32(&mut b, payload.len() as u32);
+                b.extend_from_slice(payload);
+            }
+            Body::AtomicReq { addr, rkey, akind, arg1, arg2 } => {
+                put_u64(&mut b, *addr);
+                put_u32(&mut b, *rkey);
+                b.push(match akind {
+                    AtomicKind::FetchAdd => 0,
+                    AtomicKind::CompareSwap => 1,
+                });
+                put_u64(&mut b, *arg1);
+                put_u64(&mut b, *arg2);
+            }
+            Body::AtomicResp { old } => {
+                put_u64(&mut b, *old);
+            }
+        }
+        b
+    }
+
+    /// Parse a datagram; `None` for anything malformed (dropped silently,
+    /// like line noise).
+    pub fn decode(b: &[u8]) -> Option<Packet> {
+        let mut c = Cursor { b, at: 0 };
+        if c.u16()? != MAGIC {
+            return None;
+        }
+        let kind = Kind::from_u8(c.u8()?)?;
+        let flags = c.u8()?;
+        let src = c.u32()? as NodeId;
+        let dst = c.u32()? as NodeId;
+        let seq = c.u64()?;
+        let ack = c.u64()?;
+        let op = c.u64()?;
+        let body = match kind {
+            Kind::Ack => Body::Ack,
+            Kind::Send => {
+                let total = c.u32()?;
+                let frag_off = c.u32()?;
+                let imm = c.u64()?;
+                Body::Send { total, frag_off, imm, payload: c.bytes()? }
+            }
+            Kind::Write => {
+                let addr = c.u64()?;
+                let rkey = c.u32()?;
+                let total = c.u32()?;
+                let imm = c.u64()?;
+                let nstamp = c.u16()? as usize;
+                let mut stamps = Vec::with_capacity(nstamp);
+                for _ in 0..nstamp {
+                    stamps.push(c.u32()?);
+                }
+                Body::Write { addr, rkey, total, imm, stamps, payload: c.bytes()? }
+            }
+            Kind::ReadReq => Body::ReadReq { addr: c.u64()?, rkey: c.u32()?, len: c.u32()? },
+            Kind::ReadResp => {
+                let total = c.u32()?;
+                let frag_off = c.u32()?;
+                Body::ReadResp { total, frag_off, payload: c.bytes()? }
+            }
+            Kind::AtomicReq => {
+                let addr = c.u64()?;
+                let rkey = c.u32()?;
+                let akind = match c.u8()? {
+                    0 => AtomicKind::FetchAdd,
+                    1 => AtomicKind::CompareSwap,
+                    _ => return None,
+                };
+                Body::AtomicReq { addr, rkey, akind, arg1: c.u64()?, arg2: c.u64()? }
+            }
+            Kind::AtomicResp => Body::AtomicResp { old: c.u64()? },
+        };
+        Some(Packet { flags, src, dst, seq, ack, op, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: Packet) {
+        let enc = p.encode();
+        assert_eq!(Packet::decode(&enc).expect("decodes"), p);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(Packet { flags: 0, src: 1, dst: 2, seq: 0, ack: 41, op: 0, body: Body::Ack });
+        roundtrip(Packet {
+            flags: F_LAST | F_HAS_IMM,
+            src: 0,
+            dst: 3,
+            seq: 9,
+            ack: 2,
+            op: 77,
+            body: Body::Send {
+                total: 12,
+                frag_off: 0,
+                imm: 0xfeed,
+                payload: b"hello photon".to_vec(),
+            },
+        });
+        roundtrip(Packet {
+            flags: F_LAST,
+            src: 2,
+            dst: 0,
+            seq: 10,
+            ack: 0,
+            op: 78,
+            body: Body::Write {
+                addr: 0x1000_0040,
+                rkey: 7,
+                total: 64,
+                imm: 0,
+                stamps: vec![0, 24],
+                payload: vec![0xab; 64],
+            },
+        });
+        roundtrip(Packet {
+            flags: 0,
+            src: 1,
+            dst: 0,
+            seq: 11,
+            ack: 5,
+            op: 80,
+            body: Body::ReadReq { addr: 0x2000, rkey: 3, len: 4096 },
+        });
+        roundtrip(Packet {
+            flags: F_LAST,
+            src: 0,
+            dst: 1,
+            seq: 4,
+            ack: 11,
+            op: 80,
+            body: Body::ReadResp { total: 4096, frag_off: 2048, payload: vec![1; 2048] },
+        });
+        roundtrip(Packet {
+            flags: F_LAST,
+            src: 0,
+            dst: 1,
+            seq: 5,
+            ack: 0,
+            op: 81,
+            body: Body::AtomicReq {
+                addr: 0x3000,
+                rkey: 9,
+                akind: AtomicKind::CompareSwap,
+                arg1: 17,
+                arg2: 18,
+            },
+        });
+        roundtrip(Packet {
+            flags: F_LAST,
+            src: 1,
+            dst: 0,
+            seq: 6,
+            ack: 5,
+            op: 81,
+            body: Body::AtomicResp { old: 17 },
+        });
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Packet::decode(&[]).is_none());
+        assert!(Packet::decode(&[0u8; 10]).is_none());
+        let mut ok = Packet {
+            flags: 0,
+            src: 0,
+            dst: 1,
+            seq: 1,
+            ack: 0,
+            op: 1,
+            body: Body::ReadReq { addr: 0, rkey: 0, len: 8 },
+        }
+        .encode();
+        ok[0] ^= 0xff; // clobber the magic
+        assert!(Packet::decode(&ok).is_none());
+        // Truncated body.
+        let enc = Packet {
+            flags: 0,
+            src: 0,
+            dst: 1,
+            seq: 2,
+            ack: 0,
+            op: 2,
+            body: Body::Send { total: 4, frag_off: 0, imm: 0, payload: vec![1, 2, 3, 4] },
+        }
+        .encode();
+        assert!(Packet::decode(&enc[..enc.len() - 2]).is_none());
+    }
+}

@@ -59,26 +59,12 @@ impl Cluster {
     }
 
     /// Create a connected QP pair between nodes `a` and `b`; returns
-    /// `(qp_on_a, qp_on_b)`.
+    /// `(qp_on_a, qp_on_b)`. Connections are made on demand — there is no
+    /// eager all-pairs wiring (the middleware above establishes lazily).
     pub fn connect(&self, a: NodeId, b: NodeId) -> Result<(Qp, Qp)> {
         let qa = self.nics[a].create_qp(b)?;
         let qb = self.nics[b].create_qp(a)?;
         Ok((qa, qb))
-    }
-
-    /// All-to-all wiring: `result[i][j]` is node `i`'s QP to node `j`
-    /// (including a loopback QP at `i == j`), as middleware init would do.
-    pub fn connect_all(&self) -> Result<Vec<Vec<Qp>>> {
-        let n = self.len();
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut row = Vec::with_capacity(n);
-            for j in 0..n {
-                row.push(self.nics[i].create_qp(j)?);
-            }
-            out.push(row);
-        }
-        Ok(out)
     }
 }
 
@@ -100,17 +86,14 @@ mod tests {
     }
 
     #[test]
-    fn connect_all_shapes() {
+    fn connect_shapes() {
         let c = Cluster::new(3, NetworkModel::ideal());
-        let qps = c.connect_all().unwrap();
-        assert_eq!(qps.len(), 3);
-        for (i, row) in qps.iter().enumerate() {
-            assert_eq!(row.len(), 3);
-            for (j, qp) in row.iter().enumerate() {
-                assert_eq!(qp.node, i);
-                assert_eq!(qp.peer, j);
-            }
-        }
+        let (qa, qb) = c.connect(0, 2).unwrap();
+        assert_eq!((qa.node, qa.peer), (0, 2));
+        assert_eq!((qb.node, qb.peer), (2, 0));
+        // Loopback connections are legal too.
+        let (ql, _) = c.connect(1, 1).unwrap();
+        assert_eq!((ql.node, ql.peer), (1, 1));
     }
 
     #[test]
@@ -141,7 +124,7 @@ mod tests {
     fn many_threads_drive_distinct_nodes() {
         // One thread per node, everyone puts to the next node in a ring.
         let c = Cluster::new(8, NetworkModel::ib_fdr());
-        let qps = c.connect_all().unwrap();
+        let qps: Vec<_> = (0..8).map(|i| c.nic(i).create_qp((i + 1) % 8).unwrap()).collect();
         let regions: Vec<_> = (0..8).map(|i| c.nic(i).register(64, Access::ALL).unwrap()).collect();
         let keys: Vec<_> = regions.iter().map(|r| r.remote_key()).collect();
         std::thread::scope(|s| {
@@ -156,7 +139,7 @@ mod tests {
                     src.write_u64(0, i as u64);
                     c.nic(i)
                         .post_send(
-                            qps[i][next],
+                            qps[i],
                             SendWr::new(
                                 1,
                                 WrOp::Write {

@@ -1,0 +1,92 @@
+//! `photon-launch` — spawn a multi-process Photon job on this host.
+//!
+//! ```text
+//! photon-launch -n 4 -- target/debug/examples/pingpong --iters 100
+//! photon-launch -n 2 --bind 127.0.0.1:7777 --env RUST_BACKTRACE=1 -- prog
+//! photon-launch --spec job.toml
+//! ```
+//!
+//! The launcher binds the TCP bootstrap rendezvous, spawns one process per
+//! rank with `PHOTON_RANK` / `PHOTON_NRANKS` / `PHOTON_BOOTSTRAP` set (see
+//! `photon_core::process`), waits for all ranks, and exits with the first
+//! failing rank's code.
+
+use photon_runtime::launch::{launch, LaunchSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: photon-launch -n <ranks> [--bind HOST:PORT] [--env K=V]... -- <program> [args...]\n\
+         \x20      photon-launch --spec <job.toml>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli(args: &[String]) -> Result<LaunchSpec, String> {
+    let mut n: Option<usize> = None;
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut env: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" | "--ranks" => {
+                n = Some(
+                    args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("-n takes a rank count")?,
+                );
+                i += 2;
+            }
+            "--bind" => {
+                bind = args.get(i + 1).ok_or("--bind takes HOST:PORT")?.clone();
+                i += 2;
+            }
+            "--env" => {
+                let kv = args.get(i + 1).ok_or("--env takes K=V")?;
+                let (k, v) = kv.split_once('=').ok_or("--env takes K=V")?;
+                env.push((k.to_string(), v.to_string()));
+                i += 2;
+            }
+            "--" => {
+                let n = n.ok_or("missing -n <ranks>")?;
+                let program = args.get(i + 1).ok_or("missing program after --")?.clone();
+                let mut spec = LaunchSpec::new(n, program);
+                spec.bind = bind;
+                spec.env = env;
+                spec.args = args[i + 2..].to_vec();
+                return Ok(spec);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Err("missing `-- <program>`".into())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let spec = if args[0] == "--spec" {
+        let Some(path) = args.get(1) else { usage() };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("photon-launch: read {path}: {e}");
+            std::process::exit(2);
+        });
+        LaunchSpec::from_toml(&text).unwrap_or_else(|e| {
+            eprintln!("photon-launch: {path}: {e}");
+            std::process::exit(2);
+        })
+    } else {
+        parse_cli(&args).unwrap_or_else(|e| {
+            eprintln!("photon-launch: {e}");
+            usage();
+        })
+    };
+    eprintln!("photon-launch: {} rank(s) of {}", spec.n, spec.program);
+    match launch(&spec) {
+        Ok(0) => {}
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("photon-launch: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Multi-process job launching (the `photon-launch` binary's engine).
+//!
+//! A Photon job over the sockets backend is `n` OS processes plus one
+//! out-of-band rendezvous: the launcher binds the TCP bootstrap socket,
+//! serves the [`photon_fabric::sock::BootstrapServer`] rounds on a thread,
+//! and spawns one child process per rank with the
+//! [`photon_core::process`] environment contract
+//! (`PHOTON_RANK` / `PHOTON_NRANKS` / `PHOTON_BOOTSTRAP`). Children join
+//! through [`photon_core::PhotonProcess::from_env`]; the launcher waits for
+//! all of them and propagates the first failing exit code — the `mpirun`
+//! role, scoped to localhost-style single-host jobs.
+//!
+//! Jobs come from the command line (`photon-launch -n 4 -- prog args...`)
+//! or from a TOML-subset spec file:
+//!
+//! ```toml
+//! # job.toml — consumed by `photon-launch --spec job.toml`
+//! n = 4
+//! bind = "127.0.0.1:0"
+//! program = "target/debug/examples/pingpong"
+//! args = ["--iters", "100"]
+//!
+//! [env]
+//! RUST_BACKTRACE = "1"
+//! ```
+
+use photon_core::process::{ENV_BOOTSTRAP, ENV_NRANKS, ENV_RANK};
+use photon_fabric::sock::BootstrapServer;
+use std::process::{Child, Command};
+
+/// Everything needed to launch one job: job size, rendezvous bind address,
+/// and the per-rank command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSpec {
+    /// Number of rank processes.
+    pub n: usize,
+    /// Address the bootstrap rendezvous binds (port 0 = ephemeral).
+    pub bind: String,
+    /// Program every rank executes.
+    pub program: String,
+    /// Arguments passed to every rank.
+    pub args: Vec<String>,
+    /// Extra environment variables for every rank (the `PHOTON_*` contract
+    /// variables are always set and cannot be overridden here).
+    pub env: Vec<(String, String)>,
+}
+
+impl LaunchSpec {
+    /// A spec for `n` ranks of `program` with default bind address.
+    pub fn new(n: usize, program: impl Into<String>) -> LaunchSpec {
+        LaunchSpec {
+            n,
+            bind: "127.0.0.1:0".into(),
+            program: program.into(),
+            args: Vec::new(),
+            env: Vec::new(),
+        }
+    }
+
+    /// Parse the TOML subset shown in the module docs: top-level
+    /// `key = value` pairs (`n`, `bind`, `program`, `args`) and an optional
+    /// `[env]` table of string values. Comments (`#`) and blank lines are
+    /// ignored. Anything else is an error — better to reject a spec than
+    /// to silently drop half of it.
+    pub fn from_toml(text: &str) -> Result<LaunchSpec, String> {
+        let mut n: Option<usize> = None;
+        let mut bind = "127.0.0.1:0".to_string();
+        let mut program: Option<String> = None;
+        let mut args: Vec<String> = Vec::new();
+        let mut env: Vec<(String, String)> = Vec::new();
+        let mut in_env = false;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[env]" {
+                in_env = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: unknown section {line}", ln + 1));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            if in_env {
+                env.push((key.to_string(), parse_string(value, ln)?));
+                continue;
+            }
+            match key {
+                "n" => {
+                    n = Some(
+                        value.parse().map_err(|_| format!("line {}: n must be a count", ln + 1))?,
+                    )
+                }
+                "bind" => bind = parse_string(value, ln)?,
+                "program" => program = Some(parse_string(value, ln)?),
+                "args" => args = parse_string_array(value, ln)?,
+                other => return Err(format!("line {}: unknown key `{other}`", ln + 1)),
+            }
+        }
+        let n = n.ok_or("spec missing `n`")?;
+        if n == 0 {
+            return Err("spec: n must be at least 1".into());
+        }
+        let program = program.ok_or("spec missing `program`")?;
+        Ok(LaunchSpec { n, bind, program, args, env })
+    }
+}
+
+fn parse_string(v: &str, ln: usize) -> Result<String, String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("line {}: expected a double-quoted string, got {v}", ln + 1))
+    }
+}
+
+fn parse_string_array(v: &str, ln: usize) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("line {}: expected [\"...\", ...]", ln + 1))?
+        .trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(|item| parse_string(item, ln)).collect()
+}
+
+/// Launch the job and wait for every rank.
+///
+/// Returns the job's exit code: 0 when every rank (and the rendezvous)
+/// succeeded, otherwise the first rank's failing code (or 1 for
+/// signal-killed ranks and bootstrap failures). The rendezvous thread is
+/// deliberately *not* joined when ranks already failed — it may be blocked
+/// in `accept` forever if a rank died before connecting.
+pub fn launch(spec: &LaunchSpec) -> Result<i32, String> {
+    let server = BootstrapServer::bind(&spec.bind)
+        .map_err(|e| format!("bootstrap bind {}: {e}", spec.bind))?;
+    let addr = server.local_addr().map_err(|e| format!("bootstrap addr: {e}"))?.to_string();
+    let n = spec.n;
+    let rendezvous = std::thread::spawn(move || server.run(n));
+
+    let mut children: Vec<Child> = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut cmd = Command::new(&spec.program);
+        cmd.args(&spec.args)
+            .envs(spec.env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NRANKS, n.to_string())
+            .env(ENV_BOOTSTRAP, &addr);
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                // A rank that never started dooms the rendezvous; reap what
+                // was already spawned rather than leaking processes.
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(format!("spawn rank {rank} ({}): {e}", spec.program));
+            }
+        }
+    }
+
+    let mut code = 0i32;
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().map_err(|e| format!("wait rank {rank}: {e}"))?;
+        if !status.success() && code == 0 {
+            code = status.code().unwrap_or(1);
+            eprintln!("photon-launch: rank {rank} exited with {status}");
+        }
+    }
+    if code == 0 {
+        // All ranks succeeded, so the rendezvous must have completed too;
+        // surface its verdict (a protocol failure here means the job only
+        // *looked* healthy). Ranks that exited cleanly without ever
+        // connecting leave the server blocked in accept — bound the wait
+        // instead of joining into a hang.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !rendezvous.is_finished() {
+            if std::time::Instant::now() >= deadline {
+                return Err("ranks exited without completing the bootstrap rendezvous".into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        match rendezvous.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("bootstrap rendezvous failed: {e}")),
+            Err(_) => return Err("bootstrap rendezvous panicked".into()),
+        }
+    }
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_subset_round_trips() {
+        let spec = LaunchSpec::from_toml(
+            r#"
+            # a job
+            n = 4
+            bind = "127.0.0.1:0"   # ephemeral
+            program = "target/debug/examples/pingpong"
+            args = ["--iters", "100"]
+
+            [env]
+            RUST_BACKTRACE = "1"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.n, 4);
+        assert_eq!(spec.bind, "127.0.0.1:0");
+        assert_eq!(spec.program, "target/debug/examples/pingpong");
+        assert_eq!(spec.args, vec!["--iters".to_string(), "100".into()]);
+        assert_eq!(spec.env, vec![("RUST_BACKTRACE".to_string(), "1".to_string())]);
+    }
+
+    #[test]
+    fn toml_defaults_and_empty_args() {
+        let spec = LaunchSpec::from_toml("n = 2\nprogram = \"/bin/true\"\nargs = []\n").unwrap();
+        assert_eq!(spec.bind, "127.0.0.1:0");
+        assert!(spec.args.is_empty() && spec.env.is_empty());
+    }
+
+    #[test]
+    fn toml_rejects_malformed_specs() {
+        for (bad, why) in [
+            ("program = \"x\"", "missing n"),
+            ("n = 0\nprogram = \"x\"", "zero ranks"),
+            ("n = 2", "missing program"),
+            ("n = 2\nprogram = x", "unquoted string"),
+            ("n = 2\nprogram = \"x\"\nargs = \"y\"", "args not an array"),
+            ("n = 2\nprogram = \"x\"\nbogus = 1", "unknown key"),
+            ("n = 2\nprogram = \"x\"\n[network]", "unknown section"),
+            ("n = 2\nprogram = \"x\"\njust-a-word", "not key=value"),
+        ] {
+            assert!(LaunchSpec::from_toml(bad).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn launch_propagates_child_exit_codes() {
+        // Ranks that never join the rendezvous still get reaped, and the
+        // first failing code wins.
+        let mut spec = LaunchSpec::new(2, "/bin/sh");
+        spec.args = vec!["-c".into(), "exit 3".into()];
+        assert_eq!(launch(&spec).unwrap(), 3);
+
+        let mut ok = LaunchSpec::new(2, "/bin/sh");
+        // Trivial ranks that skip the rendezvous would leave it pending, so
+        // run a real no-op *through* the environment contract instead:
+        // assert the contract variables are present, then exit 0. The
+        // rendezvous is left un-joined by design in the failure path; here
+        // all ranks "succeed" without connecting, which `launch` must
+        // detect as a bootstrap failure rather than report success.
+        ok.args = vec!["-c".into(), "test -n \"$PHOTON_RANK\" -a -n \"$PHOTON_BOOTSTRAP\"".into()];
+        let r = launch(&ok);
+        assert!(r.is_err(), "all-ranks-ok without rendezvous must fail, got {r:?}");
+    }
+
+    #[test]
+    fn launch_reports_unspawnable_program() {
+        let spec = LaunchSpec::new(1, "/definitely/not/a/real/binary");
+        assert!(launch(&spec).unwrap_err().contains("spawn rank 0"));
+    }
+}

@@ -51,6 +51,7 @@
 pub mod action;
 pub mod coalesce;
 pub mod gas;
+pub mod launch;
 pub mod lco;
 pub mod parcel;
 pub mod rpc;
@@ -59,6 +60,7 @@ pub mod scheduler;
 
 pub use action::{ActionId, ActionRegistry, RtContext};
 pub use gas::GlobalArray;
+pub use launch::{launch, LaunchSpec};
 pub use lco::{when_all, CountdownLatch, FutureBytes, LcoRef, ReduceLco};
 pub use parcel::Parcel;
 pub use rpc::{DeliveryPolicy, RpcClient, RpcConfig, RpcMethod, RpcOptions, RpcStats, Wire};

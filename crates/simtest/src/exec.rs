@@ -2,7 +2,7 @@
 //!
 //! Drives every rank of a [`Schedule`] from **one** thread, using only the
 //! middleware's non-blocking entry points (`try_put_with_completion`,
-//! `try_send`, `try_post_recv_buffer`, `probe_completion`, …) in a fixed
+//! `try_send`, `try_post_recv_buffer`, `poll_completion`, …) in a fixed
 //! round-robin sweep. The simulated fabric applies RDMA effects
 //! synchronously at post time, so with the interleaving pinned the whole
 //! run — traces, stats, verdicts — is a pure function of the schedule.
@@ -21,8 +21,8 @@ use crate::checkers::{self, RankTally, Violations};
 use crate::schedule::{FaultSpec, Op, Schedule, SimParams};
 use crate::{fnv1a, splitmix64};
 use photon_core::{
-    Event, PeerHealthState, Photon, PhotonBuffer, PhotonCluster, PhotonConfig, PhotonError,
-    ProbeFlags, PutManyItem, StatsSnapshot,
+    Completion, CompletionClass, PeerHealthState, Photon, PhotonBuffer, PhotonCluster,
+    PhotonConfig, PhotonError, ProbeFlags, PutManyItem, StatsSnapshot,
 };
 use photon_fabric::{Cluster, FabricError, NetworkModel, NicConfig, VTime, Window};
 use std::collections::HashMap;
@@ -994,13 +994,13 @@ impl<'a> Executor<'a> {
     // ------------------------------------------------------------- routing
 
     fn pump(&mut self, r: usize, max: usize) {
-        // Batch drain through the same probe_completions API the runtime
+        // Batch drain through the same poll_completions API the runtime
         // progress thread uses, so chaos schedules exercise the batch path;
         // each event still routes through the invariant checkers
         // individually.
         let p = self.cluster.rank(r).clone();
-        let mut events: Vec<Event> = Vec::with_capacity(max.min(64));
-        match p.probe_completions(ProbeFlags::Any, &mut events, max) {
+        let mut events: Vec<Completion> = Vec::with_capacity(max.min(64));
+        match p.poll_completions(ProbeFlags::Any, &mut events, max) {
             Ok(0) => {}
             Ok(_) => {
                 self.progressed = true;
@@ -1019,9 +1019,10 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn route(&mut self, r: usize, ev: Event) {
-        match ev {
-            Event::Local { rid, status, .. } => {
+    fn route(&mut self, r: usize, ev: Completion) {
+        match ev.class {
+            CompletionClass::Local => {
+                let Completion { rid, status, .. } = ev;
                 self.tally[r].local_events += 1;
                 if !status.is_ok() {
                     // An error completion: a work request flushed by the
@@ -1075,7 +1076,8 @@ impl<'a> Executor<'a> {
                     self.verify_payload(i, r, &got, "get payload");
                 }
             }
-            Event::Remote(rev) => {
+            CompletionClass::Remote => {
+                let rev = ev;
                 self.tally[r].remote_events += 1;
                 let rid = rev.rid;
                 if !rev.status.is_ok() {
@@ -1095,7 +1097,7 @@ impl<'a> Executor<'a> {
                 if rid & RID_PARCEL != 0 && rid & RID_BARRIER == 0 {
                     self.route_parcel(r, &rev);
                 } else if rid & RID_BARRIER != 0 {
-                    self.route_barrier(r, rid, rev.src);
+                    self.route_barrier(r, rid, rev.peer);
                 } else if let Some(&i) = self.remote_map.get(&rid) {
                     if self.ops[i].failed {
                         return; // straggler from a pre-failure leg
@@ -1192,7 +1194,7 @@ impl<'a> Executor<'a> {
         st.recv_mask |= 1 << round;
     }
 
-    fn route_parcel(&mut self, r: usize, rev: &photon_core::RemoteEvent) {
+    fn route_parcel(&mut self, r: usize, rev: &Completion) {
         let Some(payload) = rev.payload.as_deref() else {
             self.violations.push(format!("rank {r}: parcel without payload"));
             return;
@@ -1491,7 +1493,7 @@ mod tests {
 
     #[test]
     fn schedules_exercise_the_batch_probe_path() {
-        // The executor's pump drains through probe_completions, the same
+        // The executor's pump drains through poll_completions, the same
         // batch API the runtime progress thread uses — so every chaos
         // schedule doubles as coverage for the batch path. Pin that wiring:
         // a clean mixed schedule must leave batch-probe counts on all ranks.

@@ -22,7 +22,7 @@ fn photon_put_bw(size: usize, count: usize) -> f64 {
         });
         s.spawn(|| {
             for _ in 0..count {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
             }
         });
     });

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use photon::core::{Event, PhotonCluster, PhotonConfig, ProbeFlags};
+use photon::core::{PhotonCluster, PhotonConfig, ProbeFlags};
 use photon::fabric::NetworkModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,14 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Drive rank 1 from its own thread, like a remote node.
     let peer = std::thread::spawn(move || -> Result<(), photon::core::PhotonError> {
         // --- remote side: discover completions by probing ----------------
-        let ev = p1.wait_remote()?;
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote)?;
         println!("[rank1] remote completion rid={} size={} at t={}", ev.rid, ev.size, ev.ts);
         assert_eq!(ev.rid, 99);
         // Eager puts land at probe time; tell rank 0 the data is visible.
         p1.send(0, b"", 1)?;
 
         // A destination-less message arrives with its payload.
-        let ev = p1.wait_remote()?;
+        let ev = p1.wait_completion_matching(ProbeFlags::Remote)?;
         println!(
             "[rank1] message rid={} payload={:?}",
             ev.rid,
@@ -54,13 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. put-with-completion ------------------------------------------
     src.write_at(0, b"one-sided hello");
     p0.put_with_completion(1, &src, 0, 15, &dst_desc, 0, /*local*/ 11, /*remote*/ 99)?;
-    match p0.wait_event()? {
-        Event::Local { rid, ts, .. } => println!("[rank0] local completion rid={rid} at t={ts}"),
-        other => panic!("unexpected event {other:?}"),
-    }
+    let c = p0.wait_completion()?;
+    assert!(c.is_local(), "unexpected completion {c:?}");
+    println!("[rank0] local completion rid={} at t={}", c.rid, c.ts);
 
     // --- 3. get-with-completion ------------------------------------------
-    p0.wait_remote()?; // rank 1's visibility ack for the eager put
+    p0.wait_completion_matching(ProbeFlags::Remote)?; // rank 1's visibility ack for the eager put
     let pulled = p0.register_buffer(15)?;
     p0.get_with_completion(1, &pulled, 0, 15, &dst_desc, 0, 12)?;
     p0.wait_local(12)?;
@@ -81,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("[rank0] stats: {:?}", p0.stats());
     println!("[rank0] virtual time elapsed: {}", p0.now());
-    assert!(p0.probe_completion(ProbeFlags::Any)?.is_none(), "all events consumed");
+    assert!(p0.poll_completion(ProbeFlags::Any)?.is_none(), "all events consumed");
     println!("quickstart OK");
     Ok(())
 }

@@ -95,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         expect += 1;
                     }
                     for _ in 0..expect {
-                        p.wait_remote().unwrap();
+                        p.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
                     }
                     relax(g, ROWS_PER_RANK);
                     p.elapse((ROWS_PER_RANK * COLS) as u64); // modeled FLOPs

@@ -18,12 +18,12 @@ fn photon_pingpong(size: usize) -> u64 {
         s.spawn(|| {
             for i in 0..20u64 {
                 p0.put_with_completion(1, &b0, 0, size, &d1, 0, i, i).unwrap();
-                p0.wait_remote().unwrap();
+                p0.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
             }
         });
         s.spawn(|| {
             for i in 0..20u64 {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
                 p1.put_with_completion(0, &b1, 0, size, &d0, 0, i, i).unwrap();
             }
         });
@@ -138,14 +138,14 @@ fn reset_time_restores_origin() {
     let b0 = p0.register_buffer(8).unwrap();
     let b1 = p1.register_buffer(8).unwrap();
     p0.put_with_completion(1, &b0, 0, 8, &b1.descriptor(), 0, 1, 1).unwrap();
-    p1.wait_remote().unwrap();
+    p1.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
     assert!(p1.now().as_nanos() > 0);
     c.reset_time();
     assert_eq!(p0.now().as_nanos(), 0);
     assert_eq!(p1.now().as_nanos(), 0);
     // And the fabric's port calendars were cleared: a fresh op departs at 0.
     p0.put_with_completion(1, &b0, 0, 8, &b1.descriptor(), 0, 2, 2).unwrap();
-    let ev = p1.wait_remote().unwrap();
+    let ev = p1.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
     let m = NetworkModel::ib_fdr();
     // o + L + gap, plus 1 ns of producer staging memcpy (shifts departure)
     // and 1 ns of consumer copy-out, both for the 8-byte eager payload.

@@ -26,8 +26,9 @@ fn photon_ring_pass_the_token() {
                 let next = (i + 1) % n;
                 for lap in 0..laps {
                     if !(i == 0 && lap == 0) {
-                        let ev = p.wait_remote().unwrap();
-                        assert_eq!(ev.src, (i + n - 1) % n);
+                        let ev =
+                            p.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
+                        assert_eq!(ev.peer, (i + n - 1) % n);
                     }
                     if i == n - 1 && lap == laps - 1 {
                         break; // token retired
@@ -280,8 +281,9 @@ fn mixed_traffic_pwc_rendezvous_collectives() {
                     p.post_recv_buffer(prev, &landing, 0, 256 * 1024, round).unwrap();
                     p.send_rendezvous(next, &big, 0, 256 * 1024, round).unwrap();
                     for _ in 0..50 {
-                        let ev = p.wait_remote().unwrap();
-                        assert_eq!(ev.src, prev);
+                        let ev =
+                            p.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
+                        assert_eq!(ev.peer, prev);
                         assert_eq!(ev.payload.unwrap(), vec![prev as u8; 32]);
                     }
                     p.wait_fin(prev, round).unwrap();

@@ -16,12 +16,12 @@ fn pingpong_ns(c: &PhotonCluster, iters: u64) -> u64 {
         s.spawn(|| {
             for i in 0..iters {
                 p0.put_with_completion(1, &b0, 0, 8, &d1, 0, i, i).unwrap();
-                p0.wait_remote().unwrap();
+                p0.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
             }
         });
         s.spawn(|| {
             for i in 0..iters {
-                p1.wait_remote().unwrap();
+                p1.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
                 p1.put_with_completion(0, &b1, 0, 8, &d0, 0, i, i).unwrap();
             }
         });
@@ -79,7 +79,7 @@ fn jitter_perturbs_but_preserves_correctness() {
     for round in 0..100u64 {
         src.write_u64(0, round);
         p0.put_with_completion(1, &src, 0, 1024, &dst.descriptor(), 0, round, round).unwrap();
-        let ev = p1.wait_remote().unwrap();
+        let ev = p1.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
         assert_eq!(ev.rid, round);
         assert_eq!(dst.read_u64(0), round, "jitter must never corrupt data");
     }
@@ -98,7 +98,10 @@ fn registration_limit_surfaces_cleanly() {
     let small = p0.register_buffer(1024).unwrap();
     let dst = c.rank(1).register_buffer(1024).unwrap();
     p0.put_with_completion(1, &small, 0, 64, &dst.descriptor(), 0, 1, 1).unwrap();
-    assert_eq!(c.rank(1).wait_remote().unwrap().rid, 1);
+    assert_eq!(
+        c.rank(1).wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap().rid,
+        1
+    );
     // Releasing buffers returns budget.
     p0.release_buffer(&small).unwrap();
     let again = p0.register_buffer(1024).unwrap();

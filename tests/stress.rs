@@ -26,9 +26,9 @@ fn tiny_resources_sustained_flood() {
                         expected += 1;
                     } else if got < total {
                         if let Some(ev) =
-                            me.probe_completion(photon::core::ProbeFlags::Remote).unwrap()
+                            me.poll_completion(photon::core::ProbeFlags::Remote).unwrap()
                         {
-                            assert_eq!(ev.rid(), got, "in-order delivery per peer");
+                            assert_eq!(ev.rid, got, "in-order delivery per peer");
                             got += 1;
                         }
                     }
@@ -69,12 +69,10 @@ fn sixteen_ranks_all_to_all_pwc_storm() {
                             sent[j] += 1;
                         }
                     }
-                    while let Some(ev) =
-                        p.probe_completion(photon::core::ProbeFlags::Remote).unwrap()
+                    while let Some(r) = p.poll_completion(photon::core::ProbeFlags::Remote).unwrap()
                     {
-                        let photon::core::Event::Remote(r) = ev else { unreachable!() };
-                        assert_eq!((r.rid >> 32) as usize, r.src);
-                        assert_eq!(r.payload.unwrap(), vec![r.src as u8; 16]);
+                        assert_eq!((r.rid >> 32) as usize, r.peer);
+                        assert_eq!(r.payload.unwrap(), vec![r.peer as u8; 16]);
                         recvd += 1;
                     }
                 }
@@ -153,7 +151,7 @@ fn rendezvous_pipeline_many_transfers() {
                 sbuf.fill(t as u8);
                 p0.send_rendezvous(1, &sbuf, 0, len, t).unwrap();
                 // The receiver confirms consumption before we mutate sbuf.
-                let ev = p0.wait_remote().unwrap();
+                let ev = p0.wait_completion_matching(photon::core::ProbeFlags::Remote).unwrap();
                 assert_eq!(ev.rid, t);
             }
         });
